@@ -1,0 +1,421 @@
+//! The anytime Bayesian classifier built on per-class Bayes trees.
+//!
+//! Training builds one Bayes tree per class (Section 2.2) — either by
+//! iterative insertion or with one of the bulk loads of Section 3 — and
+//! estimates the class priors from the relative class frequencies.
+//! Classification maintains one frontier per class; in every time step the
+//! refinement strategy (qbk by default) selects a class whose frontier is
+//! refined by one node read, and the decision at any interruption point is
+//! `argmax_c P(c) * pdq(x, E_c)`.
+
+use crate::bulk::{build_tree, BulkLoadMethod};
+use crate::descent::DescentStrategy;
+use crate::frontier::TreeFrontier;
+use crate::qbk::{RefinementScheduler, RefinementStrategy};
+use crate::tree::BayesTree;
+use bt_data::Dataset;
+use bt_index::PageGeometry;
+use bt_stats::bandwidth::silverman_bandwidth;
+
+/// Configuration of the anytime classifier.
+#[derive(Debug, Clone)]
+pub struct ClassifierConfig {
+    /// Fanout / leaf-capacity parameters; `None` derives them from a 4 KiB
+    /// page for the training data's dimensionality.
+    pub geometry: Option<PageGeometry>,
+    /// How the per-class trees are constructed.
+    pub bulk_load: BulkLoadMethod,
+    /// Descent strategy used within each tree.
+    pub descent: DescentStrategy,
+    /// Strategy deciding which class refines next.
+    pub refinement: RefinementStrategy,
+    /// Whether to fit one kernel bandwidth per class (`true`, the paper's
+    /// setting: each tree carries the Silverman bandwidth of its own class)
+    /// or one global bandwidth shared by all trees.
+    pub per_class_bandwidth: bool,
+    /// Seed for the randomised bulk loads.
+    pub seed: u64,
+}
+
+impl Default for ClassifierConfig {
+    fn default() -> Self {
+        Self {
+            geometry: None,
+            bulk_load: BulkLoadMethod::EmTopDown,
+            descent: DescentStrategy::default(),
+            refinement: RefinementStrategy::default(),
+            per_class_bandwidth: true,
+            seed: 0,
+        }
+    }
+}
+
+impl ClassifierConfig {
+    /// Convenience constructor that only overrides the bulk-load method.
+    #[must_use]
+    pub fn with_bulk_load(bulk_load: BulkLoadMethod) -> Self {
+        Self {
+            bulk_load,
+            ..Self::default()
+        }
+    }
+}
+
+/// The decision for one query at one interruption point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Classification {
+    /// Predicted class label.
+    pub label: usize,
+    /// Normalised posterior probabilities per class (uniform if every class
+    /// density underflowed to zero).
+    pub posteriors: Vec<f64>,
+    /// Number of node reads spent across all class trees.
+    pub nodes_read: usize,
+}
+
+/// The full anytime trace of one query: the decision after every node read.
+#[derive(Debug, Clone)]
+pub struct AnytimeTrace {
+    /// `labels[t]` is the predicted label after `t` node reads
+    /// (`labels[0]` is the root-level decision).
+    pub labels: Vec<usize>,
+    /// Posteriors at the final interruption point.
+    pub final_posteriors: Vec<f64>,
+}
+
+impl AnytimeTrace {
+    /// The label predicted after `nodes` node reads (saturating at the end of
+    /// the trace, i.e. the fully refined model).
+    #[must_use]
+    pub fn label_after(&self, nodes: usize) -> usize {
+        let idx = nodes.min(self.labels.len().saturating_sub(1));
+        self.labels[idx]
+    }
+}
+
+/// An anytime Bayesian classifier: one Bayes tree per class.
+#[derive(Debug, Clone)]
+pub struct AnytimeClassifier {
+    trees: Vec<BayesTree>,
+    priors: Vec<f64>,
+    class_names: Vec<String>,
+    config: ClassifierConfig,
+    dims: usize,
+}
+
+impl AnytimeClassifier {
+    /// Trains the classifier on a labelled data set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data set is empty or has no classes.
+    #[must_use]
+    pub fn train(dataset: &Dataset, config: &ClassifierConfig) -> Self {
+        assert!(!dataset.is_empty(), "cannot train on an empty data set");
+        assert!(dataset.num_classes() > 0, "data set has no classes");
+        let dims = dataset.dims();
+        let geometry = config
+            .geometry
+            .unwrap_or_else(|| PageGeometry::default_for_dims(dims));
+
+        let global_bandwidth = if config.per_class_bandwidth {
+            None
+        } else {
+            Some(silverman_bandwidth(dataset.features(), dims))
+        };
+
+        let mut trees = Vec::with_capacity(dataset.num_classes());
+        for class in 0..dataset.num_classes() {
+            let points = dataset.features_of_class(class);
+            let mut tree = build_tree(
+                &points,
+                dims,
+                geometry,
+                config.bulk_load,
+                config.seed.wrapping_add(class as u64),
+            );
+            if let Some(bandwidth) = &global_bandwidth {
+                if !tree.is_empty() {
+                    tree.set_bandwidth(bandwidth.clone());
+                }
+            }
+            trees.push(tree);
+        }
+
+        Self {
+            trees,
+            priors: dataset.class_priors(),
+            class_names: dataset.class_names().to_vec(),
+            config: config.clone(),
+            dims,
+        }
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Feature dimensionality.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The per-class trees.
+    #[must_use]
+    pub fn trees(&self) -> &[BayesTree] {
+        &self.trees
+    }
+
+    /// The class priors `P(c)`.
+    #[must_use]
+    pub fn priors(&self) -> &[f64] {
+        &self.priors
+    }
+
+    /// Class names, indexed by label.
+    #[must_use]
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// The configuration the classifier was trained with.
+    #[must_use]
+    pub fn config(&self) -> &ClassifierConfig {
+        &self.config
+    }
+
+    /// Incrementally learns one new labelled observation (online training on
+    /// the stream, Section 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is out of range or the point has the wrong
+    /// dimensionality.
+    pub fn learn_one(&mut self, point: Vec<f64>, label: usize) {
+        assert!(label < self.trees.len(), "label out of range");
+        self.trees[label].insert(point);
+        // Refresh the priors from the new class counts.
+        let total: f64 = self.trees.iter().map(|t| t.len() as f64).sum();
+        for (prior, tree) in self.priors.iter_mut().zip(&self.trees) {
+            *prior = tree.len() as f64 / total;
+        }
+    }
+
+    /// Classifies `x` spending at most `budget` node reads.
+    #[must_use]
+    pub fn classify_with_budget(&self, x: &[f64], budget: usize) -> Classification {
+        let trace = self.run_anytime(x, budget, false);
+        Classification {
+            label: *trace.labels.last().expect("trace is never empty"),
+            posteriors: trace.final_posteriors,
+            nodes_read: trace.labels.len() - 1,
+        }
+    }
+
+    /// Produces the full anytime trace: the decision after every node read up
+    /// to `max_nodes` (or until every frontier is exhausted).
+    #[must_use]
+    pub fn anytime_trace(&self, x: &[f64], max_nodes: usize) -> AnytimeTrace {
+        self.run_anytime(x, max_nodes, true)
+    }
+
+    fn run_anytime(&self, x: &[f64], budget: usize, record_all: bool) -> AnytimeTrace {
+        assert_eq!(x.len(), self.dims, "query dimensionality mismatch");
+        let mut frontiers: Vec<TreeFrontier<'_>> =
+            self.trees.iter().map(|t| TreeFrontier::new(t, x)).collect();
+        let mut scheduler =
+            RefinementScheduler::new(self.config.refinement, self.trees.len());
+
+        let mut labels = Vec::with_capacity(budget + 1);
+        let mut posteriors = self.posteriors(&frontiers);
+        labels.push(argmax(&posteriors));
+
+        for _ in 0..budget {
+            let scores: Vec<f64> = frontiers
+                .iter()
+                .zip(&self.priors)
+                .map(|(f, &p)| p * f.density())
+                .collect();
+            let refinable: Vec<bool> = frontiers.iter().map(TreeFrontier::can_refine).collect();
+            let Some(class) = scheduler.next_class(&scores, &refinable) else {
+                break;
+            };
+            frontiers[class].refine(self.config.descent);
+            posteriors = self.posteriors(&frontiers);
+            if record_all {
+                labels.push(argmax(&posteriors));
+            }
+        }
+        if !record_all {
+            // Only the final decision is needed; overwrite the root-level one.
+            labels = vec![argmax(&posteriors)];
+        }
+        AnytimeTrace {
+            labels,
+            final_posteriors: posteriors,
+        }
+    }
+
+    /// Normalised posteriors from the current frontier densities.
+    fn posteriors(&self, frontiers: &[TreeFrontier<'_>]) -> Vec<f64> {
+        let joint: Vec<f64> = frontiers
+            .iter()
+            .zip(&self.priors)
+            .map(|(f, &p)| p * f.density())
+            .collect();
+        let total: f64 = joint.iter().sum();
+        if total > 0.0 {
+            joint.iter().map(|j| j / total).collect()
+        } else {
+            // Every class density underflowed: fall back to the priors.
+            self.priors.clone()
+        }
+    }
+}
+
+fn argmax(values: &[f64]) -> usize {
+    let mut best = 0;
+    let mut best_v = f64::NEG_INFINITY;
+    for (i, &v) in values.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_data::synth::blobs::BlobConfig;
+
+    fn easy_dataset() -> Dataset {
+        BlobConfig::new(3, 4)
+            .samples_per_class(80)
+            .seed(11)
+            .generate()
+    }
+
+    fn accuracy(classifier: &AnytimeClassifier, test: &Dataset, budget: usize) -> f64 {
+        let mut correct = 0usize;
+        for (x, &y) in test.iter() {
+            if classifier.classify_with_budget(x, budget).label == y {
+                correct += 1;
+            }
+        }
+        correct as f64 / test.len() as f64
+    }
+
+    #[test]
+    fn training_builds_one_tree_per_class() {
+        let data = easy_dataset();
+        let clf = AnytimeClassifier::train(&data, &ClassifierConfig::default());
+        assert_eq!(clf.num_classes(), 3);
+        assert_eq!(clf.trees().len(), 3);
+        let total: usize = clf.trees().iter().map(BayesTree::len).sum();
+        assert_eq!(total, data.len());
+        let prior_sum: f64 = clf.priors().iter().sum();
+        assert!((prior_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classification_on_separated_blobs_is_accurate() {
+        let data = easy_dataset();
+        let (train, test) = data.split_holdout(0.3, 1);
+        let clf = AnytimeClassifier::train(&train, &ClassifierConfig::default());
+        let acc = accuracy(&clf, &test, 25);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn more_budget_never_breaks_the_classifier() {
+        let data = easy_dataset();
+        let (train, test) = data.split_holdout(0.3, 2);
+        let clf = AnytimeClassifier::train(&train, &ClassifierConfig::default());
+        let low = accuracy(&clf, &test, 0);
+        let high = accuracy(&clf, &test, 60);
+        // The anytime property: more budget should not make things much
+        // worse; on this easy problem it should help or stay equal.
+        assert!(high + 0.05 >= low, "low {low}, high {high}");
+    }
+
+    #[test]
+    fn anytime_trace_has_one_label_per_step() {
+        let data = easy_dataset();
+        // A small page geometry forces deep trees so the budget is actually
+        // spendable.
+        let config = ClassifierConfig {
+            geometry: Some(PageGeometry::from_fanout(4, 4)),
+            ..ClassifierConfig::default()
+        };
+        let clf = AnytimeClassifier::train(&data, &config);
+        let trace = clf.anytime_trace(data.feature(0), 15);
+        assert_eq!(trace.labels.len(), 16);
+        assert_eq!(trace.label_after(0), trace.labels[0]);
+        assert_eq!(trace.label_after(100), *trace.labels.last().unwrap());
+    }
+
+    #[test]
+    fn trace_stops_early_when_trees_are_exhausted() {
+        // With the default 4 KiB page geometry each class fits into a single
+        // leaf, so only one refinement per class is possible.
+        let data = easy_dataset();
+        let clf = AnytimeClassifier::train(&data, &ClassifierConfig::default());
+        let trace = clf.anytime_trace(data.feature(0), 50);
+        assert!(trace.labels.len() <= 1 + 3);
+    }
+
+    #[test]
+    fn posteriors_are_normalised() {
+        let data = easy_dataset();
+        let clf = AnytimeClassifier::train(&data, &ClassifierConfig::default());
+        let c = clf.classify_with_budget(data.feature(3), 10);
+        let sum: f64 = c.posteriors.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(c.posteriors.len(), 3);
+    }
+
+    #[test]
+    fn far_away_query_falls_back_to_priors() {
+        let data = easy_dataset();
+        let clf = AnytimeClassifier::train(&data, &ClassifierConfig::default());
+        let far = vec![1e6; 4];
+        let c = clf.classify_with_budget(&far, 5);
+        let sum: f64 = c.posteriors.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn online_learning_updates_priors_and_trees() {
+        let data = easy_dataset();
+        let mut clf = AnytimeClassifier::train(&data, &ClassifierConfig::default());
+        let before = clf.trees()[1].len();
+        clf.learn_one(data.feature(0).to_vec(), 1);
+        assert_eq!(clf.trees()[1].len(), before + 1);
+        let sum: f64 = clf.priors().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_bulk_loads_classify_reasonably() {
+        let data = easy_dataset();
+        let (train, test) = data.split_holdout(0.3, 3);
+        for method in BulkLoadMethod::all() {
+            let config = ClassifierConfig::with_bulk_load(method);
+            let clf = AnytimeClassifier::train(&train, &config);
+            let acc = accuracy(&clf, &test, 20);
+            assert!(acc > 0.8, "{method:?}: accuracy {acc}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty data set")]
+    fn training_on_empty_data_panics() {
+        let empty = Dataset::new("e", 2, vec!["a".to_string()]);
+        let _ = AnytimeClassifier::train(&empty, &ClassifierConfig::default());
+    }
+}

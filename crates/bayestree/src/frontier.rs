@@ -1,0 +1,398 @@
+//! Frontiers: the anytime mixture model of a query.
+//!
+//! A *frontier* is a set of entries such that every leaf kernel of the tree
+//! is represented exactly once (Section 2.2).  It defines a Gaussian mixture
+//! model (Definition 3) whose density for the query object is refined
+//! incrementally: in each time step one frontier element is replaced by the
+//! entries of its child node, and the density is updated by subtracting the
+//! refined element's contribution and adding its children's contributions —
+//! the cost per step is one node read.
+
+use crate::descent::{DescentStrategy, PriorityMeasure};
+use crate::node::{NodeId, NodeKind};
+use crate::tree::BayesTree;
+use bt_stats::kernel::{GaussianKernel, Kernel};
+
+/// One element of the frontier.
+#[derive(Debug, Clone)]
+pub struct FrontierElement {
+    /// Child node this element can be refined into (`None` for leaf kernels,
+    /// which cannot be refined further).
+    pub child: Option<NodeId>,
+    /// Number of objects represented by this element (`1.0` for a kernel).
+    pub weight: f64,
+    /// This element's contribution `(n_es / n) * g(x, mu_es, sigma_es)` to the
+    /// probability density of the query.
+    pub contribution: f64,
+    /// Geometric priority: squared distance from the query to the element's
+    /// MBR (0 for leaf kernels' exact positions).
+    pub min_dist_sq: f64,
+    /// Depth of the element in the tree (root entries have depth 1).
+    pub depth: usize,
+    /// Monotone sequence number recording when the element joined the
+    /// frontier (used for FIFO/LIFO tie-breaking).
+    pub seq: u64,
+}
+
+impl FrontierElement {
+    /// Whether the element can still be refined.
+    #[must_use]
+    pub fn is_refinable(&self) -> bool {
+        self.child.is_some()
+    }
+}
+
+/// The evolving frontier of one tree for one query object.
+#[derive(Debug, Clone)]
+pub struct TreeFrontier<'a> {
+    tree: &'a BayesTree,
+    query: Vec<f64>,
+    elements: Vec<FrontierElement>,
+    density: f64,
+    nodes_read: usize,
+    next_seq: u64,
+}
+
+impl<'a> TreeFrontier<'a> {
+    /// Creates the initial frontier: the entries of the root node.
+    ///
+    /// Reading the root is considered free (it is required to produce any
+    /// model at all); [`Self::nodes_read`] therefore starts at 0 and counts
+    /// refinement steps, matching the x-axis of the paper's figures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query has the wrong dimensionality.
+    #[must_use]
+    pub fn new(tree: &'a BayesTree, query: &[f64]) -> Self {
+        assert_eq!(query.len(), tree.dims(), "query dimensionality mismatch");
+        let mut frontier = Self {
+            tree,
+            query: query.to_vec(),
+            elements: Vec::new(),
+            density: 0.0,
+            nodes_read: 0,
+            next_seq: 0,
+        };
+        for entry in tree.root_entries() {
+            frontier.push_entry_element(entry.child, entry.weight(), &entry, 1);
+        }
+        frontier
+    }
+
+    /// The current probability density `pdq(x, E)` of the query under the
+    /// frontier's mixture model.
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        self.density.max(0.0)
+    }
+
+    /// Number of refinement steps (node reads) performed so far.
+    #[must_use]
+    pub fn nodes_read(&self) -> usize {
+        self.nodes_read
+    }
+
+    /// The current frontier elements.
+    #[must_use]
+    pub fn elements(&self) -> &[FrontierElement] {
+        &self.elements
+    }
+
+    /// Whether at least one element can still be refined.
+    #[must_use]
+    pub fn can_refine(&self) -> bool {
+        self.elements.iter().any(FrontierElement::is_refinable)
+    }
+
+    /// Total weight of the frontier (must equal the number of stored
+    /// objects — every kernel is represented exactly once).
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.elements.iter().map(|e| e.weight).sum()
+    }
+
+    /// Performs one refinement step with the given descent strategy.
+    ///
+    /// Returns `false` (and changes nothing) when no element is refinable.
+    pub fn refine(&mut self, strategy: DescentStrategy) -> bool {
+        let Some(idx) = self.select(strategy) else {
+            return false;
+        };
+        let element = self.elements.swap_remove(idx);
+        self.density -= element.contribution;
+        let child = element.child.expect("selected element is refinable");
+        let child_depth = element.depth + 1;
+        match &self.tree.node(child).kind {
+            NodeKind::Inner { entries } => {
+                for entry in entries {
+                    self.push_entry_element(entry.child, entry.weight(), entry, child_depth);
+                }
+            }
+            NodeKind::Leaf { points } => {
+                for p in points {
+                    self.push_kernel_element(p, child_depth);
+                }
+            }
+        }
+        self.nodes_read += 1;
+        true
+    }
+
+    /// Refines until either `budget` node reads have been spent or nothing is
+    /// refinable; returns the number of reads actually performed.
+    pub fn refine_up_to(&mut self, budget: usize, strategy: DescentStrategy) -> usize {
+        let mut done = 0;
+        while done < budget && self.refine(strategy) {
+            done += 1;
+        }
+        done
+    }
+
+    /// Index of the element the strategy would refine next, if any.
+    #[must_use]
+    pub fn peek_next(&self, strategy: DescentStrategy) -> Option<usize> {
+        self.select(strategy)
+    }
+
+    fn select(&self, strategy: DescentStrategy) -> Option<usize> {
+        let refinable = self
+            .elements
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_refinable());
+        match strategy {
+            DescentStrategy::BreadthFirst => refinable
+                .min_by(|(_, a), (_, b)| a.depth.cmp(&b.depth).then(a.seq.cmp(&b.seq)))
+                .map(|(i, _)| i),
+            DescentStrategy::DepthFirst => refinable
+                .max_by(|(_, a), (_, b)| a.depth.cmp(&b.depth).then(a.seq.cmp(&b.seq)))
+                .map(|(i, _)| i),
+            DescentStrategy::GlobalBest(PriorityMeasure::Geometric) => refinable
+                .min_by(|(_, a), (_, b)| {
+                    a.min_dist_sq
+                        .partial_cmp(&b.min_dist_sq)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.seq.cmp(&b.seq))
+                })
+                .map(|(i, _)| i),
+            DescentStrategy::GlobalBest(PriorityMeasure::Probabilistic) => refinable
+                .max_by(|(_, a), (_, b)| {
+                    a.contribution
+                        .partial_cmp(&b.contribution)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(b.seq.cmp(&a.seq))
+                })
+                .map(|(i, _)| i),
+        }
+    }
+
+    fn push_entry_element(
+        &mut self,
+        child: NodeId,
+        weight: f64,
+        entry: &crate::node::Entry,
+        depth: usize,
+    ) {
+        let n = self.tree.len().max(1) as f64;
+        let gaussian = entry.gaussian();
+        let contribution = weight / n * gaussian.pdf(&self.query);
+        let min_dist_sq = entry.mbr.min_dist_sq(&self.query);
+        let seq = self.bump_seq();
+        self.elements.push(FrontierElement {
+            child: Some(child),
+            weight,
+            contribution,
+            min_dist_sq,
+            depth,
+            seq,
+        });
+        self.density += contribution;
+    }
+
+    fn push_kernel_element(&mut self, point: &[f64], depth: usize) {
+        let n = self.tree.len().max(1) as f64;
+        let kernel = GaussianKernel;
+        let contribution = kernel.density(point, &self.query, self.tree.bandwidth()) / n;
+        let min_dist_sq: f64 = point
+            .iter()
+            .zip(&self.query)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        let seq = self.bump_seq();
+        self.elements.push(FrontierElement {
+            child: None,
+            weight: 1.0,
+            contribution,
+            min_dist_sq,
+            depth,
+            seq,
+        });
+        self.density += contribution;
+    }
+
+    fn bump_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_index::PageGeometry;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample_tree(n: usize, seed: u64) -> BayesTree {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let center = if i % 2 == 0 { 0.0 } else { 8.0 };
+                vec![
+                    center + rng.random::<f64>(),
+                    center + rng.random::<f64>(),
+                ]
+            })
+            .collect();
+        BayesTree::build_iterative(&points, 2, PageGeometry::from_fanout(4, 4))
+    }
+
+    #[test]
+    fn initial_frontier_is_root_entries() {
+        let tree = sample_tree(100, 1);
+        let frontier = TreeFrontier::new(&tree, &[0.5, 0.5]);
+        assert_eq!(frontier.nodes_read(), 0);
+        assert_eq!(frontier.elements().len(), tree.root_entries().len());
+        assert!((frontier.total_weight() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn refinement_preserves_total_weight() {
+        let tree = sample_tree(200, 2);
+        let mut frontier = TreeFrontier::new(&tree, &[4.0, 4.0]);
+        for _ in 0..30 {
+            if !frontier.refine(DescentStrategy::default()) {
+                break;
+            }
+            assert!((frontier.total_weight() - 200.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn full_refinement_converges_to_kernel_density() {
+        let tree = sample_tree(60, 3);
+        let query = [1.0, 0.5];
+        for strategy in DescentStrategy::all() {
+            let mut frontier = TreeFrontier::new(&tree, &query);
+            while frontier.refine(strategy) {}
+            assert!(!frontier.can_refine());
+            let expected = tree.full_kernel_density(&query);
+            assert!(
+                (frontier.density() - expected).abs() < 1e-9,
+                "strategy {strategy:?}: {} vs {expected}",
+                frontier.density()
+            );
+        }
+    }
+
+    #[test]
+    fn nodes_read_counts_refinements() {
+        let tree = sample_tree(100, 4);
+        let mut frontier = TreeFrontier::new(&tree, &[0.0, 0.0]);
+        let done = frontier.refine_up_to(5, DescentStrategy::BreadthFirst);
+        assert_eq!(done, 5);
+        assert_eq!(frontier.nodes_read(), 5);
+    }
+
+    #[test]
+    fn refine_up_to_stops_when_exhausted() {
+        let tree = sample_tree(20, 5);
+        let mut frontier = TreeFrontier::new(&tree, &[0.0, 0.0]);
+        let done = frontier.refine_up_to(10_000, DescentStrategy::DepthFirst);
+        assert!(done < 10_000);
+        assert!(!frontier.can_refine());
+    }
+
+    #[test]
+    fn breadth_first_refines_shallowest_first() {
+        let tree = sample_tree(300, 6);
+        let mut frontier = TreeFrontier::new(&tree, &[0.0, 0.0]);
+        // After refining every depth-1 element, the minimum depth among
+        // refinable elements must have increased.
+        let initial = frontier.elements().len();
+        for _ in 0..initial {
+            frontier.refine(DescentStrategy::BreadthFirst);
+        }
+        let min_depth = frontier
+            .elements()
+            .iter()
+            .filter(|e| e.is_refinable())
+            .map(|e| e.depth)
+            .min()
+            .unwrap();
+        assert!(min_depth >= 2);
+    }
+
+    #[test]
+    fn probabilistic_descent_refines_highest_contribution_first() {
+        let tree = sample_tree(400, 7);
+        // Query sits in the cluster around (8, 8).
+        let query = [8.5, 8.5];
+        let frontier = TreeFrontier::new(&tree, &query);
+        let idx = frontier
+            .peek_next(DescentStrategy::GlobalBest(PriorityMeasure::Probabilistic))
+            .unwrap();
+        let selected = frontier.elements()[idx].contribution;
+        let best = frontier
+            .elements()
+            .iter()
+            .filter(|e| e.is_refinable())
+            .map(|e| e.contribution)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((selected - best).abs() < 1e-15);
+    }
+
+    #[test]
+    fn probabilistic_descent_converges_toward_full_model() {
+        // The error against the fully refined kernel density must not grow as
+        // the probabilistic descent spends more budget.
+        let tree = sample_tree(400, 7);
+        let query = [8.5, 8.5];
+        let target = tree.full_kernel_density(&query);
+        let mut frontier = TreeFrontier::new(&tree, &query);
+        let initial_error = (frontier.density() - target).abs();
+        while frontier.refine(DescentStrategy::default()) {}
+        let final_error = (frontier.density() - target).abs();
+        assert!(final_error <= initial_error + 1e-12);
+        assert!(final_error < 1e-9);
+    }
+
+    #[test]
+    fn geometric_descent_selects_closest_mbr() {
+        let tree = sample_tree(200, 8);
+        let query = [0.2, 0.2];
+        let frontier = TreeFrontier::new(&tree, &query);
+        let idx = frontier
+            .peek_next(DescentStrategy::GlobalBest(PriorityMeasure::Geometric))
+            .unwrap();
+        let selected = &frontier.elements()[idx];
+        let best = frontier
+            .elements()
+            .iter()
+            .filter(|e| e.is_refinable())
+            .map(|e| e.min_dist_sq)
+            .fold(f64::INFINITY, f64::min);
+        assert!((selected.min_dist_sq - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_tree_frontier_is_empty() {
+        let tree = BayesTree::new(2, PageGeometry::from_fanout(4, 4));
+        let frontier = TreeFrontier::new(&tree, &[0.0, 0.0]);
+        assert_eq!(frontier.elements().len(), 0);
+        assert_eq!(frontier.density(), 0.0);
+        assert!(!frontier.can_refine());
+    }
+}

@@ -1,0 +1,260 @@
+//! Incremental (iterative) insertion.
+//!
+//! This is the construction path evaluated as "Iterativ" in the paper's
+//! figures: objects are inserted one at a time, descending by least area
+//! enlargement (as in the R*-tree), updating every ancestor entry's MBR and
+//! cluster feature, and splitting overflowing nodes with the R* topological
+//! split.  Because new training data keeps arriving on a stream, this path is
+//! also what [`crate::classifier::AnytimeClassifier::learn_one`] uses for
+//! online learning.
+
+use crate::node::{Entry, Node, NodeId, NodeKind};
+use crate::tree::BayesTree;
+use bt_index::rstar::{choose_subtree, rstar_split};
+use bt_index::Mbr;
+
+/// Outcome of a recursive insertion step.
+enum InsertOutcome {
+    /// The child absorbed the point; the caller must refresh its entry.
+    Absorbed,
+    /// The child split; its entry must be replaced by these two entries.
+    Split(Entry, Entry),
+}
+
+impl BayesTree {
+    /// Inserts one observation into the tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point has the wrong dimensionality.
+    pub fn insert(&mut self, point: Vec<f64>) {
+        assert_eq!(point.len(), self.dims(), "point dimensionality mismatch");
+        let root = self.root();
+        let outcome = self.insert_rec(root, &point);
+        if let InsertOutcome::Split(e1, e2) = outcome {
+            let new_root = self.push_node(Node::inner(vec![e1, e2]));
+            let height = self.height() + 1;
+            self.set_root(new_root, height);
+            // set_root keeps the height argument; increment_height not needed.
+            let _ = height;
+        }
+        self.increment_points();
+    }
+
+    /// Inserts every observation of an iterator in order.
+    pub fn insert_all<I: IntoIterator<Item = Vec<f64>>>(&mut self, points: I) {
+        for p in points {
+            self.insert(p);
+        }
+    }
+
+    fn insert_rec(&mut self, node_id: NodeId, point: &[f64]) -> InsertOutcome {
+        if self.node(node_id).is_leaf() {
+            self.node_mut(node_id).points_mut().push(point.to_vec());
+            if self.node(node_id).len() > self.geometry().max_leaf {
+                let (e1, e2) = self.split_leaf(node_id);
+                InsertOutcome::Split(e1, e2)
+            } else {
+                InsertOutcome::Absorbed
+            }
+        } else {
+            // Choose the child entry needing the least enlargement.
+            let mbrs: Vec<Mbr> = self
+                .node(node_id)
+                .entries()
+                .iter()
+                .map(|e| e.mbr.clone())
+                .collect();
+            let chosen = choose_subtree(&mbrs, point);
+            let child = self.node(node_id).entries()[chosen].child;
+            match self.insert_rec(child, point) {
+                InsertOutcome::Absorbed => {
+                    self.node_mut(node_id).entries_mut()[chosen].absorb_point(point);
+                }
+                InsertOutcome::Split(e1, e2) => {
+                    let entries = self.node_mut(node_id).entries_mut();
+                    entries[chosen] = e1;
+                    entries.push(e2);
+                }
+            }
+            if self.node(node_id).len() > self.geometry().max_fanout {
+                let (e1, e2) = self.split_inner(node_id);
+                InsertOutcome::Split(e1, e2)
+            } else {
+                InsertOutcome::Absorbed
+            }
+        }
+    }
+
+    /// Splits an over-full leaf in place: the first group stays in
+    /// `node_id`, the second moves to a fresh node.  Returns the entries
+    /// describing both.
+    fn split_leaf(&mut self, node_id: NodeId) -> (Entry, Entry) {
+        let points = std::mem::take(self.node_mut(node_id).points_mut());
+        let mbrs: Vec<Mbr> = points.iter().map(|p| Mbr::from_point(p)).collect();
+        let min = self
+            .geometry()
+            .min_leaf
+            .min(points.len() / 2)
+            .max(1);
+        let split = rstar_split(&mbrs, min);
+        let first: Vec<Vec<f64>> = split.first.iter().map(|&i| points[i].clone()).collect();
+        let second: Vec<Vec<f64>> = split.second.iter().map(|&i| points[i].clone()).collect();
+        *self.node_mut(node_id).points_mut() = first;
+        let new_node = self.push_node(Node::leaf(second));
+        (self.summarise(node_id), self.summarise(new_node))
+    }
+
+    /// Splits an over-full inner node in place, analogously to
+    /// [`Self::split_leaf`].
+    fn split_inner(&mut self, node_id: NodeId) -> (Entry, Entry) {
+        let entries = std::mem::take(self.node_mut(node_id).entries_mut());
+        let mbrs: Vec<Mbr> = entries.iter().map(|e| e.mbr.clone()).collect();
+        let min = self
+            .geometry()
+            .min_fanout
+            .min(entries.len() / 2)
+            .max(1);
+        let split = rstar_split(&mbrs, min);
+        let mut first = Vec::with_capacity(split.first.len());
+        let mut second = Vec::with_capacity(split.second.len());
+        for (i, e) in entries.into_iter().enumerate() {
+            if split.first.contains(&i) {
+                first.push(e);
+            } else {
+                second.push(e);
+            }
+        }
+        *self.node_mut(node_id).entries_mut() = first;
+        let new_node = self.push_node(Node::inner(second));
+        (self.summarise(node_id), self.summarise(new_node))
+    }
+
+    /// Builds a tree by inserting `points` one at a time (the paper's
+    /// "Iterativ" baseline).
+    #[must_use]
+    pub fn build_iterative(
+        points: &[Vec<f64>],
+        dims: usize,
+        geometry: bt_index::PageGeometry,
+    ) -> BayesTree {
+        let mut tree = BayesTree::new(dims, geometry);
+        for p in points {
+            tree.insert(p.clone());
+        }
+        tree.fit_bandwidth();
+        tree
+    }
+}
+
+/// Re-exported check used by tests: whether a node kind matches the expected
+/// shape after splits.
+#[allow(dead_code)]
+fn is_inner(kind: &NodeKind) -> bool {
+    matches!(kind, NodeKind::Inner { .. })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_index::PageGeometry;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn small_geometry() -> PageGeometry {
+        PageGeometry::from_fanout(4, 4)
+    }
+
+    fn random_points(n: usize, dims: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..dims).map(|_| rng.random::<f64>() * 10.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn inserting_under_capacity_keeps_leaf_root() {
+        let mut tree = BayesTree::new(2, small_geometry());
+        for p in random_points(4, 2, 1) {
+            tree.insert(p);
+        }
+        assert_eq!(tree.height(), 1);
+        assert_eq!(tree.len(), 4);
+        assert!(tree.validate(true).is_ok());
+    }
+
+    #[test]
+    fn overflow_splits_the_root() {
+        let mut tree = BayesTree::new(2, small_geometry());
+        for p in random_points(5, 2, 2) {
+            tree.insert(p);
+        }
+        assert_eq!(tree.height(), 2);
+        assert!(tree.validate(true).is_ok());
+    }
+
+    #[test]
+    fn large_insert_stays_valid_and_balanced() {
+        let mut tree = BayesTree::new(3, small_geometry());
+        for p in random_points(500, 3, 3) {
+            tree.insert(p);
+        }
+        assert_eq!(tree.len(), 500);
+        assert!(tree.height() >= 3);
+        tree.validate(true).expect("tree invariants hold");
+    }
+
+    #[test]
+    fn root_cf_counts_every_point() {
+        let mut tree = BayesTree::new(2, small_geometry());
+        for p in random_points(100, 2, 4) {
+            tree.insert(p);
+        }
+        let total: f64 = tree.root_entries().iter().map(Entry::weight).sum();
+        assert!((total - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clustered_data_splits_along_clusters() {
+        let mut tree = BayesTree::new(2, small_geometry());
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            pts.push(vec![i as f64 * 0.01, 0.0]);
+            pts.push(vec![100.0 + i as f64 * 0.01, 50.0]);
+        }
+        for p in pts {
+            tree.insert(p);
+        }
+        tree.validate(true).expect("valid");
+        // Root entries should separate the two clusters: at least one root
+        // entry must lie entirely in the low cluster region.
+        let entries = tree.root_entries();
+        assert!(entries
+            .iter()
+            .any(|e| e.mbr.upper()[0] < 50.0 || e.mbr.lower()[0] > 50.0));
+    }
+
+    #[test]
+    fn build_iterative_fits_bandwidth() {
+        let tree = BayesTree::build_iterative(&random_points(50, 2, 5), 2, small_geometry());
+        assert!(tree.bandwidth().iter().all(|h| *h > 0.0 && *h < 10.0));
+        assert_eq!(tree.len(), 50);
+    }
+
+    #[test]
+    fn duplicate_points_are_handled() {
+        let mut tree = BayesTree::new(2, small_geometry());
+        for _ in 0..50 {
+            tree.insert(vec![1.0, 1.0]);
+        }
+        assert_eq!(tree.len(), 50);
+        tree.validate(true).expect("valid with duplicates");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn wrong_dims_panics() {
+        let mut tree = BayesTree::new(2, small_geometry());
+        tree.insert(vec![1.0]);
+    }
+}

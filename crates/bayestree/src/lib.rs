@@ -1,0 +1,58 @@
+//! # The Bayes tree: index-based anytime stream classification
+//!
+//! This crate is the core of the reproduction of *"Using Index Structures for
+//! Anytime Stream Mining"* (Kranen, VLDB 2009): the **Bayes tree**, an
+//! R*-tree–style index whose directory entries aggregate cluster features so
+//! that every frontier of the tree is a complete Gaussian mixture model of
+//! the training data.  Refining the frontier one node at a time turns
+//! Bayesian kernel-density classification into an *anytime* algorithm.
+//!
+//! The main entry points are:
+//!
+//! * [`tree::BayesTree`] — the index itself (incremental insertion via
+//!   [`insert`], bulk construction via [`bulk`]),
+//! * [`frontier::TreeFrontier`] — the anytime probability density query
+//!   (Definition 3) with the descent strategies of Section 2.2,
+//! * [`classifier::AnytimeClassifier`] — one tree per class, the qbk
+//!   refinement strategy and budgeted classification,
+//! * [`bulk`] — the bulk-loading strategies of Section 3 (Hilbert, Z-curve,
+//!   STR, Goldberger, EM top-down) and the iterative baseline,
+//! * [`multiclass::SingleTreeClassifier`] — the single-tree multi-class
+//!   variant sketched as future work in Section 4.1.
+//!
+//! ```
+//! use bayestree::{AnytimeClassifier, ClassifierConfig};
+//! use bt_data::synth::blobs::BlobConfig;
+//!
+//! let data = BlobConfig::new(3, 4).samples_per_class(60).seed(1).generate();
+//! let (train, test) = data.split_holdout(0.25, 7);
+//! let classifier = AnytimeClassifier::train(&train, &ClassifierConfig::default());
+//!
+//! // Interrupt after 15 node reads — the hallmark of an anytime algorithm is
+//! // that any budget yields a usable answer.
+//! let result = classifier.classify_with_budget(test.feature(0), 15);
+//! assert!(result.label < 3);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bulk;
+pub mod classifier;
+pub mod descent;
+pub mod frontier;
+pub mod insert;
+pub mod multiclass;
+pub mod node;
+pub mod pdq;
+pub mod qbk;
+pub mod tree;
+
+pub use bulk::{build_tree, BulkLoadMethod};
+pub use classifier::{AnytimeClassifier, AnytimeTrace, Classification, ClassifierConfig};
+pub use descent::{DescentStrategy, PriorityMeasure};
+pub use frontier::{FrontierElement, TreeFrontier};
+pub use multiclass::{SingleTreeClassifier, SingleTreeConfig};
+pub use node::{Entry, Node, NodeId, NodeKind};
+pub use qbk::{RefinementScheduler, RefinementStrategy};
+pub use tree::BayesTree;

@@ -1,0 +1,644 @@
+//! Single-tree multi-class variant (Section 4.1).
+//!
+//! Instead of one Bayes tree per class, the complete training data is stored
+//! in a *single* tree whose entries additionally record how many objects of
+//! each class live in their subtree.  A single descent then refines the
+//! models of several classes in parallel: every node read sharpens the
+//! class-conditional density of every class present in that subtree.
+//!
+//! Following the "variance pooling" option discussed in the paper, an entry
+//! stores one cluster feature over all objects of its subtree (so all classes
+//! share the entry's Gaussian shape) plus a per-class object count that
+//! splits the entry's weight across the classes.  Leaf observations keep
+//! their individual labels, so a fully refined frontier is exactly the same
+//! per-class kernel density model the per-class forest converges to.
+
+use crate::descent::{DescentStrategy, PriorityMeasure};
+use bt_index::rstar::{choose_subtree, rstar_split};
+use bt_index::{Mbr, PageGeometry};
+use bt_stats::bandwidth::silverman_bandwidth;
+use bt_stats::kernel::{GaussianKernel, Kernel};
+use bt_stats::ClusterFeature;
+use bt_data::Dataset;
+
+/// Arena index of a node in the single multi-class tree.
+type McNodeId = usize;
+
+/// A directory entry carrying the pooled cluster feature and the per-class
+/// object counts of its subtree.
+#[derive(Debug, Clone)]
+struct McEntry {
+    mbr: Mbr,
+    cf: ClusterFeature,
+    class_counts: Vec<f64>,
+    child: McNodeId,
+}
+
+impl McEntry {
+    fn absorb(&mut self, point: &[f64], label: usize) {
+        self.mbr.extend_point(point);
+        self.cf.insert(point);
+        self.class_counts[label] += 1.0;
+    }
+}
+
+#[derive(Debug, Clone)]
+enum McNodeKind {
+    Leaf { points: Vec<(Vec<f64>, usize)> },
+    Inner { entries: Vec<McEntry> },
+}
+
+#[derive(Debug, Clone)]
+struct McNode {
+    kind: McNodeKind,
+}
+
+/// Configuration of the single-tree classifier.
+#[derive(Debug, Clone)]
+pub struct SingleTreeConfig {
+    /// Fanout / leaf-capacity parameters; `None` derives them from a 4 KiB
+    /// page.
+    pub geometry: Option<PageGeometry>,
+    /// Descent strategy for the single shared frontier.
+    pub descent: DescentStrategy,
+    /// Whether the descent priority additionally weighs an entry by the
+    /// entropy of its class distribution (the paper's open question: "is it
+    /// favorable to include the class distribution into the decision?").
+    pub entropy_weighted_descent: bool,
+}
+
+impl Default for SingleTreeConfig {
+    fn default() -> Self {
+        Self {
+            geometry: None,
+            descent: DescentStrategy::default(),
+            entropy_weighted_descent: false,
+        }
+    }
+}
+
+/// The single-tree multi-class anytime classifier of Section 4.1.
+#[derive(Debug, Clone)]
+pub struct SingleTreeClassifier {
+    nodes: Vec<McNode>,
+    root: McNodeId,
+    dims: usize,
+    num_classes: usize,
+    class_totals: Vec<f64>,
+    priors: Vec<f64>,
+    bandwidth: Vec<f64>,
+    geometry: PageGeometry,
+    config: SingleTreeConfig,
+}
+
+impl SingleTreeClassifier {
+    /// Trains the classifier by iteratively inserting the whole data set into
+    /// one shared tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data set is empty.
+    #[must_use]
+    pub fn train(dataset: &Dataset, config: &SingleTreeConfig) -> Self {
+        assert!(!dataset.is_empty(), "cannot train on an empty data set");
+        let dims = dataset.dims();
+        let geometry = config
+            .geometry
+            .unwrap_or_else(|| PageGeometry::default_for_dims(dims));
+        let mut clf = Self {
+            nodes: vec![McNode {
+                kind: McNodeKind::Leaf { points: Vec::new() },
+            }],
+            root: 0,
+            dims,
+            num_classes: dataset.num_classes(),
+            class_totals: vec![0.0; dataset.num_classes()],
+            priors: dataset.class_priors(),
+            bandwidth: silverman_bandwidth(dataset.features(), dims),
+            geometry,
+            config: config.clone(),
+        };
+        for (x, &y) in dataset.iter() {
+            clf.insert(x.to_vec(), y);
+        }
+        clf
+    }
+
+    /// Number of stored observations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.class_totals.iter().sum::<f64>() as usize
+    }
+
+    /// Whether the classifier holds no observations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Inserts one labelled observation (online learning).
+    pub fn insert(&mut self, point: Vec<f64>, label: usize) {
+        assert!(label < self.num_classes, "label out of range");
+        assert_eq!(point.len(), self.dims, "point dimensionality mismatch");
+        let root = self.root;
+        if let Some((e1, e2)) = self.insert_rec(root, &point, label) {
+            let new_root = self.push_node(McNode {
+                kind: McNodeKind::Inner { entries: vec![e1, e2] },
+            });
+            self.root = new_root;
+        }
+        self.class_totals[label] += 1.0;
+        let total: f64 = self.class_totals.iter().sum();
+        for (p, &c) in self.priors.iter_mut().zip(&self.class_totals) {
+            *p = c / total;
+        }
+    }
+
+    /// Classifies `x` with a budget of `budget` node reads on the single
+    /// shared frontier.
+    #[must_use]
+    pub fn classify_with_budget(&self, x: &[f64], budget: usize) -> crate::Classification {
+        let labels = self.anytime_labels(x, budget, false);
+        crate::Classification {
+            label: labels.1,
+            posteriors: labels.2,
+            nodes_read: labels.0,
+        }
+    }
+
+    /// The decision after every node read up to `max_nodes`.
+    #[must_use]
+    pub fn anytime_trace(&self, x: &[f64], max_nodes: usize) -> Vec<usize> {
+        self.anytime_labels(x, max_nodes, true).3
+    }
+
+    fn anytime_labels(
+        &self,
+        x: &[f64],
+        budget: usize,
+        record: bool,
+    ) -> (usize, usize, Vec<f64>, Vec<usize>) {
+        assert_eq!(x.len(), self.dims, "query dimensionality mismatch");
+        let mut frontier = McFrontier::new(self, x);
+        let mut trace = Vec::new();
+        let mut posteriors = frontier.posteriors();
+        if record {
+            trace.push(argmax(&posteriors));
+        }
+        let mut reads = 0usize;
+        for _ in 0..budget {
+            if !frontier.refine() {
+                break;
+            }
+            reads += 1;
+            posteriors = frontier.posteriors();
+            if record {
+                trace.push(argmax(&posteriors));
+            }
+        }
+        (reads, argmax(&posteriors), posteriors, trace)
+    }
+
+    // -- construction ----------------------------------------------------
+
+    fn push_node(&mut self, node: McNode) -> McNodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    fn summarise(&self, child: McNodeId) -> McEntry {
+        match &self.nodes[child].kind {
+            McNodeKind::Leaf { points } => {
+                let mbr = Mbr::from_points(points.iter().map(|(p, _)| p.as_slice()))
+                    .expect("cannot summarise an empty node");
+                let cf =
+                    ClusterFeature::from_points(points.iter().map(|(p, _)| p.as_slice()), self.dims);
+                let mut class_counts = vec![0.0; self.num_classes];
+                for (_, l) in points {
+                    class_counts[*l] += 1.0;
+                }
+                McEntry {
+                    mbr,
+                    cf,
+                    class_counts,
+                    child,
+                }
+            }
+            McNodeKind::Inner { entries } => {
+                let mbr =
+                    Mbr::union_all(entries.iter().map(|e| &e.mbr)).expect("non-empty inner node");
+                let mut cf = ClusterFeature::empty(self.dims);
+                let mut class_counts = vec![0.0; self.num_classes];
+                for e in entries {
+                    cf.merge(&e.cf);
+                    for (acc, c) in class_counts.iter_mut().zip(&e.class_counts) {
+                        *acc += c;
+                    }
+                }
+                McEntry {
+                    mbr,
+                    cf,
+                    class_counts,
+                    child,
+                }
+            }
+        }
+    }
+
+    fn insert_rec(
+        &mut self,
+        node_id: McNodeId,
+        point: &[f64],
+        label: usize,
+    ) -> Option<(McEntry, McEntry)> {
+        let is_leaf = matches!(self.nodes[node_id].kind, McNodeKind::Leaf { .. });
+        if is_leaf {
+            if let McNodeKind::Leaf { points } = &mut self.nodes[node_id].kind {
+                points.push((point.to_vec(), label));
+            }
+            if self.node_len(node_id) > self.geometry.max_leaf {
+                return Some(self.split_leaf(node_id));
+            }
+            return None;
+        }
+        let (chosen, child) = {
+            let McNodeKind::Inner { entries } = &self.nodes[node_id].kind else {
+                unreachable!()
+            };
+            let mbrs: Vec<Mbr> = entries.iter().map(|e| e.mbr.clone()).collect();
+            let chosen = choose_subtree(&mbrs, point);
+            (chosen, entries[chosen].child)
+        };
+        let split = self.insert_rec(child, point, label);
+        if let McNodeKind::Inner { entries } = &mut self.nodes[node_id].kind {
+            match split {
+                None => entries[chosen].absorb(point, label),
+                Some((e1, e2)) => {
+                    entries[chosen] = e1;
+                    entries.push(e2);
+                }
+            }
+        }
+        if self.node_len(node_id) > self.geometry.max_fanout {
+            return Some(self.split_inner(node_id));
+        }
+        None
+    }
+
+    fn node_len(&self, node_id: McNodeId) -> usize {
+        match &self.nodes[node_id].kind {
+            McNodeKind::Leaf { points } => points.len(),
+            McNodeKind::Inner { entries } => entries.len(),
+        }
+    }
+
+    fn split_leaf(&mut self, node_id: McNodeId) -> (McEntry, McEntry) {
+        let points = match &mut self.nodes[node_id].kind {
+            McNodeKind::Leaf { points } => std::mem::take(points),
+            McNodeKind::Inner { .. } => unreachable!(),
+        };
+        let mbrs: Vec<Mbr> = points.iter().map(|(p, _)| Mbr::from_point(p)).collect();
+        let min = self.geometry.min_leaf.min(points.len() / 2).max(1);
+        let split = rstar_split(&mbrs, min);
+        let first: Vec<(Vec<f64>, usize)> =
+            split.first.iter().map(|&i| points[i].clone()).collect();
+        let second: Vec<(Vec<f64>, usize)> =
+            split.second.iter().map(|&i| points[i].clone()).collect();
+        self.nodes[node_id].kind = McNodeKind::Leaf { points: first };
+        let new_node = self.push_node(McNode {
+            kind: McNodeKind::Leaf { points: second },
+        });
+        (self.summarise(node_id), self.summarise(new_node))
+    }
+
+    fn split_inner(&mut self, node_id: McNodeId) -> (McEntry, McEntry) {
+        let entries = match &mut self.nodes[node_id].kind {
+            McNodeKind::Inner { entries } => std::mem::take(entries),
+            McNodeKind::Leaf { .. } => unreachable!(),
+        };
+        let mbrs: Vec<Mbr> = entries.iter().map(|e| e.mbr.clone()).collect();
+        let min = self.geometry.min_fanout.min(entries.len() / 2).max(1);
+        let split = rstar_split(&mbrs, min);
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for (i, e) in entries.into_iter().enumerate() {
+            if split.first.contains(&i) {
+                first.push(e);
+            } else {
+                second.push(e);
+            }
+        }
+        self.nodes[node_id].kind = McNodeKind::Inner { entries: first };
+        let new_node = self.push_node(McNode {
+            kind: McNodeKind::Inner { entries: second },
+        });
+        (self.summarise(node_id), self.summarise(new_node))
+    }
+}
+
+/// One element of the shared multi-class frontier: per-class density
+/// contributions plus the refinement metadata.
+struct McElement {
+    child: Option<McNodeId>,
+    per_class: Vec<f64>,
+    total_contribution: f64,
+    entropy: f64,
+    min_dist_sq: f64,
+    depth: usize,
+    seq: u64,
+}
+
+struct McFrontier<'a> {
+    clf: &'a SingleTreeClassifier,
+    query: Vec<f64>,
+    elements: Vec<McElement>,
+    per_class_density: Vec<f64>,
+    next_seq: u64,
+}
+
+impl<'a> McFrontier<'a> {
+    fn new(clf: &'a SingleTreeClassifier, query: &[f64]) -> Self {
+        let mut f = Self {
+            clf,
+            query: query.to_vec(),
+            elements: Vec::new(),
+            per_class_density: vec![0.0; clf.num_classes],
+            next_seq: 0,
+        };
+        match &clf.nodes[clf.root].kind {
+            McNodeKind::Inner { entries } => {
+                for (i, _) in entries.iter().enumerate() {
+                    f.push_entry(clf.root, i, 1);
+                }
+            }
+            McNodeKind::Leaf { points } => {
+                if !points.is_empty() {
+                    // Synthetic root entry over the leaf root.
+                    let entry = clf.summarise(clf.root);
+                    f.push_entry_value(&entry, 1);
+                }
+            }
+        }
+        f
+    }
+
+    fn posteriors(&self) -> Vec<f64> {
+        let joint: Vec<f64> = self
+            .per_class_density
+            .iter()
+            .zip(&self.clf.priors)
+            .map(|(d, p)| d.max(0.0) * p)
+            .collect();
+        let total: f64 = joint.iter().sum();
+        if total > 0.0 {
+            joint.iter().map(|j| j / total).collect()
+        } else {
+            self.clf.priors.clone()
+        }
+    }
+
+    fn refine(&mut self) -> bool {
+        let Some(idx) = self.select() else {
+            return false;
+        };
+        let element = self.elements.swap_remove(idx);
+        for (acc, c) in self.per_class_density.iter_mut().zip(&element.per_class) {
+            *acc -= c;
+        }
+        let child = element.child.expect("selected element is refinable");
+        let depth = element.depth + 1;
+        match &self.clf.nodes[child].kind {
+            McNodeKind::Inner { entries } => {
+                for (i, _) in entries.iter().enumerate() {
+                    self.push_entry(child, i, depth);
+                }
+            }
+            McNodeKind::Leaf { points } => {
+                for (p, l) in points {
+                    self.push_kernel(p, *l, depth);
+                }
+            }
+        }
+        true
+    }
+
+    fn select(&self) -> Option<usize> {
+        let refinable = self
+            .elements
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.child.is_some());
+        let entropy_weight = self.clf.config.entropy_weighted_descent;
+        match self.clf.config.descent {
+            DescentStrategy::BreadthFirst => refinable
+                .min_by(|(_, a), (_, b)| a.depth.cmp(&b.depth).then(a.seq.cmp(&b.seq)))
+                .map(|(i, _)| i),
+            DescentStrategy::DepthFirst => refinable
+                .max_by(|(_, a), (_, b)| a.depth.cmp(&b.depth).then(a.seq.cmp(&b.seq)))
+                .map(|(i, _)| i),
+            DescentStrategy::GlobalBest(PriorityMeasure::Geometric) => refinable
+                .min_by(|(_, a), (_, b)| {
+                    a.min_dist_sq
+                        .partial_cmp(&b.min_dist_sq)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(i, _)| i),
+            DescentStrategy::GlobalBest(PriorityMeasure::Probabilistic) => refinable
+                .max_by(|(_, a), (_, b)| {
+                    let pa = a.total_contribution * if entropy_weight { 1.0 + a.entropy } else { 1.0 };
+                    let pb = b.total_contribution * if entropy_weight { 1.0 + b.entropy } else { 1.0 };
+                    pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(i, _)| i),
+        }
+    }
+
+    fn push_entry(&mut self, node: McNodeId, entry_idx: usize, depth: usize) {
+        let McNodeKind::Inner { entries } = &self.clf.nodes[node].kind else {
+            unreachable!("push_entry called for a leaf node");
+        };
+        let entry = entries[entry_idx].clone();
+        self.push_entry_value(&entry, depth);
+    }
+
+    fn push_entry_value(&mut self, entry: &McEntry, depth: usize) {
+        let gaussian = entry.cf.to_gaussian();
+        let g = gaussian.pdf(&self.query);
+        let per_class: Vec<f64> = entry
+            .class_counts
+            .iter()
+            .zip(&self.clf.class_totals)
+            .map(|(count, total)| if *total > 0.0 { count / total * g } else { 0.0 })
+            .collect();
+        let total_contribution: f64 = per_class
+            .iter()
+            .zip(&self.clf.priors)
+            .map(|(d, p)| d * p)
+            .sum();
+        for (acc, c) in self.per_class_density.iter_mut().zip(&per_class) {
+            *acc += c;
+        }
+        let entropy = class_entropy(&entry.class_counts);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.elements.push(McElement {
+            child: Some(entry.child),
+            per_class,
+            total_contribution,
+            entropy,
+            min_dist_sq: entry.mbr.min_dist_sq(&self.query),
+            depth,
+            seq,
+        });
+    }
+
+    fn push_kernel(&mut self, point: &[f64], label: usize, depth: usize) {
+        let kernel = GaussianKernel;
+        let density = kernel.density(point, &self.query, &self.clf.bandwidth);
+        let mut per_class = vec![0.0; self.clf.num_classes];
+        if self.clf.class_totals[label] > 0.0 {
+            per_class[label] = density / self.clf.class_totals[label];
+        }
+        let total_contribution = per_class[label] * self.clf.priors[label];
+        self.per_class_density[label] += per_class[label];
+        let min_dist_sq: f64 = point
+            .iter()
+            .zip(&self.query)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.elements.push(McElement {
+            child: None,
+            per_class,
+            total_contribution,
+            entropy: 0.0,
+            min_dist_sq,
+            depth,
+            seq,
+        });
+    }
+}
+
+/// Shannon entropy (in nats) of a count vector, used by the
+/// entropy-weighted descent option.
+fn class_entropy(counts: &[f64]) -> f64 {
+    let total: f64 = counts.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    counts
+        .iter()
+        .filter(|&&c| c > 0.0)
+        .map(|&c| {
+            let p = c / total;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+fn argmax(values: &[f64]) -> usize {
+    let mut best = 0;
+    let mut best_v = f64::NEG_INFINITY;
+    for (i, &v) in values.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_data::synth::blobs::BlobConfig;
+
+    fn dataset() -> Dataset {
+        BlobConfig::new(3, 4)
+            .samples_per_class(70)
+            .seed(21)
+            .generate()
+    }
+
+    #[test]
+    fn training_stores_every_observation() {
+        let data = dataset();
+        let clf = SingleTreeClassifier::train(&data, &SingleTreeConfig::default());
+        assert_eq!(clf.len(), data.len());
+        assert_eq!(clf.num_classes(), 3);
+    }
+
+    #[test]
+    fn classification_is_accurate_on_easy_data() {
+        let data = dataset();
+        let (train, test) = data.split_holdout(0.3, 5);
+        let clf = SingleTreeClassifier::train(&train, &SingleTreeConfig::default());
+        let mut correct = 0;
+        for (x, &y) in test.iter() {
+            if clf.classify_with_budget(x, 20).label == y {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / test.len() as f64;
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn posteriors_are_normalised() {
+        let data = dataset();
+        let clf = SingleTreeClassifier::train(&data, &SingleTreeConfig::default());
+        let c = clf.classify_with_budget(data.feature(0), 10);
+        let sum: f64 = c.posteriors.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_starts_at_root_model() {
+        let data = dataset();
+        let clf = SingleTreeClassifier::train(&data, &SingleTreeConfig::default());
+        let trace = clf.anytime_trace(data.feature(1), 12);
+        assert!(!trace.is_empty());
+        assert!(trace.len() <= 13);
+    }
+
+    #[test]
+    fn entropy_weighted_descent_still_classifies() {
+        let data = dataset();
+        let (train, test) = data.split_holdout(0.3, 6);
+        let config = SingleTreeConfig {
+            entropy_weighted_descent: true,
+            ..SingleTreeConfig::default()
+        };
+        let clf = SingleTreeClassifier::train(&train, &config);
+        let mut correct = 0;
+        for (x, &y) in test.iter() {
+            if clf.classify_with_budget(x, 20).label == y {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / test.len() as f64 > 0.8);
+    }
+
+    #[test]
+    fn online_insert_updates_priors() {
+        let data = dataset();
+        let mut clf = SingleTreeClassifier::train(&data, &SingleTreeConfig::default());
+        for _ in 0..50 {
+            clf.insert(data.feature(0).to_vec(), 2);
+        }
+        assert!(clf.priors[2] > 1.0 / 3.0);
+    }
+
+    #[test]
+    fn class_entropy_is_zero_for_pure_nodes() {
+        assert_eq!(class_entropy(&[5.0, 0.0, 0.0]), 0.0);
+        assert!(class_entropy(&[5.0, 5.0]) > 0.6);
+    }
+}

@@ -1,0 +1,289 @@
+//! Nodes and entries of the Bayes tree.
+//!
+//! Definition 1 of the paper: an entry `e_s` stores the minimum bounding
+//! rectangle of the objects in its subtree, a pointer to the subtree, and the
+//! cluster feature `CF = (n_s, LS, SS)` of those objects.  From the CF the
+//! mean and variance of the subtree's Gaussian are derived, which is what
+//! makes every *frontier* of entries a complete Gaussian mixture model.
+//!
+//! Nodes live in an arena owned by [`crate::tree::BayesTree`]; entries refer
+//! to their child node by arena index.  This sidesteps the aliasing issues a
+//! pointer-based tree would raise and keeps nodes contiguous in memory.
+
+use bt_index::Mbr;
+use bt_stats::{ClusterFeature, DiagGaussian};
+
+/// Arena index of a node within its tree.
+pub type NodeId = usize;
+
+/// A directory entry: the aggregated description of one subtree
+/// (Definition 1).
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Minimum bounding rectangle of all objects stored below this entry.
+    pub mbr: Mbr,
+    /// Cluster feature `(n, LS, SS)` of all objects stored below this entry.
+    pub cf: ClusterFeature,
+    /// Arena index of the child node.
+    pub child: NodeId,
+}
+
+impl Entry {
+    /// Number of objects summarised by this entry.
+    #[must_use]
+    pub fn weight(&self) -> f64 {
+        self.cf.weight()
+    }
+
+    /// The Gaussian `N(LS/n, SS/n - (LS/n)^2)` this entry contributes to any
+    /// mixture model containing it.
+    #[must_use]
+    pub fn gaussian(&self) -> DiagGaussian {
+        self.cf.to_gaussian()
+    }
+
+    /// Absorbs a single new point into the entry's summary (used on the
+    /// insertion path: every ancestor entry of the target leaf is updated).
+    pub fn absorb_point(&mut self, point: &[f64]) {
+        self.mbr.extend_point(point);
+        self.cf.insert(point);
+    }
+}
+
+/// The payload of a node: either raw observations (leaf) or entries (inner).
+#[derive(Debug, Clone)]
+pub enum NodeKind {
+    /// A leaf node storing the training observations (d-dimensional kernels).
+    Leaf {
+        /// The kernel centres stored in this leaf.
+        points: Vec<Vec<f64>>,
+    },
+    /// An inner (directory) node storing between `m` and `M` entries.
+    Inner {
+        /// The entries of this node.
+        entries: Vec<Entry>,
+    },
+}
+
+/// One node of the Bayes tree.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The node's payload.
+    pub kind: NodeKind,
+}
+
+impl Node {
+    /// Creates an empty leaf node.
+    #[must_use]
+    pub fn empty_leaf() -> Self {
+        Self {
+            kind: NodeKind::Leaf { points: Vec::new() },
+        }
+    }
+
+    /// Creates a leaf node holding `points`.
+    #[must_use]
+    pub fn leaf(points: Vec<Vec<f64>>) -> Self {
+        Self {
+            kind: NodeKind::Leaf { points },
+        }
+    }
+
+    /// Creates an inner node holding `entries`.
+    #[must_use]
+    pub fn inner(entries: Vec<Entry>) -> Self {
+        Self {
+            kind: NodeKind::Inner { entries },
+        }
+    }
+
+    /// Whether this node is a leaf.
+    #[must_use]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.kind, NodeKind::Leaf { .. })
+    }
+
+    /// Number of entries (inner node) or observations (leaf node).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.kind {
+            NodeKind::Leaf { points } => points.len(),
+            NodeKind::Inner { entries } => entries.len(),
+        }
+    }
+
+    /// Whether the node holds nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The entries of an inner node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a leaf node.
+    #[must_use]
+    pub fn entries(&self) -> &[Entry] {
+        match &self.kind {
+            NodeKind::Inner { entries } => entries,
+            NodeKind::Leaf { .. } => panic!("entries() called on a leaf node"),
+        }
+    }
+
+    /// Mutable access to the entries of an inner node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a leaf node.
+    #[must_use]
+    pub fn entries_mut(&mut self) -> &mut Vec<Entry> {
+        match &mut self.kind {
+            NodeKind::Inner { entries } => entries,
+            NodeKind::Leaf { .. } => panic!("entries_mut() called on a leaf node"),
+        }
+    }
+
+    /// The observations of a leaf node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on an inner node.
+    #[must_use]
+    pub fn points(&self) -> &[Vec<f64>] {
+        match &self.kind {
+            NodeKind::Leaf { points } => points,
+            NodeKind::Inner { .. } => panic!("points() called on an inner node"),
+        }
+    }
+
+    /// Mutable access to the observations of a leaf node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on an inner node.
+    #[must_use]
+    pub fn points_mut(&mut self) -> &mut Vec<Vec<f64>> {
+        match &mut self.kind {
+            NodeKind::Leaf { points } => points,
+            NodeKind::Inner { .. } => panic!("points_mut() called on an inner node"),
+        }
+    }
+
+    /// The MBR of everything stored in this node, or `None` when empty.
+    #[must_use]
+    pub fn mbr(&self) -> Option<Mbr> {
+        match &self.kind {
+            NodeKind::Leaf { points } => Mbr::from_points(points.iter().map(Vec::as_slice)),
+            NodeKind::Inner { entries } => Mbr::union_all(entries.iter().map(|e| &e.mbr)),
+        }
+    }
+
+    /// The cluster feature of everything stored in this node.
+    #[must_use]
+    pub fn cluster_feature(&self, dims: usize) -> ClusterFeature {
+        match &self.kind {
+            NodeKind::Leaf { points } => {
+                ClusterFeature::from_points(points.iter().map(Vec::as_slice), dims)
+            }
+            NodeKind::Inner { entries } => {
+                let mut cf = ClusterFeature::empty(dims);
+                for e in entries {
+                    cf.merge(&e.cf);
+                }
+                cf
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_accessors() {
+        let node = Node::leaf(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert!(node.is_leaf());
+        assert_eq!(node.len(), 2);
+        assert_eq!(node.points().len(), 2);
+        let mbr = node.mbr().unwrap();
+        assert_eq!(mbr.lower(), &[1.0, 2.0][..]);
+        assert_eq!(mbr.upper(), &[3.0, 4.0][..]);
+    }
+
+    #[test]
+    fn leaf_cluster_feature_matches_points() {
+        let node = Node::leaf(vec![vec![0.0], vec![2.0]]);
+        let cf = node.cluster_feature(1);
+        assert_eq!(cf.weight(), 2.0);
+        assert_eq!(cf.mean(), vec![1.0]);
+    }
+
+    #[test]
+    fn inner_cluster_feature_merges_entries() {
+        let e1 = Entry {
+            mbr: Mbr::from_point(&[0.0]),
+            cf: ClusterFeature::from_point(&[0.0]),
+            child: 1,
+        };
+        let e2 = Entry {
+            mbr: Mbr::from_point(&[4.0]),
+            cf: ClusterFeature::from_point(&[4.0]),
+            child: 2,
+        };
+        let node = Node::inner(vec![e1, e2]);
+        assert!(!node.is_leaf());
+        let cf = node.cluster_feature(1);
+        assert_eq!(cf.weight(), 2.0);
+        assert_eq!(cf.mean(), vec![2.0]);
+    }
+
+    #[test]
+    fn entry_absorb_point_updates_both_summaries() {
+        let mut entry = Entry {
+            mbr: Mbr::from_point(&[1.0, 1.0]),
+            cf: ClusterFeature::from_point(&[1.0, 1.0]),
+            child: 0,
+        };
+        entry.absorb_point(&[3.0, 0.0]);
+        assert_eq!(entry.weight(), 2.0);
+        assert!(entry.mbr.contains_point(&[3.0, 0.0]));
+        assert_eq!(entry.cf.mean(), vec![2.0, 0.5]);
+    }
+
+    #[test]
+    fn entry_gaussian_comes_from_cf() {
+        let mut cf = ClusterFeature::from_point(&[0.0]);
+        cf.insert(&[2.0]);
+        let entry = Entry {
+            mbr: Mbr::from_point(&[0.0]),
+            cf,
+            child: 0,
+        };
+        let g = entry.gaussian();
+        assert_eq!(g.mean(), &[1.0][..]);
+        assert!((g.variance()[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf node")]
+    fn entries_on_leaf_panics() {
+        let node = Node::leaf(vec![]);
+        let _ = node.entries();
+    }
+
+    #[test]
+    #[should_panic(expected = "inner node")]
+    fn points_on_inner_panics() {
+        let node = Node::inner(vec![]);
+        let _ = node.points();
+    }
+
+    #[test]
+    fn empty_leaf_has_no_mbr() {
+        let node = Node::empty_leaf();
+        assert!(node.is_empty());
+        assert!(node.mbr().is_none());
+    }
+}

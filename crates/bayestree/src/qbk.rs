@@ -1,0 +1,205 @@
+//! Refinement (improvement) strategies across the per-class trees.
+//!
+//! One Bayes tree is built per class, so in each time step the classifier
+//! must decide *which class's* model to refine next.  The paper's extensive
+//! experiments found refining the `k` currently most probable classes in
+//! turns (`qbk`) to perform best, with `k = min{2, floor(log2 m)}` for `m`
+//! classes; the evaluation of Section 3.2 uses `k = 2` throughout.
+//! Round-robin over all classes and always refining the single most probable
+//! class are provided as ablation baselines.
+
+/// Strategy for choosing which class tree refines its model next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RefinementStrategy {
+    /// Refine the `k` most probable classes in turns (`qbk`).  `k = None`
+    /// uses the paper's rule `min(2, floor(log2 m)).max(1)`.
+    Qbk {
+        /// Number of candidate classes; `None` selects the paper's default.
+        k: Option<usize>,
+    },
+    /// Refine every class in a fixed round-robin order.
+    RoundRobin,
+    /// Always refine the currently most probable class.
+    MostProbable,
+}
+
+impl Default for RefinementStrategy {
+    fn default() -> Self {
+        RefinementStrategy::Qbk { k: None }
+    }
+}
+
+impl RefinementStrategy {
+    /// The paper's default `k` for `num_classes` classes.
+    #[must_use]
+    pub fn default_k(num_classes: usize) -> usize {
+        let log = (num_classes.max(1) as f64).log2().floor() as usize;
+        log.clamp(1, 2)
+    }
+
+    /// Short identifier used in reports.
+    #[must_use]
+    pub fn short_name(&self) -> String {
+        match self {
+            RefinementStrategy::Qbk { k: None } => "qbk".to_string(),
+            RefinementStrategy::Qbk { k: Some(k) } => format!("qb{k}"),
+            RefinementStrategy::RoundRobin => "rr".to_string(),
+            RefinementStrategy::MostProbable => "top1".to_string(),
+        }
+    }
+}
+
+/// Round-based scheduler implementing the refinement strategies.
+///
+/// The scheduler is fed the current per-class posterior scores and which
+/// class trees can still be refined, and answers with the class whose tree
+/// should spend the next node read.
+#[derive(Debug, Clone)]
+pub struct RefinementScheduler {
+    strategy: RefinementStrategy,
+    num_classes: usize,
+    turn: usize,
+}
+
+impl RefinementScheduler {
+    /// Creates a scheduler for `num_classes` classes.
+    #[must_use]
+    pub fn new(strategy: RefinementStrategy, num_classes: usize) -> Self {
+        Self {
+            strategy,
+            num_classes,
+            turn: 0,
+        }
+    }
+
+    /// The effective `k` used by the qbk strategy.
+    #[must_use]
+    pub fn effective_k(&self) -> usize {
+        match self.strategy {
+            RefinementStrategy::Qbk { k } => k
+                .unwrap_or_else(|| RefinementStrategy::default_k(self.num_classes))
+                .clamp(1, self.num_classes.max(1)),
+            RefinementStrategy::RoundRobin => self.num_classes,
+            RefinementStrategy::MostProbable => 1,
+        }
+    }
+
+    /// Chooses the class to refine next, or `None` when no class is
+    /// refinable.
+    ///
+    /// `scores[c]` is the current (unnormalised) posterior of class `c`;
+    /// `refinable[c]` says whether that class's frontier can still be
+    /// refined.
+    pub fn next_class(&mut self, scores: &[f64], refinable: &[bool]) -> Option<usize> {
+        debug_assert_eq!(scores.len(), self.num_classes);
+        debug_assert_eq!(refinable.len(), self.num_classes);
+        if !refinable.iter().any(|&r| r) {
+            return None;
+        }
+        let choice = match self.strategy {
+            RefinementStrategy::RoundRobin => {
+                // Walk from the current turn to the next refinable class.
+                (0..self.num_classes)
+                    .map(|offset| (self.turn + offset) % self.num_classes)
+                    .find(|&c| refinable[c])
+            }
+            RefinementStrategy::MostProbable => best_refinable(scores, refinable, 1).first().copied(),
+            RefinementStrategy::Qbk { .. } => {
+                let k = self.effective_k();
+                let candidates = best_refinable(scores, refinable, k);
+                if candidates.is_empty() {
+                    None
+                } else {
+                    Some(candidates[self.turn % candidates.len()])
+                }
+            }
+        };
+        if choice.is_some() {
+            self.turn = self.turn.wrapping_add(1);
+        }
+        choice
+    }
+}
+
+/// The (up to) `k` refinable classes with the highest scores, best first.
+fn best_refinable(scores: &[f64], refinable: &[bool], k: usize) -> Vec<usize> {
+    let mut candidates: Vec<usize> = (0..scores.len()).filter(|&c| refinable[c]).collect();
+    candidates.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    candidates.truncate(k.max(1));
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_k_follows_the_paper() {
+        assert_eq!(RefinementStrategy::default_k(2), 1);
+        assert_eq!(RefinementStrategy::default_k(4), 2);
+        assert_eq!(RefinementStrategy::default_k(10), 2);
+        assert_eq!(RefinementStrategy::default_k(26), 2);
+        assert_eq!(RefinementStrategy::default_k(1), 1);
+    }
+
+    #[test]
+    fn qbk_alternates_between_top_two() {
+        let mut sched = RefinementScheduler::new(RefinementStrategy::Qbk { k: Some(2) }, 4);
+        let scores = [0.1, 0.5, 0.3, 0.05];
+        let refinable = [true; 4];
+        let picks: Vec<usize> = (0..4)
+            .map(|_| sched.next_class(&scores, &refinable).unwrap())
+            .collect();
+        // Top-2 classes are 1 and 2; picks alternate between them.
+        assert_eq!(picks, vec![1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn most_probable_always_picks_the_best() {
+        let mut sched = RefinementScheduler::new(RefinementStrategy::MostProbable, 3);
+        let scores = [0.2, 0.7, 0.1];
+        let refinable = [true, true, true];
+        for _ in 0..3 {
+            assert_eq!(sched.next_class(&scores, &refinable), Some(1));
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_over_refinable_classes() {
+        let mut sched = RefinementScheduler::new(RefinementStrategy::RoundRobin, 3);
+        let scores = [0.0, 0.0, 0.0];
+        let refinable = [true, false, true];
+        let picks: Vec<usize> = (0..4)
+            .map(|_| sched.next_class(&scores, &refinable).unwrap())
+            .collect();
+        assert_eq!(picks, vec![0, 2, 2, 0]);
+    }
+
+    #[test]
+    fn exhausted_frontiers_are_skipped() {
+        let mut sched = RefinementScheduler::new(RefinementStrategy::Qbk { k: Some(2) }, 3);
+        let scores = [0.9, 0.05, 0.05];
+        let refinable = [false, true, true];
+        let pick = sched.next_class(&scores, &refinable).unwrap();
+        assert_ne!(pick, 0);
+    }
+
+    #[test]
+    fn no_refinable_class_returns_none() {
+        let mut sched = RefinementScheduler::new(RefinementStrategy::default(), 2);
+        assert_eq!(sched.next_class(&[0.5, 0.5], &[false, false]), None);
+    }
+
+    #[test]
+    fn short_names() {
+        assert_eq!(RefinementStrategy::Qbk { k: None }.short_name(), "qbk");
+        assert_eq!(RefinementStrategy::Qbk { k: Some(3) }.short_name(), "qb3");
+        assert_eq!(RefinementStrategy::RoundRobin.short_name(), "rr");
+        assert_eq!(RefinementStrategy::MostProbable.short_name(), "top1");
+    }
+}

@@ -1,0 +1,466 @@
+//! The Bayes tree structure (Definition 2).
+//!
+//! A Bayes tree with fanout parameters `(m, M)` and leaf capacity `(l, L)` is
+//! a balanced multidimensional index whose inner entries additionally carry
+//! cluster features, so that every level — and more generally every frontier
+//! — stores a complete Gaussian mixture model of the entire data at some
+//! granularity.
+//!
+//! Nodes are kept in an arena ([`Vec<Node>`]); the tree owns the arena and
+//! hands out [`NodeId`]s.  The structure is built either incrementally
+//! ([`crate::insert`]) or by one of the bulk loaders ([`crate::bulk`]).
+
+use crate::node::{Entry, Node, NodeId, NodeKind};
+use bt_index::PageGeometry;
+use bt_stats::bandwidth::silverman_bandwidth;
+use bt_stats::kernel::{GaussianKernel, Kernel};
+
+/// The Bayes tree: an R*-tree–style hierarchy of Gaussian mixture models.
+#[derive(Debug, Clone)]
+pub struct BayesTree {
+    dims: usize,
+    geometry: PageGeometry,
+    nodes: Vec<Node>,
+    root: NodeId,
+    num_points: usize,
+    height: usize,
+    bandwidth: Vec<f64>,
+}
+
+impl BayesTree {
+    /// Creates an empty tree for `dims`-dimensional kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims == 0`.
+    #[must_use]
+    pub fn new(dims: usize, geometry: PageGeometry) -> Self {
+        assert!(dims > 0, "dimensionality must be positive");
+        Self {
+            dims,
+            geometry,
+            nodes: vec![Node::empty_leaf()],
+            root: 0,
+            num_points: 0,
+            height: 1,
+            bandwidth: vec![1.0; dims],
+        }
+    }
+
+    /// Dimensionality of the stored kernels.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Fanout / leaf-capacity parameters of the tree.
+    #[must_use]
+    pub fn geometry(&self) -> PageGeometry {
+        self.geometry
+    }
+
+    /// Number of stored observations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.num_points
+    }
+
+    /// Whether the tree stores no observations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.num_points == 0
+    }
+
+    /// Height of the tree (a single leaf root has height 1).
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The per-dimension kernel bandwidth used for leaf-level kernels.
+    #[must_use]
+    pub fn bandwidth(&self) -> &[f64] {
+        &self.bandwidth
+    }
+
+    /// Overrides the kernel bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth vector has the wrong dimensionality or a
+    /// non-positive component.
+    pub fn set_bandwidth(&mut self, bandwidth: Vec<f64>) {
+        assert_eq!(bandwidth.len(), self.dims, "bandwidth dimensionality mismatch");
+        assert!(
+            bandwidth.iter().all(|h| *h > 0.0),
+            "bandwidths must be positive"
+        );
+        self.bandwidth = bandwidth;
+    }
+
+    /// Recomputes the kernel bandwidth with Silverman's rule over all stored
+    /// observations (the paper's data-independent default).
+    pub fn fit_bandwidth(&mut self) {
+        let points = self.all_points();
+        if !points.is_empty() {
+            self.bandwidth = silverman_bandwidth(&points, self.dims);
+        }
+    }
+
+    /// The arena index of the root node.
+    #[must_use]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Read access to a node.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Number of nodes reachable from the root.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.collect_reachable().len()
+    }
+
+    /// All observations stored at leaf level (in arbitrary order).
+    #[must_use]
+    pub fn all_points(&self) -> Vec<Vec<f64>> {
+        let mut out = Vec::with_capacity(self.num_points);
+        for id in self.collect_reachable() {
+            if let NodeKind::Leaf { points } = &self.nodes[id].kind {
+                out.extend(points.iter().cloned());
+            }
+        }
+        out
+    }
+
+    /// The entries the anytime descent starts from: the root's entries, or a
+    /// synthetic single entry summarising the root when the root is a leaf.
+    #[must_use]
+    pub fn root_entries(&self) -> Vec<Entry> {
+        match &self.nodes[self.root].kind {
+            NodeKind::Inner { entries } => entries.clone(),
+            NodeKind::Leaf { points } => {
+                if points.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![self.summarise(self.root)]
+                }
+            }
+        }
+    }
+
+    /// Builds the entry (MBR + CF + pointer) describing `child`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `child` is empty.
+    #[must_use]
+    pub fn summarise(&self, child: NodeId) -> Entry {
+        let node = &self.nodes[child];
+        let mbr = node.mbr().expect("cannot summarise an empty node");
+        let cf = node.cluster_feature(self.dims);
+        Entry { mbr, cf, child }
+    }
+
+    /// Evaluates the full kernel density estimate `p(x)` by reading every
+    /// leaf kernel — the model the anytime frontier converges to.
+    #[must_use]
+    pub fn full_kernel_density(&self, x: &[f64]) -> f64 {
+        if self.num_points == 0 {
+            return 0.0;
+        }
+        let kernel = GaussianKernel;
+        let mut acc = 0.0;
+        for id in self.collect_reachable() {
+            if let NodeKind::Leaf { points } = &self.nodes[id].kind {
+                for p in points {
+                    acc += kernel.density(p, x, &self.bandwidth);
+                }
+            }
+        }
+        acc / self.num_points as f64
+    }
+
+    /// The complete mixture model stored at tree level `level` (0 = root
+    /// entries), as `(weight, gaussian)`-style entries.
+    ///
+    /// Level `height - 1` (and anything deeper) returns one entry per leaf
+    /// node; levels beyond the directory return leaf-node summaries rather
+    /// than raw kernels.
+    #[must_use]
+    pub fn level_entries(&self, level: usize) -> Vec<Entry> {
+        let mut current = self.root_entries();
+        for _ in 0..level {
+            let mut next = Vec::new();
+            let mut expanded_any = false;
+            for e in &current {
+                match &self.nodes[e.child].kind {
+                    NodeKind::Inner { entries } => {
+                        next.extend(entries.iter().cloned());
+                        expanded_any = true;
+                    }
+                    NodeKind::Leaf { .. } => next.push(e.clone()),
+                }
+            }
+            current = next;
+            if !expanded_any {
+                break;
+            }
+        }
+        current
+    }
+
+    /// Validates the structural invariants of Definition 2 plus the
+    /// consistency of the aggregated statistics.  Returns a description of
+    /// the first violation found.
+    ///
+    /// `require_balanced` should be `true` for iteratively built and
+    /// bottom-up bulk-loaded trees; the EM top-down bulk load may legally
+    /// produce an unbalanced tree (Section 3.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with a human-readable description of the violated
+    /// invariant.
+    pub fn validate(&self, require_balanced: bool) -> Result<(), String> {
+        let mut leaf_depths = Vec::new();
+        let mut seen_points = 0usize;
+        self.validate_node(self.root, 1, true, &mut leaf_depths, &mut seen_points)?;
+        if seen_points != self.num_points {
+            return Err(format!(
+                "tree claims {} points but {} are reachable",
+                self.num_points, seen_points
+            ));
+        }
+        if require_balanced {
+            if let (Some(min), Some(max)) =
+                (leaf_depths.iter().min(), leaf_depths.iter().max())
+            {
+                if min != max {
+                    return Err(format!(
+                        "tree is not balanced: leaf depths range from {min} to {max}"
+                    ));
+                }
+                if *max != self.height {
+                    return Err(format!(
+                        "stored height {} does not match actual depth {max}",
+                        self.height
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_node(
+        &self,
+        id: NodeId,
+        depth: usize,
+        is_root: bool,
+        leaf_depths: &mut Vec<usize>,
+        seen_points: &mut usize,
+    ) -> Result<(), String> {
+        let node = &self.nodes[id];
+        match &node.kind {
+            NodeKind::Leaf { points } => {
+                leaf_depths.push(depth);
+                *seen_points += points.len();
+                if !is_root && points.len() > self.geometry.max_leaf {
+                    return Err(format!(
+                        "leaf {id} holds {} observations, capacity is {}",
+                        points.len(),
+                        self.geometry.max_leaf
+                    ));
+                }
+                for p in points {
+                    if p.len() != self.dims {
+                        return Err(format!("leaf {id} holds a point of wrong dimensionality"));
+                    }
+                }
+                Ok(())
+            }
+            NodeKind::Inner { entries } => {
+                if entries.is_empty() {
+                    return Err(format!("inner node {id} has no entries"));
+                }
+                if entries.len() > self.geometry.max_fanout {
+                    return Err(format!(
+                        "inner node {id} has {} entries, fanout limit is {}",
+                        entries.len(),
+                        self.geometry.max_fanout
+                    ));
+                }
+                if !is_root && entries.len() < self.geometry.min_fanout.min(2) {
+                    return Err(format!(
+                        "inner node {id} has {} entries, below the minimum",
+                        entries.len()
+                    ));
+                }
+                for (i, entry) in entries.iter().enumerate() {
+                    let child = &self.nodes[entry.child];
+                    // MBR must contain the child's MBR.
+                    if let Some(child_mbr) = child.mbr() {
+                        if !entry.mbr.contains_mbr(&child_mbr) {
+                            return Err(format!(
+                                "entry {i} of node {id} does not contain its child's MBR"
+                            ));
+                        }
+                    }
+                    // CF weight must match the number of objects below.
+                    let child_cf = child.cluster_feature(self.dims);
+                    if (entry.cf.weight() - child_cf.weight()).abs() > 1e-6 {
+                        return Err(format!(
+                            "entry {i} of node {id} claims {} objects, child holds {}",
+                            entry.cf.weight(),
+                            child_cf.weight()
+                        ));
+                    }
+                    for d in 0..self.dims {
+                        if (entry.cf.linear_sum()[d] - child_cf.linear_sum()[d]).abs()
+                            > 1e-4 * (1.0 + child_cf.linear_sum()[d].abs())
+                        {
+                            return Err(format!(
+                                "entry {i} of node {id}: LS[{d}] inconsistent with child"
+                            ));
+                        }
+                    }
+                    self.validate_node(entry.child, depth + 1, false, leaf_depths, seen_points)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Crate-internal construction helpers (used by insert and bulk).
+    // ------------------------------------------------------------------
+
+    /// Adds a node to the arena and returns its id.
+    pub(crate) fn push_node(&mut self, node: Node) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Mutable access to a node.
+    pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id]
+    }
+
+    /// Replaces the root node id and height (used by bulk loaders).
+    pub(crate) fn set_root(&mut self, root: NodeId, height: usize) {
+        self.root = root;
+        self.height = height;
+    }
+
+    /// Sets the stored observation count (used by bulk loaders).
+    pub(crate) fn set_num_points(&mut self, n: usize) {
+        self.num_points = n;
+    }
+
+    /// Increments the stored observation count (used by insertion).
+    pub(crate) fn increment_points(&mut self) {
+        self.num_points += 1;
+    }
+
+    /// Maximum leaf depth below `node` (a leaf has depth 1).  Used by the
+    /// bulk loaders to record the height of a freshly assembled tree.
+    pub(crate) fn measure_depth(&self, node: NodeId) -> usize {
+        match &self.nodes[node].kind {
+            NodeKind::Leaf { .. } => 1,
+            NodeKind::Inner { entries } => {
+                1 + entries
+                    .iter()
+                    .map(|e| self.measure_depth(e.child))
+                    .max()
+                    .unwrap_or(0)
+            }
+        }
+    }
+
+    fn collect_reachable(&self) -> Vec<NodeId> {
+        let mut stack = vec![self.root];
+        let mut out = Vec::new();
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            if let NodeKind::Inner { entries } = &self.nodes[id].kind {
+                for e in entries {
+                    stack.push(e.child);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> PageGeometry {
+        PageGeometry::from_fanout(4, 4)
+    }
+
+    #[test]
+    fn empty_tree_basics() {
+        let tree = BayesTree::new(3, geometry());
+        assert_eq!(tree.dims(), 3);
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 1);
+        assert_eq!(tree.num_nodes(), 1);
+        assert!(tree.root_entries().is_empty());
+        assert_eq!(tree.full_kernel_density(&[0.0, 0.0, 0.0]), 0.0);
+        assert!(tree.validate(true).is_ok());
+    }
+
+    #[test]
+    fn set_bandwidth_validates() {
+        let mut tree = BayesTree::new(2, geometry());
+        tree.set_bandwidth(vec![0.5, 0.25]);
+        assert_eq!(tree.bandwidth(), &[0.5, 0.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth dimensionality mismatch")]
+    fn wrong_bandwidth_dims_panics() {
+        let mut tree = BayesTree::new(2, geometry());
+        tree.set_bandwidth(vec![0.5]);
+    }
+
+    #[test]
+    fn summarise_leaf_root() {
+        let mut tree = BayesTree::new(1, geometry());
+        tree.node_mut(0).points_mut().push(vec![1.0]);
+        tree.node_mut(0).points_mut().push(vec![3.0]);
+        tree.set_num_points(2);
+        let entries = tree.root_entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].weight(), 2.0);
+        assert_eq!(entries[0].cf.mean(), vec![2.0]);
+    }
+
+    #[test]
+    fn full_kernel_density_averages_kernels() {
+        let mut tree = BayesTree::new(1, geometry());
+        tree.node_mut(0).points_mut().push(vec![-1.0]);
+        tree.node_mut(0).points_mut().push(vec![1.0]);
+        tree.set_num_points(2);
+        tree.set_bandwidth(vec![1.0]);
+        let d = tree.full_kernel_density(&[0.0]);
+        let kernel = GaussianKernel;
+        let expected = kernel.density(&[-1.0], &[0.0], &[1.0]);
+        assert!((d - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_detects_wrong_point_count() {
+        let mut tree = BayesTree::new(1, geometry());
+        tree.node_mut(0).points_mut().push(vec![1.0]);
+        // num_points deliberately not incremented.
+        let err = tree.validate(true).unwrap_err();
+        assert!(err.contains("reachable"));
+    }
+}

@@ -1,0 +1,31 @@
+//! Criterion bench behind Figures 2–4: cost of anytime classification as a
+//! function of the node budget, for trees built with different bulk loads.
+
+use bayestree::{AnytimeClassifier, BulkLoadMethod, ClassifierConfig};
+use bt_data::synth::Benchmark;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn classify_benchmarks(c: &mut Criterion) {
+    let dataset = Benchmark::Pendigits.generate(2_000, 7);
+    let mut group = c.benchmark_group("anytime_classify_pendigits");
+
+    for method in [BulkLoadMethod::EmTopDown, BulkLoadMethod::Hilbert, BulkLoadMethod::Iterative] {
+        let config = ClassifierConfig::with_bulk_load(method);
+        let classifier = AnytimeClassifier::train(&dataset, &config);
+        let query = dataset.feature(0).to_vec();
+        for budget in [5usize, 25, 100] {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), budget),
+                &budget,
+                |b, &budget| {
+                    b.iter(|| black_box(classifier.classify_with_budget(black_box(&query), budget)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, classify_benchmarks);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench: insertion throughput of the anytime clustering tree at
+//! different per-object node budgets (Section 4.2 — the model adapts to the
+//! stream speed, and insertion must stay cheap even for generous budgets).
+
+use bt_data::stream::DriftingStream;
+use clustree::{ClusTree, ClusTreeConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn cluster_benchmarks(c: &mut Criterion) {
+    let stream = DriftingStream::new(4, 4, 0.3, 0.001, 3).generate(5_000);
+
+    let mut group = c.benchmark_group("clustree_insert");
+    for &budget in &[1usize, 4, 16] {
+        group.throughput(Throughput::Elements(stream.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, &budget| {
+            b.iter(|| {
+                let mut tree = ClusTree::new(4, ClusTreeConfig::default());
+                for (t, (p, _)) in stream.iter().enumerate() {
+                    tree.insert(black_box(p), t as f64, budget);
+                }
+                black_box(tree.num_micro_clusters())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cluster_benchmarks);
+criterion_main!(benches);

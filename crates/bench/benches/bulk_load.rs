@@ -1,0 +1,31 @@
+//! Criterion bench: construction cost of every bulk-loading strategy
+//! (supporting measurement for Section 3 — the accuracy benefit of bulk
+//! loading is paid for at construction time).
+
+use bayestree::{build_tree, BulkLoadMethod};
+use bt_data::synth::Benchmark;
+use bt_index::PageGeometry;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bulk_load_benchmarks(c: &mut Criterion) {
+    let dataset = Benchmark::Letter.generate(2_600, 3);
+    let points = dataset.features_of_class(0);
+    let dims = dataset.dims();
+    let geometry = PageGeometry::default_for_dims(dims);
+
+    let mut group = c.benchmark_group("bulk_load_letter_class0");
+    for method in BulkLoadMethod::all() {
+        group.bench_with_input(
+            BenchmarkId::new(method.name(), points.len()),
+            &method,
+            |b, &method| {
+                b.iter(|| black_box(build_tree(black_box(&points), dims, geometry, method, 1)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bulk_load_benchmarks);
+criterion_main!(benches);

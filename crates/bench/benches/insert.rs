@@ -1,0 +1,33 @@
+//! Criterion bench: incremental insertion throughput — the "learn from new
+//! training data incrementally and online" requirement of Section 1.
+
+use bayestree::BayesTree;
+use bt_data::synth::Benchmark;
+use bt_index::PageGeometry;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn insert_benchmarks(c: &mut Criterion) {
+    let dataset = Benchmark::Pendigits.generate(5_000, 11);
+    let dims = dataset.dims();
+    let geometry = PageGeometry::default_for_dims(dims);
+
+    let mut group = c.benchmark_group("iterative_insert");
+    for &n in &[500usize, 2_000, 5_000] {
+        let points: Vec<Vec<f64>> = dataset.features()[..n].to_vec();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, points| {
+            b.iter(|| {
+                let mut tree = BayesTree::new(dims, geometry);
+                for p in points {
+                    tree.insert(black_box(p.clone()));
+                }
+                black_box(tree.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, insert_benchmarks);
+criterion_main!(benches);

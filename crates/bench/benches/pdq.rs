@@ -1,0 +1,45 @@
+//! Criterion bench: cost of a single frontier refinement step (the paper's
+//! claim that the incremental density update after reading one node is very
+//! cheap) and of full probability density queries at different levels.
+
+use bayestree::{build_tree, BulkLoadMethod, DescentStrategy, TreeFrontier};
+use bayestree::pdq::density_at_level;
+use bt_data::synth::Benchmark;
+use bt_index::PageGeometry;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn pdq_benchmarks(c: &mut Criterion) {
+    let dataset = Benchmark::Pendigits.generate(3_000, 5);
+    let dims = dataset.dims();
+    let points = dataset.features_of_class(0);
+    let tree = build_tree(
+        &points,
+        dims,
+        PageGeometry::default_for_dims(dims),
+        BulkLoadMethod::EmTopDown,
+        1,
+    );
+    let query = dataset.feature(1).to_vec();
+
+    let mut group = c.benchmark_group("pdq");
+    group.bench_function("refine_50_nodes", |b| {
+        b.iter(|| {
+            let mut frontier = TreeFrontier::new(&tree, black_box(&query));
+            frontier.refine_up_to(50, DescentStrategy::default());
+            black_box(frontier.density())
+        })
+    });
+    for level in [0usize, 1, 2] {
+        group.bench_with_input(BenchmarkId::new("level_density", level), &level, |b, &level| {
+            b.iter(|| black_box(density_at_level(&tree, black_box(&query), level)))
+        });
+    }
+    group.bench_function("full_kernel_density", |b| {
+        b.iter(|| black_box(tree.full_kernel_density(black_box(&query))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pdq_benchmarks);
+criterion_main!(benches);

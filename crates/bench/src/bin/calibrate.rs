@@ -1,0 +1,95 @@
+//! Calibration helper (not a paper experiment): sweeps the synthetic
+//! generator's spread and cluster-count parameters for one benchmark shape
+//! and reports root-level vs fully-refined anytime accuracy for the EMTopDown
+//! and iterative trees.  Used to pick the generator parameters that put the
+//! stand-ins into the same difficulty regime as the paper's data sets.
+//!
+//! Usage: `calibrate <classes> <features> <train_per_class> [--spreads a,b,c]
+//!         [--clusters a,b,c] [--separation s]`
+
+use bayestree::BulkLoadMethod;
+use bayestree_bench::RunOptions;
+use bt_data::synth::ClassMixtureConfig;
+use bt_eval::curve::anytime_accuracy_curve;
+use bt_eval::CurveConfig;
+
+fn parse_list(s: &str) -> Vec<f64> {
+    s.split(',').map(|x| x.parse().expect("number")).collect()
+}
+
+fn main() {
+    // Strip the calibration-specific flags before handing the rest to the
+    // shared option parser.
+    let raw_all: Vec<String> = std::env::args().skip(1).collect();
+    let mut filtered = Vec::new();
+    let mut skip = false;
+    for (i, a) in raw_all.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if matches!(a.as_str(), "--spreads" | "--clusters" | "--separation" | "--curvature") {
+            skip = true;
+            continue;
+        }
+        let _ = i;
+        filtered.push(a.clone());
+    }
+    let options = RunOptions::parse(filtered);
+    let args = &options.positional;
+    let classes: usize = args.first().map_or(10, |s| s.parse().unwrap());
+    let features: usize = args.get(1).map_or(16, |s| s.parse().unwrap());
+    let per_class: usize = args.get(2).map_or(300, |s| s.parse().unwrap());
+
+    let mut spreads = vec![8.0, 12.0, 16.0, 20.0, 24.0];
+    let mut clusters = vec![3.0, 6.0, 10.0];
+    let mut separation = 100.0;
+    let mut curvature = 0.0;
+    let raw: Vec<String> = std::env::args().collect();
+    for i in 0..raw.len() {
+        match raw[i].as_str() {
+            "--spreads" => spreads = parse_list(&raw[i + 1]),
+            "--clusters" => clusters = parse_list(&raw[i + 1]),
+            "--separation" => separation = raw[i + 1].parse().unwrap(),
+            "--curvature" => curvature = raw[i + 1].parse().unwrap(),
+            _ => {}
+        }
+    }
+
+    let curve_config = CurveConfig {
+        max_nodes: options.max_nodes,
+        folds: 4,
+        seed: options.seed,
+        max_test_queries: Some(options.queries),
+        ..CurveConfig::default()
+    };
+
+    println!("classes {classes}, features {features}, {per_class} objects/class, separation {separation}, curvature {curvature}");
+    println!("clusters  spread  | EM@0   EM@25  EM@end | It@0   It@25  It@end");
+    println!("--------  ------  | -----  -----  ------ | -----  -----  ------");
+    for &k in &clusters {
+        for &spread in &spreads {
+            let mut cfg = ClassMixtureConfig::new("calibrate", classes, features);
+            cfg.clusters_per_class = k as usize;
+            cfg.separation = separation;
+            cfg.spread = spread;
+            cfg.curvature = curvature;
+            cfg.seed = options.seed;
+            let dataset = cfg.generate(per_class * classes);
+
+            let em = anytime_accuracy_curve(&dataset, BulkLoadMethod::EmTopDown, &curve_config);
+            let it = anytime_accuracy_curve(&dataset, BulkLoadMethod::Iterative, &curve_config);
+            println!(
+                "{:>8}  {:>6.1}  | {:.3}  {:.3}  {:.3}  | {:.3}  {:.3}  {:.3}",
+                k as usize,
+                spread,
+                em.at(0),
+                em.at(25),
+                em.final_accuracy,
+                it.at(0),
+                it.at(25),
+                it.final_accuracy
+            );
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Stream-clustering extension experiment (Section 4.2): how the anytime
+//! clustering tree adapts its size and quality to the stream speed
+//! (per-object node budget), and how exponential decay keeps the model on
+//! the current data distribution.
+
+use bayestree_bench::RunOptions;
+use bt_data::stream::DriftingStream;
+use bt_eval::clustering::{budget_sweep, format_sweep};
+use clustree::{ClusTreeConfig, DbscanConfig};
+
+fn main() {
+    let options = RunOptions::from_env();
+    let stream_len = ((20_000.0 * options.scale) as usize).max(2_000);
+    let stream = DriftingStream::new(5, 4, 0.4, 0.001, options.seed).generate(stream_len);
+    eprintln!(
+        "clustree_speed: drifting stream with {} objects, 5 sources, 4 dimensions",
+        stream.len()
+    );
+
+    let budgets = [0, 1, 2, 4, 8, 16, 32];
+    println!("Anytime clustering: model size and quality vs per-object node budget\n");
+    let no_decay = budget_sweep(
+        &stream,
+        &budgets,
+        &ClusTreeConfig::default(),
+        &DbscanConfig {
+            epsilon: 1.5,
+            min_weight: stream.len() as f64 * 0.005,
+        },
+    );
+    println!("without decay (lambda = 0):\n{}", format_sweep(&no_decay));
+
+    let decayed = budget_sweep(
+        &stream,
+        &budgets,
+        &ClusTreeConfig {
+            decay_lambda: 0.01,
+            ..ClusTreeConfig::default()
+        },
+        &DbscanConfig {
+            epsilon: 1.5,
+            min_weight: stream.len() as f64 * 0.001,
+        },
+    );
+    println!("with decay (lambda = 0.01):\n{}", format_sweep(&decayed));
+
+    println!("interpretation: larger budgets (slower streams) grow deeper trees and more");
+    println!("micro-clusters, improving purity/SSQ; decay keeps the weight concentrated on");
+    println!("recent data so drifting sources stay separated.");
+}

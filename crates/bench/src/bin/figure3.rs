@@ -1,0 +1,46 @@
+//! Regenerates Figure 3: anytime classification accuracy on the Letter
+//! workload for the four construction methods.
+
+use bayestree_bench::RunOptions;
+use bt_data::synth::Benchmark;
+use bt_eval::curve::figure_curves;
+use bt_eval::{ascii_chart, curves_to_csv, improvement_summary};
+
+fn main() {
+    let options = RunOptions::from_env();
+    let dataset = Benchmark::Letter.generate_scaled(options.scale, options.seed);
+    eprintln!(
+        "figure3: letter stand-in with {} objects, {} classes, {} features",
+        dataset.len(),
+        dataset.num_classes(),
+        dataset.dims()
+    );
+    let curves = figure_curves(&dataset, &options.curve_config_for(dataset.dims()));
+
+    println!("Figure 3 — anytime classification accuracy on Letter\n");
+    println!("{}", ascii_chart(&curves, 20, 72));
+    println!("accuracy after 0 / 25 / 50 / 100 nodes and mean over the curve:");
+    for c in &curves {
+        println!(
+            "  {:<12} {:.3} / {:.3} / {:.3} / {:.3}   mean {:.3}",
+            c.label,
+            c.at(0),
+            c.at(25),
+            c.at(50),
+            c.at(100),
+            c.mean()
+        );
+    }
+    let baseline = curves
+        .iter()
+        .find(|c| c.label == "Iterativ")
+        .expect("baseline curve present");
+    println!();
+    println!(
+        "{}",
+        bt_eval::report::format_improvements(&improvement_summary("letter", baseline, &curves))
+    );
+    if options.csv {
+        println!("{}", curves_to_csv(&curves));
+    }
+}

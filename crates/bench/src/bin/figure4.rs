@@ -1,0 +1,70 @@
+//! Regenerates Figure 4: anytime accuracy on the Gender (top) and Covertype
+//! (bottom) workloads, comparing global-best descent (`glo`) against
+//! breadth-first traversal (`bft`) for the EMTopDown and Hilbert bulk loads
+//! plus the iterative baseline.
+//!
+//! Usage: `figure4 [gender|covertype|both] [flags...]`
+
+use bayestree_bench::RunOptions;
+use bt_data::synth::Benchmark;
+use bt_eval::curve::figure4_curves;
+use bt_eval::{ascii_chart, curves_to_csv, improvement_summary};
+
+fn run(benchmark: Benchmark, options: &RunOptions) {
+    let dataset = benchmark.generate_scaled(options.scale, options.seed);
+    let name = dataset.name().to_string();
+    eprintln!(
+        "figure4: {} stand-in with {} objects, {} classes, {} features",
+        name,
+        dataset.len(),
+        dataset.num_classes(),
+        dataset.dims()
+    );
+    let curves = figure4_curves(&dataset, &options.curve_config_for(dataset.dims()));
+
+    println!("Figure 4 — anytime classification accuracy on {name} (glo vs bft)\n");
+    println!("{}", ascii_chart(&curves, 20, 72));
+    println!("accuracy after 0 / 25 / 50 / 100 nodes and mean over the curve:");
+    for c in &curves {
+        println!(
+            "  {:<15} {:.3} / {:.3} / {:.3} / {:.3}   mean {:.3}",
+            c.label,
+            c.at(0),
+            c.at(25),
+            c.at(50),
+            c.at(100),
+            c.mean()
+        );
+    }
+    let baseline = curves
+        .iter()
+        .find(|c| c.label == "Iterativ glo")
+        .expect("baseline curve present");
+    println!();
+    println!(
+        "{}",
+        bt_eval::report::format_improvements(&improvement_summary(&name, baseline, &curves))
+    );
+    if options.csv {
+        println!("{}", curves_to_csv(&curves));
+    }
+    println!();
+}
+
+fn main() {
+    let options = RunOptions::from_env();
+    let which = options
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("both");
+    match which {
+        "gender" => run(Benchmark::Gender, &options),
+        "covertype" => run(Benchmark::Covertype, &options),
+        "both" => {
+            run(Benchmark::Gender, &options);
+            run(Benchmark::Covertype, &options);
+        }
+        other => panic!("unknown workload '{other}': expected gender, covertype or both"),
+    }
+}

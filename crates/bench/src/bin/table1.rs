@@ -1,0 +1,31 @@
+//! Regenerates Table 1: the data-set inventory, plus the statistics of the
+//! synthetic stand-ins actually generated at the chosen scale.
+
+use bayestree_bench::RunOptions;
+use bt_data::synth::Benchmark;
+
+fn main() {
+    let options = RunOptions::from_env();
+    println!("Table 1 — data sets used in the experiments (paper values)\n");
+    println!("{}", bt_eval::table1());
+
+    println!(
+        "Synthetic stand-ins generated at scale {} (seed {}):\n",
+        options.scale, options.seed
+    );
+    println!("name        generated  classes  features  majority-class share");
+    println!("----------  ---------  -------  --------  --------------------");
+    for benchmark in Benchmark::all() {
+        let ds = benchmark.generate_scaled(options.scale, options.seed);
+        let priors = ds.class_priors();
+        let majority = priors.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "{:<10}  {:>9}  {:>7}  {:>8}  {:>19.1}%",
+            ds.name(),
+            ds.len(),
+            ds.num_classes(),
+            ds.dims(),
+            majority * 100.0
+        );
+    }
+}

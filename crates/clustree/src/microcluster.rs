@@ -1,0 +1,206 @@
+//! Micro-clusters: decaying cluster features with timestamps.
+//!
+//! The "temporal multiplicity" idea of Section 4.2: by multiplying a cluster
+//! feature's components with an exponential decay factor `2^(-lambda * dt)`
+//! the influence of old data fades, while additivity — and therefore cheap
+//! aggregation in inner nodes — is preserved.
+
+use bt_stats::{ClusterFeature, DiagGaussian};
+
+/// A cluster feature plus the timestamp of its last update.
+#[derive(Debug, Clone)]
+pub struct MicroCluster {
+    cf: ClusterFeature,
+    last_update: f64,
+}
+
+impl MicroCluster {
+    /// Creates an empty micro-cluster of the given dimensionality.
+    #[must_use]
+    pub fn empty(dims: usize, now: f64) -> Self {
+        Self {
+            cf: ClusterFeature::empty(dims),
+            last_update: now,
+        }
+    }
+
+    /// Creates a micro-cluster summarising a single point observed at `now`.
+    #[must_use]
+    pub fn from_point(point: &[f64], now: f64) -> Self {
+        Self {
+            cf: ClusterFeature::from_point(point),
+            last_update: now,
+        }
+    }
+
+    /// Creates a micro-cluster from an existing cluster feature.
+    #[must_use]
+    pub fn from_cf(cf: ClusterFeature, now: f64) -> Self {
+        Self {
+            cf,
+            last_update: now,
+        }
+    }
+
+    /// The underlying (not yet decayed) cluster feature.
+    #[must_use]
+    pub fn cf(&self) -> &ClusterFeature {
+        &self.cf
+    }
+
+    /// Timestamp of the last update.
+    #[must_use]
+    pub fn last_update(&self) -> f64 {
+        self.last_update
+    }
+
+    /// Dimensionality of the summarised points.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.cf.dims()
+    }
+
+    /// Whether the micro-cluster currently summarises (essentially) nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cf.is_empty()
+    }
+
+    /// Applies exponential decay up to time `now` with decay rate `lambda`
+    /// and advances the timestamp.  A `lambda` of 0 disables decay.
+    pub fn decay_to(&mut self, now: f64, lambda: f64) {
+        if lambda <= 0.0 {
+            self.last_update = self.last_update.max(now);
+            return;
+        }
+        let dt = now - self.last_update;
+        if dt <= 0.0 {
+            return;
+        }
+        let factor = (2.0f64).powf(-lambda * dt);
+        self.cf.decay(factor);
+        self.last_update = now;
+    }
+
+    /// The weight the micro-cluster would have after decaying to `now`
+    /// (without mutating it).
+    #[must_use]
+    pub fn weight_at(&self, now: f64, lambda: f64) -> f64 {
+        if lambda <= 0.0 {
+            return self.cf.weight();
+        }
+        let dt = (now - self.last_update).max(0.0);
+        self.cf.weight() * (2.0f64).powf(-lambda * dt)
+    }
+
+    /// Current (undecayed) weight.
+    #[must_use]
+    pub fn weight(&self) -> f64 {
+        self.cf.weight()
+    }
+
+    /// Centre of the micro-cluster.
+    #[must_use]
+    pub fn center(&self) -> Vec<f64> {
+        self.cf.mean()
+    }
+
+    /// RMS radius of the micro-cluster.
+    #[must_use]
+    pub fn radius(&self) -> f64 {
+        self.cf.radius()
+    }
+
+    /// The Gaussian summarising the micro-cluster.
+    #[must_use]
+    pub fn gaussian(&self) -> DiagGaussian {
+        self.cf.to_gaussian()
+    }
+
+    /// Absorbs a single point observed at `now`, decaying first with `lambda`.
+    pub fn insert(&mut self, point: &[f64], now: f64, lambda: f64) {
+        self.decay_to(now, lambda);
+        self.cf.insert(point);
+    }
+
+    /// Merges another micro-cluster into this one; both are decayed to the
+    /// later of the two timestamps first.
+    pub fn merge(&mut self, other: &MicroCluster, lambda: f64) {
+        let now = self.last_update.max(other.last_update);
+        self.decay_to(now, lambda);
+        let mut o = other.clone();
+        o.decay_to(now, lambda);
+        self.cf.merge(o.cf());
+    }
+
+    /// Squared Euclidean distance from the centre to a point.
+    #[must_use]
+    pub fn sq_dist_to(&self, point: &[f64]) -> f64 {
+        bt_stats::vector::sq_dist(&self.center(), point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decay_halves_weight_after_half_life() {
+        let mut mc = MicroCluster::from_point(&[1.0, 2.0], 0.0);
+        mc.decay_to(1.0, 1.0); // lambda 1 => half-life of 1 time unit
+        assert!((mc.weight() - 0.5).abs() < 1e-12);
+        // Mean is unchanged by decay.
+        assert_eq!(mc.center(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn zero_lambda_disables_decay() {
+        let mut mc = MicroCluster::from_point(&[1.0], 0.0);
+        mc.decay_to(100.0, 0.0);
+        assert_eq!(mc.weight(), 1.0);
+    }
+
+    #[test]
+    fn weight_at_does_not_mutate() {
+        let mc = MicroCluster::from_point(&[0.0], 0.0);
+        let w = mc.weight_at(2.0, 1.0);
+        assert!((w - 0.25).abs() < 1e-12);
+        assert_eq!(mc.weight(), 1.0);
+    }
+
+    #[test]
+    fn insert_decays_then_adds() {
+        let mut mc = MicroCluster::from_point(&[0.0], 0.0);
+        mc.insert(&[4.0], 1.0, 1.0);
+        // Old point decayed to weight 0.5, new point weight 1 => total 1.5.
+        assert!((mc.weight() - 1.5).abs() < 1e-12);
+        // Mean = (0.5*0 + 1*4) / 1.5
+        assert!((mc.center()[0] - 4.0 / 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_aligns_timestamps() {
+        let a = MicroCluster::from_point(&[0.0], 0.0);
+        let b = MicroCluster::from_point(&[2.0], 2.0);
+        let mut merged = a.clone();
+        merged.merge(&b, 1.0);
+        // a decayed by 2 half-lives -> 0.25; b weight 1 -> total 1.25.
+        assert!((merged.weight() - 1.25).abs() < 1e-12);
+        assert_eq!(merged.last_update(), 2.0);
+    }
+
+    #[test]
+    fn older_updates_do_not_rewind_time() {
+        let mut mc = MicroCluster::from_point(&[0.0], 5.0);
+        mc.decay_to(3.0, 1.0);
+        assert_eq!(mc.last_update(), 5.0);
+        assert_eq!(mc.weight(), 1.0);
+    }
+
+    #[test]
+    fn sq_dist_uses_center() {
+        let mut mc = MicroCluster::from_point(&[0.0, 0.0], 0.0);
+        mc.insert(&[2.0, 0.0], 0.0, 0.0);
+        assert!((mc.sq_dist_to(&[1.0, 0.0]) - 0.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,220 @@
+//! Offline macro-clustering over micro-clusters.
+//!
+//! Section 4.2: "using these fine grained CF representation we can find
+//! clusters of arbitrary shape by using density based clustering in an
+//! offline component".  This module implements a weighted DBSCAN over the
+//! micro-cluster centres: a micro-cluster is a core object if the decayed
+//! weight within its epsilon-neighbourhood reaches `min_weight`; clusters are
+//! grown by expanding density-reachable core objects.  Range queries use the
+//! point R-tree of the index substrate.
+
+use crate::microcluster::MicroCluster;
+use bt_index::rstar::PointRTree;
+
+/// Parameters of the weighted DBSCAN.
+#[derive(Debug, Clone, Copy)]
+pub struct DbscanConfig {
+    /// Neighbourhood radius.
+    pub epsilon: f64,
+    /// Minimum total (decayed) weight inside the neighbourhood for a
+    /// micro-cluster to be a core object.
+    pub min_weight: f64,
+}
+
+impl Default for DbscanConfig {
+    fn default() -> Self {
+        Self {
+            epsilon: 1.0,
+            min_weight: 3.0,
+        }
+    }
+}
+
+/// The result of the offline clustering step.
+#[derive(Debug, Clone)]
+pub struct MacroClustering {
+    /// `assignment[i]` is the macro-cluster index of micro-cluster `i`, or
+    /// `None` when it was classified as noise.
+    pub assignment: Vec<Option<usize>>,
+    /// Number of macro-clusters found.
+    pub num_clusters: usize,
+}
+
+impl MacroClustering {
+    /// The micro-cluster indices belonging to each macro-cluster.
+    #[must_use]
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.num_clusters];
+        for (i, a) in self.assignment.iter().enumerate() {
+            if let Some(c) = a {
+                out[*c].push(i);
+            }
+        }
+        out
+    }
+
+    /// Indices of the micro-clusters classified as noise.
+    #[must_use]
+    pub fn noise(&self) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.is_none())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Runs weighted DBSCAN over micro-cluster centres.
+#[must_use]
+pub fn weighted_dbscan(micro_clusters: &[MicroCluster], config: &DbscanConfig) -> MacroClustering {
+    if micro_clusters.is_empty() {
+        return MacroClustering {
+            assignment: Vec::new(),
+            num_clusters: 0,
+        };
+    }
+    let dims = micro_clusters[0].dims();
+    let mut index = PointRTree::new(dims, 16);
+    for mc in micro_clusters {
+        index.insert(mc.center());
+    }
+
+    let neighbourhood = |i: usize| -> Vec<usize> {
+        index.within_radius(&micro_clusters[i].center(), config.epsilon)
+    };
+    let weight_of = |indices: &[usize]| -> f64 {
+        indices.iter().map(|&j| micro_clusters[j].weight()).sum()
+    };
+
+    let mut assignment: Vec<Option<usize>> = vec![None; micro_clusters.len()];
+    let mut visited = vec![false; micro_clusters.len()];
+    let mut num_clusters = 0usize;
+
+    for start in 0..micro_clusters.len() {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        let neighbours = neighbourhood(start);
+        if weight_of(&neighbours) < config.min_weight {
+            continue; // noise (may be claimed by a cluster later)
+        }
+        let cluster = num_clusters;
+        num_clusters += 1;
+        assignment[start] = Some(cluster);
+        let mut queue: Vec<usize> = neighbours;
+        while let Some(current) = queue.pop() {
+            if assignment[current].is_none() {
+                assignment[current] = Some(cluster);
+            }
+            if visited[current] {
+                continue;
+            }
+            visited[current] = true;
+            let n = neighbourhood(current);
+            if weight_of(&n) >= config.min_weight {
+                for candidate in n {
+                    if !visited[candidate] || assignment[candidate].is_none() {
+                        queue.push(candidate);
+                    }
+                }
+            }
+        }
+    }
+
+    MacroClustering {
+        assignment,
+        num_clusters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mc(center: &[f64], weight: usize) -> MicroCluster {
+        let mut m = MicroCluster::from_point(center, 0.0);
+        for _ in 1..weight {
+            m.insert(center, 0.0, 0.0);
+        }
+        m
+    }
+
+    #[test]
+    fn two_blobs_become_two_clusters() {
+        let mut mcs = Vec::new();
+        for i in 0..5 {
+            mcs.push(mc(&[i as f64 * 0.3, 0.0], 5));
+            mcs.push(mc(&[10.0 + i as f64 * 0.3, 0.0], 5));
+        }
+        let result = weighted_dbscan(&mcs, &DbscanConfig {
+            epsilon: 1.0,
+            min_weight: 6.0,
+        });
+        assert_eq!(result.num_clusters, 2);
+        assert!(result.noise().is_empty());
+        // Micro-clusters of the same blob share a macro-cluster.
+        assert_eq!(result.assignment[0], result.assignment[2]);
+        assert_ne!(result.assignment[0], result.assignment[1]);
+    }
+
+    #[test]
+    fn isolated_light_micro_cluster_is_noise() {
+        let mut mcs = vec![mc(&[0.0, 0.0], 10), mc(&[0.5, 0.0], 10)];
+        mcs.push(mc(&[100.0, 100.0], 1));
+        let result = weighted_dbscan(&mcs, &DbscanConfig {
+            epsilon: 1.0,
+            min_weight: 5.0,
+        });
+        assert_eq!(result.num_clusters, 1);
+        assert_eq!(result.noise(), vec![2]);
+    }
+
+    #[test]
+    fn chain_of_micro_clusters_forms_one_cluster() {
+        // An elongated (non-spherical) shape: DBSCAN links it into one
+        // cluster, which a k-means-style method could not.
+        let mcs: Vec<MicroCluster> = (0..20).map(|i| mc(&[i as f64 * 0.5, 0.0], 4)).collect();
+        let result = weighted_dbscan(&mcs, &DbscanConfig {
+            epsilon: 0.8,
+            min_weight: 6.0,
+        });
+        assert_eq!(result.num_clusters, 1);
+        assert!(result.noise().is_empty());
+    }
+
+    #[test]
+    fn border_objects_join_a_cluster_without_being_core() {
+        let mcs = vec![
+            mc(&[0.0], 10),
+            mc(&[0.5], 10),
+            mc(&[1.2], 1), // border: inside epsilon of a core object
+        ];
+        let result = weighted_dbscan(&mcs, &DbscanConfig {
+            epsilon: 1.0,
+            min_weight: 12.0,
+        });
+        assert_eq!(result.num_clusters, 1);
+        assert_eq!(result.assignment[2], Some(0));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_result() {
+        let result = weighted_dbscan(&[], &DbscanConfig::default());
+        assert_eq!(result.num_clusters, 0);
+        assert!(result.assignment.is_empty());
+    }
+
+    #[test]
+    fn clusters_accessor_groups_members() {
+        let mcs = vec![mc(&[0.0], 5), mc(&[0.2], 5), mc(&[50.0], 5), mc(&[50.2], 5)];
+        let result = weighted_dbscan(&mcs, &DbscanConfig {
+            epsilon: 1.0,
+            min_weight: 6.0,
+        });
+        let clusters = result.clusters();
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters.iter().map(Vec::len).sum::<usize>(), 4);
+    }
+}

@@ -1,0 +1,704 @@
+//! The anytime clustering index (ClusTree-style).
+//!
+//! The tree stores micro-clusters at leaf level and aggregated cluster
+//! features in its inner entries, exactly like the Bayes tree stores kernels
+//! and CFs.  Three ideas from Section 4.2 make it *anytime*:
+//!
+//! * **Budgeted insertion** — an arriving object descends towards the closest
+//!   entry; each step costs one node read.  When the budget is exhausted the
+//!   object is **parked** in the entry's hitchhiker buffer instead of
+//!   descending further.
+//! * **Hitchhikers** — a later object descending through the same entry picks
+//!   the buffered objects up and carries them one level further down, so
+//!   parked mass eventually reaches the leaves without dedicated time.
+//! * **Exponential decay and entry reuse** — every cluster feature ages with
+//!   `2^(-lambda * dt)`; leaf entries whose decayed weight falls below an
+//!   irrelevance threshold are reused for new data, keeping the model's size
+//!   constant while staying up to date.
+//!
+//! As a consequence the tree's granularity adapts itself to the stream speed:
+//! slow streams grant deep descents and fine micro-clusters, fast streams
+//! park objects high up and keep the model coarse.
+
+use crate::microcluster::MicroCluster;
+use bt_stats::vector;
+
+/// Arena index of a node.
+type NodeId = usize;
+
+/// Configuration of the anytime clustering tree.
+#[derive(Debug, Clone)]
+pub struct ClusTreeConfig {
+    /// Maximum number of entries per node (inner and leaf alike).
+    pub max_entries: usize,
+    /// Minimum number of entries a split must place in each node.
+    pub min_entries: usize,
+    /// Exponential decay rate `lambda` (0 disables decay).
+    pub decay_lambda: f64,
+    /// Leaf entries whose decayed weight drops below this threshold are
+    /// considered irrelevant and may be reused for new data.
+    pub irrelevance_threshold: f64,
+    /// Whether splits are allowed to propagate (disallowing them caps the
+    /// tree size; parked objects and merges absorb all growth).
+    pub allow_splits: bool,
+}
+
+impl Default for ClusTreeConfig {
+    fn default() -> Self {
+        Self {
+            max_entries: 3,
+            min_entries: 1,
+            decay_lambda: 0.0,
+            irrelevance_threshold: 0.1,
+            allow_splits: true,
+        }
+    }
+}
+
+/// What happened to an inserted object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The object reached leaf level and was absorbed into a micro-cluster.
+    ReachedLeaf,
+    /// The object ran out of budget and was parked in a hitchhiker buffer at
+    /// the reported depth.
+    Parked {
+        /// Depth at which the object was parked (1 = directly below the root).
+        depth: usize,
+    },
+}
+
+/// One entry of a ClusTree node.
+#[derive(Debug, Clone)]
+struct ClusEntry {
+    /// Aggregate of everything in the subtree below (including buffers).
+    summary: MicroCluster,
+    /// Hitchhiker buffer: objects parked here waiting to be carried down.
+    buffer: MicroCluster,
+    /// Child node; `None` for leaf entries (the entry *is* a micro-cluster).
+    child: Option<NodeId>,
+}
+
+#[derive(Debug, Clone)]
+struct ClusNode {
+    entries: Vec<ClusEntry>,
+    is_leaf: bool,
+}
+
+/// The anytime stream-clustering index.
+#[derive(Debug, Clone)]
+pub struct ClusTree {
+    dims: usize,
+    config: ClusTreeConfig,
+    nodes: Vec<ClusNode>,
+    root: NodeId,
+    num_inserted: usize,
+    current_time: f64,
+}
+
+impl ClusTree {
+    /// Creates an empty tree for `dims`-dimensional points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims == 0` or the configuration is inconsistent.
+    #[must_use]
+    pub fn new(dims: usize, config: ClusTreeConfig) -> Self {
+        assert!(dims > 0, "dimensionality must be positive");
+        assert!(config.max_entries >= 2, "need at least two entries per node");
+        assert!(
+            config.min_entries >= 1 && config.min_entries * 2 <= config.max_entries + 1,
+            "min entries must allow a split"
+        );
+        Self {
+            dims,
+            config,
+            nodes: vec![ClusNode {
+                entries: Vec::new(),
+                is_leaf: true,
+            }],
+            root: 0,
+            num_inserted: 0,
+            current_time: 0.0,
+        }
+    }
+
+    /// Dimensionality of the clustered points.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of objects inserted so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.num_inserted
+    }
+
+    /// Whether no objects have been inserted yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.num_inserted == 0
+    }
+
+    /// The configuration the tree was created with.
+    #[must_use]
+    pub fn config(&self) -> &ClusTreeConfig {
+        &self.config
+    }
+
+    /// Height of the tree (a single leaf root has height 1).
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.depth_of(self.root)
+    }
+
+    /// The latest timestamp seen.
+    #[must_use]
+    pub fn current_time(&self) -> f64 {
+        self.current_time
+    }
+
+    /// Inserts an object observed at `timestamp` with a budget of
+    /// `node_budget` node reads.
+    ///
+    /// A budget of 0 parks the object at the root level immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point has the wrong dimensionality.
+    pub fn insert(&mut self, point: &[f64], timestamp: f64, node_budget: usize) -> InsertOutcome {
+        assert_eq!(point.len(), self.dims, "point dimensionality mismatch");
+        self.current_time = self.current_time.max(timestamp);
+        self.num_inserted += 1;
+        let payload = MicroCluster::from_point(point, timestamp);
+
+        // An empty root leaf just takes the object as its first micro-cluster.
+        if self.nodes[self.root].is_leaf && self.nodes[self.root].entries.is_empty() {
+            let entry = ClusEntry {
+                summary: payload.clone(),
+                buffer: MicroCluster::empty(self.dims, timestamp),
+                child: None,
+            };
+            self.nodes[self.root].entries.push(entry);
+            return InsertOutcome::ReachedLeaf;
+        }
+
+        let root = self.root;
+        let (outcome, split) = self.insert_rec(root, payload, timestamp, node_budget, 1);
+        if let Some((e1, e2)) = split {
+            let new_root = self.push_node(ClusNode {
+                entries: vec![e1, e2],
+                is_leaf: false,
+            });
+            self.root = new_root;
+        }
+        outcome
+    }
+
+    /// All current micro-clusters: the leaf entries plus any non-empty
+    /// hitchhiker buffers, decayed to the tree's current time.
+    #[must_use]
+    pub fn micro_clusters(&self) -> Vec<MicroCluster> {
+        let mut out = Vec::new();
+        self.collect_micro_clusters(self.root, &mut out);
+        for mc in &mut out {
+            mc.decay_to(self.current_time, self.config.decay_lambda);
+        }
+        out.retain(|mc| mc.weight() > f64::EPSILON);
+        out
+    }
+
+    /// Number of current micro-clusters.
+    #[must_use]
+    pub fn num_micro_clusters(&self) -> usize {
+        self.micro_clusters().len()
+    }
+
+    /// Total decayed weight currently represented by the tree.
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.micro_clusters().iter().map(MicroCluster::weight).sum()
+    }
+
+    /// Number of nodes in the tree.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.count_nodes(self.root)
+    }
+
+    /// Validates internal consistency: every node within capacity, leaf flags
+    /// consistent, and aggregated weights non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        self.validate_node(self.root)
+    }
+
+    // ------------------------------------------------------------------
+
+    fn insert_rec(
+        &mut self,
+        node_id: NodeId,
+        mut payload: MicroCluster,
+        timestamp: f64,
+        budget: usize,
+        depth: usize,
+    ) -> (InsertOutcome, Option<(ClusEntry, ClusEntry)>) {
+        let lambda = self.config.decay_lambda;
+        // Decay every entry of this node to the current time.
+        for entry in &mut self.nodes[node_id].entries {
+            entry.summary.decay_to(timestamp, lambda);
+            entry.buffer.decay_to(timestamp, lambda);
+        }
+
+        if self.nodes[node_id].is_leaf {
+            let outcome = self.insert_into_leaf(node_id, payload, timestamp);
+            let split = self.maybe_split(node_id, budget > 0);
+            return (outcome, split);
+        }
+
+        // Find the closest entry by centre distance.
+        let target = payload.center();
+        let closest = self
+            .nodes[node_id]
+            .entries
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                let da = vector::sq_dist(&a.summary.center(), &target);
+                let db = vector::sq_dist(&b.summary.center(), &target);
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+            .expect("inner node has entries");
+
+        // The payload will end up somewhere below this entry either way, so
+        // the aggregate absorbs it now.
+        self.nodes[node_id].entries[closest]
+            .summary
+            .merge(&payload, lambda);
+
+        if budget == 0 {
+            // Out of time: park the payload in the hitchhiker buffer.
+            self.nodes[node_id].entries[closest]
+                .buffer
+                .merge(&payload, lambda);
+            return (InsertOutcome::Parked { depth }, None);
+        }
+
+        // Pick up any hitchhikers waiting at this entry and carry them down.
+        let buffer = std::mem::replace(
+            &mut self.nodes[node_id].entries[closest].buffer,
+            MicroCluster::empty(self.dims, timestamp),
+        );
+        if !buffer.is_empty() {
+            payload.merge(&buffer, lambda);
+        }
+
+        let child = self.nodes[node_id].entries[closest]
+            .child
+            .expect("inner entries have children");
+        let (outcome, child_split) =
+            self.insert_rec(child, payload, timestamp, budget - 1, depth + 1);
+        if let Some((e1, e2)) = child_split {
+            let entries = &mut self.nodes[node_id].entries;
+            entries[closest] = e1;
+            entries.push(e2);
+        }
+        let split = self.maybe_split(node_id, budget > 0);
+        (outcome, split)
+    }
+
+    /// Inserts a payload into a leaf: absorbed by the closest micro-cluster,
+    /// stored as a fresh entry if there is room, or replacing an irrelevant
+    /// entry.
+    fn insert_into_leaf(
+        &mut self,
+        node_id: NodeId,
+        payload: MicroCluster,
+        timestamp: f64,
+    ) -> InsertOutcome {
+        let max_entries = self.config.max_entries;
+        let irrelevance = self.config.irrelevance_threshold;
+        let node = &mut self.nodes[node_id];
+
+        if node.entries.len() < max_entries {
+            node.entries.push(ClusEntry {
+                summary: payload,
+                buffer: MicroCluster::empty(self.dims, timestamp),
+                child: None,
+            });
+            return InsertOutcome::ReachedLeaf;
+        }
+
+        // Reuse an irrelevant (aged-out) entry if one exists.
+        if let Some((idx, _)) = node
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.summary.weight() < irrelevance)
+            .min_by(|(_, a), (_, b)| {
+                a.summary
+                    .weight()
+                    .partial_cmp(&b.summary.weight())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+        {
+            node.entries[idx] = ClusEntry {
+                summary: payload,
+                buffer: MicroCluster::empty(self.dims, timestamp),
+                child: None,
+            };
+            return InsertOutcome::ReachedLeaf;
+        }
+
+        // Otherwise store it and let maybe_split() either split the node or
+        // merge the closest pair back within capacity.
+        node.entries.push(ClusEntry {
+            summary: payload,
+            buffer: MicroCluster::empty(self.dims, timestamp),
+            child: None,
+        });
+        InsertOutcome::ReachedLeaf
+    }
+
+    /// Handles an over-full node: splits it when splits are allowed and there
+    /// is time, otherwise merges the two closest entries.
+    fn maybe_split(
+        &mut self,
+        node_id: NodeId,
+        has_time: bool,
+    ) -> Option<(ClusEntry, ClusEntry)> {
+        if self.nodes[node_id].entries.len() <= self.config.max_entries {
+            return None;
+        }
+        if !(self.config.allow_splits && has_time) {
+            self.merge_closest_pair(node_id);
+            return None;
+        }
+        Some(self.split_node(node_id))
+    }
+
+    fn merge_closest_pair(&mut self, node_id: NodeId) {
+        let lambda = self.config.decay_lambda;
+        let node = &mut self.nodes[node_id];
+        if node.entries.len() < 2 || !node.is_leaf {
+            // Inner nodes cannot merge children cheaply; tolerate the
+            // overflow (it is bounded by one extra entry per insertion).
+            if !node.is_leaf {
+                return;
+            }
+        }
+        let mut best = (0usize, 1usize, f64::INFINITY);
+        for i in 0..node.entries.len() {
+            for j in (i + 1)..node.entries.len() {
+                let d = vector::sq_dist(
+                    &node.entries[i].summary.center(),
+                    &node.entries[j].summary.center(),
+                );
+                if d < best.2 {
+                    best = (i, j, d);
+                }
+            }
+        }
+        let (i, j, _) = best;
+        let absorbed = node.entries.swap_remove(j);
+        node.entries[i].summary.merge(&absorbed.summary, lambda);
+        node.entries[i].buffer.merge(&absorbed.buffer, lambda);
+    }
+
+    /// Splits an over-full node into two by seeding with the two farthest
+    /// entries and assigning the rest to the closer seed.
+    fn split_node(&mut self, node_id: NodeId) -> (ClusEntry, ClusEntry) {
+        let lambda = self.config.decay_lambda;
+        let is_leaf = self.nodes[node_id].is_leaf;
+        let entries = std::mem::take(&mut self.nodes[node_id].entries);
+        let centers: Vec<Vec<f64>> = entries.iter().map(|e| e.summary.center()).collect();
+
+        // Farthest pair as seeds.
+        let mut seed_a = 0;
+        let mut seed_b = 1;
+        let mut best = -1.0;
+        for i in 0..centers.len() {
+            for j in (i + 1)..centers.len() {
+                let d = vector::sq_dist(&centers[i], &centers[j]);
+                if d > best {
+                    best = d;
+                    seed_a = i;
+                    seed_b = j;
+                }
+            }
+        }
+        let mut group_a = Vec::new();
+        let mut group_b = Vec::new();
+        for (i, entry) in entries.into_iter().enumerate() {
+            let da = vector::sq_dist(&centers[i], &centers[seed_a]);
+            let db = vector::sq_dist(&centers[i], &centers[seed_b]);
+            if da <= db && group_a.len() < self.config.max_entries {
+                group_a.push(entry);
+            } else if group_b.len() < self.config.max_entries {
+                group_b.push(entry);
+            } else {
+                group_a.push(entry);
+            }
+        }
+        if group_a.is_empty() {
+            group_a.push(group_b.pop().expect("group B has entries"));
+        }
+        if group_b.is_empty() {
+            group_b.push(group_a.pop().expect("group A has entries"));
+        }
+
+        self.nodes[node_id].entries = group_a;
+        self.nodes[node_id].is_leaf = is_leaf;
+        let new_node = self.push_node(ClusNode {
+            entries: group_b,
+            is_leaf,
+        });
+        let e1 = self.make_parent_entry(node_id, lambda);
+        let e2 = self.make_parent_entry(new_node, lambda);
+        (e1, e2)
+    }
+
+    fn make_parent_entry(&self, node_id: NodeId, lambda: f64) -> ClusEntry {
+        let node = &self.nodes[node_id];
+        let mut summary = MicroCluster::empty(self.dims, self.current_time);
+        for entry in &node.entries {
+            summary.merge(&entry.summary, lambda);
+            summary.merge(&entry.buffer, lambda);
+        }
+        ClusEntry {
+            summary,
+            buffer: MicroCluster::empty(self.dims, self.current_time),
+            child: Some(node_id),
+        }
+    }
+
+    fn push_node(&mut self, node: ClusNode) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    fn collect_micro_clusters(&self, node_id: NodeId, out: &mut Vec<MicroCluster>) {
+        let node = &self.nodes[node_id];
+        for entry in &node.entries {
+            if !entry.buffer.is_empty() {
+                out.push(entry.buffer.clone());
+            }
+            if node.is_leaf {
+                out.push(entry.summary.clone());
+            } else if let Some(child) = entry.child {
+                self.collect_micro_clusters(child, out);
+            }
+        }
+    }
+
+    fn depth_of(&self, node_id: NodeId) -> usize {
+        let node = &self.nodes[node_id];
+        if node.is_leaf {
+            1
+        } else {
+            1 + node
+                .entries
+                .iter()
+                .filter_map(|e| e.child.map(|c| self.depth_of(c)))
+                .max()
+                .unwrap_or(0)
+        }
+    }
+
+    fn count_nodes(&self, node_id: NodeId) -> usize {
+        let node = &self.nodes[node_id];
+        1 + node
+            .entries
+            .iter()
+            .filter_map(|e| e.child.map(|c| self.count_nodes(c)))
+            .sum::<usize>()
+    }
+
+    fn validate_node(&self, node_id: NodeId) -> Result<(), String> {
+        let node = &self.nodes[node_id];
+        // Inner nodes may temporarily exceed capacity by one when a split was
+        // deferred for lack of time; anything beyond that is a bug.
+        let slack = usize::from(!node.is_leaf);
+        if node.entries.len() > self.config.max_entries + slack {
+            return Err(format!(
+                "node {node_id} has {} entries (capacity {})",
+                node.entries.len(),
+                self.config.max_entries
+            ));
+        }
+        for entry in &node.entries {
+            if entry.summary.weight() < 0.0 || entry.buffer.weight() < 0.0 {
+                return Err(format!("node {node_id} has a negative weight"));
+            }
+            if node.is_leaf && entry.child.is_some() {
+                return Err(format!("leaf node {node_id} has an entry with a child"));
+            }
+            if !node.is_leaf {
+                match entry.child {
+                    None => {
+                        return Err(format!("inner node {node_id} has an entry without child"))
+                    }
+                    Some(child) => self.validate_node(child)?,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cluster_stream(n: usize) -> Vec<(Vec<f64>, f64)> {
+        (0..n)
+            .map(|i| {
+                let c = if i % 2 == 0 { 0.0 } else { 20.0 };
+                let jitter = (i % 9) as f64 * 0.1;
+                (vec![c + jitter, c - jitter], i as f64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn inserting_builds_micro_clusters() {
+        let mut tree = ClusTree::new(2, ClusTreeConfig::default());
+        for (p, t) in two_cluster_stream(300) {
+            tree.insert(&p, t, 10);
+        }
+        assert_eq!(tree.len(), 300);
+        assert!(tree.num_micro_clusters() >= 2);
+        tree.validate().expect("valid tree");
+        // Without decay, no mass is lost.
+        assert!((tree.total_weight() - 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_budget_parks_objects() {
+        let mut tree = ClusTree::new(2, ClusTreeConfig::default());
+        // Grow a small tree first.
+        for (p, t) in two_cluster_stream(50) {
+            tree.insert(&p, t, 10);
+        }
+        assert!(tree.height() > 1);
+        let outcome = tree.insert(&[0.0, 0.0], 51.0, 0);
+        assert!(matches!(outcome, InsertOutcome::Parked { depth: 1 }));
+        // The parked object still counts toward the total weight.
+        assert!((tree.total_weight() - 51.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hitchhikers_are_carried_down_later() {
+        let mut tree = ClusTree::new(2, ClusTreeConfig::default());
+        for (p, t) in two_cluster_stream(60) {
+            tree.insert(&p, t, 10);
+        }
+        // Park a few objects.
+        for i in 0..5 {
+            tree.insert(&[0.5, 0.5], 60.0 + i as f64, 0);
+        }
+        // Subsequent descents with budget pick the buffers up again; mass is
+        // conserved throughout.
+        for i in 0..20 {
+            tree.insert(&[0.4, 0.4], 70.0 + i as f64, 10);
+        }
+        assert!((tree.total_weight() - 85.0).abs() < 1e-6);
+        tree.validate().expect("valid");
+    }
+
+    #[test]
+    fn small_budget_keeps_tree_smaller() {
+        let build = |budget: usize| {
+            let mut tree = ClusTree::new(2, ClusTreeConfig::default());
+            for (p, t) in two_cluster_stream(400) {
+                tree.insert(&p, t, budget);
+            }
+            tree.num_nodes()
+        };
+        let small = build(1);
+        let large = build(20);
+        assert!(
+            small <= large,
+            "faster stream (budget 1) built a bigger tree: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn decay_forgets_old_clusters() {
+        let config = ClusTreeConfig {
+            decay_lambda: 0.5,
+            ..ClusTreeConfig::default()
+        };
+        let mut tree = ClusTree::new(2, config);
+        // Old cluster around (0, 0).
+        for i in 0..100 {
+            tree.insert(&[0.0 + (i % 5) as f64 * 0.01, 0.0], i as f64 * 0.01, 5);
+        }
+        // Much later, a new cluster around (30, 30).
+        for i in 0..100 {
+            tree.insert(&[30.0, 30.0 + (i % 5) as f64 * 0.01], 100.0 + i as f64 * 0.01, 5);
+        }
+        let mcs = tree.micro_clusters();
+        let old_weight: f64 = mcs
+            .iter()
+            .filter(|m| m.center()[0] < 15.0)
+            .map(MicroCluster::weight)
+            .sum();
+        let new_weight: f64 = mcs
+            .iter()
+            .filter(|m| m.center()[0] >= 15.0)
+            .map(MicroCluster::weight)
+            .sum();
+        assert!(
+            new_weight > old_weight * 10.0,
+            "old {old_weight} vs new {new_weight}"
+        );
+    }
+
+    #[test]
+    fn disallowing_splits_caps_the_tree() {
+        let config = ClusTreeConfig {
+            allow_splits: false,
+            ..ClusTreeConfig::default()
+        };
+        let mut tree = ClusTree::new(2, config);
+        for (p, t) in two_cluster_stream(500) {
+            tree.insert(&p, t, 10);
+        }
+        assert_eq!(tree.height(), 1);
+        assert!(tree.num_micro_clusters() <= 3);
+        assert!((tree.total_weight() - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn micro_cluster_centers_track_the_two_clusters() {
+        let mut tree = ClusTree::new(2, ClusTreeConfig::default());
+        for (p, t) in two_cluster_stream(400) {
+            tree.insert(&p, t, 10);
+        }
+        let mcs = tree.micro_clusters();
+        let near_low = mcs.iter().any(|m| vector::dist(&m.center(), &[0.2, -0.2]) < 2.0);
+        let near_high = mcs.iter().any(|m| vector::dist(&m.center(), &[20.2, 19.8]) < 2.0);
+        assert!(near_low && near_high);
+    }
+
+    #[test]
+    fn validate_catches_nothing_on_fresh_tree() {
+        let tree = ClusTree::new(3, ClusTreeConfig::default());
+        assert!(tree.validate().is_ok());
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn wrong_dims_panics() {
+        let mut tree = ClusTree::new(2, ClusTreeConfig::default());
+        tree.insert(&[1.0], 0.0, 1);
+    }
+}

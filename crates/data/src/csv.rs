@@ -1,0 +1,272 @@
+//! Dependency-free CSV loading for the original benchmark files.
+//!
+//! The reproduction generates synthetic stand-ins for the UCI / PDMC data
+//! sets by default (see [`crate::synth`]), but when the original files are
+//! available locally they can be loaded with this module and plugged into the
+//! same experiment harness.
+
+use crate::dataset::Dataset;
+use std::collections::BTreeMap;
+use std::io::BufRead;
+use std::path::Path;
+
+/// Where the class label lives in each CSV record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelColumn {
+    /// The first column is the label.
+    First,
+    /// The last column is the label.
+    Last,
+    /// The label is at this zero-based column index.
+    Index(usize),
+}
+
+/// Options controlling CSV parsing.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field separator (default `,`).
+    pub separator: char,
+    /// Whether the first line is a header to skip.
+    pub has_header: bool,
+    /// Where the label column is.
+    pub label: LabelColumn,
+    /// Name given to the resulting data set.
+    pub name: String,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        Self {
+            separator: ',',
+            has_header: false,
+            label: LabelColumn::Last,
+            name: "csv".to_string(),
+        }
+    }
+}
+
+/// Errors produced while loading a CSV file.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A feature field could not be parsed as a number.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending field.
+        field: String,
+    },
+    /// A record had a different number of fields than the first record.
+    InconsistentColumns {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found on this line.
+        found: usize,
+        /// Fields expected from the first record.
+        expected: usize,
+    },
+    /// The file contained no data records.
+    Empty,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::BadNumber { line, field } => {
+                write!(f, "line {line}: cannot parse '{field}' as a number")
+            }
+            CsvError::InconsistentColumns { line, found, expected } => {
+                write!(f, "line {line}: found {found} columns, expected {expected}")
+            }
+            CsvError::Empty => write!(f, "the file contains no data records"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Loads a labelled data set from a CSV file on disk.
+///
+/// Labels may be arbitrary strings; they are mapped to dense class indices in
+/// lexicographic order of first appearance.
+///
+/// # Errors
+///
+/// Returns a [`CsvError`] on I/O failure, malformed numbers, ragged rows or
+/// an empty file.
+pub fn load_csv(path: &Path, options: &CsvOptions) -> Result<Dataset, CsvError> {
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    load_csv_from_reader(reader, options)
+}
+
+/// Loads a labelled data set from any buffered reader (used by the tests and
+/// by callers that already have the data in memory).
+///
+/// # Errors
+///
+/// See [`load_csv`].
+pub fn load_csv_from_reader<R: BufRead>(
+    reader: R,
+    options: &CsvOptions,
+) -> Result<Dataset, CsvError> {
+    let mut features: Vec<Vec<f64>> = Vec::new();
+    let mut raw_labels: Vec<String> = Vec::new();
+    let mut expected_cols: Option<usize> = None;
+
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line?;
+        let display_line = line_no + 1;
+        if line_no == 0 && options.has_header {
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(options.separator).map(str::trim).collect();
+        if let Some(expected) = expected_cols {
+            if fields.len() != expected {
+                return Err(CsvError::InconsistentColumns {
+                    line: display_line,
+                    found: fields.len(),
+                    expected,
+                });
+            }
+        } else {
+            expected_cols = Some(fields.len());
+        }
+        let label_idx = match options.label {
+            LabelColumn::First => 0,
+            LabelColumn::Last => fields.len() - 1,
+            LabelColumn::Index(i) => i,
+        };
+        let mut row = Vec::with_capacity(fields.len() - 1);
+        for (i, field) in fields.iter().enumerate() {
+            if i == label_idx {
+                raw_labels.push((*field).to_string());
+            } else {
+                let value: f64 = field.parse().map_err(|_| CsvError::BadNumber {
+                    line: display_line,
+                    field: (*field).to_string(),
+                })?;
+                row.push(value);
+            }
+        }
+        features.push(row);
+    }
+
+    if features.is_empty() {
+        return Err(CsvError::Empty);
+    }
+
+    // Map raw labels to dense indices (sorted for determinism).
+    let mut label_map: BTreeMap<String, usize> = BTreeMap::new();
+    for l in &raw_labels {
+        let next = label_map.len();
+        label_map.entry(l.clone()).or_insert(next);
+    }
+    // Re-index by sorted order so class ids are stable across folds/files.
+    let sorted_names: Vec<String> = label_map.keys().cloned().collect();
+    let sorted_index: BTreeMap<&String, usize> = sorted_names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n, i))
+        .collect();
+    let labels: Vec<usize> = raw_labels.iter().map(|l| sorted_index[l]).collect();
+
+    let dims = features[0].len();
+    Ok(Dataset::from_parts(
+        options.name.clone(),
+        dims,
+        sorted_names,
+        features,
+        labels,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn loads_simple_csv_with_last_label() {
+        let data = "1.0,2.0,a\n3.0,4.0,b\n5.0,6.0,a\n";
+        let ds = load_csv_from_reader(Cursor::new(data), &CsvOptions::default()).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.dims(), 2);
+        assert_eq!(ds.num_classes(), 2);
+        assert_eq!(ds.class_names(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(ds.labels(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn loads_csv_with_first_label_and_header() {
+        let data = "label,x,y\ncat,1,2\ndog,3,4\n";
+        let options = CsvOptions {
+            has_header: true,
+            label: LabelColumn::First,
+            ..CsvOptions::default()
+        };
+        let ds = load_csv_from_reader(Cursor::new(data), &options).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.feature(0), &[1.0, 2.0]);
+        assert_eq!(ds.class_names(), &["cat".to_string(), "dog".to_string()]);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let data = "1,2,a\n\n3,4,b\n";
+        let ds = load_csv_from_reader(Cursor::new(data), &CsvOptions::default()).unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn bad_number_is_reported_with_line() {
+        let data = "1,2,a\n1,oops,b\n";
+        let err = load_csv_from_reader(Cursor::new(data), &CsvOptions::default()).unwrap_err();
+        match err {
+            CsvError::BadNumber { line, field } => {
+                assert_eq!(line, 2);
+                assert_eq!(field, "oops");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        let data = "1,2,a\n1,2,3,b\n";
+        let err = load_csv_from_reader(Cursor::new(data), &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, CsvError::InconsistentColumns { line: 2, .. }));
+    }
+
+    #[test]
+    fn empty_file_is_rejected() {
+        let err =
+            load_csv_from_reader(Cursor::new(""), &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, CsvError::Empty));
+    }
+
+    #[test]
+    fn semicolon_separator_and_index_label() {
+        let data = "1.5;x;2.5\n3.5;y;4.5\n";
+        let options = CsvOptions {
+            separator: ';',
+            label: LabelColumn::Index(1),
+            ..CsvOptions::default()
+        };
+        let ds = load_csv_from_reader(Cursor::new(data), &options).unwrap();
+        assert_eq!(ds.dims(), 2);
+        assert_eq!(ds.feature(1), &[3.5, 4.5]);
+    }
+}

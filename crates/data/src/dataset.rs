@@ -1,0 +1,320 @@
+//! Labelled numeric data sets.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One labelled observation: a feature vector and its class index.
+pub type LabeledPoint = (Vec<f64>, usize);
+
+/// A labelled numeric data set.
+///
+/// Features are dense `f64` vectors; labels are dense class indices
+/// `0..num_classes`.  Class names are kept for reporting.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    name: String,
+    features: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    class_names: Vec<String>,
+    dims: usize,
+}
+
+impl Dataset {
+    /// Creates an empty data set with the given name, dimensionality and
+    /// class names.
+    #[must_use]
+    pub fn new(name: impl Into<String>, dims: usize, class_names: Vec<String>) -> Self {
+        Self {
+            name: name.into(),
+            features: Vec::new(),
+            labels: Vec::new(),
+            class_names,
+            dims,
+        }
+    }
+
+    /// Creates a data set from parallel feature and label vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths, any feature vector has
+    /// the wrong dimensionality, or any label is out of range.
+    #[must_use]
+    pub fn from_parts(
+        name: impl Into<String>,
+        dims: usize,
+        class_names: Vec<String>,
+        features: Vec<Vec<f64>>,
+        labels: Vec<usize>,
+    ) -> Self {
+        assert_eq!(features.len(), labels.len(), "feature/label length mismatch");
+        assert!(
+            features.iter().all(|f| f.len() == dims),
+            "all feature vectors must have dimensionality {dims}"
+        );
+        assert!(
+            labels.iter().all(|&l| l < class_names.len()),
+            "labels must index into class_names"
+        );
+        Self {
+            name: name.into(),
+            features,
+            labels,
+            class_names,
+            dims,
+        }
+    }
+
+    /// Human-readable name of the data set.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the data set has no observations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Feature dimensionality.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Class names, indexed by label.
+    #[must_use]
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// All feature vectors.
+    #[must_use]
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// All labels.
+    #[must_use]
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// The `i`-th feature vector.
+    #[must_use]
+    pub fn feature(&self, i: usize) -> &[f64] {
+        &self.features[i]
+    }
+
+    /// The `i`-th label.
+    #[must_use]
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// Appends an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature vector has the wrong dimensionality or the label
+    /// is out of range.
+    pub fn push(&mut self, features: Vec<f64>, label: usize) {
+        assert_eq!(features.len(), self.dims, "feature dimensionality mismatch");
+        assert!(label < self.class_names.len(), "label out of range");
+        self.features.push(features);
+        self.labels.push(label);
+    }
+
+    /// Iterates over `(features, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], &usize)> {
+        self.features
+            .iter()
+            .map(Vec::as_slice)
+            .zip(self.labels.iter())
+    }
+
+    /// Number of observations per class.
+    #[must_use]
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes()];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Relative class frequencies — the Bayesian prior `P(c_i)`.
+    #[must_use]
+    pub fn class_priors(&self) -> Vec<f64> {
+        let counts = self.class_counts();
+        let total = self.len().max(1) as f64;
+        counts.iter().map(|&c| c as f64 / total).collect()
+    }
+
+    /// The feature vectors belonging to class `label`.
+    #[must_use]
+    pub fn features_of_class(&self, label: usize) -> Vec<Vec<f64>> {
+        self.features
+            .iter()
+            .zip(&self.labels)
+            .filter(|(_, &l)| l == label)
+            .map(|(f, _)| f.clone())
+            .collect()
+    }
+
+    /// A new data set containing only the observations at `indices`.
+    #[must_use]
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let features = indices.iter().map(|&i| self.features[i].clone()).collect();
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        Dataset {
+            name: self.name.clone(),
+            features,
+            labels,
+            class_names: self.class_names.clone(),
+            dims: self.dims,
+        }
+    }
+
+    /// Splits into `(train, test)` with `test_fraction` of the data held out,
+    /// after a deterministic shuffle with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `test_fraction` is not within `(0, 1)`.
+    #[must_use]
+    pub fn split_holdout(&self, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            test_fraction > 0.0 && test_fraction < 1.0,
+            "test fraction must be in (0, 1)"
+        );
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        indices.shuffle(&mut rng);
+        let test_len = ((self.len() as f64) * test_fraction).round() as usize;
+        let test_idx = &indices[..test_len];
+        let train_idx = &indices[test_len..];
+        (self.subset(train_idx), self.subset(test_idx))
+    }
+
+    /// Returns a copy with the observation order shuffled deterministically.
+    #[must_use]
+    pub fn shuffled(&self, seed: u64) -> Dataset {
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        indices.shuffle(&mut rng);
+        self.subset(&indices)
+    }
+}
+
+/// Generates `count` generic class names `"class-0"`, `"class-1"`, ....
+#[must_use]
+pub fn generic_class_names(count: usize) -> Vec<String> {
+    (0..count).map(|i| format!("class-{i}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::from_parts(
+            "toy",
+            2,
+            generic_class_names(2),
+            vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]],
+            vec![0, 0, 1, 1],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.dims(), 2);
+        assert_eq!(d.num_classes(), 2);
+        assert_eq!(d.class_counts(), vec![2, 2]);
+        assert_eq!(d.class_priors(), vec![0.5, 0.5]);
+        assert_eq!(d.feature(2), &[2.0, 2.0]);
+        assert_eq!(d.label(2), 1);
+    }
+
+    #[test]
+    fn subset_picks_requested_rows() {
+        let d = toy();
+        let s = d.subset(&[0, 3]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.label(0), 0);
+        assert_eq!(s.label(1), 1);
+    }
+
+    #[test]
+    fn holdout_split_partitions_everything() {
+        let d = toy();
+        let (train, test) = d.split_holdout(0.25, 1);
+        assert_eq!(train.len() + test.len(), d.len());
+        assert_eq!(test.len(), 1);
+    }
+
+    #[test]
+    fn holdout_split_is_deterministic() {
+        let d = toy();
+        let (a_train, _) = d.split_holdout(0.5, 7);
+        let (b_train, _) = d.split_holdout(0.5, 7);
+        assert_eq!(a_train.features(), b_train.features());
+    }
+
+    #[test]
+    fn features_of_class_filters_correctly() {
+        let d = toy();
+        let c1 = d.features_of_class(1);
+        assert_eq!(c1, vec![vec![2.0, 2.0], vec![3.0, 3.0]]);
+    }
+
+    #[test]
+    fn shuffled_preserves_multiset() {
+        let d = toy();
+        let s = d.shuffled(3);
+        assert_eq!(s.len(), d.len());
+        let mut counts = s.class_counts();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn push_rejects_bad_label() {
+        let mut d = toy();
+        d.push(vec![0.0, 0.0], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn push_rejects_bad_dims() {
+        let mut d = toy();
+        d.push(vec![0.0], 0);
+    }
+
+    #[test]
+    fn iter_yields_pairs_in_order() {
+        let d = toy();
+        let pairs: Vec<(Vec<f64>, usize)> =
+            d.iter().map(|(f, &l)| (f.to_vec(), l)).collect();
+        assert_eq!(pairs[0], (vec![0.0, 0.0], 0));
+        assert_eq!(pairs[3], (vec![3.0, 3.0], 1));
+    }
+}

@@ -1,0 +1,150 @@
+//! Stratified k-fold cross validation.
+//!
+//! The paper reports all accuracy curves as the average over a 4-fold cross
+//! validation (Section 3.2).  Folds are stratified so every fold preserves
+//! the class distribution — important for the heavily imbalanced Covertype
+//! workload.
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One cross-validation fold: the indices of the held-out test observations.
+#[derive(Debug, Clone)]
+pub struct Fold {
+    /// Indices of the training observations.
+    pub train: Vec<usize>,
+    /// Indices of the test observations.
+    pub test: Vec<usize>,
+}
+
+impl Fold {
+    /// Materialises the training data set of this fold.
+    #[must_use]
+    pub fn train_set(&self, dataset: &Dataset) -> Dataset {
+        dataset.subset(&self.train)
+    }
+
+    /// Materialises the test data set of this fold.
+    #[must_use]
+    pub fn test_set(&self, dataset: &Dataset) -> Dataset {
+        dataset.subset(&self.test)
+    }
+}
+
+/// Produces `k` stratified folds over `dataset`, shuffled with `seed`.
+///
+/// Every observation appears in exactly one test fold; within each class the
+/// observations are distributed round-robin over the folds, so fold class
+/// distributions match the global one up to rounding.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or the data set has fewer than `k` observations.
+#[must_use]
+pub fn stratified_folds(dataset: &Dataset, k: usize, seed: u64) -> Vec<Fold> {
+    assert!(k >= 2, "need at least two folds");
+    assert!(
+        dataset.len() >= k,
+        "data set must have at least as many observations as folds"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Group observation indices by class and shuffle within each class.
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); dataset.num_classes()];
+    for i in 0..dataset.len() {
+        per_class[dataset.label(i)].push(i);
+    }
+    for group in &mut per_class {
+        group.shuffle(&mut rng);
+    }
+
+    // Round-robin each class's observations over the folds.
+    let mut test_sets: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for group in &per_class {
+        for (pos, &idx) in group.iter().enumerate() {
+            test_sets[pos % k].push(idx);
+        }
+    }
+
+    (0..k)
+        .map(|f| {
+            let test = test_sets[f].clone();
+            let in_test: std::collections::HashSet<usize> = test.iter().copied().collect();
+            let train = (0..dataset.len()).filter(|i| !in_test.contains(i)).collect();
+            Fold { train, test }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::generic_class_names;
+
+    fn dataset(n: usize, classes: usize) -> Dataset {
+        let features: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i * 2) as f64]).collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+        Dataset::from_parts("t", 2, generic_class_names(classes), features, labels)
+    }
+
+    #[test]
+    fn folds_partition_all_observations() {
+        let ds = dataset(100, 4);
+        let folds = stratified_folds(&ds, 4, 1);
+        let mut all_test: Vec<usize> = folds.iter().flat_map(|f| f.test.clone()).collect();
+        all_test.sort_unstable();
+        assert_eq!(all_test, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn train_and_test_are_disjoint_and_complete() {
+        let ds = dataset(60, 3);
+        for fold in stratified_folds(&ds, 4, 2) {
+            let mut union: Vec<usize> = fold.train.iter().chain(&fold.test).copied().collect();
+            union.sort_unstable();
+            assert_eq!(union, (0..60).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        let ds = dataset(120, 3);
+        for fold in stratified_folds(&ds, 4, 3) {
+            let test = fold.test_set(&ds);
+            let counts = test.class_counts();
+            // 30 per fold, 3 classes -> 10 each.
+            assert!(counts.iter().all(|&c| c == 10), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn imbalanced_classes_stay_represented() {
+        // 90 of class 0, 10 of class 1.
+        let features: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let labels: Vec<usize> = (0..100).map(|i| usize::from(i >= 90)).collect();
+        let ds = Dataset::from_parts("imb", 1, generic_class_names(2), features, labels);
+        for fold in stratified_folds(&ds, 4, 5) {
+            let counts = fold.test_set(&ds).class_counts();
+            assert!(counts[1] >= 2, "minority class missing from a fold");
+        }
+    }
+
+    #[test]
+    fn folds_are_deterministic_for_a_seed() {
+        let ds = dataset(40, 2);
+        let a = stratified_folds(&ds, 4, 9);
+        let b = stratified_folds(&ds, 4, 9);
+        for (fa, fb) in a.iter().zip(&b) {
+            assert_eq!(fa.test, fb.test);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two folds")]
+    fn single_fold_panics() {
+        let ds = dataset(10, 2);
+        let _ = stratified_folds(&ds, 1, 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Data substrate: data sets, workload generators and stream simulation.
+//!
+//! The paper evaluates the Bayes tree on four benchmark data sets (Table 1:
+//! Pendigits, Letter, Gender, Covertype) under 4-fold cross validation, and
+//! motivates anytime classification with *varying* data streams whose
+//! inter-arrival times dictate how much computation each object may receive.
+//! This crate provides:
+//!
+//! * [`dataset::Dataset`] — a labelled numeric data set with class metadata,
+//! * [`normalize`] — min/max and z-score normalisation fitted on training
+//!   folds,
+//! * [`folds`] — stratified k-fold cross validation,
+//! * [`csv`] — a dependency-free CSV loader for the original UCI files when
+//!   they are available locally,
+//! * [`synth`] — synthetic generators that emulate the four benchmark data
+//!   sets (matching cardinality, dimensionality, class count and class
+//!   imbalance) plus a generic Gaussian-blob generator,
+//! * [`stream`] — constant and Poisson stream simulators that translate
+//!   arrival rates into per-object node budgets (the anytime interruption
+//!   model used throughout the evaluation), and a drifting stream for the
+//!   clustering extension.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod csv;
+pub mod dataset;
+pub mod folds;
+pub mod normalize;
+pub mod stream;
+pub mod synth;
+
+pub use dataset::{Dataset, LabeledPoint};
+pub use folds::{stratified_folds, Fold};
+pub use normalize::{MinMaxScaler, StandardScaler};
+pub use stream::{ConstantStream, PoissonStream, StreamItem, StreamSimulator};

@@ -1,0 +1,106 @@
+//! Generic Gaussian-blob data sets for examples and tests.
+
+use crate::dataset::Dataset;
+use crate::synth::ClassMixtureConfig;
+
+/// Builder for a small, well-separated multi-class Gaussian data set.
+///
+/// This is the generator used by the quickstart example and by most unit
+/// tests: it produces classes that are easy enough to classify that accuracy
+/// assertions stay stable, while still being multi-modal so the tree has a
+/// non-trivial structure to index.
+#[derive(Debug, Clone)]
+pub struct BlobConfig {
+    inner: ClassMixtureConfig,
+    samples_per_class: usize,
+}
+
+impl BlobConfig {
+    /// Creates a configuration for `classes` classes in `dims` dimensions.
+    #[must_use]
+    pub fn new(classes: usize, dims: usize) -> Self {
+        let mut inner = ClassMixtureConfig::new("blobs", classes, dims);
+        inner.separation = 12.0;
+        inner.spread = 0.8;
+        inner.clusters_per_class = 2;
+        Self {
+            inner,
+            samples_per_class: 100,
+        }
+    }
+
+    /// Sets the number of samples drawn per class.
+    #[must_use]
+    pub fn samples_per_class(mut self, n: usize) -> Self {
+        self.samples_per_class = n;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.inner.seed = seed;
+        self
+    }
+
+    /// Sets the number of Gaussian clusters per class.
+    #[must_use]
+    pub fn clusters_per_class(mut self, clusters: usize) -> Self {
+        self.inner.clusters_per_class = clusters.max(1);
+        self
+    }
+
+    /// Sets the within-cluster standard deviation (larger = harder problem).
+    #[must_use]
+    pub fn spread(mut self, spread: f64) -> Self {
+        self.inner.spread = spread;
+        self
+    }
+
+    /// Sets the side length of the region cluster centres are drawn from.
+    #[must_use]
+    pub fn separation(mut self, separation: f64) -> Self {
+        self.inner.separation = separation;
+        self
+    }
+
+    /// Generates the data set.
+    #[must_use]
+    pub fn generate(&self) -> Dataset {
+        self.inner
+            .generate(self.samples_per_class * self.inner.classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_requested_shape() {
+        let ds = BlobConfig::new(4, 3).samples_per_class(50).seed(1).generate();
+        assert_eq!(ds.len(), 200);
+        assert_eq!(ds.dims(), 3);
+        assert_eq!(ds.num_classes(), 4);
+        assert_eq!(ds.class_counts(), vec![50; 4]);
+    }
+
+    #[test]
+    fn different_seeds_give_different_data() {
+        let a = BlobConfig::new(2, 2).seed(1).generate();
+        let b = BlobConfig::new(2, 2).seed(2).generate();
+        assert_ne!(a.features()[0], b.features()[0]);
+    }
+
+    #[test]
+    fn spread_controls_difficulty() {
+        let tight = BlobConfig::new(2, 2).spread(0.1).seed(3).generate();
+        let loose = BlobConfig::new(2, 2).spread(5.0).seed(3).generate();
+        // Within-class variance should differ by orders of magnitude.
+        let var = |ds: &Dataset| {
+            let pts = ds.features_of_class(0);
+            bt_stats::vector::variance(&pts, 2).iter().sum::<f64>()
+        };
+        assert!(var(&loose) > var(&tight) * 5.0);
+    }
+}

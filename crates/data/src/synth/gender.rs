@@ -1,0 +1,73 @@
+//! Synthetic stand-in for the PDMC *Gender* data set.
+//!
+//! Original: 189 961 physiological sensor records from the Physiological Data
+//! Modeling Contest (ICML 2004), 9 features, 2 classes (Table 1).  Binary,
+//! large, and with substantial class overlap: the paper reports 60–85 %
+//! anytime accuracy on it (Figure 4, top).
+//!
+//! The stand-in uses four clusters per class (different activity regimes) and
+//! a mild class imbalance, with strongly overlapping classes.
+
+use crate::dataset::Dataset;
+use crate::synth::{ClassMixtureConfig, DatasetSpec};
+
+/// The Table 1 row for Gender.
+#[must_use]
+pub fn spec() -> DatasetSpec {
+    DatasetSpec {
+        name: "Gender",
+        size: 189_961,
+        classes: 2,
+        features: 9,
+        reference: "PDMC / Stone & Andre [19]",
+    }
+}
+
+/// Generates a Gender-like data set with `samples` observations.
+#[must_use]
+pub fn generate(samples: usize, seed: u64) -> Dataset {
+    let spec = spec();
+    let mut config = ClassMixtureConfig::new(spec.name, spec.classes, spec.features);
+    config.clusters_per_class = 5;
+    config.class_weights = vec![0.55, 0.45];
+    config.separation = 8.0;
+    config.spread = 2.8;
+    config.curvature = 1.0;
+    config.seed = seed;
+    config.generate(samples)
+}
+
+/// Generates the full-size stand-in (189 961 observations).
+#[must_use]
+pub fn generate_full(seed: u64) -> Dataset {
+    generate(spec().size, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_table1_shape() {
+        let ds = generate(2_000, 7);
+        assert_eq!(ds.dims(), 9);
+        assert_eq!(ds.num_classes(), 2);
+        assert_eq!(ds.len(), 2_000);
+    }
+
+    #[test]
+    fn classes_are_mildly_imbalanced() {
+        let ds = generate(2_000, 7);
+        let counts = ds.class_counts();
+        assert!(counts[0] > counts[1]);
+        let ratio = counts[0] as f64 / ds.len() as f64;
+        assert!((0.50..0.60).contains(&ratio), "majority ratio {ratio}");
+    }
+
+    #[test]
+    fn problem_is_hard_but_learnable() {
+        let ds = generate(4_000, 11);
+        let acc = crate::synth::test_util::knn_holdout_accuracy(&ds);
+        assert!(acc > 0.55 && acc < 0.999, "accuracy {acc}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Ablation experiments over the design choices called out in DESIGN.md:
+//! descent strategy, qbk parameter, page geometry (fanout) and the
+//! single-tree multi-class variant of Section 4.1.
+
+use crate::curve::{anytime_accuracy_curve, AccuracyCurve, CurveConfig};
+use bayestree::{
+    BulkLoadMethod, DescentStrategy, RefinementStrategy, SingleTreeClassifier, SingleTreeConfig,
+};
+use bt_data::{stratified_folds, Dataset};
+use bt_index::PageGeometry;
+
+/// Measures one accuracy curve per descent strategy (bft, dft, glo-geo, glo).
+#[must_use]
+pub fn descent_ablation(
+    dataset: &Dataset,
+    method: BulkLoadMethod,
+    config: &CurveConfig,
+) -> Vec<AccuracyCurve> {
+    DescentStrategy::all()
+        .into_iter()
+        .map(|descent| {
+            let cfg = CurveConfig {
+                descent,
+                ..config.clone()
+            };
+            let mut curve = anytime_accuracy_curve(dataset, method, &cfg);
+            curve.label = format!("{} {}", method.name(), descent.short_name());
+            curve
+        })
+        .collect()
+}
+
+/// Measures one accuracy curve per qbk parameter `k` (plus round-robin).
+#[must_use]
+pub fn qbk_ablation(
+    dataset: &Dataset,
+    method: BulkLoadMethod,
+    ks: &[usize],
+    config: &CurveConfig,
+) -> Vec<AccuracyCurve> {
+    let mut strategies: Vec<(RefinementStrategy, String)> = ks
+        .iter()
+        .map(|&k| (RefinementStrategy::Qbk { k: Some(k) }, format!("qb{k}")))
+        .collect();
+    strategies.push((RefinementStrategy::RoundRobin, "rr".to_string()));
+    strategies.push((RefinementStrategy::MostProbable, "top1".to_string()));
+
+    strategies
+        .into_iter()
+        .map(|(refinement, label)| {
+            let cfg = CurveConfig {
+                refinement,
+                ..config.clone()
+            };
+            let mut curve = anytime_accuracy_curve(dataset, method, &cfg);
+            curve.label = label;
+            curve
+        })
+        .collect()
+}
+
+/// Measures one accuracy curve per fanout setting (page-geometry ablation).
+#[must_use]
+pub fn fanout_ablation(
+    dataset: &Dataset,
+    method: BulkLoadMethod,
+    fanouts: &[usize],
+    config: &CurveConfig,
+) -> Vec<AccuracyCurve> {
+    fanouts
+        .iter()
+        .map(|&fanout| {
+            let geometry = PageGeometry::from_fanout(fanout, fanout * 2);
+            let cfg = CurveConfig {
+                geometry: Some(geometry),
+                ..config.clone()
+            };
+            let mut curve = anytime_accuracy_curve(dataset, method, &cfg);
+            curve.label = format!("M={fanout}");
+            curve
+        })
+        .collect()
+}
+
+/// Compares the per-class forest against the single-tree multi-class variant
+/// of Section 4.1 at a fixed node budget.  Returns `(forest, single_tree)`
+/// accuracies.
+#[must_use]
+pub fn multiclass_comparison(dataset: &Dataset, budget: usize, config: &CurveConfig) -> (f64, f64) {
+    let folds = stratified_folds(dataset, config.folds, config.seed);
+    let mut forest_correct = 0usize;
+    let mut single_correct = 0usize;
+    let mut total = 0usize;
+
+    for fold in &folds {
+        let train = fold.train_set(dataset);
+        let test = fold.test_set(dataset);
+
+        let forest = bayestree::AnytimeClassifier::train(
+            &train,
+            &bayestree::ClassifierConfig {
+                geometry: config.geometry,
+                bulk_load: BulkLoadMethod::Iterative,
+                descent: config.descent,
+                refinement: config.refinement,
+                per_class_bandwidth: true,
+                seed: config.seed,
+            },
+        );
+        let single = SingleTreeClassifier::train(
+            &train,
+            &SingleTreeConfig {
+                geometry: config.geometry,
+                descent: config.descent,
+                entropy_weighted_descent: false,
+            },
+        );
+
+        let limit = config.max_test_queries.unwrap_or(test.len()).min(test.len());
+        for i in 0..limit {
+            let truth = test.label(i);
+            if forest.classify_with_budget(test.feature(i), budget).label == truth {
+                forest_correct += 1;
+            }
+            if single.classify_with_budget(test.feature(i), budget).label == truth {
+                single_correct += 1;
+            }
+            total += 1;
+        }
+    }
+    let total = total.max(1) as f64;
+    (forest_correct as f64 / total, single_correct as f64 / total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_data::synth::blobs::BlobConfig;
+
+    fn dataset() -> Dataset {
+        BlobConfig::new(3, 4)
+            .samples_per_class(50)
+            .seed(9)
+            .generate()
+    }
+
+    fn fast_config() -> CurveConfig {
+        CurveConfig {
+            max_nodes: 8,
+            folds: 2,
+            geometry: Some(PageGeometry::from_fanout(4, 6)),
+            max_test_queries: Some(20),
+            ..CurveConfig::default()
+        }
+    }
+
+    #[test]
+    fn descent_ablation_covers_all_strategies() {
+        let curves = descent_ablation(&dataset(), BulkLoadMethod::Iterative, &fast_config());
+        assert_eq!(curves.len(), 4);
+        assert!(curves.iter().any(|c| c.label.ends_with("bft")));
+        assert!(curves.iter().any(|c| c.label.ends_with("glo")));
+        for c in &curves {
+            assert!(c.peak() > 0.5, "{}: {:?}", c.label, c.accuracy);
+        }
+    }
+
+    #[test]
+    fn qbk_ablation_produces_requested_variants() {
+        let curves = qbk_ablation(&dataset(), BulkLoadMethod::Iterative, &[1, 2], &fast_config());
+        let labels: Vec<&str> = curves.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, vec!["qb1", "qb2", "rr", "top1"]);
+    }
+
+    #[test]
+    fn fanout_ablation_produces_one_curve_per_setting() {
+        let curves =
+            fanout_ablation(&dataset(), BulkLoadMethod::Iterative, &[4, 8], &fast_config());
+        assert_eq!(curves.len(), 2);
+        assert_eq!(curves[0].label, "M=4");
+    }
+
+    #[test]
+    fn multiclass_comparison_yields_sane_accuracies() {
+        let (forest, single) = multiclass_comparison(&dataset(), 10, &fast_config());
+        assert!(forest > 0.6, "forest accuracy {forest}");
+        assert!(single > 0.6, "single-tree accuracy {single}");
+    }
+}

@@ -1,0 +1,33 @@
+//! Experiment harness regenerating the paper's evaluation.
+//!
+//! Every table and figure of the paper's evaluation (Section 3.2) has a
+//! corresponding experiment here:
+//!
+//! * **Table 1** — the data-set inventory ([`report::table1`]),
+//! * **Figures 2 and 3** — anytime classification accuracy per node read on
+//!   the Pendigits / Letter workloads for the four construction methods
+//!   (EMTopDown, Hilbert, Goldberger, iterative insertion)
+//!   ([`curve::figure_curves`]),
+//! * **Figure 4** — the same on the Gender / Covertype workloads, comparing
+//!   global-best descent against breadth-first traversal
+//!   ([`curve::figure4_curves`]),
+//! * the **"up to 13 %" improvement claim** ([`report::improvement_summary`]),
+//! * ablations over descent strategies, the qbk parameter, the page geometry
+//!   and the single-tree multi-class variant ([`ablation`]),
+//! * the anytime-clustering extension's speed-adaptation experiment
+//!   ([`clustering`]).
+//!
+//! The bench crate's binaries (`figure2`, `figure3`, `figure4`, `table1`,
+//! `improvement`, `ablation_descent`, `clustree_speed`) are thin wrappers
+//! around these functions; `EXPERIMENTS.md` records the outputs.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ablation;
+pub mod clustering;
+pub mod curve;
+pub mod report;
+
+pub use curve::{anytime_accuracy_curve, AccuracyCurve, CurveConfig};
+pub use report::{ascii_chart, curves_to_csv, improvement_summary, table1};

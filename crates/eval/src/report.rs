@@ -1,0 +1,227 @@
+//! Report formatting: Table 1, CSV export, ASCII charts and the improvement
+//! summary behind the paper's "up to 13 %" claim.
+
+use crate::curve::AccuracyCurve;
+use bt_data::synth::table1_specs;
+
+/// Renders Table 1 (the data-set inventory) as aligned text.
+#[must_use]
+pub fn table1() -> String {
+    let mut out = String::from(
+        "name        size     classes  features  ref.\n\
+         ----------  -------  -------  --------  ----------------------\n",
+    );
+    for spec in table1_specs() {
+        out.push_str(&format!(
+            "{:<10}  {:>7}  {:>7}  {:>8}  {}\n",
+            spec.name, spec.size, spec.classes, spec.features, spec.reference
+        ));
+    }
+    out
+}
+
+/// Serialises a set of curves as CSV: one row per node budget, one column per
+/// curve.
+#[must_use]
+pub fn curves_to_csv(curves: &[AccuracyCurve]) -> String {
+    if curves.is_empty() {
+        return String::from("nodes\n");
+    }
+    let mut out = String::from("nodes");
+    for c in curves {
+        out.push(',');
+        out.push_str(&c.label);
+    }
+    out.push('\n');
+    let len = curves.iter().map(|c| c.accuracy.len()).max().unwrap_or(0);
+    for t in 0..len {
+        out.push_str(&t.to_string());
+        for c in curves {
+            out.push(',');
+            out.push_str(&format!("{:.4}", c.at(t)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders curves as a fixed-size ASCII chart (accuracy vs. nodes), one
+/// letter per curve, for terminal inspection of the figures.
+#[must_use]
+pub fn ascii_chart(curves: &[AccuracyCurve], height: usize, width: usize) -> String {
+    if curves.is_empty() || height < 2 || width < 2 {
+        return String::new();
+    }
+    let y_min = curves
+        .iter()
+        .flat_map(|c| c.accuracy.iter().copied())
+        .fold(f64::INFINITY, f64::min)
+        .min(1.0);
+    let y_max = curves
+        .iter()
+        .flat_map(|c| c.accuracy.iter().copied())
+        .fold(0.0f64, f64::max)
+        .max(y_min + 1e-9);
+    let max_nodes = curves
+        .iter()
+        .map(|c| c.accuracy.len().saturating_sub(1))
+        .max()
+        .unwrap_or(0)
+        .max(1);
+
+    let mut grid = vec![vec![' '; width]; height];
+    let markers = ['E', 'H', 'G', 'I', 'Z', 'S', 'B', 'X'];
+    for (ci, curve) in curves.iter().enumerate() {
+        let marker = markers[ci % markers.len()];
+        for col in 0..width {
+            let nodes = col * max_nodes / (width - 1).max(1);
+            let acc = curve.at(nodes);
+            let rel = (acc - y_min) / (y_max - y_min);
+            let row = height - 1 - ((rel * (height - 1) as f64).round() as usize).min(height - 1);
+            grid[row][col] = marker;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("accuracy {y_max:.3} (top) .. {y_min:.3} (bottom), nodes 0..{max_nodes}\n"));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    for (ci, curve) in curves.iter().enumerate() {
+        out.push_str(&format!("  {} = {}\n", markers[ci % markers.len()], curve.label));
+    }
+    out
+}
+
+/// One row of the improvement summary: how much a bulk load gains over the
+/// iterative baseline on a given workload.
+#[derive(Debug, Clone)]
+pub struct Improvement {
+    /// Workload name.
+    pub dataset: String,
+    /// Bulk-load label.
+    pub method: String,
+    /// Maximum accuracy gain over the baseline across all node budgets.
+    pub max_gain: f64,
+    /// Mean accuracy gain over the baseline across all node budgets.
+    pub mean_gain: f64,
+}
+
+/// Computes, for each non-baseline curve, the maximum and mean accuracy gain
+/// over the baseline curve — the quantity behind the paper's statement that
+/// bulk loading improves accuracy "up to 13 %".
+#[must_use]
+pub fn improvement_summary(
+    dataset: &str,
+    baseline: &AccuracyCurve,
+    others: &[AccuracyCurve],
+) -> Vec<Improvement> {
+    others
+        .iter()
+        .filter(|c| c.label != baseline.label)
+        .map(|c| {
+            let len = c.accuracy.len().max(baseline.accuracy.len());
+            let mut max_gain = f64::NEG_INFINITY;
+            let mut sum = 0.0;
+            for t in 0..len {
+                let gain = c.at(t) - baseline.at(t);
+                max_gain = max_gain.max(gain);
+                sum += gain;
+            }
+            Improvement {
+                dataset: dataset.to_string(),
+                method: c.label.clone(),
+                max_gain,
+                mean_gain: sum / len.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// Formats an improvement summary as aligned text.
+#[must_use]
+pub fn format_improvements(rows: &[Improvement]) -> String {
+    let mut out = String::from(
+        "dataset     method       max gain  mean gain\n\
+         ----------  -----------  --------  ---------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10}  {:<11}  {:>+7.1}%  {:>+8.1}%\n",
+            r.dataset,
+            r.method,
+            r.max_gain * 100.0,
+            r.mean_gain * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(label: &str, values: &[f64]) -> AccuracyCurve {
+        AccuracyCurve {
+            label: label.to_string(),
+            accuracy: values.to_vec(),
+            final_accuracy: *values.last().unwrap_or(&0.0),
+        }
+    }
+
+    #[test]
+    fn table1_contains_all_four_datasets() {
+        let t = table1();
+        for name in ["Pendigits", "Letter", "Gender", "Covertype"] {
+            assert!(t.contains(name), "missing {name}");
+        }
+        assert!(t.contains("581012"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = curves_to_csv(&[
+            curve("A", &[0.5, 0.6, 0.7]),
+            curve("B", &[0.4, 0.5, 0.6]),
+        ]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "nodes,A,B");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("0,0.5000,0.4000"));
+    }
+
+    #[test]
+    fn csv_of_nothing_is_just_a_header() {
+        assert_eq!(curves_to_csv(&[]), "nodes\n");
+    }
+
+    #[test]
+    fn ascii_chart_mentions_every_curve() {
+        let chart = ascii_chart(
+            &[curve("EMTopDown", &[0.5, 0.9]), curve("Iterativ", &[0.4, 0.8])],
+            10,
+            30,
+        );
+        assert!(chart.contains("E = EMTopDown"));
+        assert!(chart.contains("H = Iterativ"));
+        assert!(chart.lines().count() > 10);
+    }
+
+    #[test]
+    fn improvement_summary_measures_gains() {
+        let baseline = curve("Iterativ", &[0.5, 0.6, 0.7]);
+        let better = curve("EMTopDown", &[0.6, 0.73, 0.75]);
+        let rows = improvement_summary("toy", &baseline, &[better.clone(), baseline.clone()]);
+        assert_eq!(rows.len(), 1);
+        assert!((rows[0].max_gain - 0.13).abs() < 1e-9);
+        assert!(rows[0].mean_gain > 0.0);
+        let text = format_improvements(&rows);
+        assert!(text.contains("EMTopDown"));
+        assert!(text.contains("+13.0%"));
+    }
+}

@@ -1,0 +1,198 @@
+//! d-dimensional Hilbert space-filling curve.
+//!
+//! The Hilbert bulk load (Section 3.1) sorts the training observations by
+//! their Hilbert value and packs consecutive runs into leaf pages.  This
+//! module implements the curve for arbitrary dimensionality via Skilling's
+//! transpose algorithm: real-valued points are quantised onto a `2^bits`
+//! grid per dimension (after min/max normalisation over the input set) and
+//! mapped to a single `u128` key.
+
+use crate::zorder::{interleave_bits, quantize_points};
+
+/// Maximum number of key bits representable in the `u128` Hilbert key.
+pub const MAX_KEY_BITS: u32 = 128;
+
+/// Computes the Hilbert index of an already-quantised point.
+///
+/// `coords[d]` must fit in `bits` bits; `coords.len() * bits` must not exceed
+/// [`MAX_KEY_BITS`].
+///
+/// # Panics
+///
+/// Panics if the key would not fit into 128 bits or `bits` is 0.
+#[must_use]
+pub fn hilbert_index(coords: &[u32], bits: u32) -> u128 {
+    assert!(bits > 0, "bits per dimension must be positive");
+    assert!(
+        coords.len() as u32 * bits <= MAX_KEY_BITS,
+        "dims * bits must not exceed 128"
+    );
+    let mut x = coords.to_vec();
+    axes_to_transpose(&mut x, bits);
+    interleave_bits(&x, bits)
+}
+
+/// Skilling's AxesToTranspose: converts coordinates in place into the
+/// transposed Hilbert representation.
+fn axes_to_transpose(x: &mut [u32], bits: u32) {
+    let n = x.len();
+    if n == 0 {
+        return;
+    }
+    let m = 1u32 << (bits - 1);
+
+    // Inverse undo.
+    let mut q = m;
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..n {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+
+    // Gray encode.
+    for i in 1..n {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0u32;
+    let mut q = m;
+    while q > 1 {
+        if x[n - 1] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for xi in x.iter_mut() {
+        *xi ^= t;
+    }
+}
+
+/// Returns the indices of `points` sorted by their Hilbert value.
+///
+/// Points are min/max-normalised over the input set and quantised to
+/// `bits` bits per dimension (capped so the key fits in 128 bits).  Ties are
+/// broken by the original index, making the order deterministic.
+#[must_use]
+pub fn hilbert_sort_order(points: &[Vec<f64>], bits: u32) -> Vec<usize> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let dims = points[0].len().max(1);
+    let bits = effective_bits(dims, bits);
+    let grid = quantize_points(points, bits);
+    let mut keyed: Vec<(u128, usize)> = grid
+        .iter()
+        .enumerate()
+        .map(|(i, coords)| (hilbert_index(coords, bits), i))
+        .collect();
+    keyed.sort();
+    keyed.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Largest usable bits-per-dimension for `dims` dimensions, at most `wanted`.
+#[must_use]
+pub fn effective_bits(dims: usize, wanted: u32) -> u32 {
+    (MAX_KEY_BITS / dims as u32).min(wanted).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_d_order_two_curve_matches_reference() {
+        // The classic 2-d Hilbert curve on a 4x4 grid starts
+        // (0,0) -> (1,0) -> (1,1) -> (0,1) -> (0,2) ...  (x, y) ordering
+        // depends on axis convention; we check the defining properties
+        // instead of a fixed table: all cells are visited exactly once and
+        // consecutive cells are grid neighbours.
+        let bits = 2;
+        let mut seen = vec![false; 16];
+        let mut by_key: Vec<(u128, (u32, u32))> = Vec::new();
+        for x in 0..4u32 {
+            for y in 0..4u32 {
+                let key = hilbert_index(&[x, y], bits);
+                assert!(key < 16);
+                assert!(!seen[key as usize], "key {key} repeated");
+                seen[key as usize] = true;
+                by_key.push((key, (x, y)));
+            }
+        }
+        by_key.sort();
+        for w in by_key.windows(2) {
+            let (x0, y0) = w[0].1;
+            let (x1, y1) = w[1].1;
+            let manhattan = x0.abs_diff(x1) + y0.abs_diff(y1);
+            assert_eq!(manhattan, 1, "Hilbert curve must move to a neighbour");
+        }
+    }
+
+    #[test]
+    fn keys_are_unique_in_three_dims() {
+        let bits = 3;
+        let mut keys = std::collections::HashSet::new();
+        for x in 0..8u32 {
+            for y in 0..8u32 {
+                for z in 0..8u32 {
+                    assert!(keys.insert(hilbert_index(&[x, y, z], bits)));
+                }
+            }
+        }
+        assert_eq!(keys.len(), 512);
+    }
+
+    #[test]
+    fn sort_order_groups_nearby_points() {
+        // Two tight clusters far apart: the Hilbert order must keep each
+        // cluster contiguous.
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![0.0 + i as f64 * 0.01, 0.0]);
+        }
+        for i in 0..10 {
+            pts.push(vec![100.0 + i as f64 * 0.01, 100.0]);
+        }
+        let order = hilbert_sort_order(&pts, 16);
+        let first_half: Vec<usize> = order[..10].to_vec();
+        let all_low = first_half.iter().all(|&i| i < 10);
+        let all_high = first_half.iter().all(|&i| i >= 10);
+        assert!(all_low || all_high, "clusters must stay contiguous: {order:?}");
+    }
+
+    #[test]
+    fn sort_order_is_a_permutation() {
+        let pts: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i * 7 % 13) as f64, (i * 3 % 11) as f64, i as f64])
+            .collect();
+        let mut order = hilbert_sort_order(&pts, 8);
+        order.sort_unstable();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_order() {
+        assert!(hilbert_sort_order(&[], 8).is_empty());
+    }
+
+    #[test]
+    fn effective_bits_respects_key_width() {
+        assert_eq!(effective_bits(16, 8), 8);
+        assert_eq!(effective_bits(16, 32), 8);
+        assert_eq!(effective_bits(64, 8), 2);
+        assert_eq!(effective_bits(200, 8), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed 128")]
+    fn oversized_key_panics() {
+        let coords = vec![0u32; 20];
+        let _ = hilbert_index(&coords, 8);
+    }
+}

@@ -1,0 +1,121 @@
+//! Choose-subtree: which child should receive a new object.
+
+use crate::mbr::Mbr;
+
+/// Chooses the child whose MBR needs the least area enlargement to cover
+/// `point`; ties are broken by smaller area, then by lower index.
+///
+/// This is the classic R-tree insertion heuristic the Bayes tree inherits
+/// for its iterative (non-bulk) construction.
+///
+/// # Panics
+///
+/// Panics if `children` is empty.
+#[must_use]
+pub fn choose_subtree(children: &[Mbr], point: &[f64]) -> usize {
+    assert!(!children.is_empty(), "cannot choose among zero children");
+    let mut best = 0usize;
+    let mut best_enlargement = f64::INFINITY;
+    let mut best_area = f64::INFINITY;
+    for (i, mbr) in children.iter().enumerate() {
+        let enlargement = mbr.enlargement_for_point(point);
+        let area = mbr.area();
+        if enlargement < best_enlargement
+            || (enlargement == best_enlargement && area < best_area)
+        {
+            best = i;
+            best_enlargement = enlargement;
+            best_area = area;
+        }
+    }
+    best
+}
+
+/// Chooses the child whose MBR gains the least *overlap* with its siblings
+/// when enlarged to cover `point` — the R* refinement used at the level just
+/// above the leaves.  Falls back to least enlargement on ties.
+///
+/// # Panics
+///
+/// Panics if `children` is empty.
+#[must_use]
+pub fn choose_subtree_by_overlap(children: &[Mbr], point: &[f64]) -> usize {
+    assert!(!children.is_empty(), "cannot choose among zero children");
+    let mut best = 0usize;
+    let mut best_overlap_increase = f64::INFINITY;
+    let mut best_enlargement = f64::INFINITY;
+    for (i, mbr) in children.iter().enumerate() {
+        let mut grown = mbr.clone();
+        grown.extend_point(point);
+        let mut before = 0.0;
+        let mut after = 0.0;
+        for (j, other) in children.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            before += mbr.overlap(other);
+            after += grown.overlap(other);
+        }
+        let overlap_increase = after - before;
+        let enlargement = mbr.enlargement_for_point(point);
+        if overlap_increase < best_overlap_increase
+            || (overlap_increase == best_overlap_increase && enlargement < best_enlargement)
+        {
+            best = i;
+            best_overlap_increase = overlap_increase;
+            best_enlargement = enlargement;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn children() -> Vec<Mbr> {
+        vec![
+            Mbr::new(vec![0.0, 0.0], vec![1.0, 1.0]),
+            Mbr::new(vec![5.0, 5.0], vec![6.0, 6.0]),
+        ]
+    }
+
+    #[test]
+    fn point_inside_a_child_chooses_that_child() {
+        assert_eq!(choose_subtree(&children(), &[0.5, 0.5]), 0);
+        assert_eq!(choose_subtree(&children(), &[5.5, 5.5]), 1);
+    }
+
+    #[test]
+    fn point_between_children_chooses_nearer_one() {
+        assert_eq!(choose_subtree(&children(), &[1.5, 1.5]), 0);
+        assert_eq!(choose_subtree(&children(), &[4.8, 4.8]), 1);
+    }
+
+    #[test]
+    fn tie_broken_by_area() {
+        let kids = vec![
+            Mbr::new(vec![0.0, 0.0], vec![4.0, 4.0]),
+            Mbr::new(vec![0.0, 0.0], vec![2.0, 2.0]),
+        ];
+        // Point inside both: zero enlargement for both, smaller area wins.
+        assert_eq!(choose_subtree(&kids, &[1.0, 1.0]), 1);
+    }
+
+    #[test]
+    fn overlap_variant_prefers_less_overlap_growth() {
+        let kids = vec![
+            Mbr::new(vec![0.0, 0.0], vec![2.0, 2.0]),
+            Mbr::new(vec![1.5, 0.0], vec![3.5, 2.0]),
+            Mbr::new(vec![10.0, 10.0], vec![11.0, 11.0]),
+        ];
+        // A point near the isolated child should go there under both rules.
+        assert_eq!(choose_subtree_by_overlap(&kids, &[10.5, 10.2]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero children")]
+    fn empty_children_panics() {
+        let _ = choose_subtree(&[], &[0.0]);
+    }
+}

@@ -1,0 +1,433 @@
+//! A small standalone R-tree over points.
+//!
+//! The Bayes tree has its own node layout (it carries cluster features), so
+//! this tree is *not* used by the classifier.  It exists for two reasons:
+//!
+//! * the offline macro-clustering step of the stream-clustering extension
+//!   (Section 4.2, "density based clustering in an offline component") needs
+//!   epsilon-range queries over micro-cluster centres, and
+//! * it serves as a reference implementation to validate the shared
+//!   choose-subtree / split machinery independently of the Bayes tree.
+
+use crate::mbr::Mbr;
+use crate::rstar::choose::choose_subtree;
+use crate::rstar::split::rstar_split;
+
+/// Arena index of a node.
+type NodeId = usize;
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Leaf { points: Vec<usize> },
+    Inner { children: Vec<NodeId> },
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    mbr: Option<Mbr>,
+    kind: NodeKind,
+}
+
+/// An in-memory R-tree storing `d`-dimensional points with payload indices.
+#[derive(Debug, Clone)]
+pub struct PointRTree {
+    dims: usize,
+    max_entries: usize,
+    min_entries: usize,
+    nodes: Vec<Node>,
+    points: Vec<Vec<f64>>,
+    root: NodeId,
+}
+
+impl PointRTree {
+    /// Creates an empty tree for `dims`-dimensional points with the given
+    /// maximum node capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_entries < 4` or `dims == 0`.
+    #[must_use]
+    pub fn new(dims: usize, max_entries: usize) -> Self {
+        assert!(dims > 0, "dimensionality must be positive");
+        assert!(max_entries >= 4, "max entries must be at least 4");
+        let root = Node {
+            mbr: None,
+            kind: NodeKind::Leaf { points: Vec::new() },
+        };
+        Self {
+            dims,
+            max_entries,
+            min_entries: (max_entries as f64 * 0.4).floor().max(1.0) as usize,
+            nodes: vec![root],
+            points: Vec::new(),
+            root: 0,
+        }
+    }
+
+    /// Number of stored points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the tree is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Dimensionality of the stored points.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The stored point with index `id` (ids are assigned by insertion order).
+    #[must_use]
+    pub fn point(&self, id: usize) -> &[f64] {
+        &self.points[id]
+    }
+
+    /// Inserts a point and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point has the wrong dimensionality.
+    pub fn insert(&mut self, point: Vec<f64>) -> usize {
+        assert_eq!(point.len(), self.dims, "point dimensionality mismatch");
+        let id = self.points.len();
+        self.points.push(point);
+        let split = self.insert_into(self.root, id);
+        if let Some((left, right)) = split {
+            // Grow the tree: a new root with two children.
+            let new_root = Node {
+                mbr: Mbr::union_all(
+                    [&self.nodes[left], &self.nodes[right]]
+                        .iter()
+                        .filter_map(|n| n.mbr.as_ref()),
+                ),
+                kind: NodeKind::Inner {
+                    children: vec![left, right],
+                },
+            };
+            self.nodes.push(new_root);
+            self.root = self.nodes.len() - 1;
+        }
+        id
+    }
+
+    /// Ids of all points within `radius` (Euclidean) of `center`.
+    #[must_use]
+    pub fn within_radius(&self, center: &[f64], radius: f64) -> Vec<usize> {
+        assert_eq!(center.len(), self.dims, "query dimensionality mismatch");
+        let mut out = Vec::new();
+        let r_sq = radius * radius;
+        self.range_recurse(self.root, center, r_sq, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    /// Id of the nearest stored point to `query`, or `None` when empty.
+    #[must_use]
+    pub fn nearest(&self, query: &[f64]) -> Option<usize> {
+        assert_eq!(query.len(), self.dims, "query dimensionality mismatch");
+        if self.is_empty() {
+            return None;
+        }
+        let mut best: Option<(f64, usize)> = None;
+        self.nearest_recurse(self.root, query, &mut best);
+        best.map(|(_, id)| id)
+    }
+
+    /// Height of the tree (a single leaf root has height 1).
+    #[must_use]
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node].kind {
+                NodeKind::Leaf { .. } => return h,
+                NodeKind::Inner { children } => {
+                    h += 1;
+                    node = children[0];
+                }
+            }
+        }
+    }
+
+    fn insert_into(&mut self, node_id: NodeId, point_id: usize) -> Option<(NodeId, NodeId)> {
+        let point = self.points[point_id].clone();
+        match &self.nodes[node_id].kind {
+            NodeKind::Leaf { .. } => {
+                if let NodeKind::Leaf { points } = &mut self.nodes[node_id].kind {
+                    points.push(point_id);
+                }
+                self.recompute_mbr(node_id);
+                if self.leaf_len(node_id) > self.max_entries {
+                    Some(self.split_leaf(node_id))
+                } else {
+                    None
+                }
+            }
+            NodeKind::Inner { children } => {
+                let child_mbrs: Vec<Mbr> = children
+                    .iter()
+                    .map(|&c| self.nodes[c].mbr.clone().expect("child has an MBR"))
+                    .collect();
+                let chosen_pos = choose_subtree(&child_mbrs, &point);
+                let chosen = children[chosen_pos];
+                let split = self.insert_into(chosen, point_id);
+                if let Some((left, right)) = split {
+                    if let NodeKind::Inner { children } = &mut self.nodes[node_id].kind {
+                        children.retain(|&c| c != chosen);
+                        children.push(left);
+                        children.push(right);
+                    }
+                }
+                self.recompute_mbr(node_id);
+                if self.inner_len(node_id) > self.max_entries {
+                    Some(self.split_inner(node_id))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn leaf_len(&self, node_id: NodeId) -> usize {
+        match &self.nodes[node_id].kind {
+            NodeKind::Leaf { points } => points.len(),
+            NodeKind::Inner { .. } => 0,
+        }
+    }
+
+    fn inner_len(&self, node_id: NodeId) -> usize {
+        match &self.nodes[node_id].kind {
+            NodeKind::Inner { children } => children.len(),
+            NodeKind::Leaf { .. } => 0,
+        }
+    }
+
+    fn split_leaf(&mut self, node_id: NodeId) -> (NodeId, NodeId) {
+        let members = match &self.nodes[node_id].kind {
+            NodeKind::Leaf { points } => points.clone(),
+            NodeKind::Inner { .. } => unreachable!("split_leaf called on inner node"),
+        };
+        let mbrs: Vec<Mbr> = members
+            .iter()
+            .map(|&p| Mbr::from_point(&self.points[p]))
+            .collect();
+        let result = rstar_split(&mbrs, self.min_entries.min(members.len() / 2).max(1));
+        let first: Vec<usize> = result.first.iter().map(|&i| members[i]).collect();
+        let second: Vec<usize> = result.second.iter().map(|&i| members[i]).collect();
+        let left = self.push_leaf(first);
+        let right = self.push_leaf(second);
+        // The old node becomes unreachable; keep it allocated for simplicity.
+        (left, right)
+    }
+
+    fn split_inner(&mut self, node_id: NodeId) -> (NodeId, NodeId) {
+        let members = match &self.nodes[node_id].kind {
+            NodeKind::Inner { children } => children.clone(),
+            NodeKind::Leaf { .. } => unreachable!("split_inner called on leaf node"),
+        };
+        let mbrs: Vec<Mbr> = members
+            .iter()
+            .map(|&c| self.nodes[c].mbr.clone().expect("child has an MBR"))
+            .collect();
+        let result = rstar_split(&mbrs, self.min_entries.min(members.len() / 2).max(1));
+        let first: Vec<NodeId> = result.first.iter().map(|&i| members[i]).collect();
+        let second: Vec<NodeId> = result.second.iter().map(|&i| members[i]).collect();
+        let left = self.push_inner(first);
+        let right = self.push_inner(second);
+        (left, right)
+    }
+
+    fn push_leaf(&mut self, points: Vec<usize>) -> NodeId {
+        let mbr = Mbr::from_points(points.iter().map(|&p| self.points[p].as_slice()));
+        self.nodes.push(Node {
+            mbr,
+            kind: NodeKind::Leaf { points },
+        });
+        self.nodes.len() - 1
+    }
+
+    fn push_inner(&mut self, children: Vec<NodeId>) -> NodeId {
+        let mbr = Mbr::union_all(children.iter().filter_map(|&c| self.nodes[c].mbr.as_ref()));
+        self.nodes.push(Node {
+            mbr,
+            kind: NodeKind::Inner { children },
+        });
+        self.nodes.len() - 1
+    }
+
+    fn recompute_mbr(&mut self, node_id: NodeId) {
+        let mbr = match &self.nodes[node_id].kind {
+            NodeKind::Leaf { points } => {
+                Mbr::from_points(points.iter().map(|&p| self.points[p].as_slice()))
+            }
+            NodeKind::Inner { children } => {
+                Mbr::union_all(children.iter().filter_map(|&c| self.nodes[c].mbr.as_ref()))
+            }
+        };
+        self.nodes[node_id].mbr = mbr;
+    }
+
+    fn range_recurse(&self, node_id: NodeId, center: &[f64], r_sq: f64, out: &mut Vec<usize>) {
+        let Some(mbr) = &self.nodes[node_id].mbr else {
+            return;
+        };
+        if mbr.min_dist_sq(center) > r_sq {
+            return;
+        }
+        match &self.nodes[node_id].kind {
+            NodeKind::Leaf { points } => {
+                for &p in points {
+                    let d: f64 = self.points[p]
+                        .iter()
+                        .zip(center)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
+                    if d <= r_sq {
+                        out.push(p);
+                    }
+                }
+            }
+            NodeKind::Inner { children } => {
+                for &c in children {
+                    self.range_recurse(c, center, r_sq, out);
+                }
+            }
+        }
+    }
+
+    fn nearest_recurse(&self, node_id: NodeId, query: &[f64], best: &mut Option<(f64, usize)>) {
+        let Some(mbr) = &self.nodes[node_id].mbr else {
+            return;
+        };
+        if let Some((best_d, _)) = best {
+            if mbr.min_dist_sq(query) > *best_d {
+                return;
+            }
+        }
+        match &self.nodes[node_id].kind {
+            NodeKind::Leaf { points } => {
+                for &p in points {
+                    let d: f64 = self.points[p]
+                        .iter()
+                        .zip(query)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum();
+                    if best.is_none() || d < best.expect("checked").0 {
+                        *best = Some((d, p));
+                    }
+                }
+            }
+            NodeKind::Inner { children } => {
+                // Visit children in order of MINDIST for better pruning.
+                let mut order: Vec<(f64, NodeId)> = children
+                    .iter()
+                    .filter_map(|&c| self.nodes[c].mbr.as_ref().map(|m| (m.min_dist_sq(query), c)))
+                    .collect();
+                order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+                for (_, c) in order {
+                    self.nearest_recurse(c, query, best);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_tree(side: usize) -> PointRTree {
+        let mut tree = PointRTree::new(2, 8);
+        for x in 0..side {
+            for y in 0..side {
+                tree.insert(vec![x as f64, y as f64]);
+            }
+        }
+        tree
+    }
+
+    #[test]
+    fn insert_and_count() {
+        let tree = grid_tree(10);
+        assert_eq!(tree.len(), 100);
+        assert!(tree.height() > 1);
+    }
+
+    #[test]
+    fn range_query_matches_brute_force() {
+        let tree = grid_tree(12);
+        let center = [5.3, 6.1];
+        let radius = 2.5;
+        let got = tree.within_radius(&center, radius);
+        let mut expected = Vec::new();
+        for id in 0..tree.len() {
+            let p = tree.point(id);
+            let d: f64 = p.iter().zip(&center).map(|(a, b)| (a - b) * (a - b)).sum();
+            if d <= radius * radius {
+                expected.push(id);
+            }
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let tree = grid_tree(9);
+        for query in [[0.2, 0.1], [4.4, 7.6], [8.9, 8.9], [3.5, 3.49]] {
+            let got = tree.nearest(&query).unwrap();
+            let mut best = (f64::INFINITY, 0);
+            for id in 0..tree.len() {
+                let p = tree.point(id);
+                let d: f64 = p.iter().zip(&query).map(|(a, b)| (a - b) * (a - b)).sum();
+                if d < best.0 {
+                    best = (d, id);
+                }
+            }
+            let got_d: f64 = tree
+                .point(got)
+                .iter()
+                .zip(&query)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            assert!((got_d - best.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let tree = PointRTree::new(3, 8);
+        assert!(tree.is_empty());
+        assert!(tree.nearest(&[0.0, 0.0, 0.0]).is_none());
+        assert!(tree.within_radius(&[0.0, 0.0, 0.0], 1.0).is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_are_all_found() {
+        let mut tree = PointRTree::new(1, 4);
+        for _ in 0..20 {
+            tree.insert(vec![1.0]);
+        }
+        assert_eq!(tree.within_radius(&[1.0], 0.1).len(), 20);
+    }
+
+    #[test]
+    fn radius_zero_finds_exact_matches_only() {
+        let tree = grid_tree(5);
+        let hits = tree.within_radius(&[2.0, 3.0], 0.0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(tree.point(hits[0]), &[2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn wrong_dimensionality_panics() {
+        let mut tree = PointRTree::new(2, 8);
+        tree.insert(vec![1.0]);
+    }
+}

@@ -1,0 +1,290 @@
+//! Node-split algorithms.
+//!
+//! When an insertion overflows a node, its entries are divided into two
+//! groups.  The Bayes tree uses the R* topological split (sort by each axis,
+//! evaluate all allowed distributions, pick the axis with minimal total
+//! margin and the distribution with minimal overlap/area); the quadratic
+//! split of the original R-tree is provided as a baseline.
+
+use crate::mbr::Mbr;
+
+/// The outcome of a split: indices of the entries assigned to each group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitResult {
+    /// Entry indices of the first group.
+    pub first: Vec<usize>,
+    /// Entry indices of the second group.
+    pub second: Vec<usize>,
+}
+
+impl SplitResult {
+    /// Total number of distributed entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.first.len() + self.second.len()
+    }
+
+    /// True when both groups are empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.first.is_empty() && self.second.is_empty()
+    }
+}
+
+/// R*-tree topological split.
+///
+/// `min_entries` is the minimum number of entries either group must receive
+/// (the `m` of Definition 2).
+///
+/// # Panics
+///
+/// Panics if there are fewer than `2 * min_entries` entries or
+/// `min_entries == 0`.
+#[must_use]
+pub fn rstar_split(mbrs: &[Mbr], min_entries: usize) -> SplitResult {
+    assert!(min_entries > 0, "minimum entries must be positive");
+    assert!(
+        mbrs.len() >= 2 * min_entries,
+        "need at least 2 * min_entries = {} entries, got {}",
+        2 * min_entries,
+        mbrs.len()
+    );
+    let dims = mbrs[0].dims();
+    let total = mbrs.len();
+    let distributions = total - 2 * min_entries + 1;
+
+    // Choose the split axis: the one with minimal total margin over all
+    // distributions of both sortings (by lower and by upper coordinate).
+    let mut best_axis = 0usize;
+    let mut best_axis_margin = f64::INFINITY;
+    let mut best_axis_orders: Option<[Vec<usize>; 2]> = None;
+    for axis in 0..dims {
+        let by_lower = sorted_indices(mbrs, |m| m.lower()[axis]);
+        let by_upper = sorted_indices(mbrs, |m| m.upper()[axis]);
+        let mut margin_sum = 0.0;
+        for order in [&by_lower, &by_upper] {
+            for k in 0..distributions {
+                let cut = min_entries + k;
+                let (g1, g2) = order.split_at(cut);
+                margin_sum += group_mbr(mbrs, g1).margin() + group_mbr(mbrs, g2).margin();
+            }
+        }
+        if margin_sum < best_axis_margin {
+            best_axis_margin = margin_sum;
+            best_axis = axis;
+            best_axis_orders = Some([by_lower, by_upper]);
+        }
+    }
+    let _ = best_axis;
+    let orders = best_axis_orders.expect("at least one axis exists");
+
+    // Choose the distribution on that axis: minimal overlap, ties by area.
+    let mut best: Option<SplitResult> = None;
+    let mut best_overlap = f64::INFINITY;
+    let mut best_area = f64::INFINITY;
+    for order in &orders {
+        for k in 0..distributions {
+            let cut = min_entries + k;
+            let (g1, g2) = order.split_at(cut);
+            let m1 = group_mbr(mbrs, g1);
+            let m2 = group_mbr(mbrs, g2);
+            let overlap = m1.overlap(&m2);
+            let area = m1.area() + m2.area();
+            if overlap < best_overlap || (overlap == best_overlap && area < best_area) {
+                best_overlap = overlap;
+                best_area = area;
+                best = Some(SplitResult {
+                    first: g1.to_vec(),
+                    second: g2.to_vec(),
+                });
+            }
+        }
+    }
+    best.expect("at least one distribution exists")
+}
+
+/// Quadratic split of the original R-tree (Guttman, SIGMOD 1984): pick the
+/// pair of entries that would waste the most area together as seeds, then
+/// greedily assign the rest by least enlargement.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`rstar_split`].
+#[must_use]
+pub fn quadratic_split(mbrs: &[Mbr], min_entries: usize) -> SplitResult {
+    assert!(min_entries > 0, "minimum entries must be positive");
+    assert!(
+        mbrs.len() >= 2 * min_entries,
+        "need at least 2 * min_entries entries"
+    );
+    let n = mbrs.len();
+
+    // Pick seeds.
+    let mut seed_a = 0;
+    let mut seed_b = 1;
+    let mut worst = f64::NEG_INFINITY;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let waste = mbrs[i].union(&mbrs[j]).area() - mbrs[i].area() - mbrs[j].area();
+            if waste > worst {
+                worst = waste;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+
+    let mut first = vec![seed_a];
+    let mut second = vec![seed_b];
+    let mut mbr_a = mbrs[seed_a].clone();
+    let mut mbr_b = mbrs[seed_b].clone();
+    let mut remaining: Vec<usize> = (0..n).filter(|&i| i != seed_a && i != seed_b).collect();
+
+    while let Some(&_next) = remaining.first() {
+        // If one group must take all remaining entries to reach the minimum,
+        // assign them wholesale.
+        if first.len() + remaining.len() == min_entries {
+            first.extend(remaining.drain(..));
+            break;
+        }
+        if second.len() + remaining.len() == min_entries {
+            second.extend(remaining.drain(..));
+            break;
+        }
+        // Pick the entry with the largest preference difference.
+        let mut best_idx = 0;
+        let mut best_diff = f64::NEG_INFINITY;
+        for (pos, &i) in remaining.iter().enumerate() {
+            let d1 = mbr_a.enlargement_for_mbr(&mbrs[i]);
+            let d2 = mbr_b.enlargement_for_mbr(&mbrs[i]);
+            let diff = (d1 - d2).abs();
+            if diff > best_diff {
+                best_diff = diff;
+                best_idx = pos;
+            }
+        }
+        let i = remaining.swap_remove(best_idx);
+        let d1 = mbr_a.enlargement_for_mbr(&mbrs[i]);
+        let d2 = mbr_b.enlargement_for_mbr(&mbrs[i]);
+        let to_first = match d1.partial_cmp(&d2) {
+            Some(std::cmp::Ordering::Less) => true,
+            Some(std::cmp::Ordering::Greater) => false,
+            _ => mbr_a.area() <= mbr_b.area(),
+        };
+        if to_first {
+            first.push(i);
+            mbr_a.extend_mbr(&mbrs[i]);
+        } else {
+            second.push(i);
+            mbr_b.extend_mbr(&mbrs[i]);
+        }
+    }
+
+    SplitResult { first, second }
+}
+
+fn sorted_indices<F: Fn(&Mbr) -> f64>(mbrs: &[Mbr], key: F) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..mbrs.len()).collect();
+    idx.sort_by(|&a, &b| {
+        key(&mbrs[a])
+            .partial_cmp(&key(&mbrs[b]))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+fn group_mbr(mbrs: &[Mbr], indices: &[usize]) -> Mbr {
+    Mbr::union_all(indices.iter().map(|&i| &mbrs[i])).expect("group is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cluster_mbrs() -> Vec<Mbr> {
+        let mut mbrs = Vec::new();
+        for i in 0..4 {
+            let x = i as f64 * 0.1;
+            mbrs.push(Mbr::new(vec![x, 0.0], vec![x + 0.05, 0.05]));
+        }
+        for i in 0..4 {
+            let x = 10.0 + i as f64 * 0.1;
+            mbrs.push(Mbr::new(vec![x, 10.0], vec![x + 0.05, 10.05]));
+        }
+        mbrs
+    }
+
+    fn assert_valid_partition(result: &SplitResult, n: usize, min_entries: usize) {
+        let mut all: Vec<usize> = result
+            .first
+            .iter()
+            .chain(result.second.iter())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>());
+        assert!(result.first.len() >= min_entries);
+        assert!(result.second.len() >= min_entries);
+    }
+
+    #[test]
+    fn rstar_split_separates_clusters() {
+        let mbrs = two_cluster_mbrs();
+        let result = rstar_split(&mbrs, 2);
+        assert_valid_partition(&result, 8, 2);
+        let low: Vec<usize> = (0..4).collect();
+        let got_low: Vec<usize> = if result.first.contains(&0) {
+            let mut f = result.first.clone();
+            f.sort_unstable();
+            f
+        } else {
+            let mut s = result.second.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(got_low, low);
+    }
+
+    #[test]
+    fn quadratic_split_separates_clusters() {
+        let mbrs = two_cluster_mbrs();
+        let result = quadratic_split(&mbrs, 2);
+        assert_valid_partition(&result, 8, 2);
+        let in_first = result.first.contains(&0);
+        let group = if in_first { &result.first } else { &result.second };
+        assert!(group.iter().all(|&i| i < 4));
+    }
+
+    #[test]
+    fn rstar_split_respects_min_entries_on_skewed_data() {
+        // Seven identical boxes plus one far outlier: the outlier's group
+        // must still receive at least min_entries entries.
+        let mut mbrs = vec![Mbr::new(vec![0.0, 0.0], vec![1.0, 1.0]); 7];
+        mbrs.push(Mbr::new(vec![100.0, 100.0], vec![101.0, 101.0]));
+        let result = rstar_split(&mbrs, 3);
+        assert_valid_partition(&result, 8, 3);
+    }
+
+    #[test]
+    fn quadratic_split_respects_min_entries_on_skewed_data() {
+        let mut mbrs = vec![Mbr::new(vec![0.0, 0.0], vec![1.0, 1.0]); 7];
+        mbrs.push(Mbr::new(vec![100.0, 100.0], vec![101.0, 101.0]));
+        let result = quadratic_split(&mbrs, 3);
+        assert_valid_partition(&result, 8, 3);
+    }
+
+    #[test]
+    fn split_of_identical_boxes_is_balanced_enough() {
+        let mbrs = vec![Mbr::new(vec![0.0], vec![1.0]); 10];
+        let result = rstar_split(&mbrs, 4);
+        assert_valid_partition(&result, 10, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_entries")]
+    fn too_few_entries_panics() {
+        let mbrs = vec![Mbr::new(vec![0.0], vec![1.0]); 3];
+        let _ = rstar_split(&mbrs, 2);
+    }
+}

@@ -1,0 +1,164 @@
+//! Sort-tile-recursive (STR) packing (Leutenegger, Edgington & Lopez, ICDE
+//! 1997).
+//!
+//! STR is one of the "traditional R-tree bulk loading algorithms" evaluated
+//! in Section 3.1: the points are sorted by their first coordinate, cut into
+//! vertical slabs of `ceil(n / capacity)^(1/d)` tiles, each slab is sorted by
+//! the next coordinate and cut again, recursively, until groups of at most
+//! `capacity` points remain.
+
+/// Partitions `points` into groups of at most `capacity` elements using STR.
+///
+/// The return value contains, for every group, the indices of the points
+/// assigned to it.  Every input index appears in exactly one group.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+#[must_use]
+pub fn str_partition(points: &[Vec<f64>], capacity: usize) -> Vec<Vec<usize>> {
+    assert!(capacity > 0, "capacity must be positive");
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let dims = points[0].len().max(1);
+    let indices: Vec<usize> = (0..points.len()).collect();
+    let mut groups = Vec::new();
+    str_recurse(points, indices, capacity, 0, dims, &mut groups);
+    groups
+}
+
+fn str_recurse(
+    points: &[Vec<f64>],
+    mut indices: Vec<usize>,
+    capacity: usize,
+    dim: usize,
+    dims: usize,
+    out: &mut Vec<Vec<usize>>,
+) {
+    if indices.len() <= capacity {
+        out.push(indices);
+        return;
+    }
+    // Number of leaf groups still needed below this call.
+    let leaves_needed = indices.len().div_ceil(capacity);
+    // Number of slabs along this dimension: the d-th root of the remaining
+    // leaf count, as in the original STR formulation.
+    let remaining_dims = (dims - dim).max(1);
+    let slabs = (leaves_needed as f64)
+        .powf(1.0 / remaining_dims as f64)
+        .ceil() as usize;
+    let slabs = slabs.clamp(1, leaves_needed);
+
+    indices.sort_by(|&a, &b| {
+        points[a][dim]
+            .partial_cmp(&points[b][dim])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+
+    let slab_size = indices.len().div_ceil(slabs);
+    let next_dim = (dim + 1) % dims;
+    for chunk in indices.chunks(slab_size) {
+        if dims == 1 || slabs == 1 {
+            // No further dimension to slice on: cut directly into groups.
+            for group in chunk.chunks(capacity) {
+                out.push(group.to_vec());
+            }
+        } else {
+            str_recurse(points, chunk.to_vec(), capacity, next_dim, dims, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(side: usize) -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for x in 0..side {
+            for y in 0..side {
+                pts.push(vec![x as f64, y as f64]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn every_point_is_assigned_exactly_once() {
+        let pts = grid_points(10);
+        let groups = str_partition(&pts, 7);
+        let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn groups_respect_capacity() {
+        let pts = grid_points(12);
+        let groups = str_partition(&pts, 9);
+        assert!(groups.iter().all(|g| g.len() <= 9 && !g.is_empty()));
+    }
+
+    #[test]
+    fn number_of_groups_is_near_optimal() {
+        let pts = grid_points(16); // 256 points
+        let groups = str_partition(&pts, 16);
+        // Optimal is 16 groups; STR should not need more than ~1.5x that.
+        assert!(groups.len() >= 16 && groups.len() <= 25, "got {}", groups.len());
+    }
+
+    #[test]
+    fn groups_are_spatially_compact() {
+        let pts = grid_points(8); // 64 points, capacity 8 -> ~8 groups
+        let groups = str_partition(&pts, 8);
+        // The bounding box of each group should be much smaller than the
+        // whole 8x8 grid: check the average extent.
+        let mut total_extent = 0.0;
+        for g in &groups {
+            let xs: Vec<f64> = g.iter().map(|&i| pts[i][0]).collect();
+            let ys: Vec<f64> = g.iter().map(|&i| pts[i][1]).collect();
+            let ext_x = xs.iter().cloned().fold(f64::MIN, f64::max)
+                - xs.iter().cloned().fold(f64::MAX, f64::min);
+            let ext_y = ys.iter().cloned().fold(f64::MIN, f64::max)
+                - ys.iter().cloned().fold(f64::MAX, f64::min);
+            total_extent += ext_x + ext_y;
+        }
+        let avg = total_extent / groups.len() as f64;
+        assert!(avg < 10.0, "groups are not compact: avg extent {avg}");
+    }
+
+    #[test]
+    fn small_input_single_group() {
+        let pts = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let groups = str_partition(&pts, 10);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 3);
+    }
+
+    #[test]
+    fn empty_input_gives_no_groups() {
+        assert!(str_partition(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn one_dimensional_data() {
+        let pts: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let groups = str_partition(&pts, 5);
+        assert_eq!(groups.len(), 4);
+        // Groups must be contiguous ranges in sorted order.
+        for g in &groups {
+            let mut vals: Vec<f64> = g.iter().map(|&i| pts[i][0]).collect();
+            vals.sort_by(f64::total_cmp);
+            let span = vals.last().unwrap() - vals.first().unwrap();
+            assert!(span <= 4.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = str_partition(&[vec![0.0]], 0);
+    }
+}

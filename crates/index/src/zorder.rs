@@ -1,0 +1,155 @@
+//! Z-order (Morton) space-filling curve.
+//!
+//! Used by the Z-curve bulk load and, per Section 3.1, to derive the initial
+//! Goldberger mapping: fine mixture components are assigned to coarse
+//! components "according to the z-curve order of their mean values".
+
+use crate::hilbert::{effective_bits, MAX_KEY_BITS};
+
+/// Computes the Morton key of an already-quantised point by bit interleaving.
+///
+/// # Panics
+///
+/// Panics if the key would not fit into 128 bits or `bits` is 0.
+#[must_use]
+pub fn z_order_index(coords: &[u32], bits: u32) -> u128 {
+    assert!(bits > 0, "bits per dimension must be positive");
+    assert!(
+        coords.len() as u32 * bits <= MAX_KEY_BITS,
+        "dims * bits must not exceed 128"
+    );
+    interleave_bits(coords, bits)
+}
+
+/// Interleaves the `bits` least-significant bits of each coordinate, most
+/// significant bit plane first, dimension 0 first within a plane.
+#[must_use]
+pub(crate) fn interleave_bits(coords: &[u32], bits: u32) -> u128 {
+    let mut key: u128 = 0;
+    for bit in (0..bits).rev() {
+        for &c in coords {
+            key = (key << 1) | u128::from((c >> bit) & 1);
+        }
+    }
+    key
+}
+
+/// Min/max-normalises `points` and quantises each coordinate onto a
+/// `2^bits` grid.
+#[must_use]
+pub(crate) fn quantize_points(points: &[Vec<f64>], bits: u32) -> Vec<Vec<u32>> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let dims = points[0].len();
+    let mut lo = vec![f64::INFINITY; dims];
+    let mut hi = vec![f64::NEG_INFINITY; dims];
+    for p in points {
+        for d in 0..dims {
+            lo[d] = lo[d].min(p[d]);
+            hi[d] = hi[d].max(p[d]);
+        }
+    }
+    let max_cell = ((1u64 << bits) - 1) as f64;
+    points
+        .iter()
+        .map(|p| {
+            (0..dims)
+                .map(|d| {
+                    let range = hi[d] - lo[d];
+                    if range <= 0.0 {
+                        0
+                    } else {
+                        (((p[d] - lo[d]) / range * max_cell).round() as u64).min(max_cell as u64)
+                            as u32
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Returns the indices of `points` sorted by their Morton key.
+///
+/// Points are min/max-normalised and quantised to `bits` bits per dimension
+/// (capped so the key fits into 128 bits).
+#[must_use]
+pub fn z_order_sort_order(points: &[Vec<f64>], bits: u32) -> Vec<usize> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let dims = points[0].len().max(1);
+    let bits = effective_bits(dims, bits);
+    let grid = quantize_points(points, bits);
+    let mut keyed: Vec<(u128, usize)> = grid
+        .iter()
+        .enumerate()
+        .map(|(i, coords)| (z_order_index(coords, bits), i))
+        .collect();
+    keyed.sort();
+    keyed.into_iter().map(|(_, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_d_morton_matches_reference() {
+        // Classic 2-bit Morton codes for (x, y), x interleaved first.
+        assert_eq!(z_order_index(&[0, 0], 2), 0);
+        assert_eq!(z_order_index(&[1, 0], 2), 2);
+        assert_eq!(z_order_index(&[0, 1], 2), 1);
+        assert_eq!(z_order_index(&[1, 1], 2), 3);
+        assert_eq!(z_order_index(&[2, 0], 2), 8);
+        assert_eq!(z_order_index(&[3, 3], 2), 15);
+    }
+
+    #[test]
+    fn keys_are_unique() {
+        let mut keys = std::collections::HashSet::new();
+        for x in 0..16u32 {
+            for y in 0..16u32 {
+                assert!(keys.insert(z_order_index(&[x, y], 4)));
+            }
+        }
+        assert_eq!(keys.len(), 256);
+    }
+
+    #[test]
+    fn sort_order_is_a_permutation() {
+        let pts: Vec<Vec<f64>> = (0..64)
+            .map(|i| vec![(i % 8) as f64, (i / 8) as f64])
+            .collect();
+        let mut order = z_order_sort_order(&pts, 8);
+        order.sort_unstable();
+        assert_eq!(order, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clusters_stay_contiguous() {
+        let mut pts = Vec::new();
+        for i in 0..8 {
+            pts.push(vec![i as f64 * 0.1, 0.0]);
+        }
+        for i in 0..8 {
+            pts.push(vec![50.0 + i as f64 * 0.1, 50.0]);
+        }
+        let order = z_order_sort_order(&pts, 16);
+        let first: Vec<usize> = order[..8].to_vec();
+        assert!(first.iter().all(|&i| i < 8) || first.iter().all(|&i| i >= 8));
+    }
+
+    #[test]
+    fn degenerate_dimension_quantizes_to_zero() {
+        let pts = vec![vec![1.0, 7.0], vec![2.0, 7.0]];
+        let grid = quantize_points(&pts, 4);
+        assert_eq!(grid[0][1], 0);
+        assert_eq!(grid[1][1], 0);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_order() {
+        assert!(z_order_sort_order(&[], 8).is_empty());
+    }
+}

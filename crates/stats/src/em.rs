@@ -1,0 +1,498 @@
+//! Expectation–Maximisation for Gaussian mixtures and k-means(++).
+//!
+//! The EMTopDown bulk load (Section 3.1) recursively applies EM with `M`
+//! (the fanout) components to partition the training data into the children
+//! of a node.  This module implements:
+//!
+//! * [`KMeans`] — Lloyd's algorithm with k-means++ seeding, used both on its
+//!   own (for splitting an over-full cluster into two) and to initialise EM,
+//! * [`fit_gmm`] — EM for diagonal-covariance Gaussian mixtures with hard or
+//!   soft assignments, a log-likelihood stopping criterion and a variance
+//!   floor.
+
+use crate::gaussian::DiagGaussian;
+use crate::mixture::{log_sum_exp, GaussianMixture, WeightedComponent};
+use crate::vector;
+use crate::VARIANCE_FLOOR;
+use rand::Rng;
+
+/// Configuration for [`KMeans`].
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters to fit.
+    pub k: usize,
+    /// Maximum number of Lloyd iterations.
+    pub max_iters: usize,
+    /// Stop once the total centroid movement drops below this threshold.
+    pub tolerance: f64,
+}
+
+impl KMeansConfig {
+    /// Creates a configuration for `k` clusters with library defaults.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            max_iters: 50,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Final cluster centroids (may be fewer than `k` if clusters emptied).
+    pub centroids: Vec<Vec<f64>>,
+    /// Index of the centroid each input point was assigned to.
+    pub assignment: Vec<usize>,
+    /// Number of Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+impl KMeans {
+    /// Runs k-means++ seeding followed by Lloyd's algorithm.
+    ///
+    /// If there are fewer distinct points than `k`, fewer clusters are
+    /// returned.  An empty input yields an empty result.
+    #[must_use]
+    pub fn fit<R: Rng + ?Sized>(points: &[Vec<f64>], config: &KMeansConfig, rng: &mut R) -> Self {
+        if points.is_empty() || config.k == 0 {
+            return Self {
+                centroids: Vec::new(),
+                assignment: Vec::new(),
+                iterations: 0,
+            };
+        }
+        let dims = points[0].len();
+        let k = config.k.min(points.len());
+        let mut centroids = kmeans_plus_plus_seeds(points, k, rng);
+        let mut assignment = vec![0usize; points.len()];
+        let mut iterations = 0;
+
+        for _ in 0..config.max_iters {
+            iterations += 1;
+            // Assignment step.
+            for (i, p) in points.iter().enumerate() {
+                assignment[i] = nearest_centroid(p, &centroids);
+            }
+            // Update step.
+            let mut sums = vec![vec![0.0; dims]; centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for (p, &a) in points.iter().zip(&assignment) {
+                vector::add_assign(&mut sums[a], p);
+                counts[a] += 1;
+            }
+            let mut movement = 0.0;
+            for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+                if *count == 0 {
+                    continue;
+                }
+                let new_c = vector::scale(sum, 1.0 / *count as f64);
+                movement += vector::dist(c, &new_c);
+                *c = new_c;
+            }
+            if movement < config.tolerance {
+                break;
+            }
+        }
+        // Final assignment against the last centroids.
+        for (i, p) in points.iter().enumerate() {
+            assignment[i] = nearest_centroid(p, &centroids);
+        }
+        // Drop centroids that ended up empty, remapping assignments.
+        let mut used: Vec<bool> = vec![false; centroids.len()];
+        for &a in &assignment {
+            used[a] = true;
+        }
+        if used.iter().any(|u| !u) {
+            let mut remap = vec![usize::MAX; centroids.len()];
+            let mut kept = Vec::new();
+            for (i, c) in centroids.into_iter().enumerate() {
+                if used[i] {
+                    remap[i] = kept.len();
+                    kept.push(c);
+                }
+            }
+            for a in &mut assignment {
+                *a = remap[*a];
+            }
+            centroids = kept;
+        }
+        Self {
+            centroids,
+            assignment,
+            iterations,
+        }
+    }
+
+    /// Number of clusters actually produced.
+    #[must_use]
+    pub fn num_clusters(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Groups the input indices by their assigned cluster.
+    #[must_use]
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.centroids.len()];
+        for (i, &a) in self.assignment.iter().enumerate() {
+            groups[a].push(i);
+        }
+        groups
+    }
+}
+
+fn nearest_centroid(p: &[f64], centroids: &[Vec<f64>]) -> usize {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = vector::sq_dist(p, c);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+/// k-means++ seeding: the first centroid is uniform, every further centroid is
+/// drawn with probability proportional to its squared distance to the nearest
+/// already-chosen centroid.
+fn kmeans_plus_plus_seeds<R: Rng + ?Sized>(
+    points: &[Vec<f64>],
+    k: usize,
+    rng: &mut R,
+) -> Vec<Vec<f64>> {
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let first = rng.random_range(0..points.len());
+    centroids.push(points[first].clone());
+    let mut dist_sq: Vec<f64> = points
+        .iter()
+        .map(|p| vector::sq_dist(p, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = dist_sq.iter().sum();
+        let next = if total <= f64::EPSILON {
+            // All remaining points coincide with chosen centroids.
+            rng.random_range(0..points.len())
+        } else {
+            let mut u = rng.random::<f64>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &d) in dist_sq.iter().enumerate() {
+                u -= d;
+                if u <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(points[next].clone());
+        let c = centroids.last().expect("just pushed");
+        for (i, p) in points.iter().enumerate() {
+            let d = vector::sq_dist(p, c);
+            if d < dist_sq[i] {
+                dist_sq[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+/// Configuration for [`fit_gmm`].
+#[derive(Debug, Clone)]
+pub struct EmConfig {
+    /// Number of mixture components to fit.
+    pub components: usize,
+    /// Maximum number of EM iterations.
+    pub max_iters: usize,
+    /// Stop once the mean log-likelihood improves by less than this.
+    pub tolerance: f64,
+    /// Minimum variance allowed per dimension.
+    pub variance_floor: f64,
+    /// Minimum responsibility mass a component needs to survive an M step.
+    pub min_weight: f64,
+}
+
+impl EmConfig {
+    /// Creates a configuration for `components` mixture components with
+    /// library defaults.
+    #[must_use]
+    pub fn new(components: usize) -> Self {
+        Self {
+            components,
+            max_iters: 30,
+            tolerance: 1e-4,
+            variance_floor: VARIANCE_FLOOR,
+            min_weight: 1e-8,
+        }
+    }
+}
+
+/// Result of an EM fit.
+#[derive(Debug, Clone)]
+pub struct EmResult {
+    /// The fitted mixture (may have fewer components than requested when
+    /// components collapse).
+    pub mixture: GaussianMixture,
+    /// Hard assignment of every input point to its most responsible component.
+    pub assignment: Vec<usize>,
+    /// Mean log-likelihood of the data under the fitted mixture.
+    pub mean_log_likelihood: f64,
+    /// Number of EM iterations executed.
+    pub iterations: usize,
+}
+
+/// Fits a diagonal-covariance Gaussian mixture with EM (Dempster et al. 1977),
+/// initialised by k-means++.
+#[must_use]
+pub fn fit_gmm<R: Rng + ?Sized>(points: &[Vec<f64>], config: &EmConfig, rng: &mut R) -> EmResult {
+    if points.is_empty() || config.components == 0 {
+        return EmResult {
+            mixture: GaussianMixture::new(),
+            assignment: Vec::new(),
+            mean_log_likelihood: 0.0,
+            iterations: 0,
+        };
+    }
+    let dims = points[0].len();
+    let k = config.components.min(points.len());
+
+    // Initialise from a short k-means run.
+    let km = KMeans::fit(points, &KMeansConfig { k, max_iters: 10, tolerance: 1e-4 }, rng);
+    let init_k = km.num_clusters().max(1);
+    let global_var = vector::variance(points, dims)
+        .into_iter()
+        .map(|v| v.max(config.variance_floor))
+        .collect::<Vec<_>>();
+
+    let mut weights = vec![0.0f64; init_k];
+    let mut means: Vec<Vec<f64>> = vec![vec![0.0; dims]; init_k];
+    let mut vars: Vec<Vec<f64>> = vec![global_var.clone(); init_k];
+    {
+        let clusters = km.clusters();
+        for (j, members) in clusters.iter().enumerate() {
+            weights[j] = members.len() as f64 / points.len() as f64;
+            if members.is_empty() {
+                means[j] = points[rng.random_range(0..points.len())].clone();
+                continue;
+            }
+            let pts: Vec<Vec<f64>> = members.iter().map(|&i| points[i].clone()).collect();
+            means[j] = vector::mean(&pts, dims);
+            let v = vector::variance(&pts, dims);
+            vars[j] = v
+                .into_iter()
+                .zip(&global_var)
+                .map(|(vi, gv)| if vi > config.variance_floor { vi } else { *gv })
+                .collect();
+        }
+    }
+
+    let mut prev_ll = f64::NEG_INFINITY;
+    let mut iterations = 0;
+    let mut responsibilities = vec![vec![0.0f64; weights.len()]; points.len()];
+
+    for _ in 0..config.max_iters {
+        iterations += 1;
+        let gaussians: Vec<DiagGaussian> = means
+            .iter()
+            .zip(&vars)
+            .map(|(m, v)| DiagGaussian::new(m.clone(), v.clone()))
+            .collect();
+
+        // E step.
+        let mut total_ll = 0.0;
+        for (p, resp) in points.iter().zip(responsibilities.iter_mut()) {
+            let logs: Vec<f64> = gaussians
+                .iter()
+                .zip(&weights)
+                .map(|(g, &w)| if w > 0.0 { w.ln() + g.log_pdf(p) } else { f64::NEG_INFINITY })
+                .collect();
+            let norm = log_sum_exp(&logs);
+            total_ll += norm;
+            for (r, &l) in resp.iter_mut().zip(&logs) {
+                *r = (l - norm).exp();
+            }
+        }
+        let mean_ll = total_ll / points.len() as f64;
+
+        // M step.
+        for j in 0..weights.len() {
+            let nj: f64 = responsibilities.iter().map(|r| r[j]).sum();
+            if nj < config.min_weight {
+                weights[j] = 0.0;
+                continue;
+            }
+            weights[j] = nj / points.len() as f64;
+            let mut mean_j = vec![0.0; dims];
+            for (p, r) in points.iter().zip(&responsibilities) {
+                for d in 0..dims {
+                    mean_j[d] += r[j] * p[d];
+                }
+            }
+            vector::scale_assign(&mut mean_j, 1.0 / nj);
+            let mut var_j = vec![0.0; dims];
+            for (p, r) in points.iter().zip(&responsibilities) {
+                for d in 0..dims {
+                    let diff = p[d] - mean_j[d];
+                    var_j[d] += r[j] * diff * diff;
+                }
+            }
+            for v in &mut var_j {
+                *v = (*v / nj).max(config.variance_floor);
+            }
+            means[j] = mean_j;
+            vars[j] = var_j;
+        }
+
+        if (mean_ll - prev_ll).abs() < config.tolerance {
+            prev_ll = mean_ll;
+            break;
+        }
+        prev_ll = mean_ll;
+    }
+
+    // Assemble the mixture, dropping dead components.
+    let mut components = Vec::new();
+    let mut live_index = vec![usize::MAX; weights.len()];
+    for j in 0..weights.len() {
+        if weights[j] > 0.0 {
+            live_index[j] = components.len();
+            components.push(WeightedComponent {
+                weight: weights[j],
+                gaussian: DiagGaussian::new(means[j].clone(), vars[j].clone()),
+            });
+        }
+    }
+    let mixture = GaussianMixture::from_components(components);
+
+    let assignment: Vec<usize> = responsibilities
+        .iter()
+        .map(|r| {
+            let mut best = 0;
+            let mut best_v = f64::NEG_INFINITY;
+            for (j, &v) in r.iter().enumerate() {
+                if live_index[j] != usize::MAX && v > best_v {
+                    best_v = v;
+                    best = live_index[j];
+                }
+            }
+            best
+        })
+        .collect();
+
+    EmResult {
+        mixture,
+        assignment,
+        mean_log_likelihood: prev_ll,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_blobs(rng: &mut StdRng, n: usize) -> Vec<Vec<f64>> {
+        let a = DiagGaussian::new(vec![0.0, 0.0], vec![0.2, 0.2]);
+        let b = DiagGaussian::new(vec![5.0, 5.0], vec![0.2, 0.2]);
+        let mut pts = Vec::new();
+        for i in 0..n {
+            pts.push(if i % 2 == 0 { a.sample(rng) } else { b.sample(rng) });
+        }
+        pts
+    }
+
+    #[test]
+    fn kmeans_separates_two_blobs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let pts = two_blobs(&mut rng, 200);
+        let km = KMeans::fit(&pts, &KMeansConfig::new(2), &mut rng);
+        assert_eq!(km.num_clusters(), 2);
+        // Centroids should be near (0,0) and (5,5).
+        let mut near_origin = false;
+        let mut near_five = false;
+        for c in &km.centroids {
+            if vector::dist(c, &[0.0, 0.0]) < 1.0 {
+                near_origin = true;
+            }
+            if vector::dist(c, &[5.0, 5.0]) < 1.0 {
+                near_five = true;
+            }
+        }
+        assert!(near_origin && near_five);
+    }
+
+    #[test]
+    fn kmeans_with_k_larger_than_points() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = vec![vec![0.0], vec![1.0]];
+        let km = KMeans::fit(&pts, &KMeansConfig::new(5), &mut rng);
+        assert!(km.num_clusters() <= 2);
+        assert_eq!(km.assignment.len(), 2);
+    }
+
+    #[test]
+    fn kmeans_empty_input() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let km = KMeans::fit(&[], &KMeansConfig::new(3), &mut rng);
+        assert_eq!(km.num_clusters(), 0);
+    }
+
+    #[test]
+    fn kmeans_identical_points_do_not_panic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts = vec![vec![2.0, 2.0]; 20];
+        let km = KMeans::fit(&pts, &KMeansConfig::new(4), &mut rng);
+        assert!(km.num_clusters() >= 1);
+        assert!(km.assignment.iter().all(|&a| a < km.num_clusters()));
+    }
+
+    #[test]
+    fn em_recovers_two_components() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let pts = two_blobs(&mut rng, 400);
+        let result = fit_gmm(&pts, &EmConfig::new(2), &mut rng);
+        assert_eq!(result.mixture.len(), 2);
+        for c in result.mixture.components() {
+            assert!((c.weight - 0.5).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn em_likelihood_improves_over_single_component() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let pts = two_blobs(&mut rng, 300);
+        let one = fit_gmm(&pts, &EmConfig::new(1), &mut rng);
+        let two = fit_gmm(&pts, &EmConfig::new(2), &mut rng);
+        assert!(two.mean_log_likelihood > one.mean_log_likelihood);
+    }
+
+    #[test]
+    fn em_assignment_covers_all_points() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let pts = two_blobs(&mut rng, 100);
+        let result = fit_gmm(&pts, &EmConfig::new(3), &mut rng);
+        assert_eq!(result.assignment.len(), pts.len());
+        let k = result.mixture.len();
+        assert!(result.assignment.iter().all(|&a| a < k));
+    }
+
+    #[test]
+    fn em_on_empty_input() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let result = fit_gmm(&[], &EmConfig::new(2), &mut rng);
+        assert!(result.mixture.is_empty());
+    }
+
+    #[test]
+    fn em_single_point() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let result = fit_gmm(&[vec![1.0, 2.0]], &EmConfig::new(3), &mut rng);
+        assert_eq!(result.mixture.len(), 1);
+        assert_eq!(result.assignment, vec![0]);
+    }
+}

@@ -1,0 +1,335 @@
+//! Goldberger & Roweis mixture-model reduction (regroup / refit).
+//!
+//! The Goldberger bulk load (Section 3.1) builds the Bayes-tree directory
+//! bottom-up: starting from a fine mixture `f` (one kernel per training
+//! object, then one Gaussian per node), it computes a coarser mixture `g`
+//! with `s < r` components that locally minimises the distance of
+//! Definition 4.  Because no closed form exists, the paper iterates two
+//! steps until the distance stops decreasing:
+//!
+//! 1. **regroup** — map every fine component to its KL-closest coarse
+//!    component: `pi(i) = argmin_j KL(f_i, g_j)`,
+//! 2. **refit** — recompute each coarse component's weight, mean and
+//!    (diagonal) covariance from the fine components mapped to it.
+//!
+//! The initial mapping `pi_0` is supplied by the caller (the bulk loader uses
+//! the z-curve order of the fine means, assigning `0.75 * M` fine components
+//! per coarse component); [`chunked_mapping`] builds such a mapping from any
+//! ordering.
+
+use crate::gaussian::DiagGaussian;
+use crate::kl::{kl_diag_gaussian, mixture_distance};
+use crate::mixture::{GaussianMixture, WeightedComponent};
+use crate::VARIANCE_FLOOR;
+
+/// Configuration for [`reduce_mixture`].
+#[derive(Debug, Clone)]
+pub struct GoldbergerConfig {
+    /// Maximum number of regroup/refit iterations.
+    pub max_iters: usize,
+    /// Stop once the Definition-4 distance improves by less than this.
+    pub tolerance: f64,
+}
+
+impl Default for GoldbergerConfig {
+    fn default() -> Self {
+        Self {
+            max_iters: 50,
+            tolerance: 1e-6,
+        }
+    }
+}
+
+/// Result of a mixture reduction.
+#[derive(Debug, Clone)]
+pub struct GoldbergerResult {
+    /// The reduced (coarse) mixture `g`.
+    pub reduced: GaussianMixture,
+    /// Final mapping `pi(i)` from fine component index to coarse component
+    /// index (indices refer to `reduced.components()`).
+    pub mapping: Vec<usize>,
+    /// Final Definition-4 distance `d(f, g)`.
+    pub distance: f64,
+    /// Number of regroup/refit iterations executed.
+    pub iterations: usize,
+}
+
+/// Builds an initial mapping by walking `order` (a permutation of
+/// `0..order.len()`) and assigning `group_size` consecutive fine components to
+/// each coarse component.
+///
+/// The returned vector maps fine component index → coarse group index.
+#[must_use]
+pub fn chunked_mapping(order: &[usize], group_size: usize) -> Vec<usize> {
+    assert!(group_size > 0, "group size must be positive");
+    let mut mapping = vec![0usize; order.len()];
+    for (pos, &fine_idx) in order.iter().enumerate() {
+        mapping[fine_idx] = pos / group_size;
+    }
+    mapping
+}
+
+/// Reduces the fine mixture `f` according to the supplied initial mapping.
+///
+/// The number of coarse components is `max(initial_mapping) + 1`; empty
+/// groups are dropped from the result.  Iterates regroup/refit until the
+/// Definition-4 distance no longer decreases (or `config.max_iters`).
+///
+/// # Panics
+///
+/// Panics if `initial_mapping.len() != f.len()` or `f` is empty.
+#[must_use]
+pub fn reduce_mixture(
+    f: &GaussianMixture,
+    initial_mapping: &[usize],
+    config: &GoldbergerConfig,
+) -> GoldbergerResult {
+    assert!(!f.is_empty(), "cannot reduce an empty mixture");
+    assert_eq!(
+        initial_mapping.len(),
+        f.len(),
+        "initial mapping must cover every fine component"
+    );
+
+    let mut mapping = initial_mapping.to_vec();
+    let mut g = refit(f, &mapping);
+    let mut distance = mixture_distance(f, &g);
+    let mut iterations = 0;
+
+    for _ in 0..config.max_iters {
+        iterations += 1;
+        // Regroup against the current coarse mixture.
+        let new_mapping = regroup(f, &g);
+        let new_g = refit(f, &new_mapping);
+        let new_distance = mixture_distance(f, &new_g);
+        if new_distance + config.tolerance >= distance {
+            // No improvement: keep the previous model.
+            break;
+        }
+        mapping = new_mapping;
+        g = new_g;
+        distance = new_distance;
+    }
+
+    // Compact group indices so they refer to the components of `g` (refit
+    // already dropped empty groups, so re-derive a dense mapping).
+    let dense = compact_mapping(&mapping);
+    GoldbergerResult {
+        reduced: g,
+        mapping: dense,
+        distance,
+        iterations,
+    }
+}
+
+/// Regroup step: assign every fine component to its KL-closest coarse one.
+fn regroup(f: &GaussianMixture, g: &GaussianMixture) -> Vec<usize> {
+    f.components()
+        .iter()
+        .map(|fc| {
+            let mut best_j = 0;
+            let mut best = f64::INFINITY;
+            for (j, gc) in g.components().iter().enumerate() {
+                let kl = kl_diag_gaussian(&fc.gaussian, &gc.gaussian);
+                if kl < best {
+                    best = kl;
+                    best_j = j;
+                }
+            }
+            best_j
+        })
+        .collect()
+}
+
+/// Refit step: moment-match each coarse component to the fine components
+/// mapped to it.
+///
+/// For group `j` with members `i` (weights `alpha_i`, means `mu_i`, diagonal
+/// covariances `Sigma_i`):
+///
+/// ```text
+/// beta_j  = sum_i alpha_i
+/// mu_j    = (1 / beta_j) * sum_i alpha_i * mu_i
+/// Sigma_j = (1 / beta_j) * sum_i alpha_i * (Sigma_i + (mu_i - mu_j)^2)
+/// ```
+fn refit(f: &GaussianMixture, mapping: &[usize]) -> GaussianMixture {
+    let dims = f.dims();
+    let groups = mapping.iter().copied().max().map_or(0, |m| m + 1);
+    let mut weight = vec![0.0f64; groups];
+    let mut mean = vec![vec![0.0f64; dims]; groups];
+
+    for (fc, &j) in f.components().iter().zip(mapping) {
+        weight[j] += fc.weight;
+        for d in 0..dims {
+            mean[j][d] += fc.weight * fc.gaussian.mean()[d];
+        }
+    }
+    for j in 0..groups {
+        if weight[j] > 0.0 {
+            for d in 0..dims {
+                mean[j][d] /= weight[j];
+            }
+        }
+    }
+
+    let mut var = vec![vec![0.0f64; dims]; groups];
+    for (fc, &j) in f.components().iter().zip(mapping) {
+        if weight[j] <= 0.0 {
+            continue;
+        }
+        for d in 0..dims {
+            let diff = fc.gaussian.mean()[d] - mean[j][d];
+            var[j][d] += fc.weight * (fc.gaussian.variance()[d] + diff * diff);
+        }
+    }
+
+    let mut components = Vec::with_capacity(groups);
+    for j in 0..groups {
+        if weight[j] <= 0.0 {
+            continue;
+        }
+        let v: Vec<f64> = var[j]
+            .iter()
+            .map(|x| (x / weight[j]).max(VARIANCE_FLOOR))
+            .collect();
+        components.push(WeightedComponent {
+            weight: weight[j],
+            gaussian: DiagGaussian::new(mean[j].clone(), v),
+        });
+    }
+    GaussianMixture::from_components(components)
+}
+
+/// Renumbers group indices densely (dropping empty groups) so they align with
+/// the component order produced by [`refit`].
+fn compact_mapping(mapping: &[usize]) -> Vec<usize> {
+    let groups = mapping.iter().copied().max().map_or(0, |m| m + 1);
+    let mut seen = vec![false; groups];
+    for &j in mapping {
+        seen[j] = true;
+    }
+    let mut remap = vec![usize::MAX; groups];
+    let mut next = 0usize;
+    for (j, s) in seen.iter().enumerate() {
+        if *s {
+            remap[j] = next;
+            next += 1;
+        }
+    }
+    mapping.iter().map(|&j| remap[j]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fine_mixture() -> GaussianMixture {
+        // Six components forming two well-separated triplets.
+        let means = [0.0, 0.3, 0.6, 10.0, 10.3, 10.6];
+        GaussianMixture::from_components(
+            means
+                .iter()
+                .map(|&m| WeightedComponent {
+                    weight: 1.0,
+                    gaussian: DiagGaussian::new(vec![m], vec![0.1]),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn chunked_mapping_groups_consecutive_order_positions() {
+        let order = vec![3, 1, 0, 2];
+        let mapping = chunked_mapping(&order, 2);
+        // order positions 0,1 -> group 0 (fine 3 and 1); positions 2,3 -> group 1.
+        assert_eq!(mapping, vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn reduction_finds_the_two_clusters() {
+        let f = fine_mixture();
+        // Deliberately bad initial mapping: interleaved groups.
+        let initial = vec![0, 1, 0, 1, 0, 1];
+        let result = reduce_mixture(&f, &initial, &GoldbergerConfig::default());
+        assert_eq!(result.reduced.len(), 2);
+        // After regrouping, components 0..3 and 3..6 should map together.
+        assert_eq!(result.mapping[0], result.mapping[1]);
+        assert_eq!(result.mapping[1], result.mapping[2]);
+        assert_eq!(result.mapping[3], result.mapping[4]);
+        assert_eq!(result.mapping[4], result.mapping[5]);
+        assert_ne!(result.mapping[0], result.mapping[3]);
+        // Means should be near the cluster centres.
+        let mut centres: Vec<f64> = result
+            .reduced
+            .components()
+            .iter()
+            .map(|c| c.gaussian.mean()[0])
+            .collect();
+        centres.sort_by(f64::total_cmp);
+        assert!((centres[0] - 0.3).abs() < 0.2);
+        assert!((centres[1] - 10.3).abs() < 0.2);
+    }
+
+    #[test]
+    fn reduction_never_increases_distance() {
+        let f = fine_mixture();
+        let initial = vec![0, 0, 1, 1, 0, 1];
+        let init_g = refit(&f, &initial);
+        let init_distance = mixture_distance(&f, &init_g);
+        let result = reduce_mixture(&f, &initial, &GoldbergerConfig::default());
+        assert!(result.distance <= init_distance + 1e-9);
+    }
+
+    #[test]
+    fn refit_preserves_total_weight() {
+        let f = fine_mixture();
+        let g = refit(&f, &[0, 0, 0, 1, 1, 1]);
+        let total: f64 = g.components().iter().map(|c| c.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refit_variance_accounts_for_spread_of_means() {
+        // Two far-apart fine components merged into one coarse component
+        // must have a variance much larger than either fine variance.
+        let f = GaussianMixture::from_components(vec![
+            WeightedComponent {
+                weight: 0.5,
+                gaussian: DiagGaussian::new(vec![-5.0], vec![0.1]),
+            },
+            WeightedComponent {
+                weight: 0.5,
+                gaussian: DiagGaussian::new(vec![5.0], vec![0.1]),
+            },
+        ]);
+        let g = refit(&f, &[0, 0]);
+        assert_eq!(g.len(), 1);
+        assert!(g.components()[0].gaussian.variance()[0] > 20.0);
+    }
+
+    #[test]
+    fn single_group_mapping_yields_single_component() {
+        let f = fine_mixture();
+        let result = reduce_mixture(&f, &[0; 6], &GoldbergerConfig::default());
+        assert_eq!(result.reduced.len(), 1);
+        assert!(result.mapping.iter().all(|&j| j == 0));
+    }
+
+    #[test]
+    fn empty_groups_are_dropped_and_mapping_stays_dense() {
+        let f = fine_mixture();
+        // Group 1 is never used.
+        let initial = vec![0, 0, 0, 2, 2, 2];
+        let result = reduce_mixture(&f, &initial, &GoldbergerConfig::default());
+        assert_eq!(result.reduced.len(), 2);
+        let max = result.mapping.iter().copied().max().unwrap();
+        assert!(max < result.reduced.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every fine component")]
+    fn mismatched_mapping_panics() {
+        let f = fine_mixture();
+        let _ = reduce_mixture(&f, &[0, 1], &GoldbergerConfig::default());
+    }
+}

@@ -1,0 +1,181 @@
+//! Kernel density estimators.
+//!
+//! The Bayes tree stores the raw training observations in its leaves and
+//! treats each of them as a *kernel*: a small density bump centred at the
+//! observation.  The paper uses Gaussian kernels with a Silverman bandwidth
+//! (Section 2.1) and lists Epanechnikov kernels as a planned variation
+//! (Section 4.1); both are provided here behind the [`Kernel`] trait so the
+//! tree is generic over the kernel family.
+
+use crate::{LN_2PI, VARIANCE_FLOOR};
+
+/// The kernel families supported by the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelKind {
+    /// Gaussian kernel — the paper's default.
+    #[default]
+    Gaussian,
+    /// Epanechnikov (parabolic) kernel — listed as future work in §4.1.
+    Epanechnikov,
+}
+
+/// A product kernel over `d` dimensions with a per-dimension bandwidth.
+pub trait Kernel {
+    /// Log density contribution of a kernel centred at `center` evaluated at
+    /// `x`, with per-dimension bandwidth `bandwidth`.
+    fn log_density(&self, center: &[f64], x: &[f64], bandwidth: &[f64]) -> f64;
+
+    /// Density contribution (non-log).
+    fn density(&self, center: &[f64], x: &[f64], bandwidth: &[f64]) -> f64 {
+        self.log_density(center, x, bandwidth).exp()
+    }
+
+    /// Which kernel family this is.
+    fn kind(&self) -> KernelKind;
+}
+
+/// Gaussian product kernel `K(u) = (2 pi)^(-d/2) exp(-||u||^2 / 2)` with
+/// per-dimension scaling `u_j = (x_j - c_j) / h_j`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GaussianKernel;
+
+impl Kernel for GaussianKernel {
+    fn log_density(&self, center: &[f64], x: &[f64], bandwidth: &[f64]) -> f64 {
+        debug_assert_eq!(center.len(), x.len());
+        debug_assert_eq!(center.len(), bandwidth.len());
+        let mut acc = 0.0;
+        for d in 0..x.len() {
+            let h = bandwidth[d].max(VARIANCE_FLOOR.sqrt());
+            let u = (x[d] - center[d]) / h;
+            acc += -0.5 * (LN_2PI + u * u) - h.ln();
+        }
+        acc
+    }
+
+    fn kind(&self) -> KernelKind {
+        KernelKind::Gaussian
+    }
+}
+
+/// Epanechnikov product kernel `K(u) = 0.75 (1 - u^2)` for `|u| <= 1`.
+///
+/// Has compact support, so a query far from a leaf observation contributes
+/// exactly zero density — which is why the paper flags it as an interesting
+/// robustness test for the tree's descent heuristics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpanechnikovKernel;
+
+impl Kernel for EpanechnikovKernel {
+    fn log_density(&self, center: &[f64], x: &[f64], bandwidth: &[f64]) -> f64 {
+        self.density(center, x, bandwidth).max(f64::MIN_POSITIVE).ln()
+    }
+
+    fn density(&self, center: &[f64], x: &[f64], bandwidth: &[f64]) -> f64 {
+        debug_assert_eq!(center.len(), x.len());
+        debug_assert_eq!(center.len(), bandwidth.len());
+        let mut acc = 1.0;
+        for d in 0..x.len() {
+            let h = bandwidth[d].max(VARIANCE_FLOOR.sqrt());
+            let u = (x[d] - center[d]) / h;
+            if u.abs() > 1.0 {
+                return 0.0;
+            }
+            acc *= 0.75 * (1.0 - u * u) / h;
+        }
+        acc
+    }
+
+    fn kind(&self) -> KernelKind {
+        KernelKind::Epanechnikov
+    }
+}
+
+/// Full kernel density estimate over a set of centers: the equally weighted
+/// average of the per-center kernel densities.
+///
+/// This is the "flat" estimator the Bayes tree converges to once every leaf
+/// kernel is on the frontier; it is used as the reference model in tests.
+#[must_use]
+pub fn kernel_density_estimate<K: Kernel>(
+    kernel: &K,
+    centers: &[Vec<f64>],
+    x: &[f64],
+    bandwidth: &[f64],
+) -> f64 {
+    if centers.is_empty() {
+        return 0.0;
+    }
+    let inv_n = 1.0 / centers.len() as f64;
+    centers
+        .iter()
+        .map(|c| kernel.density(c, x, bandwidth) * inv_n)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_kernel_peaks_at_center() {
+        let k = GaussianKernel;
+        let c = [1.0, 2.0];
+        let h = [0.5, 0.5];
+        let at_center = k.density(&c, &c, &h);
+        let off_center = k.density(&c, &[1.4, 2.4], &h);
+        assert!(at_center > off_center);
+    }
+
+    #[test]
+    fn gaussian_kernel_matches_univariate_normal() {
+        let k = GaussianKernel;
+        // Bandwidth h acts as standard deviation of a normal centred at c.
+        let d = k.density(&[0.0], &[0.0], &[2.0]);
+        let expected = 1.0 / (2.0 * std::f64::consts::PI).sqrt() / 2.0;
+        assert!((d - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epanechnikov_has_compact_support() {
+        let k = EpanechnikovKernel;
+        assert_eq!(k.density(&[0.0], &[2.0], &[1.0]), 0.0);
+        assert!(k.density(&[0.0], &[0.5], &[1.0]) > 0.0);
+    }
+
+    #[test]
+    fn epanechnikov_integrates_to_one_univariate() {
+        let k = EpanechnikovKernel;
+        // Numerically integrate over the support [-1, 1] with h = 1.
+        let n = 10_000;
+        let mut acc = 0.0;
+        for i in 0..n {
+            let x = -1.0 + 2.0 * (i as f64 + 0.5) / n as f64;
+            acc += k.density(&[0.0], &[x], &[1.0]) * 2.0 / n as f64;
+        }
+        assert!((acc - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn kde_averages_kernels() {
+        let k = GaussianKernel;
+        let centers = vec![vec![-1.0], vec![1.0]];
+        let h = [1.0];
+        let at_zero = kernel_density_estimate(&k, &centers, &[0.0], &h);
+        let single = k.density(&[-1.0], &[0.0], &h);
+        assert!((at_zero - single).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kde_of_empty_set_is_zero() {
+        let k = GaussianKernel;
+        assert_eq!(kernel_density_estimate(&k, &[], &[0.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn gaussian_log_density_consistent_with_density() {
+        let k = GaussianKernel;
+        let ld = k.log_density(&[0.3, 0.7], &[0.1, 0.9], &[0.2, 0.3]);
+        let d = k.density(&[0.3, 0.7], &[0.1, 0.9], &[0.2, 0.3]);
+        assert!((ld.exp() - d).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,259 @@
+//! Gaussian mixture models.
+//!
+//! Every frontier of a Bayes tree *is* a Gaussian mixture model: each entry
+//! contributes one weighted component (Definition 3).  This module provides a
+//! standalone mixture type used by the EM algorithm, the Goldberger bulk
+//! loader and the workload generators.
+
+use crate::gaussian::DiagGaussian;
+use rand::Rng;
+
+/// One weighted component of a mixture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedComponent {
+    /// Mixing weight of the component (non-negative; the mixture normalises).
+    pub weight: f64,
+    /// The component density.
+    pub gaussian: DiagGaussian,
+}
+
+/// A finite mixture of diagonal Gaussians.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GaussianMixture {
+    components: Vec<WeightedComponent>,
+}
+
+impl GaussianMixture {
+    /// Creates an empty mixture.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { components: Vec::new() }
+    }
+
+    /// Creates a mixture from weighted components, normalising the weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the components have inconsistent dimensionality or the total
+    /// weight is not positive.
+    #[must_use]
+    pub fn from_components(components: Vec<WeightedComponent>) -> Self {
+        let mut m = Self { components };
+        m.normalize();
+        if let Some(first) = m.components.first() {
+            let dims = first.gaussian.dims();
+            assert!(
+                m.components.iter().all(|c| c.gaussian.dims() == dims),
+                "all mixture components must share one dimensionality"
+            );
+        }
+        m
+    }
+
+    /// Adds a component; weights are re-normalised lazily by [`Self::normalize`].
+    pub fn push(&mut self, weight: f64, gaussian: DiagGaussian) {
+        self.components.push(WeightedComponent { weight, gaussian });
+    }
+
+    /// The components of the mixture.
+    #[must_use]
+    pub fn components(&self) -> &[WeightedComponent] {
+        &self.components
+    }
+
+    /// Number of components.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether the mixture has no components.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Dimensionality of the mixture (0 when empty).
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.components.first().map_or(0, |c| c.gaussian.dims())
+    }
+
+    /// Rescales the component weights to sum to one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total weight is not positive and the mixture is non-empty.
+    pub fn normalize(&mut self) {
+        if self.components.is_empty() {
+            return;
+        }
+        let total: f64 = self.components.iter().map(|c| c.weight).sum();
+        assert!(total > 0.0, "mixture weights must sum to a positive value");
+        for c in &mut self.components {
+            c.weight /= total;
+        }
+    }
+
+    /// Probability density of `x` under the mixture.
+    #[must_use]
+    pub fn pdf(&self, x: &[f64]) -> f64 {
+        self.components
+            .iter()
+            .map(|c| c.weight * c.gaussian.pdf(x))
+            .sum()
+    }
+
+    /// Log density of `x` under the mixture, computed with the log-sum-exp
+    /// trick for numerical stability.
+    #[must_use]
+    pub fn log_pdf(&self, x: &[f64]) -> f64 {
+        if self.components.is_empty() {
+            return f64::NEG_INFINITY;
+        }
+        let logs: Vec<f64> = self
+            .components
+            .iter()
+            .map(|c| {
+                if c.weight <= 0.0 {
+                    f64::NEG_INFINITY
+                } else {
+                    c.weight.ln() + c.gaussian.log_pdf(x)
+                }
+            })
+            .collect();
+        log_sum_exp(&logs)
+    }
+
+    /// Average log-likelihood of a set of points under the mixture.
+    #[must_use]
+    pub fn mean_log_likelihood(&self, points: &[Vec<f64>]) -> f64 {
+        if points.is_empty() {
+            return 0.0;
+        }
+        points.iter().map(|p| self.log_pdf(p)).sum::<f64>() / points.len() as f64
+    }
+
+    /// Samples a point: first a component by weight, then from its Gaussian.
+    #[must_use]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        assert!(!self.components.is_empty(), "cannot sample an empty mixture");
+        let idx = self.sample_component(rng);
+        self.components[idx].gaussian.sample(rng)
+    }
+
+    /// Samples a component index proportionally to the weights.
+    #[must_use]
+    pub fn sample_component<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total: f64 = self.components.iter().map(|c| c.weight).sum();
+        let mut u = rng.random::<f64>() * total;
+        for (i, c) in self.components.iter().enumerate() {
+            u -= c.weight;
+            if u <= 0.0 {
+                return i;
+            }
+        }
+        self.components.len() - 1
+    }
+}
+
+/// Numerically stable `log(sum(exp(x_i)))`.
+#[must_use]
+pub fn log_sum_exp(values: &[f64]) -> f64 {
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return max;
+    }
+    let sum: f64 = values.iter().map(|v| (v - max).exp()).sum();
+    max + sum.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_component_mixture() -> GaussianMixture {
+        GaussianMixture::from_components(vec![
+            WeightedComponent {
+                weight: 1.0,
+                gaussian: DiagGaussian::new(vec![-2.0], vec![1.0]),
+            },
+            WeightedComponent {
+                weight: 3.0,
+                gaussian: DiagGaussian::new(vec![2.0], vec![1.0]),
+            },
+        ])
+    }
+
+    #[test]
+    fn weights_are_normalised() {
+        let m = two_component_mixture();
+        let total: f64 = m.components().iter().map(|c| c.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((m.components()[1].weight - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdf_is_weighted_sum() {
+        let m = two_component_mixture();
+        let x = [0.5];
+        let manual = 0.25 * m.components()[0].gaussian.pdf(&x)
+            + 0.75 * m.components()[1].gaussian.pdf(&x);
+        assert!((m.pdf(&x) - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_pdf_matches_pdf() {
+        let m = two_component_mixture();
+        let x = [1.3];
+        assert!((m.log_pdf(&x).exp() - m.pdf(&x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_handles_large_magnitudes() {
+        let v = [-1000.0, -1000.0];
+        let lse = log_sum_exp(&v);
+        assert!((lse - (-1000.0 + std::f64::consts::LN_2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_sum_exp_of_neg_infinity_is_neg_infinity() {
+        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn sampling_respects_weights() {
+        let m = two_component_mixture();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mut right = 0usize;
+        for _ in 0..n {
+            if m.sample(&mut rng)[0] > 0.0 {
+                right += 1;
+            }
+        }
+        let frac = right as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.03, "fraction was {frac}");
+    }
+
+    #[test]
+    fn empty_mixture_pdf_is_zero() {
+        let m = GaussianMixture::new();
+        assert_eq!(m.pdf(&[0.0]), 0.0);
+        assert_eq!(m.log_pdf(&[0.0]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn mean_log_likelihood_prefers_matching_model() {
+        let m = two_component_mixture();
+        let mut rng = StdRng::seed_from_u64(3);
+        let data: Vec<Vec<f64>> = (0..500).map(|_| m.sample(&mut rng)).collect();
+        let wrong = GaussianMixture::from_components(vec![WeightedComponent {
+            weight: 1.0,
+            gaussian: DiagGaussian::new(vec![50.0], vec![1.0]),
+        }]);
+        assert!(m.mean_log_likelihood(&data) > wrong.mean_log_likelihood(&data));
+    }
+}

@@ -1,0 +1,164 @@
+//! Streaming summary statistics (Welford's online algorithm).
+//!
+//! Used for bandwidth selection, dataset normalization and the evaluation
+//! harness; numerically stable even for long streams.
+
+/// Online mean / variance accumulator over a stream of scalars.
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations seen so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance of the observations (0 when fewer than two).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample (Bessel-corrected) variance.
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation seen (`+inf` when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation seen (`-inf` when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean = self.mean + delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.mean = new_mean;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = RunningStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 3.0 + 1.0).collect();
+        let mut all = RunningStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert!((left.mean() - all.mean()).abs() < 1e-10);
+        assert!((left.variance() - all.variance()).abs() < 1e-10);
+        assert_eq!(left.count(), all.count());
+    }
+
+    #[test]
+    fn single_observation_variance_is_zero() {
+        let mut s = RunningStats::new();
+        s.push(42.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.mean(), 42.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Health-monitoring scenario (Section 4.1 / reference [13] of the paper):
+//! a mobile device performs a cheap pre-classification using only the upper
+//! levels of the Bayes tree and forwards uncertain cases to a server that can
+//! afford a deeper descent — multi-step classification on a varying stream.
+//!
+//! Run with `cargo run --release --example health_monitoring`.
+
+use anytime_stream_mining::bayestree::{AnytimeClassifier, BulkLoadMethod, ClassifierConfig};
+use anytime_stream_mining::data::synth::Benchmark;
+use anytime_stream_mining::index::PageGeometry;
+
+fn main() {
+    // The Gender benchmark stands in for the physiological sensor data of the
+    // paper's HealthNet application.
+    let dataset = Benchmark::Gender.generate(6_000, 13);
+    let (train, test) = dataset.split_holdout(0.3, 1);
+
+    let config = ClassifierConfig {
+        bulk_load: BulkLoadMethod::EmTopDown,
+        geometry: Some(PageGeometry::from_fanout(8, 16)),
+        ..ClassifierConfig::default()
+    };
+    let classifier = AnytimeClassifier::train(&train, &config);
+
+    // Stage 1 (mobile device): 3 node reads; forward to the server whenever
+    // the posterior margin is small.
+    let device_budget = 3;
+    let server_budget = 60;
+    let confidence_threshold = 0.8;
+
+    let mut device_correct = 0usize;
+    let mut forwarded = 0usize;
+    let mut final_correct = 0usize;
+
+    for (x, &y) in test.iter() {
+        let quick = classifier.classify_with_budget(x, device_budget);
+        let confidence = quick
+            .posteriors
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
+        let final_label = if confidence < confidence_threshold {
+            forwarded += 1;
+            classifier.classify_with_budget(x, server_budget).label
+        } else {
+            quick.label
+        };
+        if quick.label == y {
+            device_correct += 1;
+        }
+        if final_label == y {
+            final_correct += 1;
+        }
+    }
+
+    let n = test.len() as f64;
+    println!("multi-step classification on {} monitoring records:", test.len());
+    println!(
+        "  device only ({device_budget} nodes):        accuracy {:.3}",
+        device_correct as f64 / n
+    );
+    println!(
+        "  device + server ({server_budget} nodes when unsure): accuracy {:.3}",
+        final_correct as f64 / n
+    );
+    println!(
+        "  records forwarded to the server: {} ({:.1}% of the stream)",
+        forwarded,
+        forwarded as f64 / n * 100.0
+    );
+}

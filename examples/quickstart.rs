@@ -1,0 +1,49 @@
+//! Quickstart: train an anytime Bayesian classifier and interrupt it at
+//! different node budgets.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use anytime_stream_mining::bayestree::{AnytimeClassifier, ClassifierConfig};
+use anytime_stream_mining::data::synth::blobs::BlobConfig;
+
+fn main() {
+    // A small synthetic 4-class problem with two clusters per class.
+    let dataset = BlobConfig::new(4, 6)
+        .samples_per_class(250)
+        .clusters_per_class(2)
+        .seed(7)
+        .generate();
+    let (train, test) = dataset.split_holdout(0.25, 42);
+    println!(
+        "training on {} objects, testing on {} objects ({} classes, {} features)",
+        train.len(),
+        test.len(),
+        train.num_classes(),
+        train.dims()
+    );
+
+    // Default configuration: EM top-down bulk load, global-best descent, qbk.
+    let classifier = AnytimeClassifier::train(&train, &ClassifierConfig::default());
+
+    // The anytime property: interrupt the classifier after any number of node
+    // reads and it answers; more budget gives a finer mixture model.
+    for budget in [0usize, 2, 5, 10, 25, 50] {
+        let mut correct = 0usize;
+        for (x, &y) in test.iter() {
+            if classifier.classify_with_budget(x, budget).label == y {
+                correct += 1;
+            }
+        }
+        println!(
+            "budget {budget:>3} node reads -> accuracy {:.3}",
+            correct as f64 / test.len() as f64
+        );
+    }
+
+    // Online learning: new labelled observations are inserted incrementally.
+    let mut classifier = classifier;
+    let (x, &y) = test.iter().next().expect("non-empty test set");
+    classifier.learn_one(x.to_vec(), y);
+    println!("after learning one more object the model holds {} observations",
+        classifier.trees().iter().map(|t| t.len()).sum::<usize>());
+}

@@ -1,0 +1,52 @@
+//! Anytime classification under a varying (Poisson) stream: every arriving
+//! object gets whatever node budget the inter-arrival gap allows, which is
+//! exactly the scenario anytime algorithms are built for (Section 1).
+//!
+//! Run with `cargo run --release --example varying_stream`.
+
+use anytime_stream_mining::bayestree::{AnytimeClassifier, ClassifierConfig};
+use anytime_stream_mining::data::stream::{ConstantStream, PoissonStream, StreamSimulator};
+use anytime_stream_mining::data::synth::Benchmark;
+use anytime_stream_mining::index::PageGeometry;
+
+fn main() {
+    let dataset = Benchmark::Pendigits.generate(4_000, 3);
+    let (train, test) = dataset.split_holdout(0.3, 9);
+
+    let config = ClassifierConfig {
+        geometry: Some(PageGeometry::from_fanout(8, 16)),
+        ..ClassifierConfig::default()
+    };
+    let classifier = AnytimeClassifier::train(&train, &config);
+
+    // A budget algorithm must be provisioned for the *fastest* arrival it can
+    // tolerate; the anytime classifier simply uses whatever time each object
+    // happens to get.
+    let mean_budget = 20.0;
+    let poisson = PoissonStream::new(1.0 / mean_budget, 1.0, 7);
+    let constant = ConstantStream::new(mean_budget, 1.0);
+
+    let mut results = Vec::new();
+    for (name, items) in [
+        ("constant stream", constant.simulate(&test)),
+        ("Poisson stream ", poisson.simulate(&test)),
+    ] {
+        let mut correct = 0usize;
+        let mut spent = 0usize;
+        for item in &items {
+            let c = classifier.classify_with_budget(&item.features, item.node_budget);
+            if c.label == item.label {
+                correct += 1;
+            }
+            spent += item.node_budget.min(c.nodes_read.max(item.node_budget));
+        }
+        results.push((name, correct as f64 / items.len() as f64, spent / items.len()));
+    }
+
+    println!("same mean budget ({mean_budget} node reads/object), different arrival processes:");
+    for (name, accuracy, avg_budget) in results {
+        println!("  {name}  avg budget {avg_budget:>3} -> accuracy {accuracy:.3}");
+    }
+    println!("(the anytime classifier exploits the long gaps of the varying stream instead of");
+    println!(" being capped at the worst-case budget a fixed-time classifier would need)");
+}

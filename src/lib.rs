@@ -1,0 +1,46 @@
+//! # Anytime Stream Mining
+//!
+//! A Rust reproduction of *"Using Index Structures for Anytime Stream Mining"*
+//! (Philipp Kranen, VLDB 2009): the **Bayes tree** anytime classifier, its
+//! bulk-loading strategies, and the anytime stream-clustering extension.
+//!
+//! This facade crate re-exports the workspace crates so that examples and
+//! downstream users can depend on a single package:
+//!
+//! * [`stats`] — Gaussians, kernel density estimation, cluster features,
+//!   mixture models, EM, KL divergence and Goldberger mixture reduction.
+//! * [`index`] — MBRs, R*-tree machinery, space-filling curves and STR packing.
+//! * [`data`] — data sets, synthetic workload generators, folds and stream
+//!   simulators.
+//! * [`bayestree`] — the Bayes tree itself: anytime probability density
+//!   queries, descent strategies, the qbk anytime classifier and bulk loaders.
+//! * [`clustree`] — the anytime stream-clustering extension (ClusTree-style).
+//! * [`eval`] — the experiment harness that regenerates the paper's figures.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use anytime_stream_mining::bayestree::{AnytimeClassifier, ClassifierConfig};
+//! use anytime_stream_mining::data::synth::blobs::BlobConfig;
+//!
+//! // A small synthetic 3-class problem.
+//! let dataset = BlobConfig::new(3, 4).samples_per_class(120).seed(7).generate();
+//! let (train, test) = dataset.split_holdout(0.25, 42);
+//!
+//! let classifier = AnytimeClassifier::train(&train, &ClassifierConfig::default());
+//! // Classify with a budget of 20 node reads — more budget, better model.
+//! let mut correct = 0usize;
+//! for (x, y) in test.iter() {
+//!     if classifier.classify_with_budget(x, 20).label == *y {
+//!         correct += 1;
+//!     }
+//! }
+//! assert!(correct as f64 / test.len() as f64 > 0.5);
+//! ```
+
+pub use bayestree;
+pub use bt_data as data;
+pub use bt_eval as eval;
+pub use bt_index as index;
+pub use bt_stats as stats;
+pub use clustree;

@@ -1,0 +1,97 @@
+//! Integration test for experiment E8 (Figure 1): every frontier of a Bayes
+//! tree is a complete mixture model — each stored kernel is represented
+//! exactly once — and refining the frontier to exhaustion reproduces the full
+//! kernel density estimate, regardless of how the tree was constructed or
+//! which descent strategy is used.
+
+use anytime_stream_mining::bayestree::{build_tree, BulkLoadMethod, DescentStrategy, TreeFrontier};
+use anytime_stream_mining::data::synth::blobs::BlobConfig;
+use anytime_stream_mining::index::PageGeometry;
+
+fn workload() -> (Vec<Vec<f64>>, usize) {
+    let dataset = BlobConfig::new(3, 5)
+        .samples_per_class(120)
+        .clusters_per_class(3)
+        .seed(33)
+        .generate();
+    (dataset.features().to_vec(), dataset.dims())
+}
+
+#[test]
+fn every_frontier_represents_each_kernel_exactly_once() {
+    let (points, dims) = workload();
+    let geometry = PageGeometry::from_fanout(5, 8);
+    for method in BulkLoadMethod::all() {
+        let tree = build_tree(&points, dims, geometry, method, 5);
+        let query = vec![1.0; dims];
+        let mut frontier = TreeFrontier::new(&tree, &query);
+        let n = points.len() as f64;
+        assert!(
+            (frontier.total_weight() - n).abs() < 1e-6,
+            "{method:?}: initial frontier weight {}",
+            frontier.total_weight()
+        );
+        let mut steps = 0;
+        while frontier.refine(DescentStrategy::default()) {
+            steps += 1;
+            assert!(
+                (frontier.total_weight() - n).abs() < 1e-6,
+                "{method:?}: weight drifted after {steps} refinements"
+            );
+        }
+        assert!(steps > 0, "{method:?}: nothing to refine");
+    }
+}
+
+#[test]
+fn exhaustive_refinement_matches_full_kernel_density_for_all_strategies() {
+    let (points, dims) = workload();
+    let geometry = PageGeometry::from_fanout(4, 10);
+    let tree = build_tree(&points, dims, geometry, BulkLoadMethod::Hilbert, 1);
+    let queries = [vec![0.0; 5], vec![6.0; 5], vec![12.0; 5]];
+    for strategy in DescentStrategy::all() {
+        for query in &queries {
+            let mut frontier = TreeFrontier::new(&tree, query);
+            while frontier.refine(strategy) {}
+            let expected = tree.full_kernel_density(query);
+            assert!(
+                (frontier.density() - expected).abs() <= 1e-9 * (1.0 + expected),
+                "strategy {strategy:?}: {} vs {expected}",
+                frontier.density()
+            );
+        }
+    }
+}
+
+#[test]
+fn node_reads_equal_number_of_internal_plus_leaf_nodes() {
+    // Refining everything reads every node of the tree except the root
+    // (which is free): the refinement count is a direct measure of I/O.
+    let (points, dims) = workload();
+    let geometry = PageGeometry::from_fanout(4, 8);
+    let tree = build_tree(&points, dims, geometry, BulkLoadMethod::Str, 1);
+    let mut frontier = TreeFrontier::new(&tree, &vec![0.0; dims]);
+    while frontier.refine(DescentStrategy::BreadthFirst) {}
+    assert_eq!(frontier.nodes_read(), tree.num_nodes() - 1);
+}
+
+#[test]
+fn intermediate_models_are_valid_densities_along_the_descent() {
+    let (points, dims) = workload();
+    let tree = build_tree(
+        &points,
+        dims,
+        PageGeometry::from_fanout(5, 10),
+        BulkLoadMethod::EmTopDown,
+        9,
+    );
+    let query = vec![5.0; dims];
+    let mut frontier = TreeFrontier::new(&tree, &query);
+    for _ in 0..50 {
+        assert!(frontier.density() >= 0.0);
+        assert!(frontier.density().is_finite());
+        if !frontier.refine(DescentStrategy::default()) {
+            break;
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests on the core data structures and their invariants:
+//! cluster-feature additivity, Bayes-tree structural invariants under
+//! arbitrary insertion orders, space-filling-curve permutations, STR
+//! partitioning, and the probability-density-query consistency between the
+//! incremental frontier and the non-incremental reference implementation.
+
+use anytime_stream_mining::bayestree::{
+    build_tree, BulkLoadMethod, DescentStrategy, TreeFrontier,
+};
+use anytime_stream_mining::bayestree::pdq::pdq;
+use anytime_stream_mining::bayestree::BayesTree;
+use anytime_stream_mining::index::{hilbert_sort_order, str_partition, z_order_sort_order, Mbr, PageGeometry};
+use anytime_stream_mining::stats::{ClusterFeature, DiagGaussian};
+use anytime_stream_mining::stats::kl::kl_diag_gaussian;
+use proptest::prelude::*;
+
+/// Strategy producing a small set of bounded 3-d points.
+fn points_strategy(max_len: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(-50.0f64..50.0, 3),
+        1..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cluster_feature_merge_matches_bulk_construction(points in points_strategy(60), split in 0usize..60) {
+        let dims = 3;
+        let split = split.min(points.len());
+        let mut left = ClusterFeature::from_points(points[..split].iter().map(Vec::as_slice), dims);
+        let right = ClusterFeature::from_points(points[split..].iter().map(Vec::as_slice), dims);
+        let all = ClusterFeature::from_points(points.iter().map(Vec::as_slice), dims);
+        left.merge(&right);
+        prop_assert!((left.weight() - all.weight()).abs() < 1e-9);
+        for d in 0..dims {
+            prop_assert!((left.linear_sum()[d] - all.linear_sum()[d]).abs() < 1e-6);
+            prop_assert!((left.squared_sum()[d] - all.squared_sum()[d]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cf_mean_and_variance_stay_within_data_bounds(points in points_strategy(40)) {
+        let cf = ClusterFeature::from_points(points.iter().map(Vec::as_slice), 3);
+        let mean = cf.mean();
+        for d in 0..3 {
+            let lo = points.iter().map(|p| p[d]).fold(f64::INFINITY, f64::min);
+            let hi = points.iter().map(|p| p[d]).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(mean[d] >= lo - 1e-9 && mean[d] <= hi + 1e-9);
+            let spread = hi - lo;
+            prop_assert!(cf.variance()[d] <= spread * spread + 1e-6);
+        }
+    }
+
+    #[test]
+    fn iterative_insertion_preserves_tree_invariants(points in points_strategy(120)) {
+        let mut tree = BayesTree::new(3, PageGeometry::from_fanout(4, 5));
+        for p in &points {
+            tree.insert(p.clone());
+        }
+        prop_assert_eq!(tree.len(), points.len());
+        prop_assert!(tree.validate(true).is_ok(), "{:?}", tree.validate(true));
+    }
+
+    #[test]
+    fn bulk_loads_preserve_tree_invariants(points in points_strategy(100), seed in 0u64..1000) {
+        let geometry = PageGeometry::from_fanout(4, 6);
+        for method in [BulkLoadMethod::Hilbert, BulkLoadMethod::Str, BulkLoadMethod::EmTopDown] {
+            let tree = build_tree(&points, 3, geometry, method, seed);
+            prop_assert_eq!(tree.len(), points.len());
+            prop_assert!(tree.validate(method.guarantees_balance()).is_ok());
+        }
+    }
+
+    #[test]
+    fn frontier_density_matches_reference_pdq_at_root(points in points_strategy(80), qx in -50.0f64..50.0) {
+        let tree = build_tree(&points, 3, PageGeometry::from_fanout(4, 6), BulkLoadMethod::Hilbert, 0);
+        let query = vec![qx, 0.0, 0.0];
+        let frontier = TreeFrontier::new(&tree, &query);
+        let reference = pdq(&tree.root_entries(), &query);
+        prop_assert!((frontier.density() - reference).abs() <= 1e-9 * (1.0 + reference));
+    }
+
+    #[test]
+    fn full_refinement_reaches_kernel_density(points in points_strategy(60), qx in -50.0f64..50.0) {
+        let tree = build_tree(&points, 3, PageGeometry::from_fanout(4, 6), BulkLoadMethod::Str, 0);
+        let query = vec![qx, qx * 0.5, -qx];
+        let mut frontier = TreeFrontier::new(&tree, &query);
+        while frontier.refine(DescentStrategy::default()) {}
+        let expected = tree.full_kernel_density(&query);
+        prop_assert!((frontier.density() - expected).abs() <= 1e-9 * (1.0 + expected));
+    }
+
+    #[test]
+    fn hilbert_and_zorder_orders_are_permutations(points in points_strategy(80)) {
+        for order in [hilbert_sort_order(&points, 8), z_order_sort_order(&points, 8)] {
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..points.len()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn str_partition_covers_all_points_within_capacity(points in points_strategy(90), capacity in 2usize..20) {
+        let groups = str_partition(&points, capacity);
+        let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..points.len()).collect::<Vec<_>>());
+        prop_assert!(groups.iter().all(|g| g.len() <= capacity));
+    }
+
+    #[test]
+    fn mbr_union_contains_both_operands(
+        a in prop::collection::vec(-10.0f64..10.0, 2),
+        b in prop::collection::vec(-10.0f64..10.0, 2),
+    ) {
+        let ma = Mbr::from_point(&a);
+        let mb = Mbr::from_point(&b);
+        let u = ma.union(&mb);
+        prop_assert!(u.contains_point(&a));
+        prop_assert!(u.contains_point(&b));
+        prop_assert!(u.min_dist_sq(&a) == 0.0);
+    }
+
+    #[test]
+    fn kl_divergence_is_non_negative_and_zero_on_self(
+        mean in prop::collection::vec(-5.0f64..5.0, 3),
+        var in prop::collection::vec(0.01f64..4.0, 3),
+        mean2 in prop::collection::vec(-5.0f64..5.0, 3),
+        var2 in prop::collection::vec(0.01f64..4.0, 3),
+    ) {
+        let p = DiagGaussian::new(mean.clone(), var.clone());
+        let q = DiagGaussian::new(mean2, var2);
+        prop_assert!(kl_diag_gaussian(&p, &q) >= -1e-12);
+        prop_assert!(kl_diag_gaussian(&p, &p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaussian_pdf_is_bounded_by_its_peak(
+        mean in prop::collection::vec(-5.0f64..5.0, 2),
+        var in prop::collection::vec(0.05f64..4.0, 2),
+        x in prop::collection::vec(-20.0f64..20.0, 2),
+    ) {
+        let g = DiagGaussian::new(mean.clone(), var);
+        let at_mean = g.pdf(&mean);
+        prop_assert!(g.pdf(&x) <= at_mean + 1e-12);
+        prop_assert!(g.pdf(&x) >= 0.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Integration test of the anytime stream-clustering extension (experiment
+//! E9): the model adapts its granularity to the stream speed, conserves mass
+//! without decay, forgets with decay, and the offline density-based step
+//! recovers the generating sources.
+
+use anytime_stream_mining::clustree::{
+    weighted_dbscan, ClusTree, ClusTreeConfig, DbscanConfig, SnapshotStore,
+};
+use anytime_stream_mining::data::stream::DriftingStream;
+use anytime_stream_mining::eval::clustering::{budget_sweep, evaluate_stream_clustering};
+
+fn stationary_stream(n: usize) -> Vec<(Vec<f64>, usize)> {
+    // Zero drift: three fixed, well-separated sources.
+    DriftingStream::new(3, 3, 0.25, 0.0, 77).generate(n)
+}
+
+#[test]
+fn model_granularity_follows_stream_speed() {
+    let stream = stationary_stream(3_000);
+    let rows = budget_sweep(
+        &stream,
+        &[0, 2, 8, 32],
+        &ClusTreeConfig::default(),
+        &DbscanConfig {
+            epsilon: 1.5,
+            min_weight: 15.0,
+        },
+    );
+    // More budget never shrinks the model, and the extreme settings differ.
+    for pair in rows.windows(2) {
+        assert!(
+            pair[1].tree_nodes + 2 >= pair[0].tree_nodes,
+            "budget {} -> {} nodes, budget {} -> {} nodes",
+            pair[0].node_budget,
+            pair[0].tree_nodes,
+            pair[1].node_budget,
+            pair[1].tree_nodes
+        );
+    }
+    assert!(rows.last().unwrap().tree_nodes > rows.first().unwrap().tree_nodes);
+}
+
+#[test]
+fn offline_step_recovers_the_sources() {
+    let stream = stationary_stream(2_500);
+    let quality = evaluate_stream_clustering(
+        &stream,
+        16,
+        &ClusTreeConfig::default(),
+        &DbscanConfig {
+            epsilon: 1.5,
+            min_weight: 25.0,
+        },
+    );
+    assert!(quality.purity > 0.9, "purity {:.3}", quality.purity);
+    assert_eq!(quality.macro_clusters, 3, "{quality:?}");
+}
+
+#[test]
+fn mass_is_conserved_without_decay_and_lost_with_decay() {
+    let stream = stationary_stream(1_000);
+    let mut plain = ClusTree::new(3, ClusTreeConfig::default());
+    let mut decaying = ClusTree::new(
+        3,
+        ClusTreeConfig {
+            decay_lambda: 0.01,
+            ..ClusTreeConfig::default()
+        },
+    );
+    for (t, (p, _)) in stream.iter().enumerate() {
+        plain.insert(p, t as f64, 4);
+        decaying.insert(p, t as f64, 4);
+    }
+    assert!((plain.total_weight() - stream.len() as f64).abs() < 1e-6);
+    assert!(decaying.total_weight() < stream.len() as f64 * 0.8);
+    plain.validate().expect("plain tree valid");
+    decaying.validate().expect("decaying tree valid");
+}
+
+#[test]
+fn snapshots_allow_looking_back_in_time() {
+    let stream = stationary_stream(2_000);
+    let mut tree = ClusTree::new(3, ClusTreeConfig::default());
+    let mut store = SnapshotStore::new(2);
+    for (t, (p, _)) in stream.iter().enumerate() {
+        tree.insert(p, t as f64, 6);
+        if t % 100 == 0 {
+            store.record((t / 100) as u64, tree.micro_clusters());
+        }
+    }
+    assert!(!store.is_empty());
+    // The pyramidal frame keeps recent ticks densely and old ticks sparsely;
+    // a mid-stream and an end-of-stream lookup must both succeed.
+    let early = store.closest_before(12.0).expect("mid-stream snapshot");
+    let late = store.closest_before(1_000.0).expect("late snapshot");
+    assert!(late.time >= early.time);
+    // The later snapshot summarises at least as much weight.
+    let weight =
+        |s: &[anytime_stream_mining::clustree::MicroCluster]| -> f64 { s.iter().map(|m| m.weight()).sum() };
+    assert!(weight(&late.micro_clusters) >= weight(&early.micro_clusters));
+}
+
+#[test]
+fn drifting_sources_stay_separated_with_decay() {
+    // With drift and decay, the final micro-clusters should sit near the
+    // sources' final positions rather than smearing over the whole path.
+    let drifting = DriftingStream::new(2, 2, 0.2, 0.01, 5);
+    let stream = drifting.generate(4_000);
+    let mut tree = ClusTree::new(
+        2,
+        ClusTreeConfig {
+            decay_lambda: 0.005,
+            ..ClusTreeConfig::default()
+        },
+    );
+    for (t, (p, _)) in stream.iter().enumerate() {
+        tree.insert(p, t as f64, 8);
+    }
+    let micro = tree.micro_clusters();
+    let macro_clusters = weighted_dbscan(
+        &micro,
+        &DbscanConfig {
+            epsilon: 2.0,
+            min_weight: 10.0,
+        },
+    );
+    assert!(macro_clusters.num_clusters >= 2, "{}", macro_clusters.num_clusters);
+}
