@@ -1,0 +1,44 @@
+//! # bt-anytree — the shared anytime-index core
+//!
+//! Kranen's VLDB 2009 thesis is that the Bayes tree "is essentially an index
+//! structure", and that the stream-clustering extension (ClusTree) is the
+//! *same* index with micro-clusters instead of kernels.  This crate owns the
+//! machinery both trees share so that it exists exactly once:
+//!
+//! * the **node arena** ([`AnytimeTree`]): nodes in a `Vec`, children
+//!   addressed by [`NodeId`] indices — contiguous memory, no aliasing
+//!   gymnastics,
+//! * **entries generic over a payload** ([`Summary`]): merge / weight /
+//!   distance / decay, plus an optional MBR hook that routes descent and
+//!   splits through `bt_index::rstar` choose-subtree and the R* topological
+//!   split,
+//! * **budgeted descent** with a pluggable per-level step cost
+//!   ([`InsertModel::step_cost`]),
+//! * **hitchhiker / park buffers**: an object that runs out of budget is
+//!   parked in its entry's buffer and carried further down by a later
+//!   descent through the same entry,
+//! * **split and overflow propagation** with `(min, max)` fanout taken from
+//!   [`bt_index::PageGeometry`], including the root split and the
+//!   merge-instead-of-split fallback used when there is no time to split.
+//!
+//! Consumers instantiate the core by choosing a payload (`bayestree`: an
+//! MBR + cluster-feature summary over raw kernel points; `clustree`: a
+//! decaying micro-cluster) and implementing [`InsertModel`] for the handful
+//! of decisions that genuinely differ between workloads (leaf insertion
+//! policy, leaf splitting, buffering).  Everything else — descent order,
+//! buffer bookkeeping, split propagation, height tracking — is shared.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod model;
+pub mod node;
+pub mod split;
+pub mod summary;
+pub mod tree;
+
+pub use model::InsertModel;
+pub use node::{Entry, Node, NodeId, NodeKind};
+pub use split::{distribute, merge_closest_pair, polar_partition};
+pub use summary::Summary;
+pub use tree::{AnytimeTree, InsertOutcome};

@@ -1,0 +1,188 @@
+//! Nodes and entries of the arena tree.
+//!
+//! Nodes live in an arena owned by [`crate::AnytimeTree`]; entries refer to
+//! their child node by arena index.  This sidesteps the aliasing issues a
+//! pointer-based tree would raise and keeps nodes contiguous in memory.
+
+use crate::summary::Summary;
+
+/// Arena index of a node within its tree.
+pub type NodeId = usize;
+
+/// A directory entry: the aggregated description of one subtree, an optional
+/// hitchhiker buffer of parked objects, and the child pointer.
+///
+/// The entry [`Deref`](std::ops::Deref)s to its summary so instantiations
+/// whose payloads expose public fields (e.g. `mbr` / `cf`) keep their
+/// familiar field access.
+#[derive(Debug, Clone)]
+pub struct Entry<S> {
+    /// Aggregate of everything stored below this entry (including buffered
+    /// mass parked at or below it).
+    pub summary: S,
+    /// Hitchhiker buffer: objects parked here waiting to be carried down by
+    /// a later descent.  `None` when nothing is parked (and always `None`
+    /// for unbuffered workloads such as the Bayes tree).
+    pub buffer: Option<S>,
+    /// Arena index of the child node.
+    pub child: NodeId,
+}
+
+impl<S: Summary> Entry<S> {
+    /// Creates an entry describing `child` with an empty buffer.
+    #[must_use]
+    pub fn new(summary: S, child: NodeId) -> Self {
+        Self {
+            summary,
+            buffer: None,
+            child,
+        }
+    }
+
+    /// Number of objects summarised by this entry.
+    #[must_use]
+    pub fn weight(&self) -> f64 {
+        self.summary.weight()
+    }
+
+    /// Weight currently parked in the hitchhiker buffer.
+    #[must_use]
+    pub fn buffered_weight(&self) -> f64 {
+        self.buffer.as_ref().map_or(0.0, Summary::weight)
+    }
+}
+
+impl<S> std::ops::Deref for Entry<S> {
+    type Target = S;
+    fn deref(&self) -> &S {
+        &self.summary
+    }
+}
+
+impl<S> std::ops::DerefMut for Entry<S> {
+    fn deref_mut(&mut self) -> &mut S {
+        &mut self.summary
+    }
+}
+
+/// The payload of a node: raw leaf items or directory entries.
+#[derive(Debug, Clone)]
+pub enum NodeKind<S, L> {
+    /// A leaf node storing the workload's leaf items (raw kernel points for
+    /// the Bayes tree, micro-clusters for the clustering extension).
+    Leaf {
+        /// The items stored in this leaf.
+        items: Vec<L>,
+    },
+    /// An inner (directory) node storing between `m` and `M` entries.
+    Inner {
+        /// The entries of this node.
+        entries: Vec<Entry<S>>,
+    },
+}
+
+/// One node of the tree.
+#[derive(Debug, Clone)]
+pub struct Node<S, L> {
+    /// The node's payload.
+    pub kind: NodeKind<S, L>,
+}
+
+impl<S, L> Node<S, L> {
+    /// Creates an empty leaf node.
+    #[must_use]
+    pub fn empty_leaf() -> Self {
+        Self {
+            kind: NodeKind::Leaf { items: Vec::new() },
+        }
+    }
+
+    /// Creates a leaf node holding `items`.
+    #[must_use]
+    pub fn leaf(items: Vec<L>) -> Self {
+        Self {
+            kind: NodeKind::Leaf { items },
+        }
+    }
+
+    /// Creates an inner node holding `entries`.
+    #[must_use]
+    pub fn inner(entries: Vec<Entry<S>>) -> Self {
+        Self {
+            kind: NodeKind::Inner { entries },
+        }
+    }
+
+    /// Whether this node is a leaf.
+    #[must_use]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.kind, NodeKind::Leaf { .. })
+    }
+
+    /// Number of entries (inner node) or items (leaf node).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.kind {
+            NodeKind::Leaf { items } => items.len(),
+            NodeKind::Inner { entries } => entries.len(),
+        }
+    }
+
+    /// Whether the node holds nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The entries of an inner node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a leaf node.
+    #[must_use]
+    pub fn entries(&self) -> &[Entry<S>] {
+        match &self.kind {
+            NodeKind::Inner { entries } => entries,
+            NodeKind::Leaf { .. } => panic!("entries() called on a leaf node"),
+        }
+    }
+
+    /// Mutable access to the entries of an inner node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a leaf node.
+    #[must_use]
+    pub fn entries_mut(&mut self) -> &mut Vec<Entry<S>> {
+        match &mut self.kind {
+            NodeKind::Inner { entries } => entries,
+            NodeKind::Leaf { .. } => panic!("entries_mut() called on a leaf node"),
+        }
+    }
+
+    /// The items of a leaf node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on an inner node.
+    #[must_use]
+    pub fn items(&self) -> &[L] {
+        match &self.kind {
+            NodeKind::Leaf { items } => items,
+            NodeKind::Inner { .. } => panic!("items() called on an inner node"),
+        }
+    }
+
+    /// Mutable access to the items of a leaf node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on an inner node.
+    #[must_use]
+    pub fn items_mut(&mut self) -> &mut Vec<L> {
+        match &mut self.kind {
+            NodeKind::Leaf { items } => items,
+            NodeKind::Inner { .. } => panic!("items_mut() called on an inner node"),
+        }
+    }
+}

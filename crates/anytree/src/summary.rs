@@ -1,0 +1,54 @@
+//! The payload trait: what an entry aggregates about its subtree.
+
+use bt_index::Mbr;
+
+/// The additive summary a directory entry keeps about everything stored in
+/// its subtree.
+///
+/// The Bayes tree instantiates this with an MBR + cluster feature (kernels),
+/// the clustering extension with a decaying micro-cluster.  The core only
+/// relies on the operations below:
+///
+/// * [`merge`](Summary::merge) — additivity, used to maintain ancestor
+///   summaries and to build parent entries after splits,
+/// * [`weight`](Summary::weight) — the (possibly decayed) object count,
+/// * [`sq_dist_to`](Summary::sq_dist_to) / [`center`](Summary::center) —
+///   the geometric routing and splitting measures for payloads without an
+///   MBR,
+/// * [`refresh`](Summary::refresh) — the temporal-decay hook (a no-op for
+///   payloads without temporal semantics),
+/// * [`as_mbr`](Summary::as_mbr) + [`MBR_ROUTED`](Summary::MBR_ROUTED) —
+///   the hook into `bt_index::rstar`: when set, descent routes by least
+///   area enlargement and overflowing directory nodes split with the R*
+///   topological split instead of the distance-based split.
+pub trait Summary: Clone + std::fmt::Debug {
+    /// Per-operation context threaded through merges and refreshes (e.g. the
+    /// current timestamp and decay rate).  `()` for payloads without one.
+    type Ctx: Copy + std::fmt::Debug;
+
+    /// Whether descent and directory splits should use the MBR machinery of
+    /// `bt_index::rstar` ([`as_mbr`](Summary::as_mbr) must then return
+    /// `Some`).
+    const MBR_ROUTED: bool = false;
+
+    /// Adds `other`'s mass to this summary.
+    fn merge(&mut self, other: &Self, ctx: Self::Ctx);
+
+    /// Number of objects currently summarised (fractional under decay).
+    fn weight(&self) -> f64;
+
+    /// Brings the summary up to date (e.g. applies exponential decay).
+    fn refresh(&mut self, _ctx: Self::Ctx) {}
+
+    /// Squared distance from this summary's representative to a point — the
+    /// routing measure for payloads without an MBR.
+    fn sq_dist_to(&self, point: &[f64]) -> f64;
+
+    /// Representative centre, used by the distance-based split.
+    fn center(&self) -> Vec<f64>;
+
+    /// The minimum bounding rectangle, for MBR-routed payloads.
+    fn as_mbr(&self) -> Option<&Mbr> {
+        None
+    }
+}

@@ -1,0 +1,568 @@
+//! The arena tree and its budgeted insertion algorithm.
+
+use crate::model::InsertModel;
+use crate::node::{Entry, Node, NodeId, NodeKind};
+use crate::split::split_entries;
+use crate::summary::Summary;
+use bt_index::rstar::choose_subtree_by;
+use bt_index::PageGeometry;
+
+/// What happened to an inserted object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The object reached leaf level and was stored there.
+    ReachedLeaf,
+    /// The object ran out of budget and was parked in a hitchhiker buffer at
+    /// the reported depth.
+    Parked {
+        /// Depth at which the object was parked (1 = directly below the
+        /// root).
+        depth: usize,
+    },
+}
+
+/// A pending split travelling up the recursion: the two entries replacing
+/// the overflowed child's entry in its parent.
+type SplitPair<S> = Option<(Entry<S>, Entry<S>)>;
+
+/// The shared anytime index: a balanced arena tree whose directory entries
+/// aggregate a payload [`Summary`] of their subtree.
+#[derive(Debug, Clone)]
+pub struct AnytimeTree<S: Summary, L> {
+    dims: usize,
+    geometry: PageGeometry,
+    nodes: Vec<Node<S, L>>,
+    root: NodeId,
+    height: usize,
+}
+
+impl<S: Summary, L: Clone + std::fmt::Debug> AnytimeTree<S, L> {
+    /// Creates an empty tree (a single empty leaf root) for
+    /// `dims`-dimensional data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims == 0`.
+    #[must_use]
+    pub fn new(dims: usize, geometry: PageGeometry) -> Self {
+        assert!(dims > 0, "dimensionality must be positive");
+        Self {
+            dims,
+            geometry,
+            nodes: vec![Node::empty_leaf()],
+            root: 0,
+            height: 1,
+        }
+    }
+
+    /// Dimensionality of the indexed data.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Fanout / leaf-capacity parameters of the tree.
+    #[must_use]
+    pub fn geometry(&self) -> PageGeometry {
+        self.geometry
+    }
+
+    /// The arena index of the root node.
+    #[must_use]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Height of the tree (a single leaf root has height 1).
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Read access to a node.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node<S, L> {
+        &self.nodes[id]
+    }
+
+    /// Mutable access to a node.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node<S, L> {
+        &mut self.nodes[id]
+    }
+
+    /// Adds a node to the arena and returns its id.
+    pub fn push_node(&mut self, node: Node<S, L>) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Replaces the root node id and height (used by bulk loaders).
+    pub fn set_root(&mut self, root: NodeId, height: usize) {
+        self.root = root;
+        self.height = height;
+    }
+
+    /// The ids of every node reachable from the root, in depth-first order.
+    #[must_use]
+    pub fn reachable(&self) -> Vec<NodeId> {
+        let mut stack = vec![self.root];
+        let mut out = Vec::new();
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            if let NodeKind::Inner { entries } = &self.nodes[id].kind {
+                for e in entries {
+                    stack.push(e.child);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of nodes reachable from the root (the arena may additionally
+    /// hold nodes orphaned by bulk loading).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.reachable().len()
+    }
+
+    /// Maximum leaf depth below `node` (a leaf has depth 1).
+    #[must_use]
+    pub fn measure_depth(&self, node: NodeId) -> usize {
+        match &self.nodes[node].kind {
+            NodeKind::Leaf { .. } => 1,
+            NodeKind::Inner { entries } => {
+                1 + entries
+                    .iter()
+                    .map(|e| self.measure_depth(e.child))
+                    .max()
+                    .unwrap_or(0)
+            }
+        }
+    }
+
+    /// Builds the entry describing inner node `id` by folding its entries'
+    /// summaries, then refreshing the result.
+    ///
+    /// Buffers are deliberately *not* added: an entry's summary already
+    /// includes the mass parked in its own buffer (objects are absorbed into
+    /// the summary before being parked), so every entry satisfies
+    /// `summary == child content + own buffer` and the node's total is just
+    /// the sum of its entries' summaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a non-empty inner node.
+    #[must_use]
+    pub fn summarize_inner(&self, id: NodeId, ctx: S::Ctx) -> Entry<S> {
+        let entries = self.nodes[id].entries();
+        assert!(!entries.is_empty(), "cannot summarise an empty inner node");
+        let mut summary = entries[0].summary.clone();
+        for e in &entries[1..] {
+            summary.merge(&e.summary, ctx);
+        }
+        summary.refresh(ctx);
+        Entry::new(summary, id)
+    }
+
+    /// Builds the entry describing any non-empty node `id`: leaf nodes are
+    /// summarised through the model's leaf policy, inner nodes by folding
+    /// their entries ([`Self::summarize_inner`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is empty.
+    #[must_use]
+    pub fn summarize_node<M>(&self, model: &M, id: NodeId) -> Entry<S>
+    where
+        M: InsertModel<S, LeafItem = L>,
+    {
+        match &self.nodes[id].kind {
+            NodeKind::Leaf { items } => {
+                assert!(!items.is_empty(), "cannot summarise an empty leaf");
+                Entry::new(model.summarize_leaf_items(items), id)
+            }
+            NodeKind::Inner { .. } => self.summarize_inner(id, model.ctx()),
+        }
+    }
+
+    /// Inserts one object with a budget of `budget` descent steps, driving
+    /// the workload-specific decisions through `model`.
+    ///
+    /// A budget of 0 parks the object at root level immediately (for
+    /// buffered models); unbuffered models ignore the budget.  Overflowing
+    /// nodes split (when the model allows it) and splits propagate upward;
+    /// a root split grows the tree by one level.
+    pub fn insert<M>(&mut self, model: &mut M, obj: M::Object, budget: usize) -> InsertOutcome
+    where
+        M: InsertModel<S, LeafItem = L>,
+    {
+        let mut scratch = Vec::new();
+        let root = self.root;
+        let (outcome, split) = self.insert_rec(model, root, obj, budget, 1, &mut scratch);
+        if let Some((e1, e2)) = split {
+            let new_root = self.push_node(Node::inner(vec![e1, e2]));
+            self.root = new_root;
+            self.height += 1;
+        }
+        outcome
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn insert_rec<M>(
+        &mut self,
+        model: &mut M,
+        node_id: NodeId,
+        mut obj: M::Object,
+        budget: usize,
+        depth: usize,
+        scratch: &mut Vec<f64>,
+    ) -> (InsertOutcome, SplitPair<S>)
+    where
+        M: InsertModel<S, LeafItem = L>,
+    {
+        let ctx = model.ctx();
+        let has_time = budget > 0;
+
+        // Leaf: hand the object to the model's leaf policy.
+        if self.nodes[node_id].is_leaf() {
+            let items = self.nodes[node_id].items_mut();
+            model.refresh_leaf_items(items);
+            model.insert_into_leaf(items, obj);
+            let split = self.handle_overflow(model, node_id, has_time);
+            return (InsertOutcome::ReachedLeaf, split);
+        }
+
+        // Directory node: refresh summaries, route, absorb.
+        let (child, descend) = {
+            let entries = self.nodes[node_id].entries_mut();
+            for e in entries.iter_mut() {
+                e.summary.refresh(ctx);
+                if let Some(b) = &mut e.buffer {
+                    b.refresh(ctx);
+                }
+            }
+            let idx = route(entries, model, &obj, scratch);
+            // The object ends up somewhere below this entry either way, so
+            // the aggregate absorbs it now.
+            model.absorb_into(&mut entries[idx].summary, &obj);
+
+            if M::BUFFERED && budget == 0 {
+                // Out of time: park the object in the hitchhiker buffer.
+                match &mut entries[idx].buffer {
+                    Some(b) => model.absorb_into(b, &obj),
+                    slot @ None => *slot = Some(model.summary_of(&obj)),
+                }
+                return (InsertOutcome::Parked { depth }, None);
+            }
+            if M::BUFFERED {
+                // Pick up waiting hitchhikers and carry them down.
+                if let Some(buffer) = entries[idx].buffer.take() {
+                    model.merge_buffer_into_object(&mut obj, buffer);
+                }
+            }
+            (entries[idx].child, idx)
+        };
+
+        let cost = model.step_cost();
+        let (outcome, child_split) = self.insert_rec(
+            model,
+            child,
+            obj,
+            budget.saturating_sub(cost),
+            depth + 1,
+            scratch,
+        );
+        if let Some((e1, e2)) = child_split {
+            let entries = self.nodes[node_id].entries_mut();
+            entries[descend] = e1;
+            entries.push(e2);
+        }
+        let split = self.handle_overflow(model, node_id, has_time);
+        (outcome, split)
+    }
+
+    /// Handles an overfull node: splits it when the model allows, otherwise
+    /// falls back to the model's collapse policy (leaves) or tolerates the
+    /// bounded overflow (directory nodes).
+    fn handle_overflow<M>(&mut self, model: &M, node_id: NodeId, has_time: bool) -> SplitPair<S>
+    where
+        M: InsertModel<S, LeafItem = L>,
+    {
+        let is_leaf = self.nodes[node_id].is_leaf();
+        let cap = if is_leaf {
+            self.geometry.max_leaf
+        } else {
+            self.geometry.max_fanout
+        };
+        if self.nodes[node_id].len() <= cap {
+            return None;
+        }
+        if !model.may_split(has_time) {
+            if is_leaf {
+                model.collapse_leaf_items(self.nodes[node_id].items_mut());
+            }
+            // Directory overflow without permission to split is tolerated:
+            // it is bounded by one extra entry per insertion and resolved by
+            // a later descent with time to spare.
+            return None;
+        }
+        Some(if is_leaf {
+            self.split_leaf(model, node_id)
+        } else {
+            self.split_inner(model.ctx(), node_id)
+        })
+    }
+
+    fn split_leaf<M>(&mut self, model: &M, node_id: NodeId) -> (Entry<S>, Entry<S>)
+    where
+        M: InsertModel<S, LeafItem = L>,
+    {
+        let items = std::mem::take(self.nodes[node_id].items_mut());
+        let (first, second) = model.split_leaf_items(items, &self.geometry);
+        *self.nodes[node_id].items_mut() = first;
+        let new_node = self.push_node(Node::leaf(second));
+        (
+            Entry::new(
+                model.summarize_leaf_items(self.nodes[node_id].items()),
+                node_id,
+            ),
+            Entry::new(
+                model.summarize_leaf_items(self.nodes[new_node].items()),
+                new_node,
+            ),
+        )
+    }
+
+    fn split_inner(&mut self, ctx: S::Ctx, node_id: NodeId) -> (Entry<S>, Entry<S>) {
+        let entries = std::mem::take(self.nodes[node_id].entries_mut());
+        let (first, second) = split_entries(entries, &self.geometry);
+        *self.nodes[node_id].entries_mut() = first;
+        let new_node = self.push_node(Node::inner(second));
+        (
+            self.summarize_inner(node_id, ctx),
+            self.summarize_inner(new_node, ctx),
+        )
+    }
+}
+
+/// Chooses the entry the object descends into: by R* least enlargement for
+/// MBR-routed payloads, by closest summary otherwise.
+fn route<S, M>(entries: &[Entry<S>], model: &M, obj: &M::Object, scratch: &mut Vec<f64>) -> usize
+where
+    S: Summary,
+    M: InsertModel<S>,
+{
+    debug_assert!(!entries.is_empty(), "directory nodes are never empty");
+    let point = model.route_point(obj, scratch);
+    if S::MBR_ROUTED {
+        choose_subtree_by(
+            entries,
+            |e| {
+                e.summary
+                    .as_mbr()
+                    .expect("MBR-routed payload exposes an MBR")
+            },
+            point,
+        )
+    } else {
+        entries
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                let da = a.summary.sq_dist_to(point);
+                let db = b.summary.sq_dist_to(point);
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+            .expect("directory node has entries")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::InsertModel;
+
+    /// A minimal distance-routed payload: (weight, centre).
+    #[derive(Debug, Clone)]
+    struct Blob {
+        weight: f64,
+        sum: Vec<f64>,
+    }
+
+    impl Blob {
+        fn center_of(&self) -> Vec<f64> {
+            self.sum.iter().map(|s| s / self.weight).collect()
+        }
+    }
+
+    impl Summary for Blob {
+        type Ctx = ();
+        fn merge(&mut self, other: &Self, _ctx: ()) {
+            self.weight += other.weight;
+            for (a, b) in self.sum.iter_mut().zip(&other.sum) {
+                *a += b;
+            }
+        }
+        fn weight(&self) -> f64 {
+            self.weight
+        }
+        fn sq_dist_to(&self, point: &[f64]) -> f64 {
+            self.center_of()
+                .iter()
+                .zip(point)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum()
+        }
+        fn center(&self) -> Vec<f64> {
+            self.center_of()
+        }
+    }
+
+    /// A buffered model storing blobs directly at leaf level.
+    struct BlobModel;
+
+    impl InsertModel<Blob> for BlobModel {
+        type Object = Blob;
+        type LeafItem = Blob;
+        const BUFFERED: bool = true;
+
+        fn ctx(&self) {}
+        fn route_point<'a>(&self, obj: &'a Blob, scratch: &'a mut Vec<f64>) -> &'a [f64] {
+            scratch.clear();
+            scratch.extend(obj.center_of());
+            scratch
+        }
+        fn summary_of(&self, obj: &Blob) -> Blob {
+            obj.clone()
+        }
+        fn absorb_into(&self, summary: &mut Blob, obj: &Blob) {
+            summary.merge(obj, ());
+        }
+        fn merge_buffer_into_object(&self, obj: &mut Blob, buffer: Blob) {
+            obj.merge(&buffer, ());
+        }
+        fn insert_into_leaf(&mut self, items: &mut Vec<Blob>, obj: Blob) {
+            items.push(obj);
+        }
+        fn summarize_leaf_items(&self, items: &[Blob]) -> Blob {
+            let mut s = items[0].clone();
+            for i in &items[1..] {
+                s.merge(i, ());
+            }
+            s
+        }
+        fn split_leaf_items(
+            &self,
+            items: Vec<Blob>,
+            geometry: &PageGeometry,
+        ) -> (Vec<Blob>, Vec<Blob>) {
+            let centers: Vec<Vec<f64>> = items.iter().map(Summary::center).collect();
+            let (a, b) = crate::split::polar_partition(&centers, geometry.max_leaf);
+            crate::split::distribute(items, &a, &b)
+        }
+    }
+
+    fn blob(x: f64, y: f64) -> Blob {
+        Blob {
+            weight: 1.0,
+            sum: vec![x, y],
+        }
+    }
+
+    fn geometry() -> PageGeometry {
+        PageGeometry {
+            min_fanout: 1,
+            max_fanout: 3,
+            min_leaf: 1,
+            max_leaf: 3,
+        }
+    }
+
+    fn total_weight(tree: &AnytimeTree<Blob, Blob>) -> f64 {
+        let mut total = 0.0;
+        for id in tree.reachable() {
+            match &tree.node(id).kind {
+                NodeKind::Leaf { items } => total += items.iter().map(|b| b.weight).sum::<f64>(),
+                NodeKind::Inner { entries } => {
+                    total += entries.iter().map(Entry::buffered_weight).sum::<f64>();
+                }
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn unbudgeted_inserts_reach_leaves_and_grow_the_tree() {
+        let mut tree = AnytimeTree::new(2, geometry());
+        let mut model = BlobModel;
+        for i in 0..60 {
+            let c = if i % 2 == 0 { 0.0 } else { 20.0 };
+            let outcome = tree.insert(&mut model, blob(c + (i % 5) as f64 * 0.1, c), usize::MAX);
+            assert_eq!(outcome, InsertOutcome::ReachedLeaf);
+        }
+        assert!(tree.height() > 1);
+        assert!((total_weight(&tree) - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_budget_parks_at_the_root() {
+        let mut tree = AnytimeTree::new(2, geometry());
+        let mut model = BlobModel;
+        for i in 0..30 {
+            tree.insert(&mut model, blob(i as f64, 0.0), usize::MAX);
+        }
+        assert!(tree.height() > 1);
+        let outcome = tree.insert(&mut model, blob(0.0, 0.0), 0);
+        assert_eq!(outcome, InsertOutcome::Parked { depth: 1 });
+        assert!((total_weight(&tree) - 31.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hitchhikers_are_carried_down_and_mass_is_conserved() {
+        let mut tree = AnytimeTree::new(2, geometry());
+        let mut model = BlobModel;
+        for i in 0..30 {
+            tree.insert(&mut model, blob(i as f64, i as f64), usize::MAX);
+        }
+        for _ in 0..5 {
+            tree.insert(&mut model, blob(3.0, 3.0), 0);
+        }
+        for _ in 0..10 {
+            tree.insert(&mut model, blob(3.1, 3.1), usize::MAX);
+        }
+        assert!((total_weight(&tree) - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn root_entry_summaries_cover_all_mass() {
+        let mut tree = AnytimeTree::new(2, geometry());
+        let mut model = BlobModel;
+        for i in 0..80 {
+            tree.insert(&mut model, blob((i % 9) as f64, (i % 7) as f64), 3);
+        }
+        let root = tree.node(tree.root());
+        if !root.is_leaf() {
+            let total: f64 = root.entries().iter().map(Entry::weight).sum();
+            let buffered: f64 = root.entries().iter().map(Entry::buffered_weight).sum();
+            assert!((total + buffered - 80.0).abs() < 1e-9 || (total - 80.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn height_tracks_root_splits() {
+        let mut tree = AnytimeTree::new(1, geometry());
+        let mut model = BlobModel;
+        for i in 0..100 {
+            tree.insert(
+                &mut model,
+                Blob {
+                    weight: 1.0,
+                    sum: vec![i as f64],
+                },
+                usize::MAX,
+            );
+        }
+        assert_eq!(tree.height(), tree.measure_depth(tree.root()));
+    }
+}

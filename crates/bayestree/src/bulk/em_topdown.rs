@@ -227,7 +227,10 @@ mod tests {
             pts.push(vec![rng.random::<f64>(), rng.random::<f64>()]);
         }
         for _ in 0..100 {
-            pts.push(vec![500.0 + rng.random::<f64>(), 500.0 + rng.random::<f64>()]);
+            pts.push(vec![
+                500.0 + rng.random::<f64>(),
+                500.0 + rng.random::<f64>(),
+            ]);
         }
         let tree = build_em_topdown(&pts, 2, PageGeometry::from_fanout(4, 16), 5);
         for e in tree.root_entries() {

@@ -101,7 +101,10 @@ pub fn build_goldberger(
         // Final fallback grouping when a single root-level pass is still
         // needed: plain z-curve chunks (only reached for tiny inputs).
         let order = z_order_sort_order(reps, config.curve_bits);
-        order.chunks(capacity.max(1)).map(<[usize]>::to_vec).collect()
+        order
+            .chunks(capacity.max(1))
+            .map(<[usize]>::to_vec)
+            .collect()
     });
     tree.set_bandwidth(bandwidth);
     tree
@@ -285,7 +288,7 @@ fn merge_small_groups(
             }
             let (m, v) = moment_match(components, g);
             let kl = kl_diag_gaussian(&small_gaussian, &DiagGaussian::new(m, v));
-            if best.map_or(true, |(_, b)| kl < b) {
+            if best.is_none_or(|(_, b)| kl < b) {
                 best = Some((j, kl));
             }
         }
@@ -294,7 +297,11 @@ fn merge_small_groups(
             return;
         };
         let small = groups.remove(small_idx);
-        let target = if target > small_idx { target - 1 } else { target };
+        let target = if target > small_idx {
+            target - 1
+        } else {
+            target
+        };
         groups[target].extend(small);
     }
 }
@@ -306,8 +313,8 @@ fn moment_match(components: &[Component], group: &[usize]) -> (Vec<f64>, Vec<f64
     let total = if total > 0.0 { total } else { 1.0 };
     let mut mean = vec![0.0; dims];
     for &i in group {
-        for d in 0..dims {
-            mean[d] += components[i].weight * components[i].gaussian.mean()[d];
+        for (m, g) in mean.iter_mut().zip(components[i].gaussian.mean()) {
+            *m += components[i].weight * g;
         }
     }
     for m in &mut mean {
@@ -315,10 +322,14 @@ fn moment_match(components: &[Component], group: &[usize]) -> (Vec<f64>, Vec<f64
     }
     let mut var = vec![0.0; dims];
     for &i in group {
-        for d in 0..dims {
-            let diff = components[i].gaussian.mean()[d] - mean[d];
-            var[d] += components[i].weight
-                * (components[i].gaussian.variance()[d] + diff * diff);
+        let c = &components[i];
+        for ((v, &m), (g_mean, g_var)) in var
+            .iter_mut()
+            .zip(&mean)
+            .zip(c.gaussian.mean().iter().zip(c.gaussian.variance()))
+        {
+            let diff = g_mean - m;
+            *v += c.weight * (g_var + diff * diff);
         }
     }
     for v in &mut var {
@@ -382,7 +393,10 @@ mod tests {
             .root_entries()
             .iter()
             .any(|e| e.mbr.extent(0) < full_extent * 0.75);
-        assert!(any_tight, "expected at least one spatially confined root entry");
+        assert!(
+            any_tight,
+            "expected at least one spatially confined root entry"
+        );
     }
 
     #[test]
@@ -395,8 +409,7 @@ mod tests {
                 gaussian: DiagGaussian::new(p.clone(), vec![0.5, 0.5]),
             })
             .collect();
-        let groups =
-            goldberger_partition(&components, 16, 6, &GoldbergerBulkConfig::default());
+        let groups = goldberger_partition(&components, 16, 6, &GoldbergerBulkConfig::default());
         let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
         all.sort_unstable();
         assert_eq!(all, (0..200).collect::<Vec<_>>());

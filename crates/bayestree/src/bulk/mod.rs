@@ -152,7 +152,12 @@ where
         })
         .collect();
 
-    finish_bottom_up(&mut tree, entries.drain(..).collect(), points.len(), &group_fn);
+    finish_bottom_up(
+        &mut tree,
+        std::mem::take(&mut entries),
+        points.len(),
+        &group_fn,
+    );
     tree.fit_bandwidth();
     tree
 }

@@ -39,7 +39,10 @@ pub fn build_str(points: &[Vec<f64>], dims: usize, geometry: PageGeometry) -> Ba
 
 /// Cuts an ordering of indices into consecutive groups of `capacity`.
 fn chunk_order(order: &[usize], capacity: usize) -> Vec<Vec<usize>> {
-    order.chunks(capacity.max(1)).map(<[usize]>::to_vec).collect()
+    order
+        .chunks(capacity.max(1))
+        .map(<[usize]>::to_vec)
+        .collect()
 }
 
 #[cfg(test)]

@@ -226,8 +226,7 @@ impl AnytimeClassifier {
         assert_eq!(x.len(), self.dims, "query dimensionality mismatch");
         let mut frontiers: Vec<TreeFrontier<'_>> =
             self.trees.iter().map(|t| TreeFrontier::new(t, x)).collect();
-        let mut scheduler =
-            RefinementScheduler::new(self.config.refinement, self.trees.len());
+        let mut scheduler = RefinementScheduler::new(self.config.refinement, self.trees.len());
 
         let mut labels = Vec::with_capacity(budget + 1);
         let mut posteriors = self.posteriors(&frontiers);

@@ -129,8 +129,8 @@ impl<'a> TreeFrontier<'a> {
                     self.push_entry_element(entry.child, entry.weight(), entry, child_depth);
                 }
             }
-            NodeKind::Leaf { points } => {
-                for p in points {
+            NodeKind::Leaf { items } => {
+                for p in items {
                     self.push_kernel_element(p, child_depth);
                 }
             }
@@ -250,10 +250,7 @@ mod tests {
         let points: Vec<Vec<f64>> = (0..n)
             .map(|i| {
                 let center = if i % 2 == 0 { 0.0 } else { 8.0 };
-                vec![
-                    center + rng.random::<f64>(),
-                    center + rng.random::<f64>(),
-                ]
+                vec![center + rng.random::<f64>(), center + rng.random::<f64>()]
             })
             .collect();
         BayesTree::build_iterative(&points, 2, PageGeometry::from_fanout(4, 4))

@@ -7,18 +7,60 @@
 //! split.  Because new training data keeps arriving on a stream, this path is
 //! also what [`crate::classifier::AnytimeClassifier::learn_one`] uses for
 //! online learning.
+//!
+//! The descent, ancestor-summary maintenance and split propagation live in
+//! the shared [`bt_anytree`] core; this module only supplies the
+//! kernel-specific [`InsertModel`]: raw points as leaf items, R* leaf splits
+//! over per-point MBRs, no hitchhiker buffering (every insertion descends to
+//! a leaf, i.e. an unbounded budget).
 
-use crate::node::{Entry, Node, NodeId, NodeKind};
+use crate::node::KernelSummary;
 use crate::tree::BayesTree;
-use bt_index::rstar::{choose_subtree, rstar_split};
-use bt_index::Mbr;
+use bt_anytree::InsertModel;
+use bt_index::rstar::rstar_split;
+use bt_index::{Mbr, PageGeometry};
 
-/// Outcome of a recursive insertion step.
-enum InsertOutcome {
-    /// The child absorbed the point; the caller must refresh its entry.
-    Absorbed,
-    /// The child split; its entry must be replaced by these two entries.
-    Split(Entry, Entry),
+/// The Bayes tree's insertion policy over the shared core.
+pub(crate) struct KernelModel {
+    pub(crate) dims: usize,
+}
+
+impl InsertModel<KernelSummary> for KernelModel {
+    type Object = Vec<f64>;
+    type LeafItem = Vec<f64>;
+
+    fn ctx(&self) {}
+
+    fn route_point<'a>(&self, obj: &'a Vec<f64>, _scratch: &'a mut Vec<f64>) -> &'a [f64] {
+        obj
+    }
+
+    fn summary_of(&self, obj: &Vec<f64>) -> KernelSummary {
+        KernelSummary::from_point(obj)
+    }
+
+    fn absorb_into(&self, summary: &mut KernelSummary, obj: &Vec<f64>) {
+        summary.absorb_point(obj);
+    }
+
+    fn insert_into_leaf(&mut self, items: &mut Vec<Vec<f64>>, obj: Vec<f64>) {
+        items.push(obj);
+    }
+
+    fn summarize_leaf_items(&self, items: &[Vec<f64>]) -> KernelSummary {
+        KernelSummary::from_points(items, self.dims).expect("cannot summarise an empty leaf")
+    }
+
+    fn split_leaf_items(
+        &self,
+        items: Vec<Vec<f64>>,
+        geometry: &PageGeometry,
+    ) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mbrs: Vec<Mbr> = items.iter().map(|p| Mbr::from_point(p)).collect();
+        let min = geometry.min_leaf.min(items.len() / 2).max(1);
+        let split = rstar_split(&mbrs, min);
+        bt_anytree::split::distribute(items, &split.first, &split.second)
+    }
 }
 
 impl BayesTree {
@@ -29,15 +71,9 @@ impl BayesTree {
     /// Panics if the point has the wrong dimensionality.
     pub fn insert(&mut self, point: Vec<f64>) {
         assert_eq!(point.len(), self.dims(), "point dimensionality mismatch");
-        let root = self.root();
-        let outcome = self.insert_rec(root, &point);
-        if let InsertOutcome::Split(e1, e2) = outcome {
-            let new_root = self.push_node(Node::inner(vec![e1, e2]));
-            let height = self.height() + 1;
-            self.set_root(new_root, height);
-            // set_root keeps the height argument; increment_height not needed.
-            let _ = height;
-        }
+        let mut model = KernelModel { dims: self.dims() };
+        // The Bayes tree always descends to a leaf: an unbounded budget.
+        let _ = self.core_mut().insert(&mut model, point, usize::MAX);
         self.increment_points();
     }
 
@@ -46,88 +82,6 @@ impl BayesTree {
         for p in points {
             self.insert(p);
         }
-    }
-
-    fn insert_rec(&mut self, node_id: NodeId, point: &[f64]) -> InsertOutcome {
-        if self.node(node_id).is_leaf() {
-            self.node_mut(node_id).points_mut().push(point.to_vec());
-            if self.node(node_id).len() > self.geometry().max_leaf {
-                let (e1, e2) = self.split_leaf(node_id);
-                InsertOutcome::Split(e1, e2)
-            } else {
-                InsertOutcome::Absorbed
-            }
-        } else {
-            // Choose the child entry needing the least enlargement.
-            let mbrs: Vec<Mbr> = self
-                .node(node_id)
-                .entries()
-                .iter()
-                .map(|e| e.mbr.clone())
-                .collect();
-            let chosen = choose_subtree(&mbrs, point);
-            let child = self.node(node_id).entries()[chosen].child;
-            match self.insert_rec(child, point) {
-                InsertOutcome::Absorbed => {
-                    self.node_mut(node_id).entries_mut()[chosen].absorb_point(point);
-                }
-                InsertOutcome::Split(e1, e2) => {
-                    let entries = self.node_mut(node_id).entries_mut();
-                    entries[chosen] = e1;
-                    entries.push(e2);
-                }
-            }
-            if self.node(node_id).len() > self.geometry().max_fanout {
-                let (e1, e2) = self.split_inner(node_id);
-                InsertOutcome::Split(e1, e2)
-            } else {
-                InsertOutcome::Absorbed
-            }
-        }
-    }
-
-    /// Splits an over-full leaf in place: the first group stays in
-    /// `node_id`, the second moves to a fresh node.  Returns the entries
-    /// describing both.
-    fn split_leaf(&mut self, node_id: NodeId) -> (Entry, Entry) {
-        let points = std::mem::take(self.node_mut(node_id).points_mut());
-        let mbrs: Vec<Mbr> = points.iter().map(|p| Mbr::from_point(p)).collect();
-        let min = self
-            .geometry()
-            .min_leaf
-            .min(points.len() / 2)
-            .max(1);
-        let split = rstar_split(&mbrs, min);
-        let first: Vec<Vec<f64>> = split.first.iter().map(|&i| points[i].clone()).collect();
-        let second: Vec<Vec<f64>> = split.second.iter().map(|&i| points[i].clone()).collect();
-        *self.node_mut(node_id).points_mut() = first;
-        let new_node = self.push_node(Node::leaf(second));
-        (self.summarise(node_id), self.summarise(new_node))
-    }
-
-    /// Splits an over-full inner node in place, analogously to
-    /// [`Self::split_leaf`].
-    fn split_inner(&mut self, node_id: NodeId) -> (Entry, Entry) {
-        let entries = std::mem::take(self.node_mut(node_id).entries_mut());
-        let mbrs: Vec<Mbr> = entries.iter().map(|e| e.mbr.clone()).collect();
-        let min = self
-            .geometry()
-            .min_fanout
-            .min(entries.len() / 2)
-            .max(1);
-        let split = rstar_split(&mbrs, min);
-        let mut first = Vec::with_capacity(split.first.len());
-        let mut second = Vec::with_capacity(split.second.len());
-        for (i, e) in entries.into_iter().enumerate() {
-            if split.first.contains(&i) {
-                first.push(e);
-            } else {
-                second.push(e);
-            }
-        }
-        *self.node_mut(node_id).entries_mut() = first;
-        let new_node = self.push_node(Node::inner(second));
-        (self.summarise(node_id), self.summarise(new_node))
     }
 
     /// Builds a tree by inserting `points` one at a time (the paper's
@@ -147,16 +101,10 @@ impl BayesTree {
     }
 }
 
-/// Re-exported check used by tests: whether a node kind matches the expected
-/// shape after splits.
-#[allow(dead_code)]
-fn is_inner(kind: &NodeKind) -> bool {
-    matches!(kind, NodeKind::Inner { .. })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::node::Entry;
     use bt_index::PageGeometry;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};

@@ -7,6 +7,12 @@
 //! the training data.  Refining the frontier one node at a time turns
 //! Bayesian kernel-density classification into an *anytime* algorithm.
 //!
+//! The arena, descent and split machinery lives in the shared
+//! [`bt_anytree`] core (the same core the clustering extension builds on);
+//! this crate instantiates it with the [`KernelSummary`] payload and adds
+//! everything classification-specific: frontiers, descent strategies, the
+//! qbk scheduler and the bulk loaders.
+//!
 //! The main entry points are:
 //!
 //! * [`tree::BayesTree`] — the index itself (incremental insertion via
@@ -53,6 +59,6 @@ pub use classifier::{AnytimeClassifier, AnytimeTrace, Classification, Classifier
 pub use descent::{DescentStrategy, PriorityMeasure};
 pub use frontier::{FrontierElement, TreeFrontier};
 pub use multiclass::{SingleTreeClassifier, SingleTreeConfig};
-pub use node::{Entry, Node, NodeId, NodeKind};
+pub use node::{Entry, KernelSummary, Node, NodeId, NodeKind};
 pub use qbk::{RefinementScheduler, RefinementStrategy};
 pub use tree::BayesTree;

@@ -12,49 +12,140 @@
 //! splits the entry's weight across the classes.  Leaf observations keep
 //! their individual labels, so a fully refined frontier is exactly the same
 //! per-class kernel density model the per-class forest converges to.
+//!
+//! Like the plain Bayes tree and the clustering extension, the structure is
+//! an instantiation of the shared [`bt_anytree`] core — here with a
+//! label-aware payload ([`LabeledSummary`]) and `(point, label)` leaf items.
 
 use crate::descent::{DescentStrategy, PriorityMeasure};
-use bt_index::rstar::{choose_subtree, rstar_split};
+use bt_anytree::{AnytimeTree, InsertModel, Node, NodeKind, Summary};
+use bt_data::Dataset;
+use bt_index::rstar::rstar_split;
 use bt_index::{Mbr, PageGeometry};
 use bt_stats::bandwidth::silverman_bandwidth;
 use bt_stats::kernel::{GaussianKernel, Kernel};
 use bt_stats::ClusterFeature;
-use bt_data::Dataset;
 
 /// Arena index of a node in the single multi-class tree.
-type McNodeId = usize;
+type McNodeId = bt_anytree::NodeId;
 
-/// A directory entry carrying the pooled cluster feature and the per-class
-/// object counts of its subtree.
+/// A labelled observation stored at leaf level.
+type McPoint = (Vec<f64>, usize);
+
+/// The single tree's payload: pooled MBR + CF plus per-class counts.
 #[derive(Debug, Clone)]
-struct McEntry {
+struct LabeledSummary {
     mbr: Mbr,
     cf: ClusterFeature,
     class_counts: Vec<f64>,
-    child: McNodeId,
 }
 
-impl McEntry {
+impl LabeledSummary {
     fn absorb(&mut self, point: &[f64], label: usize) {
         self.mbr.extend_point(point);
         self.cf.insert(point);
         self.class_counts[label] += 1.0;
     }
+
+    fn from_labeled_points(points: &[McPoint], dims: usize, num_classes: usize) -> Self {
+        let mbr = Mbr::from_points(points.iter().map(|(p, _)| p.as_slice()))
+            .expect("cannot summarise an empty node");
+        let cf = ClusterFeature::from_points(points.iter().map(|(p, _)| p.as_slice()), dims);
+        let mut class_counts = vec![0.0; num_classes];
+        for (_, l) in points {
+            class_counts[*l] += 1.0;
+        }
+        Self {
+            mbr,
+            cf,
+            class_counts,
+        }
+    }
 }
 
-#[derive(Debug, Clone)]
-enum McNodeKind {
-    Leaf { points: Vec<(Vec<f64>, usize)> },
-    Inner { entries: Vec<McEntry> },
+impl Summary for LabeledSummary {
+    type Ctx = ();
+    const MBR_ROUTED: bool = true;
+
+    fn merge(&mut self, other: &Self, _ctx: ()) {
+        self.mbr.extend_mbr(&other.mbr);
+        self.cf.merge(&other.cf);
+        for (acc, c) in self.class_counts.iter_mut().zip(&other.class_counts) {
+            *acc += c;
+        }
+    }
+
+    fn weight(&self) -> f64 {
+        self.cf.weight()
+    }
+
+    fn sq_dist_to(&self, point: &[f64]) -> f64 {
+        self.mbr.min_dist_sq(point)
+    }
+
+    fn center(&self) -> Vec<f64> {
+        self.cf.mean()
+    }
+
+    fn as_mbr(&self) -> Option<&Mbr> {
+        Some(&self.mbr)
+    }
 }
 
-#[derive(Debug, Clone)]
-struct McNode {
-    kind: McNodeKind,
+type McEntry = bt_anytree::Entry<LabeledSummary>;
+
+/// The label-aware insertion policy over the shared core.
+struct LabeledModel {
+    dims: usize,
+    num_classes: usize,
+}
+
+impl InsertModel<LabeledSummary> for LabeledModel {
+    type Object = McPoint;
+    type LeafItem = McPoint;
+
+    fn ctx(&self) {}
+
+    fn route_point<'a>(&self, obj: &'a McPoint, _scratch: &'a mut Vec<f64>) -> &'a [f64] {
+        &obj.0
+    }
+
+    fn summary_of(&self, obj: &McPoint) -> LabeledSummary {
+        let mut class_counts = vec![0.0; self.num_classes];
+        class_counts[obj.1] = 1.0;
+        LabeledSummary {
+            mbr: Mbr::from_point(&obj.0),
+            cf: ClusterFeature::from_point(&obj.0),
+            class_counts,
+        }
+    }
+
+    fn absorb_into(&self, summary: &mut LabeledSummary, obj: &McPoint) {
+        summary.absorb(&obj.0, obj.1);
+    }
+
+    fn insert_into_leaf(&mut self, items: &mut Vec<McPoint>, obj: McPoint) {
+        items.push(obj);
+    }
+
+    fn summarize_leaf_items(&self, items: &[McPoint]) -> LabeledSummary {
+        LabeledSummary::from_labeled_points(items, self.dims, self.num_classes)
+    }
+
+    fn split_leaf_items(
+        &self,
+        items: Vec<McPoint>,
+        geometry: &PageGeometry,
+    ) -> (Vec<McPoint>, Vec<McPoint>) {
+        let mbrs: Vec<Mbr> = items.iter().map(|(p, _)| Mbr::from_point(p)).collect();
+        let min = geometry.min_leaf.min(items.len() / 2).max(1);
+        let split = rstar_split(&mbrs, min);
+        bt_anytree::distribute(items, &split.first, &split.second)
+    }
 }
 
 /// Configuration of the single-tree classifier.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SingleTreeConfig {
     /// Fanout / leaf-capacity parameters; `None` derives them from a 4 KiB
     /// page.
@@ -67,27 +158,14 @@ pub struct SingleTreeConfig {
     pub entropy_weighted_descent: bool,
 }
 
-impl Default for SingleTreeConfig {
-    fn default() -> Self {
-        Self {
-            geometry: None,
-            descent: DescentStrategy::default(),
-            entropy_weighted_descent: false,
-        }
-    }
-}
-
 /// The single-tree multi-class anytime classifier of Section 4.1.
 #[derive(Debug, Clone)]
 pub struct SingleTreeClassifier {
-    nodes: Vec<McNode>,
-    root: McNodeId,
-    dims: usize,
+    core: AnytimeTree<LabeledSummary, McPoint>,
     num_classes: usize,
     class_totals: Vec<f64>,
     priors: Vec<f64>,
     bandwidth: Vec<f64>,
-    geometry: PageGeometry,
     config: SingleTreeConfig,
 }
 
@@ -106,16 +184,11 @@ impl SingleTreeClassifier {
             .geometry
             .unwrap_or_else(|| PageGeometry::default_for_dims(dims));
         let mut clf = Self {
-            nodes: vec![McNode {
-                kind: McNodeKind::Leaf { points: Vec::new() },
-            }],
-            root: 0,
-            dims,
+            core: AnytimeTree::new(dims, geometry),
             num_classes: dataset.num_classes(),
             class_totals: vec![0.0; dataset.num_classes()],
             priors: dataset.class_priors(),
             bandwidth: silverman_bandwidth(dataset.features(), dims),
-            geometry,
             config: config.clone(),
         };
         for (x, &y) in dataset.iter() {
@@ -143,16 +216,23 @@ impl SingleTreeClassifier {
     }
 
     /// Inserts one labelled observation (online learning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is out of range or the point has the wrong
+    /// dimensionality.
     pub fn insert(&mut self, point: Vec<f64>, label: usize) {
         assert!(label < self.num_classes, "label out of range");
-        assert_eq!(point.len(), self.dims, "point dimensionality mismatch");
-        let root = self.root;
-        if let Some((e1, e2)) = self.insert_rec(root, &point, label) {
-            let new_root = self.push_node(McNode {
-                kind: McNodeKind::Inner { entries: vec![e1, e2] },
-            });
-            self.root = new_root;
-        }
+        assert_eq!(
+            point.len(),
+            self.core.dims(),
+            "point dimensionality mismatch"
+        );
+        let mut model = LabeledModel {
+            dims: self.core.dims(),
+            num_classes: self.num_classes,
+        };
+        let _ = self.core.insert(&mut model, (point, label), usize::MAX);
         self.class_totals[label] += 1.0;
         let total: f64 = self.class_totals.iter().sum();
         for (p, &c) in self.priors.iter_mut().zip(&self.class_totals) {
@@ -184,7 +264,7 @@ impl SingleTreeClassifier {
         budget: usize,
         record: bool,
     ) -> (usize, usize, Vec<f64>, Vec<usize>) {
-        assert_eq!(x.len(), self.dims, "query dimensionality mismatch");
+        assert_eq!(x.len(), self.core.dims(), "query dimensionality mismatch");
         let mut frontier = McFrontier::new(self, x);
         let mut trace = Vec::new();
         let mut posteriors = frontier.posteriors();
@@ -205,140 +285,18 @@ impl SingleTreeClassifier {
         (reads, argmax(&posteriors), posteriors, trace)
     }
 
-    // -- construction ----------------------------------------------------
-
-    fn push_node(&mut self, node: McNode) -> McNodeId {
-        self.nodes.push(node);
-        self.nodes.len() - 1
+    fn node(&self, id: McNodeId) -> &Node<LabeledSummary, McPoint> {
+        self.core.node(id)
     }
 
+    /// The entry describing `child` (used for the synthetic root entry of a
+    /// leaf-rooted tree).
     fn summarise(&self, child: McNodeId) -> McEntry {
-        match &self.nodes[child].kind {
-            McNodeKind::Leaf { points } => {
-                let mbr = Mbr::from_points(points.iter().map(|(p, _)| p.as_slice()))
-                    .expect("cannot summarise an empty node");
-                let cf =
-                    ClusterFeature::from_points(points.iter().map(|(p, _)| p.as_slice()), self.dims);
-                let mut class_counts = vec![0.0; self.num_classes];
-                for (_, l) in points {
-                    class_counts[*l] += 1.0;
-                }
-                McEntry {
-                    mbr,
-                    cf,
-                    class_counts,
-                    child,
-                }
-            }
-            McNodeKind::Inner { entries } => {
-                let mbr =
-                    Mbr::union_all(entries.iter().map(|e| &e.mbr)).expect("non-empty inner node");
-                let mut cf = ClusterFeature::empty(self.dims);
-                let mut class_counts = vec![0.0; self.num_classes];
-                for e in entries {
-                    cf.merge(&e.cf);
-                    for (acc, c) in class_counts.iter_mut().zip(&e.class_counts) {
-                        *acc += c;
-                    }
-                }
-                McEntry {
-                    mbr,
-                    cf,
-                    class_counts,
-                    child,
-                }
-            }
-        }
-    }
-
-    fn insert_rec(
-        &mut self,
-        node_id: McNodeId,
-        point: &[f64],
-        label: usize,
-    ) -> Option<(McEntry, McEntry)> {
-        let is_leaf = matches!(self.nodes[node_id].kind, McNodeKind::Leaf { .. });
-        if is_leaf {
-            if let McNodeKind::Leaf { points } = &mut self.nodes[node_id].kind {
-                points.push((point.to_vec(), label));
-            }
-            if self.node_len(node_id) > self.geometry.max_leaf {
-                return Some(self.split_leaf(node_id));
-            }
-            return None;
-        }
-        let (chosen, child) = {
-            let McNodeKind::Inner { entries } = &self.nodes[node_id].kind else {
-                unreachable!()
-            };
-            let mbrs: Vec<Mbr> = entries.iter().map(|e| e.mbr.clone()).collect();
-            let chosen = choose_subtree(&mbrs, point);
-            (chosen, entries[chosen].child)
+        let model = LabeledModel {
+            dims: self.core.dims(),
+            num_classes: self.num_classes,
         };
-        let split = self.insert_rec(child, point, label);
-        if let McNodeKind::Inner { entries } = &mut self.nodes[node_id].kind {
-            match split {
-                None => entries[chosen].absorb(point, label),
-                Some((e1, e2)) => {
-                    entries[chosen] = e1;
-                    entries.push(e2);
-                }
-            }
-        }
-        if self.node_len(node_id) > self.geometry.max_fanout {
-            return Some(self.split_inner(node_id));
-        }
-        None
-    }
-
-    fn node_len(&self, node_id: McNodeId) -> usize {
-        match &self.nodes[node_id].kind {
-            McNodeKind::Leaf { points } => points.len(),
-            McNodeKind::Inner { entries } => entries.len(),
-        }
-    }
-
-    fn split_leaf(&mut self, node_id: McNodeId) -> (McEntry, McEntry) {
-        let points = match &mut self.nodes[node_id].kind {
-            McNodeKind::Leaf { points } => std::mem::take(points),
-            McNodeKind::Inner { .. } => unreachable!(),
-        };
-        let mbrs: Vec<Mbr> = points.iter().map(|(p, _)| Mbr::from_point(p)).collect();
-        let min = self.geometry.min_leaf.min(points.len() / 2).max(1);
-        let split = rstar_split(&mbrs, min);
-        let first: Vec<(Vec<f64>, usize)> =
-            split.first.iter().map(|&i| points[i].clone()).collect();
-        let second: Vec<(Vec<f64>, usize)> =
-            split.second.iter().map(|&i| points[i].clone()).collect();
-        self.nodes[node_id].kind = McNodeKind::Leaf { points: first };
-        let new_node = self.push_node(McNode {
-            kind: McNodeKind::Leaf { points: second },
-        });
-        (self.summarise(node_id), self.summarise(new_node))
-    }
-
-    fn split_inner(&mut self, node_id: McNodeId) -> (McEntry, McEntry) {
-        let entries = match &mut self.nodes[node_id].kind {
-            McNodeKind::Inner { entries } => std::mem::take(entries),
-            McNodeKind::Leaf { .. } => unreachable!(),
-        };
-        let mbrs: Vec<Mbr> = entries.iter().map(|e| e.mbr.clone()).collect();
-        let min = self.geometry.min_fanout.min(entries.len() / 2).max(1);
-        let split = rstar_split(&mbrs, min);
-        let mut first = Vec::new();
-        let mut second = Vec::new();
-        for (i, e) in entries.into_iter().enumerate() {
-            if split.first.contains(&i) {
-                first.push(e);
-            } else {
-                second.push(e);
-            }
-        }
-        self.nodes[node_id].kind = McNodeKind::Inner { entries: first };
-        let new_node = self.push_node(McNode {
-            kind: McNodeKind::Inner { entries: second },
-        });
-        (self.summarise(node_id), self.summarise(new_node))
+        self.core.summarize_node(&model, child)
     }
 }
 
@@ -371,16 +329,17 @@ impl<'a> McFrontier<'a> {
             per_class_density: vec![0.0; clf.num_classes],
             next_seq: 0,
         };
-        match &clf.nodes[clf.root].kind {
-            McNodeKind::Inner { entries } => {
-                for (i, _) in entries.iter().enumerate() {
-                    f.push_entry(clf.root, i, 1);
+        let root = clf.core.root();
+        match &clf.node(root).kind {
+            NodeKind::Inner { entries } => {
+                for entry in entries {
+                    f.push_entry_value(entry, 1);
                 }
             }
-            McNodeKind::Leaf { points } => {
-                if !points.is_empty() {
+            NodeKind::Leaf { items } => {
+                if !items.is_empty() {
                     // Synthetic root entry over the leaf root.
-                    let entry = clf.summarise(clf.root);
+                    let entry = clf.summarise(root);
                     f.push_entry_value(&entry, 1);
                 }
             }
@@ -413,14 +372,14 @@ impl<'a> McFrontier<'a> {
         }
         let child = element.child.expect("selected element is refinable");
         let depth = element.depth + 1;
-        match &self.clf.nodes[child].kind {
-            McNodeKind::Inner { entries } => {
-                for (i, _) in entries.iter().enumerate() {
+        match &self.clf.node(child).kind {
+            NodeKind::Inner { entries } => {
+                for i in 0..entries.len() {
                     self.push_entry(child, i, depth);
                 }
             }
-            McNodeKind::Leaf { points } => {
-                for (p, l) in points {
+            NodeKind::Leaf { items } => {
+                for (p, l) in items {
                     self.push_kernel(p, *l, depth);
                 }
             }
@@ -451,8 +410,10 @@ impl<'a> McFrontier<'a> {
                 .map(|(i, _)| i),
             DescentStrategy::GlobalBest(PriorityMeasure::Probabilistic) => refinable
                 .max_by(|(_, a), (_, b)| {
-                    let pa = a.total_contribution * if entropy_weight { 1.0 + a.entropy } else { 1.0 };
-                    let pb = b.total_contribution * if entropy_weight { 1.0 + b.entropy } else { 1.0 };
+                    let pa =
+                        a.total_contribution * if entropy_weight { 1.0 + a.entropy } else { 1.0 };
+                    let pb =
+                        b.total_contribution * if entropy_weight { 1.0 + b.entropy } else { 1.0 };
                     pa.partial_cmp(&pb).unwrap_or(std::cmp::Ordering::Equal)
                 })
                 .map(|(i, _)| i),
@@ -460,7 +421,7 @@ impl<'a> McFrontier<'a> {
     }
 
     fn push_entry(&mut self, node: McNodeId, entry_idx: usize, depth: usize) {
-        let McNodeKind::Inner { entries } = &self.clf.nodes[node].kind else {
+        let NodeKind::Inner { entries } = &self.clf.node(node).kind else {
             unreachable!("push_entry called for a leaf node");
         };
         let entry = entries[entry_idx].clone();
@@ -640,5 +601,16 @@ mod tests {
     fn class_entropy_is_zero_for_pure_nodes() {
         assert_eq!(class_entropy(&[5.0, 0.0, 0.0]), 0.0);
         assert!(class_entropy(&[5.0, 5.0]) > 0.6);
+    }
+
+    #[test]
+    fn single_tree_converges_to_per_class_kernel_model() {
+        // With an unbounded budget the single-tree frontier refines to the
+        // exact per-class kernel densities, so the decision must match a
+        // direct kernel-density classification.
+        let data = dataset();
+        let clf = SingleTreeClassifier::train(&data, &SingleTreeConfig::default());
+        let c = clf.classify_with_budget(data.feature(5), usize::MAX);
+        assert!(c.posteriors[c.label] >= 1.0 / 3.0 - 1e-9);
     }
 }

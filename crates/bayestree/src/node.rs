@@ -1,4 +1,5 @@
-//! Nodes and entries of the Bayes tree.
+//! The Bayes tree's payload and node types, instantiated from the shared
+//! [`bt_anytree`] core.
 //!
 //! Definition 1 of the paper: an entry `e_s` stores the minimum bounding
 //! rectangle of the objects in its subtree, a pointer to the subtree, and the
@@ -6,193 +7,126 @@
 //! mean and variance of the subtree's Gaussian are derived, which is what
 //! makes every *frontier* of entries a complete Gaussian mixture model.
 //!
-//! Nodes live in an arena owned by [`crate::tree::BayesTree`]; entries refer
-//! to their child node by arena index.  This sidesteps the aliasing issues a
-//! pointer-based tree would raise and keeps nodes contiguous in memory.
+//! Here that payload is [`KernelSummary`]; the arena, entries and nodes are
+//! the generic ones of [`bt_anytree`], specialised to it.  An [`Entry`]
+//! dereferences to its [`KernelSummary`], so the familiar `entry.mbr` /
+//! `entry.cf` field access keeps working.
 
+use bt_anytree::Summary;
 use bt_index::Mbr;
 use bt_stats::{ClusterFeature, DiagGaussian};
 
 /// Arena index of a node within its tree.
-pub type NodeId = usize;
+pub type NodeId = bt_anytree::NodeId;
 
-/// A directory entry: the aggregated description of one subtree
+/// The Bayes tree's payload: the MBR and cluster feature of one subtree
 /// (Definition 1).
 #[derive(Debug, Clone)]
-pub struct Entry {
-    /// Minimum bounding rectangle of all objects stored below this entry.
+pub struct KernelSummary {
+    /// Minimum bounding rectangle of all objects stored below.
     pub mbr: Mbr,
-    /// Cluster feature `(n, LS, SS)` of all objects stored below this entry.
+    /// Cluster feature `(n, LS, SS)` of all objects stored below.
     pub cf: ClusterFeature,
-    /// Arena index of the child node.
-    pub child: NodeId,
 }
 
-impl Entry {
-    /// Number of objects summarised by this entry.
+impl KernelSummary {
+    /// The summary of a single kernel centre.
     #[must_use]
-    pub fn weight(&self) -> f64 {
-        self.cf.weight()
+    pub fn from_point(point: &[f64]) -> Self {
+        Self {
+            mbr: Mbr::from_point(point),
+            cf: ClusterFeature::from_point(point),
+        }
     }
 
-    /// The Gaussian `N(LS/n, SS/n - (LS/n)^2)` this entry contributes to any
-    /// mixture model containing it.
+    /// The summary of a set of kernel centres, or `None` when empty.
+    #[must_use]
+    pub fn from_points(points: &[Vec<f64>], dims: usize) -> Option<Self> {
+        let mbr = Mbr::from_points(points.iter().map(Vec::as_slice))?;
+        let cf = ClusterFeature::from_points(points.iter().map(Vec::as_slice), dims);
+        Some(Self { mbr, cf })
+    }
+
+    /// The Gaussian `N(LS/n, SS/n - (LS/n)^2)` this summary contributes to
+    /// any mixture model containing it.
     #[must_use]
     pub fn gaussian(&self) -> DiagGaussian {
         self.cf.to_gaussian()
     }
 
-    /// Absorbs a single new point into the entry's summary (used on the
-    /// insertion path: every ancestor entry of the target leaf is updated).
+    /// Absorbs a single new point into the summary (used on the insertion
+    /// path: every ancestor entry of the target leaf is updated).
     pub fn absorb_point(&mut self, point: &[f64]) {
         self.mbr.extend_point(point);
         self.cf.insert(point);
     }
 }
 
-/// The payload of a node: either raw observations (leaf) or entries (inner).
-#[derive(Debug, Clone)]
-pub enum NodeKind {
-    /// A leaf node storing the training observations (d-dimensional kernels).
-    Leaf {
-        /// The kernel centres stored in this leaf.
-        points: Vec<Vec<f64>>,
-    },
-    /// An inner (directory) node storing between `m` and `M` entries.
-    Inner {
-        /// The entries of this node.
-        entries: Vec<Entry>,
-    },
+impl Summary for KernelSummary {
+    type Ctx = ();
+    const MBR_ROUTED: bool = true;
+
+    fn merge(&mut self, other: &Self, _ctx: ()) {
+        self.mbr.extend_mbr(&other.mbr);
+        self.cf.merge(&other.cf);
+    }
+
+    fn weight(&self) -> f64 {
+        self.cf.weight()
+    }
+
+    fn sq_dist_to(&self, point: &[f64]) -> f64 {
+        self.mbr.min_dist_sq(point)
+    }
+
+    fn center(&self) -> Vec<f64> {
+        self.cf.mean()
+    }
+
+    fn as_mbr(&self) -> Option<&Mbr> {
+        Some(&self.mbr)
+    }
 }
+
+/// A directory entry: the aggregated description of one subtree
+/// (Definition 1).  Dereferences to its [`KernelSummary`] (`entry.mbr`,
+/// `entry.cf`, `entry.gaussian()`).
+pub type Entry = bt_anytree::Entry<KernelSummary>;
+
+/// The payload of a node: either raw observations (leaf) or entries (inner).
+pub type NodeKind = bt_anytree::NodeKind<KernelSummary, Vec<f64>>;
 
 /// One node of the Bayes tree.
-#[derive(Debug, Clone)]
-pub struct Node {
-    /// The node's payload.
-    pub kind: NodeKind,
+pub type Node = bt_anytree::Node<KernelSummary, Vec<f64>>;
+
+/// Builds an [`Entry`] from its parts (the Definition 1 triple).
+#[must_use]
+pub fn make_entry(mbr: Mbr, cf: ClusterFeature, child: NodeId) -> Entry {
+    Entry::new(KernelSummary { mbr, cf }, child)
 }
 
-impl Node {
-    /// Creates an empty leaf node.
-    #[must_use]
-    pub fn empty_leaf() -> Self {
-        Self {
-            kind: NodeKind::Leaf { points: Vec::new() },
+/// The MBR of everything stored in `node`, or `None` when empty.
+#[must_use]
+pub fn node_mbr(node: &Node) -> Option<Mbr> {
+    match &node.kind {
+        bt_anytree::NodeKind::Leaf { items } => Mbr::from_points(items.iter().map(Vec::as_slice)),
+        bt_anytree::NodeKind::Inner { entries } => Mbr::union_all(entries.iter().map(|e| &e.mbr)),
+    }
+}
+
+/// The cluster feature of everything stored in `node`.
+#[must_use]
+pub fn node_cluster_feature(node: &Node, dims: usize) -> ClusterFeature {
+    match &node.kind {
+        bt_anytree::NodeKind::Leaf { items } => {
+            ClusterFeature::from_points(items.iter().map(Vec::as_slice), dims)
         }
-    }
-
-    /// Creates a leaf node holding `points`.
-    #[must_use]
-    pub fn leaf(points: Vec<Vec<f64>>) -> Self {
-        Self {
-            kind: NodeKind::Leaf { points },
-        }
-    }
-
-    /// Creates an inner node holding `entries`.
-    #[must_use]
-    pub fn inner(entries: Vec<Entry>) -> Self {
-        Self {
-            kind: NodeKind::Inner { entries },
-        }
-    }
-
-    /// Whether this node is a leaf.
-    #[must_use]
-    pub fn is_leaf(&self) -> bool {
-        matches!(self.kind, NodeKind::Leaf { .. })
-    }
-
-    /// Number of entries (inner node) or observations (leaf node).
-    #[must_use]
-    pub fn len(&self) -> usize {
-        match &self.kind {
-            NodeKind::Leaf { points } => points.len(),
-            NodeKind::Inner { entries } => entries.len(),
-        }
-    }
-
-    /// Whether the node holds nothing.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// The entries of an inner node.
-    ///
-    /// # Panics
-    ///
-    /// Panics if called on a leaf node.
-    #[must_use]
-    pub fn entries(&self) -> &[Entry] {
-        match &self.kind {
-            NodeKind::Inner { entries } => entries,
-            NodeKind::Leaf { .. } => panic!("entries() called on a leaf node"),
-        }
-    }
-
-    /// Mutable access to the entries of an inner node.
-    ///
-    /// # Panics
-    ///
-    /// Panics if called on a leaf node.
-    #[must_use]
-    pub fn entries_mut(&mut self) -> &mut Vec<Entry> {
-        match &mut self.kind {
-            NodeKind::Inner { entries } => entries,
-            NodeKind::Leaf { .. } => panic!("entries_mut() called on a leaf node"),
-        }
-    }
-
-    /// The observations of a leaf node.
-    ///
-    /// # Panics
-    ///
-    /// Panics if called on an inner node.
-    #[must_use]
-    pub fn points(&self) -> &[Vec<f64>] {
-        match &self.kind {
-            NodeKind::Leaf { points } => points,
-            NodeKind::Inner { .. } => panic!("points() called on an inner node"),
-        }
-    }
-
-    /// Mutable access to the observations of a leaf node.
-    ///
-    /// # Panics
-    ///
-    /// Panics if called on an inner node.
-    #[must_use]
-    pub fn points_mut(&mut self) -> &mut Vec<Vec<f64>> {
-        match &mut self.kind {
-            NodeKind::Leaf { points } => points,
-            NodeKind::Inner { .. } => panic!("points_mut() called on an inner node"),
-        }
-    }
-
-    /// The MBR of everything stored in this node, or `None` when empty.
-    #[must_use]
-    pub fn mbr(&self) -> Option<Mbr> {
-        match &self.kind {
-            NodeKind::Leaf { points } => Mbr::from_points(points.iter().map(Vec::as_slice)),
-            NodeKind::Inner { entries } => Mbr::union_all(entries.iter().map(|e| &e.mbr)),
-        }
-    }
-
-    /// The cluster feature of everything stored in this node.
-    #[must_use]
-    pub fn cluster_feature(&self, dims: usize) -> ClusterFeature {
-        match &self.kind {
-            NodeKind::Leaf { points } => {
-                ClusterFeature::from_points(points.iter().map(Vec::as_slice), dims)
+        bt_anytree::NodeKind::Inner { entries } => {
+            let mut cf = ClusterFeature::empty(dims);
+            for e in entries {
+                cf.merge(&e.cf);
             }
-            NodeKind::Inner { entries } => {
-                let mut cf = ClusterFeature::empty(dims);
-                for e in entries {
-                    cf.merge(&e.cf);
-                }
-                cf
-            }
+            cf
         }
     }
 }
@@ -206,8 +140,8 @@ mod tests {
         let node = Node::leaf(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
         assert!(node.is_leaf());
         assert_eq!(node.len(), 2);
-        assert_eq!(node.points().len(), 2);
-        let mbr = node.mbr().unwrap();
+        assert_eq!(node.items().len(), 2);
+        let mbr = node_mbr(&node).unwrap();
         assert_eq!(mbr.lower(), &[1.0, 2.0][..]);
         assert_eq!(mbr.upper(), &[3.0, 4.0][..]);
     }
@@ -215,37 +149,37 @@ mod tests {
     #[test]
     fn leaf_cluster_feature_matches_points() {
         let node = Node::leaf(vec![vec![0.0], vec![2.0]]);
-        let cf = node.cluster_feature(1);
+        let cf = node_cluster_feature(&node, 1);
         assert_eq!(cf.weight(), 2.0);
         assert_eq!(cf.mean(), vec![1.0]);
     }
 
     #[test]
     fn inner_cluster_feature_merges_entries() {
-        let e1 = Entry {
-            mbr: Mbr::from_point(&[0.0]),
-            cf: ClusterFeature::from_point(&[0.0]),
-            child: 1,
-        };
-        let e2 = Entry {
-            mbr: Mbr::from_point(&[4.0]),
-            cf: ClusterFeature::from_point(&[4.0]),
-            child: 2,
-        };
+        let e1 = make_entry(
+            Mbr::from_point(&[0.0]),
+            ClusterFeature::from_point(&[0.0]),
+            1,
+        );
+        let e2 = make_entry(
+            Mbr::from_point(&[4.0]),
+            ClusterFeature::from_point(&[4.0]),
+            2,
+        );
         let node = Node::inner(vec![e1, e2]);
         assert!(!node.is_leaf());
-        let cf = node.cluster_feature(1);
+        let cf = node_cluster_feature(&node, 1);
         assert_eq!(cf.weight(), 2.0);
         assert_eq!(cf.mean(), vec![2.0]);
     }
 
     #[test]
     fn entry_absorb_point_updates_both_summaries() {
-        let mut entry = Entry {
-            mbr: Mbr::from_point(&[1.0, 1.0]),
-            cf: ClusterFeature::from_point(&[1.0, 1.0]),
-            child: 0,
-        };
+        let mut entry = make_entry(
+            Mbr::from_point(&[1.0, 1.0]),
+            ClusterFeature::from_point(&[1.0, 1.0]),
+            0,
+        );
         entry.absorb_point(&[3.0, 0.0]);
         assert_eq!(entry.weight(), 2.0);
         assert!(entry.mbr.contains_point(&[3.0, 0.0]));
@@ -256,11 +190,7 @@ mod tests {
     fn entry_gaussian_comes_from_cf() {
         let mut cf = ClusterFeature::from_point(&[0.0]);
         cf.insert(&[2.0]);
-        let entry = Entry {
-            mbr: Mbr::from_point(&[0.0]),
-            cf,
-            child: 0,
-        };
+        let entry = make_entry(Mbr::from_point(&[0.0]), cf, 0);
         let g = entry.gaussian();
         assert_eq!(g.mean(), &[1.0][..]);
         assert!((g.variance()[0] - 1.0).abs() < 1e-9);
@@ -275,15 +205,15 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "inner node")]
-    fn points_on_inner_panics() {
+    fn items_on_inner_panics() {
         let node = Node::inner(vec![]);
-        let _ = node.points();
+        let _ = node.items();
     }
 
     #[test]
     fn empty_leaf_has_no_mbr() {
         let node = Node::empty_leaf();
         assert!(node.is_empty());
-        assert!(node.mbr().is_none());
+        assert!(node_mbr(&node).is_none());
     }
 }

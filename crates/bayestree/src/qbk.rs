@@ -103,7 +103,9 @@ impl RefinementScheduler {
                     .map(|offset| (self.turn + offset) % self.num_classes)
                     .find(|&c| refinable[c])
             }
-            RefinementStrategy::MostProbable => best_refinable(scores, refinable, 1).first().copied(),
+            RefinementStrategy::MostProbable => {
+                best_refinable(scores, refinable, 1).first().copied()
+            }
             RefinementStrategy::Qbk { .. } => {
                 let k = self.effective_k();
                 let candidates = best_refinable(scores, refinable, k);

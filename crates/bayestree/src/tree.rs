@@ -6,11 +6,14 @@
 //! — stores a complete Gaussian mixture model of the entire data at some
 //! granularity.
 //!
-//! Nodes are kept in an arena ([`Vec<Node>`]); the tree owns the arena and
-//! hands out [`NodeId`]s.  The structure is built either incrementally
+//! Structurally the tree is a thin instantiation of the shared
+//! [`bt_anytree::AnytimeTree`] core (node arena, descent, split
+//! propagation) with the [`KernelSummary`] payload and raw kernel centres as
+//! leaf items.  The structure is built either incrementally
 //! ([`crate::insert`]) or by one of the bulk loaders ([`crate::bulk`]).
 
-use crate::node::{Entry, Node, NodeId, NodeKind};
+use crate::node::{node_cluster_feature, node_mbr, Entry, KernelSummary, Node, NodeId, NodeKind};
+use bt_anytree::AnytimeTree;
 use bt_index::PageGeometry;
 use bt_stats::bandwidth::silverman_bandwidth;
 use bt_stats::kernel::{GaussianKernel, Kernel};
@@ -18,12 +21,8 @@ use bt_stats::kernel::{GaussianKernel, Kernel};
 /// The Bayes tree: an R*-tree–style hierarchy of Gaussian mixture models.
 #[derive(Debug, Clone)]
 pub struct BayesTree {
-    dims: usize,
-    geometry: PageGeometry,
-    nodes: Vec<Node>,
-    root: NodeId,
+    core: AnytimeTree<KernelSummary, Vec<f64>>,
     num_points: usize,
-    height: usize,
     bandwidth: Vec<f64>,
 }
 
@@ -35,14 +34,9 @@ impl BayesTree {
     /// Panics if `dims == 0`.
     #[must_use]
     pub fn new(dims: usize, geometry: PageGeometry) -> Self {
-        assert!(dims > 0, "dimensionality must be positive");
         Self {
-            dims,
-            geometry,
-            nodes: vec![Node::empty_leaf()],
-            root: 0,
+            core: AnytimeTree::new(dims, geometry),
             num_points: 0,
-            height: 1,
             bandwidth: vec![1.0; dims],
         }
     }
@@ -50,13 +44,13 @@ impl BayesTree {
     /// Dimensionality of the stored kernels.
     #[must_use]
     pub fn dims(&self) -> usize {
-        self.dims
+        self.core.dims()
     }
 
     /// Fanout / leaf-capacity parameters of the tree.
     #[must_use]
     pub fn geometry(&self) -> PageGeometry {
-        self.geometry
+        self.core.geometry()
     }
 
     /// Number of stored observations.
@@ -74,7 +68,7 @@ impl BayesTree {
     /// Height of the tree (a single leaf root has height 1).
     #[must_use]
     pub fn height(&self) -> usize {
-        self.height
+        self.core.height()
     }
 
     /// The per-dimension kernel bandwidth used for leaf-level kernels.
@@ -90,7 +84,11 @@ impl BayesTree {
     /// Panics if the bandwidth vector has the wrong dimensionality or a
     /// non-positive component.
     pub fn set_bandwidth(&mut self, bandwidth: Vec<f64>) {
-        assert_eq!(bandwidth.len(), self.dims, "bandwidth dimensionality mismatch");
+        assert_eq!(
+            bandwidth.len(),
+            self.dims(),
+            "bandwidth dimensionality mismatch"
+        );
         assert!(
             bandwidth.iter().all(|h| *h > 0.0),
             "bandwidths must be positive"
@@ -103,35 +101,35 @@ impl BayesTree {
     pub fn fit_bandwidth(&mut self) {
         let points = self.all_points();
         if !points.is_empty() {
-            self.bandwidth = silverman_bandwidth(&points, self.dims);
+            self.bandwidth = silverman_bandwidth(&points, self.dims());
         }
     }
 
     /// The arena index of the root node.
     #[must_use]
     pub fn root(&self) -> NodeId {
-        self.root
+        self.core.root()
     }
 
     /// Read access to a node.
     #[must_use]
     pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id]
+        self.core.node(id)
     }
 
     /// Number of nodes reachable from the root.
     #[must_use]
     pub fn num_nodes(&self) -> usize {
-        self.collect_reachable().len()
+        self.core.num_nodes()
     }
 
     /// All observations stored at leaf level (in arbitrary order).
     #[must_use]
     pub fn all_points(&self) -> Vec<Vec<f64>> {
         let mut out = Vec::with_capacity(self.num_points);
-        for id in self.collect_reachable() {
-            if let NodeKind::Leaf { points } = &self.nodes[id].kind {
-                out.extend(points.iter().cloned());
+        for id in self.core.reachable() {
+            if let NodeKind::Leaf { items } = &self.core.node(id).kind {
+                out.extend(items.iter().cloned());
             }
         }
         out
@@ -141,13 +139,13 @@ impl BayesTree {
     /// synthetic single entry summarising the root when the root is a leaf.
     #[must_use]
     pub fn root_entries(&self) -> Vec<Entry> {
-        match &self.nodes[self.root].kind {
+        match &self.core.node(self.root()).kind {
             NodeKind::Inner { entries } => entries.clone(),
-            NodeKind::Leaf { points } => {
-                if points.is_empty() {
+            NodeKind::Leaf { items } => {
+                if items.is_empty() {
                     Vec::new()
                 } else {
-                    vec![self.summarise(self.root)]
+                    vec![self.summarise(self.root())]
                 }
             }
         }
@@ -160,10 +158,8 @@ impl BayesTree {
     /// Panics if `child` is empty.
     #[must_use]
     pub fn summarise(&self, child: NodeId) -> Entry {
-        let node = &self.nodes[child];
-        let mbr = node.mbr().expect("cannot summarise an empty node");
-        let cf = node.cluster_feature(self.dims);
-        Entry { mbr, cf, child }
+        let model = crate::insert::KernelModel { dims: self.dims() };
+        self.core.summarize_node(&model, child)
     }
 
     /// Evaluates the full kernel density estimate `p(x)` by reading every
@@ -175,9 +171,9 @@ impl BayesTree {
         }
         let kernel = GaussianKernel;
         let mut acc = 0.0;
-        for id in self.collect_reachable() {
-            if let NodeKind::Leaf { points } = &self.nodes[id].kind {
-                for p in points {
+        for id in self.core.reachable() {
+            if let NodeKind::Leaf { items } = &self.core.node(id).kind {
+                for p in items {
                     acc += kernel.density(p, x, &self.bandwidth);
                 }
             }
@@ -198,7 +194,7 @@ impl BayesTree {
             let mut next = Vec::new();
             let mut expanded_any = false;
             for e in &current {
-                match &self.nodes[e.child].kind {
+                match &self.core.node(e.child).kind {
                     NodeKind::Inner { entries } => {
                         next.extend(entries.iter().cloned());
                         expanded_any = true;
@@ -229,7 +225,7 @@ impl BayesTree {
     pub fn validate(&self, require_balanced: bool) -> Result<(), String> {
         let mut leaf_depths = Vec::new();
         let mut seen_points = 0usize;
-        self.validate_node(self.root, 1, true, &mut leaf_depths, &mut seen_points)?;
+        self.validate_node(self.root(), 1, true, &mut leaf_depths, &mut seen_points)?;
         if seen_points != self.num_points {
             return Err(format!(
                 "tree claims {} points but {} are reachable",
@@ -237,18 +233,16 @@ impl BayesTree {
             ));
         }
         if require_balanced {
-            if let (Some(min), Some(max)) =
-                (leaf_depths.iter().min(), leaf_depths.iter().max())
-            {
+            if let (Some(min), Some(max)) = (leaf_depths.iter().min(), leaf_depths.iter().max()) {
                 if min != max {
                     return Err(format!(
                         "tree is not balanced: leaf depths range from {min} to {max}"
                     ));
                 }
-                if *max != self.height {
+                if *max != self.height() {
                     return Err(format!(
                         "stored height {} does not match actual depth {max}",
-                        self.height
+                        self.height()
                     ));
                 }
             }
@@ -264,20 +258,21 @@ impl BayesTree {
         leaf_depths: &mut Vec<usize>,
         seen_points: &mut usize,
     ) -> Result<(), String> {
-        let node = &self.nodes[id];
+        let geometry = self.geometry();
+        let node = self.core.node(id);
         match &node.kind {
-            NodeKind::Leaf { points } => {
+            NodeKind::Leaf { items } => {
                 leaf_depths.push(depth);
-                *seen_points += points.len();
-                if !is_root && points.len() > self.geometry.max_leaf {
+                *seen_points += items.len();
+                if !is_root && items.len() > geometry.max_leaf {
                     return Err(format!(
                         "leaf {id} holds {} observations, capacity is {}",
-                        points.len(),
-                        self.geometry.max_leaf
+                        items.len(),
+                        geometry.max_leaf
                     ));
                 }
-                for p in points {
-                    if p.len() != self.dims {
+                for p in items {
+                    if p.len() != self.dims() {
                         return Err(format!("leaf {id} holds a point of wrong dimensionality"));
                     }
                 }
@@ -287,23 +282,28 @@ impl BayesTree {
                 if entries.is_empty() {
                     return Err(format!("inner node {id} has no entries"));
                 }
-                if entries.len() > self.geometry.max_fanout {
+                if entries.len() > geometry.max_fanout {
                     return Err(format!(
                         "inner node {id} has {} entries, fanout limit is {}",
                         entries.len(),
-                        self.geometry.max_fanout
+                        geometry.max_fanout
                     ));
                 }
-                if !is_root && entries.len() < self.geometry.min_fanout.min(2) {
+                if !is_root && entries.len() < geometry.min_fanout.min(2) {
                     return Err(format!(
                         "inner node {id} has {} entries, below the minimum",
                         entries.len()
                     ));
                 }
                 for (i, entry) in entries.iter().enumerate() {
-                    let child = &self.nodes[entry.child];
+                    if entry.buffer.is_some() {
+                        return Err(format!(
+                            "entry {i} of node {id} has a hitchhiker buffer (unused here)"
+                        ));
+                    }
+                    let child = self.core.node(entry.child);
                     // MBR must contain the child's MBR.
-                    if let Some(child_mbr) = child.mbr() {
+                    if let Some(child_mbr) = node_mbr(child) {
                         if !entry.mbr.contains_mbr(&child_mbr) {
                             return Err(format!(
                                 "entry {i} of node {id} does not contain its child's MBR"
@@ -311,7 +311,7 @@ impl BayesTree {
                         }
                     }
                     // CF weight must match the number of objects below.
-                    let child_cf = child.cluster_feature(self.dims);
+                    let child_cf = node_cluster_feature(child, self.dims());
                     if (entry.cf.weight() - child_cf.weight()).abs() > 1e-6 {
                         return Err(format!(
                             "entry {i} of node {id} claims {} objects, child holds {}",
@@ -319,7 +319,7 @@ impl BayesTree {
                             child_cf.weight()
                         ));
                     }
-                    for d in 0..self.dims {
+                    for d in 0..self.dims() {
                         if (entry.cf.linear_sum()[d] - child_cf.linear_sum()[d]).abs()
                             > 1e-4 * (1.0 + child_cf.linear_sum()[d].abs())
                         {
@@ -339,21 +339,27 @@ impl BayesTree {
     // Crate-internal construction helpers (used by insert and bulk).
     // ------------------------------------------------------------------
 
-    /// Adds a node to the arena and returns its id.
-    pub(crate) fn push_node(&mut self, node: Node) -> NodeId {
-        self.nodes.push(node);
-        self.nodes.len() - 1
+    /// The shared arena-tree core (crate-internal: insertion and bulk
+    /// loading build through it).
+    pub(crate) fn core_mut(&mut self) -> &mut AnytimeTree<KernelSummary, Vec<f64>> {
+        &mut self.core
     }
 
-    /// Mutable access to a node.
+    /// Adds a node to the arena and returns its id.
+    pub(crate) fn push_node(&mut self, node: Node) -> NodeId {
+        self.core.push_node(node)
+    }
+
+    /// Mutable access to a node (test-only; production mutation goes through
+    /// the shared core's insertion and the bulk loaders).
+    #[cfg(test)]
     pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut Node {
-        &mut self.nodes[id]
+        self.core.node_mut(id)
     }
 
     /// Replaces the root node id and height (used by bulk loaders).
     pub(crate) fn set_root(&mut self, root: NodeId, height: usize) {
-        self.root = root;
-        self.height = height;
+        self.core.set_root(root, height);
     }
 
     /// Sets the stored observation count (used by bulk loaders).
@@ -369,30 +375,7 @@ impl BayesTree {
     /// Maximum leaf depth below `node` (a leaf has depth 1).  Used by the
     /// bulk loaders to record the height of a freshly assembled tree.
     pub(crate) fn measure_depth(&self, node: NodeId) -> usize {
-        match &self.nodes[node].kind {
-            NodeKind::Leaf { .. } => 1,
-            NodeKind::Inner { entries } => {
-                1 + entries
-                    .iter()
-                    .map(|e| self.measure_depth(e.child))
-                    .max()
-                    .unwrap_or(0)
-            }
-        }
-    }
-
-    fn collect_reachable(&self) -> Vec<NodeId> {
-        let mut stack = vec![self.root];
-        let mut out = Vec::new();
-        while let Some(id) = stack.pop() {
-            out.push(id);
-            if let NodeKind::Inner { entries } = &self.nodes[id].kind {
-                for e in entries {
-                    stack.push(e.child);
-                }
-            }
-        }
-        out
+        self.core.measure_depth(node)
     }
 }
 
@@ -433,8 +416,8 @@ mod tests {
     #[test]
     fn summarise_leaf_root() {
         let mut tree = BayesTree::new(1, geometry());
-        tree.node_mut(0).points_mut().push(vec![1.0]);
-        tree.node_mut(0).points_mut().push(vec![3.0]);
+        tree.node_mut(0).items_mut().push(vec![1.0]);
+        tree.node_mut(0).items_mut().push(vec![3.0]);
         tree.set_num_points(2);
         let entries = tree.root_entries();
         assert_eq!(entries.len(), 1);
@@ -445,8 +428,8 @@ mod tests {
     #[test]
     fn full_kernel_density_averages_kernels() {
         let mut tree = BayesTree::new(1, geometry());
-        tree.node_mut(0).points_mut().push(vec![-1.0]);
-        tree.node_mut(0).points_mut().push(vec![1.0]);
+        tree.node_mut(0).items_mut().push(vec![-1.0]);
+        tree.node_mut(0).items_mut().push(vec![1.0]);
         tree.set_num_points(2);
         tree.set_bandwidth(vec![1.0]);
         let d = tree.full_kernel_density(&[0.0]);
@@ -458,7 +441,7 @@ mod tests {
     #[test]
     fn validate_detects_wrong_point_count() {
         let mut tree = BayesTree::new(1, geometry());
-        tree.node_mut(0).points_mut().push(vec![1.0]);
+        tree.node_mut(0).items_mut().push(vec![1.0]);
         // num_points deliberately not incremented.
         let err = tree.validate(true).unwrap_err();
         assert!(err.contains("reachable"));

@@ -10,7 +10,11 @@ fn classify_benchmarks(c: &mut Criterion) {
     let dataset = Benchmark::Pendigits.generate(2_000, 7);
     let mut group = c.benchmark_group("anytime_classify_pendigits");
 
-    for method in [BulkLoadMethod::EmTopDown, BulkLoadMethod::Hilbert, BulkLoadMethod::Iterative] {
+    for method in [
+        BulkLoadMethod::EmTopDown,
+        BulkLoadMethod::Hilbert,
+        BulkLoadMethod::Iterative,
+    ] {
         let config = ClassifierConfig::with_bulk_load(method);
         let classifier = AnytimeClassifier::train(&dataset, &config);
         let query = dataset.feature(0).to_vec();

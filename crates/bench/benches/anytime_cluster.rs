@@ -13,15 +13,19 @@ fn cluster_benchmarks(c: &mut Criterion) {
     let mut group = c.benchmark_group("clustree_insert");
     for &budget in &[1usize, 4, 16] {
         group.throughput(Throughput::Elements(stream.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, &budget| {
-            b.iter(|| {
-                let mut tree = ClusTree::new(4, ClusTreeConfig::default());
-                for (t, (p, _)) in stream.iter().enumerate() {
-                    tree.insert(black_box(p), t as f64, budget);
-                }
-                black_box(tree.num_micro_clusters())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(budget),
+            &budget,
+            |b, &budget| {
+                b.iter(|| {
+                    let mut tree = ClusTree::new(4, ClusTreeConfig::default());
+                    for (t, (p, _)) in stream.iter().enumerate() {
+                        tree.insert(black_box(p), t as f64, budget);
+                    }
+                    black_box(tree.num_micro_clusters())
+                })
+            },
+        );
     }
     group.finish();
 }

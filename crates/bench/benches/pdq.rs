@@ -2,8 +2,8 @@
 //! claim that the incremental density update after reading one node is very
 //! cheap) and of full probability density queries at different levels.
 
-use bayestree::{build_tree, BulkLoadMethod, DescentStrategy, TreeFrontier};
 use bayestree::pdq::density_at_level;
+use bayestree::{build_tree, BulkLoadMethod, DescentStrategy, TreeFrontier};
 use bt_data::synth::Benchmark;
 use bt_index::PageGeometry;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -31,9 +31,11 @@ fn pdq_benchmarks(c: &mut Criterion) {
         })
     });
     for level in [0usize, 1, 2] {
-        group.bench_with_input(BenchmarkId::new("level_density", level), &level, |b, &level| {
-            b.iter(|| black_box(density_at_level(&tree, black_box(&query), level)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("level_density", level),
+            &level,
+            |b, &level| b.iter(|| black_box(density_at_level(&tree, black_box(&query), level))),
+        );
     }
     group.bench_function("full_kernel_density", |b| {
         b.iter(|| black_box(tree.full_kernel_density(black_box(&query))))

@@ -34,13 +34,23 @@ fn main() {
     let descent_curves = descent_ablation(&dataset, BulkLoadMethod::EmTopDown, &config);
     println!("{}", ascii_chart(&descent_curves, 18, 72));
     for c in &descent_curves {
-        println!("  {:<18} mean {:.3}  final {:.3}", c.label, c.mean(), c.final_accuracy);
+        println!(
+            "  {:<18} mean {:.3}  final {:.3}",
+            c.label,
+            c.mean(),
+            c.final_accuracy
+        );
     }
 
     println!("\nqbk-parameter ablation on {which} (EMTopDown trees)\n");
     let qbk_curves = qbk_ablation(&dataset, BulkLoadMethod::EmTopDown, &[1, 2, 3], &config);
     for c in &qbk_curves {
-        println!("  {:<6} mean {:.3}  final {:.3}", c.label, c.mean(), c.final_accuracy);
+        println!(
+            "  {:<6} mean {:.3}  final {:.3}",
+            c.label,
+            c.mean(),
+            c.final_accuracy
+        );
     }
 
     println!("\nPer-class forest vs single multi-class tree (Section 4.1), budget 30 nodes:");

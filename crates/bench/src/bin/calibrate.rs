@@ -28,7 +28,10 @@ fn main() {
             skip = false;
             continue;
         }
-        if matches!(a.as_str(), "--spreads" | "--clusters" | "--separation" | "--curvature") {
+        if matches!(
+            a.as_str(),
+            "--spreads" | "--clusters" | "--separation" | "--curvature"
+        ) {
             skip = true;
             continue;
         }

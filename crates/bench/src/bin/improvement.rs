@@ -27,7 +27,9 @@ fn main() {
             .clone();
         all_rows.extend(improvement_summary(dataset.name(), &baseline, &curves));
     }
-    println!("Improvement of bulk loading over iterative insertion (max / mean over node budgets)\n");
+    println!(
+        "Improvement of bulk loading over iterative insertion (max / mean over node budgets)\n"
+    );
     println!("{}", format_improvements(&all_rows));
 
     let best = all_rows

@@ -160,7 +160,11 @@ mod tests {
 
     #[test]
     fn curve_config_propagates_options() {
-        let o = RunOptions::parse(["--queries", "10", "--folds", "3"].iter().map(ToString::to_string));
+        let o = RunOptions::parse(
+            ["--queries", "10", "--folds", "3"]
+                .iter()
+                .map(ToString::to_string),
+        );
         let c = o.curve_config();
         assert_eq!(c.folds, 3);
         assert_eq!(c.max_test_queries, Some(10));

@@ -39,7 +39,7 @@ pub mod offline;
 pub mod snapshot;
 pub mod tree;
 
-pub use microcluster::MicroCluster;
+pub use microcluster::{DecayCtx, MicroCluster};
 pub use offline::{weighted_dbscan, DbscanConfig, MacroClustering};
 pub use snapshot::SnapshotStore;
 pub use tree::{ClusTree, ClusTreeConfig, InsertOutcome};

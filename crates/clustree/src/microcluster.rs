@@ -133,10 +133,51 @@ impl MicroCluster {
         self.cf.merge(o.cf());
     }
 
-    /// Squared Euclidean distance from the centre to a point.
+    /// Squared Euclidean distance from the centre to a point, computed
+    /// without materialising the centre vector.
     #[must_use]
     pub fn sq_dist_to(&self, point: &[f64]) -> f64 {
-        bt_stats::vector::sq_dist(&self.center(), point)
+        self.cf.sq_dist_mean_to(point)
+    }
+
+    /// Writes the centre into `out` (cleared and refilled) — the scratch
+    /// variant used on the descent hot path.
+    pub fn center_into(&self, out: &mut Vec<f64>) {
+        self.cf.mean_into(out);
+    }
+}
+
+/// The temporal context threaded through the shared tree core: the current
+/// timestamp and the decay rate `lambda`.
+#[derive(Debug, Clone, Copy)]
+pub struct DecayCtx {
+    /// The timestamp summaries are decayed to.
+    pub now: f64,
+    /// Exponential decay rate `lambda` (0 disables decay).
+    pub lambda: f64,
+}
+
+impl bt_anytree::Summary for MicroCluster {
+    type Ctx = DecayCtx;
+
+    fn merge(&mut self, other: &Self, ctx: DecayCtx) {
+        MicroCluster::merge(self, other, ctx.lambda);
+    }
+
+    fn weight(&self) -> f64 {
+        MicroCluster::weight(self)
+    }
+
+    fn refresh(&mut self, ctx: DecayCtx) {
+        self.decay_to(ctx.now, ctx.lambda);
+    }
+
+    fn sq_dist_to(&self, point: &[f64]) -> f64 {
+        MicroCluster::sq_dist_to(self, point)
+    }
+
+    fn center(&self) -> Vec<f64> {
+        MicroCluster::center(self)
     }
 }
 

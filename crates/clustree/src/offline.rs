@@ -83,9 +83,8 @@ pub fn weighted_dbscan(micro_clusters: &[MicroCluster], config: &DbscanConfig) -
     let neighbourhood = |i: usize| -> Vec<usize> {
         index.within_radius(&micro_clusters[i].center(), config.epsilon)
     };
-    let weight_of = |indices: &[usize]| -> f64 {
-        indices.iter().map(|&j| micro_clusters[j].weight()).sum()
-    };
+    let weight_of =
+        |indices: &[usize]| -> f64 { indices.iter().map(|&j| micro_clusters[j].weight()).sum() };
 
     let mut assignment: Vec<Option<usize>> = vec![None; micro_clusters.len()];
     let mut visited = vec![false; micro_clusters.len()];
@@ -148,10 +147,13 @@ mod tests {
             mcs.push(mc(&[i as f64 * 0.3, 0.0], 5));
             mcs.push(mc(&[10.0 + i as f64 * 0.3, 0.0], 5));
         }
-        let result = weighted_dbscan(&mcs, &DbscanConfig {
-            epsilon: 1.0,
-            min_weight: 6.0,
-        });
+        let result = weighted_dbscan(
+            &mcs,
+            &DbscanConfig {
+                epsilon: 1.0,
+                min_weight: 6.0,
+            },
+        );
         assert_eq!(result.num_clusters, 2);
         assert!(result.noise().is_empty());
         // Micro-clusters of the same blob share a macro-cluster.
@@ -163,10 +165,13 @@ mod tests {
     fn isolated_light_micro_cluster_is_noise() {
         let mut mcs = vec![mc(&[0.0, 0.0], 10), mc(&[0.5, 0.0], 10)];
         mcs.push(mc(&[100.0, 100.0], 1));
-        let result = weighted_dbscan(&mcs, &DbscanConfig {
-            epsilon: 1.0,
-            min_weight: 5.0,
-        });
+        let result = weighted_dbscan(
+            &mcs,
+            &DbscanConfig {
+                epsilon: 1.0,
+                min_weight: 5.0,
+            },
+        );
         assert_eq!(result.num_clusters, 1);
         assert_eq!(result.noise(), vec![2]);
     }
@@ -176,10 +181,13 @@ mod tests {
         // An elongated (non-spherical) shape: DBSCAN links it into one
         // cluster, which a k-means-style method could not.
         let mcs: Vec<MicroCluster> = (0..20).map(|i| mc(&[i as f64 * 0.5, 0.0], 4)).collect();
-        let result = weighted_dbscan(&mcs, &DbscanConfig {
-            epsilon: 0.8,
-            min_weight: 6.0,
-        });
+        let result = weighted_dbscan(
+            &mcs,
+            &DbscanConfig {
+                epsilon: 0.8,
+                min_weight: 6.0,
+            },
+        );
         assert_eq!(result.num_clusters, 1);
         assert!(result.noise().is_empty());
     }
@@ -191,10 +199,13 @@ mod tests {
             mc(&[0.5], 10),
             mc(&[1.2], 1), // border: inside epsilon of a core object
         ];
-        let result = weighted_dbscan(&mcs, &DbscanConfig {
-            epsilon: 1.0,
-            min_weight: 12.0,
-        });
+        let result = weighted_dbscan(
+            &mcs,
+            &DbscanConfig {
+                epsilon: 1.0,
+                min_weight: 12.0,
+            },
+        );
         assert_eq!(result.num_clusters, 1);
         assert_eq!(result.assignment[2], Some(0));
     }
@@ -209,10 +220,13 @@ mod tests {
     #[test]
     fn clusters_accessor_groups_members() {
         let mcs = vec![mc(&[0.0], 5), mc(&[0.2], 5), mc(&[50.0], 5), mc(&[50.2], 5)];
-        let result = weighted_dbscan(&mcs, &DbscanConfig {
-            epsilon: 1.0,
-            min_weight: 6.0,
-        });
+        let result = weighted_dbscan(
+            &mcs,
+            &DbscanConfig {
+                epsilon: 1.0,
+                min_weight: 6.0,
+            },
+        );
         let clusters = result.clusters();
         assert_eq!(clusters.len(), 2);
         assert_eq!(clusters.iter().map(Vec::len).sum::<usize>(), 4);

@@ -94,7 +94,11 @@ impl SnapshotStore {
         self.snapshots
             .iter()
             .filter(|s| s.time <= time)
-            .max_by(|a, b| a.time.partial_cmp(&b.time).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| {
+                a.time
+                    .partial_cmp(&b.time)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
     }
 
     /// All retained snapshot times, ascending.
@@ -113,7 +117,7 @@ impl SnapshotStore {
         }
         let mut order = 0usize;
         let mut t = tick;
-        while t % self.alpha == 0 {
+        while t.is_multiple_of(self.alpha) {
             order += 1;
             t /= self.alpha;
         }

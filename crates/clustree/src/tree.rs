@@ -19,12 +19,19 @@
 //! As a consequence the tree's granularity adapts itself to the stream speed:
 //! slow streams grant deep descents and fine micro-clusters, fast streams
 //! park objects high up and keep the model coarse.
+//!
+//! The arena, the budgeted descent with its park/hitchhiker bookkeeping and
+//! the split/overflow propagation all live in the shared
+//! [`bt_anytree::AnytimeTree`] core — the same core the Bayes tree is built
+//! on.  This module only supplies the micro-cluster payload policy: nearest
+//! -centre routing, absorb-or-reuse leaf insertion, the polar split, and the
+//! merge-closest fallback when there is no time to split.
 
-use crate::microcluster::MicroCluster;
-use bt_stats::vector;
+use crate::microcluster::{DecayCtx, MicroCluster};
+use bt_anytree::{AnytimeTree, InsertModel, Node, NodeId, NodeKind};
+use bt_index::PageGeometry;
 
-/// Arena index of a node.
-type NodeId = usize;
+pub use bt_anytree::InsertOutcome;
 
 /// Configuration of the anytime clustering tree.
 #[derive(Debug, Clone)]
@@ -55,43 +62,125 @@ impl Default for ClusTreeConfig {
     }
 }
 
-/// What happened to an inserted object.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum InsertOutcome {
-    /// The object reached leaf level and was absorbed into a micro-cluster.
-    ReachedLeaf,
-    /// The object ran out of budget and was parked in a hitchhiker buffer at
-    /// the reported depth.
-    Parked {
-        /// Depth at which the object was parked (1 = directly below the root).
-        depth: usize,
-    },
+impl ClusTreeConfig {
+    /// The `(min, max)` fanout this configuration induces on the shared
+    /// core (the same capacity governs inner and leaf nodes).
+    fn geometry(&self) -> PageGeometry {
+        PageGeometry {
+            min_fanout: self.min_entries,
+            max_fanout: self.max_entries,
+            min_leaf: self.min_entries,
+            max_leaf: self.max_entries,
+        }
+    }
 }
 
-/// One entry of a ClusTree node.
-#[derive(Debug, Clone)]
-struct ClusEntry {
-    /// Aggregate of everything in the subtree below (including buffers).
-    summary: MicroCluster,
-    /// Hitchhiker buffer: objects parked here waiting to be carried down.
-    buffer: MicroCluster,
-    /// Child node; `None` for leaf entries (the entry *is* a micro-cluster).
-    child: Option<NodeId>,
+/// The micro-cluster insertion policy over the shared core.
+struct ClusModel<'a> {
+    config: &'a ClusTreeConfig,
+    now: f64,
 }
 
-#[derive(Debug, Clone)]
-struct ClusNode {
-    entries: Vec<ClusEntry>,
-    is_leaf: bool,
+impl ClusModel<'_> {
+    fn lambda(&self) -> f64 {
+        self.config.decay_lambda
+    }
+}
+
+impl InsertModel<MicroCluster> for ClusModel<'_> {
+    type Object = MicroCluster;
+    type LeafItem = MicroCluster;
+    const BUFFERED: bool = true;
+
+    fn ctx(&self) -> DecayCtx {
+        DecayCtx {
+            now: self.now,
+            lambda: self.lambda(),
+        }
+    }
+
+    fn route_point<'a>(&self, obj: &'a MicroCluster, scratch: &'a mut Vec<f64>) -> &'a [f64] {
+        obj.center_into(scratch);
+        scratch
+    }
+
+    fn summary_of(&self, obj: &MicroCluster) -> MicroCluster {
+        obj.clone()
+    }
+
+    fn absorb_into(&self, summary: &mut MicroCluster, obj: &MicroCluster) {
+        summary.merge(obj, self.lambda());
+    }
+
+    fn merge_buffer_into_object(&self, obj: &mut MicroCluster, buffer: MicroCluster) {
+        obj.merge(&buffer, self.lambda());
+    }
+
+    fn refresh_leaf_items(&self, items: &mut [MicroCluster]) {
+        for mc in items {
+            mc.decay_to(self.now, self.lambda());
+        }
+    }
+
+    /// Absorbed as a fresh entry if there is room, replacing the lightest
+    /// irrelevant (aged-out) entry otherwise; a genuine overflow is left for
+    /// the core to split or collapse.
+    fn insert_into_leaf(&mut self, items: &mut Vec<MicroCluster>, obj: MicroCluster) {
+        if items.len() < self.config.max_entries {
+            items.push(obj);
+            return;
+        }
+        let irrelevant = items
+            .iter()
+            .enumerate()
+            .filter(|(_, mc)| mc.weight() < self.config.irrelevance_threshold)
+            .min_by(|(_, a), (_, b)| {
+                a.weight()
+                    .partial_cmp(&b.weight())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i);
+        if let Some(idx) = irrelevant {
+            items[idx] = obj;
+            return;
+        }
+        items.push(obj);
+    }
+
+    fn summarize_leaf_items(&self, items: &[MicroCluster]) -> MicroCluster {
+        let lambda = self.lambda();
+        let mut summary = items[0].clone();
+        for mc in &items[1..] {
+            summary.merge(mc, lambda);
+        }
+        summary.decay_to(self.now, lambda);
+        summary
+    }
+
+    fn split_leaf_items(
+        &self,
+        items: Vec<MicroCluster>,
+        _geometry: &PageGeometry,
+    ) -> (Vec<MicroCluster>, Vec<MicroCluster>) {
+        let centers: Vec<Vec<f64>> = items.iter().map(MicroCluster::center).collect();
+        let (first, second) = bt_anytree::polar_partition(&centers, self.config.max_entries);
+        bt_anytree::distribute(items, &first, &second)
+    }
+
+    fn collapse_leaf_items(&self, items: &mut Vec<MicroCluster>) {
+        bt_anytree::merge_closest_pair(items, self.ctx());
+    }
+
+    fn may_split(&self, has_time: bool) -> bool {
+        self.config.allow_splits && has_time
+    }
 }
 
 /// The anytime stream-clustering index.
 #[derive(Debug, Clone)]
 pub struct ClusTree {
-    dims: usize,
     config: ClusTreeConfig,
-    nodes: Vec<ClusNode>,
-    root: NodeId,
+    core: AnytimeTree<MicroCluster, MicroCluster>,
     num_inserted: usize,
     current_time: f64,
 }
@@ -105,19 +194,18 @@ impl ClusTree {
     #[must_use]
     pub fn new(dims: usize, config: ClusTreeConfig) -> Self {
         assert!(dims > 0, "dimensionality must be positive");
-        assert!(config.max_entries >= 2, "need at least two entries per node");
+        assert!(
+            config.max_entries >= 2,
+            "need at least two entries per node"
+        );
         assert!(
             config.min_entries >= 1 && config.min_entries * 2 <= config.max_entries + 1,
             "min entries must allow a split"
         );
+        let core = AnytimeTree::new(dims, config.geometry());
         Self {
-            dims,
             config,
-            nodes: vec![ClusNode {
-                entries: Vec::new(),
-                is_leaf: true,
-            }],
-            root: 0,
+            core,
             num_inserted: 0,
             current_time: 0.0,
         }
@@ -126,7 +214,7 @@ impl ClusTree {
     /// Dimensionality of the clustered points.
     #[must_use]
     pub fn dims(&self) -> usize {
-        self.dims
+        self.core.dims()
     }
 
     /// Number of objects inserted so far.
@@ -150,13 +238,20 @@ impl ClusTree {
     /// Height of the tree (a single leaf root has height 1).
     #[must_use]
     pub fn height(&self) -> usize {
-        self.depth_of(self.root)
+        self.core.height()
     }
 
     /// The latest timestamp seen.
     #[must_use]
     pub fn current_time(&self) -> f64 {
         self.current_time
+    }
+
+    /// Read access to the underlying shared arena tree (for inspection and
+    /// invariant tests).
+    #[must_use]
+    pub fn core(&self) -> &AnytimeTree<MicroCluster, MicroCluster> {
+        &self.core
     }
 
     /// Inserts an object observed at `timestamp` with a budget of
@@ -168,32 +263,15 @@ impl ClusTree {
     ///
     /// Panics if the point has the wrong dimensionality.
     pub fn insert(&mut self, point: &[f64], timestamp: f64, node_budget: usize) -> InsertOutcome {
-        assert_eq!(point.len(), self.dims, "point dimensionality mismatch");
+        assert_eq!(point.len(), self.dims(), "point dimensionality mismatch");
         self.current_time = self.current_time.max(timestamp);
         self.num_inserted += 1;
         let payload = MicroCluster::from_point(point, timestamp);
-
-        // An empty root leaf just takes the object as its first micro-cluster.
-        if self.nodes[self.root].is_leaf && self.nodes[self.root].entries.is_empty() {
-            let entry = ClusEntry {
-                summary: payload.clone(),
-                buffer: MicroCluster::empty(self.dims, timestamp),
-                child: None,
-            };
-            self.nodes[self.root].entries.push(entry);
-            return InsertOutcome::ReachedLeaf;
-        }
-
-        let root = self.root;
-        let (outcome, split) = self.insert_rec(root, payload, timestamp, node_budget, 1);
-        if let Some((e1, e2)) = split {
-            let new_root = self.push_node(ClusNode {
-                entries: vec![e1, e2],
-                is_leaf: false,
-            });
-            self.root = new_root;
-        }
-        outcome
+        let mut model = ClusModel {
+            config: &self.config,
+            now: timestamp,
+        };
+        self.core.insert(&mut model, payload, node_budget)
     }
 
     /// All current micro-clusters: the leaf entries plus any non-empty
@@ -201,7 +279,14 @@ impl ClusTree {
     #[must_use]
     pub fn micro_clusters(&self) -> Vec<MicroCluster> {
         let mut out = Vec::new();
-        self.collect_micro_clusters(self.root, &mut out);
+        for id in self.core.reachable() {
+            match &self.core.node(id).kind {
+                NodeKind::Leaf { items } => out.extend(items.iter().cloned()),
+                NodeKind::Inner { entries } => {
+                    out.extend(entries.iter().filter_map(|e| e.buffer.clone()));
+                }
+            }
+        }
         for mc in &mut out {
             mc.decay_to(self.current_time, self.config.decay_lambda);
         }
@@ -224,326 +309,46 @@ impl ClusTree {
     /// Number of nodes in the tree.
     #[must_use]
     pub fn num_nodes(&self) -> usize {
-        self.count_nodes(self.root)
+        self.core.num_nodes()
     }
 
-    /// Validates internal consistency: every node within capacity, leaf flags
-    /// consistent, and aggregated weights non-negative.
+    /// Validates internal consistency: every node within capacity (plus the
+    /// bounded directory slack a deferred split may leave behind) and all
+    /// aggregated weights non-negative.
     ///
     /// # Errors
     ///
     /// Returns a description of the first violated invariant.
     pub fn validate(&self) -> Result<(), String> {
-        self.validate_node(self.root)
-    }
-
-    // ------------------------------------------------------------------
-
-    fn insert_rec(
-        &mut self,
-        node_id: NodeId,
-        mut payload: MicroCluster,
-        timestamp: f64,
-        budget: usize,
-        depth: usize,
-    ) -> (InsertOutcome, Option<(ClusEntry, ClusEntry)>) {
-        let lambda = self.config.decay_lambda;
-        // Decay every entry of this node to the current time.
-        for entry in &mut self.nodes[node_id].entries {
-            entry.summary.decay_to(timestamp, lambda);
-            entry.buffer.decay_to(timestamp, lambda);
-        }
-
-        if self.nodes[node_id].is_leaf {
-            let outcome = self.insert_into_leaf(node_id, payload, timestamp);
-            let split = self.maybe_split(node_id, budget > 0);
-            return (outcome, split);
-        }
-
-        // Find the closest entry by centre distance.
-        let target = payload.center();
-        let closest = self
-            .nodes[node_id]
-            .entries
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                let da = vector::sq_dist(&a.summary.center(), &target);
-                let db = vector::sq_dist(&b.summary.center(), &target);
-                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .map(|(i, _)| i)
-            .expect("inner node has entries");
-
-        // The payload will end up somewhere below this entry either way, so
-        // the aggregate absorbs it now.
-        self.nodes[node_id].entries[closest]
-            .summary
-            .merge(&payload, lambda);
-
-        if budget == 0 {
-            // Out of time: park the payload in the hitchhiker buffer.
-            self.nodes[node_id].entries[closest]
-                .buffer
-                .merge(&payload, lambda);
-            return (InsertOutcome::Parked { depth }, None);
-        }
-
-        // Pick up any hitchhikers waiting at this entry and carry them down.
-        let buffer = std::mem::replace(
-            &mut self.nodes[node_id].entries[closest].buffer,
-            MicroCluster::empty(self.dims, timestamp),
-        );
-        if !buffer.is_empty() {
-            payload.merge(&buffer, lambda);
-        }
-
-        let child = self.nodes[node_id].entries[closest]
-            .child
-            .expect("inner entries have children");
-        let (outcome, child_split) =
-            self.insert_rec(child, payload, timestamp, budget - 1, depth + 1);
-        if let Some((e1, e2)) = child_split {
-            let entries = &mut self.nodes[node_id].entries;
-            entries[closest] = e1;
-            entries.push(e2);
-        }
-        let split = self.maybe_split(node_id, budget > 0);
-        (outcome, split)
-    }
-
-    /// Inserts a payload into a leaf: absorbed by the closest micro-cluster,
-    /// stored as a fresh entry if there is room, or replacing an irrelevant
-    /// entry.
-    fn insert_into_leaf(
-        &mut self,
-        node_id: NodeId,
-        payload: MicroCluster,
-        timestamp: f64,
-    ) -> InsertOutcome {
-        let max_entries = self.config.max_entries;
-        let irrelevance = self.config.irrelevance_threshold;
-        let node = &mut self.nodes[node_id];
-
-        if node.entries.len() < max_entries {
-            node.entries.push(ClusEntry {
-                summary: payload,
-                buffer: MicroCluster::empty(self.dims, timestamp),
-                child: None,
-            });
-            return InsertOutcome::ReachedLeaf;
-        }
-
-        // Reuse an irrelevant (aged-out) entry if one exists.
-        if let Some((idx, _)) = node
-            .entries
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.summary.weight() < irrelevance)
-            .min_by(|(_, a), (_, b)| {
-                a.summary
-                    .weight()
-                    .partial_cmp(&b.summary.weight())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-        {
-            node.entries[idx] = ClusEntry {
-                summary: payload,
-                buffer: MicroCluster::empty(self.dims, timestamp),
-                child: None,
-            };
-            return InsertOutcome::ReachedLeaf;
-        }
-
-        // Otherwise store it and let maybe_split() either split the node or
-        // merge the closest pair back within capacity.
-        node.entries.push(ClusEntry {
-            summary: payload,
-            buffer: MicroCluster::empty(self.dims, timestamp),
-            child: None,
-        });
-        InsertOutcome::ReachedLeaf
-    }
-
-    /// Handles an over-full node: splits it when splits are allowed and there
-    /// is time, otherwise merges the two closest entries.
-    fn maybe_split(
-        &mut self,
-        node_id: NodeId,
-        has_time: bool,
-    ) -> Option<(ClusEntry, ClusEntry)> {
-        if self.nodes[node_id].entries.len() <= self.config.max_entries {
-            return None;
-        }
-        if !(self.config.allow_splits && has_time) {
-            self.merge_closest_pair(node_id);
-            return None;
-        }
-        Some(self.split_node(node_id))
-    }
-
-    fn merge_closest_pair(&mut self, node_id: NodeId) {
-        let lambda = self.config.decay_lambda;
-        let node = &mut self.nodes[node_id];
-        if node.entries.len() < 2 || !node.is_leaf {
-            // Inner nodes cannot merge children cheaply; tolerate the
-            // overflow (it is bounded by one extra entry per insertion).
-            if !node.is_leaf {
-                return;
-            }
-        }
-        let mut best = (0usize, 1usize, f64::INFINITY);
-        for i in 0..node.entries.len() {
-            for j in (i + 1)..node.entries.len() {
-                let d = vector::sq_dist(
-                    &node.entries[i].summary.center(),
-                    &node.entries[j].summary.center(),
-                );
-                if d < best.2 {
-                    best = (i, j, d);
-                }
-            }
-        }
-        let (i, j, _) = best;
-        let absorbed = node.entries.swap_remove(j);
-        node.entries[i].summary.merge(&absorbed.summary, lambda);
-        node.entries[i].buffer.merge(&absorbed.buffer, lambda);
-    }
-
-    /// Splits an over-full node into two by seeding with the two farthest
-    /// entries and assigning the rest to the closer seed.
-    fn split_node(&mut self, node_id: NodeId) -> (ClusEntry, ClusEntry) {
-        let lambda = self.config.decay_lambda;
-        let is_leaf = self.nodes[node_id].is_leaf;
-        let entries = std::mem::take(&mut self.nodes[node_id].entries);
-        let centers: Vec<Vec<f64>> = entries.iter().map(|e| e.summary.center()).collect();
-
-        // Farthest pair as seeds.
-        let mut seed_a = 0;
-        let mut seed_b = 1;
-        let mut best = -1.0;
-        for i in 0..centers.len() {
-            for j in (i + 1)..centers.len() {
-                let d = vector::sq_dist(&centers[i], &centers[j]);
-                if d > best {
-                    best = d;
-                    seed_a = i;
-                    seed_b = j;
-                }
-            }
-        }
-        let mut group_a = Vec::new();
-        let mut group_b = Vec::new();
-        for (i, entry) in entries.into_iter().enumerate() {
-            let da = vector::sq_dist(&centers[i], &centers[seed_a]);
-            let db = vector::sq_dist(&centers[i], &centers[seed_b]);
-            if da <= db && group_a.len() < self.config.max_entries {
-                group_a.push(entry);
-            } else if group_b.len() < self.config.max_entries {
-                group_b.push(entry);
-            } else {
-                group_a.push(entry);
-            }
-        }
-        if group_a.is_empty() {
-            group_a.push(group_b.pop().expect("group B has entries"));
-        }
-        if group_b.is_empty() {
-            group_b.push(group_a.pop().expect("group A has entries"));
-        }
-
-        self.nodes[node_id].entries = group_a;
-        self.nodes[node_id].is_leaf = is_leaf;
-        let new_node = self.push_node(ClusNode {
-            entries: group_b,
-            is_leaf,
-        });
-        let e1 = self.make_parent_entry(node_id, lambda);
-        let e2 = self.make_parent_entry(new_node, lambda);
-        (e1, e2)
-    }
-
-    fn make_parent_entry(&self, node_id: NodeId, lambda: f64) -> ClusEntry {
-        let node = &self.nodes[node_id];
-        let mut summary = MicroCluster::empty(self.dims, self.current_time);
-        for entry in &node.entries {
-            summary.merge(&entry.summary, lambda);
-            summary.merge(&entry.buffer, lambda);
-        }
-        ClusEntry {
-            summary,
-            buffer: MicroCluster::empty(self.dims, self.current_time),
-            child: Some(node_id),
-        }
-    }
-
-    fn push_node(&mut self, node: ClusNode) -> NodeId {
-        self.nodes.push(node);
-        self.nodes.len() - 1
-    }
-
-    fn collect_micro_clusters(&self, node_id: NodeId, out: &mut Vec<MicroCluster>) {
-        let node = &self.nodes[node_id];
-        for entry in &node.entries {
-            if !entry.buffer.is_empty() {
-                out.push(entry.buffer.clone());
-            }
-            if node.is_leaf {
-                out.push(entry.summary.clone());
-            } else if let Some(child) = entry.child {
-                self.collect_micro_clusters(child, out);
-            }
-        }
-    }
-
-    fn depth_of(&self, node_id: NodeId) -> usize {
-        let node = &self.nodes[node_id];
-        if node.is_leaf {
-            1
-        } else {
-            1 + node
-                .entries
-                .iter()
-                .filter_map(|e| e.child.map(|c| self.depth_of(c)))
-                .max()
-                .unwrap_or(0)
-        }
-    }
-
-    fn count_nodes(&self, node_id: NodeId) -> usize {
-        let node = &self.nodes[node_id];
-        1 + node
-            .entries
-            .iter()
-            .filter_map(|e| e.child.map(|c| self.count_nodes(c)))
-            .sum::<usize>()
+        self.validate_node(self.core.root())
     }
 
     fn validate_node(&self, node_id: NodeId) -> Result<(), String> {
-        let node = &self.nodes[node_id];
+        let node: &Node<MicroCluster, MicroCluster> = self.core.node(node_id);
         // Inner nodes may temporarily exceed capacity by one when a split was
         // deferred for lack of time; anything beyond that is a bug.
-        let slack = usize::from(!node.is_leaf);
-        if node.entries.len() > self.config.max_entries + slack {
+        let slack = usize::from(!node.is_leaf());
+        if node.len() > self.config.max_entries + slack {
             return Err(format!(
                 "node {node_id} has {} entries (capacity {})",
-                node.entries.len(),
+                node.len(),
                 self.config.max_entries
             ));
         }
-        for entry in &node.entries {
-            if entry.summary.weight() < 0.0 || entry.buffer.weight() < 0.0 {
-                return Err(format!("node {node_id} has a negative weight"));
-            }
-            if node.is_leaf && entry.child.is_some() {
-                return Err(format!("leaf node {node_id} has an entry with a child"));
-            }
-            if !node.is_leaf {
-                match entry.child {
-                    None => {
-                        return Err(format!("inner node {node_id} has an entry without child"))
+        match &node.kind {
+            NodeKind::Leaf { items } => {
+                for mc in items {
+                    if mc.weight() < 0.0 {
+                        return Err(format!("leaf {node_id} has a negative weight"));
                     }
-                    Some(child) => self.validate_node(child)?,
+                }
+            }
+            NodeKind::Inner { entries } => {
+                for entry in entries {
+                    if entry.weight() < 0.0 || entry.buffered_weight() < 0.0 {
+                        return Err(format!("node {node_id} has a negative weight"));
+                    }
+                    self.validate_node(entry.child)?;
                 }
             }
         }
@@ -554,6 +359,7 @@ impl ClusTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bt_stats::vector;
 
     fn two_cluster_stream(n: usize) -> Vec<(Vec<f64>, f64)> {
         (0..n)
@@ -641,7 +447,11 @@ mod tests {
         }
         // Much later, a new cluster around (30, 30).
         for i in 0..100 {
-            tree.insert(&[30.0, 30.0 + (i % 5) as f64 * 0.01], 100.0 + i as f64 * 0.01, 5);
+            tree.insert(
+                &[30.0, 30.0 + (i % 5) as f64 * 0.01],
+                100.0 + i as f64 * 0.01,
+                5,
+            );
         }
         let mcs = tree.micro_clusters();
         let old_weight: f64 = mcs
@@ -682,8 +492,12 @@ mod tests {
             tree.insert(&p, t, 10);
         }
         let mcs = tree.micro_clusters();
-        let near_low = mcs.iter().any(|m| vector::dist(&m.center(), &[0.2, -0.2]) < 2.0);
-        let near_high = mcs.iter().any(|m| vector::dist(&m.center(), &[20.2, 19.8]) < 2.0);
+        let near_low = mcs
+            .iter()
+            .any(|m| vector::dist(&m.center(), &[0.2, -0.2]) < 2.0);
+        let near_high = mcs
+            .iter()
+            .any(|m| vector::dist(&m.center(), &[20.2, 19.8]) < 2.0);
         assert!(near_low && near_high);
     }
 

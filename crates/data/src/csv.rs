@@ -77,7 +77,11 @@ impl std::fmt::Display for CsvError {
             CsvError::BadNumber { line, field } => {
                 write!(f, "line {line}: cannot parse '{field}' as a number")
             }
-            CsvError::InconsistentColumns { line, found, expected } => {
+            CsvError::InconsistentColumns {
+                line,
+                found,
+                expected,
+            } => {
                 write!(f, "line {line}: found {found} columns, expected {expected}")
             }
             CsvError::Empty => write!(f, "the file contains no data records"),
@@ -252,8 +256,7 @@ mod tests {
 
     #[test]
     fn empty_file_is_rejected() {
-        let err =
-            load_csv_from_reader(Cursor::new(""), &CsvOptions::default()).unwrap_err();
+        let err = load_csv_from_reader(Cursor::new(""), &CsvOptions::default()).unwrap_err();
         assert!(matches!(err, CsvError::Empty));
     }
 

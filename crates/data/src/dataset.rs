@@ -48,7 +48,11 @@ impl Dataset {
         features: Vec<Vec<f64>>,
         labels: Vec<usize>,
     ) -> Self {
-        assert_eq!(features.len(), labels.len(), "feature/label length mismatch");
+        assert_eq!(
+            features.len(),
+            labels.len(),
+            "feature/label length mismatch"
+        );
         assert!(
             features.iter().all(|f| f.len() == dims),
             "all feature vectors must have dimensionality {dims}"
@@ -236,7 +240,12 @@ mod tests {
             "toy",
             2,
             generic_class_names(2),
-            vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]],
+            vec![
+                vec![0.0, 0.0],
+                vec![1.0, 1.0],
+                vec![2.0, 2.0],
+                vec![3.0, 3.0],
+            ],
             vec![0, 0, 1, 1],
         )
     }
@@ -312,8 +321,7 @@ mod tests {
     #[test]
     fn iter_yields_pairs_in_order() {
         let d = toy();
-        let pairs: Vec<(Vec<f64>, usize)> =
-            d.iter().map(|(f, &l)| (f.to_vec(), l)).collect();
+        let pairs: Vec<(Vec<f64>, usize)> = d.iter().map(|(f, &l)| (f.to_vec(), l)).collect();
         assert_eq!(pairs[0], (vec![0.0, 0.0], 0));
         assert_eq!(pairs[3], (vec![3.0, 3.0], 1));
     }

@@ -72,7 +72,9 @@ pub fn stratified_folds(dataset: &Dataset, k: usize, seed: u64) -> Vec<Fold> {
         .map(|f| {
             let test = test_sets[f].clone();
             let in_test: std::collections::HashSet<usize> = test.iter().copied().collect();
-            let train = (0..dataset.len()).filter(|i| !in_test.contains(i)).collect();
+            let train = (0..dataset.len())
+                .filter(|i| !in_test.contains(i))
+                .collect();
             Fold { train, test }
         })
         .collect()

@@ -50,8 +50,8 @@ impl MinMaxScaler {
 
     /// Transforms one feature vector in place.
     pub fn transform_in_place(&self, features: &mut [f64]) {
-        for d in 0..features.len() {
-            features[d] = (features[d] - self.lower[d]) / self.range[d];
+        for ((f, &lo), &range) in features.iter_mut().zip(&self.lower).zip(&self.range) {
+            *f = (*f - lo) / range;
         }
     }
 
@@ -187,13 +187,7 @@ mod tests {
 
     #[test]
     fn transform_dataset_preserves_labels() {
-        let ds = Dataset::from_parts(
-            "t",
-            2,
-            generic_class_names(2),
-            features(),
-            vec![0, 1, 0],
-        );
+        let ds = Dataset::from_parts("t", 2, generic_class_names(2), features(), vec![0, 1, 0]);
         let scaler = MinMaxScaler::fit(ds.features());
         let scaled = scaler.transform_dataset(&ds);
         assert_eq!(scaled.labels(), ds.labels());

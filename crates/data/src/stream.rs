@@ -283,10 +283,18 @@ mod tests {
         let gen = DriftingStream::new(2, 2, 0.1, 0.5, 11);
         let pts = gen.generate(400);
         // Average position of cluster 0 early vs late should differ clearly.
-        let early: Vec<&Vec<f64>> = pts[..100].iter().filter(|(_, c)| *c == 0).map(|(p, _)| p).collect();
-        let late: Vec<&Vec<f64>> = pts[300..].iter().filter(|(_, c)| *c == 0).map(|(p, _)| p).collect();
+        let early: Vec<&Vec<f64>> = pts[..100]
+            .iter()
+            .filter(|(_, c)| *c == 0)
+            .map(|(p, _)| p)
+            .collect();
+        let late: Vec<&Vec<f64>> = pts[300..]
+            .iter()
+            .filter(|(_, c)| *c == 0)
+            .map(|(p, _)| p)
+            .collect();
         let mean = |v: &[&Vec<f64>]| {
-            let mut m = vec![0.0; 2];
+            let mut m = [0.0; 2];
             for p in v {
                 m[0] += p[0];
                 m[1] += p[1];

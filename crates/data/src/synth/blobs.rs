@@ -78,7 +78,10 @@ mod tests {
 
     #[test]
     fn builder_produces_requested_shape() {
-        let ds = BlobConfig::new(4, 3).samples_per_class(50).seed(1).generate();
+        let ds = BlobConfig::new(4, 3)
+            .samples_per_class(50)
+            .seed(1)
+            .generate();
         assert_eq!(ds.len(), 200);
         assert_eq!(ds.dims(), 3);
         assert_eq!(ds.num_classes(), 4);

@@ -59,7 +59,10 @@ mod tests {
     fn classes_are_roughly_balanced() {
         let ds = generate(2_600, 1);
         let counts = ds.class_counts();
-        assert!(counts.iter().all(|&c| (80..=120).contains(&c)), "{counts:?}");
+        assert!(
+            counts.iter().all(|&c| (80..=120).contains(&c)),
+            "{counts:?}"
+        );
     }
 
     #[test]

@@ -102,8 +102,7 @@ impl Benchmark {
     #[must_use]
     pub fn generate_scaled(&self, scale: f64, seed: u64) -> Dataset {
         let spec = self.spec();
-        let samples = ((spec.size as f64 * scale).round() as usize)
-            .max(spec.classes * 50);
+        let samples = ((spec.size as f64 * scale).round() as usize).max(spec.classes * 50);
         self.generate(samples, seed)
     }
 }
@@ -233,7 +232,7 @@ impl ClassMixtureConfig {
                 dataset.push(self.warp(model.sample(&mut rng)), class);
             }
         }
-        dataset.shuffled(self.seed.wrapping_add(0x51_7C_C1B7))
+        dataset.shuffled(self.seed.wrapping_add(0x517C_C1B7))
     }
 
     /// Applies the quadratic warp controlled by [`Self::curvature`].

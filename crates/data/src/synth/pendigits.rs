@@ -58,7 +58,10 @@ mod tests {
     fn classes_are_roughly_balanced() {
         let ds = generate(1_000, 7);
         let counts = ds.class_counts();
-        assert!(counts.iter().all(|&c| (90..=110).contains(&c)), "{counts:?}");
+        assert!(
+            counts.iter().all(|&c| (90..=110).contains(&c)),
+            "{counts:?}"
+        );
     }
 
     #[test]

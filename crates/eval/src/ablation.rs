@@ -116,7 +116,10 @@ pub fn multiclass_comparison(dataset: &Dataset, budget: usize, config: &CurveCon
             },
         );
 
-        let limit = config.max_test_queries.unwrap_or(test.len()).min(test.len());
+        let limit = config
+            .max_test_queries
+            .unwrap_or(test.len())
+            .min(test.len());
         for i in 0..limit {
             let truth = test.label(i);
             if forest.classify_with_budget(test.feature(i), budget).label == truth {
@@ -167,15 +170,24 @@ mod tests {
 
     #[test]
     fn qbk_ablation_produces_requested_variants() {
-        let curves = qbk_ablation(&dataset(), BulkLoadMethod::Iterative, &[1, 2], &fast_config());
+        let curves = qbk_ablation(
+            &dataset(),
+            BulkLoadMethod::Iterative,
+            &[1, 2],
+            &fast_config(),
+        );
         let labels: Vec<&str> = curves.iter().map(|c| c.label.as_str()).collect();
         assert_eq!(labels, vec!["qb1", "qb2", "rr", "top1"]);
     }
 
     #[test]
     fn fanout_ablation_produces_one_curve_per_setting() {
-        let curves =
-            fanout_ablation(&dataset(), BulkLoadMethod::Iterative, &[4, 8], &fast_config());
+        let curves = fanout_ablation(
+            &dataset(),
+            BulkLoadMethod::Iterative,
+            &[4, 8],
+            &fast_config(),
+        );
         assert_eq!(curves.len(), 2);
         assert_eq!(curves[0].label, "M=4");
     }

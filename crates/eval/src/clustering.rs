@@ -138,7 +138,12 @@ pub fn format_sweep(rows: &[ClusteringQuality]) -> String {
     for r in rows {
         out.push_str(&format!(
             "{:>6}  {:>5}  {:>5}  {:>6.3}  {:>10.3}  {:>5}\n",
-            r.node_budget, r.micro_clusters, r.tree_nodes, r.purity, r.ssq_per_object, r.macro_clusters
+            r.node_budget,
+            r.micro_clusters,
+            r.tree_nodes,
+            r.purity,
+            r.ssq_per_object,
+            r.macro_clusters
         ));
     }
     out

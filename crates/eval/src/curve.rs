@@ -110,7 +110,10 @@ pub fn anytime_accuracy_curve(
         let train = fold.train_set(dataset);
         let test = fold.test_set(dataset);
         let classifier = AnytimeClassifier::train(&train, &classifier_config);
-        let limit = config.max_test_queries.unwrap_or(test.len()).min(test.len());
+        let limit = config
+            .max_test_queries
+            .unwrap_or(test.len())
+            .min(test.len());
         for i in 0..limit {
             let trace = classifier.anytime_trace(test.feature(i), config.max_nodes);
             let truth = test.label(i);

@@ -73,17 +73,23 @@ pub fn ascii_chart(curves: &[AccuracyCurve], height: usize, width: usize) -> Str
     let markers = ['E', 'H', 'G', 'I', 'Z', 'S', 'B', 'X'];
     for (ci, curve) in curves.iter().enumerate() {
         let marker = markers[ci % markers.len()];
-        for col in 0..width {
-            let nodes = col * max_nodes / (width - 1).max(1);
-            let acc = curve.at(nodes);
-            let rel = (acc - y_min) / (y_max - y_min);
-            let row = height - 1 - ((rel * (height - 1) as f64).round() as usize).min(height - 1);
+        for (col, row) in (0..width)
+            .map(|col| {
+                let nodes = col * max_nodes / (width - 1).max(1);
+                let acc = curve.at(nodes);
+                let rel = (acc - y_min) / (y_max - y_min);
+                height - 1 - ((rel * (height - 1) as f64).round() as usize).min(height - 1)
+            })
+            .enumerate()
+        {
             grid[row][col] = marker;
         }
     }
 
     let mut out = String::new();
-    out.push_str(&format!("accuracy {y_max:.3} (top) .. {y_min:.3} (bottom), nodes 0..{max_nodes}\n"));
+    out.push_str(&format!(
+        "accuracy {y_max:.3} (top) .. {y_min:.3} (bottom), nodes 0..{max_nodes}\n"
+    ));
     for row in grid {
         out.push('|');
         out.extend(row);
@@ -93,7 +99,11 @@ pub fn ascii_chart(curves: &[AccuracyCurve], height: usize, width: usize) -> Str
     out.push_str(&"-".repeat(width));
     out.push('\n');
     for (ci, curve) in curves.iter().enumerate() {
-        out.push_str(&format!("  {} = {}\n", markers[ci % markers.len()], curve.label));
+        out.push_str(&format!(
+            "  {} = {}\n",
+            markers[ci % markers.len()],
+            curve.label
+        ));
     }
     out
 }
@@ -185,10 +195,7 @@ mod tests {
 
     #[test]
     fn csv_has_header_and_rows() {
-        let csv = curves_to_csv(&[
-            curve("A", &[0.5, 0.6, 0.7]),
-            curve("B", &[0.4, 0.5, 0.6]),
-        ]);
+        let csv = curves_to_csv(&[curve("A", &[0.5, 0.6, 0.7]), curve("B", &[0.4, 0.5, 0.6])]);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "nodes,A,B");
         assert_eq!(lines.len(), 4);
@@ -203,7 +210,10 @@ mod tests {
     #[test]
     fn ascii_chart_mentions_every_curve() {
         let chart = ascii_chart(
-            &[curve("EMTopDown", &[0.5, 0.9]), curve("Iterativ", &[0.4, 0.8])],
+            &[
+                curve("EMTopDown", &[0.5, 0.9]),
+                curve("Iterativ", &[0.4, 0.8]),
+            ],
             10,
             30,
         );

@@ -114,7 +114,7 @@ mod tests {
         // instead of a fixed table: all cells are visited exactly once and
         // consecutive cells are grid neighbours.
         let bits = 2;
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         let mut by_key: Vec<(u128, (u32, u32))> = Vec::new();
         for x in 0..4u32 {
             for y in 0..4u32 {
@@ -163,7 +163,10 @@ mod tests {
         let first_half: Vec<usize> = order[..10].to_vec();
         let all_low = first_half.iter().all(|&i| i < 10);
         let all_high = first_half.iter().all(|&i| i >= 10);
-        assert!(all_low || all_high, "clusters must stay contiguous: {order:?}");
+        assert!(
+            all_low || all_high,
+            "clusters must stay contiguous: {order:?}"
+        );
     }
 
     #[test]

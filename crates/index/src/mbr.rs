@@ -104,9 +104,9 @@ impl Mbr {
     /// Grows the rectangle to contain `point`.
     pub fn extend_point(&mut self, point: &[f64]) {
         debug_assert_eq!(point.len(), self.dims());
-        for d in 0..point.len() {
-            self.lower[d] = self.lower[d].min(point[d]);
-            self.upper[d] = self.upper[d].max(point[d]);
+        for ((lo, hi), &p) in self.lower.iter_mut().zip(&mut self.upper).zip(point) {
+            *lo = lo.min(p);
+            *hi = hi.max(p);
         }
     }
 
@@ -140,15 +140,13 @@ impl Mbr {
     /// Whether `other` is fully contained in this rectangle.
     #[must_use]
     pub fn contains_mbr(&self, other: &Mbr) -> bool {
-        (0..self.dims())
-            .all(|d| other.lower[d] >= self.lower[d] && other.upper[d] <= self.upper[d])
+        (0..self.dims()).all(|d| other.lower[d] >= self.lower[d] && other.upper[d] <= self.upper[d])
     }
 
     /// Whether the two rectangles intersect.
     #[must_use]
     pub fn intersects(&self, other: &Mbr) -> bool {
-        (0..self.dims())
-            .all(|d| self.lower[d] <= other.upper[d] && other.lower[d] <= self.upper[d])
+        (0..self.dims()).all(|d| self.lower[d] <= other.upper[d] && other.lower[d] <= self.upper[d])
     }
 
     /// Volume (area in 2-d) of the rectangle.
@@ -204,12 +202,11 @@ impl Mbr {
     pub fn min_dist_sq(&self, point: &[f64]) -> f64 {
         debug_assert_eq!(point.len(), self.dims());
         let mut acc = 0.0;
-        for d in 0..point.len() {
-            let x = point[d];
-            let diff = if x < self.lower[d] {
-                self.lower[d] - x
-            } else if x > self.upper[d] {
-                x - self.upper[d]
+        for ((&lo, &hi), &x) in self.lower.iter().zip(&self.upper).zip(point) {
+            let diff = if x < lo {
+                lo - x
+            } else if x > hi {
+                x - hi
             } else {
                 0.0
             };

@@ -13,16 +13,30 @@ use crate::mbr::Mbr;
 /// Panics if `children` is empty.
 #[must_use]
 pub fn choose_subtree(children: &[Mbr], point: &[f64]) -> usize {
+    choose_subtree_by(children, |m| m, point)
+}
+
+/// Payload-generic variant of [`choose_subtree`]: chooses among arbitrary
+/// entries through an accessor that exposes each entry's MBR, avoiding any
+/// rectangle cloning on the descent hot path.
+///
+/// # Panics
+///
+/// Panics if `children` is empty.
+#[must_use]
+pub fn choose_subtree_by<T, F>(children: &[T], mbr_of: F, point: &[f64]) -> usize
+where
+    F: Fn(&T) -> &Mbr,
+{
     assert!(!children.is_empty(), "cannot choose among zero children");
     let mut best = 0usize;
     let mut best_enlargement = f64::INFINITY;
     let mut best_area = f64::INFINITY;
-    for (i, mbr) in children.iter().enumerate() {
+    for (i, child) in children.iter().enumerate() {
+        let mbr = mbr_of(child);
         let enlargement = mbr.enlargement_for_point(point);
         let area = mbr.area();
-        if enlargement < best_enlargement
-            || (enlargement == best_enlargement && area < best_area)
-        {
+        if enlargement < best_enlargement || (enlargement == best_enlargement && area < best_area) {
             best = i;
             best_enlargement = enlargement;
             best_area = area;

@@ -327,7 +327,12 @@ impl PointRTree {
                 // Visit children in order of MINDIST for better pruning.
                 let mut order: Vec<(f64, NodeId)> = children
                     .iter()
-                    .filter_map(|&c| self.nodes[c].mbr.as_ref().map(|m| (m.min_dist_sq(query), c)))
+                    .filter_map(|&c| {
+                        self.nodes[c]
+                            .mbr
+                            .as_ref()
+                            .map(|m| (m.min_dist_sq(query), c))
+                    })
                     .collect();
                 order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
                 for (_, c) in order {

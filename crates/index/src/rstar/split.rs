@@ -42,16 +42,36 @@ impl SplitResult {
 /// `min_entries == 0`.
 #[must_use]
 pub fn rstar_split(mbrs: &[Mbr], min_entries: usize) -> SplitResult {
+    rstar_split_by(mbrs, |m| m, min_entries)
+}
+
+/// Payload-generic variant of [`rstar_split`]: splits arbitrary entries
+/// through an accessor that exposes each entry's MBR, so callers carrying
+/// extra per-entry statistics need not clone rectangles into a side array.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`rstar_split`].
+#[must_use]
+pub fn rstar_split_by<T, F>(items: &[T], mbr_of: F, min_entries: usize) -> SplitResult
+where
+    F: Fn(&T) -> &Mbr,
+{
     assert!(min_entries > 0, "minimum entries must be positive");
     assert!(
-        mbrs.len() >= 2 * min_entries,
+        items.len() >= 2 * min_entries,
         "need at least 2 * min_entries = {} entries, got {}",
         2 * min_entries,
-        mbrs.len()
+        items.len()
     );
-    let dims = mbrs[0].dims();
+    let mbrs = items;
+    let mbr_at = |i: usize| mbr_of(&items[i]);
+    let dims = mbr_at(0).dims();
     let total = mbrs.len();
     let distributions = total - 2 * min_entries + 1;
+    let group_of = |indices: &[usize]| -> Mbr {
+        Mbr::union_all(indices.iter().map(|&i| mbr_at(i))).expect("group is non-empty")
+    };
 
     // Choose the split axis: the one with minimal total margin over all
     // distributions of both sortings (by lower and by upper coordinate).
@@ -59,14 +79,14 @@ pub fn rstar_split(mbrs: &[Mbr], min_entries: usize) -> SplitResult {
     let mut best_axis_margin = f64::INFINITY;
     let mut best_axis_orders: Option<[Vec<usize>; 2]> = None;
     for axis in 0..dims {
-        let by_lower = sorted_indices(mbrs, |m| m.lower()[axis]);
-        let by_upper = sorted_indices(mbrs, |m| m.upper()[axis]);
+        let by_lower = sorted_indices(total, |i| mbr_at(i).lower()[axis]);
+        let by_upper = sorted_indices(total, |i| mbr_at(i).upper()[axis]);
         let mut margin_sum = 0.0;
         for order in [&by_lower, &by_upper] {
             for k in 0..distributions {
                 let cut = min_entries + k;
                 let (g1, g2) = order.split_at(cut);
-                margin_sum += group_mbr(mbrs, g1).margin() + group_mbr(mbrs, g2).margin();
+                margin_sum += group_of(g1).margin() + group_of(g2).margin();
             }
         }
         if margin_sum < best_axis_margin {
@@ -86,8 +106,8 @@ pub fn rstar_split(mbrs: &[Mbr], min_entries: usize) -> SplitResult {
         for k in 0..distributions {
             let cut = min_entries + k;
             let (g1, g2) = order.split_at(cut);
-            let m1 = group_mbr(mbrs, g1);
-            let m2 = group_mbr(mbrs, g2);
+            let m1 = group_of(g1);
+            let m2 = group_of(g2);
             let overlap = m1.overlap(&m2);
             let area = m1.area() + m2.area();
             if overlap < best_overlap || (overlap == best_overlap && area < best_area) {
@@ -144,11 +164,11 @@ pub fn quadratic_split(mbrs: &[Mbr], min_entries: usize) -> SplitResult {
         // If one group must take all remaining entries to reach the minimum,
         // assign them wholesale.
         if first.len() + remaining.len() == min_entries {
-            first.extend(remaining.drain(..));
+            first.append(&mut remaining);
             break;
         }
         if second.len() + remaining.len() == min_entries {
-            second.extend(remaining.drain(..));
+            second.append(&mut remaining);
             break;
         }
         // Pick the entry with the largest preference difference.
@@ -183,19 +203,15 @@ pub fn quadratic_split(mbrs: &[Mbr], min_entries: usize) -> SplitResult {
     SplitResult { first, second }
 }
 
-fn sorted_indices<F: Fn(&Mbr) -> f64>(mbrs: &[Mbr], key: F) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..mbrs.len()).collect();
+fn sorted_indices<F: Fn(usize) -> f64>(len: usize, key: F) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..len).collect();
     idx.sort_by(|&a, &b| {
-        key(&mbrs[a])
-            .partial_cmp(&key(&mbrs[b]))
+        key(a)
+            .partial_cmp(&key(b))
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.cmp(&b))
     });
     idx
-}
-
-fn group_mbr(mbrs: &[Mbr], indices: &[usize]) -> Mbr {
-    Mbr::union_all(indices.iter().map(|&i| &mbrs[i])).expect("group is non-empty")
 }
 
 #[cfg(test)]
@@ -252,7 +268,11 @@ mod tests {
         let result = quadratic_split(&mbrs, 2);
         assert_valid_partition(&result, 8, 2);
         let in_first = result.first.contains(&0);
-        let group = if in_first { &result.first } else { &result.second };
+        let group = if in_first {
+            &result.first
+        } else {
+            &result.second
+        };
         assert!(group.iter().all(|&i| i < 4));
     }
 

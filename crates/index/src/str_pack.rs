@@ -106,7 +106,11 @@ mod tests {
         let pts = grid_points(16); // 256 points
         let groups = str_partition(&pts, 16);
         // Optimal is 16 groups; STR should not need more than ~1.5x that.
-        assert!(groups.len() >= 16 && groups.len() <= 25, "got {}", groups.len());
+        assert!(
+            groups.len() >= 16 && groups.len() <= 25,
+            "got {}",
+            groups.len()
+        );
     }
 
     #[test]

@@ -55,7 +55,11 @@ impl ClusterFeature {
     /// Panics if `ls` and `ss` have different lengths or `n` is negative.
     #[must_use]
     pub fn from_parts(n: f64, ls: Vec<f64>, ss: Vec<f64>) -> Self {
-        assert_eq!(ls.len(), ss.len(), "LS and SS must have the same dimensionality");
+        assert_eq!(
+            ls.len(),
+            ss.len(),
+            "LS and SS must have the same dimensionality"
+        );
         assert!(n >= 0.0, "object count must be non-negative");
         Self { n, ls, ss }
     }
@@ -107,9 +111,9 @@ impl ClusterFeature {
     pub fn insert(&mut self, point: &[f64]) {
         debug_assert_eq!(point.len(), self.dims());
         self.n += 1.0;
-        for d in 0..point.len() {
-            self.ls[d] += point[d];
-            self.ss[d] += point[d] * point[d];
+        for ((ls, ss), p) in self.ls.iter_mut().zip(&mut self.ss).zip(point) {
+            *ls += p;
+            *ss += p * p;
         }
     }
 
@@ -145,6 +149,38 @@ impl ClusterFeature {
             return vec![0.0; self.dims()];
         }
         self.ls.iter().map(|x| x / self.n).collect()
+    }
+
+    /// Writes the mean vector into `out` (cleared and refilled), so the
+    /// descent hot path can reuse one scratch buffer instead of allocating a
+    /// fresh centre per visited node.
+    pub fn mean_into(&self, out: &mut Vec<f64>) {
+        if self.is_empty() {
+            out.clear();
+            out.resize(self.dims(), 0.0);
+            return;
+        }
+        crate::vector::scale_into(&self.ls, 1.0 / self.n, out);
+    }
+
+    /// Squared Euclidean distance from the mean to `point`, computed without
+    /// materialising the mean vector (the routing measure of the anytime
+    /// descent).
+    #[must_use]
+    pub fn sq_dist_mean_to(&self, point: &[f64]) -> f64 {
+        debug_assert_eq!(point.len(), self.dims());
+        if self.is_empty() {
+            return crate::vector::sq_norm(point);
+        }
+        let inv_n = 1.0 / self.n;
+        self.ls
+            .iter()
+            .zip(point)
+            .map(|(ls, p)| {
+                let diff = ls * inv_n - p;
+                diff * diff
+            })
+            .sum()
     }
 
     /// Per-dimension variance `SS / n - (LS / n)^2` of the summarised points.
@@ -272,15 +308,32 @@ mod tests {
     }
 
     #[test]
+    fn mean_into_and_sq_dist_match_mean() {
+        let pts: Vec<Vec<f64>> = vec![vec![0.0, 1.0], vec![2.0, 3.0], vec![4.0, 5.0]];
+        let cf = ClusterFeature::from_points(pts.iter().map(Vec::as_slice), 2);
+        let mut scratch = Vec::new();
+        cf.mean_into(&mut scratch);
+        assert_eq!(scratch, cf.mean());
+        let q = [7.0, -1.0];
+        let direct = crate::vector::sq_dist(&cf.mean(), &q);
+        assert!((cf.sq_dist_mean_to(&q) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_mean_into_is_zero_vector() {
+        let cf = ClusterFeature::empty(3);
+        let mut scratch = vec![9.0; 5];
+        cf.mean_into(&mut scratch);
+        assert_eq!(scratch, vec![0.0; 3]);
+        assert_eq!(cf.sq_dist_mean_to(&[3.0, 4.0, 0.0]), 25.0);
+    }
+
+    #[test]
     fn radius_grows_with_spread() {
-        let tight = ClusterFeature::from_points(
-            [vec![0.0], vec![0.1]].iter().map(Vec::as_slice),
-            1,
-        );
-        let wide = ClusterFeature::from_points(
-            [vec![0.0], vec![10.0]].iter().map(Vec::as_slice),
-            1,
-        );
+        let tight =
+            ClusterFeature::from_points([vec![0.0], vec![0.1]].iter().map(Vec::as_slice), 1);
+        let wide =
+            ClusterFeature::from_points([vec![0.0], vec![10.0]].iter().map(Vec::as_slice), 1);
         assert!(wide.radius() > tight.radius());
     }
 }

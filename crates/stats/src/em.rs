@@ -84,13 +84,15 @@ impl KMeans {
                 counts[a] += 1;
             }
             let mut movement = 0.0;
+            let mut new_c = Vec::with_capacity(dims);
             for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
                 if *count == 0 {
                     continue;
                 }
-                let new_c = vector::scale(sum, 1.0 / *count as f64);
+                vector::scale_into(sum, 1.0 / *count as f64, &mut new_c);
                 movement += vector::dist(c, &new_c);
-                *c = new_c;
+                c.clear();
+                c.extend_from_slice(&new_c);
             }
             if movement < config.tolerance {
                 break;
@@ -260,7 +262,15 @@ pub fn fit_gmm<R: Rng + ?Sized>(points: &[Vec<f64>], config: &EmConfig, rng: &mu
     let k = config.components.min(points.len());
 
     // Initialise from a short k-means run.
-    let km = KMeans::fit(points, &KMeansConfig { k, max_iters: 10, tolerance: 1e-4 }, rng);
+    let km = KMeans::fit(
+        points,
+        &KMeansConfig {
+            k,
+            max_iters: 10,
+            tolerance: 1e-4,
+        },
+        rng,
+    );
     let init_k = km.num_clusters().max(1);
     let global_var = vector::variance(points, dims)
         .into_iter()
@@ -307,7 +317,13 @@ pub fn fit_gmm<R: Rng + ?Sized>(points: &[Vec<f64>], config: &EmConfig, rng: &mu
             let logs: Vec<f64> = gaussians
                 .iter()
                 .zip(&weights)
-                .map(|(g, &w)| if w > 0.0 { w.ln() + g.log_pdf(p) } else { f64::NEG_INFINITY })
+                .map(|(g, &w)| {
+                    if w > 0.0 {
+                        w.ln() + g.log_pdf(p)
+                    } else {
+                        f64::NEG_INFINITY
+                    }
+                })
                 .collect();
             let norm = log_sum_exp(&logs);
             total_ll += norm;
@@ -401,7 +417,11 @@ mod tests {
         let b = DiagGaussian::new(vec![5.0, 5.0], vec![0.2, 0.2]);
         let mut pts = Vec::new();
         for i in 0..n {
-            pts.push(if i % 2 == 0 { a.sample(rng) } else { b.sample(rng) });
+            pts.push(if i % 2 == 0 {
+                a.sample(rng)
+            } else {
+                b.sample(rng)
+            });
         }
         pts
     }

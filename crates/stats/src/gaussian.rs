@@ -33,10 +33,19 @@ impl DiagGaussian {
             variance.len(),
             "mean and variance must have the same dimensionality"
         );
-        assert!(!mean.is_empty(), "Gaussian must have at least one dimension");
+        assert!(
+            !mean.is_empty(),
+            "Gaussian must have at least one dimension"
+        );
         let variance = variance
             .into_iter()
-            .map(|v| if v.is_finite() { v.max(VARIANCE_FLOOR) } else { VARIANCE_FLOOR })
+            .map(|v| {
+                if v.is_finite() {
+                    v.max(VARIANCE_FLOOR)
+                } else {
+                    VARIANCE_FLOOR
+                }
+            })
             .collect();
         Self { mean, variance }
     }
@@ -88,9 +97,8 @@ impl DiagGaussian {
     pub fn log_pdf(&self, x: &[f64]) -> f64 {
         debug_assert_eq!(x.len(), self.dims());
         let mut acc = 0.0;
-        for d in 0..self.dims() {
-            let diff = x[d] - self.mean[d];
-            let var = self.variance[d];
+        for ((x_d, mean), &var) in x.iter().zip(&self.mean).zip(&self.variance) {
+            let diff = x_d - mean;
             acc += -0.5 * (LN_2PI + var.ln() + diff * diff / var);
         }
         acc
@@ -181,7 +189,7 @@ mod tests {
         let g = DiagGaussian::new(vec![3.0, -2.0], vec![0.5, 1.5]);
         let mut rng = StdRng::seed_from_u64(42);
         let n = 20_000;
-        let mut acc = vec![0.0, 0.0];
+        let mut acc = [0.0, 0.0];
         for _ in 0..n {
             let s = g.sample(&mut rng);
             acc[0] += s[0];

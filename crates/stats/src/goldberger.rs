@@ -160,14 +160,14 @@ fn refit(f: &GaussianMixture, mapping: &[usize]) -> GaussianMixture {
 
     for (fc, &j) in f.components().iter().zip(mapping) {
         weight[j] += fc.weight;
-        for d in 0..dims {
-            mean[j][d] += fc.weight * fc.gaussian.mean()[d];
+        for (m, g) in mean[j].iter_mut().zip(fc.gaussian.mean()) {
+            *m += fc.weight * g;
         }
     }
     for j in 0..groups {
         if weight[j] > 0.0 {
-            for d in 0..dims {
-                mean[j][d] /= weight[j];
+            for m in &mut mean[j] {
+                *m /= weight[j];
             }
         }
     }
@@ -177,9 +177,13 @@ fn refit(f: &GaussianMixture, mapping: &[usize]) -> GaussianMixture {
         if weight[j] <= 0.0 {
             continue;
         }
-        for d in 0..dims {
-            let diff = fc.gaussian.mean()[d] - mean[j][d];
-            var[j][d] += fc.weight * (fc.gaussian.variance()[d] + diff * diff);
+        for ((v, &m), (g_mean, g_var)) in var[j]
+            .iter_mut()
+            .zip(&mean[j])
+            .zip(fc.gaussian.mean().iter().zip(fc.gaussian.variance()))
+        {
+            let diff = g_mean - m;
+            *v += fc.weight * (g_var + diff * diff);
         }
     }
 

@@ -67,7 +67,9 @@ pub struct EpanechnikovKernel;
 
 impl Kernel for EpanechnikovKernel {
     fn log_density(&self, center: &[f64], x: &[f64], bandwidth: &[f64]) -> f64 {
-        self.density(center, x, bandwidth).max(f64::MIN_POSITIVE).ln()
+        self.density(center, x, bandwidth)
+            .max(f64::MIN_POSITIVE)
+            .ln()
     }
 
     fn density(&self, center: &[f64], x: &[f64], bandwidth: &[f64]) -> f64 {

@@ -27,7 +27,9 @@ impl GaussianMixture {
     /// Creates an empty mixture.
     #[must_use]
     pub fn new() -> Self {
-        Self { components: Vec::new() }
+        Self {
+            components: Vec::new(),
+        }
     }
 
     /// Creates a mixture from weighted components, normalising the weights.
@@ -137,7 +139,10 @@ impl GaussianMixture {
     /// Samples a point: first a component by weight, then from its Gaussian.
     #[must_use]
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
-        assert!(!self.components.is_empty(), "cannot sample an empty mixture");
+        assert!(
+            !self.components.is_empty(),
+            "cannot sample an empty mixture"
+        );
         let idx = self.sample_component(rng);
         self.components[idx].gaussian.sample(rng)
     }
@@ -199,8 +204,8 @@ mod tests {
     fn pdf_is_weighted_sum() {
         let m = two_component_mixture();
         let x = [0.5];
-        let manual = 0.25 * m.components()[0].gaussian.pdf(&x)
-            + 0.75 * m.components()[1].gaussian.pdf(&x);
+        let manual =
+            0.25 * m.components()[0].gaussian.pdf(&x) + 0.75 * m.components()[1].gaussian.pdf(&x);
         assert!((m.pdf(&x) - manual).abs() < 1e-12);
     }
 

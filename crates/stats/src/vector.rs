@@ -20,11 +20,35 @@ pub fn add_assign(a: &mut [f64], b: &[f64]) {
     }
 }
 
+/// Writes the elementwise sum `a + b` into `out` (cleared and refilled), so
+/// hot paths can reuse one scratch buffer instead of allocating per call.
+pub fn add_into(a: &[f64], b: &[f64], out: &mut Vec<f64>) {
+    debug_assert_eq!(a.len(), b.len());
+    out.clear();
+    out.extend(a.iter().zip(b).map(|(x, y)| x + y));
+}
+
 /// Elementwise difference `a - b` as a new vector.
 #[must_use]
 pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
     debug_assert_eq!(a.len(), b.len());
     a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Subtracts `b` from `a` elementwise in place.
+pub fn sub_assign(a: &mut [f64], b: &[f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter_mut().zip(b) {
+        *x -= y;
+    }
+}
+
+/// Writes the elementwise difference `a - b` into `out` (cleared and
+/// refilled).
+pub fn sub_into(a: &[f64], b: &[f64], out: &mut Vec<f64>) {
+    debug_assert_eq!(a.len(), b.len());
+    out.clear();
+    out.extend(a.iter().zip(b).map(|(x, y)| x - y));
 }
 
 /// Scales every element of `a` by `s` in place.
@@ -38,6 +62,12 @@ pub fn scale_assign(a: &mut [f64], s: f64) {
 #[must_use]
 pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
     a.iter().map(|x| x * s).collect()
+}
+
+/// Writes `a * s` into `out` (cleared and refilled).
+pub fn scale_into(a: &[f64], s: f64, out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(a.iter().map(|x| x * s));
 }
 
 /// Dot product of `a` and `b`.
@@ -179,5 +209,37 @@ mod tests {
         let mut b = a.clone();
         scale_assign(&mut b, 2.0);
         assert_eq!(scale(&a, 2.0), b);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![0.5, -1.0, 4.0];
+        let mut scratch = Vec::new();
+        add_into(&a, &b, &mut scratch);
+        assert_eq!(scratch, add(&a, &b));
+        sub_into(&a, &b, &mut scratch);
+        assert_eq!(scratch, sub(&a, &b));
+        scale_into(&a, 2.5, &mut scratch);
+        assert_eq!(scratch, scale(&a, 2.5));
+    }
+
+    #[test]
+    fn sub_assign_matches_sub() {
+        let a = vec![5.0, 7.0];
+        let b = vec![1.0, 2.0];
+        let mut c = a.clone();
+        sub_assign(&mut c, &b);
+        assert_eq!(c, sub(&a, &b));
+    }
+
+    #[test]
+    fn into_variants_reuse_capacity() {
+        let a = vec![1.0; 8];
+        let mut scratch = Vec::with_capacity(8);
+        scale_into(&a, 3.0, &mut scratch);
+        let ptr = scratch.as_ptr();
+        scale_into(&a, 4.0, &mut scratch);
+        assert_eq!(scratch.as_ptr(), ptr, "scratch buffer was reallocated");
     }
 }

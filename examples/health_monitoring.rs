@@ -34,11 +34,7 @@ fn main() {
 
     for (x, &y) in test.iter() {
         let quick = classifier.classify_with_budget(x, device_budget);
-        let confidence = quick
-            .posteriors
-            .iter()
-            .cloned()
-            .fold(0.0f64, f64::max);
+        let confidence = quick.posteriors.iter().cloned().fold(0.0f64, f64::max);
         let final_label = if confidence < confidence_threshold {
             forwarded += 1;
             classifier.classify_with_budget(x, server_budget).label
@@ -54,7 +50,10 @@ fn main() {
     }
 
     let n = test.len() as f64;
-    println!("multi-step classification on {} monitoring records:", test.len());
+    println!(
+        "multi-step classification on {} monitoring records:",
+        test.len()
+    );
     println!(
         "  device only ({device_budget} nodes):        accuracy {:.3}",
         device_correct as f64 / n

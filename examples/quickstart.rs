@@ -44,6 +44,8 @@ fn main() {
     let mut classifier = classifier;
     let (x, &y) = test.iter().next().expect("non-empty test set");
     classifier.learn_one(x.to_vec(), y);
-    println!("after learning one more object the model holds {} observations",
-        classifier.trees().iter().map(|t| t.len()).sum::<usize>());
+    println!(
+        "after learning one more object the model holds {} observations",
+        classifier.trees().iter().map(|t| t.len()).sum::<usize>()
+    );
 }

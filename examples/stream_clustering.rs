@@ -4,12 +4,17 @@
 //!
 //! Run with `cargo run --release --example stream_clustering`.
 
-use anytime_stream_mining::clustree::{weighted_dbscan, ClusTree, ClusTreeConfig, DbscanConfig, SnapshotStore};
+use anytime_stream_mining::clustree::{
+    weighted_dbscan, ClusTree, ClusTreeConfig, DbscanConfig, SnapshotStore,
+};
 use anytime_stream_mining::data::stream::DriftingStream;
 
 fn main() {
     let stream = DriftingStream::new(4, 3, 0.3, 0.002, 17).generate(8_000);
-    println!("drifting stream: {} objects from 4 moving sources in 3 dimensions\n", stream.len());
+    println!(
+        "drifting stream: {} objects from 4 moving sources in 3 dimensions\n",
+        stream.len()
+    );
 
     for budget in [1usize, 4, 16] {
         let mut tree = ClusTree::new(

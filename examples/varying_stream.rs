@@ -40,7 +40,11 @@ fn main() {
             }
             spent += item.node_budget.min(c.nodes_read.max(item.node_budget));
         }
-        results.push((name, correct as f64 / items.len() as f64, spent / items.len()));
+        results.push((
+            name,
+            correct as f64 / items.len() as f64,
+            spent / items.len(),
+        ));
     }
 
     println!("same mean budget ({mean_budget} node reads/object), different arrival processes:");

@@ -10,12 +10,50 @@
 //! * [`stats`] — Gaussians, kernel density estimation, cluster features,
 //!   mixture models, EM, KL divergence and Goldberger mixture reduction.
 //! * [`index`] — MBRs, R*-tree machinery, space-filling curves and STR packing.
+//! * [`anytree`] — the shared anytime-index core (see *Architecture* below).
 //! * [`data`] — data sets, synthetic workload generators, folds and stream
 //!   simulators.
 //! * [`bayestree`] — the Bayes tree itself: anytime probability density
 //!   queries, descent strategies, the qbk anytime classifier and bulk loaders.
 //! * [`clustree`] — the anytime stream-clustering extension (ClusTree-style).
 //! * [`eval`] — the experiment harness that regenerates the paper's figures.
+//!
+//! ## Architecture
+//!
+//! The paper's central observation is that the Bayes tree "is essentially an
+//! index structure", and that the stream-clustering extension is the *same*
+//! index with micro-clusters instead of kernels.  The workspace is layered
+//! accordingly:
+//!
+//! ```text
+//! stats ──► index ──► anytree ──► { bayestree, clustree }
+//!                                          │
+//!                       data ──────────────┤
+//!                                          ▼
+//!                                eval ──► bench
+//! ```
+//!
+//! * **`stats`** owns the statistical substrate (cluster features,
+//!   Gaussians, EM, KL) with allocation-lean in-place / into-scratch vector
+//!   variants for the hot paths.
+//! * **`index`** owns the R*-tree geometry: MBRs, page-derived `(m, M)`
+//!   fanout, and choose-subtree / topological-split algorithms that are
+//!   *payload-generic* (`choose_subtree_by`, `rstar_split_by`).
+//! * **`anytree`** is the shared anytime-index core both trees instantiate:
+//!   the node arena (`Vec<Node>`, `NodeId` indices), entries generic over a
+//!   [`anytree::Summary`] payload (merge / weight / distance / decay + an
+//!   optional MBR hook into `index`), budgeted descent with a pluggable step
+//!   cost, hitchhiker/park buffers, and split/overflow propagation.
+//! * **`bayestree`** instantiates the core with an MBR + cluster-feature
+//!   payload over raw kernel points (classification); **`clustree`**
+//!   instantiates it with decaying micro-clusters (clustering).  Each crate
+//!   only implements its leaf policy and split flavour — descent, buffering
+//!   and split propagation exist exactly once.
+//!
+//! One core means one place to add sharding, batching and concurrency — and
+//! new anytime workloads (e.g. outlier scoring over the same index) plug in
+//! by implementing `Summary` + `InsertModel` rather than re-implementing a
+//! tree.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +77,7 @@
 //! ```
 
 pub use bayestree;
+pub use bt_anytree as anytree;
 pub use bt_data as data;
 pub use bt_eval as eval;
 pub use bt_index as index;

@@ -4,22 +4,19 @@
 //! partitioning, and the probability-density-query consistency between the
 //! incremental frontier and the non-incremental reference implementation.
 
-use anytime_stream_mining::bayestree::{
-    build_tree, BulkLoadMethod, DescentStrategy, TreeFrontier,
-};
 use anytime_stream_mining::bayestree::pdq::pdq;
 use anytime_stream_mining::bayestree::BayesTree;
-use anytime_stream_mining::index::{hilbert_sort_order, str_partition, z_order_sort_order, Mbr, PageGeometry};
-use anytime_stream_mining::stats::{ClusterFeature, DiagGaussian};
+use anytime_stream_mining::bayestree::{build_tree, BulkLoadMethod, DescentStrategy, TreeFrontier};
+use anytime_stream_mining::index::{
+    hilbert_sort_order, str_partition, z_order_sort_order, Mbr, PageGeometry,
+};
 use anytime_stream_mining::stats::kl::kl_diag_gaussian;
+use anytime_stream_mining::stats::{ClusterFeature, DiagGaussian};
 use proptest::prelude::*;
 
 /// Strategy producing a small set of bounded 3-d points.
 fn points_strategy(max_len: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(
-        prop::collection::vec(-50.0f64..50.0, 3),
-        1..max_len,
-    )
+    prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 3), 1..max_len)
 }
 
 proptest! {

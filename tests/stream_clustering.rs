@@ -95,8 +95,9 @@ fn snapshots_allow_looking_back_in_time() {
     let late = store.closest_before(1_000.0).expect("late snapshot");
     assert!(late.time >= early.time);
     // The later snapshot summarises at least as much weight.
-    let weight =
-        |s: &[anytime_stream_mining::clustree::MicroCluster]| -> f64 { s.iter().map(|m| m.weight()).sum() };
+    let weight = |s: &[anytime_stream_mining::clustree::MicroCluster]| -> f64 {
+        s.iter().map(|m| m.weight()).sum()
+    };
     assert!(weight(&late.micro_clusters) >= weight(&early.micro_clusters));
 }
 
@@ -124,5 +125,9 @@ fn drifting_sources_stay_separated_with_decay() {
             min_weight: 10.0,
         },
     );
-    assert!(macro_clusters.num_clusters >= 2, "{}", macro_clusters.num_clusters);
+    assert!(
+        macro_clusters.num_clusters >= 2,
+        "{}",
+        macro_clusters.num_clusters
+    );
 }

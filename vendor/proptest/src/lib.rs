@@ -1,0 +1,234 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of the proptest API the workspace's property tests
+//! use: the [`proptest!`] macro, `prop_assert!`-style assertions, range and
+//! collection [`strategy::Strategy`]s and [`test_runner::ProptestConfig`].
+//!
+//! Inputs are generated deterministically (seeded per test name and case
+//! index), so failures are reproducible.  Unlike the real proptest there is
+//! no shrinking: a failing case panics with the ordinary assertion message.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Test-runner configuration.
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` random cases per test.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use core::ops::Range;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u64, u32, i64, f64);
+
+    /// Strategy for vectors of values drawn from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) min_len: usize,
+        pub(crate) max_len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = if self.max_len > self.min_len {
+                rng.random_range(self.min_len..self.max_len)
+            } else {
+                self.min_len
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::strategy::{Strategy, VecStrategy};
+    use core::ops::{Range, RangeInclusive};
+
+    /// Sizes accepted by [`vec`]: an exact length or a range of lengths.
+    pub trait IntoSizeRange {
+        /// `(min, max_exclusive)` bounds on the length.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), self.end() + 1)
+        }
+    }
+
+    /// Strategy generating vectors whose elements come from `element` and
+    /// whose length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min_len, max_len) = size.bounds();
+        VecStrategy {
+            element,
+            min_len,
+            max_len,
+        }
+    }
+}
+
+/// The `prop` namespace mirrored from the real crate (`prop::collection`).
+pub mod prop {
+    pub use super::collection;
+}
+
+/// The usual glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use super::prop;
+    pub use super::strategy::Strategy;
+    pub use super::test_runner::ProptestConfig;
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[doc(hidden)]
+#[must_use]
+pub fn fnv1a(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { .. }` becomes
+/// an ordinary `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let salt = $crate::fnv1a(stringify!($name));
+            for case in 0..config.cases {
+                let seed = salt ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let mut rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(seed);
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut rng);)*
+                $body
+            }
+        }
+    )*};
+}
+
+/// Boolean property assertion (no shrinking; behaves like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality property assertion (behaves like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality property assertion (behaves like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_vecs() -> impl Strategy<Value = Vec<f64>> {
+        prop::collection::vec(-1.0f64..1.0, 1..8)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -5.0f64..5.0, n in 1usize..10) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_respects_length_and_bounds(v in small_vecs()) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn fixed_length_collections_work(v in prop::collection::vec(0.0f64..1.0, 3)) {
+            prop_assert_eq!(v.len(), 3);
+        }
+    }
+}
