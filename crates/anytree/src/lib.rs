@@ -13,7 +13,16 @@
 //!   splits through `bt_index::rstar` choose-subtree and the R* topological
 //!   split,
 //! * **budgeted descent** with a pluggable per-level step cost
-//!   ([`InsertModel::step_cost`]),
+//!   ([`InsertModel::step_cost`]), implemented as an iterative, resumable
+//!   cursor engine ([`descent`]): a [`DescentCursor`] holds one in-flight
+//!   insertion (node, depth, remaining budget, carried object plus picked-up
+//!   hitchhikers) and advances one node per step — no recursion, and the
+//!   literal stop/resume-anywhere anytime contract,
+//! * **mini-batch insertion** ([`AnytimeTree::insert_batch`]): a batch
+//!   shares one summary refresh per visited node, one routing scratch
+//!   allocation per tree, and one overflow resolution per node after the
+//!   batch drains, reporting a reached-leaf vs. parked-at-depth
+//!   [`DepthHistogram`],
 //! * **hitchhiker / park buffers**: an object that runs out of budget is
 //!   parked in its entry's buffer and carried further down by a later
 //!   descent through the same entry,
@@ -31,12 +40,14 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod descent;
 pub mod model;
 pub mod node;
 pub mod split;
 pub mod summary;
 pub mod tree;
 
+pub use descent::{BatchOutcome, CursorStep, DepthHistogram, DescentCursor};
 pub use model::InsertModel;
 pub use node::{Entry, Node, NodeId, NodeKind};
 pub use split::{distribute, merge_closest_pair, polar_partition};

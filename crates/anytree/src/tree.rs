@@ -1,10 +1,14 @@
-//! The arena tree and its budgeted insertion algorithm.
+//! The arena tree and its budgeted insertion API.
+//!
+//! The descent algorithm itself — the iterative cursor engine, mini-batch
+//! insertion and deferred split repair — lives in [`crate::descent`]; this
+//! module owns the arena, the node/summary accessors and the single-object
+//! [`AnytimeTree::insert`] convenience wrapper.
 
+use crate::descent::{DescentCursor, DescentScratch};
 use crate::model::InsertModel;
 use crate::node::{Entry, Node, NodeId, NodeKind};
-use crate::split::split_entries;
 use crate::summary::Summary;
-use bt_index::rstar::choose_subtree_by;
 use bt_index::PageGeometry;
 
 /// What happened to an inserted object.
@@ -21,10 +25,6 @@ pub enum InsertOutcome {
     },
 }
 
-/// A pending split travelling up the recursion: the two entries replacing
-/// the overflowed child's entry in its parent.
-type SplitPair<S> = Option<(Entry<S>, Entry<S>)>;
-
 /// The shared anytime index: a balanced arena tree whose directory entries
 /// aggregate a payload [`Summary`] of their subtree.
 #[derive(Debug, Clone)]
@@ -34,6 +34,8 @@ pub struct AnytimeTree<S: Summary, L> {
     nodes: Vec<Node<S, L>>,
     root: NodeId,
     height: usize,
+    scratch: DescentScratch<S>,
+    summary_refreshes: u64,
 }
 
 impl<S: Summary, L: Clone + std::fmt::Debug> AnytimeTree<S, L> {
@@ -52,6 +54,8 @@ impl<S: Summary, L: Clone + std::fmt::Debug> AnytimeTree<S, L> {
             nodes: vec![Node::empty_leaf()],
             root: 0,
             height: 1,
+            scratch: DescentScratch::new(),
+            summary_refreshes: 0,
         }
     }
 
@@ -100,6 +104,41 @@ impl<S: Summary, L: Clone + std::fmt::Debug> AnytimeTree<S, L> {
     pub fn set_root(&mut self, root: NodeId, height: usize) {
         self.root = root;
         self.height = height;
+    }
+
+    /// Number of payload-summary refresh operations performed by descents so
+    /// far (one per directory entry or leaf item brought up to date).
+    /// Batched insertion refreshes each visited node once per batch, so this
+    /// counter grows strictly slower than under sequential insertion — the
+    /// benches assert exactly that.
+    #[must_use]
+    pub fn summary_refreshes(&self) -> u64 {
+        self.summary_refreshes
+    }
+
+    pub(crate) fn count_refreshes(&mut self, ops: u64) {
+        self.summary_refreshes += ops;
+    }
+
+    pub(crate) fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub(crate) fn scratch(&self) -> &DescentScratch<S> {
+        &self.scratch
+    }
+
+    pub(crate) fn scratch_mut(&mut self) -> &mut DescentScratch<S> {
+        &mut self.scratch
+    }
+
+    /// Split borrow of the node arena and the descent scratch, for the
+    /// engine's routing step (which reads entries and writes the routing
+    /// buffer at the same time).
+    pub(crate) fn nodes_and_scratch_mut(
+        &mut self,
+    ) -> (&mut Vec<Node<S, L>>, &mut DescentScratch<S>) {
+        (&mut self.nodes, &mut self.scratch)
     }
 
     /// The ids of every node reachable from the root, in depth-first order.
@@ -192,189 +231,19 @@ impl<S: Summary, L: Clone + std::fmt::Debug> AnytimeTree<S, L> {
     /// buffered models); unbuffered models ignore the budget.  Overflowing
     /// nodes split (when the model allows it) and splits propagate upward;
     /// a root split grows the tree by one level.
+    ///
+    /// This is a batch of one over the iterative engine in
+    /// [`crate::descent`]; [`Self::insert_batch`](AnytimeTree::insert_batch)
+    /// amortises summary refreshes and split handling over a mini-batch.
     pub fn insert<M>(&mut self, model: &mut M, obj: M::Object, budget: usize) -> InsertOutcome
     where
         M: InsertModel<S, LeafItem = L>,
     {
-        let mut scratch = Vec::new();
-        let root = self.root;
-        let (outcome, split) = self.insert_rec(model, root, obj, budget, 1, &mut scratch);
-        if let Some((e1, e2)) = split {
-            let new_root = self.push_node(Node::inner(vec![e1, e2]));
-            self.root = new_root;
-            self.height += 1;
-        }
+        self.begin_batch();
+        let mut cursor = DescentCursor::start(self, obj, budget);
+        let outcome = self.drive_cursor(model, &mut cursor);
+        self.finish_batch(model);
         outcome
-    }
-
-    #[allow(clippy::too_many_lines)]
-    fn insert_rec<M>(
-        &mut self,
-        model: &mut M,
-        node_id: NodeId,
-        mut obj: M::Object,
-        budget: usize,
-        depth: usize,
-        scratch: &mut Vec<f64>,
-    ) -> (InsertOutcome, SplitPair<S>)
-    where
-        M: InsertModel<S, LeafItem = L>,
-    {
-        let ctx = model.ctx();
-        let has_time = budget > 0;
-
-        // Leaf: hand the object to the model's leaf policy.
-        if self.nodes[node_id].is_leaf() {
-            let items = self.nodes[node_id].items_mut();
-            model.refresh_leaf_items(items);
-            model.insert_into_leaf(items, obj);
-            let split = self.handle_overflow(model, node_id, has_time);
-            return (InsertOutcome::ReachedLeaf, split);
-        }
-
-        // Directory node: refresh summaries, route, absorb.
-        let (child, descend) = {
-            let entries = self.nodes[node_id].entries_mut();
-            for e in entries.iter_mut() {
-                e.summary.refresh(ctx);
-                if let Some(b) = &mut e.buffer {
-                    b.refresh(ctx);
-                }
-            }
-            let idx = route(entries, model, &obj, scratch);
-            // The object ends up somewhere below this entry either way, so
-            // the aggregate absorbs it now.
-            model.absorb_into(&mut entries[idx].summary, &obj);
-
-            if M::BUFFERED && budget == 0 {
-                // Out of time: park the object in the hitchhiker buffer.
-                match &mut entries[idx].buffer {
-                    Some(b) => model.absorb_into(b, &obj),
-                    slot @ None => *slot = Some(model.summary_of(&obj)),
-                }
-                return (InsertOutcome::Parked { depth }, None);
-            }
-            if M::BUFFERED {
-                // Pick up waiting hitchhikers and carry them down.
-                if let Some(buffer) = entries[idx].buffer.take() {
-                    model.merge_buffer_into_object(&mut obj, buffer);
-                }
-            }
-            (entries[idx].child, idx)
-        };
-
-        let cost = model.step_cost();
-        let (outcome, child_split) = self.insert_rec(
-            model,
-            child,
-            obj,
-            budget.saturating_sub(cost),
-            depth + 1,
-            scratch,
-        );
-        if let Some((e1, e2)) = child_split {
-            let entries = self.nodes[node_id].entries_mut();
-            entries[descend] = e1;
-            entries.push(e2);
-        }
-        let split = self.handle_overflow(model, node_id, has_time);
-        (outcome, split)
-    }
-
-    /// Handles an overfull node: splits it when the model allows, otherwise
-    /// falls back to the model's collapse policy (leaves) or tolerates the
-    /// bounded overflow (directory nodes).
-    fn handle_overflow<M>(&mut self, model: &M, node_id: NodeId, has_time: bool) -> SplitPair<S>
-    where
-        M: InsertModel<S, LeafItem = L>,
-    {
-        let is_leaf = self.nodes[node_id].is_leaf();
-        let cap = if is_leaf {
-            self.geometry.max_leaf
-        } else {
-            self.geometry.max_fanout
-        };
-        if self.nodes[node_id].len() <= cap {
-            return None;
-        }
-        if !model.may_split(has_time) {
-            if is_leaf {
-                model.collapse_leaf_items(self.nodes[node_id].items_mut());
-            }
-            // Directory overflow without permission to split is tolerated:
-            // it is bounded by one extra entry per insertion and resolved by
-            // a later descent with time to spare.
-            return None;
-        }
-        Some(if is_leaf {
-            self.split_leaf(model, node_id)
-        } else {
-            self.split_inner(model.ctx(), node_id)
-        })
-    }
-
-    fn split_leaf<M>(&mut self, model: &M, node_id: NodeId) -> (Entry<S>, Entry<S>)
-    where
-        M: InsertModel<S, LeafItem = L>,
-    {
-        let items = std::mem::take(self.nodes[node_id].items_mut());
-        let (first, second) = model.split_leaf_items(items, &self.geometry);
-        *self.nodes[node_id].items_mut() = first;
-        let new_node = self.push_node(Node::leaf(second));
-        (
-            Entry::new(
-                model.summarize_leaf_items(self.nodes[node_id].items()),
-                node_id,
-            ),
-            Entry::new(
-                model.summarize_leaf_items(self.nodes[new_node].items()),
-                new_node,
-            ),
-        )
-    }
-
-    fn split_inner(&mut self, ctx: S::Ctx, node_id: NodeId) -> (Entry<S>, Entry<S>) {
-        let entries = std::mem::take(self.nodes[node_id].entries_mut());
-        let (first, second) = split_entries(entries, &self.geometry);
-        *self.nodes[node_id].entries_mut() = first;
-        let new_node = self.push_node(Node::inner(second));
-        (
-            self.summarize_inner(node_id, ctx),
-            self.summarize_inner(new_node, ctx),
-        )
-    }
-}
-
-/// Chooses the entry the object descends into: by R* least enlargement for
-/// MBR-routed payloads, by closest summary otherwise.
-fn route<S, M>(entries: &[Entry<S>], model: &M, obj: &M::Object, scratch: &mut Vec<f64>) -> usize
-where
-    S: Summary,
-    M: InsertModel<S>,
-{
-    debug_assert!(!entries.is_empty(), "directory nodes are never empty");
-    let point = model.route_point(obj, scratch);
-    if S::MBR_ROUTED {
-        choose_subtree_by(
-            entries,
-            |e| {
-                e.summary
-                    .as_mbr()
-                    .expect("MBR-routed payload exposes an MBR")
-            },
-            point,
-        )
-    } else {
-        entries
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                let da = a.summary.sq_dist_to(point);
-                let db = b.summary.sq_dist_to(point);
-                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .map(|(i, _)| i)
-            .expect("directory node has entries")
     }
 }
 
@@ -564,5 +433,118 @@ mod tests {
             );
         }
         assert_eq!(tree.height(), tree.measure_depth(tree.root()));
+    }
+
+    #[test]
+    fn batched_inserts_conserve_mass_and_match_height_bookkeeping() {
+        let mut tree = AnytimeTree::new(2, geometry());
+        let mut model = BlobModel;
+        for chunk in 0..10 {
+            let batch: Vec<Blob> = (0..16)
+                .map(|i| {
+                    let c = if (chunk + i) % 2 == 0 { 0.0 } else { 20.0 };
+                    blob(c + (i % 5) as f64 * 0.1, c + (chunk % 3) as f64 * 0.1)
+                })
+                .collect();
+            let result = tree.insert_batch(&mut model, batch, usize::MAX);
+            assert_eq!(result.outcomes.len(), 16);
+            assert_eq!(result.depths.total(), 16);
+            assert_eq!(result.depths.reached_leaf, 16);
+        }
+        assert!((total_weight(&tree) - 160.0).abs() < 1e-9);
+        assert_eq!(tree.height(), tree.measure_depth(tree.root()));
+    }
+
+    #[test]
+    fn batch_of_one_is_equivalent_to_sequential_insert() {
+        let points: Vec<Blob> = (0..120)
+            .map(|i| blob((i % 13) as f64, ((i * 7) % 11) as f64))
+            .collect();
+        let mut sequential = AnytimeTree::new(2, geometry());
+        let mut batched = AnytimeTree::new(2, geometry());
+        let mut model = BlobModel;
+        for (i, p) in points.iter().enumerate() {
+            let budget = i % 5;
+            let a = sequential.insert(&mut model, p.clone(), budget);
+            let b = batched.insert_batch(&mut model, vec![p.clone()], budget);
+            assert_eq!(a, b.outcomes[0]);
+        }
+        assert_eq!(sequential.num_nodes(), batched.num_nodes());
+        assert_eq!(sequential.height(), batched.height());
+        assert!((total_weight(&sequential) - total_weight(&batched)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_budget_batch_parks_everything_and_reports_depths() {
+        let mut tree = AnytimeTree::new(2, geometry());
+        let mut model = BlobModel;
+        for i in 0..40 {
+            tree.insert(&mut model, blob(i as f64, 0.0), usize::MAX);
+        }
+        assert!(tree.height() > 1);
+        let batch: Vec<Blob> = (0..8).map(|i| blob(i as f64, 0.0)).collect();
+        let result = tree.insert_batch(&mut model, batch, 0);
+        assert_eq!(result.depths.reached_leaf, 0);
+        assert_eq!(result.depths.parked_total(), 8);
+        assert_eq!(result.depths.mean_parked_depth(), Some(1.0));
+        assert!((total_weight(&tree) - 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_insertion_refreshes_fewer_summaries() {
+        let points: Vec<Blob> = (0..256)
+            .map(|i| blob((i % 17) as f64, ((i * 5) % 13) as f64))
+            .collect();
+        let mut model = BlobModel;
+        let mut sequential = AnytimeTree::new(2, geometry());
+        for p in &points {
+            sequential.insert(&mut model, p.clone(), usize::MAX);
+        }
+        let mut batched = AnytimeTree::new(2, geometry());
+        for chunk in points.chunks(64) {
+            batched.insert_batch(&mut model, chunk.to_vec(), usize::MAX);
+        }
+        assert!(
+            batched.summary_refreshes() < sequential.summary_refreshes(),
+            "batched {} refreshes vs sequential {}",
+            batched.summary_refreshes(),
+            sequential.summary_refreshes()
+        );
+    }
+
+    #[test]
+    fn stepping_a_cursor_walks_one_node_at_a_time() {
+        use crate::descent::CursorStep;
+        let mut tree = AnytimeTree::new(2, geometry());
+        let mut model = BlobModel;
+        for i in 0..60 {
+            tree.insert(
+                &mut model,
+                blob((i % 10) as f64, (i % 6) as f64),
+                usize::MAX,
+            );
+        }
+        let height = tree.height();
+        assert!(height > 1);
+        tree.begin_batch();
+        let mut cursor = DescentCursor::start(&tree, blob(1.0, 1.0), usize::MAX);
+        let mut steps = 0;
+        loop {
+            assert_eq!(cursor.depth(), steps + 1);
+            match tree.step_cursor(&mut model, &mut cursor) {
+                CursorStep::Descended { depth, .. } => {
+                    steps += 1;
+                    assert_eq!(depth, steps + 1);
+                }
+                CursorStep::Finished(outcome) => {
+                    assert_eq!(outcome, InsertOutcome::ReachedLeaf);
+                    break;
+                }
+            }
+        }
+        assert!(cursor.is_finished());
+        assert_eq!(steps + 1, height);
+        tree.finish_batch(&mut model);
+        assert!((total_weight(&tree) - 61.0).abs() < 1e-9);
     }
 }

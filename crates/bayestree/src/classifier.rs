@@ -197,7 +197,41 @@ impl AnytimeClassifier {
     pub fn learn_one(&mut self, point: Vec<f64>, label: usize) {
         assert!(label < self.trees.len(), "label out of range");
         self.trees[label].insert(point);
-        // Refresh the priors from the new class counts.
+        self.refresh_priors();
+    }
+
+    /// Incrementally learns a mini-batch of labelled observations: the batch
+    /// is grouped by class and each group is routed through its tree's
+    /// batched descent engine ([`BayesTree::insert_batch`]), sharing summary
+    /// refreshes and split handling per tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any label is out of range or any point has the wrong
+    /// dimensionality.
+    pub fn learn_batch(&mut self, batch: Vec<(Vec<f64>, usize)>) {
+        assert!(
+            batch.iter().all(|(_, l)| *l < self.trees.len()),
+            "label out of range"
+        );
+        assert!(
+            batch.iter().all(|(p, _)| p.len() == self.dims),
+            "point dimensionality mismatch"
+        );
+        let mut per_class: Vec<Vec<Vec<f64>>> = vec![Vec::new(); self.trees.len()];
+        for (point, label) in batch {
+            per_class[label].push(point);
+        }
+        for (tree, points) in self.trees.iter_mut().zip(per_class) {
+            if !points.is_empty() {
+                tree.insert_batch(points);
+            }
+        }
+        self.refresh_priors();
+    }
+
+    /// Refreshes the priors from the per-class observation counts.
+    fn refresh_priors(&mut self) {
         let total: f64 = self.trees.iter().map(|t| t.len() as f64).sum();
         for (prior, tree) in self.priors.iter_mut().zip(&self.trees) {
             *prior = tree.len() as f64 / total;

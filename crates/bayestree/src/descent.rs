@@ -8,6 +8,14 @@
 //! probability density the entry contributes for the query).  The paper finds
 //! global-best descent with the probabilistic measure to perform best; the
 //! oscillation analysis of Figure 4 compares it against breadth-first.
+//!
+//! These strategies order the *query-side* frontier refinement.  The
+//! *insertion-side* descent — the budgeted root-to-leaf walk that builds and
+//! maintains the tree — is the shared iterative cursor engine in
+//! [`bt_anytree::descent`], which [`crate::insert`] and the batched entry
+//! points ([`crate::BayesTree::insert_batch`],
+//! [`crate::AnytimeClassifier::learn_batch`],
+//! [`crate::SingleTreeClassifier::insert_batch`]) drive.
 
 /// Priority measure used by global-best descent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]

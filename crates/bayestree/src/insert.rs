@@ -9,10 +9,13 @@
 //! online learning.
 //!
 //! The descent, ancestor-summary maintenance and split propagation live in
-//! the shared [`bt_anytree`] core; this module only supplies the
-//! kernel-specific [`InsertModel`]: raw points as leaf items, R* leaf splits
-//! over per-point MBRs, no hitchhiker buffering (every insertion descends to
-//! a leaf, i.e. an unbounded budget).
+//! the shared [`bt_anytree`] core (an iterative cursor engine, see
+//! [`bt_anytree::descent`]); this module only supplies the kernel-specific
+//! [`InsertModel`]: raw points as leaf items, R* leaf splits over per-point
+//! MBRs, no hitchhiker buffering (every insertion descends to a leaf, i.e.
+//! an unbounded budget).  [`BayesTree::insert_batch`] routes a mini-batch
+//! through the core's batched engine, sharing summary refreshes and split
+//! handling across the batch.
 
 use crate::node::KernelSummary;
 use crate::tree::BayesTree;
@@ -82,6 +85,28 @@ impl BayesTree {
         for p in points {
             self.insert(p);
         }
+    }
+
+    /// Inserts a mini-batch of observations through the core's batched
+    /// descent engine: every node visited by the batch refreshes its entry
+    /// summaries once, and overflowing nodes split once after the whole
+    /// batch has drained.  Structurally equivalent to sequential insertion
+    /// for a batch of one; larger batches may group splits differently (both
+    /// are valid trees covering the same data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point has the wrong dimensionality.
+    pub fn insert_batch(&mut self, points: Vec<Vec<f64>>) {
+        let dims = self.dims();
+        assert!(
+            points.iter().all(|p| p.len() == dims),
+            "point dimensionality mismatch"
+        );
+        let count = points.len();
+        let mut model = KernelModel { dims };
+        let _ = self.core_mut().insert_batch(&mut model, points, usize::MAX);
+        self.add_points(count);
     }
 
     /// Builds a tree by inserting `points` one at a time (the paper's
@@ -204,5 +229,59 @@ mod tests {
     fn wrong_dims_panics() {
         let mut tree = BayesTree::new(2, small_geometry());
         tree.insert(vec![1.0]);
+    }
+
+    #[test]
+    fn batch_of_one_matches_sequential_insertion() {
+        let points = random_points(200, 2, 9);
+        let mut sequential = BayesTree::new(2, small_geometry());
+        let mut batched = BayesTree::new(2, small_geometry());
+        for p in &points {
+            sequential.insert(p.clone());
+            batched.insert_batch(vec![p.clone()]);
+        }
+        assert_eq!(sequential.len(), batched.len());
+        assert_eq!(sequential.height(), batched.height());
+        assert_eq!(sequential.num_nodes(), batched.num_nodes());
+        batched.validate(true).expect("valid tree");
+    }
+
+    #[test]
+    fn batched_insertion_builds_a_valid_tree() {
+        let points = random_points(500, 3, 10);
+        let mut tree = BayesTree::new(3, small_geometry());
+        for chunk in points.chunks(16) {
+            tree.insert_batch(chunk.to_vec());
+        }
+        assert_eq!(tree.len(), 500);
+        tree.validate(true).expect("tree invariants hold");
+        let total: f64 = tree.root_entries().iter().map(Entry::weight).sum();
+        assert!((total - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batched_insertion_refreshes_fewer_summaries() {
+        let points = random_points(600, 2, 11);
+        let mut sequential = BayesTree::new(2, small_geometry());
+        for p in &points {
+            sequential.insert(p.clone());
+        }
+        let mut batched = BayesTree::new(2, small_geometry());
+        for chunk in points.chunks(64) {
+            batched.insert_batch(chunk.to_vec());
+        }
+        assert!(
+            batched.summary_refreshes() < sequential.summary_refreshes(),
+            "batched {} vs sequential {}",
+            batched.summary_refreshes(),
+            sequential.summary_refreshes()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn batch_with_wrong_dims_panics() {
+        let mut tree = BayesTree::new(2, small_geometry());
+        tree.insert_batch(vec![vec![1.0, 2.0], vec![1.0]]);
     }
 }

@@ -171,14 +171,30 @@ pub struct SingleTreeClassifier {
 
 impl SingleTreeClassifier {
     /// Trains the classifier by iteratively inserting the whole data set into
-    /// one shared tree.
+    /// one shared tree (a batch size of 1 over
+    /// [`Self::train_batched`] — observably the same construction).
     ///
     /// # Panics
     ///
     /// Panics if the data set is empty.
     #[must_use]
     pub fn train(dataset: &Dataset, config: &SingleTreeConfig) -> Self {
+        Self::train_batched(dataset, config, 1)
+    }
+
+    /// Trains the classifier by inserting the data set in mini-batches of
+    /// `batch_size` through the shared core's batched descent engine
+    /// ([`bt_anytree::descent`]): each visited node refreshes its summaries
+    /// once per batch and splits once after the batch drains.  A batch size
+    /// of 1 builds exactly the tree [`Self::train`] builds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data set is empty or `batch_size == 0`.
+    #[must_use]
+    pub fn train_batched(dataset: &Dataset, config: &SingleTreeConfig, batch_size: usize) -> Self {
         assert!(!dataset.is_empty(), "cannot train on an empty data set");
+        assert!(batch_size > 0, "batch size must be positive");
         let dims = dataset.dims();
         let geometry = config
             .geometry
@@ -191,8 +207,15 @@ impl SingleTreeClassifier {
             bandwidth: silverman_bandwidth(dataset.features(), dims),
             config: config.clone(),
         };
-        for (x, &y) in dataset.iter() {
-            clf.insert(x.to_vec(), y);
+        let n = dataset.len();
+        let mut start = 0;
+        while start < n {
+            let end = (start + batch_size).min(n);
+            let chunk: Vec<McPoint> = (start..end)
+                .map(|i| (dataset.feature(i).to_vec(), dataset.label(i)))
+                .collect();
+            clf.insert_batch(chunk);
+            start = end;
         }
         clf
     }
@@ -234,6 +257,39 @@ impl SingleTreeClassifier {
         };
         let _ = self.core.insert(&mut model, (point, label), usize::MAX);
         self.class_totals[label] += 1.0;
+        self.refresh_priors();
+    }
+
+    /// Inserts a mini-batch of labelled observations through the core's
+    /// batched descent engine, sharing summary refreshes and split handling
+    /// across the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any label is out of range or any point has the wrong
+    /// dimensionality.
+    pub fn insert_batch(&mut self, batch: Vec<(Vec<f64>, usize)>) {
+        let dims = self.core.dims();
+        assert!(
+            batch.iter().all(|(p, _)| p.len() == dims),
+            "point dimensionality mismatch"
+        );
+        assert!(
+            batch.iter().all(|(_, l)| *l < self.num_classes),
+            "label out of range"
+        );
+        let mut model = LabeledModel {
+            dims,
+            num_classes: self.num_classes,
+        };
+        for (_, label) in &batch {
+            self.class_totals[*label] += 1.0;
+        }
+        let _ = self.core.insert_batch(&mut model, batch, usize::MAX);
+        self.refresh_priors();
+    }
+
+    fn refresh_priors(&mut self) {
         let total: f64 = self.class_totals.iter().sum();
         for (p, &c) in self.priors.iter_mut().zip(&self.class_totals) {
             *p = c / total;
@@ -601,6 +657,37 @@ mod tests {
     fn class_entropy_is_zero_for_pure_nodes() {
         assert_eq!(class_entropy(&[5.0, 0.0, 0.0]), 0.0);
         assert!(class_entropy(&[5.0, 5.0]) > 0.6);
+    }
+
+    #[test]
+    fn batched_training_with_batch_size_one_matches_sequential() {
+        let data = dataset();
+        let sequential = SingleTreeClassifier::train(&data, &SingleTreeConfig::default());
+        let batched = SingleTreeClassifier::train_batched(&data, &SingleTreeConfig::default(), 1);
+        assert_eq!(sequential.len(), batched.len());
+        for i in [0usize, 7, 19] {
+            let a = sequential.classify_with_budget(data.feature(i), 15);
+            let b = batched.classify_with_budget(data.feature(i), 15);
+            assert_eq!(a.label, b.label);
+            for (pa, pb) in a.posteriors.iter().zip(&b.posteriors) {
+                assert!((pa - pb).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_training_classifies_accurately() {
+        let data = dataset();
+        let (train, test) = data.split_holdout(0.3, 5);
+        let clf = SingleTreeClassifier::train_batched(&train, &SingleTreeConfig::default(), 16);
+        let mut correct = 0;
+        for (x, &y) in test.iter() {
+            if clf.classify_with_budget(x, 20).label == y {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / test.len() as f64;
+        assert!(acc > 0.85, "accuracy {acc}");
     }
 
     #[test]

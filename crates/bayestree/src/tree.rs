@@ -372,6 +372,20 @@ impl BayesTree {
         self.num_points += 1;
     }
 
+    /// Adds `count` to the stored observation count (used by batched
+    /// insertion).
+    pub(crate) fn add_points(&mut self, count: usize) {
+        self.num_points += count;
+    }
+
+    /// Number of payload-summary refresh operations performed by descents so
+    /// far — batched insertion refreshes each visited node once per batch,
+    /// so it grows this counter strictly slower than sequential insertion.
+    #[must_use]
+    pub fn summary_refreshes(&self) -> u64 {
+        self.core.summary_refreshes()
+    }
+
     /// Maximum leaf depth below `node` (a leaf has depth 1).  Used by the
     /// bulk loaders to record the height of a freshly assembled tree.
     pub(crate) fn measure_depth(&self, node: NodeId) -> usize {

@@ -1,0 +1,121 @@
+//! Criterion bench: single-object vs. mini-batch insertion throughput on the
+//! shared batched descent engine, at batch sizes 1 / 8 / 64.
+//!
+//! Batching amortises the per-node summary refresh (and the split handling)
+//! over the batch; the bench additionally prints the trees' refresh counters
+//! so the saving is visible directly: at batch size `b` the engine performs
+//! roughly `1/b` of the sequential path's refresh operations.
+
+use bayestree::BayesTree;
+use bt_data::stream::DriftingStream;
+use bt_data::synth::Benchmark;
+use bt_index::PageGeometry;
+use clustree::{ClusTree, ClusTreeConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const STREAM_LEN: usize = 4_000;
+const NODE_BUDGET: usize = 8;
+
+fn clustree_stream() -> Vec<Vec<f64>> {
+    DriftingStream::new(4, 3, 0.3, 0.002, 17)
+        .generate(STREAM_LEN)
+        .into_iter()
+        .map(|(p, _)| p)
+        .collect()
+}
+
+fn build_clustree_batched(points: &[Vec<f64>], batch_size: usize) -> ClusTree {
+    let mut tree = ClusTree::new(3, ClusTreeConfig::default());
+    if batch_size <= 1 {
+        for (t, p) in points.iter().enumerate() {
+            tree.insert(p, t as f64, NODE_BUDGET);
+        }
+    } else {
+        for (batch_idx, chunk) in points.chunks(batch_size).enumerate() {
+            tree.insert_batch(chunk, (batch_idx * batch_size) as f64, NODE_BUDGET);
+        }
+    }
+    tree
+}
+
+fn build_bayestree_batched(points: &[Vec<f64>], dims: usize, batch_size: usize) -> BayesTree {
+    let geometry = PageGeometry::default_for_dims(dims);
+    let mut tree = BayesTree::new(dims, geometry);
+    if batch_size <= 1 {
+        for p in points {
+            tree.insert(p.clone());
+        }
+    } else {
+        for chunk in points.chunks(batch_size) {
+            tree.insert_batch(chunk.to_vec());
+        }
+    }
+    tree
+}
+
+/// Prints the refresh counters once, outside the timed loops: the measured
+/// evidence that batched descent refreshes fewer summaries per object.
+fn report_refresh_savings(clus_points: &[Vec<f64>], bayes_points: &[Vec<f64>], dims: usize) {
+    eprintln!("summary refresh operations over {STREAM_LEN} objects (lower is better):");
+    let sequential_refreshes = build_clustree_batched(clus_points, 1).summary_refreshes();
+    for &batch_size in &[1usize, 8, 64] {
+        let clus = build_clustree_batched(clus_points, batch_size);
+        let bayes = build_bayestree_batched(bayes_points, dims, batch_size);
+        eprintln!(
+            "  batch {batch_size:>2}: clustree {:>8}, bayestree {:>8}",
+            clus.summary_refreshes(),
+            bayes.summary_refreshes()
+        );
+        if batch_size > 1 {
+            assert!(
+                clus.summary_refreshes() < sequential_refreshes,
+                "batched descent must refresh fewer summaries than sequential"
+            );
+        }
+    }
+}
+
+fn batch_insert_benchmarks(c: &mut Criterion) {
+    let clus_points = clustree_stream();
+    let bayes_dataset = Benchmark::Pendigits.generate(STREAM_LEN, 11);
+    let dims = bayes_dataset.dims();
+    let bayes_points: Vec<Vec<f64>> = bayes_dataset.features().to_vec();
+
+    report_refresh_savings(&clus_points, &bayes_points, dims);
+
+    let mut group = c.benchmark_group("clustree_batch_insert");
+    for &batch_size in &[1usize, 8, 64] {
+        group.throughput(Throughput::Elements(STREAM_LEN as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(batch_size),
+            &batch_size,
+            |b, &batch_size| {
+                b.iter(|| {
+                    let tree = build_clustree_batched(black_box(&clus_points), batch_size);
+                    black_box(tree.num_nodes())
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("bayestree_batch_insert");
+    for &batch_size in &[1usize, 8, 64] {
+        group.throughput(Throughput::Elements(STREAM_LEN as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(batch_size),
+            &batch_size,
+            |b, &batch_size| {
+                b.iter(|| {
+                    let tree = build_bayestree_batched(black_box(&bayes_points), dims, batch_size);
+                    black_box(tree.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, batch_insert_benchmarks);
+criterion_main!(benches);

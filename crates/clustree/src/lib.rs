@@ -42,4 +42,4 @@ pub mod tree;
 pub use microcluster::{DecayCtx, MicroCluster};
 pub use offline::{weighted_dbscan, DbscanConfig, MacroClustering};
 pub use snapshot::SnapshotStore;
-pub use tree::{ClusTree, ClusTreeConfig, InsertOutcome};
+pub use tree::{BatchOutcome, ClusTree, ClusTreeConfig, DepthHistogram, InsertOutcome};

@@ -31,7 +31,7 @@ use crate::microcluster::{DecayCtx, MicroCluster};
 use bt_anytree::{AnytimeTree, InsertModel, Node, NodeId, NodeKind};
 use bt_index::PageGeometry;
 
-pub use bt_anytree::InsertOutcome;
+pub use bt_anytree::{BatchOutcome, DepthHistogram, InsertOutcome};
 
 /// Configuration of the anytime clustering tree.
 #[derive(Debug, Clone)]
@@ -274,6 +274,55 @@ impl ClusTree {
         self.core.insert(&mut model, payload, node_budget)
     }
 
+    /// Inserts a mini-batch of objects observed at `timestamp`, each with a
+    /// budget of `node_budget` node reads, through the core's batched
+    /// descent engine ([`bt_anytree::descent`]).
+    ///
+    /// Within the batch every visited node refreshes (decays) its entry
+    /// summaries once instead of once per object — observably equivalent for
+    /// objects sharing a timestamp, since decay is idempotent at a fixed
+    /// instant — and overflowing nodes split once after the batch drains.
+    /// Objects are routed in input order, so a later object picks up
+    /// hitchhikers parked by an earlier one exactly as sequential insertion
+    /// would.  The returned [`BatchOutcome`] carries the per-object outcomes
+    /// plus the reached-leaf vs. parked-at-depth histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point has the wrong dimensionality.
+    pub fn insert_batch(
+        &mut self,
+        points: &[Vec<f64>],
+        timestamp: f64,
+        node_budget: usize,
+    ) -> BatchOutcome {
+        let dims = self.dims();
+        assert!(
+            points.iter().all(|p| p.len() == dims),
+            "point dimensionality mismatch"
+        );
+        self.current_time = self.current_time.max(timestamp);
+        self.num_inserted += points.len();
+        let payloads: Vec<MicroCluster> = points
+            .iter()
+            .map(|p| MicroCluster::from_point(p, timestamp))
+            .collect();
+        let mut model = ClusModel {
+            config: &self.config,
+            now: timestamp,
+        };
+        self.core.insert_batch(&mut model, payloads, node_budget)
+    }
+
+    /// Number of payload-summary refresh (decay) operations performed by
+    /// descents so far.  Batched insertion refreshes each visited node once
+    /// per batch, so it grows this counter strictly slower than sequential
+    /// insertion.
+    #[must_use]
+    pub fn summary_refreshes(&self) -> u64 {
+        self.core.summary_refreshes()
+    }
+
     /// All current micro-clusters: the leaf entries plus any non-empty
     /// hitchhiker buffers, decayed to the tree's current time.
     #[must_use]
@@ -514,5 +563,72 @@ mod tests {
     fn wrong_dims_panics() {
         let mut tree = ClusTree::new(2, ClusTreeConfig::default());
         tree.insert(&[1.0], 0.0, 1);
+    }
+
+    #[test]
+    fn batch_of_one_matches_sequential_insertion() {
+        let stream = two_cluster_stream(250);
+        let mut sequential = ClusTree::new(2, ClusTreeConfig::default());
+        let mut batched = ClusTree::new(2, ClusTreeConfig::default());
+        for (i, (p, t)) in stream.iter().enumerate() {
+            let budget = i % 6;
+            let a = sequential.insert(p, *t, budget);
+            let b = batched.insert_batch(std::slice::from_ref(p), *t, budget);
+            assert_eq!(a, b.outcomes[0]);
+        }
+        assert_eq!(sequential.num_nodes(), batched.num_nodes());
+        assert_eq!(sequential.height(), batched.height());
+        assert!((sequential.total_weight() - batched.total_weight()).abs() < 1e-9);
+        batched.validate().expect("valid tree");
+    }
+
+    #[test]
+    fn batched_inserts_conserve_mass_and_stay_valid() {
+        let stream = two_cluster_stream(512);
+        let mut tree = ClusTree::new(2, ClusTreeConfig::default());
+        for (batch_idx, chunk) in stream.chunks(32).enumerate() {
+            let points: Vec<Vec<f64>> = chunk.iter().map(|(p, _)| p.clone()).collect();
+            let result = tree.insert_batch(&points, batch_idx as f64, 8);
+            assert_eq!(result.outcomes.len(), points.len());
+            assert_eq!(result.depths.total(), points.len());
+        }
+        assert_eq!(tree.len(), 512);
+        assert!((tree.total_weight() - 512.0).abs() < 1e-6);
+        tree.validate().expect("valid tree");
+    }
+
+    #[test]
+    fn zero_budget_batch_parks_and_reports_the_depth_histogram() {
+        let mut tree = ClusTree::new(2, ClusTreeConfig::default());
+        for (p, t) in two_cluster_stream(60) {
+            tree.insert(&p, t, 10);
+        }
+        assert!(tree.height() > 1);
+        let points: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 * 0.1, 0.0]).collect();
+        let result = tree.insert_batch(&points, 61.0, 0);
+        assert_eq!(result.depths.reached_leaf, 0);
+        assert_eq!(result.depths.parked_total(), 10);
+        assert_eq!(result.depths.mean_parked_depth(), Some(1.0));
+        assert!((tree.total_weight() - 70.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batched_insertion_refreshes_fewer_summaries() {
+        let stream = two_cluster_stream(600);
+        let mut sequential = ClusTree::new(2, ClusTreeConfig::default());
+        for (p, t) in &stream {
+            sequential.insert(p, *t, 10);
+        }
+        let mut batched = ClusTree::new(2, ClusTreeConfig::default());
+        for (batch_idx, chunk) in stream.chunks(64).enumerate() {
+            let points: Vec<Vec<f64>> = chunk.iter().map(|(p, _)| p.clone()).collect();
+            batched.insert_batch(&points, batch_idx as f64, 10);
+        }
+        assert!(
+            batched.summary_refreshes() < sequential.summary_refreshes(),
+            "batched {} vs sequential {}",
+            batched.summary_refreshes(),
+            sequential.summary_refreshes()
+        );
     }
 }

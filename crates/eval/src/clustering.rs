@@ -8,7 +8,9 @@
 //! function of the per-object node budget.
 
 use bt_stats::vector;
-use clustree::{weighted_dbscan, ClusTree, ClusTreeConfig, DbscanConfig, MicroCluster};
+use clustree::{
+    weighted_dbscan, ClusTree, ClusTreeConfig, DbscanConfig, DepthHistogram, MicroCluster,
+};
 
 /// Result of clustering a labelled stream at one node budget.
 #[derive(Debug, Clone)]
@@ -57,6 +59,93 @@ pub fn evaluate_stream_clustering(
         ssq_per_object: ssq,
         macro_clusters: macro_result.num_clusters,
     }
+}
+
+/// Result of clustering a labelled stream at one node budget with mini-batch
+/// insertion: the usual quality metrics plus the batch-specific outcome
+/// statistics (where objects parked, how much refresh work was shared).
+#[derive(Debug, Clone)]
+pub struct BatchedClusteringQuality {
+    /// Mini-batch size the stream was inserted with (1 = sequential).
+    pub batch_size: usize,
+    /// The clustering-quality metrics of the resulting model.
+    pub quality: ClusteringQuality,
+    /// Reached-leaf vs. parked-at-depth histogram over the whole stream —
+    /// shows how batching shifts parking depth under the same budget.
+    pub depths: DepthHistogram,
+    /// Total payload-summary refresh operations the tree performed; batching
+    /// amortises these over the batch, so larger batches refresh less.
+    pub summary_refreshes: u64,
+}
+
+/// Inserts a labelled stream in mini-batches of `batch_size` at the given
+/// per-object node budget and measures clustering quality plus the batch
+/// outcome statistics.  Objects within one batch share an arrival timestamp
+/// (the batch's position in the stream).
+///
+/// # Panics
+///
+/// Panics if the stream is empty or `batch_size == 0`.
+#[must_use]
+pub fn evaluate_stream_clustering_batched(
+    stream: &[(Vec<f64>, usize)],
+    node_budget: usize,
+    batch_size: usize,
+    config: &ClusTreeConfig,
+    dbscan: &DbscanConfig,
+) -> BatchedClusteringQuality {
+    assert!(!stream.is_empty(), "stream must not be empty");
+    assert!(batch_size > 0, "batch size must be positive");
+    let dims = stream[0].0.len();
+    let mut tree = ClusTree::new(dims, config.clone());
+    let mut depths = DepthHistogram::default();
+    for (batch_idx, chunk) in stream.chunks(batch_size).enumerate() {
+        let points: Vec<Vec<f64>> = chunk.iter().map(|(p, _)| p.clone()).collect();
+        let timestamp = (batch_idx * batch_size) as f64;
+        let result = tree.insert_batch(&points, timestamp, node_budget);
+        depths.merge(&result.depths);
+    }
+    let micro = tree.micro_clusters();
+    let purity = micro_cluster_purity(&micro, stream);
+    let ssq = ssq_per_object(&micro, stream);
+    let macro_result = weighted_dbscan(&micro, dbscan);
+    BatchedClusteringQuality {
+        batch_size,
+        quality: ClusteringQuality {
+            node_budget,
+            micro_clusters: micro.len(),
+            tree_nodes: tree.num_nodes(),
+            purity,
+            ssq_per_object: ssq,
+            macro_clusters: macro_result.num_clusters,
+        },
+        depths,
+        summary_refreshes: tree.summary_refreshes(),
+    }
+}
+
+/// Sweeps node budgets × mini-batch sizes (the paper's speed axis × the
+/// engine's batching axis) and returns one record per combination, in
+/// `budgets`-major order.
+#[must_use]
+pub fn batched_budget_sweep(
+    stream: &[(Vec<f64>, usize)],
+    budgets: &[usize],
+    batch_sizes: &[usize],
+    config: &ClusTreeConfig,
+    dbscan: &DbscanConfig,
+) -> Vec<BatchedClusteringQuality> {
+    budgets
+        .iter()
+        .flat_map(|&budget| {
+            batch_sizes
+                .iter()
+                .map(move |&batch_size| (budget, batch_size))
+        })
+        .map(|(budget, batch_size)| {
+            evaluate_stream_clustering_batched(stream, budget, batch_size, config, dbscan)
+        })
+        .collect()
 }
 
 /// Sweeps the node budget and returns one quality record per setting.
@@ -149,6 +238,34 @@ pub fn format_sweep(rows: &[ClusteringQuality]) -> String {
     out
 }
 
+/// Formats a batched sweep as aligned text, including the parking
+/// statistics.
+#[must_use]
+pub fn format_batched_sweep(rows: &[BatchedClusteringQuality]) -> String {
+    let mut out = String::from(
+        "budget  batch  micro  nodes  purity  parked  mean-depth  refreshes\n\
+         ------  -----  -----  -----  ------  ------  ----------  ---------\n",
+    );
+    for r in rows {
+        let mean_depth = r
+            .depths
+            .mean_parked_depth()
+            .map_or_else(|| "-".to_string(), |d| format!("{d:.2}"));
+        out.push_str(&format!(
+            "{:>6}  {:>5}  {:>5}  {:>5}  {:>6.3}  {:>6}  {:>10}  {:>9}\n",
+            r.quality.node_budget,
+            r.batch_size,
+            r.quality.micro_clusters,
+            r.quality.tree_nodes,
+            r.quality.purity,
+            r.depths.parked_total(),
+            mean_depth,
+            r.summary_refreshes
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,6 +325,47 @@ mod tests {
         assert_eq!(rows.len(), 3);
         let text = format_sweep(&rows);
         assert!(text.lines().count() == 5);
+    }
+
+    #[test]
+    fn batched_evaluation_matches_sequential_quality_at_batch_size_one() {
+        let s = stream();
+        let sequential =
+            evaluate_stream_clustering(&s, 8, &ClusTreeConfig::default(), &DbscanConfig::default());
+        let batched = evaluate_stream_clustering_batched(
+            &s,
+            8,
+            1,
+            &ClusTreeConfig::default(),
+            &DbscanConfig::default(),
+        );
+        // Batch size 1 with zero decay inserts the identical tree (batch
+        // timestamps differ from per-object timestamps, but lambda = 0 makes
+        // time irrelevant).
+        assert_eq!(sequential.micro_clusters, batched.quality.micro_clusters);
+        assert_eq!(sequential.tree_nodes, batched.quality.tree_nodes);
+        assert!((sequential.purity - batched.quality.purity).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_batches_refresh_fewer_summaries() {
+        let s = stream();
+        let rows = batched_budget_sweep(
+            &s,
+            &[4],
+            &[1, 8, 64],
+            &ClusTreeConfig::default(),
+            &DbscanConfig::default(),
+        );
+        assert_eq!(rows.len(), 3);
+        assert!(rows[1].summary_refreshes < rows[0].summary_refreshes);
+        assert!(rows[2].summary_refreshes < rows[1].summary_refreshes);
+        // Every object is accounted for in the outcome histogram.
+        for r in &rows {
+            assert_eq!(r.depths.total(), s.len());
+        }
+        let text = format_batched_sweep(&rows);
+        assert_eq!(text.lines().count(), 5);
     }
 
     #[test]

@@ -15,7 +15,12 @@
 //! * ablations over descent strategies, the qbk parameter, the page geometry
 //!   and the single-tree multi-class variant ([`ablation`]),
 //! * the anytime-clustering extension's speed-adaptation experiment
-//!   ([`clustering`]).
+//!   ([`clustering`]),
+//! * the **mini-batch construction sweeps** over the shared core's batched
+//!   descent engine: accuracy curves with the single-tree classifier built
+//!   at batch sizes 1/8/64 ([`curve::batched_construction_curves`]) and the
+//!   clustering budget × batch-size sweep reporting parking-depth histograms
+//!   and shared refresh counts ([`clustering::batched_budget_sweep`]).
 //!
 //! The bench crate's binaries (`figure2`, `figure3`, `figure4`, `table1`,
 //! `improvement`, `ablation_descent`, `clustree_speed`) are thin wrappers
@@ -29,5 +34,6 @@ pub mod clustering;
 pub mod curve;
 pub mod report;
 
-pub use curve::{anytime_accuracy_curve, AccuracyCurve, CurveConfig};
+pub use clustering::{batched_budget_sweep, BatchedClusteringQuality};
+pub use curve::{anytime_accuracy_curve, batched_construction_curves, AccuracyCurve, CurveConfig};
 pub use report::{ascii_chart, curves_to_csv, improvement_summary, table1};

@@ -40,12 +40,20 @@ fn main() {
         );
     }
 
-    // Online learning: new labelled observations are inserted incrementally.
+    // Online learning: new labelled observations are inserted incrementally,
+    // one at a time or as a mini-batch through the batched descent engine.
     let mut classifier = classifier;
     let (x, &y) = test.iter().next().expect("non-empty test set");
     classifier.learn_one(x.to_vec(), y);
+    let batch: Vec<(Vec<f64>, usize)> = test
+        .iter()
+        .skip(1)
+        .take(32)
+        .map(|(x, &y)| (x.to_vec(), y))
+        .collect();
+    classifier.learn_batch(batch);
     println!(
-        "after learning one more object the model holds {} observations",
+        "after learning 1 + 32 more objects the model holds {} observations",
         classifier.trees().iter().map(|t| t.len()).sum::<usize>()
     );
 }

@@ -1,16 +1,24 @@
 //! Anytime stream clustering (Section 4.2): insert a drifting stream into
 //! the ClusTree at different speeds, watch the model adapt its granularity,
 //! and run the density-based offline step to obtain the final clustering.
+//! A second pass inserts the same stream in mini-batches through the batched
+//! descent engine, showing the shared summary-refresh work.
 //!
-//! Run with `cargo run --release --example stream_clustering`.
+//! Run with `cargo run --release --example stream_clustering` (an optional
+//! argument overrides the stream length, e.g. `-- 600` for a quick smoke
+//! run).
 
 use anytime_stream_mining::clustree::{
-    weighted_dbscan, ClusTree, ClusTreeConfig, DbscanConfig, SnapshotStore,
+    weighted_dbscan, ClusTree, ClusTreeConfig, DbscanConfig, DepthHistogram, SnapshotStore,
 };
 use anytime_stream_mining::data::stream::DriftingStream;
 
 fn main() {
-    let stream = DriftingStream::new(4, 3, 0.3, 0.002, 17).generate(8_000);
+    let stream_len: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8_000);
+    let stream = DriftingStream::new(4, 3, 0.3, 0.002, 17).generate(stream_len);
     println!(
         "drifting stream: {} objects from 4 moving sources in 3 dimensions\n",
         stream.len()
@@ -45,6 +53,36 @@ fn main() {
             micro.len(),
             macro_clusters.num_clusters,
             snapshots.len()
+        );
+    }
+
+    // The same stream through the batched descent engine: each mini-batch
+    // refreshes every visited node's summaries once and resolves splits once
+    // per node after the batch drains, so larger batches do strictly less
+    // refresh work for the same budget.
+    println!("\nmini-batch insertion at budget 4 (shared refreshes per batch):");
+    for batch_size in [1usize, 8, 64] {
+        let mut tree = ClusTree::new(
+            3,
+            ClusTreeConfig {
+                decay_lambda: 0.002,
+                ..ClusTreeConfig::default()
+            },
+        );
+        let mut depths = DepthHistogram::default();
+        for (batch_idx, chunk) in stream.chunks(batch_size).enumerate() {
+            let points: Vec<Vec<f64>> = chunk.iter().map(|(p, _)| p.clone()).collect();
+            let outcome = tree.insert_batch(&points, (batch_idx * batch_size) as f64, 4);
+            depths.merge(&outcome.depths);
+        }
+        let mean_depth = depths
+            .mean_parked_depth()
+            .map_or_else(|| "-".to_string(), |d| format!("{d:.2}"));
+        println!(
+            "batch {batch_size:>2} -> {:>3} micro-clusters, {:>6} parked (mean depth {mean_depth}), {:>8} summary refreshes",
+            tree.num_micro_clusters(),
+            depths.parked_total(),
+            tree.summary_refreshes()
         );
     }
 

@@ -44,6 +44,22 @@
 //!   [`anytree::Summary`] payload (merge / weight / distance / decay + an
 //!   optional MBR hook into `index`), budgeted descent with a pluggable step
 //!   cost, hitchhiker/park buffers, and split/overflow propagation.
+//!   Insertion runs on the **iterative descent engine**
+//!   ([`anytree::descent`]): a [`anytree::DescentCursor`] holds one
+//!   in-flight insertion (current node, depth, remaining budget, the
+//!   carried object with any picked-up hitchhikers) and advances one node
+//!   per step — the paper's stop/resume-anywhere anytime contract made
+//!   literal, with no recursion on the hot path.  Batches are bracketed by
+//!   `begin_batch` / `finish_batch`: within a batch every visited node
+//!   refreshes its summaries once, routing reuses one per-tree scratch
+//!   buffer, and splits are deferred and resolved **once per node** after
+//!   the batch drains (`finish_batch` walks the dirty subtrees bottom-up,
+//!   re-splitting until every part fits and growing the root as needed).
+//!   [`anytree::AnytimeTree::insert_batch`] reports a reached-leaf vs.
+//!   parked-at-depth [`anytree::DepthHistogram`] so callers can observe how
+//!   batching shifts parking depth.  Sharding will attach here: one cursor
+//!   per shard descends independently, and `finish_batch` is the single
+//!   synchronisation point for structural changes.
 //! * **`bayestree`** instantiates the core with an MBR + cluster-feature
 //!   payload over raw kernel points (classification); **`clustree`**
 //!   instantiates it with decaying micro-clusters (clustering).  Each crate
@@ -53,7 +69,11 @@
 //! One core means one place to add sharding, batching and concurrency — and
 //! new anytime workloads (e.g. outlier scoring over the same index) plug in
 //! by implementing `Summary` + `InsertModel` rather than re-implementing a
-//! tree.
+//! tree.  Batching is already in: every layer exposes mini-batch entry
+//! points over the core engine (`BayesTree::insert_batch`,
+//! `AnytimeClassifier::learn_batch`, `SingleTreeClassifier::insert_batch` /
+//! `train_batched`, `ClusTree::insert_batch`), and `eval` measures
+//! accuracy/purity versus budget at batch sizes 1/8/64.
 //!
 //! ## Quickstart
 //!

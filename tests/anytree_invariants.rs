@@ -1,8 +1,11 @@
 //! Property tests for the extracted `bt-anytree` core: the cross-tree
 //! aggregation invariant (every inner entry's summary equals the merge of
 //! its child's entries plus the entry's own hitchhiker buffer) for *both*
-//! instantiations, and the pre-refactor insertion-outcome contract
-//! (`ReachedLeaf` / `Parked { depth }`) for seeded streams.
+//! instantiations, the pre-refactor insertion-outcome contract
+//! (`ReachedLeaf` / `Parked { depth }`) for seeded streams, and the batched
+//! descent engine's contracts: a batch of size 1 is observably equivalent to
+//! sequential insertion, and the aggregation invariant survives mini-batched
+//! insertion at any batch size.
 
 use anytime_stream_mining::anytree::{NodeId, NodeKind};
 use anytime_stream_mining::bayestree::BayesTree;
@@ -186,6 +189,109 @@ proptest! {
         }
         // Parked mass is never lost (no decay in this test).
         prop_assert!((tree.total_weight() - n as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batch_of_one_is_observably_equivalent_to_sequential_insert(
+        n in 1usize..220,
+        lambda in 0.0f64..0.3,
+        budget_cap in 0usize..8,
+    ) {
+        // Irrelevance reuse deliberately drops aged-out leaf mass, which the
+        // exact aggregation assertion below cannot see — disable it here as
+        // in the sequential aggregation tests (equivalence itself holds
+        // either way).
+        let config = ClusTreeConfig {
+            decay_lambda: lambda,
+            irrelevance_threshold: 0.0,
+            ..ClusTreeConfig::default()
+        };
+        let mut sequential = ClusTree::new(2, config.clone());
+        let mut batched = ClusTree::new(2, config);
+        for i in 0..n {
+            let budget = (i * 3 + 1) % (budget_cap + 1);
+            let p = stream_point(i, 25.0);
+            let a = sequential.insert(&p, i as f64 * 0.1, budget);
+            let b = batched.insert_batch(std::slice::from_ref(&p), i as f64 * 0.1, budget);
+            prop_assert_eq!(a, b.outcomes[0], "object {} diverged", i);
+        }
+        // Same outcomes, same structure, same aggregate summaries.
+        prop_assert_eq!(sequential.num_nodes(), batched.num_nodes());
+        prop_assert_eq!(sequential.height(), batched.height());
+        prop_assert!(
+            (sequential.total_weight() - batched.total_weight()).abs()
+                < 1e-9 * (1.0 + sequential.total_weight())
+        );
+        assert_clustree_aggregation(&batched);
+    }
+
+    #[test]
+    fn bayes_batch_of_one_builds_the_identical_tree(n in 1usize..160, seed in 0u64..1000) {
+        let mut sequential = BayesTree::new(2, PageGeometry::from_fanout(4, 5));
+        let mut batched = BayesTree::new(2, PageGeometry::from_fanout(4, 5));
+        for i in 0..n {
+            let x = ((i as u64).wrapping_mul(seed + 7) % 97) as f64;
+            let y = ((i as u64).wrapping_mul(31).wrapping_add(seed) % 83) as f64;
+            sequential.insert(vec![x, y]);
+            batched.insert_batch(vec![vec![x, y]]);
+        }
+        prop_assert_eq!(sequential.num_nodes(), batched.num_nodes());
+        prop_assert_eq!(sequential.height(), batched.height());
+        prop_assert!(batched.validate(true).is_ok(), "{:?}", batched.validate(true));
+        assert_bayes_aggregation(&batched);
+    }
+
+    #[test]
+    fn clustree_aggregation_invariant_holds_after_batched_inserts(
+        n in 2usize..250,
+        lambda in 0.0f64..0.3,
+        batch_size in 1usize..33,
+        budget_cap in 1usize..8,
+    ) {
+        // As in the sequential variant, irrelevance reuse is disabled so the
+        // exact aggregation invariant holds.
+        let config = ClusTreeConfig {
+            decay_lambda: lambda,
+            irrelevance_threshold: 0.0,
+            ..ClusTreeConfig::default()
+        };
+        let mut tree = ClusTree::new(2, config);
+        let points: Vec<Vec<f64>> = (0..n).map(|i| stream_point(i, 25.0)).collect();
+        for (batch_idx, chunk) in points.chunks(batch_size).enumerate() {
+            let budget = batch_idx % (budget_cap + 1); // interleave parked and full descents
+            tree.insert_batch(chunk, (batch_idx * batch_size) as f64 * 0.1, budget);
+        }
+        assert_clustree_aggregation(&tree);
+        prop_assert!(tree.validate().is_ok(), "{:?}", tree.validate());
+        // Without decay the exact stream mass is conserved; with decay the
+        // remaining mass can only be smaller.
+        if lambda == 0.0 {
+            prop_assert!((tree.total_weight() - n as f64).abs() < 1e-6);
+        } else {
+            prop_assert!(tree.total_weight() <= n as f64 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn bayes_aggregation_invariant_holds_after_batched_inserts(
+        n in 1usize..200,
+        batch_size in 1usize..33,
+        seed in 0u64..1000,
+    ) {
+        let mut tree = BayesTree::new(2, PageGeometry::from_fanout(4, 5));
+        let points: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let x = ((i as u64).wrapping_mul(seed + 7) % 97) as f64;
+                let y = ((i as u64).wrapping_mul(31).wrapping_add(seed) % 83) as f64;
+                vec![x, y]
+            })
+            .collect();
+        for chunk in points.chunks(batch_size) {
+            tree.insert_batch(chunk.to_vec());
+        }
+        prop_assert_eq!(tree.len(), n);
+        assert_bayes_aggregation(&tree);
+        prop_assert!(tree.validate(true).is_ok(), "{:?}", tree.validate(true));
     }
 
     #[test]
