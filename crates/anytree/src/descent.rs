@@ -58,11 +58,7 @@ impl<O> DescentCursor<O> {
     /// Starts a cursor at `tree`'s root, carrying `obj` with `budget`
     /// descent steps of time.
     #[must_use]
-    pub fn start<S: Summary, L: Clone + std::fmt::Debug>(
-        tree: &AnytimeTree<S, L>,
-        obj: O,
-        budget: usize,
-    ) -> Self {
+    pub fn start<S: Summary, L>(tree: &AnytimeTree<S, L>, obj: O, budget: usize) -> Self {
         Self {
             node: tree.root(),
             depth: 1,
@@ -189,6 +185,53 @@ pub struct BatchOutcome {
     pub outcomes: Vec<InsertOutcome>,
     /// Reached-leaf vs. parked-at-depth histogram over the batch.
     pub depths: DepthHistogram,
+    /// Descent-engine work performed by this batch alone (refreshes, node
+    /// visits, splits) — the delta of the tree's [`DescentStats`] counters.
+    pub stats: DescentStats,
+}
+
+/// The descent engine's work counters: one struct shared by the single-tree
+/// and the sharded insertion paths, merged shard-by-shard (or batch-by-batch)
+/// with [`DescentStats::merge`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DescentStats {
+    /// Payload-summary refresh operations (one per directory entry or leaf
+    /// item brought up to date).  Batched insertion refreshes each visited
+    /// node once per batch, so this grows strictly slower than under
+    /// sequential insertion.
+    pub summary_refreshes: u64,
+    /// Cursor steps taken (one per node a descending object rests on).
+    pub node_visits: u64,
+    /// Node splits performed while resolving overflows.
+    pub splits: u64,
+    /// Batches opened with [`AnytimeTree::begin_batch`] (single-object
+    /// inserts count as batches of one).
+    pub batches: u64,
+}
+
+impl DescentStats {
+    /// Folds another stats record into this one (used to aggregate per-shard
+    /// and per-batch counters into one report).
+    pub fn merge(&mut self, other: &DescentStats) {
+        self.summary_refreshes += other.summary_refreshes;
+        self.node_visits += other.node_visits;
+        self.splits += other.splits;
+        self.batches += other.batches;
+    }
+
+    /// The work performed since `earlier` was captured (element-wise
+    /// saturating difference).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &DescentStats) -> DescentStats {
+        DescentStats {
+            summary_refreshes: self
+                .summary_refreshes
+                .saturating_sub(earlier.summary_refreshes),
+            node_visits: self.node_visits.saturating_sub(earlier.node_visits),
+            splits: self.splits.saturating_sub(earlier.splits),
+            batches: self.batches.saturating_sub(earlier.batches),
+        }
+    }
 }
 
 /// Reusable per-tree scratch state of the descent engine: the routing-point
@@ -265,7 +308,7 @@ impl<S> DescentScratch<S> {
     }
 }
 
-impl<S: Summary, L: Clone + std::fmt::Debug> AnytimeTree<S, L> {
+impl<S: Summary, L> AnytimeTree<S, L> {
     /// Opens a mini-batch: subsequent cursor steps refresh each visited
     /// node's summaries at most once, and structural repairs (splits,
     /// overflow fallbacks) are deferred until [`Self::finish_batch`].
@@ -274,6 +317,7 @@ impl<S: Summary, L: Clone + std::fmt::Debug> AnytimeTree<S, L> {
     /// begins; [`Self::insert`] and [`Self::insert_batch`] bracket the
     /// engine for the common cases.
     pub fn begin_batch(&mut self) {
+        self.stats_mut().batches += 1;
         let num_nodes = self.arena_len();
         self.scratch_mut().begin(num_nodes);
     }
@@ -304,6 +348,7 @@ impl<S: Summary, L: Clone + std::fmt::Debug> AnytimeTree<S, L> {
         if let Some(outcome) = cursor.outcome {
             return CursorStep::Finished(outcome);
         }
+        self.stats_mut().node_visits += 1;
         let node_id = cursor.node;
         let ctx = model.ctx();
 
@@ -324,7 +369,7 @@ impl<S: Summary, L: Clone + std::fmt::Debug> AnytimeTree<S, L> {
                     entries.len() as u64
                 }
             };
-            self.count_refreshes(refreshed);
+            self.stats_mut().summary_refreshes += refreshed;
         }
 
         let has_time = cursor.budget > 0;
@@ -495,7 +540,10 @@ impl<S: Summary, L: Clone + std::fmt::Debug> AnytimeTree<S, L> {
     /// Objects are routed in input order, so an object may pick up
     /// hitchhikers parked by an earlier object of the same batch — exactly
     /// as sequential insertion would.  A batch of size 1 is observably
-    /// equivalent to [`Self::insert`].
+    /// equivalent to [`Self::insert`].  An empty batch is a complete no-op
+    /// (no batch is opened, no counters move) — the same rule sharded trees
+    /// apply per shard, so the plain and sharded paths stay step-for-step
+    /// comparable.
     pub fn insert_batch<M>(
         &mut self,
         model: &mut M,
@@ -505,6 +553,14 @@ impl<S: Summary, L: Clone + std::fmt::Debug> AnytimeTree<S, L> {
     where
         M: InsertModel<S, LeafItem = L>,
     {
+        if objs.is_empty() {
+            return BatchOutcome {
+                outcomes: Vec::new(),
+                depths: DepthHistogram::default(),
+                stats: DescentStats::default(),
+            };
+        }
+        let before = *self.stats();
         self.begin_batch();
         let mut outcomes = Vec::with_capacity(objs.len());
         let mut depths = DepthHistogram::default();
@@ -515,7 +571,12 @@ impl<S: Summary, L: Clone + std::fmt::Debug> AnytimeTree<S, L> {
             outcomes.push(outcome);
         }
         self.finish_batch(model);
-        BatchOutcome { outcomes, depths }
+        let stats = self.stats().delta_since(&before);
+        BatchOutcome {
+            outcomes,
+            depths,
+            stats,
+        }
     }
 
     /// Brings an overfull node back within capacity.  Splitting nodes are
@@ -586,6 +647,7 @@ impl<S: Summary, L: Clone + std::fmt::Debug> AnytimeTree<S, L> {
     where
         M: InsertModel<S, LeafItem = L>,
     {
+        self.stats_mut().splits += 1;
         if self.node(node_id).is_leaf() {
             let items = std::mem::take(self.node_mut(node_id).items_mut());
             let (first, second) = model.split_leaf_items(items, &self.geometry());

@@ -28,7 +28,15 @@
 //!   descent through the same entry,
 //! * **split and overflow propagation** with `(min, max)` fanout taken from
 //!   [`bt_index::PageGeometry`], including the root split and the
-//!   merge-instead-of-split fallback used when there is no time to split.
+//!   merge-instead-of-split fallback used when there is no time to split,
+//! * the **sharding layer** ([`shard`]): a [`ShardedAnytimeTree`] partitions
+//!   the object space into `K` independent shard trees behind a pluggable
+//!   [`ShardRouter`] and descends every shard's share of a mini-batch in
+//!   parallel on scoped threads — one cursor per shard as the concurrency
+//!   unit, each shard's `finish_batch` its single synchronisation point,
+//!   per-shard reports merged via [`DepthHistogram::merge`] and
+//!   [`DescentStats::merge`].  The core carries no interior mutability, so
+//!   `AnytimeTree<S, L>: Send` whenever the payloads are.
 //!
 //! Consumers instantiate the core by choosing a payload (`bayestree`: an
 //! MBR + cluster-feature summary over raw kernel points; `clustree`: a
@@ -43,13 +51,17 @@
 pub mod descent;
 pub mod model;
 pub mod node;
+pub mod shard;
 pub mod split;
 pub mod summary;
 pub mod tree;
 
-pub use descent::{BatchOutcome, CursorStep, DepthHistogram, DescentCursor};
+pub use descent::{BatchOutcome, CursorStep, DepthHistogram, DescentCursor, DescentStats};
 pub use model::InsertModel;
 pub use node::{Entry, Node, NodeId, NodeKind};
+pub use shard::{
+    CheapestRouter, FixedPartitionRouter, ShardRouter, ShardedAnytimeTree, ShardedBatchOutcome,
+};
 pub use split::{distribute, merge_closest_pair, polar_partition};
 pub use summary::Summary;
 pub use tree::{AnytimeTree, InsertOutcome};

@@ -22,7 +22,7 @@ pub trait InsertModel<S: Summary> {
     /// one-point micro-cluster for the clustering extension).
     type Object;
     /// What leaf nodes store.
-    type LeafItem: Clone + std::fmt::Debug;
+    type LeafItem;
 
     /// Whether hitchhiker/park buffers are in use.  When `false` the budget
     /// is ignored and every insertion descends to a leaf.

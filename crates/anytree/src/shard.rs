@@ -1,0 +1,604 @@
+//! Sharded concurrent anytime trees: parallel descent across subtree shards.
+//!
+//! The paper's anytime premise is that insertion quality scales with the
+//! budget the system can spend per object.  On multi-core hardware that
+//! budget is bounded by single-threaded descent — so this module partitions
+//! the object space into `K` independent [`AnytimeTree`] shards and runs the
+//! batched descent engine of [`crate::descent`] on all of them **in
+//! parallel**:
+//!
+//! * a pluggable [`ShardRouter`] assigns every incoming object to a shard
+//!   (the default [`CheapestRouter`] routes to the shard whose running root
+//!   aggregate is closest; the data-independent [`FixedPartitionRouter`]
+//!   deals objects round-robin and is the reference router for equivalence
+//!   tests),
+//! * [`ShardedAnytimeTree::insert_batch`] splits the batch by shard and
+//!   descends every shard on its own scoped thread
+//!   (`std::thread::scope` — no extra dependencies), one
+//!   [`DescentCursor`](crate::DescentCursor) per shard as the concurrency
+//!   unit,
+//! * each shard's `finish_batch` is its single synchronisation point for
+//!   structural changes, and the per-shard [`BatchOutcome`]s are merged
+//!   ([`DepthHistogram::merge`], [`DescentStats::merge`]) into one
+//!   [`ShardedBatchOutcome`] in input order.
+//!
+//! Because shards never share nodes, no locking is needed: the coordinator
+//! routes (cheap, one distance per shard), the shards descend, and the merge
+//! is a histogram fold.  A sharded tree with one shard performs exactly the
+//! plain tree's steps, which the equivalence property tests lock down.
+
+use crate::descent::{BatchOutcome, DepthHistogram, DescentStats};
+use crate::model::InsertModel;
+use crate::summary::Summary;
+use crate::tree::{AnytimeTree, InsertOutcome};
+use bt_index::PageGeometry;
+
+/// The policy assigning incoming objects to shards.
+///
+/// The router sees the object's routing point and the coordinator's running
+/// per-shard aggregates (`None` for shards that have received nothing yet)
+/// and returns the index of the shard the object descends into.  Routers may
+/// keep state (e.g. a round-robin counter), hence `&mut self`.
+pub trait ShardRouter<S: Summary> {
+    /// Chooses the shard for an object whose routing point is `point`.
+    ///
+    /// `aggregates[k]` is the running aggregate of everything routed to
+    /// shard `k` so far (`None` while the shard is empty).  The returned
+    /// index must be `< aggregates.len()`.
+    fn route(&mut self, point: &[f64], aggregates: &[Option<S>]) -> usize;
+}
+
+/// The default router: cheapest routing over the per-shard root aggregates.
+///
+/// While any shard is still empty the next empty shard wins (so all `K`
+/// shards are seeded before costs are compared); afterwards the object goes
+/// to the shard whose aggregate centre is closest
+/// ([`Summary::sq_dist_to`]).  Over clustered data this converges to one
+/// subtree region per shard — the "shard the arena by subtree" layout.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheapestRouter;
+
+impl<S: Summary> ShardRouter<S> for CheapestRouter {
+    fn route(&mut self, point: &[f64], aggregates: &[Option<S>]) -> usize {
+        if let Some(empty) = aggregates.iter().position(Option::is_none) {
+            return empty;
+        }
+        aggregates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                let da = a.as_ref().map_or(f64::INFINITY, |s| s.sq_dist_to(point));
+                let db = b.as_ref().map_or(f64::INFINITY, |s| s.sq_dist_to(point));
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(k, _)| k)
+            .expect("sharded trees have at least one shard")
+    }
+}
+
+/// A data-independent router dealing objects round-robin across the shards.
+///
+/// Deterministic and oblivious to the routing point, so an external
+/// simulation can reproduce the exact partition — the reference router for
+/// the sharded-vs-plain equivalence property tests, and a reasonable choice
+/// for uniformly mixed streams.
+#[derive(Debug, Clone, Default)]
+pub struct FixedPartitionRouter {
+    next: usize,
+}
+
+impl<S: Summary> ShardRouter<S> for FixedPartitionRouter {
+    fn route(&mut self, _point: &[f64], aggregates: &[Option<S>]) -> usize {
+        let shard = self.next % aggregates.len();
+        self.next += 1;
+        shard
+    }
+}
+
+/// The merged result of one [`ShardedAnytimeTree::insert_batch`] call.
+#[derive(Debug, Clone)]
+pub struct ShardedBatchOutcome {
+    /// Per-object outcomes, in input order (regardless of which shard an
+    /// object descended).
+    pub outcomes: Vec<InsertOutcome>,
+    /// Reached-leaf vs. parked-at-depth histogram merged over all shards.
+    pub depths: DepthHistogram,
+    /// Descent-engine work merged over all shards (summed refreshes, node
+    /// visits, splits) for this batch alone.
+    pub stats: DescentStats,
+    /// How many of the batch's objects each shard received.
+    pub objects_per_shard: Vec<usize>,
+}
+
+/// `K` independent anytime trees behind one insertion facade.
+///
+/// Shards never share nodes, so each one can run the full batched descent
+/// engine on its own thread without synchronisation; the coordinator only
+/// routes objects (one [`ShardRouter`] decision per object) and merges the
+/// per-shard reports.  See the [module docs](crate::shard) for the design.
+#[derive(Debug, Clone)]
+pub struct ShardedAnytimeTree<S: Summary, L, R = CheapestRouter> {
+    shards: Vec<AnytimeTree<S, L>>,
+    /// Running aggregate of everything routed to each shard — routing state
+    /// only (never refreshed/decayed), not a substitute for the shard trees'
+    /// own summaries.
+    aggregates: Vec<Option<S>>,
+    router: R,
+    route_scratch: Vec<f64>,
+}
+
+impl<S: Summary, L, R: Default> ShardedAnytimeTree<S, L, R> {
+    /// Creates `num_shards` empty shards for `dims`-dimensional data with a
+    /// default-constructed router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards == 0` or `dims == 0`.
+    #[must_use]
+    pub fn new(dims: usize, geometry: PageGeometry, num_shards: usize) -> Self {
+        Self::with_router(dims, geometry, num_shards, R::default())
+    }
+}
+
+impl<S: Summary, L, R> ShardedAnytimeTree<S, L, R> {
+    /// Creates `num_shards` empty shards routed by `router`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_shards == 0` or `dims == 0`.
+    #[must_use]
+    pub fn with_router(dims: usize, geometry: PageGeometry, num_shards: usize, router: R) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        Self {
+            shards: (0..num_shards)
+                .map(|_| AnytimeTree::new(dims, geometry))
+                .collect(),
+            aggregates: vec![None; num_shards],
+            router,
+            route_scratch: Vec::new(),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Dimensionality of the indexed data.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.shards[0].dims()
+    }
+
+    /// Fanout / leaf-capacity parameters shared by every shard.
+    #[must_use]
+    pub fn geometry(&self) -> PageGeometry {
+        self.shards[0].geometry()
+    }
+
+    /// Read access to the shard trees.
+    #[must_use]
+    pub fn shards(&self) -> &[AnytimeTree<S, L>] {
+        &self.shards
+    }
+
+    /// Read access to one shard tree.
+    #[must_use]
+    pub fn shard(&self, k: usize) -> &AnytimeTree<S, L> {
+        &self.shards[k]
+    }
+
+    /// The routing aggregates: everything ever routed to each shard, merged
+    /// (`None` for still-empty shards).  Routing state, not refreshed.
+    #[must_use]
+    pub fn aggregates(&self) -> &[Option<S>] {
+        &self.aggregates
+    }
+
+    /// Total number of reachable nodes across all shards.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.shards.iter().map(AnytimeTree::num_nodes).sum()
+    }
+
+    /// Height of the tallest shard (a single empty leaf root has height 1).
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.shards
+            .iter()
+            .map(AnytimeTree::height)
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// The descent-engine work counters merged over all shards.
+    #[must_use]
+    pub fn stats(&self) -> DescentStats {
+        let mut merged = DescentStats::default();
+        for shard in &self.shards {
+            merged.merge(shard.stats());
+        }
+        merged
+    }
+
+    /// Total payload-summary refresh operations over all shards.
+    #[must_use]
+    pub fn summary_refreshes(&self) -> u64 {
+        self.stats().summary_refreshes
+    }
+}
+
+impl<S: Summary, L, R: ShardRouter<S>> ShardedAnytimeTree<S, L, R> {
+    /// Routes one object: asks the router for a shard and folds the object
+    /// into that shard's running aggregate.
+    fn route_object<M>(&mut self, model: &M, obj: &M::Object) -> usize
+    where
+        M: InsertModel<S, LeafItem = L>,
+    {
+        let point = model.route_point(obj, &mut self.route_scratch);
+        let shard = self.router.route(point, &self.aggregates);
+        assert!(shard < self.shards.len(), "router chose shard {shard}");
+        match &mut self.aggregates[shard] {
+            Some(agg) => model.absorb_into(agg, obj),
+            slot @ None => *slot = Some(model.summary_of(obj)),
+        }
+        shard
+    }
+
+    /// Inserts one object with `budget` descent steps into the shard the
+    /// router assigns it.  A batch of one on that shard — no threads.
+    pub fn insert<M>(&mut self, model: &mut M, obj: M::Object, budget: usize) -> InsertOutcome
+    where
+        M: InsertModel<S, LeafItem = L>,
+    {
+        let shard = self.route_object(model, &obj);
+        self.shards[shard].insert(model, obj, budget)
+    }
+
+    /// Inserts a mini-batch of objects, each with a budget of `budget`
+    /// descent steps, descending every shard's share **in parallel** on
+    /// scoped threads.
+    ///
+    /// The coordinator routes the whole batch first (objects keep their
+    /// relative order within a shard, so hitchhiker pickup behaves exactly
+    /// as the plain tree's batched insertion does), then every shard with
+    /// work runs [`AnytimeTree::insert_batch`] concurrently; each shard's
+    /// `finish_batch` is its single synchronisation point for structural
+    /// changes.  `make_model` constructs one insertion model per worker —
+    /// models are per-shard scratch state and never cross threads.
+    ///
+    /// When only one shard receives work the batch runs inline on the
+    /// calling thread, so a 1-shard tree performs exactly the plain tree's
+    /// steps.
+    pub fn insert_batch<M, F>(
+        &mut self,
+        make_model: &F,
+        objs: Vec<M::Object>,
+        budget: usize,
+    ) -> ShardedBatchOutcome
+    where
+        M: InsertModel<S, LeafItem = L>,
+        M::Object: Send,
+        S: Send,
+        L: Send,
+        F: Fn() -> M + Sync,
+    {
+        let total = objs.len();
+        let num_shards = self.shards.len();
+        let mut per_shard_objs: Vec<Vec<M::Object>> = (0..num_shards).map(|_| Vec::new()).collect();
+        let mut per_shard_idx: Vec<Vec<usize>> = (0..num_shards).map(|_| Vec::new()).collect();
+        {
+            let router_model = make_model();
+            for (i, obj) in objs.into_iter().enumerate() {
+                let shard = self.route_object(&router_model, &obj);
+                per_shard_idx[shard].push(i);
+                per_shard_objs[shard].push(obj);
+            }
+        }
+        let objects_per_shard: Vec<usize> = per_shard_objs.iter().map(Vec::len).collect();
+
+        let mut results: Vec<Option<BatchOutcome>> = (0..num_shards).map(|_| None).collect();
+        let busy_shards = per_shard_objs.iter().filter(|v| !v.is_empty()).count();
+        if busy_shards <= 1 {
+            // No parallelism to gain: run inline (this also makes the
+            // 1-shard tree step-for-step identical to the plain tree).
+            for ((shard, objs), slot) in self
+                .shards
+                .iter_mut()
+                .zip(per_shard_objs)
+                .zip(results.iter_mut())
+            {
+                if !objs.is_empty() {
+                    let mut model = make_model();
+                    *slot = Some(shard.insert_batch(&mut model, objs, budget));
+                }
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for ((shard, objs), slot) in self
+                    .shards
+                    .iter_mut()
+                    .zip(per_shard_objs)
+                    .zip(results.iter_mut())
+                {
+                    if objs.is_empty() {
+                        continue;
+                    }
+                    scope.spawn(move || {
+                        let mut model = make_model();
+                        *slot = Some(shard.insert_batch(&mut model, objs, budget));
+                    });
+                }
+            });
+        }
+
+        let mut outcomes = vec![InsertOutcome::ReachedLeaf; total];
+        let mut depths = DepthHistogram::default();
+        let mut stats = DescentStats::default();
+        for (result, indices) in results.into_iter().zip(per_shard_idx) {
+            let Some(batch) = result else {
+                debug_assert!(indices.is_empty(), "shard with work produced no outcome");
+                continue;
+            };
+            depths.merge(&batch.depths);
+            stats.merge(&batch.stats);
+            for (i, outcome) in indices.into_iter().zip(batch.outcomes) {
+                outcomes[i] = outcome;
+            }
+        }
+        ShardedBatchOutcome {
+            outcomes,
+            depths,
+            stats,
+            objects_per_shard,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{Entry, NodeKind};
+
+    /// A minimal distance-routed payload: (weight, component sums).
+    #[derive(Debug, Clone, PartialEq)]
+    struct Blob {
+        weight: f64,
+        sum: Vec<f64>,
+    }
+
+    impl Blob {
+        fn center_of(&self) -> Vec<f64> {
+            self.sum.iter().map(|s| s / self.weight).collect()
+        }
+    }
+
+    impl Summary for Blob {
+        type Ctx = ();
+        fn merge(&mut self, other: &Self, _ctx: ()) {
+            self.weight += other.weight;
+            for (a, b) in self.sum.iter_mut().zip(&other.sum) {
+                *a += b;
+            }
+        }
+        fn weight(&self) -> f64 {
+            self.weight
+        }
+        fn sq_dist_to(&self, point: &[f64]) -> f64 {
+            self.center_of()
+                .iter()
+                .zip(point)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum()
+        }
+        fn center(&self) -> Vec<f64> {
+            self.center_of()
+        }
+    }
+
+    /// A buffered model storing blobs directly at leaf level.
+    struct BlobModel;
+
+    impl InsertModel<Blob> for BlobModel {
+        type Object = Blob;
+        type LeafItem = Blob;
+        const BUFFERED: bool = true;
+
+        fn ctx(&self) {}
+        fn route_point<'a>(&self, obj: &'a Blob, scratch: &'a mut Vec<f64>) -> &'a [f64] {
+            scratch.clear();
+            scratch.extend(obj.center_of());
+            scratch
+        }
+        fn summary_of(&self, obj: &Blob) -> Blob {
+            obj.clone()
+        }
+        fn absorb_into(&self, summary: &mut Blob, obj: &Blob) {
+            summary.merge(obj, ());
+        }
+        fn merge_buffer_into_object(&self, obj: &mut Blob, buffer: Blob) {
+            obj.merge(&buffer, ());
+        }
+        fn insert_into_leaf(&mut self, items: &mut Vec<Blob>, obj: Blob) {
+            items.push(obj);
+        }
+        fn summarize_leaf_items(&self, items: &[Blob]) -> Blob {
+            let mut s = items[0].clone();
+            for i in &items[1..] {
+                s.merge(i, ());
+            }
+            s
+        }
+        fn split_leaf_items(
+            &self,
+            items: Vec<Blob>,
+            geometry: &PageGeometry,
+        ) -> (Vec<Blob>, Vec<Blob>) {
+            let centers: Vec<Vec<f64>> = items.iter().map(Summary::center).collect();
+            let (a, b) = crate::split::polar_partition(&centers, geometry.max_leaf);
+            crate::split::distribute(items, &a, &b)
+        }
+    }
+
+    fn blob(x: f64, y: f64) -> Blob {
+        Blob {
+            weight: 1.0,
+            sum: vec![x, y],
+        }
+    }
+
+    fn geometry() -> PageGeometry {
+        PageGeometry {
+            min_fanout: 1,
+            max_fanout: 3,
+            min_leaf: 1,
+            max_leaf: 3,
+        }
+    }
+
+    fn stream(n: usize) -> Vec<Blob> {
+        (0..n)
+            .map(|i| {
+                let c = if i % 2 == 0 { 0.0 } else { 20.0 };
+                blob(c + (i % 5) as f64 * 0.1, c + (i % 7) as f64 * 0.1)
+            })
+            .collect()
+    }
+
+    fn tree_weight(tree: &AnytimeTree<Blob, Blob>) -> f64 {
+        let mut total = 0.0;
+        for id in tree.reachable() {
+            match &tree.node(id).kind {
+                NodeKind::Leaf { items } => total += items.iter().map(|b| b.weight).sum::<f64>(),
+                NodeKind::Inner { entries } => {
+                    total += entries.iter().map(Entry::buffered_weight).sum::<f64>();
+                }
+            }
+        }
+        total
+    }
+
+    fn sharded_weight<R>(tree: &ShardedAnytimeTree<Blob, Blob, R>) -> f64 {
+        tree.shards().iter().map(tree_weight).sum()
+    }
+
+    #[test]
+    fn single_shard_matches_the_plain_tree() {
+        let points = stream(150);
+        let mut plain = AnytimeTree::new(2, geometry());
+        let mut sharded: ShardedAnytimeTree<Blob, Blob> = ShardedAnytimeTree::new(2, geometry(), 1);
+        let mut model = BlobModel;
+        for chunk in points.chunks(16) {
+            let a = plain.insert_batch(&mut model, chunk.to_vec(), 3);
+            let b = sharded.insert_batch(&|| BlobModel, chunk.to_vec(), 3);
+            assert_eq!(a.outcomes, b.outcomes);
+            assert_eq!(a.depths, b.depths);
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(b.objects_per_shard, vec![chunk.len()]);
+        }
+        assert_eq!(plain.num_nodes(), sharded.num_nodes());
+        assert_eq!(plain.height(), sharded.height());
+        assert_eq!(plain.stats(), &sharded.stats());
+        assert!((tree_weight(&plain) - sharded_weight(&sharded)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_partition_router_deals_round_robin() {
+        let mut sharded: ShardedAnytimeTree<Blob, Blob, FixedPartitionRouter> =
+            ShardedAnytimeTree::new(2, geometry(), 3);
+        let result = sharded.insert_batch(&|| BlobModel, stream(31), usize::MAX);
+        assert_eq!(result.objects_per_shard, vec![11, 10, 10]);
+        assert_eq!(result.outcomes.len(), 31);
+        assert_eq!(result.depths.total(), 31);
+        // The next batch continues the rotation where the last one stopped.
+        let result = sharded.insert_batch(&|| BlobModel, stream(2), usize::MAX);
+        assert_eq!(result.objects_per_shard, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn cheapest_router_seeds_every_shard_then_routes_by_distance() {
+        let mut sharded: ShardedAnytimeTree<Blob, Blob> = ShardedAnytimeTree::new(2, geometry(), 2);
+        let model = BlobModel;
+        // First two objects seed the two empty shards in order.
+        assert_eq!(sharded.route_object(&model, &blob(0.0, 0.0)), 0);
+        assert_eq!(sharded.route_object(&model, &blob(20.0, 20.0)), 1);
+        // From now on distance decides.
+        assert_eq!(sharded.route_object(&model, &blob(1.0, 1.0)), 0);
+        assert_eq!(sharded.route_object(&model, &blob(19.0, 19.0)), 1);
+        assert!(sharded.aggregates().iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn parallel_batches_conserve_mass_and_merge_reports() {
+        let points = stream(320);
+        let mut sharded: ShardedAnytimeTree<Blob, Blob> = ShardedAnytimeTree::new(2, geometry(), 4);
+        let mut total_stats = DescentStats::default();
+        for chunk in points.chunks(64) {
+            let result = sharded.insert_batch(&|| BlobModel, chunk.to_vec(), usize::MAX);
+            assert_eq!(result.outcomes.len(), chunk.len());
+            assert_eq!(result.depths.total(), chunk.len());
+            assert_eq!(result.depths.reached_leaf, chunk.len());
+            assert_eq!(result.objects_per_shard.iter().sum::<usize>(), chunk.len());
+            total_stats.merge(&result.stats);
+        }
+        assert!((sharded_weight(&sharded) - 320.0).abs() < 1e-9);
+        // The merged per-batch deltas add up to the merged per-shard totals.
+        assert_eq!(total_stats, sharded.stats());
+        // Every shard saw work: two clusters spread over four seeded shards.
+        for shard in sharded.shards() {
+            assert!(shard.stats().batches > 0);
+        }
+    }
+
+    #[test]
+    fn empty_batches_are_no_ops_on_both_paths() {
+        let mut plain = AnytimeTree::new(2, geometry());
+        let mut sharded: ShardedAnytimeTree<Blob, Blob> = ShardedAnytimeTree::new(2, geometry(), 1);
+        let mut model = BlobModel;
+        let a = plain.insert_batch(&mut model, Vec::new(), 3);
+        let b = sharded.insert_batch(&|| BlobModel, Vec::new(), 3);
+        assert!(a.outcomes.is_empty() && b.outcomes.is_empty());
+        assert_eq!(a.stats, DescentStats::default());
+        assert_eq!(plain.stats(), &sharded.stats());
+        assert_eq!(plain.stats(), &DescentStats::default());
+    }
+
+    #[test]
+    fn zero_budget_batches_park_across_shards() {
+        let mut sharded: ShardedAnytimeTree<Blob, Blob> = ShardedAnytimeTree::new(2, geometry(), 2);
+        let _ = sharded.insert_batch(&|| BlobModel, stream(60), usize::MAX);
+        assert!(sharded.height() > 1);
+        let result = sharded.insert_batch(&|| BlobModel, stream(8), 0);
+        assert_eq!(result.depths.reached_leaf, 0);
+        assert_eq!(result.depths.parked_total(), 8);
+        assert!((sharded_weight(&sharded) - 68.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_object_insert_routes_and_descends() {
+        let mut sharded: ShardedAnytimeTree<Blob, Blob> = ShardedAnytimeTree::new(2, geometry(), 2);
+        let mut model = BlobModel;
+        for p in stream(40) {
+            let outcome = sharded.insert(&mut model, p, usize::MAX);
+            assert_eq!(outcome, InsertOutcome::ReachedLeaf);
+        }
+        assert!((sharded_weight(&sharded) - 40.0).abs() < 1e-9);
+        assert_eq!(sharded.stats().batches, 40);
+    }
+
+    #[test]
+    fn sharded_trees_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<AnytimeTree<Blob, Blob>>();
+        assert_send::<crate::DescentCursor<Blob>>();
+        assert_send::<ShardedAnytimeTree<Blob, Blob, CheapestRouter>>();
+        assert_send::<ShardedAnytimeTree<Blob, Blob, FixedPartitionRouter>>();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _: ShardedAnytimeTree<Blob, Blob> = ShardedAnytimeTree::new(2, geometry(), 0);
+    }
+}

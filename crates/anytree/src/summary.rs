@@ -21,10 +21,10 @@ use bt_index::Mbr;
 ///   the hook into `bt_index::rstar`: when set, descent routes by least
 ///   area enlargement and overflowing directory nodes split with the R*
 ///   topological split instead of the distance-based split.
-pub trait Summary: Clone + std::fmt::Debug {
+pub trait Summary: Clone {
     /// Per-operation context threaded through merges and refreshes (e.g. the
     /// current timestamp and decay rate).  `()` for payloads without one.
-    type Ctx: Copy + std::fmt::Debug;
+    type Ctx: Copy;
 
     /// Whether descent and directory splits should use the MBR machinery of
     /// `bt_index::rstar` ([`as_mbr`](Summary::as_mbr) must then return

@@ -5,7 +5,7 @@
 //! module owns the arena, the node/summary accessors and the single-object
 //! [`AnytimeTree::insert`] convenience wrapper.
 
-use crate::descent::{DescentCursor, DescentScratch};
+use crate::descent::{DescentCursor, DescentScratch, DescentStats};
 use crate::model::InsertModel;
 use crate::node::{Entry, Node, NodeId, NodeKind};
 use crate::summary::Summary;
@@ -35,10 +35,10 @@ pub struct AnytimeTree<S: Summary, L> {
     root: NodeId,
     height: usize,
     scratch: DescentScratch<S>,
-    summary_refreshes: u64,
+    stats: DescentStats,
 }
 
-impl<S: Summary, L: Clone + std::fmt::Debug> AnytimeTree<S, L> {
+impl<S: Summary, L> AnytimeTree<S, L> {
     /// Creates an empty tree (a single empty leaf root) for
     /// `dims`-dimensional data.
     ///
@@ -55,7 +55,7 @@ impl<S: Summary, L: Clone + std::fmt::Debug> AnytimeTree<S, L> {
             root: 0,
             height: 1,
             scratch: DescentScratch::new(),
-            summary_refreshes: 0,
+            stats: DescentStats::default(),
         }
     }
 
@@ -113,11 +113,19 @@ impl<S: Summary, L: Clone + std::fmt::Debug> AnytimeTree<S, L> {
     /// benches assert exactly that.
     #[must_use]
     pub fn summary_refreshes(&self) -> u64 {
-        self.summary_refreshes
+        self.stats.summary_refreshes
     }
 
-    pub(crate) fn count_refreshes(&mut self, ops: u64) {
-        self.summary_refreshes += ops;
+    /// The descent engine's work counters (refreshes, node visits, splits,
+    /// batches) accumulated over the tree's lifetime.  Sharded trees merge
+    /// these per shard via [`DescentStats::merge`].
+    #[must_use]
+    pub fn stats(&self) -> &DescentStats {
+        &self.stats
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut DescentStats {
+        &mut self.stats
     }
 
     pub(crate) fn arena_len(&self) -> usize {

@@ -111,6 +111,24 @@ impl AnytimeClassifier {
     /// Panics if the data set is empty or has no classes.
     #[must_use]
     pub fn train(dataset: &Dataset, config: &ClassifierConfig) -> Self {
+        Self::train_sharded(dataset, config, 1)
+    }
+
+    /// Trains the classifier with up to `num_workers` per-class trees built
+    /// **in parallel** on scoped threads.
+    ///
+    /// The per-class Bayes trees are completely independent (one tree per
+    /// class, seeded deterministically per class), so training is
+    /// embarrassingly parallel across classes: classes are dealt to at most
+    /// `num_workers` worker threads, each of which runs the configured bulk
+    /// load for its share.  The result is bit-identical to [`Self::train`]
+    /// at any worker count — only the wall-clock changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data set is empty or has no classes.
+    #[must_use]
+    pub fn train_sharded(dataset: &Dataset, config: &ClassifierConfig, num_workers: usize) -> Self {
         assert!(!dataset.is_empty(), "cannot train on an empty data set");
         assert!(dataset.num_classes() > 0, "data set has no classes");
         let dims = dataset.dims();
@@ -124,8 +142,11 @@ impl AnytimeClassifier {
             Some(silverman_bandwidth(dataset.features(), dims))
         };
 
-        let mut trees = Vec::with_capacity(dataset.num_classes());
-        for class in 0..dataset.num_classes() {
+        let num_classes = dataset.num_classes();
+        let workers = num_workers.clamp(1, num_classes);
+        let chunk = num_classes.div_ceil(workers);
+        let mut slots: Vec<Option<BayesTree>> = (0..num_classes).map(|_| None).collect();
+        let build_class = |class: usize, slot: &mut Option<BayesTree>| {
             let points = dataset.features_of_class(class);
             let mut tree = build_tree(
                 &points,
@@ -139,8 +160,28 @@ impl AnytimeClassifier {
                     tree.set_bandwidth(bandwidth.clone());
                 }
             }
-            trees.push(tree);
+            *slot = Some(tree);
+        };
+        if workers <= 1 {
+            for (class, slot) in slots.iter_mut().enumerate() {
+                build_class(class, slot);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for (chunk_idx, chunk_slots) in slots.chunks_mut(chunk).enumerate() {
+                    let build_class = &build_class;
+                    scope.spawn(move || {
+                        for (offset, slot) in chunk_slots.iter_mut().enumerate() {
+                            build_class(chunk_idx * chunk + offset, slot);
+                        }
+                    });
+                }
+            });
         }
+        let trees: Vec<BayesTree> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every class tree was built"))
+            .collect();
 
         Self {
             trees,

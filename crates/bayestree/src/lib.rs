@@ -52,6 +52,7 @@ pub mod multiclass;
 pub mod node;
 pub mod pdq;
 pub mod qbk;
+pub mod sharded;
 pub mod tree;
 
 pub use bulk::{build_tree, BulkLoadMethod};
@@ -61,4 +62,5 @@ pub use frontier::{FrontierElement, TreeFrontier};
 pub use multiclass::{SingleTreeClassifier, SingleTreeConfig};
 pub use node::{Entry, KernelSummary, Node, NodeId, NodeKind};
 pub use qbk::{RefinementScheduler, RefinementStrategy};
+pub use sharded::ShardedBayesTree;
 pub use tree::BayesTree;

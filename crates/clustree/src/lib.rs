@@ -36,10 +36,12 @@
 
 pub mod microcluster;
 pub mod offline;
+pub mod sharded;
 pub mod snapshot;
 pub mod tree;
 
 pub use microcluster::{DecayCtx, MicroCluster};
 pub use offline::{weighted_dbscan, DbscanConfig, MacroClustering};
+pub use sharded::ShardedClusTree;
 pub use snapshot::SnapshotStore;
 pub use tree::{BatchOutcome, ClusTree, ClusTreeConfig, DepthHistogram, InsertOutcome};

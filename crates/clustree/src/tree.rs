@@ -63,9 +63,23 @@ impl Default for ClusTreeConfig {
 }
 
 impl ClusTreeConfig {
+    /// Asserts the configuration's invariants (shared by the plain and
+    /// sharded constructors, so both reject exactly the same configs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration cannot support a node split.
+    pub(crate) fn validate(&self) {
+        assert!(self.max_entries >= 2, "need at least two entries per node");
+        assert!(
+            self.min_entries >= 1 && self.min_entries * 2 <= self.max_entries + 1,
+            "min entries must allow a split"
+        );
+    }
+
     /// The `(min, max)` fanout this configuration induces on the shared
     /// core (the same capacity governs inner and leaf nodes).
-    fn geometry(&self) -> PageGeometry {
+    pub(crate) fn geometry(&self) -> PageGeometry {
         PageGeometry {
             min_fanout: self.min_entries,
             max_fanout: self.max_entries,
@@ -75,10 +89,11 @@ impl ClusTreeConfig {
     }
 }
 
-/// The micro-cluster insertion policy over the shared core.
-struct ClusModel<'a> {
-    config: &'a ClusTreeConfig,
-    now: f64,
+/// The micro-cluster insertion policy over the shared core (also driven by
+/// the sharded tree in [`crate::sharded`]).
+pub(crate) struct ClusModel<'a> {
+    pub(crate) config: &'a ClusTreeConfig,
+    pub(crate) now: f64,
 }
 
 impl ClusModel<'_> {
@@ -194,14 +209,7 @@ impl ClusTree {
     #[must_use]
     pub fn new(dims: usize, config: ClusTreeConfig) -> Self {
         assert!(dims > 0, "dimensionality must be positive");
-        assert!(
-            config.max_entries >= 2,
-            "need at least two entries per node"
-        );
-        assert!(
-            config.min_entries >= 1 && config.min_entries * 2 <= config.max_entries + 1,
-            "min entries must allow a split"
-        );
+        config.validate();
         let core = AnytimeTree::new(dims, config.geometry());
         Self {
             config,
@@ -328,18 +336,8 @@ impl ClusTree {
     #[must_use]
     pub fn micro_clusters(&self) -> Vec<MicroCluster> {
         let mut out = Vec::new();
-        for id in self.core.reachable() {
-            match &self.core.node(id).kind {
-                NodeKind::Leaf { items } => out.extend(items.iter().cloned()),
-                NodeKind::Inner { entries } => {
-                    out.extend(entries.iter().filter_map(|e| e.buffer.clone()));
-                }
-            }
-        }
-        for mc in &mut out {
-            mc.decay_to(self.current_time, self.config.decay_lambda);
-        }
-        out.retain(|mc| mc.weight() > f64::EPSILON);
+        collect_micro_clusters(&self.core, &mut out);
+        finish_micro_clusters(&mut out, self.current_time, self.config.decay_lambda);
         out
     }
 
@@ -369,40 +367,72 @@ impl ClusTree {
     ///
     /// Returns a description of the first violated invariant.
     pub fn validate(&self) -> Result<(), String> {
-        self.validate_node(self.core.root())
+        validate_node(&self.core, &self.config, self.core.root())
     }
+}
 
-    fn validate_node(&self, node_id: NodeId) -> Result<(), String> {
-        let node: &Node<MicroCluster, MicroCluster> = self.core.node(node_id);
-        // Inner nodes may temporarily exceed capacity by one when a split was
-        // deferred for lack of time; anything beyond that is a bug.
-        let slack = usize::from(!node.is_leaf());
-        if node.len() > self.config.max_entries + slack {
-            return Err(format!(
-                "node {node_id} has {} entries (capacity {})",
-                node.len(),
-                self.config.max_entries
-            ));
-        }
-        match &node.kind {
-            NodeKind::Leaf { items } => {
-                for mc in items {
-                    if mc.weight() < 0.0 {
-                        return Err(format!("leaf {node_id} has a negative weight"));
-                    }
-                }
-            }
+/// Gathers the raw (undecayed) micro-clusters of one core tree: leaf items
+/// plus any non-empty hitchhiker buffers.  Shared by [`ClusTree`] and the
+/// sharded tree, whose snapshot/offline step folds the shards' collections.
+pub(crate) fn collect_micro_clusters(
+    core: &AnytimeTree<MicroCluster, MicroCluster>,
+    out: &mut Vec<MicroCluster>,
+) {
+    for id in core.reachable() {
+        match &core.node(id).kind {
+            NodeKind::Leaf { items } => out.extend(items.iter().cloned()),
             NodeKind::Inner { entries } => {
-                for entry in entries {
-                    if entry.weight() < 0.0 || entry.buffered_weight() < 0.0 {
-                        return Err(format!("node {node_id} has a negative weight"));
-                    }
-                    self.validate_node(entry.child)?;
+                out.extend(entries.iter().filter_map(|e| e.buffer.clone()));
+            }
+        }
+    }
+}
+
+/// Decays a collected micro-cluster set to `now` and drops the weightless.
+pub(crate) fn finish_micro_clusters(out: &mut Vec<MicroCluster>, now: f64, lambda: f64) {
+    for mc in out.iter_mut() {
+        mc.decay_to(now, lambda);
+    }
+    out.retain(|mc| mc.weight() > f64::EPSILON);
+}
+
+/// Validates one core (sub)tree: every node within capacity (plus the
+/// bounded directory slack a deferred split may leave behind) and all
+/// aggregated weights non-negative.  Shared by the plain and sharded trees.
+pub(crate) fn validate_node(
+    core: &AnytimeTree<MicroCluster, MicroCluster>,
+    config: &ClusTreeConfig,
+    node_id: NodeId,
+) -> Result<(), String> {
+    let node: &Node<MicroCluster, MicroCluster> = core.node(node_id);
+    // Inner nodes may temporarily exceed capacity by one when a split was
+    // deferred for lack of time; anything beyond that is a bug.
+    let slack = usize::from(!node.is_leaf());
+    if node.len() > config.max_entries + slack {
+        return Err(format!(
+            "node {node_id} has {} entries (capacity {})",
+            node.len(),
+            config.max_entries
+        ));
+    }
+    match &node.kind {
+        NodeKind::Leaf { items } => {
+            for mc in items {
+                if mc.weight() < 0.0 {
+                    return Err(format!("leaf {node_id} has a negative weight"));
                 }
             }
         }
-        Ok(())
+        NodeKind::Inner { entries } => {
+            for entry in entries {
+                if entry.weight() < 0.0 || entry.buffered_weight() < 0.0 {
+                    return Err(format!("node {node_id} has a negative weight"));
+                }
+                validate_node(core, config, entry.child)?;
+            }
+        }
     }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -20,7 +20,12 @@
 //!   descent engine: accuracy curves with the single-tree classifier built
 //!   at batch sizes 1/8/64 ([`curve::batched_construction_curves`]) and the
 //!   clustering budget × batch-size sweep reporting parking-depth histograms
-//!   and shared refresh counts ([`clustering::batched_budget_sweep`]).
+//!   and shared refresh counts ([`clustering::batched_budget_sweep`]),
+//! * the **shard-count sweeps** over the sharded concurrent trees: quality
+//!   (purity/accuracy, which sharding must not hurt) and wall-clock
+//!   insertion/training throughput at shards 1/2/4/8
+//!   ([`sharding::clustering_shard_sweep`],
+//!   [`sharding::classifier_shard_sweep`]).
 //!
 //! The bench crate's binaries (`figure2`, `figure3`, `figure4`, `table1`,
 //! `improvement`, `ablation_descent`, `clustree_speed`) are thin wrappers
@@ -33,7 +38,12 @@ pub mod ablation;
 pub mod clustering;
 pub mod curve;
 pub mod report;
+pub mod sharding;
 
 pub use clustering::{batched_budget_sweep, BatchedClusteringQuality};
 pub use curve::{anytime_accuracy_curve, batched_construction_curves, AccuracyCurve, CurveConfig};
 pub use report::{ascii_chart, curves_to_csv, improvement_summary, table1};
+pub use sharding::{
+    classifier_shard_sweep, clustering_shard_sweep, ShardedClusteringQuality,
+    ShardedTrainingQuality,
+};

@@ -26,11 +26,11 @@
 //! accordingly:
 //!
 //! ```text
-//! stats ──► index ──► anytree ──► { bayestree, clustree }
-//!                                          │
-//!                       data ──────────────┤
-//!                                          ▼
-//!                                eval ──► bench
+//! stats ──► index ──► anytree{descent, shard} ──► { bayestree, clustree }
+//!                                                          │
+//!                               data ──────────────────────┤
+//!                                                          ▼
+//!                                                eval ──► bench
 //! ```
 //!
 //! * **`stats`** owns the statistical substrate (cluster features,
@@ -57,9 +57,20 @@
 //!   re-splitting until every part fits and growing the root as needed).
 //!   [`anytree::AnytimeTree::insert_batch`] reports a reached-leaf vs.
 //!   parked-at-depth [`anytree::DepthHistogram`] so callers can observe how
-//!   batching shifts parking depth.  Sharding will attach here: one cursor
-//!   per shard descends independently, and `finish_batch` is the single
-//!   synchronisation point for structural changes.
+//!   batching shifts parking depth.  On top of the engine sits the
+//!   **sharding layer** ([`anytree::shard`]): a
+//!   [`anytree::ShardedAnytimeTree`] partitions the object space into `K`
+//!   independent shard trees behind a pluggable [`anytree::ShardRouter`]
+//!   (the extension point — [`anytree::CheapestRouter`] routes to the shard
+//!   whose root aggregate is closest, [`anytree::FixedPartitionRouter`]
+//!   deals round-robin for equivalence tests, and new routers only
+//!   implement one `route(point, aggregates)` method), descends every
+//!   shard's share of a mini-batch **in parallel** on scoped threads (one
+//!   cursor per shard as the concurrency unit, each shard's `finish_batch`
+//!   its single synchronisation point), and merges the per-shard reports
+//!   ([`anytree::DepthHistogram::merge`], [`anytree::DescentStats::merge`]).
+//!   The core is `Send`-clean by construction — static assertions in
+//!   `tests/send_assertions.rs` keep it that way.
 //! * **`bayestree`** instantiates the core with an MBR + cluster-feature
 //!   payload over raw kernel points (classification); **`clustree`**
 //!   instantiates it with decaying micro-clusters (clustering).  Each crate
@@ -73,7 +84,15 @@
 //! points over the core engine (`BayesTree::insert_batch`,
 //! `AnytimeClassifier::learn_batch`, `SingleTreeClassifier::insert_batch` /
 //! `train_batched`, `ClusTree::insert_batch`), and `eval` measures
-//! accuracy/purity versus budget at batch sizes 1/8/64.
+//! accuracy/purity versus budget at batch sizes 1/8/64.  Sharding is in
+//! too: both trees instantiate the sharded layer
+//! (`bayestree::ShardedBayesTree`, `clustree::ShardedClusTree` — whose
+//! snapshot/offline step simply folds the per-shard micro-clusters),
+//! `AnytimeClassifier::train_sharded` builds the per-class trees on worker
+//! threads bit-identically to sequential training, `eval::sharding` sweeps
+//! quality and wall-clock throughput over shard counts 1/2/4/8, and the
+//! `shard_scaling` criterion bench asserts the ≥1.5× 4-shard speedup as a
+//! smoke threshold on runners with ≥4 CPUs.
 //!
 //! ## Quickstart
 //!

@@ -1,0 +1,51 @@
+//! Static `Send`/`Sync` assertions: the concurrency contract of the shared
+//! core and both instantiations, checked at compile time so a stray `Rc`,
+//! `RefCell` or raw pointer in a payload can never silently regress the
+//! sharded trees' ability to cross threads.
+
+use anytime_stream_mining::anytree::{
+    AnytimeTree, CheapestRouter, DescentCursor, FixedPartitionRouter, ShardedAnytimeTree,
+};
+use anytime_stream_mining::bayestree::{
+    AnytimeClassifier, BayesTree, KernelSummary, ShardedBayesTree,
+};
+use anytime_stream_mining::clustree::{ClusTree, MicroCluster, ShardedClusTree};
+use anytime_stream_mining::data::Dataset;
+
+fn assert_send<T: Send>() {}
+fn assert_sync<T: Sync>() {}
+
+#[test]
+fn the_shared_core_is_send() {
+    // The generic core with both real payload instantiations.
+    assert_send::<AnytimeTree<KernelSummary, Vec<f64>>>();
+    assert_send::<AnytimeTree<MicroCluster, MicroCluster>>();
+    // Cursors carry in-flight objects across steps (and, in sharded trees,
+    // live on worker threads).
+    assert_send::<DescentCursor<Vec<f64>>>();
+    assert_send::<DescentCursor<MicroCluster>>();
+}
+
+#[test]
+fn the_sharded_trees_are_send() {
+    assert_send::<ShardedAnytimeTree<KernelSummary, Vec<f64>, CheapestRouter>>();
+    assert_send::<ShardedAnytimeTree<MicroCluster, MicroCluster, FixedPartitionRouter>>();
+    assert_send::<ShardedBayesTree>();
+    assert_send::<ShardedClusTree>();
+}
+
+#[test]
+fn the_workload_layers_are_send() {
+    assert_send::<BayesTree>();
+    assert_send::<ClusTree>();
+    assert_send::<AnytimeClassifier>();
+}
+
+#[test]
+fn shared_read_state_is_sync() {
+    // Sharded training reads the data set and the trees from worker
+    // threads; per-shard models read the clustering configuration.
+    assert_sync::<Dataset>();
+    assert_sync::<BayesTree>();
+    assert_sync::<anytime_stream_mining::clustree::ClusTreeConfig>();
+}

@@ -1,0 +1,232 @@
+//! Property tests for the sharded concurrent trees: sharding must be an
+//! *organisational* change, never an observable one.
+//!
+//! Two equivalences are locked down for both instantiations (Bayes tree and
+//! ClusTree):
+//!
+//! * a `Sharded*Tree` with **one shard** behaves exactly like the plain
+//!   tree — per-object outcomes, node counts, heights, aggregate mass and
+//!   work counters,
+//! * a `Sharded*Tree` with the data-independent [`FixedPartitionRouter`] at
+//!   **any shard count K** behaves exactly like K plain trees fed the same
+//!   round-robin partition — the parallel path performs precisely the steps
+//!   the sequential simulation performs, shard by shard.
+
+use anytime_stream_mining::anytree::FixedPartitionRouter;
+use anytime_stream_mining::bayestree::{BayesTree, ShardedBayesTree};
+use anytime_stream_mining::clustree::{ClusTree, ClusTreeConfig, ShardedClusTree};
+use anytime_stream_mining::index::PageGeometry;
+use proptest::prelude::*;
+
+/// Strategy producing a bounded set of 3-d points.
+fn stream_strategy(max_len: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-5.0f64..5.0, 3), 8..max_len)
+}
+
+/// Shifts every other point far away, shaping the raw points into the
+/// two-cluster streams the routers are designed for.
+fn two_clusters(mut points: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+    for (i, p) in points.iter_mut().enumerate() {
+        if i % 2 == 1 {
+            for x in p.iter_mut() {
+                *x += 40.0;
+            }
+        }
+    }
+    points
+}
+
+fn geometry() -> PageGeometry {
+    PageGeometry::from_fanout(4, 4)
+}
+
+fn sorted_points(mut points: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+    points.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    points
+}
+
+/// Deals `points` round-robin over `k` parts, continuing the rotation at
+/// `next` — the exact partition [`FixedPartitionRouter`] produces.
+fn round_robin_deal(points: &[Vec<f64>], k: usize, next: &mut usize) -> Vec<Vec<Vec<f64>>> {
+    let mut parts: Vec<Vec<Vec<f64>>> = vec![Vec::new(); k];
+    for p in points {
+        parts[*next % k].push(p.clone());
+        *next += 1;
+    }
+    parts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn one_shard_bayestree_equals_the_plain_tree(
+        points in stream_strategy(120),
+        batch_size in 1usize..24,
+    ) {
+        let points = two_clusters(points);
+        let mut plain = BayesTree::new(3, geometry());
+        let mut sharded: ShardedBayesTree = ShardedBayesTree::new(3, geometry(), 1);
+        for chunk in points.chunks(batch_size) {
+            plain.insert_batch(chunk.to_vec());
+            let result = sharded.insert_batch(chunk.to_vec());
+            prop_assert_eq!(result.objects_per_shard.clone(), vec![chunk.len()]);
+        }
+        prop_assert_eq!(plain.len(), sharded.len());
+        prop_assert_eq!(plain.num_nodes(), sharded.num_nodes());
+        prop_assert_eq!(plain.height(), sharded.height());
+        prop_assert_eq!(plain.summary_refreshes(), sharded.summary_refreshes());
+        prop_assert_eq!(
+            sorted_points(plain.all_points()),
+            sorted_points(sharded.all_points())
+        );
+        prop_assert!(sharded.validate().is_ok());
+    }
+
+    #[test]
+    fn fixed_router_bayestree_equals_partitioned_plain_trees(
+        points in stream_strategy(120),
+        batch_size in 1usize..24,
+        shards in 2usize..5,
+    ) {
+        let points = two_clusters(points);
+        let mut sharded: ShardedBayesTree<FixedPartitionRouter> =
+            ShardedBayesTree::new(3, geometry(), shards);
+        let mut plain: Vec<BayesTree> =
+            (0..shards).map(|_| BayesTree::new(3, geometry())).collect();
+        let mut next = 0usize;
+        for chunk in points.chunks(batch_size) {
+            let parts = round_robin_deal(chunk, shards, &mut next);
+            let result = sharded.insert_batch(chunk.to_vec());
+            for (k, part) in parts.into_iter().enumerate() {
+                prop_assert_eq!(result.objects_per_shard[k], part.len());
+                if !part.is_empty() {
+                    plain[k].insert_batch(part);
+                }
+            }
+        }
+        // Shard k of the sharded tree is observably the plain tree fed
+        // partition k: same nodes, same height, same points, same work.
+        for (k, reference) in plain.iter().enumerate() {
+            let shard = &sharded.shards()[k];
+            prop_assert_eq!(shard.num_nodes(), reference.num_nodes());
+            prop_assert_eq!(shard.height(), reference.height());
+            prop_assert_eq!(
+                shard.stats().summary_refreshes,
+                reference.summary_refreshes()
+            );
+        }
+        prop_assert_eq!(
+            sharded.num_nodes(),
+            plain.iter().map(BayesTree::num_nodes).sum::<usize>()
+        );
+        prop_assert_eq!(
+            sorted_points(sharded.all_points()),
+            sorted_points(plain.iter().flat_map(BayesTree::all_points).collect())
+        );
+        prop_assert!(sharded.validate().is_ok());
+    }
+
+    #[test]
+    fn one_shard_clustree_equals_the_plain_tree(
+        points in stream_strategy(120),
+        batch_size in 1usize..24,
+        budget in 0usize..12,
+    ) {
+        let points = two_clusters(points);
+        let mut plain = ClusTree::new(3, ClusTreeConfig::default());
+        let mut sharded: ShardedClusTree =
+            ShardedClusTree::new(3, ClusTreeConfig::default(), 1);
+        for (batch_idx, chunk) in points.chunks(batch_size).enumerate() {
+            let timestamp = batch_idx as f64;
+            let a = plain.insert_batch(chunk, timestamp, budget);
+            let b = sharded.insert_batch(chunk, timestamp, budget);
+            prop_assert_eq!(a.outcomes, b.outcomes);
+            prop_assert_eq!(a.depths, b.depths);
+        }
+        prop_assert_eq!(plain.len(), sharded.len());
+        prop_assert_eq!(plain.num_nodes(), sharded.num_nodes());
+        prop_assert_eq!(plain.height(), sharded.height());
+        prop_assert_eq!(plain.num_micro_clusters(), sharded.num_micro_clusters());
+        prop_assert_eq!(plain.summary_refreshes(), sharded.summary_refreshes());
+        prop_assert!((plain.total_weight() - sharded.total_weight()).abs() < 1e-9);
+        prop_assert!(sharded.validate().is_ok());
+    }
+
+    #[test]
+    fn fixed_router_clustree_equals_partitioned_plain_trees(
+        points in stream_strategy(120),
+        batch_size in 1usize..24,
+        shards in 2usize..5,
+        budget in 0usize..12,
+    ) {
+        let points = two_clusters(points);
+        let config = ClusTreeConfig::default();
+        let mut sharded: ShardedClusTree<FixedPartitionRouter> =
+            ShardedClusTree::new(3, config.clone(), shards);
+        let mut plain: Vec<ClusTree> =
+            (0..shards).map(|_| ClusTree::new(3, config.clone())).collect();
+        let mut next = 0usize;
+        for (batch_idx, chunk) in points.chunks(batch_size).enumerate() {
+            let timestamp = batch_idx as f64;
+            let start = next;
+            let parts = round_robin_deal(chunk, shards, &mut next);
+            let result = sharded.insert_batch(chunk, timestamp, budget);
+            for (k, part) in parts.into_iter().enumerate() {
+                if part.is_empty() {
+                    continue;
+                }
+                let reference = plain[k].insert_batch(&part, timestamp, budget);
+                // Map each per-shard outcome back to its input position.
+                let positions = (0..chunk.len()).filter(|i| (start + i) % shards == k);
+                for (pos, expected) in positions.zip(reference.outcomes) {
+                    prop_assert_eq!(result.outcomes[pos], expected);
+                }
+            }
+        }
+        for (k, reference) in plain.iter().enumerate() {
+            let shard = &sharded.shards()[k];
+            prop_assert_eq!(shard.num_nodes(), reference.num_nodes());
+            prop_assert_eq!(shard.height(), reference.height());
+        }
+        let plain_weight: f64 = plain.iter().map(ClusTree::total_weight).sum();
+        prop_assert!((sharded.total_weight() - plain_weight).abs() < 1e-9);
+        prop_assert_eq!(
+            sharded.num_micro_clusters(),
+            plain.iter().map(ClusTree::num_micro_clusters).sum::<usize>()
+        );
+        prop_assert!(sharded.validate().is_ok());
+    }
+
+    #[test]
+    fn sharded_classifier_training_is_bit_identical(
+        seed in 0u64..1000,
+        workers in 2usize..6,
+    ) {
+        use anytime_stream_mining::bayestree::{AnytimeClassifier, ClassifierConfig};
+        use anytime_stream_mining::data::synth::blobs::BlobConfig;
+        let dataset = BlobConfig::new(3, 3).samples_per_class(40).seed(seed).generate();
+        let config = ClassifierConfig {
+            geometry: Some(geometry()),
+            ..ClassifierConfig::default()
+        };
+        let sequential = AnytimeClassifier::train(&dataset, &config);
+        let parallel = AnytimeClassifier::train_sharded(&dataset, &config, workers);
+        prop_assert_eq!(sequential.priors(), parallel.priors());
+        for (a, b) in sequential.trees().iter().zip(parallel.trees()) {
+            prop_assert_eq!(a.len(), b.len());
+            prop_assert_eq!(a.num_nodes(), b.num_nodes());
+            prop_assert_eq!(a.height(), b.height());
+            prop_assert_eq!(a.bandwidth(), b.bandwidth());
+        }
+        // Same trees -> same decisions at every budget.
+        for (x, _) in dataset.iter().take(10) {
+            for budget in [0usize, 3, 10] {
+                prop_assert_eq!(
+                    sequential.classify_with_budget(x, budget).label,
+                    parallel.classify_with_budget(x, budget).label
+                );
+            }
+        }
+    }
+}
