@@ -234,6 +234,16 @@ impl DescentStats {
     }
 }
 
+impl std::fmt::Display for DescentStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "refreshes={} visits={} splits={} batches={}",
+            self.summary_refreshes, self.node_visits, self.splits, self.batches
+        )
+    }
+}
+
 /// Reusable per-tree scratch state of the descent engine: the routing-point
 /// buffer, the refresh / dirty stamps of the current batch, and the repair
 /// worklists.  Stamps are epoch-based so clearing a batch is a single

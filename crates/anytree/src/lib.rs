@@ -29,14 +29,27 @@
 //! * **split and overflow propagation** with `(min, max)` fanout taken from
 //!   [`bt_index::PageGeometry`], including the root split and the
 //!   merge-instead-of-split fallback used when there is no time to split,
+//! * the **anytime query engine** ([`query`]): the query-side mirror of the
+//!   descent engine — a payload-generic [`QueryModel`] scores summaries and
+//!   leaf items against a query point, a resumable [`QueryCursor`] refines a
+//!   best-first frontier one node read at a time (per-tree scratch/frontier
+//!   reuse, [`QueryStats`] counters alongside [`DescentStats`]), partial
+//!   answers carry certain `[lower, upper]` bounds that can only tighten
+//!   with budget, and insert-free workloads such as anytime **outlier
+//!   scoring** ([`AnytimeTree::outlier_score`]) plug in with just a
+//!   `Summary` + `QueryModel`,
 //! * the **sharding layer** ([`shard`]): a [`ShardedAnytimeTree`] partitions
 //!   the object space into `K` independent shard trees behind a pluggable
 //!   [`ShardRouter`] and descends every shard's share of a mini-batch in
 //!   parallel on scoped threads — one cursor per shard as the concurrency
 //!   unit, each shard's `finish_batch` its single synchronisation point,
 //!   per-shard reports merged via [`DepthHistogram::merge`] and
-//!   [`DescentStats::merge`].  The core carries no interior mutability, so
-//!   `AnytimeTree<S, L>: Send` whenever the payloads are.
+//!   [`DescentStats::merge`], and runs the query engine the same way:
+//!   per-shard frontiers refined concurrently
+//!   ([`ShardedAnytimeTree::query_batch`]) and folded into one global
+//!   mixture whose bounds inherit each shard's monotonicity.  The core
+//!   carries no interior mutability, so `AnytimeTree<S, L>: Send + Sync`
+//!   whenever the payloads are.
 //!
 //! Consumers instantiate the core by choosing a payload (`bayestree`: an
 //! MBR + cluster-feature summary over raw kernel points; `clustree`: a
@@ -51,6 +64,7 @@
 pub mod descent;
 pub mod model;
 pub mod node;
+pub mod query;
 pub mod shard;
 pub mod split;
 pub mod summary;
@@ -59,8 +73,13 @@ pub mod tree;
 pub use descent::{BatchOutcome, CursorStep, DepthHistogram, DescentCursor, DescentStats};
 pub use model::InsertModel;
 pub use node::{Entry, Node, NodeId, NodeKind};
+pub use query::{
+    ElementOrigin, OutlierScore, OutlierVerdict, QueryAnswer, QueryCursor, QueryElement,
+    QueryModel, QueryStats, RefineOrder,
+};
 pub use shard::{
     CheapestRouter, FixedPartitionRouter, ShardRouter, ShardedAnytimeTree, ShardedBatchOutcome,
+    ShardedQueryAnswer,
 };
 pub use split::{distribute, merge_closest_pair, polar_partition};
 pub use summary::Summary;

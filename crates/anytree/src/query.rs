@@ -1,0 +1,1062 @@
+//! The generic anytime query engine: resumable best-first frontiers.
+//!
+//! The paper's anytime promise covers *answers*, not just inserts: a query's
+//! mixture estimate must improve monotonically as the budget grows and be
+//! interruptible at any node read.  This module is the query-side mirror of
+//! the insertion engine in [`crate::descent`] — payload-generic, iterative,
+//! resumable, and built around one reusable piece of per-query scratch:
+//!
+//! * a [`QueryModel`] supplies the handful of decisions that differ per
+//!   workload (how a directory summary is scored against the query, what
+//!   certain lower/upper bounds on its fully refined contribution are, how a
+//!   leaf item is scored),
+//! * a [`QueryCursor`] holds the complete state of one in-flight query: the
+//!   *frontier* — a set of elements such that every leaf item of the tree is
+//!   represented exactly once — plus the running partial answer and its
+//!   certain bounds.  [`AnytimeTree::refine_query`] advances it by exactly
+//!   one node read, replacing one frontier element by its children and
+//!   updating the partial answer by subtracting the refined contribution and
+//!   adding the children's — the cost per step is one node read, and the
+//!   cursor can stop and resume anywhere,
+//! * a [`RefineOrder`] decides which element refines next (the orderings the
+//!   Bayes tree's Section 2.2 evaluates, hoisted here so they exist once:
+//!   breadth-first, depth-first, closest-first, best-contribution-first,
+//!   plus the bound-driven widest-bound-first used by outlier scoring),
+//! * [`QueryStats`] counts the engine's work (queries begun, node reads,
+//!   elements scored) alongside the insertion path's
+//!   [`DescentStats`](crate::DescentStats),
+//! * [`AnytimeTree::query_batch`] refines many queries through **one reused
+//!   cursor** — the frontier allocation is per-tree scratch, not per-query.
+//!
+//! ## The monotonicity contract
+//!
+//! Every frontier element carries certain bounds `lower <= c <= upper` on
+//! its fully refined contribution `c`.  [`QueryModel::summary_bounds`] must
+//! guarantee **nesting**: the bounds of an entry's children (plus its split
+//! -out hitchhiker buffer, if any) sum to an interval contained in the
+//! entry's own.  Under that contract the cursor's global interval
+//! [`QueryCursor::bounds`] can only tighten with every refinement — more
+//! budget never worsens the bound — which is what makes the interval an
+//! *anytime answer*: interrupt whenever, the reported uncertainty is honest
+//! and non-increasing in budget.  Leaf items are exact (`lower == upper`),
+//! so a fully refined cursor has zero uncertainty (up to unrefinable
+//! buffered mass, whose interval is frozen).
+//!
+//! Insert-free workloads plug in here without touching the insertion path:
+//! anytime **outlier scoring** ([`AnytimeTree::outlier_score`]) needs only a
+//! `Summary` + `QueryModel` — the score *is* the refinable density interval,
+//! and the verdict against a threshold becomes certain as soon as the
+//! interval clears it.
+
+use crate::node::NodeId;
+use crate::summary::Summary;
+use crate::tree::AnytimeTree;
+
+/// The query-side policy: how summaries and leaf items are scored against a
+/// query point.
+///
+/// The shared engine owns frontier bookkeeping, refinement ordering and the
+/// partial-answer fold; the model supplies what genuinely differs between
+/// workloads.  Implementations must be cheap to construct (one is typically
+/// built per query or per shard) and must use the *same global normaliser*
+/// across the shards of a sharded tree so that per-shard partial answers fold
+/// by plain summation.
+pub trait QueryModel<S: Summary> {
+    /// What the tree's leaves store.
+    type LeafItem;
+
+    /// Point estimate of the contribution a directory summary makes to the
+    /// query answer (e.g. `weight/n * gaussian(summary).pdf(query)`).
+    fn summary_contribution(&self, query: &[f64], summary: &S) -> f64;
+
+    /// Certain bounds `(lower, upper)` on the summary's *fully refined*
+    /// contribution.  Contract: the bounds of the summary's children (plus
+    /// its split-out buffer) must sum to an interval nested inside this one
+    /// — that nesting is what makes refinement monotone.
+    fn summary_bounds(&self, query: &[f64], summary: &S) -> (f64, f64);
+
+    /// Geometric priority of a summary: squared distance from the query to
+    /// the summary's region (used by [`RefineOrder::ClosestFirst`]).
+    fn summary_sq_dist(&self, query: &[f64], summary: &S) -> f64 {
+        summary.sq_dist_to(query)
+    }
+
+    /// Exact contribution of one leaf item (its bounds collapse to a point).
+    fn leaf_contribution(&self, query: &[f64], item: &Self::LeafItem) -> f64;
+
+    /// Geometric priority of a leaf item.
+    fn leaf_sq_dist(&self, query: &[f64], item: &Self::LeafItem) -> f64;
+
+    /// Weight of one leaf item (`1.0` for raw points).
+    fn leaf_weight(&self, _item: &Self::LeafItem) -> f64 {
+        1.0
+    }
+
+    /// The summary describing a whole (non-empty) leaf node — used to seed
+    /// the frontier when the root itself is a leaf.
+    fn summarize_leaf_items(&self, items: &[Self::LeafItem]) -> S;
+}
+
+/// Which frontier element to refine next.
+///
+/// These are the orderings the paper's Section 2.2 evaluates on the query
+/// side (hoisted out of the Bayes tree so they exist exactly once), plus the
+/// bound-driven order used by outlier scoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RefineOrder {
+    /// Refine elements level by level in arrival order (`bft`).
+    BreadthFirst,
+    /// Refine the most recently produced refinable element first (`dft`).
+    DepthFirst,
+    /// Refine the element geometrically closest to the query (`glo-geo`).
+    ClosestFirst,
+    /// Refine the element with the largest contribution (`glo`, the paper's
+    /// best-performing probabilistic measure).
+    #[default]
+    BestFirst,
+    /// Refine the element with the widest `[lower, upper]` bound interval —
+    /// the greedy choice for shrinking the answer's uncertainty, used by
+    /// anytime outlier scoring.
+    WidestBound,
+}
+
+/// Where a frontier element came from, so instantiations can map elements
+/// back to tree payloads (e.g. k-NN retrieval returning the micro-clusters
+/// behind the closest elements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElementOrigin {
+    /// The element is entry `index` of directory node `node`.
+    Entry {
+        /// Directory node holding the entry.
+        node: NodeId,
+        /// Index of the entry within the node.
+        index: usize,
+    },
+    /// The element is the hitchhiker buffer of entry `index` of node `node`,
+    /// split out when that entry was refined (unrefinable: the buffered
+    /// objects have not descended yet).
+    Buffer {
+        /// Directory node holding the entry.
+        node: NodeId,
+        /// Index of the entry within the node.
+        index: usize,
+    },
+    /// The element is leaf item `index` of leaf node `node`.
+    LeafItem {
+        /// The leaf node.
+        node: NodeId,
+        /// Index of the item within the leaf.
+        index: usize,
+    },
+    /// The synthetic element summarising a root that is itself a leaf.
+    RootLeaf,
+}
+
+/// One element of a query frontier.
+///
+/// A frontier represents every leaf item of the tree exactly once; each
+/// element contributes a point estimate and a certain `[lower, upper]`
+/// interval to the cursor's partial answer.
+#[derive(Debug, Clone)]
+pub struct QueryElement {
+    /// Where the element came from (entry / buffer / leaf item).
+    pub origin: ElementOrigin,
+    /// Child node this element refines into (`None` for exact leaf items
+    /// and unrefinable buffers).
+    pub child: Option<NodeId>,
+    /// Number of objects represented by this element.
+    pub weight: f64,
+    /// Point estimate of this element's contribution to the answer.
+    pub contribution: f64,
+    /// Certain lower bound on the fully refined contribution.
+    pub lower: f64,
+    /// Certain upper bound on the fully refined contribution.
+    pub upper: f64,
+    /// Geometric priority: squared distance from the query to the element.
+    pub min_dist_sq: f64,
+    /// Depth of the element in the tree (root entries have depth 1).
+    pub depth: usize,
+    /// Monotone sequence number recording when the element joined the
+    /// frontier (FIFO/LIFO tie-breaking).
+    pub seq: u64,
+}
+
+impl QueryElement {
+    /// Whether the element can still be refined.
+    #[must_use]
+    pub fn is_refinable(&self) -> bool {
+        self.child.is_some()
+    }
+}
+
+/// The query engine's work counters: one struct shared by the single-tree
+/// and sharded query paths, merged with [`QueryStats::merge`] — the
+/// query-side sibling of [`DescentStats`](crate::DescentStats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Queries begun on a cursor.
+    pub queries: u64,
+    /// Refinement steps performed (one node read each).
+    pub nodes_read: u64,
+    /// Frontier elements scored against a query (entries, buffers and leaf
+    /// items pushed onto a frontier).
+    pub elements_scored: u64,
+}
+
+impl QueryStats {
+    /// Folds another stats record into this one (used to aggregate per-shard
+    /// and per-batch counters into one report).
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.queries += other.queries;
+        self.nodes_read += other.nodes_read;
+        self.elements_scored += other.elements_scored;
+    }
+
+    /// The work performed since `earlier` was captured (element-wise
+    /// saturating difference).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &QueryStats) -> QueryStats {
+        QueryStats {
+            queries: self.queries.saturating_sub(earlier.queries),
+            nodes_read: self.nodes_read.saturating_sub(earlier.nodes_read),
+            elements_scored: self.elements_scored.saturating_sub(earlier.elements_scored),
+        }
+    }
+}
+
+impl std::fmt::Display for QueryStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "queries={} reads={} scored={}",
+            self.queries, self.nodes_read, self.elements_scored
+        )
+    }
+}
+
+/// The answer of one (possibly interrupted) query: the current mixture
+/// estimate with its certain bounds and the budget actually spent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryAnswer {
+    /// Point estimate of the answer under the current frontier.
+    pub estimate: f64,
+    /// Certain lower bound on the fully refined answer.
+    pub lower: f64,
+    /// Certain upper bound on the fully refined answer.
+    pub upper: f64,
+    /// Refinement steps (node reads) this answer cost.
+    pub nodes_read: usize,
+}
+
+impl QueryAnswer {
+    /// Width of the certain bound interval — the answer's honest remaining
+    /// uncertainty, non-increasing in budget.
+    #[must_use]
+    pub fn uncertainty(&self) -> f64 {
+        (self.upper - self.lower).max(0.0)
+    }
+
+    /// Classifies the answer against a density `threshold`: certain verdicts
+    /// as soon as the bound interval clears the threshold.
+    #[must_use]
+    pub fn verdict(&self, threshold: f64) -> OutlierVerdict {
+        if self.upper < threshold {
+            OutlierVerdict::Outlier
+        } else if self.lower > threshold {
+            OutlierVerdict::Inlier
+        } else {
+            OutlierVerdict::Undecided
+        }
+    }
+}
+
+/// The (possibly still uncertain) outcome of an anytime outlier test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutlierVerdict {
+    /// The density is certainly below the threshold: an outlier.
+    Outlier,
+    /// The density is certainly above the threshold: an inlier.
+    Inlier,
+    /// The bound interval still straddles the threshold.
+    Undecided,
+}
+
+/// The result of one anytime outlier test: the refinable density interval
+/// plus the verdict it supports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutlierScore {
+    /// The density estimate with its certain bounds.
+    pub answer: QueryAnswer,
+    /// The verdict the bounds support at the tested threshold.
+    pub verdict: OutlierVerdict,
+}
+
+/// A Neumaier-compensated accumulator: every refinement subtracts a parent
+/// contribution and adds its children's, and a single degenerate summary
+/// (near-zero variance, astronomically peaked density) passing through a
+/// plain `f64` sum would permanently shave low-order bits off the answer.
+/// The compensation term keeps the running sums as accurate as re-summing
+/// the frontier from scratch, at O(1) per update.
+#[derive(Debug, Clone, Copy, Default)]
+struct Accumulator {
+    sum: f64,
+    compensation: f64,
+}
+
+impl Accumulator {
+    fn add(&mut self, value: f64) {
+        let t = self.sum + value;
+        if self.sum.abs() >= value.abs() {
+            self.compensation += (self.sum - t) + value;
+        } else {
+            self.compensation += (value - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    fn sub(&mut self, value: f64) {
+        self.add(-value);
+    }
+
+    fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+
+    fn reset(&mut self) {
+        self.sum = 0.0;
+        self.compensation = 0.0;
+    }
+}
+
+/// The complete state of one in-flight query: the frontier, the running
+/// partial answer with its certain bounds, and the engine's work counters.
+///
+/// A cursor is plain per-query scratch — it borrows nothing, so one cursor
+/// can be reused across many queries ([`QueryCursor::new`] once, then
+/// [`AnytimeTree::begin_query`] per query re-fills the same allocations) and
+/// moved freely across threads by the sharded query path.
+#[derive(Debug, Clone, Default)]
+pub struct QueryCursor {
+    query: Vec<f64>,
+    elements: Vec<QueryElement>,
+    estimate: Accumulator,
+    lower: Accumulator,
+    upper: Accumulator,
+    nodes_read: usize,
+    next_seq: u64,
+    stats: QueryStats,
+}
+
+impl QueryCursor {
+    /// Creates an empty cursor (no frontier until a query begins).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The query point the cursor currently refines for.
+    #[must_use]
+    pub fn query(&self) -> &[f64] {
+        &self.query
+    }
+
+    /// The current point estimate of the answer.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        self.estimate.value()
+    }
+
+    /// The certain `(lower, upper)` bounds on the fully refined answer.
+    #[must_use]
+    pub fn bounds(&self) -> (f64, f64) {
+        (self.lower.value(), self.upper.value())
+    }
+
+    /// Width of the certain bound interval (non-increasing in budget).
+    #[must_use]
+    pub fn uncertainty(&self) -> f64 {
+        (self.upper.value() - self.lower.value()).max(0.0)
+    }
+
+    /// Number of refinement steps (node reads) spent on the current query.
+    #[must_use]
+    pub fn nodes_read(&self) -> usize {
+        self.nodes_read
+    }
+
+    /// The current frontier elements.
+    #[must_use]
+    pub fn elements(&self) -> &[QueryElement] {
+        &self.elements
+    }
+
+    /// Whether at least one element can still be refined.
+    #[must_use]
+    pub fn can_refine(&self) -> bool {
+        self.elements.iter().any(QueryElement::is_refinable)
+    }
+
+    /// Total weight of the frontier (equals the number of stored objects —
+    /// every leaf item is represented exactly once).
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.elements.iter().map(|e| e.weight).sum()
+    }
+
+    /// The engine's work counters, accumulated across every query this
+    /// cursor served.
+    #[must_use]
+    pub fn stats(&self) -> &QueryStats {
+        &self.stats
+    }
+
+    /// The current answer as a standalone value.
+    #[must_use]
+    pub fn answer(&self) -> QueryAnswer {
+        QueryAnswer {
+            estimate: self.estimate.value(),
+            lower: self.lower.value(),
+            upper: self.upper.value(),
+            nodes_read: self.nodes_read,
+        }
+    }
+
+    /// Index of the element `order` would refine next, if any.
+    #[must_use]
+    pub fn peek_next(&self, order: RefineOrder) -> Option<usize> {
+        self.select(order)
+    }
+
+    fn reset(&mut self, query: &[f64]) {
+        self.query.clear();
+        self.query.extend_from_slice(query);
+        self.elements.clear();
+        self.estimate.reset();
+        self.lower.reset();
+        self.upper.reset();
+        self.nodes_read = 0;
+        self.next_seq = 0;
+        self.stats.queries += 1;
+    }
+
+    /// The refinement orderings, hoisted here so the per-workload frontiers
+    /// share one implementation (tie-breaking included: FIFO for the
+    /// minimising orders, earliest-joined-wins for the maximising ones).
+    ///
+    /// Selection is a linear scan over the frontier, deliberately matching
+    /// the historical Bayes-tree frontier step for step (the orderings and
+    /// tie-breaks are observable through refinement traces).  For the
+    /// budgets the workloads use the scan is cheap; a per-order lazy heap
+    /// is the planned optimisation once a profile demands it.
+    fn select(&self, order: RefineOrder) -> Option<usize> {
+        let refinable = self
+            .elements
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_refinable());
+        match order {
+            RefineOrder::BreadthFirst => refinable
+                .min_by(|(_, a), (_, b)| a.depth.cmp(&b.depth).then(a.seq.cmp(&b.seq)))
+                .map(|(i, _)| i),
+            RefineOrder::DepthFirst => refinable
+                .max_by(|(_, a), (_, b)| a.depth.cmp(&b.depth).then(a.seq.cmp(&b.seq)))
+                .map(|(i, _)| i),
+            RefineOrder::ClosestFirst => refinable
+                .min_by(|(_, a), (_, b)| {
+                    a.min_dist_sq
+                        .partial_cmp(&b.min_dist_sq)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.seq.cmp(&b.seq))
+                })
+                .map(|(i, _)| i),
+            RefineOrder::BestFirst => refinable
+                .max_by(|(_, a), (_, b)| {
+                    a.contribution
+                        .partial_cmp(&b.contribution)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(b.seq.cmp(&a.seq))
+                })
+                .map(|(i, _)| i),
+            RefineOrder::WidestBound => refinable
+                .max_by(|(_, a), (_, b)| {
+                    (a.upper - a.lower)
+                        .partial_cmp(&(b.upper - b.lower))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(b.seq.cmp(&a.seq))
+                })
+                .map(|(i, _)| i),
+        }
+    }
+
+    fn push_summary<S, M>(
+        &mut self,
+        model: &M,
+        child: Option<NodeId>,
+        summary: &S,
+        origin: ElementOrigin,
+        depth: usize,
+    ) where
+        S: Summary,
+        M: QueryModel<S>,
+    {
+        let contribution = model.summary_contribution(&self.query, summary);
+        let (lower, upper) = model.summary_bounds(&self.query, summary);
+        let min_dist_sq = model.summary_sq_dist(&self.query, summary);
+        let seq = self.bump_seq();
+        self.elements.push(QueryElement {
+            origin,
+            child,
+            weight: summary.weight(),
+            contribution,
+            lower,
+            upper,
+            min_dist_sq,
+            depth,
+            seq,
+        });
+        self.estimate.add(contribution);
+        self.lower.add(lower);
+        self.upper.add(upper);
+        self.stats.elements_scored += 1;
+    }
+
+    fn push_leaf_item<S, M>(
+        &mut self,
+        model: &M,
+        item: &M::LeafItem,
+        origin: ElementOrigin,
+        depth: usize,
+    ) where
+        S: Summary,
+        M: QueryModel<S>,
+    {
+        let contribution = model.leaf_contribution(&self.query, item);
+        let min_dist_sq = model.leaf_sq_dist(&self.query, item);
+        let seq = self.bump_seq();
+        self.elements.push(QueryElement {
+            origin,
+            child: None,
+            weight: model.leaf_weight(item),
+            contribution,
+            lower: contribution,
+            upper: contribution,
+            min_dist_sq,
+            depth,
+            seq,
+        });
+        self.estimate.add(contribution);
+        self.lower.add(contribution);
+        self.upper.add(contribution);
+        self.stats.elements_scored += 1;
+    }
+
+    fn bump_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+}
+
+impl<S: Summary, L> AnytimeTree<S, L> {
+    /// (Re)starts `cursor` on `query`: the frontier becomes the root's
+    /// entries (or one synthetic element summarising a root that is itself a
+    /// leaf), reusing the cursor's allocations.
+    ///
+    /// Reading the root is free — it is required to produce any model at all
+    /// — so [`QueryCursor::nodes_read`] starts at 0 and counts refinement
+    /// steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query has the wrong dimensionality.
+    pub fn begin_query<M>(&self, model: &M, query: &[f64], cursor: &mut QueryCursor)
+    where
+        M: QueryModel<S, LeafItem = L>,
+    {
+        assert_eq!(query.len(), self.dims(), "query dimensionality mismatch");
+        cursor.reset(query);
+        let root = self.root();
+        match &self.node(root).kind {
+            crate::node::NodeKind::Inner { entries } => {
+                for (index, entry) in entries.iter().enumerate() {
+                    cursor.push_summary(
+                        model,
+                        Some(entry.child),
+                        &entry.summary,
+                        ElementOrigin::Entry { node: root, index },
+                        1,
+                    );
+                }
+            }
+            crate::node::NodeKind::Leaf { items } => {
+                if !items.is_empty() {
+                    let summary = model.summarize_leaf_items(items);
+                    cursor.push_summary(model, Some(root), &summary, ElementOrigin::RootLeaf, 1);
+                }
+            }
+        }
+    }
+
+    /// Starts a fresh cursor on `query` (allocating; prefer
+    /// [`Self::begin_query`] with a reused cursor on hot paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query has the wrong dimensionality.
+    #[must_use]
+    pub fn new_query<M>(&self, model: &M, query: &[f64]) -> QueryCursor
+    where
+        M: QueryModel<S, LeafItem = L>,
+    {
+        let mut cursor = QueryCursor::new();
+        self.begin_query(model, query, &mut cursor);
+        cursor
+    }
+
+    /// Performs one refinement step (one node read) in the given order:
+    /// replaces the selected frontier element by its children (splitting out
+    /// the refined entry's hitchhiker buffer, whose mass its summary
+    /// covered) and updates the partial answer and bounds.
+    ///
+    /// Returns `false` (and changes nothing) when no element is refinable.
+    pub fn refine_query<M>(&self, model: &M, order: RefineOrder, cursor: &mut QueryCursor) -> bool
+    where
+        M: QueryModel<S, LeafItem = L>,
+    {
+        let Some(idx) = cursor.select(order) else {
+            return false;
+        };
+        let element = cursor.elements.swap_remove(idx);
+        cursor.estimate.sub(element.contribution);
+        cursor.lower.sub(element.lower);
+        cursor.upper.sub(element.upper);
+        // The refined entry's summary covered its own hitchhiker buffer;
+        // the children below only cover descended mass, so the buffer is
+        // split out as an unrefinable element of its own.
+        if let ElementOrigin::Entry { node, index } = element.origin {
+            if let Some(buffer) = &self.node(node).entries()[index].buffer {
+                cursor.push_summary(
+                    model,
+                    None,
+                    buffer,
+                    ElementOrigin::Buffer { node, index },
+                    element.depth,
+                );
+            }
+        }
+        let child = element.child.expect("selected element is refinable");
+        let child_depth = element.depth + 1;
+        match &self.node(child).kind {
+            crate::node::NodeKind::Inner { entries } => {
+                for (index, entry) in entries.iter().enumerate() {
+                    cursor.push_summary(
+                        model,
+                        Some(entry.child),
+                        &entry.summary,
+                        ElementOrigin::Entry { node: child, index },
+                        child_depth,
+                    );
+                }
+            }
+            crate::node::NodeKind::Leaf { items } => {
+                for (index, item) in items.iter().enumerate() {
+                    cursor.push_leaf_item(
+                        model,
+                        item,
+                        ElementOrigin::LeafItem { node: child, index },
+                        child_depth,
+                    );
+                }
+            }
+        }
+        cursor.nodes_read += 1;
+        cursor.stats.nodes_read += 1;
+        true
+    }
+
+    /// Refines until either `budget` node reads have been spent or nothing
+    /// is refinable; returns the number of reads actually performed.
+    pub fn refine_query_up_to<M>(
+        &self,
+        model: &M,
+        order: RefineOrder,
+        budget: usize,
+        cursor: &mut QueryCursor,
+    ) -> usize
+    where
+        M: QueryModel<S, LeafItem = L>,
+    {
+        let mut done = 0;
+        while done < budget && self.refine_query(model, order, cursor) {
+            done += 1;
+        }
+        done
+    }
+
+    /// One-shot query: starts a cursor, refines up to `budget` node reads
+    /// and returns the answer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query has the wrong dimensionality.
+    #[must_use]
+    pub fn query_with_budget<M>(
+        &self,
+        model: &M,
+        query: &[f64],
+        order: RefineOrder,
+        budget: usize,
+    ) -> QueryAnswer
+    where
+        M: QueryModel<S, LeafItem = L>,
+    {
+        let mut cursor = self.new_query(model, query);
+        self.refine_query_up_to(model, order, budget, &mut cursor);
+        cursor.answer()
+    }
+
+    /// Refines a batch of queries through **one reused cursor** (the
+    /// frontier allocation is shared scratch), each up to `budget` node
+    /// reads, and returns the per-query answers plus the batch's merged
+    /// work counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query has the wrong dimensionality.
+    #[must_use]
+    pub fn query_batch<M>(
+        &self,
+        model: &M,
+        queries: &[Vec<f64>],
+        order: RefineOrder,
+        budget: usize,
+    ) -> (Vec<QueryAnswer>, QueryStats)
+    where
+        M: QueryModel<S, LeafItem = L>,
+    {
+        let mut cursor = QueryCursor::new();
+        let mut answers = Vec::with_capacity(queries.len());
+        for query in queries {
+            self.begin_query(model, query, &mut cursor);
+            self.refine_query_up_to(model, order, budget, &mut cursor);
+            answers.push(cursor.answer());
+        }
+        (answers, *cursor.stats())
+    }
+
+    /// Anytime outlier scoring: refines the density bounds (widest interval
+    /// first) until the verdict against `threshold` is certain or `budget`
+    /// node reads are spent — the first insert-free workload over the same
+    /// index, needing only a [`Summary`] + [`QueryModel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query has the wrong dimensionality.
+    #[must_use]
+    pub fn outlier_score<M>(
+        &self,
+        model: &M,
+        query: &[f64],
+        threshold: f64,
+        budget: usize,
+    ) -> OutlierScore
+    where
+        M: QueryModel<S, LeafItem = L>,
+    {
+        let mut cursor = self.new_query(model, query);
+        let mut verdict = cursor.answer().verdict(threshold);
+        while verdict == OutlierVerdict::Undecided
+            && cursor.nodes_read() < budget
+            && self.refine_query(model, RefineOrder::WidestBound, &mut cursor)
+        {
+            verdict = cursor.answer().verdict(threshold);
+        }
+        OutlierScore {
+            answer: cursor.answer(),
+            verdict,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::InsertModel;
+    use bt_index::PageGeometry;
+
+    /// A minimal distance-routed payload: (weight, component sums) — same
+    /// shape as the descent-engine tests' Blob.
+    #[derive(Debug, Clone, PartialEq)]
+    struct Blob {
+        weight: f64,
+        sum: Vec<f64>,
+    }
+
+    impl Blob {
+        fn center_of(&self) -> Vec<f64> {
+            self.sum.iter().map(|s| s / self.weight).collect()
+        }
+    }
+
+    impl Summary for Blob {
+        type Ctx = ();
+        fn merge(&mut self, other: &Self, _ctx: ()) {
+            self.weight += other.weight;
+            for (a, b) in self.sum.iter_mut().zip(&other.sum) {
+                *a += b;
+            }
+        }
+        fn weight(&self) -> f64 {
+            self.weight
+        }
+        fn sq_dist_to(&self, point: &[f64]) -> f64 {
+            self.center_of()
+                .iter()
+                .zip(point)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum()
+        }
+        fn center(&self) -> Vec<f64> {
+            self.center_of()
+        }
+    }
+
+    struct BlobModel;
+
+    impl InsertModel<Blob> for BlobModel {
+        type Object = Blob;
+        type LeafItem = Blob;
+        const BUFFERED: bool = true;
+
+        fn ctx(&self) {}
+        fn route_point<'a>(&self, obj: &'a Blob, scratch: &'a mut Vec<f64>) -> &'a [f64] {
+            scratch.clear();
+            scratch.extend(obj.center_of());
+            scratch
+        }
+        fn summary_of(&self, obj: &Blob) -> Blob {
+            obj.clone()
+        }
+        fn absorb_into(&self, summary: &mut Blob, obj: &Blob) {
+            summary.merge(obj, ());
+        }
+        fn merge_buffer_into_object(&self, obj: &mut Blob, buffer: Blob) {
+            obj.merge(&buffer, ());
+        }
+        fn insert_into_leaf(&mut self, items: &mut Vec<Blob>, obj: Blob) {
+            items.push(obj);
+        }
+        fn summarize_leaf_items(&self, items: &[Blob]) -> Blob {
+            let mut s = items[0].clone();
+            for i in &items[1..] {
+                s.merge(i, ());
+            }
+            s
+        }
+        fn split_leaf_items(
+            &self,
+            items: Vec<Blob>,
+            geometry: &PageGeometry,
+        ) -> (Vec<Blob>, Vec<Blob>) {
+            let centers: Vec<Vec<f64>> = items.iter().map(Summary::center).collect();
+            let (a, b) = crate::split::polar_partition(&centers, geometry.max_leaf);
+            crate::split::distribute(items, &a, &b)
+        }
+    }
+
+    /// A toy density model: contribution `w * exp(-d²)` of each element's
+    /// centre, Jensen-free bounds `(0, w)` for summaries, exact at leaves.
+    struct BlobQueryModel;
+
+    impl QueryModel<Blob> for BlobQueryModel {
+        type LeafItem = Blob;
+        fn summary_contribution(&self, query: &[f64], summary: &Blob) -> f64 {
+            summary.weight * (-summary.sq_dist_to(query)).exp()
+        }
+        fn summary_bounds(&self, _query: &[f64], summary: &Blob) -> (f64, f64) {
+            (0.0, summary.weight)
+        }
+        fn leaf_contribution(&self, query: &[f64], item: &Blob) -> f64 {
+            self.summary_contribution(query, item)
+        }
+        fn leaf_sq_dist(&self, query: &[f64], item: &Blob) -> f64 {
+            item.sq_dist_to(query)
+        }
+        fn leaf_weight(&self, item: &Blob) -> f64 {
+            item.weight
+        }
+        fn summarize_leaf_items(&self, items: &[Blob]) -> Blob {
+            let mut s = items[0].clone();
+            for i in &items[1..] {
+                s.merge(i, ());
+            }
+            s
+        }
+    }
+
+    fn blob(x: f64, y: f64) -> Blob {
+        Blob {
+            weight: 1.0,
+            sum: vec![x, y],
+        }
+    }
+
+    fn geometry() -> PageGeometry {
+        PageGeometry {
+            min_fanout: 1,
+            max_fanout: 3,
+            min_leaf: 1,
+            max_leaf: 3,
+        }
+    }
+
+    fn sample_tree(n: usize, budget: usize) -> AnytimeTree<Blob, Blob> {
+        let mut tree = AnytimeTree::new(2, geometry());
+        let mut model = BlobModel;
+        for i in 0..n {
+            let c = if i % 2 == 0 { 0.0 } else { 20.0 };
+            tree.insert(
+                &mut model,
+                blob(c + (i % 5) as f64 * 0.1, c + (i % 7) as f64 * 0.1),
+                budget,
+            );
+        }
+        tree
+    }
+
+    #[test]
+    fn initial_frontier_covers_all_mass() {
+        let tree = sample_tree(80, usize::MAX);
+        let cursor = tree.new_query(&BlobQueryModel, &[0.0, 0.0]);
+        assert!((cursor.total_weight() - 80.0).abs() < 1e-9);
+        assert_eq!(cursor.nodes_read(), 0);
+        assert!(cursor.can_refine());
+    }
+
+    #[test]
+    fn refinement_conserves_weight_for_every_order() {
+        for order in [
+            RefineOrder::BreadthFirst,
+            RefineOrder::DepthFirst,
+            RefineOrder::ClosestFirst,
+            RefineOrder::BestFirst,
+            RefineOrder::WidestBound,
+        ] {
+            let tree = sample_tree(120, usize::MAX);
+            let mut cursor = tree.new_query(&BlobQueryModel, &[1.0, 1.0]);
+            while tree.refine_query(&BlobQueryModel, order, &mut cursor) {
+                assert!(
+                    (cursor.total_weight() - 120.0).abs() < 1e-9,
+                    "{order:?}: weight drifted"
+                );
+            }
+            assert!(!cursor.can_refine());
+        }
+    }
+
+    #[test]
+    fn parked_mass_surfaces_as_buffer_elements() {
+        // Build with a finite budget so hitchhiker buffers hold mass, then
+        // check the fully refined frontier still covers everything.
+        let tree = sample_tree(150, 1);
+        let mut cursor = tree.new_query(&BlobQueryModel, &[0.5, 0.5]);
+        while tree.refine_query(&BlobQueryModel, RefineOrder::BreadthFirst, &mut cursor) {}
+        assert!((cursor.total_weight() - 150.0).abs() < 1e-9);
+        let buffered: f64 = cursor
+            .elements()
+            .iter()
+            .filter(|e| matches!(e.origin, ElementOrigin::Buffer { .. }))
+            .map(|e| e.weight)
+            .sum();
+        assert!(buffered > 0.0, "budget-1 inserts should have parked mass");
+    }
+
+    #[test]
+    fn bounds_are_monotone_under_refinement() {
+        let tree = sample_tree(200, usize::MAX);
+        let mut cursor = tree.new_query(&BlobQueryModel, &[0.3, 0.2]);
+        let mut last = cursor.uncertainty();
+        let (mut last_lower, mut last_upper) = cursor.bounds();
+        while tree.refine_query(&BlobQueryModel, RefineOrder::WidestBound, &mut cursor) {
+            let (lower, upper) = cursor.bounds();
+            assert!(lower >= last_lower - 1e-9, "lower bound regressed");
+            assert!(upper <= last_upper + 1e-9, "upper bound regressed");
+            assert!(cursor.uncertainty() <= last + 1e-9);
+            last = cursor.uncertainty();
+            last_lower = lower;
+            last_upper = upper;
+        }
+        // Fully refined with nothing buffered: bounds collapse onto the
+        // exact answer.
+        assert!(cursor.uncertainty() < 1e-9);
+        assert!((cursor.estimate() - cursor.bounds().0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_batch_reuses_one_cursor_and_counts_work() {
+        let tree = sample_tree(100, usize::MAX);
+        let queries = vec![vec![0.0, 0.0], vec![20.0, 20.0], vec![10.0, 10.0]];
+        let (answers, stats) =
+            tree.query_batch(&BlobQueryModel, &queries, RefineOrder::BestFirst, 4);
+        assert_eq!(answers.len(), 3);
+        assert_eq!(stats.queries, 3);
+        assert_eq!(
+            stats.nodes_read,
+            answers.iter().map(|a| a.nodes_read as u64).sum::<u64>()
+        );
+        for a in &answers {
+            assert!(a.lower <= a.estimate + 1e-9 && a.estimate <= a.upper + 1e-9);
+        }
+    }
+
+    #[test]
+    fn root_leaf_tree_exposes_one_synthetic_element() {
+        let mut tree = AnytimeTree::new(2, geometry());
+        let mut model = BlobModel;
+        tree.insert(&mut model, blob(1.0, 1.0), usize::MAX);
+        tree.insert(&mut model, blob(2.0, 2.0), usize::MAX);
+        assert_eq!(tree.height(), 1);
+        let mut cursor = tree.new_query(&BlobQueryModel, &[1.0, 1.0]);
+        assert_eq!(cursor.elements().len(), 1);
+        assert!(matches!(
+            cursor.elements()[0].origin,
+            ElementOrigin::RootLeaf
+        ));
+        assert!(tree.refine_query(&BlobQueryModel, RefineOrder::BestFirst, &mut cursor));
+        assert_eq!(cursor.elements().len(), 2);
+        assert!(!cursor.can_refine());
+    }
+
+    #[test]
+    fn empty_tree_has_an_empty_frontier() {
+        let tree: AnytimeTree<Blob, Blob> = AnytimeTree::new(2, geometry());
+        let mut cursor = tree.new_query(&BlobQueryModel, &[0.0, 0.0]);
+        assert!(cursor.elements().is_empty());
+        assert!(!tree.refine_query(&BlobQueryModel, RefineOrder::BestFirst, &mut cursor));
+        assert_eq!(cursor.estimate(), 0.0);
+    }
+
+    #[test]
+    fn outlier_scoring_decides_with_few_reads() {
+        let tree = sample_tree(200, usize::MAX);
+        // A point far from both clusters: certainly an outlier at any
+        // reasonable threshold.
+        let far = tree.outlier_score(&BlobQueryModel, &[400.0, -400.0], 1e-3, 1_000);
+        assert_eq!(far.verdict, OutlierVerdict::Outlier);
+        // A point in the middle of the dense cluster: certainly an inlier.
+        let near = tree.outlier_score(&BlobQueryModel, &[0.2, 0.2], 1e-3, 1_000);
+        assert_eq!(near.verdict, OutlierVerdict::Inlier);
+        // The outlier decision needed fewer reads than exhausting the tree.
+        assert!(far.answer.nodes_read < tree.num_nodes());
+    }
+
+    #[test]
+    fn query_stats_display_is_compact() {
+        let stats = QueryStats {
+            queries: 2,
+            nodes_read: 17,
+            elements_scored: 64,
+        };
+        assert_eq!(stats.to_string(), "queries=2 reads=17 scored=64");
+    }
+}

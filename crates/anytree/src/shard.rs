@@ -29,6 +29,9 @@
 
 use crate::descent::{BatchOutcome, DepthHistogram, DescentStats};
 use crate::model::InsertModel;
+use crate::query::{
+    OutlierScore, OutlierVerdict, QueryAnswer, QueryCursor, QueryModel, QueryStats, RefineOrder,
+};
 use crate::summary::Summary;
 use crate::tree::{AnytimeTree, InsertOutcome};
 use bt_index::PageGeometry;
@@ -95,6 +98,37 @@ impl<S: Summary> ShardRouter<S> for FixedPartitionRouter {
     }
 }
 
+/// The sharded tree's single concurrency dispatch: runs `run` over the
+/// selected `(shard, state)` pairs — inline when at most one pair is
+/// selected (so a 1-shard tree performs exactly the plain tree's steps,
+/// with no thread overhead), on one scoped thread per pair otherwise.
+/// Every parallel path (batched insertion, frontier refinement, batched
+/// queries, outlier rounds) goes through here, so the dispatch policy
+/// exists exactly once.
+fn dispatch_busy<A: Send, B: Send>(
+    pairs: Vec<(A, B)>,
+    busy: impl Fn(&A, &B) -> bool,
+    run: impl Fn(A, B) + Sync,
+) {
+    let count = pairs.iter().filter(|(a, b)| busy(a, b)).count();
+    if count <= 1 {
+        for (a, b) in pairs {
+            if busy(&a, &b) {
+                run(a, b);
+            }
+        }
+    } else {
+        std::thread::scope(|scope| {
+            let run = &run;
+            for (a, b) in pairs {
+                if busy(&a, &b) {
+                    scope.spawn(move || run(a, b));
+                }
+            }
+        });
+    }
+}
+
 /// The merged result of one [`ShardedAnytimeTree::insert_batch`] call.
 #[derive(Debug, Clone)]
 pub struct ShardedBatchOutcome {
@@ -123,6 +157,8 @@ pub struct ShardedAnytimeTree<S: Summary, L, R = CheapestRouter> {
     /// only (never refreshed/decayed), not a substitute for the shard trees'
     /// own summaries.
     aggregates: Vec<Option<S>>,
+    /// Objects routed to each shard so far (router-skew observability).
+    sizes: Vec<usize>,
     router: R,
     route_scratch: Vec<f64>,
 }
@@ -154,6 +190,7 @@ impl<S: Summary, L, R> ShardedAnytimeTree<S, L, R> {
                 .map(|_| AnytimeTree::new(dims, geometry))
                 .collect(),
             aggregates: vec![None; num_shards],
+            sizes: vec![0; num_shards],
             router,
             route_scratch: Vec::new(),
         }
@@ -194,6 +231,14 @@ impl<S: Summary, L, R> ShardedAnytimeTree<S, L, R> {
     #[must_use]
     pub fn aggregates(&self) -> &[Option<S>] {
         &self.aggregates
+    }
+
+    /// Objects routed to each shard so far — the direct skew measure for the
+    /// configured [`ShardRouter`] (a future work-stealing layer rebalances
+    /// exactly this).
+    #[must_use]
+    pub fn shard_sizes(&self) -> &[usize] {
+        &self.sizes
     }
 
     /// Total number of reachable nodes across all shards.
@@ -243,6 +288,7 @@ impl<S: Summary, L, R: ShardRouter<S>> ShardedAnytimeTree<S, L, R> {
             Some(agg) => model.absorb_into(agg, obj),
             slot @ None => *slot = Some(model.summary_of(obj)),
         }
+        self.sizes[shard] += 1;
         shard
     }
 
@@ -299,39 +345,17 @@ impl<S: Summary, L, R: ShardRouter<S>> ShardedAnytimeTree<S, L, R> {
         let objects_per_shard: Vec<usize> = per_shard_objs.iter().map(Vec::len).collect();
 
         let mut results: Vec<Option<BatchOutcome>> = (0..num_shards).map(|_| None).collect();
-        let busy_shards = per_shard_objs.iter().filter(|v| !v.is_empty()).count();
-        if busy_shards <= 1 {
-            // No parallelism to gain: run inline (this also makes the
-            // 1-shard tree step-for-step identical to the plain tree).
-            for ((shard, objs), slot) in self
-                .shards
+        dispatch_busy(
+            self.shards
                 .iter_mut()
-                .zip(per_shard_objs)
-                .zip(results.iter_mut())
-            {
-                if !objs.is_empty() {
-                    let mut model = make_model();
-                    *slot = Some(shard.insert_batch(&mut model, objs, budget));
-                }
-            }
-        } else {
-            std::thread::scope(|scope| {
-                for ((shard, objs), slot) in self
-                    .shards
-                    .iter_mut()
-                    .zip(per_shard_objs)
-                    .zip(results.iter_mut())
-                {
-                    if objs.is_empty() {
-                        continue;
-                    }
-                    scope.spawn(move || {
-                        let mut model = make_model();
-                        *slot = Some(shard.insert_batch(&mut model, objs, budget));
-                    });
-                }
-            });
-        }
+                .zip(per_shard_objs.into_iter().zip(results.iter_mut()))
+                .collect(),
+            |_, (objs, _)| !objs.is_empty(),
+            |shard, (objs, slot)| {
+                let mut model = make_model();
+                *slot = Some(shard.insert_batch(&mut model, objs, budget));
+            },
+        );
 
         let mut outcomes = vec![InsertOutcome::ReachedLeaf; total];
         let mut depths = DepthHistogram::default();
@@ -352,6 +376,252 @@ impl<S: Summary, L, R: ShardRouter<S>> ShardedAnytimeTree<S, L, R> {
             depths,
             stats,
             objects_per_shard,
+        }
+    }
+}
+
+/// The folded result of one sharded anytime query: per-shard frontier
+/// partials summed into one global mixture answer.
+///
+/// The fold is plain summation, so it requires every shard's [`QueryModel`]
+/// to use the same *global* normaliser (e.g. the total object count across
+/// shards).  Because each shard's `[lower, upper]` interval can only tighten
+/// with budget (the [`query`](crate::query) module's nesting contract), the
+/// folded interval inherits the monotonicity guarantee: more per-shard
+/// budget never worsens the global bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedQueryAnswer {
+    /// Point estimate of the global answer (sum of the shard estimates).
+    pub estimate: f64,
+    /// Certain lower bound on the fully refined global answer.
+    pub lower: f64,
+    /// Certain upper bound on the fully refined global answer.
+    pub upper: f64,
+    /// Total refinement steps (node reads) across all shards.
+    pub nodes_read: usize,
+    /// Refinement steps each shard spent.
+    pub per_shard_nodes: Vec<usize>,
+}
+
+impl ShardedQueryAnswer {
+    /// Width of the folded bound interval (non-increasing in budget).
+    #[must_use]
+    pub fn uncertainty(&self) -> f64 {
+        (self.upper - self.lower).max(0.0)
+    }
+
+    /// The single-tree shape of this answer (dropping the per-shard split).
+    #[must_use]
+    pub fn as_answer(&self) -> QueryAnswer {
+        QueryAnswer {
+            estimate: self.estimate,
+            lower: self.lower,
+            upper: self.upper,
+            nodes_read: self.nodes_read,
+        }
+    }
+
+    fn empty(num_shards: usize) -> Self {
+        ShardedQueryAnswer {
+            estimate: 0.0,
+            lower: 0.0,
+            upper: 0.0,
+            nodes_read: 0,
+            per_shard_nodes: vec![0; num_shards],
+        }
+    }
+
+    /// Adds shard `k`'s partial answer into the fold — the single place the
+    /// fold arithmetic lives, shared by the one-shot, batched and
+    /// outlier-scoring paths.
+    fn accumulate(&mut self, k: usize, partial: &QueryAnswer) {
+        self.estimate += partial.estimate;
+        self.lower += partial.lower;
+        self.upper += partial.upper;
+        self.nodes_read += partial.nodes_read;
+        self.per_shard_nodes[k] += partial.nodes_read;
+    }
+
+    fn fold(cursors: &[QueryCursor]) -> Self {
+        let mut answer = ShardedQueryAnswer::empty(cursors.len());
+        for (k, cursor) in cursors.iter().enumerate() {
+            answer.accumulate(k, &cursor.answer());
+        }
+        answer
+    }
+}
+
+impl<S: Summary, L, R> ShardedAnytimeTree<S, L, R> {
+    /// Refines one query's per-shard frontiers **in parallel** on scoped
+    /// threads (each shard up to `budget` node reads) and returns the
+    /// per-shard cursors for the caller to fold.
+    ///
+    /// `make_model` constructs one query model per worker; every model must
+    /// share the same global normaliser so partial answers fold by
+    /// summation.  Shards that hold no data are skipped (their cursors stay
+    /// empty), and when at most one shard holds data the refinement runs
+    /// inline — a 1-shard tree performs exactly the single tree's steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query has the wrong dimensionality.
+    #[must_use]
+    pub fn refine_frontiers<M, F>(
+        &self,
+        make_model: &F,
+        query: &[f64],
+        order: RefineOrder,
+        budget: usize,
+    ) -> Vec<QueryCursor>
+    where
+        M: QueryModel<S, LeafItem = L>,
+        S: Sync,
+        L: Sync,
+        F: Fn() -> M + Sync,
+    {
+        let mut cursors: Vec<QueryCursor> =
+            (0..self.shards.len()).map(|_| QueryCursor::new()).collect();
+        dispatch_busy(
+            self.shards.iter().zip(cursors.iter_mut()).collect(),
+            |shard, _| !shard.node(shard.root()).is_empty(),
+            |shard, cursor| {
+                let model = make_model();
+                shard.begin_query(&model, query, cursor);
+                shard.refine_query_up_to(&model, order, budget, cursor);
+            },
+        );
+        cursors
+    }
+
+    /// One-shot sharded query: refines every shard's frontier in parallel
+    /// (each up to `budget` node reads) and folds the partials into one
+    /// global mixture answer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query has the wrong dimensionality.
+    #[must_use]
+    pub fn query_with_budget<M, F>(
+        &self,
+        make_model: &F,
+        query: &[f64],
+        order: RefineOrder,
+        budget: usize,
+    ) -> ShardedQueryAnswer
+    where
+        M: QueryModel<S, LeafItem = L>,
+        S: Sync,
+        L: Sync,
+        F: Fn() -> M + Sync,
+    {
+        ShardedQueryAnswer::fold(&self.refine_frontiers(make_model, query, order, budget))
+    }
+
+    /// Refines a batch of queries across all shards: one scoped thread per
+    /// shard processes the **whole batch** through one reused cursor (so
+    /// thread-spawn cost amortises over the batch and the frontier
+    /// allocation is per-shard scratch), then the per-shard partials are
+    /// folded per query.  Returns the per-query global answers plus the
+    /// merged [`QueryStats`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query has the wrong dimensionality.
+    #[must_use]
+    pub fn query_batch<M, F>(
+        &self,
+        make_model: &F,
+        queries: &[Vec<f64>],
+        order: RefineOrder,
+        budget: usize,
+    ) -> (Vec<ShardedQueryAnswer>, QueryStats)
+    where
+        M: QueryModel<S, LeafItem = L>,
+        S: Sync,
+        L: Sync,
+        F: Fn() -> M + Sync,
+    {
+        let num_shards = self.shards.len();
+        let mut per_shard: Vec<Option<(Vec<QueryAnswer>, QueryStats)>> =
+            (0..num_shards).map(|_| None).collect();
+        dispatch_busy(
+            self.shards.iter().zip(per_shard.iter_mut()).collect(),
+            |shard, _| !shard.node(shard.root()).is_empty(),
+            |shard, slot| {
+                let model = make_model();
+                *slot = Some(shard.query_batch(&model, queries, order, budget));
+            },
+        );
+        let mut stats = QueryStats::default();
+        let mut answers: Vec<ShardedQueryAnswer> = queries
+            .iter()
+            .map(|_| ShardedQueryAnswer::empty(num_shards))
+            .collect();
+        for (k, slot) in per_shard.into_iter().enumerate() {
+            let Some((partials, shard_stats)) = slot else {
+                continue;
+            };
+            stats.merge(&shard_stats);
+            for (answer, partial) in answers.iter_mut().zip(partials) {
+                answer.accumulate(k, &partial);
+            }
+        }
+        (answers, stats)
+    }
+
+    /// Anytime outlier scoring over the sharded index: every shard refines
+    /// its density bounds in parallel (widest interval first), the intervals
+    /// are folded, and the verdict is taken from the folded global bound.
+    ///
+    /// Like the single-tree path, this stops early: refinement proceeds in
+    /// doubling per-shard rounds with a fold-and-check between rounds, so a
+    /// clear-cut verdict costs far less than the full `budget`.  How early
+    /// depends on the model's bound tightness: MBR-backed bounds (Bayes
+    /// tree) decide far-away outliers almost immediately, while models with
+    /// a loose distance-blind upper bound (the micro-cluster peak bound)
+    /// resolve inlier verdicts quickly but need deep refinement to certify
+    /// an outlier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query has the wrong dimensionality.
+    #[must_use]
+    pub fn outlier_score<M, F>(
+        &self,
+        make_model: &F,
+        query: &[f64],
+        threshold: f64,
+        budget: usize,
+    ) -> OutlierScore
+    where
+        M: QueryModel<S, LeafItem = L>,
+        S: Sync,
+        L: Sync,
+        F: Fn() -> M + Sync,
+    {
+        // Seed every non-empty shard's frontier without spending budget.
+        let mut cursors = self.refine_frontiers(make_model, query, RefineOrder::WidestBound, 0);
+        let mut spent = 0usize;
+        let mut round = 1usize;
+        loop {
+            let folded = ShardedQueryAnswer::fold(&cursors);
+            let answer = folded.as_answer();
+            let verdict = answer.verdict(threshold);
+            let refinable = cursors.iter().any(QueryCursor::can_refine);
+            if verdict != OutlierVerdict::Undecided || spent >= budget || !refinable {
+                return OutlierScore { answer, verdict };
+            }
+            let step = round.min(budget - spent);
+            dispatch_busy(
+                self.shards.iter().zip(cursors.iter_mut()).collect(),
+                |_, cursor| cursor.can_refine(),
+                |shard, cursor| {
+                    let model = make_model();
+                    shard.refine_query_up_to(&model, RefineOrder::WidestBound, step, cursor);
+                },
+            );
+            spent += step;
+            round = round.saturating_mul(2);
         }
     }
 }
@@ -592,8 +862,117 @@ mod tests {
         fn assert_send<T: Send>() {}
         assert_send::<AnytimeTree<Blob, Blob>>();
         assert_send::<crate::DescentCursor<Blob>>();
+        assert_send::<crate::QueryCursor>();
         assert_send::<ShardedAnytimeTree<Blob, Blob, CheapestRouter>>();
         assert_send::<ShardedAnytimeTree<Blob, Blob, FixedPartitionRouter>>();
+    }
+
+    /// A toy density model over blobs: `w/n * exp(-d²)` with trivially
+    /// nested bounds `(0, w/n)`; exact at leaf level.
+    struct BlobQueryModel {
+        n: f64,
+    }
+
+    impl QueryModel<Blob> for BlobQueryModel {
+        type LeafItem = Blob;
+        fn summary_contribution(&self, query: &[f64], summary: &Blob) -> f64 {
+            summary.weight / self.n * (-summary.sq_dist_to(query)).exp()
+        }
+        fn summary_bounds(&self, _query: &[f64], summary: &Blob) -> (f64, f64) {
+            (0.0, summary.weight / self.n)
+        }
+        fn leaf_contribution(&self, query: &[f64], item: &Blob) -> f64 {
+            self.summary_contribution(query, item)
+        }
+        fn leaf_sq_dist(&self, query: &[f64], item: &Blob) -> f64 {
+            item.sq_dist_to(query)
+        }
+        fn leaf_weight(&self, item: &Blob) -> f64 {
+            item.weight
+        }
+        fn summarize_leaf_items(&self, items: &[Blob]) -> Blob {
+            let mut s = items[0].clone();
+            for i in &items[1..] {
+                s.merge(i, ());
+            }
+            s
+        }
+    }
+
+    #[test]
+    fn shard_sizes_track_routing() {
+        let mut sharded: ShardedAnytimeTree<Blob, Blob, FixedPartitionRouter> =
+            ShardedAnytimeTree::new(2, geometry(), 3);
+        assert_eq!(sharded.shard_sizes(), &[0, 0, 0]);
+        let _ = sharded.insert_batch(&|| BlobModel, stream(31), usize::MAX);
+        assert_eq!(sharded.shard_sizes(), &[11, 10, 10]);
+        let _ = sharded.insert_batch(&|| BlobModel, stream(2), usize::MAX);
+        assert_eq!(sharded.shard_sizes(), &[11, 11, 11]);
+    }
+
+    #[test]
+    fn one_shard_query_matches_the_plain_tree() {
+        let points = stream(150);
+        let mut plain = AnytimeTree::new(2, geometry());
+        let mut sharded: ShardedAnytimeTree<Blob, Blob> = ShardedAnytimeTree::new(2, geometry(), 1);
+        let mut model = BlobModel;
+        for chunk in points.chunks(16) {
+            let _ = plain.insert_batch(&mut model, chunk.to_vec(), 3);
+            let _ = sharded.insert_batch(&|| BlobModel, chunk.to_vec(), 3);
+        }
+        let query = [1.0, 1.0];
+        for budget in [0usize, 1, 3, 8, usize::MAX] {
+            let reference = plain.query_with_budget(
+                &BlobQueryModel { n: 150.0 },
+                &query,
+                RefineOrder::BestFirst,
+                budget,
+            );
+            let folded = sharded.query_with_budget(
+                &|| BlobQueryModel { n: 150.0 },
+                &query,
+                RefineOrder::BestFirst,
+                budget,
+            );
+            assert_eq!(folded.as_answer(), reference, "budget {budget}");
+            assert_eq!(folded.per_shard_nodes, vec![reference.nodes_read]);
+        }
+    }
+
+    #[test]
+    fn sharded_query_folds_the_full_mixture() {
+        // Fully refined, the partition is invisible: the folded sum over
+        // shards equals the plain tree's fully refined sum.
+        let points = stream(200);
+        let mut plain = AnytimeTree::new(2, geometry());
+        let mut sharded: ShardedAnytimeTree<Blob, Blob> = ShardedAnytimeTree::new(2, geometry(), 4);
+        let mut model = BlobModel;
+        for chunk in points.chunks(32) {
+            let _ = plain.insert_batch(&mut model, chunk.to_vec(), usize::MAX);
+            let _ = sharded.insert_batch(&|| BlobModel, chunk.to_vec(), usize::MAX);
+        }
+        let make_model = || BlobQueryModel { n: 200.0 };
+        for query in [[0.1, 0.2], [20.0, 20.1], [10.0, 10.0]] {
+            let reference =
+                plain.query_with_budget(&make_model(), &query, RefineOrder::BestFirst, usize::MAX);
+            let folded =
+                sharded.query_with_budget(&make_model, &query, RefineOrder::BestFirst, usize::MAX);
+            assert!(
+                (folded.estimate - reference.estimate).abs() <= 1e-12 * (1.0 + reference.estimate),
+                "estimate mismatch at {query:?}"
+            );
+            assert!(folded.uncertainty() < 1e-12);
+        }
+        // Batched multi-query path agrees with the one-shot path.
+        let queries: Vec<Vec<f64>> = vec![vec![0.1, 0.2], vec![20.0, 20.1]];
+        let (answers, stats) =
+            sharded.query_batch(&make_model, &queries, RefineOrder::BestFirst, 5);
+        assert_eq!(answers.len(), 2);
+        assert_eq!(stats.queries, 2 * 4); // every busy shard begins every query
+        for (answer, query) in answers.iter().zip(&queries) {
+            let one_shot = sharded.query_with_budget(&make_model, query, RefineOrder::BestFirst, 5);
+            assert_eq!(answer, &one_shot);
+        }
     }
 
     #[test]

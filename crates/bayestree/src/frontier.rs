@@ -7,50 +7,33 @@
 //! entries of its child node, and the density is updated by subtracting the
 //! refined element's contribution and adding its children's contributions —
 //! the cost per step is one node read.
+//!
+//! The frontier machinery itself — element bookkeeping, the refinement
+//! orderings of Section 2.2, the resumable cursor with its certain
+//! `[lower, upper]` density bounds — is the shared engine in
+//! [`bt_anytree::query`]; this module is the Bayes tree's thin instantiation
+//! over the [`KernelQueryModel`](crate::query::KernelQueryModel).  The
+//! paper's [`DescentStrategy`] names map one-to-one onto the core's
+//! [`RefineOrder`](bt_anytree::RefineOrder)s.
 
-use crate::descent::{DescentStrategy, PriorityMeasure};
-use crate::node::{NodeId, NodeKind};
+use crate::descent::DescentStrategy;
+use crate::query::KernelQueryModel;
 use crate::tree::BayesTree;
-use bt_stats::kernel::{GaussianKernel, Kernel};
+use bt_anytree::{QueryAnswer, QueryCursor};
 
-/// One element of the frontier.
-#[derive(Debug, Clone)]
-pub struct FrontierElement {
-    /// Child node this element can be refined into (`None` for leaf kernels,
-    /// which cannot be refined further).
-    pub child: Option<NodeId>,
-    /// Number of objects represented by this element (`1.0` for a kernel).
-    pub weight: f64,
-    /// This element's contribution `(n_es / n) * g(x, mu_es, sigma_es)` to the
-    /// probability density of the query.
-    pub contribution: f64,
-    /// Geometric priority: squared distance from the query to the element's
-    /// MBR (0 for leaf kernels' exact positions).
-    pub min_dist_sq: f64,
-    /// Depth of the element in the tree (root entries have depth 1).
-    pub depth: usize,
-    /// Monotone sequence number recording when the element joined the
-    /// frontier (used for FIFO/LIFO tie-breaking).
-    pub seq: u64,
-}
-
-impl FrontierElement {
-    /// Whether the element can still be refined.
-    #[must_use]
-    pub fn is_refinable(&self) -> bool {
-        self.child.is_some()
-    }
-}
+/// One element of the frontier: re-exported from the shared query engine.
+///
+/// The familiar fields are unchanged (`child`, `weight`, `contribution`,
+/// `min_dist_sq`, `depth`, `seq`); the engine adds the certain
+/// `lower`/`upper` bounds and the element's [`origin`](bt_anytree::QueryElement::origin).
+pub type FrontierElement = bt_anytree::QueryElement;
 
 /// The evolving frontier of one tree for one query object.
 #[derive(Debug, Clone)]
 pub struct TreeFrontier<'a> {
     tree: &'a BayesTree,
-    query: Vec<f64>,
-    elements: Vec<FrontierElement>,
-    density: f64,
-    nodes_read: usize,
-    next_seq: u64,
+    model: KernelQueryModel<'a>,
+    cursor: QueryCursor,
 }
 
 impl<'a> TreeFrontier<'a> {
@@ -65,182 +48,94 @@ impl<'a> TreeFrontier<'a> {
     /// Panics if the query has the wrong dimensionality.
     #[must_use]
     pub fn new(tree: &'a BayesTree, query: &[f64]) -> Self {
-        assert_eq!(query.len(), tree.dims(), "query dimensionality mismatch");
-        let mut frontier = Self {
+        let model = tree.query_model();
+        let cursor = tree.core().new_query(&model, query);
+        Self {
             tree,
-            query: query.to_vec(),
-            elements: Vec::new(),
-            density: 0.0,
-            nodes_read: 0,
-            next_seq: 0,
-        };
-        for entry in tree.root_entries() {
-            frontier.push_entry_element(entry.child, entry.weight(), &entry, 1);
+            model,
+            cursor,
         }
-        frontier
     }
 
     /// The current probability density `pdq(x, E)` of the query under the
     /// frontier's mixture model.
     #[must_use]
     pub fn density(&self) -> f64 {
-        self.density.max(0.0)
+        self.cursor.estimate().max(0.0)
+    }
+
+    /// The certain `(lower, upper)` bounds on the fully refined density —
+    /// the interval can only tighten with further refinement.
+    #[must_use]
+    pub fn density_bounds(&self) -> (f64, f64) {
+        self.cursor.bounds()
+    }
+
+    /// Width of the certain bound interval (non-increasing in budget).
+    #[must_use]
+    pub fn uncertainty(&self) -> f64 {
+        self.cursor.uncertainty()
+    }
+
+    /// The current answer (estimate, bounds, reads) as a standalone value.
+    #[must_use]
+    pub fn answer(&self) -> QueryAnswer {
+        self.cursor.answer()
     }
 
     /// Number of refinement steps (node reads) performed so far.
     #[must_use]
     pub fn nodes_read(&self) -> usize {
-        self.nodes_read
+        self.cursor.nodes_read()
     }
 
     /// The current frontier elements.
     #[must_use]
     pub fn elements(&self) -> &[FrontierElement] {
-        &self.elements
+        self.cursor.elements()
     }
 
     /// Whether at least one element can still be refined.
     #[must_use]
     pub fn can_refine(&self) -> bool {
-        self.elements.iter().any(FrontierElement::is_refinable)
+        self.cursor.can_refine()
     }
 
     /// Total weight of the frontier (must equal the number of stored
     /// objects — every kernel is represented exactly once).
     #[must_use]
     pub fn total_weight(&self) -> f64 {
-        self.elements.iter().map(|e| e.weight).sum()
+        self.cursor.total_weight()
     }
 
     /// Performs one refinement step with the given descent strategy.
     ///
     /// Returns `false` (and changes nothing) when no element is refinable.
     pub fn refine(&mut self, strategy: DescentStrategy) -> bool {
-        let Some(idx) = self.select(strategy) else {
-            return false;
-        };
-        let element = self.elements.swap_remove(idx);
-        self.density -= element.contribution;
-        let child = element.child.expect("selected element is refinable");
-        let child_depth = element.depth + 1;
-        match &self.tree.node(child).kind {
-            NodeKind::Inner { entries } => {
-                for entry in entries {
-                    self.push_entry_element(entry.child, entry.weight(), entry, child_depth);
-                }
-            }
-            NodeKind::Leaf { items } => {
-                for p in items {
-                    self.push_kernel_element(p, child_depth);
-                }
-            }
-        }
-        self.nodes_read += 1;
-        true
+        self.tree
+            .core()
+            .refine_query(&self.model, strategy.into(), &mut self.cursor)
     }
 
     /// Refines until either `budget` node reads have been spent or nothing is
     /// refinable; returns the number of reads actually performed.
     pub fn refine_up_to(&mut self, budget: usize, strategy: DescentStrategy) -> usize {
-        let mut done = 0;
-        while done < budget && self.refine(strategy) {
-            done += 1;
-        }
-        done
+        self.tree
+            .core()
+            .refine_query_up_to(&self.model, strategy.into(), budget, &mut self.cursor)
     }
 
     /// Index of the element the strategy would refine next, if any.
     #[must_use]
     pub fn peek_next(&self, strategy: DescentStrategy) -> Option<usize> {
-        self.select(strategy)
-    }
-
-    fn select(&self, strategy: DescentStrategy) -> Option<usize> {
-        let refinable = self
-            .elements
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| e.is_refinable());
-        match strategy {
-            DescentStrategy::BreadthFirst => refinable
-                .min_by(|(_, a), (_, b)| a.depth.cmp(&b.depth).then(a.seq.cmp(&b.seq)))
-                .map(|(i, _)| i),
-            DescentStrategy::DepthFirst => refinable
-                .max_by(|(_, a), (_, b)| a.depth.cmp(&b.depth).then(a.seq.cmp(&b.seq)))
-                .map(|(i, _)| i),
-            DescentStrategy::GlobalBest(PriorityMeasure::Geometric) => refinable
-                .min_by(|(_, a), (_, b)| {
-                    a.min_dist_sq
-                        .partial_cmp(&b.min_dist_sq)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.seq.cmp(&b.seq))
-                })
-                .map(|(i, _)| i),
-            DescentStrategy::GlobalBest(PriorityMeasure::Probabilistic) => refinable
-                .max_by(|(_, a), (_, b)| {
-                    a.contribution
-                        .partial_cmp(&b.contribution)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(b.seq.cmp(&a.seq))
-                })
-                .map(|(i, _)| i),
-        }
-    }
-
-    fn push_entry_element(
-        &mut self,
-        child: NodeId,
-        weight: f64,
-        entry: &crate::node::Entry,
-        depth: usize,
-    ) {
-        let n = self.tree.len().max(1) as f64;
-        let gaussian = entry.gaussian();
-        let contribution = weight / n * gaussian.pdf(&self.query);
-        let min_dist_sq = entry.mbr.min_dist_sq(&self.query);
-        let seq = self.bump_seq();
-        self.elements.push(FrontierElement {
-            child: Some(child),
-            weight,
-            contribution,
-            min_dist_sq,
-            depth,
-            seq,
-        });
-        self.density += contribution;
-    }
-
-    fn push_kernel_element(&mut self, point: &[f64], depth: usize) {
-        let n = self.tree.len().max(1) as f64;
-        let kernel = GaussianKernel;
-        let contribution = kernel.density(point, &self.query, self.tree.bandwidth()) / n;
-        let min_dist_sq: f64 = point
-            .iter()
-            .zip(&self.query)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum();
-        let seq = self.bump_seq();
-        self.elements.push(FrontierElement {
-            child: None,
-            weight: 1.0,
-            contribution,
-            min_dist_sq,
-            depth,
-            seq,
-        });
-        self.density += contribution;
-    }
-
-    fn bump_seq(&mut self) -> u64 {
-        let s = self.next_seq;
-        self.next_seq += 1;
-        s
+        self.cursor.peek_next(strategy.into())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::descent::PriorityMeasure;
     use bt_index::PageGeometry;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -391,5 +286,22 @@ mod tests {
         assert_eq!(frontier.elements().len(), 0);
         assert_eq!(frontier.density(), 0.0);
         assert!(!frontier.can_refine());
+    }
+
+    #[test]
+    fn bounds_tighten_monotonically_under_refinement() {
+        let tree = sample_tree(300, 9);
+        let mut frontier = TreeFrontier::new(&tree, &[4.0, 4.0]);
+        let mut last = frontier.uncertainty();
+        while frontier.refine(DescentStrategy::default()) {
+            let now = frontier.uncertainty();
+            assert!(now <= last + 1e-12, "uncertainty grew: {last} -> {now}");
+            last = now;
+        }
+        // Fully refined kernels are exact: the interval collapses.
+        assert!(frontier.uncertainty() < 1e-12);
+        let (lower, upper) = frontier.density_bounds();
+        assert!(lower <= frontier.density() + 1e-12);
+        assert!(frontier.density() <= upper + 1e-12);
     }
 }

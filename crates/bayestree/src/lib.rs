@@ -18,7 +18,14 @@
 //! * [`tree::BayesTree`] — the index itself (incremental insertion via
 //!   [`insert`], bulk construction via [`bulk`]),
 //! * [`frontier::TreeFrontier`] — the anytime probability density query
-//!   (Definition 3) with the descent strategies of Section 2.2,
+//!   (Definition 3) with the descent strategies of Section 2.2, a thin
+//!   instantiation of the shared query engine in [`bt_anytree::query`],
+//! * [`query::KernelQueryModel`] — the kernel-density query model behind
+//!   the frontier: budget-bracketed density queries with certain
+//!   `[lower, upper]` bounds ([`BayesTree::anytime_density`]) and the
+//!   insert-free anytime outlier scoring workload
+//!   ([`BayesTree::outlier_score`]); [`ShardedBayesTree`] refines per-shard
+//!   frontiers in parallel and folds them into one global mixture,
 //! * [`classifier::AnytimeClassifier`] — one tree per class, the qbk
 //!   refinement strategy and budgeted classification,
 //! * [`bulk`] — the bulk-loading strategies of Section 3 (Hilbert, Z-curve,
@@ -52,6 +59,7 @@ pub mod multiclass;
 pub mod node;
 pub mod pdq;
 pub mod qbk;
+pub mod query;
 pub mod sharded;
 pub mod tree;
 
@@ -62,5 +70,6 @@ pub use frontier::{FrontierElement, TreeFrontier};
 pub use multiclass::{SingleTreeClassifier, SingleTreeConfig};
 pub use node::{Entry, KernelSummary, Node, NodeId, NodeKind};
 pub use qbk::{RefinementScheduler, RefinementStrategy};
+pub use query::{summary_mixture_term, KernelQueryModel};
 pub use sharded::ShardedBayesTree;
 pub use tree::BayesTree;

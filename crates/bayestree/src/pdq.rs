@@ -11,9 +11,12 @@
 //! the free functions here evaluate the same quantity non-incrementally for
 //! whole levels of the tree, which is useful for tests, for the "model at
 //! granularity k" inspection API, and as a reference implementation the
-//! incremental path is validated against.
+//! incremental path is validated against.  The per-entry mixture term itself
+//! lives in exactly one place — [`crate::query::summary_mixture_term`] — so
+//! the incremental and non-incremental paths cannot drift apart.
 
 use crate::node::Entry;
+use crate::query::summary_mixture_term;
 use crate::tree::BayesTree;
 
 /// Evaluates `pdq(x, E)` for an explicit set of entries.
@@ -27,7 +30,7 @@ pub fn pdq(entries: &[Entry], x: &[f64]) -> f64 {
     }
     entries
         .iter()
-        .map(|e| e.weight() / n * e.gaussian().pdf(x))
+        .map(|e| summary_mixture_term(&e.summary, x, n))
         .sum()
 }
 

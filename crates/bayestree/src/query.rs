@@ -1,0 +1,298 @@
+//! The Bayes tree's instantiation of the shared anytime query engine.
+//!
+//! The incremental frontier machinery — which element to refine next, how
+//! the partial mixture density is folded, the resumable cursor — lives in
+//! [`bt_anytree::query`]; this module supplies the kernel-density
+//! [`QueryModel`]:
+//!
+//! * a directory entry contributes the Definition 3 mixture term
+//!   `(n_es / n) * g(x, mu_es, sigma_es)` ([`summary_mixture_term`], shared
+//!   with the non-incremental [`crate::pdq`] reference),
+//! * a leaf kernel contributes `K_h(x - x_i) / n` exactly,
+//! * the certain `[lower, upper]` bounds on an entry's fully refined
+//!   contribution come from its MBR: every kernel below lies inside the
+//!   box, and the product kernel decreases with per-dimension distance, so
+//!   `weight * K(farthest corner) <= contribution <= weight * K(nearest
+//!   point)`.  Child MBRs nest inside their parent's, so refinement can only
+//!   tighten the interval — the engine's monotonicity contract.
+//!
+//! On top of the model this module gives [`BayesTree`] budget-bracketed
+//! density queries ([`BayesTree::anytime_density`],
+//! [`BayesTree::density_batch`]) and the first insert-free workload over the
+//! same index: anytime outlier scoring ([`BayesTree::outlier_score`]), whose
+//! score *is* the refinable density interval.
+
+use crate::descent::{DescentStrategy, PriorityMeasure};
+use crate::node::KernelSummary;
+use crate::tree::BayesTree;
+use bt_anytree::{OutlierScore, QueryAnswer, QueryModel, QueryStats, RefineOrder, Summary};
+use bt_stats::kernel::{gaussian_log_term, GaussianKernel, Kernel};
+
+/// The Definition 3 mixture term `(n_es / n) * g(x, mu_es, sigma_es)` of one
+/// summary — the single place this arithmetic lives; the incremental
+/// frontier and the non-incremental [`crate::pdq::pdq`] reference both call
+/// it.
+#[must_use]
+pub fn summary_mixture_term(summary: &KernelSummary, x: &[f64], n: f64) -> f64 {
+    summary.weight() / n * summary.gaussian().pdf(x)
+}
+
+/// The kernel-density query model: normalises by the global observation
+/// count `n` and evaluates leaf kernels with the tree's bandwidth.
+///
+/// For sharded trees every shard must use the *same* global `n`, so the
+/// per-shard partial densities fold by summation.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelQueryModel<'a> {
+    n: f64,
+    bandwidth: &'a [f64],
+}
+
+impl<'a> KernelQueryModel<'a> {
+    /// A model normalising by `count` stored observations (clamped to at
+    /// least one so empty trees score zero instead of dividing by zero).
+    #[must_use]
+    pub fn new(count: usize, bandwidth: &'a [f64]) -> Self {
+        Self {
+            n: count.max(1) as f64,
+            bandwidth,
+        }
+    }
+
+    /// The global normaliser `n`.
+    #[must_use]
+    pub fn n(&self) -> f64 {
+        self.n
+    }
+
+    /// Product-kernel density at the nearest (`nearest == true`) or farthest
+    /// point of the summary's MBR — the two sides of the bound interval.
+    /// Uses the same per-dimension [`gaussian_log_term`] the leaf kernels
+    /// sum, so the bounds always bracket the leaf path's arithmetic.
+    fn mbr_kernel_density(&self, query: &[f64], summary: &KernelSummary, nearest: bool) -> f64 {
+        let lower = summary.mbr.lower();
+        let upper = summary.mbr.upper();
+        let mut acc = 0.0;
+        for d in 0..query.len() {
+            let dist = if nearest {
+                if query[d] < lower[d] {
+                    lower[d] - query[d]
+                } else if query[d] > upper[d] {
+                    query[d] - upper[d]
+                } else {
+                    0.0
+                }
+            } else {
+                (query[d] - lower[d]).abs().max((query[d] - upper[d]).abs())
+            };
+            acc += gaussian_log_term(dist, self.bandwidth[d]);
+        }
+        acc.exp()
+    }
+}
+
+impl QueryModel<KernelSummary> for KernelQueryModel<'_> {
+    type LeafItem = Vec<f64>;
+
+    fn summary_contribution(&self, query: &[f64], summary: &KernelSummary) -> f64 {
+        summary_mixture_term(summary, query, self.n)
+    }
+
+    fn summary_bounds(&self, query: &[f64], summary: &KernelSummary) -> (f64, f64) {
+        let scale = summary.weight() / self.n;
+        (
+            scale * self.mbr_kernel_density(query, summary, false),
+            scale * self.mbr_kernel_density(query, summary, true),
+        )
+    }
+
+    fn leaf_contribution(&self, query: &[f64], item: &Vec<f64>) -> f64 {
+        GaussianKernel.density(item, query, self.bandwidth) / self.n
+    }
+
+    fn leaf_sq_dist(&self, query: &[f64], item: &Vec<f64>) -> f64 {
+        item.iter().zip(query).map(|(a, b)| (a - b) * (a - b)).sum()
+    }
+
+    fn summarize_leaf_items(&self, items: &[Vec<f64>]) -> KernelSummary {
+        KernelSummary::from_points(items, items[0].len()).expect("cannot summarise an empty leaf")
+    }
+}
+
+impl From<DescentStrategy> for RefineOrder {
+    fn from(strategy: DescentStrategy) -> RefineOrder {
+        match strategy {
+            DescentStrategy::BreadthFirst => RefineOrder::BreadthFirst,
+            DescentStrategy::DepthFirst => RefineOrder::DepthFirst,
+            DescentStrategy::GlobalBest(PriorityMeasure::Geometric) => RefineOrder::ClosestFirst,
+            DescentStrategy::GlobalBest(PriorityMeasure::Probabilistic) => RefineOrder::BestFirst,
+        }
+    }
+}
+
+impl BayesTree {
+    /// The kernel-density query model of this tree (normalised by the stored
+    /// observation count, kernels evaluated with the tree's bandwidth).
+    #[must_use]
+    pub fn query_model(&self) -> KernelQueryModel<'_> {
+        KernelQueryModel::new(self.len(), self.bandwidth())
+    }
+
+    /// Budget-bracketed anytime density query: refines the frontier with the
+    /// given descent strategy for up to `budget` node reads and returns the
+    /// mixture estimate with its certain `[lower, upper]` bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query has the wrong dimensionality.
+    #[must_use]
+    pub fn anytime_density(
+        &self,
+        x: &[f64],
+        strategy: DescentStrategy,
+        budget: usize,
+    ) -> QueryAnswer {
+        self.core()
+            .query_with_budget(&self.query_model(), x, strategy.into(), budget)
+    }
+
+    /// Refines a batch of density queries through one reused cursor, each up
+    /// to `budget` node reads; returns the per-query answers plus the merged
+    /// [`QueryStats`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query has the wrong dimensionality.
+    #[must_use]
+    pub fn density_batch(
+        &self,
+        queries: &[Vec<f64>],
+        strategy: DescentStrategy,
+        budget: usize,
+    ) -> (Vec<QueryAnswer>, QueryStats) {
+        self.core()
+            .query_batch(&self.query_model(), queries, strategy.into(), budget)
+    }
+
+    /// Anytime outlier scoring: refines the density bounds (widest interval
+    /// first) until the verdict against `threshold` is certain or `budget`
+    /// node reads are spent.  The score is the refinable density interval —
+    /// an insert-free workload over the same index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query has the wrong dimensionality.
+    #[must_use]
+    pub fn outlier_score(&self, x: &[f64], threshold: f64, budget: usize) -> OutlierScore {
+        self.core()
+            .outlier_score(&self.query_model(), x, threshold, budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_anytree::OutlierVerdict;
+    use bt_index::PageGeometry;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample_tree(n: usize, seed: u64) -> BayesTree {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let center = if i % 2 == 0 { 0.0 } else { 8.0 };
+                vec![center + rng.random::<f64>(), center + rng.random::<f64>()]
+            })
+            .collect();
+        BayesTree::build_iterative(&points, 2, PageGeometry::from_fanout(4, 4))
+    }
+
+    #[test]
+    fn full_budget_density_matches_the_flat_estimate() {
+        let tree = sample_tree(150, 1);
+        let query = [0.5, 0.5];
+        let answer = tree.anytime_density(&query, DescentStrategy::default(), usize::MAX);
+        let expected = tree.full_kernel_density(&query);
+        assert!((answer.estimate - expected).abs() < 1e-9);
+        // Fully refined: the bounds collapse onto the exact density.
+        assert!(answer.uncertainty() < 1e-12);
+        assert!((answer.lower - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounds_bracket_the_true_density_at_every_budget() {
+        let tree = sample_tree(200, 2);
+        let query = [4.0, 4.0];
+        let truth = tree.full_kernel_density(&query);
+        let mut last_uncertainty = f64::INFINITY;
+        for budget in [0, 1, 2, 4, 8, 16, 64] {
+            let answer = tree.anytime_density(&query, DescentStrategy::default(), budget);
+            assert!(
+                answer.lower <= truth + 1e-12 && truth <= answer.upper + 1e-12,
+                "budget {budget}: [{}, {}] misses {truth}",
+                answer.lower,
+                answer.upper
+            );
+            assert!(
+                answer.uncertainty() <= last_uncertainty + 1e-12,
+                "budget {budget} widened the bound"
+            );
+            last_uncertainty = answer.uncertainty();
+        }
+    }
+
+    #[test]
+    fn density_batch_matches_one_shot_queries() {
+        let tree = sample_tree(120, 3);
+        let queries = vec![vec![0.0, 0.0], vec![8.5, 8.5], vec![4.0, 4.0]];
+        let (answers, stats) = tree.density_batch(&queries, DescentStrategy::default(), 10);
+        assert_eq!(answers.len(), 3);
+        assert_eq!(stats.queries, 3);
+        for (answer, q) in answers.iter().zip(&queries) {
+            let one_shot = tree.anytime_density(q, DescentStrategy::default(), 10);
+            assert_eq!(*answer, one_shot);
+        }
+    }
+
+    #[test]
+    fn outlier_scoring_gives_certain_verdicts() {
+        let tree = sample_tree(200, 4);
+        // Density near the data is around 0.1; far away it is ~0.
+        let far = tree.outlier_score(&[500.0, -500.0], 1e-6, 10_000);
+        assert_eq!(far.verdict, OutlierVerdict::Outlier);
+        let near = tree.outlier_score(&[0.5, 0.5], 1e-6, 10_000);
+        assert_eq!(near.verdict, OutlierVerdict::Inlier);
+        // The far verdict should be decided well before exhausting the tree.
+        assert!(far.answer.nodes_read < tree.num_nodes() - 1);
+    }
+
+    #[test]
+    fn pdq_and_model_share_the_mixture_arithmetic() {
+        let tree = sample_tree(100, 5);
+        let entries = tree.root_entries();
+        let x = [1.0, 1.0];
+        let n: f64 = entries.iter().map(|e| e.weight()).sum();
+        let by_terms: f64 = entries
+            .iter()
+            .map(|e| summary_mixture_term(&e.summary, &x, n))
+            .sum();
+        assert!((by_terms - crate::pdq::pdq(&entries, &x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strategies_map_onto_the_core_orders() {
+        assert_eq!(
+            RefineOrder::from(DescentStrategy::BreadthFirst),
+            RefineOrder::BreadthFirst
+        );
+        assert_eq!(
+            RefineOrder::from(DescentStrategy::GlobalBest(PriorityMeasure::Probabilistic)),
+            RefineOrder::BestFirst
+        );
+        assert_eq!(
+            RefineOrder::from(DescentStrategy::GlobalBest(PriorityMeasure::Geometric)),
+            RefineOrder::ClosestFirst
+        );
+    }
+}

@@ -13,10 +13,13 @@
 //! single tree: `p(x) = (1/N) Σ_shards Σ_kernels K_h(x - x_i)`.  The shards
 //! only change how the sum is organised — and how many cores can build it.
 
+use crate::descent::DescentStrategy;
 use crate::insert::KernelModel;
 use crate::node::{KernelSummary, NodeKind};
+use crate::query::KernelQueryModel;
 use bt_anytree::{
-    AnytimeTree, CheapestRouter, DescentStats, ShardRouter, ShardedAnytimeTree, ShardedBatchOutcome,
+    AnytimeTree, CheapestRouter, DescentStats, OutlierScore, QueryStats, ShardRouter,
+    ShardedAnytimeTree, ShardedBatchOutcome, ShardedQueryAnswer,
 };
 use bt_index::PageGeometry;
 use bt_stats::bandwidth::silverman_bandwidth;
@@ -110,6 +113,84 @@ impl<R> ShardedBayesTree<R> {
     #[must_use]
     pub fn summary_refreshes(&self) -> u64 {
         self.core.summary_refreshes()
+    }
+
+    /// Observations routed to each shard so far — the direct skew measure
+    /// for the configured router.
+    #[must_use]
+    pub fn shard_sizes(&self) -> &[usize] {
+        self.core.shard_sizes()
+    }
+
+    /// Budget-bracketed anytime density query over all shards: every shard
+    /// refines its own frontier **in parallel** (up to `budget` node reads
+    /// each, ordered by `strategy`), and the per-shard partial densities are
+    /// folded into one global mixture answer.  Every shard normalises by the
+    /// same global observation count, so the fold is exact — and each
+    /// shard's `[lower, upper]` interval can only tighten with budget, so
+    /// the folded bound inherits the monotonicity guarantee.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query has the wrong dimensionality.
+    #[must_use]
+    pub fn anytime_density(
+        &self,
+        x: &[f64],
+        strategy: DescentStrategy,
+        budget: usize,
+    ) -> ShardedQueryAnswer {
+        let n = self.num_points;
+        let bandwidth = &self.bandwidth;
+        self.core.query_with_budget(
+            &|| KernelQueryModel::new(n, bandwidth),
+            x,
+            strategy.into(),
+            budget,
+        )
+    }
+
+    /// Refines a batch of density queries across all shards (one worker per
+    /// shard processes the whole batch through a reused cursor) and folds
+    /// the partials per query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query has the wrong dimensionality.
+    #[must_use]
+    pub fn density_batch(
+        &self,
+        queries: &[Vec<f64>],
+        strategy: DescentStrategy,
+        budget: usize,
+    ) -> (Vec<ShardedQueryAnswer>, QueryStats) {
+        let n = self.num_points;
+        let bandwidth = &self.bandwidth;
+        self.core.query_batch(
+            &|| KernelQueryModel::new(n, bandwidth),
+            queries,
+            strategy.into(),
+            budget,
+        )
+    }
+
+    /// Anytime outlier scoring over the sharded index: the per-shard density
+    /// bounds refine in parallel and the verdict is taken from the folded
+    /// global interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query has the wrong dimensionality.
+    #[must_use]
+    pub fn outlier_score(&self, x: &[f64], threshold: f64, budget: usize) -> OutlierScore {
+        let n = self.num_points;
+        let bandwidth = &self.bandwidth;
+        self.core.outlier_score(
+            &|| KernelQueryModel::new(n, bandwidth),
+            x,
+            threshold,
+            budget,
+        )
     }
 
     /// The per-dimension kernel bandwidth used for leaf-level kernels.
@@ -340,5 +421,94 @@ mod tests {
     fn wrong_dims_panics() {
         let mut sharded: ShardedBayesTree = ShardedBayesTree::new(2, geometry(), 2);
         let _ = sharded.insert_batch(vec![vec![1.0]]);
+    }
+
+    #[test]
+    fn one_shard_query_matches_the_single_tree() {
+        let points = random_points(200, 2, 6);
+        let mut single = BayesTree::new(2, geometry());
+        let mut sharded: ShardedBayesTree = ShardedBayesTree::new(2, geometry(), 1);
+        for chunk in points.chunks(25) {
+            single.insert_batch(chunk.to_vec());
+            let _ = sharded.insert_batch(chunk.to_vec());
+        }
+        let bandwidth = vec![0.7, 0.9];
+        single.set_bandwidth(bandwidth.clone());
+        sharded.set_bandwidth(bandwidth);
+        for budget in [0usize, 1, 4, 16, usize::MAX] {
+            for q in random_points(5, 2, 7) {
+                let reference = single.anytime_density(&q, DescentStrategy::default(), budget);
+                let folded = sharded.anytime_density(&q, DescentStrategy::default(), budget);
+                assert_eq!(folded.as_answer(), reference, "budget {budget} at {q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_density_bounds_bracket_the_flat_estimate() {
+        let points = random_points(300, 2, 8);
+        let mut sharded: ShardedBayesTree = ShardedBayesTree::new(2, geometry(), 4);
+        for chunk in points.chunks(32) {
+            let _ = sharded.insert_batch(chunk.to_vec());
+        }
+        sharded.set_bandwidth(vec![0.8, 0.8]);
+        let q = vec![5.0, 5.0];
+        let truth = sharded.full_kernel_density(&q);
+        let mut last = f64::INFINITY;
+        for budget in [0usize, 2, 8, 32, usize::MAX] {
+            let answer = sharded.anytime_density(&q, DescentStrategy::default(), budget);
+            assert!(
+                answer.lower <= truth + 1e-12 && truth <= answer.upper + 1e-12,
+                "budget {budget}: [{}, {}] misses {truth}",
+                answer.lower,
+                answer.upper
+            );
+            assert!(answer.uncertainty() <= last + 1e-12);
+            last = answer.uncertainty();
+        }
+        // Fully refined the fold is exact.
+        let full = sharded.anytime_density(&q, DescentStrategy::default(), usize::MAX);
+        assert!((full.estimate - truth).abs() <= 1e-12 * (1.0 + truth));
+        assert!(full.uncertainty() < 1e-12);
+        // The batched path agrees with the one-shot path.
+        let queries = random_points(4, 2, 9);
+        let (answers, stats) = sharded.density_batch(&queries, DescentStrategy::default(), 6);
+        assert_eq!(answers.len(), 4);
+        assert!(stats.nodes_read > 0);
+        for (answer, q) in answers.iter().zip(&queries) {
+            assert_eq!(
+                *answer,
+                sharded.anytime_density(q, DescentStrategy::default(), 6)
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_outlier_scoring_exits_early_on_clear_verdicts() {
+        use bt_anytree::OutlierVerdict;
+        let points = random_points(300, 2, 11);
+        let mut sharded: ShardedBayesTree = ShardedBayesTree::new(2, geometry(), 4);
+        for chunk in points.chunks(32) {
+            let _ = sharded.insert_batch(chunk.to_vec());
+        }
+        sharded.set_bandwidth(vec![0.5, 0.5]);
+        let score = sharded.outlier_score(&[1000.0, -1000.0], 1e-6, 10_000);
+        assert_eq!(score.verdict, OutlierVerdict::Outlier);
+        // The verdict is certain long before every shard exhausts its
+        // 10_000-read budget: the round-based refinement exits early.
+        assert!(
+            score.answer.nodes_read < 100,
+            "spent {} reads on a clear-cut outlier",
+            score.answer.nodes_read
+        );
+    }
+
+    #[test]
+    fn shard_sizes_are_observable() {
+        let mut sharded: ShardedBayesTree<FixedPartitionRouter> =
+            ShardedBayesTree::new(2, geometry(), 4);
+        let _ = sharded.insert_batch(random_points(42, 2, 10));
+        assert_eq!(sharded.shard_sizes(), &[11, 11, 10, 10]);
+        assert_eq!(sharded.shard_sizes().iter().sum::<usize>(), sharded.len());
     }
 }

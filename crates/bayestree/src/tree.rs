@@ -345,6 +345,12 @@ impl BayesTree {
         &mut self.core
     }
 
+    /// Read access to the shared core (crate-internal: the query engine
+    /// refines frontiers through it).
+    pub(crate) fn core(&self) -> &AnytimeTree<KernelSummary, Vec<f64>> {
+        &self.core
+    }
+
     /// Adds a node to the arena and returns its id.
     pub(crate) fn push_node(&mut self, node: Node) -> NodeId {
         self.core.push_node(node)

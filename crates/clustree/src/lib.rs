@@ -17,7 +17,14 @@
 //!   R*-style splits when time permits,
 //! * [`snapshot::SnapshotStore`] — the pyramidal time frame,
 //! * [`offline::weighted_dbscan`] — the offline macro-clustering component
-//!   over micro-clusters.
+//!   over micro-clusters,
+//! * [`query::ClusQueryModel`] — the micro-cluster instantiation of the
+//!   shared anytime query engine ([`bt_anytree::query`]): anytime k-NN
+//!   micro-cluster retrieval at any tree level
+//!   ([`ClusTree::anytime_knn`]), budget-bracketed density scores with
+//!   certain bounds ([`ClusTree::anytime_density`]) and anytime outlier
+//!   scoring ([`ClusTree::outlier_score`]); [`ShardedClusTree`] refines
+//!   per-shard frontiers in parallel and folds them.
 //!
 //! ```
 //! use clustree::{ClusTree, ClusTreeConfig};
@@ -36,12 +43,14 @@
 
 pub mod microcluster;
 pub mod offline;
+pub mod query;
 pub mod sharded;
 pub mod snapshot;
 pub mod tree;
 
 pub use microcluster::{DecayCtx, MicroCluster};
 pub use offline::{weighted_dbscan, DbscanConfig, MacroClustering};
+pub use query::{ClusQueryModel, ClusterNeighbor, KnnAnswer};
 pub use sharded::ShardedClusTree;
 pub use snapshot::SnapshotStore;
 pub use tree::{BatchOutcome, ClusTree, ClusTreeConfig, DepthHistogram, InsertOutcome};

@@ -1,0 +1,454 @@
+//! The clustering extension's instantiation of the shared anytime query
+//! engine: anytime micro-cluster retrieval and density scoring.
+//!
+//! Two insert-free workloads run over the same index the stream writes to:
+//!
+//! * **Anytime k-NN micro-cluster retrieval**
+//!   ([`ClusTree::anytime_knn`]) — at budget 0 the answer is the root-level
+//!   cluster summaries; every node read splits the frontier element closest
+//!   to the query into finer clusters, so the returned neighbours sharpen
+//!   from coarse inner aggregates to leaf micro-clusters as budget grows —
+//!   retrieval *at any tree level*.
+//! * **Anytime density scoring / outlier detection**
+//!   ([`ClusTree::anytime_density`], [`ClusTree::outlier_score`]) — the
+//!   [`ClusQueryModel`] scores a micro-cluster by the Gaussian product
+//!   kernel evaluated at the cluster's *exact* per-dimension mean squared
+//!   distance to the query, `E[(x_d - q_d)²] = (c_d - q_d)² + var_d`, which
+//!   the cluster feature yields in closed form.  Because `exp(-t)` is convex
+//!   this is a Jensen lower bound on the raw-point kernel sum, and the bound
+//!   sums over any partition of the points: refining an element can only
+//!   *raise* the score toward the leaf-granularity value.  Together with the
+//!   trivial per-weight peak upper bound this gives the nested
+//!   `[lower, upper]` interval the engine's monotonicity contract asks for.
+//!
+//! Bound-tightness caveat: the upper bound is the distance-blind per-weight
+//! kernel peak — the only sound nested choice available from a bare cluster
+//! feature.  (A deviation-box bound from `sqrt(n·var)` looks tempting but is
+//! *not* nested: a small child's box can stick out past its parent's, which
+//! would break the monotonicity contract.)  Consequently the *lower* bound
+//! certifies inliers after few reads, while certifying an outlier needs
+//! refinement down to leaf granularity around the query; tight upper bounds
+//! would require storing an MBR alongside the CF (a ROADMAP follow-up).
+//!
+//! Decay caveat: summaries are scored as stored (queries never mutate the
+//! tree), so with a non-zero decay rate the bounds are exact only up to the
+//! usual temporal-multiplicity approximation; with `lambda == 0` they are
+//! exact.
+
+use crate::microcluster::MicroCluster;
+use crate::tree::ClusTree;
+use bt_anytree::{
+    AnytimeTree, ElementOrigin, NodeKind, OutlierScore, QueryAnswer, QueryCursor, QueryElement,
+    QueryModel, QueryStats, RefineOrder,
+};
+use bt_stats::kernel::gaussian_log_term;
+
+/// The micro-cluster query model: a smoothed Gaussian kernel score with
+/// certain, monotone bounds computable from cluster features alone.
+///
+/// For sharded trees every shard must use the *same* global total weight, so
+/// the per-shard partial scores fold by summation.
+#[derive(Debug, Clone)]
+pub struct ClusQueryModel {
+    total_weight: f64,
+    bandwidth: Vec<f64>,
+    lambda: f64,
+}
+
+impl ClusQueryModel {
+    /// A model normalising by `total_weight` (clamped away from zero) with a
+    /// per-dimension smoothing bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bandwidth component is non-positive.
+    #[must_use]
+    pub fn new(total_weight: f64, bandwidth: Vec<f64>, lambda: f64) -> Self {
+        assert!(
+            bandwidth.iter().all(|h| *h > 0.0),
+            "bandwidths must be positive"
+        );
+        Self {
+            total_weight: total_weight.max(f64::MIN_POSITIVE),
+            bandwidth,
+            lambda,
+        }
+    }
+
+    /// The global weight normaliser.
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Log of the smoothed kernel: the Gaussian product kernel evaluated at
+    /// the cluster's exact per-dimension root-mean-squared distance to the
+    /// query, via the same per-dimension [`gaussian_log_term`] every other
+    /// kernel evaluation in the workspace uses.
+    fn smoothed_log_kernel(&self, query: &[f64], mc: &MicroCluster) -> f64 {
+        let cf = mc.cf();
+        let n = cf.weight().max(f64::MIN_POSITIVE);
+        let ls = cf.linear_sum();
+        let ss = cf.squared_sum();
+        let mut acc = 0.0;
+        for d in 0..query.len() {
+            let mean = ls[d] / n;
+            let var = (ss[d] / n - mean * mean).max(0.0);
+            let t = (query[d] - mean) * (query[d] - mean) + var;
+            acc += gaussian_log_term(t.sqrt(), self.bandwidth[d]);
+        }
+        acc
+    }
+
+    /// Log of the kernel's peak value (distance 0, zero variance) — the
+    /// per-unit-weight upper bound.
+    fn peak_log_kernel(&self) -> f64 {
+        self.bandwidth
+            .iter()
+            .map(|h| gaussian_log_term(0.0, *h))
+            .sum()
+    }
+}
+
+impl QueryModel<MicroCluster> for ClusQueryModel {
+    type LeafItem = MicroCluster;
+
+    fn summary_contribution(&self, query: &[f64], summary: &MicroCluster) -> f64 {
+        summary.weight() / self.total_weight * self.smoothed_log_kernel(query, summary).exp()
+    }
+
+    fn summary_bounds(&self, query: &[f64], summary: &MicroCluster) -> (f64, f64) {
+        let scale = summary.weight() / self.total_weight;
+        (
+            scale * self.smoothed_log_kernel(query, summary).exp(),
+            scale * self.peak_log_kernel().exp(),
+        )
+    }
+
+    fn leaf_contribution(&self, query: &[f64], item: &MicroCluster) -> f64 {
+        self.summary_contribution(query, item)
+    }
+
+    fn leaf_sq_dist(&self, query: &[f64], item: &MicroCluster) -> f64 {
+        item.sq_dist_to(query)
+    }
+
+    fn leaf_weight(&self, item: &MicroCluster) -> f64 {
+        item.weight()
+    }
+
+    fn summarize_leaf_items(&self, items: &[MicroCluster]) -> MicroCluster {
+        let mut summary = items[0].clone();
+        for mc in &items[1..] {
+            summary.merge(mc, self.lambda);
+        }
+        summary
+    }
+}
+
+/// One retrieved neighbour: a micro-cluster (or inner aggregate) at the
+/// frontier's current granularity.
+#[derive(Debug, Clone)]
+pub struct ClusterNeighbor {
+    /// Centre of the cluster.
+    pub center: Vec<f64>,
+    /// (Stored, undecayed) weight of the cluster.
+    pub weight: f64,
+    /// RMS radius of the cluster.
+    pub radius: f64,
+    /// Squared distance from the query to the cluster centre.
+    pub sq_dist: f64,
+    /// Depth of the cluster's frontier element (1 = root level).
+    pub depth: usize,
+    /// Whether the cluster could be refined further with more budget.
+    pub refinable: bool,
+}
+
+/// The (budget-dependent) answer of one anytime k-NN retrieval.
+#[derive(Debug, Clone)]
+pub struct KnnAnswer {
+    /// The up-to-`k` closest clusters at the reached granularity, sorted by
+    /// ascending centre distance.
+    pub neighbors: Vec<ClusterNeighbor>,
+    /// Refinement steps (node reads) the retrieval spent.
+    pub nodes_read: usize,
+}
+
+/// Total stored weight at root level of one core tree (entry summaries
+/// cover their subtrees *and* their buffers, so this is everything).
+pub(crate) fn stored_weight(core: &AnytimeTree<MicroCluster, MicroCluster>) -> f64 {
+    match &core.node(core.root()).kind {
+        NodeKind::Inner { entries } => entries.iter().map(|e| e.summary.weight()).sum(),
+        NodeKind::Leaf { items } => items.iter().map(MicroCluster::weight).sum(),
+    }
+}
+
+/// Materialises the micro-cluster behind a frontier element.
+pub(crate) fn element_cluster(
+    core: &AnytimeTree<MicroCluster, MicroCluster>,
+    model: &ClusQueryModel,
+    element: &QueryElement,
+) -> MicroCluster {
+    match element.origin {
+        ElementOrigin::Entry { node, index } => core.node(node).entries()[index].summary.clone(),
+        ElementOrigin::Buffer { node, index } => core.node(node).entries()[index]
+            .buffer
+            .clone()
+            .expect("buffer element refers to an occupied buffer"),
+        ElementOrigin::LeafItem { node, index } => core.node(node).items()[index].clone(),
+        ElementOrigin::RootLeaf => model.summarize_leaf_items(core.node(core.root()).items()),
+    }
+}
+
+/// Maps a refined cursor's frontier to its `k` closest clusters.
+pub(crate) fn knn_from_cursors(
+    shards: &[&AnytimeTree<MicroCluster, MicroCluster>],
+    cursors: &[QueryCursor],
+    model: &ClusQueryModel,
+    k: usize,
+) -> KnnAnswer {
+    let mut ranked: Vec<(usize, usize)> = Vec::new();
+    for (shard_idx, cursor) in cursors.iter().enumerate() {
+        for element_idx in 0..cursor.elements().len() {
+            ranked.push((shard_idx, element_idx));
+        }
+    }
+    ranked.sort_by(|a, b| {
+        let da = cursors[a.0].elements()[a.1].min_dist_sq;
+        let db = cursors[b.0].elements()[b.1].min_dist_sq;
+        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    ranked.truncate(k);
+    let neighbors = ranked
+        .into_iter()
+        .map(|(shard_idx, element_idx)| {
+            let element = &cursors[shard_idx].elements()[element_idx];
+            let mc = element_cluster(shards[shard_idx], model, element);
+            ClusterNeighbor {
+                center: mc.center(),
+                weight: mc.weight(),
+                radius: mc.radius(),
+                sq_dist: element.min_dist_sq,
+                depth: element.depth,
+                refinable: element.is_refinable(),
+            }
+        })
+        .collect();
+    KnnAnswer {
+        neighbors,
+        nodes_read: cursors.iter().map(QueryCursor::nodes_read).sum(),
+    }
+}
+
+impl ClusTree {
+    /// The micro-cluster query model of this tree: normalised by the stored
+    /// total weight, smoothing with `bandwidth`, merging with the tree's
+    /// decay rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth has the wrong dimensionality or a
+    /// non-positive component.
+    #[must_use]
+    pub fn query_model(&self, bandwidth: &[f64]) -> ClusQueryModel {
+        assert_eq!(
+            bandwidth.len(),
+            self.dims(),
+            "bandwidth dimensionality mismatch"
+        );
+        ClusQueryModel::new(
+            stored_weight(self.core()),
+            bandwidth.to_vec(),
+            self.config().decay_lambda,
+        )
+    }
+
+    /// Budget-bracketed anytime density score: refines the frontier in the
+    /// given order for up to `budget` node reads and returns the smoothed
+    /// kernel score with its certain `[lower, upper]` bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query or bandwidth has the wrong dimensionality.
+    #[must_use]
+    pub fn anytime_density(
+        &self,
+        x: &[f64],
+        bandwidth: &[f64],
+        order: RefineOrder,
+        budget: usize,
+    ) -> QueryAnswer {
+        self.core()
+            .query_with_budget(&self.query_model(bandwidth), x, order, budget)
+    }
+
+    /// Refines a batch of density queries through one reused cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query or the bandwidth has the wrong dimensionality.
+    #[must_use]
+    pub fn density_batch(
+        &self,
+        queries: &[Vec<f64>],
+        bandwidth: &[f64],
+        order: RefineOrder,
+        budget: usize,
+    ) -> (Vec<QueryAnswer>, QueryStats) {
+        self.core()
+            .query_batch(&self.query_model(bandwidth), queries, order, budget)
+    }
+
+    /// Anytime k-NN micro-cluster retrieval: refines the frontier closest
+    /// -first for up to `budget` node reads and returns the `k` clusters
+    /// nearest to `x` at the reached granularity — root-level aggregates at
+    /// budget 0, leaf micro-clusters once the neighbourhood is fully
+    /// refined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query has the wrong dimensionality.
+    #[must_use]
+    pub fn anytime_knn(&self, x: &[f64], k: usize, budget: usize) -> KnnAnswer {
+        let model = self.query_model(&vec![1.0; self.dims()]);
+        let mut cursor = self.core().new_query(&model, x);
+        self.core()
+            .refine_query_up_to(&model, RefineOrder::ClosestFirst, budget, &mut cursor);
+        knn_from_cursors(&[self.core()], std::slice::from_ref(&cursor), &model, k)
+    }
+
+    /// Anytime outlier scoring against a density `threshold` (widest bound
+    /// first, early exit once the verdict is certain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query or bandwidth has the wrong dimensionality.
+    #[must_use]
+    pub fn outlier_score(
+        &self,
+        x: &[f64],
+        bandwidth: &[f64],
+        threshold: f64,
+        budget: usize,
+    ) -> OutlierScore {
+        self.core()
+            .outlier_score(&self.query_model(bandwidth), x, threshold, budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::ClusTreeConfig;
+    use bt_anytree::OutlierVerdict;
+
+    fn two_cluster_tree(n: usize, budget: usize) -> ClusTree {
+        let mut tree = ClusTree::new(2, ClusTreeConfig::default());
+        for i in 0..n {
+            let c = if i % 2 == 0 { 0.0 } else { 20.0 };
+            let jitter = (i % 9) as f64 * 0.1;
+            tree.insert(&[c + jitter, c - jitter], i as f64, budget);
+        }
+        tree
+    }
+
+    #[test]
+    fn knn_at_budget_zero_returns_root_level_clusters() {
+        let tree = two_cluster_tree(300, 10);
+        assert!(tree.height() > 1);
+        let answer = tree.anytime_knn(&[0.0, 0.0], 2, 0);
+        assert_eq!(answer.nodes_read, 0);
+        assert!(!answer.neighbors.is_empty());
+        for n in &answer.neighbors {
+            assert_eq!(n.depth, 1, "budget 0 must stay at root level");
+        }
+    }
+
+    #[test]
+    fn knn_sharpens_with_budget() {
+        let tree = two_cluster_tree(400, 10);
+        let query = [0.3, -0.3];
+        let coarse = tree.anytime_knn(&query, 1, 0);
+        let fine = tree.anytime_knn(&query, 1, 200);
+        // The closest cluster after refinement is at least as close and at
+        // least as deep as the coarse answer.
+        assert!(fine.neighbors[0].sq_dist <= coarse.neighbors[0].sq_dist + 1e-9);
+        assert!(fine.neighbors[0].depth >= coarse.neighbors[0].depth);
+        // Fully refined near the query: the best neighbour is a leaf-level
+        // micro-cluster in the low cluster.
+        assert!(fine.neighbors[0].center[0] < 10.0);
+    }
+
+    #[test]
+    fn knn_ranks_by_distance_and_caps_at_k() {
+        let tree = two_cluster_tree(300, 10);
+        let answer = tree.anytime_knn(&[20.0, 19.0], 3, 50);
+        assert!(answer.neighbors.len() <= 3);
+        for pair in answer.neighbors.windows(2) {
+            assert!(pair[0].sq_dist <= pair[1].sq_dist);
+        }
+        // The nearest neighbour belongs to the high cluster.
+        assert!(answer.neighbors[0].center[0] > 10.0);
+    }
+
+    #[test]
+    fn density_bounds_tighten_monotonically() {
+        let tree = two_cluster_tree(400, 8);
+        let bandwidth = [2.0, 2.0];
+        let query = [1.0, -1.0];
+        let mut last = f64::INFINITY;
+        let mut last_lower = 0.0;
+        for budget in [0usize, 1, 2, 4, 8, 16, 64, usize::MAX] {
+            let answer = tree.anytime_density(&query, &bandwidth, RefineOrder::WidestBound, budget);
+            assert!(answer.lower <= answer.upper + 1e-12);
+            assert!(
+                answer.lower >= last_lower - 1e-12,
+                "budget {budget}: lower bound regressed"
+            );
+            assert!(
+                answer.uncertainty() <= last + 1e-12,
+                "budget {budget}: uncertainty grew"
+            );
+            last = answer.uncertainty();
+            last_lower = answer.lower;
+        }
+    }
+
+    #[test]
+    fn parked_mass_is_covered_by_the_frontier() {
+        // Insert with tiny budgets so hitchhiker buffers hold real mass.
+        let tree = two_cluster_tree(300, 1);
+        let model = tree.query_model(&[1.0, 1.0]);
+        let mut cursor = tree.core().new_query(&model, &[0.0, 0.0]);
+        while tree
+            .core()
+            .refine_query(&model, RefineOrder::BreadthFirst, &mut cursor)
+        {}
+        assert!((cursor.total_weight() - 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn outlier_verdicts_are_certain_for_clear_cases() {
+        let tree = two_cluster_tree(400, 10);
+        let bandwidth = [1.0, 1.0];
+        let far = tree.outlier_score(&[500.0, 500.0], &bandwidth, 1e-6, 10_000);
+        assert_eq!(far.verdict, OutlierVerdict::Outlier);
+        let near = tree.outlier_score(&[0.2, -0.2], &bandwidth, 1e-6, 10_000);
+        assert_eq!(near.verdict, OutlierVerdict::Inlier);
+    }
+
+    #[test]
+    fn density_batch_matches_one_shot() {
+        let tree = two_cluster_tree(200, 10);
+        let bandwidth = [1.5, 1.5];
+        let queries = vec![vec![0.0, 0.0], vec![20.0, -20.0]];
+        let (answers, stats) = tree.density_batch(&queries, &bandwidth, RefineOrder::BestFirst, 6);
+        assert_eq!(stats.queries, 2);
+        for (answer, q) in answers.iter().zip(&queries) {
+            assert_eq!(
+                *answer,
+                tree.anytime_density(q, &bandwidth, RefineOrder::BestFirst, 6)
+            );
+        }
+    }
+}

@@ -15,12 +15,14 @@
 
 use crate::microcluster::MicroCluster;
 use crate::offline::{weighted_dbscan, DbscanConfig, MacroClustering};
+use crate::query::{knn_from_cursors, stored_weight, ClusQueryModel, KnnAnswer};
 use crate::snapshot::SnapshotStore;
 use crate::tree::{
     collect_micro_clusters, finish_micro_clusters, validate_node, ClusModel, ClusTreeConfig,
 };
 use bt_anytree::{
-    AnytimeTree, CheapestRouter, DescentStats, ShardRouter, ShardedAnytimeTree, ShardedBatchOutcome,
+    AnytimeTree, CheapestRouter, DescentStats, OutlierScore, QueryStats, RefineOrder, ShardRouter,
+    ShardedAnytimeTree, ShardedBatchOutcome, ShardedQueryAnswer,
 };
 
 /// An anytime clustering index sharded into `K` independently descending
@@ -183,6 +185,111 @@ impl<R> ShardedClusTree<R> {
                 .map_err(|e| format!("shard {k}: {e}"))?;
         }
         Ok(())
+    }
+
+    /// Objects routed to each shard so far — the direct skew measure for
+    /// the configured router.
+    #[must_use]
+    pub fn shard_sizes(&self) -> &[usize] {
+        self.core.shard_sizes()
+    }
+
+    /// The micro-cluster query model of this sharded tree: normalised by
+    /// the **global** stored weight across all shards, so per-shard partial
+    /// scores fold by summation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth has the wrong dimensionality or a
+    /// non-positive component.
+    #[must_use]
+    pub fn query_model(&self, bandwidth: &[f64]) -> ClusQueryModel {
+        assert_eq!(
+            bandwidth.len(),
+            self.dims(),
+            "bandwidth dimensionality mismatch"
+        );
+        let total: f64 = self.core.shards().iter().map(stored_weight).sum();
+        ClusQueryModel::new(total, bandwidth.to_vec(), self.config.decay_lambda)
+    }
+
+    /// Budget-bracketed anytime density score over all shards: per-shard
+    /// frontiers refine **in parallel** (up to `budget` node reads each)
+    /// and fold into one global smoothed-kernel answer whose bounds inherit
+    /// each shard's monotonicity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query or bandwidth has the wrong dimensionality.
+    #[must_use]
+    pub fn anytime_density(
+        &self,
+        x: &[f64],
+        bandwidth: &[f64],
+        order: RefineOrder,
+        budget: usize,
+    ) -> ShardedQueryAnswer {
+        let model = self.query_model(bandwidth);
+        self.core
+            .query_with_budget(&|| model.clone(), x, order, budget)
+    }
+
+    /// Refines a batch of density queries across all shards (one worker per
+    /// shard processes the whole batch through a reused cursor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query or the bandwidth has the wrong dimensionality.
+    #[must_use]
+    pub fn density_batch(
+        &self,
+        queries: &[Vec<f64>],
+        bandwidth: &[f64],
+        order: RefineOrder,
+        budget: usize,
+    ) -> (Vec<ShardedQueryAnswer>, QueryStats) {
+        let model = self.query_model(bandwidth);
+        self.core
+            .query_batch(&|| model.clone(), queries, order, budget)
+    }
+
+    /// Anytime k-NN micro-cluster retrieval over all shards: per-shard
+    /// frontiers refine closest-first **in parallel**, then the shard
+    /// frontiers are folded into one ranking and the `k` closest clusters
+    /// are returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query has the wrong dimensionality.
+    #[must_use]
+    pub fn anytime_knn(&self, x: &[f64], k: usize, budget: usize) -> KnnAnswer {
+        let model = self.query_model(&vec![1.0; self.dims()]);
+        let cursors =
+            self.core
+                .refine_frontiers(&|| model.clone(), x, RefineOrder::ClosestFirst, budget);
+        let shards: Vec<&AnytimeTree<MicroCluster, MicroCluster>> =
+            self.core.shards().iter().collect();
+        knn_from_cursors(&shards, &cursors, &model, k)
+    }
+
+    /// Anytime outlier scoring over the sharded index: per-shard density
+    /// bounds refine in parallel and the verdict is taken from the folded
+    /// global interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query or bandwidth has the wrong dimensionality.
+    #[must_use]
+    pub fn outlier_score(
+        &self,
+        x: &[f64],
+        bandwidth: &[f64],
+        threshold: f64,
+        budget: usize,
+    ) -> OutlierScore {
+        let model = self.query_model(bandwidth);
+        self.core
+            .outlier_score(&|| model.clone(), x, threshold, budget)
     }
 }
 
@@ -365,5 +472,61 @@ mod tests {
     fn wrong_dims_panics() {
         let mut tree: ShardedClusTree = ShardedClusTree::new(2, ClusTreeConfig::default(), 2);
         tree.insert(&[1.0], 0.0, 1);
+    }
+
+    #[test]
+    fn one_shard_queries_match_the_plain_tree() {
+        let stream = two_cluster_stream(240);
+        let mut plain = ClusTree::new(2, ClusTreeConfig::default());
+        let mut sharded: ShardedClusTree = ShardedClusTree::new(2, ClusTreeConfig::default(), 1);
+        for (batch_idx, chunk) in stream.chunks(24).enumerate() {
+            let points: Vec<Vec<f64>> = chunk.iter().map(|(p, _)| p.clone()).collect();
+            let _ = plain.insert_batch(&points, batch_idx as f64, 6);
+            let _ = sharded.insert_batch(&points, batch_idx as f64, 6);
+        }
+        let bandwidth = [1.5, 1.5];
+        let query = [0.5, -0.5];
+        for budget in [0usize, 1, 4, 16, usize::MAX] {
+            let reference =
+                plain.anytime_density(&query, &bandwidth, RefineOrder::BestFirst, budget);
+            let folded =
+                sharded.anytime_density(&query, &bandwidth, RefineOrder::BestFirst, budget);
+            assert_eq!(folded.as_answer(), reference, "budget {budget}");
+        }
+        let plain_knn = plain.anytime_knn(&query, 3, 20);
+        let sharded_knn = sharded.anytime_knn(&query, 3, 20);
+        assert_eq!(plain_knn.nodes_read, sharded_knn.nodes_read);
+        assert_eq!(plain_knn.neighbors.len(), sharded_knn.neighbors.len());
+        for (a, b) in plain_knn.neighbors.iter().zip(&sharded_knn.neighbors) {
+            assert_eq!(a.center, b.center);
+            assert_eq!(a.sq_dist, b.sq_dist);
+            assert_eq!(a.depth, b.depth);
+        }
+    }
+
+    #[test]
+    fn sharded_knn_folds_the_closest_clusters_across_shards() {
+        let stream = two_cluster_stream(400);
+        let mut sharded: ShardedClusTree = ShardedClusTree::new(2, ClusTreeConfig::default(), 4);
+        for (batch_idx, chunk) in stream.chunks(40).enumerate() {
+            let points: Vec<Vec<f64>> = chunk.iter().map(|(p, _)| p.clone()).collect();
+            let _ = sharded.insert_batch(&points, batch_idx as f64, 10);
+        }
+        let answer = sharded.anytime_knn(&[20.0, 19.0], 2, 100);
+        assert!(!answer.neighbors.is_empty());
+        // The nearest retrieved cluster belongs to the high cluster.
+        assert!(answer.neighbors[0].center[0] > 10.0);
+        for pair in answer.neighbors.windows(2) {
+            assert!(pair[0].sq_dist <= pair[1].sq_dist);
+        }
+        // Sizes are observable and cover the stream.
+        assert_eq!(sharded.shard_sizes().iter().sum::<usize>(), 400);
+        // The folded density bounds tighten with budget.
+        let bandwidth = [2.0, 2.0];
+        let coarse = sharded.anytime_density(&[0.0, 0.0], &bandwidth, RefineOrder::WidestBound, 0);
+        let fine =
+            sharded.anytime_density(&[0.0, 0.0], &bandwidth, RefineOrder::WidestBound, 1_000);
+        assert!(fine.uncertainty() <= coarse.uncertainty() + 1e-12);
+        assert!(fine.lower >= coarse.lower - 1e-12);
     }
 }

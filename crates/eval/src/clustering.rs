@@ -7,6 +7,7 @@
 //! stream objects to their closest micro-cluster centre) and model size as a
 //! function of the per-object node budget.
 
+use bt_anytree::DescentStats;
 use bt_stats::vector;
 use clustree::{
     weighted_dbscan, ClusTree, ClusTreeConfig, DbscanConfig, DepthHistogram, MicroCluster,
@@ -73,9 +74,10 @@ pub struct BatchedClusteringQuality {
     /// Reached-leaf vs. parked-at-depth histogram over the whole stream —
     /// shows how batching shifts parking depth under the same budget.
     pub depths: DepthHistogram,
-    /// Total payload-summary refresh operations the tree performed; batching
-    /// amortises these over the batch, so larger batches refresh less.
-    pub summary_refreshes: u64,
+    /// The descent engine's work counters over the whole stream; batching
+    /// amortises summary refreshes over the batch, so larger batches
+    /// refresh less.
+    pub stats: DescentStats,
 }
 
 /// Inserts a labelled stream in mini-batches of `batch_size` at the given
@@ -120,7 +122,7 @@ pub fn evaluate_stream_clustering_batched(
             macro_clusters: macro_result.num_clusters,
         },
         depths,
-        summary_refreshes: tree.summary_refreshes(),
+        stats: *tree.core().stats(),
     }
 }
 
@@ -239,12 +241,12 @@ pub fn format_sweep(rows: &[ClusteringQuality]) -> String {
 }
 
 /// Formats a batched sweep as aligned text, including the parking
-/// statistics.
+/// statistics; the engine counters use [`DescentStats`]' `Display` form.
 #[must_use]
 pub fn format_batched_sweep(rows: &[BatchedClusteringQuality]) -> String {
     let mut out = String::from(
-        "budget  batch  micro  nodes  purity  parked  mean-depth  refreshes\n\
-         ------  -----  -----  -----  ------  ------  ----------  ---------\n",
+        "budget  batch  micro  nodes  purity  parked  mean-depth  engine\n\
+         ------  -----  -----  -----  ------  ------  ----------  ------\n",
     );
     for r in rows {
         let mean_depth = r
@@ -252,7 +254,7 @@ pub fn format_batched_sweep(rows: &[BatchedClusteringQuality]) -> String {
             .mean_parked_depth()
             .map_or_else(|| "-".to_string(), |d| format!("{d:.2}"));
         out.push_str(&format!(
-            "{:>6}  {:>5}  {:>5}  {:>5}  {:>6.3}  {:>6}  {:>10}  {:>9}\n",
+            "{:>6}  {:>5}  {:>5}  {:>5}  {:>6.3}  {:>6}  {:>10}  {}\n",
             r.quality.node_budget,
             r.batch_size,
             r.quality.micro_clusters,
@@ -260,7 +262,7 @@ pub fn format_batched_sweep(rows: &[BatchedClusteringQuality]) -> String {
             r.quality.purity,
             r.depths.parked_total(),
             mean_depth,
-            r.summary_refreshes
+            r.stats
         ));
     }
     out
@@ -358,14 +360,18 @@ mod tests {
             &DbscanConfig::default(),
         );
         assert_eq!(rows.len(), 3);
-        assert!(rows[1].summary_refreshes < rows[0].summary_refreshes);
-        assert!(rows[2].summary_refreshes < rows[1].summary_refreshes);
+        assert!(rows[1].stats.summary_refreshes < rows[0].stats.summary_refreshes);
+        assert!(rows[2].stats.summary_refreshes < rows[1].stats.summary_refreshes);
         // Every object is accounted for in the outcome histogram.
         for r in &rows {
             assert_eq!(r.depths.total(), s.len());
         }
         let text = format_batched_sweep(&rows);
         assert_eq!(text.lines().count(), 5);
+        assert!(
+            text.contains("refreshes="),
+            "engine column uses DescentStats Display"
+        );
     }
 
     #[test]

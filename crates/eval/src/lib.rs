@@ -25,7 +25,12 @@
 //!   (purity/accuracy, which sharding must not hurt) and wall-clock
 //!   insertion/training throughput at shards 1/2/4/8
 //!   ([`sharding::clustering_shard_sweep`],
-//!   [`sharding::classifier_shard_sweep`]).
+//!   [`sharding::classifier_shard_sweep`]), with per-shard object counts
+//!   surfaced so router skew is observable,
+//! * the **query budget-vs-quality sweeps** over the anytime query engine:
+//!   mean bound width (non-increasing in budget) and estimate error per
+//!   node-read budget ([`query::density_budget_sweep`]), and folded sharded
+//!   query throughput at shards 1/2/4/8 ([`query::sharded_query_sweep`]).
 //!
 //! The bench crate's binaries (`figure2`, `figure3`, `figure4`, `table1`,
 //! `improvement`, `ablation_descent`, `clustree_speed`) are thin wrappers
@@ -37,11 +42,15 @@
 pub mod ablation;
 pub mod clustering;
 pub mod curve;
+pub mod query;
 pub mod report;
 pub mod sharding;
 
 pub use clustering::{batched_budget_sweep, BatchedClusteringQuality};
 pub use curve::{anytime_accuracy_curve, batched_construction_curves, AccuracyCurve, CurveConfig};
+pub use query::{
+    density_budget_sweep, sharded_query_sweep, QueryBudgetQuality, ShardedQueryThroughput,
+};
 pub use report::{ascii_chart, curves_to_csv, improvement_summary, table1};
 pub use sharding::{
     classifier_shard_sweep, clustering_shard_sweep, ShardedClusteringQuality,

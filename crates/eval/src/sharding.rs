@@ -10,6 +10,7 @@
 
 use crate::clustering::{micro_cluster_purity, ssq_per_object};
 use bayestree::{AnytimeClassifier, ClassifierConfig};
+use bt_anytree::DescentStats;
 use bt_data::Dataset;
 use clustree::{ClusTreeConfig, DbscanConfig, ShardedClusTree};
 use std::time::Instant;
@@ -35,8 +36,28 @@ pub struct ShardedClusteringQuality {
     pub macro_clusters: usize,
     /// Objects parked (ran out of budget) anywhere in the sweep.
     pub parked: usize,
-    /// Summed payload-summary refresh operations across shards.
-    pub summary_refreshes: u64,
+    /// Objects routed to each shard — the router-skew observability hook
+    /// ahead of the future work-stealing layer (a perfectly balanced router
+    /// yields equal counts; `shard_skew` summarises the imbalance).
+    pub shard_sizes: Vec<usize>,
+    /// The descent engine's work counters merged across shards.
+    pub stats: DescentStats,
+}
+
+impl ShardedClusteringQuality {
+    /// Router skew: largest shard size over the mean shard size (1.0 means
+    /// perfectly balanced).
+    #[must_use]
+    pub fn shard_skew(&self) -> f64 {
+        let max = self.shard_sizes.iter().max().copied().unwrap_or(0) as f64;
+        let total: usize = self.shard_sizes.iter().sum();
+        let mean = total as f64 / self.shard_sizes.len().max(1) as f64;
+        if mean <= 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
 }
 
 /// Inserts a labelled stream into a [`ShardedClusTree`] at each shard count
@@ -85,7 +106,8 @@ pub fn clustering_shard_sweep(
                 total_nodes: tree.num_nodes(),
                 macro_clusters: tree.offline_clustering(dbscan).num_clusters,
                 parked,
-                summary_refreshes: tree.summary_refreshes(),
+                shard_sizes: tree.shard_sizes().to_vec(),
+                stats: tree.stats(),
             }
         })
         .collect()
@@ -140,16 +162,18 @@ pub fn classifier_shard_sweep(
         .collect()
 }
 
-/// Formats a clustering shard sweep as aligned text.
+/// Formats a clustering shard sweep as aligned text, including the
+/// per-shard size split (router skew); the engine counters use
+/// [`DescentStats`]' `Display` form.
 #[must_use]
 pub fn format_clustering_shard_sweep(rows: &[ShardedClusteringQuality]) -> String {
     let mut out = String::from(
-        "shards  obj/sec  purity  micro  nodes  macro  parked  refreshes\n\
-         ------  -------  ------  -----  -----  -----  ------  ---------\n",
+        "shards  obj/sec  purity  micro  nodes  macro  parked  skew  sizes / engine\n\
+         ------  -------  ------  -----  -----  -----  ------  ----  --------------\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{:>6}  {:>7.0}  {:>6.3}  {:>5}  {:>5}  {:>5}  {:>6}  {:>9}\n",
+            "{:>6}  {:>7.0}  {:>6.3}  {:>5}  {:>5}  {:>5}  {:>6}  {:>4.2}  {:?} {}\n",
             r.shards,
             r.objects_per_sec,
             r.purity,
@@ -157,7 +181,9 @@ pub fn format_clustering_shard_sweep(rows: &[ShardedClusteringQuality]) -> Strin
             r.total_nodes,
             r.macro_clusters,
             r.parked,
-            r.summary_refreshes
+            r.shard_skew(),
+            r.shard_sizes,
+            r.stats
         ));
     }
     out
@@ -206,9 +232,17 @@ mod tests {
             assert!(r.micro_clusters >= 1);
             assert!(r.objects_per_sec > 0.0);
             assert!(r.total_nodes >= r.shards);
+            // Router skew is observable: every object lands in some shard.
+            assert_eq!(r.shard_sizes.len(), r.shards);
+            assert_eq!(r.shard_sizes.iter().sum::<usize>(), 600);
+            assert!(r.shard_skew() >= 1.0 - 1e-9);
         }
         let text = format_clustering_shard_sweep(&rows);
         assert_eq!(text.lines().count(), 5);
+        assert!(
+            text.contains("refreshes="),
+            "engine column uses DescentStats Display"
+        );
     }
 
     #[test]

@@ -39,15 +39,30 @@ pub trait Kernel {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct GaussianKernel;
 
+/// One dimension's contribution to the Gaussian product log-kernel at
+/// (signed) distance `dist` with bandwidth `h`, including the shared
+/// variance flooring.
+///
+/// This is *the* per-dimension term: [`GaussianKernel::log_density`] sums it
+/// over `x - center`, and the anytime query models evaluate it at nearest /
+/// farthest MBR distances (Bayes-tree bounds) and at cluster-feature mean
+/// squared distances (ClusTree Jensen bounds).  Keeping it in one place
+/// guarantees the bound arithmetic can never drift from the leaf-kernel
+/// arithmetic it must bracket.
+#[must_use]
+pub fn gaussian_log_term(dist: f64, h: f64) -> f64 {
+    let h = h.max(VARIANCE_FLOOR.sqrt());
+    let u = dist / h;
+    -0.5 * (LN_2PI + u * u) - h.ln()
+}
+
 impl Kernel for GaussianKernel {
     fn log_density(&self, center: &[f64], x: &[f64], bandwidth: &[f64]) -> f64 {
         debug_assert_eq!(center.len(), x.len());
         debug_assert_eq!(center.len(), bandwidth.len());
         let mut acc = 0.0;
         for d in 0..x.len() {
-            let h = bandwidth[d].max(VARIANCE_FLOOR.sqrt());
-            let u = (x[d] - center[d]) / h;
-            acc += -0.5 * (LN_2PI + u * u) - h.ln();
+            acc += gaussian_log_term(x[d] - center[d], bandwidth[d]);
         }
         acc
     }

@@ -26,11 +26,11 @@
 //! accordingly:
 //!
 //! ```text
-//! stats ──► index ──► anytree{descent, shard} ──► { bayestree, clustree }
-//!                                                          │
-//!                               data ──────────────────────┤
-//!                                                          ▼
-//!                                                eval ──► bench
+//! stats ──► index ──► anytree{descent, query, shard} ──► { bayestree, clustree }
+//!                                                                 │
+//!                               data ─────────────────────────────┤
+//!                                                                 ▼
+//!                                                       eval ──► bench
 //! ```
 //!
 //! * **`stats`** owns the statistical substrate (cluster features,
@@ -57,7 +57,20 @@
 //!   re-splitting until every part fits and growing the root as needed).
 //!   [`anytree::AnytimeTree::insert_batch`] reports a reached-leaf vs.
 //!   parked-at-depth [`anytree::DepthHistogram`] so callers can observe how
-//!   batching shifts parking depth.  On top of the engine sits the
+//!   batching shifts parking depth.  The **anytime query engine**
+//!   ([`anytree::query`]) mirrors the descent engine on the read side: a
+//!   payload-generic [`anytree::QueryModel`] scores directory summaries and
+//!   leaf items against a query point, a resumable [`anytree::QueryCursor`]
+//!   refines a best-first frontier one node read at a time (the refinement
+//!   orderings of Section 2.2 exist exactly once, with per-tree
+//!   scratch/frontier reuse and [`anytree::QueryStats`] counters alongside
+//!   [`anytree::DescentStats`]), and every partial answer carries certain
+//!   `[lower, upper]` bounds that can only tighten with budget — the
+//!   monotone anytime contract, property-tested for both trees.
+//!   Insert-free workloads plug in with just a `Summary` + `QueryModel`:
+//!   anytime **outlier scoring** ([`anytree::AnytimeTree::outlier_score`])
+//!   refines the density interval until a threshold verdict is certain.
+//!   On top of the engines sits the
 //!   **sharding layer** ([`anytree::shard`]): a
 //!   [`anytree::ShardedAnytimeTree`] partitions the object space into `K`
 //!   independent shard trees behind a pluggable [`anytree::ShardRouter`]
@@ -69,7 +82,14 @@
 //!   cursor per shard as the concurrency unit, each shard's `finish_batch`
 //!   its single synchronisation point), and merges the per-shard reports
 //!   ([`anytree::DepthHistogram::merge`], [`anytree::DescentStats::merge`]).
-//!   The core is `Send`-clean by construction — static assertions in
+//!   The query path is sharded the same way: per-shard frontiers refine
+//!   concurrently ([`anytree::ShardedAnytimeTree::query_batch`], one worker
+//!   per shard over the whole batch) and fold into one global mixture
+//!   answer ([`anytree::ShardedQueryAnswer`]) whose bounds inherit each
+//!   shard's monotonicity; per-shard object counts
+//!   ([`anytree::ShardedAnytimeTree::shard_sizes`]) make router skew
+//!   observable ahead of the planned work-stealing layer.  The core is
+//!   `Send`/`Sync`-clean by construction — static assertions in
 //!   `tests/send_assertions.rs` keep it that way.
 //! * **`bayestree`** instantiates the core with an MBR + cluster-feature
 //!   payload over raw kernel points (classification); **`clustree`**
@@ -78,10 +98,10 @@
 //!   and split propagation exist exactly once.
 //!
 //! One core means one place to add sharding, batching and concurrency — and
-//! new anytime workloads (e.g. outlier scoring over the same index) plug in
-//! by implementing `Summary` + `InsertModel` rather than re-implementing a
-//! tree.  Batching is already in: every layer exposes mini-batch entry
-//! points over the core engine (`BayesTree::insert_batch`,
+//! new anytime workloads plug in by implementing `Summary` + `InsertModel`
+//! (write side) or `Summary` + `QueryModel` (read side) rather than
+//! re-implementing a tree.  Batching is already in: every layer exposes
+//! mini-batch entry points over the core engine (`BayesTree::insert_batch`,
 //! `AnytimeClassifier::learn_batch`, `SingleTreeClassifier::insert_batch` /
 //! `train_batched`, `ClusTree::insert_batch`), and `eval` measures
 //! accuracy/purity versus budget at batch sizes 1/8/64.  Sharding is in
@@ -92,7 +112,18 @@
 //! threads bit-identically to sequential training, `eval::sharding` sweeps
 //! quality and wall-clock throughput over shard counts 1/2/4/8, and the
 //! `shard_scaling` criterion bench asserts the ≥1.5× 4-shard speedup as a
-//! smoke threshold on runners with ≥4 CPUs.
+//! smoke threshold on runners with ≥4 CPUs.  The query layer is in as well:
+//! `bayestree` rebases its frontier (`TreeFrontier`) and `pdq` reference on
+//! the shared engine and adds budget-bracketed density queries
+//! (`BayesTree::anytime_density` / `density_batch`) plus anytime outlier
+//! scoring (`BayesTree::outlier_score`); `clustree` adds anytime k-NN
+//! micro-cluster retrieval at any tree level (`ClusTree::anytime_knn`) and
+//! the same density/outlier scores; both sharded trees answer queries by
+//! refining per-shard frontiers in parallel and folding one global mixture;
+//! `eval::query` sweeps bound width versus budget (non-increasing, the
+//! monotone contract) and sharded query throughput at shards 1/2/4/8; and
+//! the `anytime_query` criterion bench asserts refinement convergence plus
+//! the ≥1.5× 4-shard query-throughput smoke threshold on ≥4-CPU runners.
 //!
 //! ## Quickstart
 //!

@@ -1,12 +1,20 @@
 //! Property-based tests on the core data structures and their invariants:
 //! cluster-feature additivity, Bayes-tree structural invariants under
 //! arbitrary insertion orders, space-filling-curve permutations, STR
-//! partitioning, and the probability-density-query consistency between the
-//! incremental frontier and the non-incremental reference implementation.
+//! partitioning, the probability-density-query consistency between the
+//! incremental frontier and the non-incremental reference implementation,
+//! the [`DepthHistogram`] merge algebra, the monotone-refinement contract of
+//! the anytime query engine (for both tree instantiations), and the
+//! observable equivalence of full-budget cursor classification with the
+//! flat-density reference.
 
+use anytime_stream_mining::anytree::{DepthHistogram, RefineOrder};
 use anytime_stream_mining::bayestree::pdq::pdq;
 use anytime_stream_mining::bayestree::BayesTree;
-use anytime_stream_mining::bayestree::{build_tree, BulkLoadMethod, DescentStrategy, TreeFrontier};
+use anytime_stream_mining::bayestree::{
+    build_tree, AnytimeClassifier, BulkLoadMethod, ClassifierConfig, DescentStrategy, TreeFrontier,
+};
+use anytime_stream_mining::clustree::{ClusTree, ClusTreeConfig, InsertOutcome};
 use anytime_stream_mining::index::{
     hilbert_sort_order, str_partition, z_order_sort_order, Mbr, PageGeometry,
 };
@@ -17,6 +25,23 @@ use proptest::prelude::*;
 /// Strategy producing a small set of bounded 3-d points.
 fn points_strategy(max_len: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
     prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 3), 1..max_len)
+}
+
+/// Strategy producing a random list of encoded insertion outcomes
+/// (0 = reached leaf, d > 0 = parked at depth d).
+fn outcomes_strategy(max_len: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..8, 0..max_len)
+}
+
+fn histogram_of(encoded: &[usize]) -> DepthHistogram {
+    let mut h = DepthHistogram::default();
+    for &code in encoded {
+        h.record(match code {
+            0 => InsertOutcome::ReachedLeaf,
+            depth => InsertOutcome::Parked { depth },
+        });
+    }
+    h
 }
 
 proptest! {
@@ -143,5 +168,141 @@ proptest! {
         let at_mean = g.pdf(&mean);
         prop_assert!(g.pdf(&x) <= at_mean + 1e-12);
         prop_assert!(g.pdf(&x) >= 0.0);
+    }
+
+    #[test]
+    fn depth_histogram_merge_is_commutative_associative_with_identity(
+        a in outcomes_strategy(40),
+        b in outcomes_strategy(40),
+        c in outcomes_strategy(40),
+    ) {
+        let (ha, hb, hc) = (histogram_of(&a), histogram_of(&b), histogram_of(&c));
+
+        // Identity: merging the empty histogram changes nothing.
+        let mut with_identity = ha.clone();
+        with_identity.merge(&DepthHistogram::default());
+        prop_assert_eq!(&with_identity, &ha);
+        let mut identity_first = DepthHistogram::default();
+        identity_first.merge(&ha);
+        prop_assert_eq!(&identity_first, &ha);
+
+        // Commutativity: a ∪ b == b ∪ a.
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+
+        // Associativity: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+        let mut ab_c = ab.clone();
+        ab_c.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+
+        // The merge is a plain sum, so totals add up.
+        prop_assert_eq!(ab_c.total(), a.len() + b.len() + c.len());
+    }
+
+    #[test]
+    fn bayes_query_refinement_is_monotone(points in points_strategy(80), qx in -50.0f64..50.0) {
+        // More budget never worsens the bound: the certain interval around
+        // the density can only tighten, and it always brackets the fully
+        // refined answer.
+        let tree = build_tree(&points, 3, PageGeometry::from_fanout(4, 6), BulkLoadMethod::Hilbert, 1);
+        let query = vec![qx, -qx * 0.5, qx * 0.25];
+        let truth = tree.full_kernel_density(&query);
+        let mut frontier = TreeFrontier::new(&tree, &query);
+        let mut last = frontier.uncertainty();
+        loop {
+            let (lower, upper) = frontier.density_bounds();
+            prop_assert!(lower <= truth + 1e-12 && truth <= upper + 1e-12,
+                "bounds [{lower}, {upper}] miss the fully refined density {truth}");
+            if !frontier.refine(DescentStrategy::default()) {
+                break;
+            }
+            prop_assert!(frontier.uncertainty() <= last + 1e-12, "refinement widened the bound");
+            last = frontier.uncertainty();
+        }
+        prop_assert!(frontier.uncertainty() < 1e-12, "full refinement must collapse the bound");
+    }
+
+    #[test]
+    fn clustree_query_refinement_is_monotone(
+        points in points_strategy(80),
+        budget in 0usize..12,
+        qx in -50.0f64..50.0,
+    ) {
+        // The same contract holds on the clustering index, including trees
+        // whose hitchhiker buffers hold parked mass (small insert budgets).
+        let mut tree = ClusTree::new(3, ClusTreeConfig::default());
+        for (t, p) in points.iter().enumerate() {
+            tree.insert(p, t as f64, budget);
+        }
+        let bandwidth = [5.0, 5.0, 5.0];
+        let query = vec![qx, qx, -qx];
+        let mut last = f64::INFINITY;
+        let mut last_lower = 0.0f64;
+        for query_budget in [0usize, 1, 2, 4, 8, 16, 64, usize::MAX] {
+            let answer = tree.anytime_density(&query, &bandwidth, RefineOrder::WidestBound, query_budget);
+            prop_assert!(answer.lower <= answer.upper + 1e-12);
+            prop_assert!(answer.lower >= last_lower - 1e-12, "lower bound regressed");
+            prop_assert!(answer.uncertainty() <= last + 1e-12, "budget {query_budget} widened the bound");
+            last = answer.uncertainty();
+            last_lower = answer.lower;
+        }
+    }
+
+    #[test]
+    fn full_budget_cursor_classification_matches_the_flat_reference(
+        seed in 0u64..500,
+    ) {
+        // The rebased query path must be observably equivalent to the
+        // pre-refactor one at full budget: every class frontier refines to
+        // the flat kernel density, so the posteriors equal the normalised
+        // prior-weighted flat densities.
+        let dataset = anytime_stream_mining::data::synth::blobs::BlobConfig::new(3, 3)
+            .samples_per_class(40)
+            .seed(seed)
+            .generate();
+        let config = ClassifierConfig {
+            geometry: Some(PageGeometry::from_fanout(4, 5)),
+            ..ClassifierConfig::default()
+        };
+        let classifier = AnytimeClassifier::train(&dataset, &config);
+        for x in dataset.features().iter().step_by(17) {
+            // 10k node reads exhausts every frontier of these small trees —
+            // "full budget" without overflowing the trace preallocation.
+            let result = classifier.classify_with_budget(x, 10_000);
+            let joint: Vec<f64> = classifier
+                .trees()
+                .iter()
+                .zip(classifier.priors())
+                .map(|(tree, &prior)| prior * tree.full_kernel_density(x))
+                .collect();
+            let total: f64 = joint.iter().sum();
+            prop_assert!(total > 0.0, "reference densities underflowed");
+            // The incremental cursor sums the same kernel terms in a
+            // different order than the flat reference (with compensated
+            // accumulation), so agreement is float-level, not bitwise.
+            let mut reference: Vec<f64> = joint.iter().map(|j| j / total).collect();
+            for (posterior, r) in result.posteriors.iter().zip(&reference) {
+                prop_assert!((posterior - r).abs() < 1e-9,
+                    "posterior {posterior} vs reference {r}");
+            }
+            reference.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            if reference[0] - reference[1] > 1e-9 {
+                // Clear winner: the decision itself must agree.
+                let best = joint
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+                    .map(|(i, _)| i)
+                    .unwrap();
+                prop_assert_eq!(result.label, best);
+            }
+        }
     }
 }

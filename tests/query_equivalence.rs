@@ -1,0 +1,121 @@
+//! Property tests for the sharded query path: sharding must be an
+//! *organisational* change on the query side too, never an observable one.
+//!
+//! Locked down for both instantiations (Bayes tree and ClusTree):
+//!
+//! * a `Sharded*Tree` with **one shard** answers every anytime query
+//!   exactly like the plain tree — estimates, certain bounds, node reads
+//!   and retrieved neighbours,
+//! * at **any shard count** the fully refined folded answer equals the
+//!   plain tree's fully refined answer (the mixture sum does not care how
+//!   the kernels are partitioned), and the folded bound interval is
+//!   monotone in the per-shard budget.
+
+use anytime_stream_mining::anytree::RefineOrder;
+use anytime_stream_mining::bayestree::{BayesTree, DescentStrategy, ShardedBayesTree};
+use anytime_stream_mining::clustree::{ClusTree, ClusTreeConfig, ShardedClusTree};
+use anytime_stream_mining::index::PageGeometry;
+use proptest::prelude::*;
+
+/// Strategy producing a bounded set of 3-d points.
+fn stream_strategy(max_len: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-5.0f64..5.0, 3), 12..max_len)
+}
+
+fn geometry() -> PageGeometry {
+    PageGeometry::from_fanout(4, 4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn one_shard_bayes_queries_match_the_plain_tree(
+        points in stream_strategy(120),
+        qx in -6.0f64..6.0,
+        budget in 0usize..40,
+    ) {
+        let mut plain = BayesTree::new(3, geometry());
+        let mut sharded: ShardedBayesTree = ShardedBayesTree::new(3, geometry(), 1);
+        for chunk in points.chunks(16) {
+            plain.insert_batch(chunk.to_vec());
+            let _ = sharded.insert_batch(chunk.to_vec());
+        }
+        let bandwidth = vec![0.8, 0.8, 0.8];
+        plain.set_bandwidth(bandwidth.clone());
+        sharded.set_bandwidth(bandwidth);
+        let query = vec![qx, -qx, qx * 0.5];
+        for strategy in DescentStrategy::all() {
+            let reference = plain.anytime_density(&query, strategy, budget);
+            let folded = sharded.anytime_density(&query, strategy, budget);
+            prop_assert_eq!(folded.as_answer(), reference, "strategy {:?}", strategy);
+        }
+        let score_plain = plain.outlier_score(&query, 1e-3, 30);
+        let score_sharded = sharded.outlier_score(&query, 1e-3, 30);
+        prop_assert_eq!(score_plain.verdict, score_sharded.verdict);
+    }
+
+    #[test]
+    fn sharded_bayes_full_refinement_is_partition_invariant(
+        points in stream_strategy(100),
+        shards in 2usize..5,
+        qx in -6.0f64..6.0,
+    ) {
+        let mut plain = BayesTree::new(3, geometry());
+        let mut sharded: ShardedBayesTree = ShardedBayesTree::new(3, geometry(), shards);
+        for chunk in points.chunks(16) {
+            plain.insert_batch(chunk.to_vec());
+            let _ = sharded.insert_batch(chunk.to_vec());
+        }
+        let bandwidth = vec![0.6, 0.9, 0.7];
+        plain.set_bandwidth(bandwidth.clone());
+        sharded.set_bandwidth(bandwidth);
+        let query = vec![qx, qx, qx];
+        let reference = plain.anytime_density(&query, DescentStrategy::default(), usize::MAX);
+        let folded = sharded.anytime_density(&query, DescentStrategy::default(), usize::MAX);
+        prop_assert!(
+            (folded.estimate - reference.estimate).abs() <= 1e-9 * (1.0 + reference.estimate),
+            "fully refined fold {} vs plain {}", folded.estimate, reference.estimate
+        );
+        prop_assert!(folded.uncertainty() < 1e-12);
+        // Folded bounds are monotone in the per-shard budget.
+        let mut last = f64::INFINITY;
+        for budget in [0usize, 1, 2, 4, 8, 16] {
+            let answer = sharded.anytime_density(&query, DescentStrategy::default(), budget);
+            prop_assert!(answer.uncertainty() <= last + 1e-12);
+            last = answer.uncertainty();
+        }
+        // Every shard routed some share of the points.
+        prop_assert_eq!(sharded.shard_sizes().iter().sum::<usize>(), points.len());
+    }
+
+    #[test]
+    fn one_shard_clustree_queries_match_the_plain_tree(
+        points in stream_strategy(100),
+        insert_budget in 0usize..8,
+        qx in -6.0f64..6.0,
+        query_budget in 0usize..30,
+    ) {
+        let mut plain = ClusTree::new(3, ClusTreeConfig::default());
+        let mut sharded: ShardedClusTree = ShardedClusTree::new(3, ClusTreeConfig::default(), 1);
+        for (batch_idx, chunk) in points.chunks(12).enumerate() {
+            let _ = plain.insert_batch(chunk, batch_idx as f64, insert_budget);
+            let _ = sharded.insert_batch(chunk, batch_idx as f64, insert_budget);
+        }
+        let bandwidth = [1.5, 1.5, 1.5];
+        let query = vec![qx, qx * 0.5, -qx];
+        let reference = plain.anytime_density(&query, &bandwidth, RefineOrder::BestFirst, query_budget);
+        let folded = sharded.anytime_density(&query, &bandwidth, RefineOrder::BestFirst, query_budget);
+        prop_assert_eq!(folded.as_answer(), reference);
+        let knn_plain = plain.anytime_knn(&query, 3, query_budget);
+        let knn_sharded = sharded.anytime_knn(&query, 3, query_budget);
+        prop_assert_eq!(knn_plain.nodes_read, knn_sharded.nodes_read);
+        prop_assert_eq!(knn_plain.neighbors.len(), knn_sharded.neighbors.len());
+        for (a, b) in knn_plain.neighbors.iter().zip(&knn_sharded.neighbors) {
+            prop_assert_eq!(&a.center, &b.center);
+            prop_assert_eq!(a.sq_dist, b.sq_dist);
+            prop_assert_eq!(a.depth, b.depth);
+            prop_assert_eq!(a.refinable, b.refinable);
+        }
+    }
+}

@@ -4,7 +4,8 @@
 //! sharded trees' ability to cross threads.
 
 use anytime_stream_mining::anytree::{
-    AnytimeTree, CheapestRouter, DescentCursor, FixedPartitionRouter, ShardedAnytimeTree,
+    AnytimeTree, CheapestRouter, DescentCursor, FixedPartitionRouter, QueryCursor,
+    ShardedAnytimeTree,
 };
 use anytime_stream_mining::bayestree::{
     AnytimeClassifier, BayesTree, KernelSummary, ShardedBayesTree,
@@ -24,6 +25,8 @@ fn the_shared_core_is_send() {
     // live on worker threads).
     assert_send::<DescentCursor<Vec<f64>>>();
     assert_send::<DescentCursor<MicroCluster>>();
+    // Query cursors are per-shard worker state of the parallel query path.
+    assert_send::<QueryCursor>();
 }
 
 #[test]
@@ -44,8 +47,14 @@ fn the_workload_layers_are_send() {
 #[test]
 fn shared_read_state_is_sync() {
     // Sharded training reads the data set and the trees from worker
-    // threads; per-shard models read the clustering configuration.
+    // threads; per-shard models read the clustering configuration; the
+    // parallel query path shares every shard tree immutably across its
+    // scoped workers.
     assert_sync::<Dataset>();
     assert_sync::<BayesTree>();
     assert_sync::<anytime_stream_mining::clustree::ClusTreeConfig>();
+    assert_sync::<AnytimeTree<KernelSummary, Vec<f64>>>();
+    assert_sync::<AnytimeTree<MicroCluster, MicroCluster>>();
+    assert_sync::<ShardedBayesTree>();
+    assert_sync::<ShardedClusTree>();
 }
