@@ -1,0 +1,362 @@
+//! The epoch-versioned node arena: copy-on-write slots behind stable ids.
+//!
+//! PR 5 turns the arena from a plain `Vec<Node>` into a versioned store so
+//! that **reads and writes overlap without locks on the hot path**:
+//!
+//! * every node lives in a *slot* (`Arc<VersionedNode>`) addressed by the
+//!   same stable [`NodeId`] index as before — child pointers never move,
+//! * every node carries a lightweight **version stamp**: the epoch of the
+//!   batch that last mutated it ([`VersionedNode::version`]),
+//! * mutation is **copy-on-write at node granularity**: writing a node whose
+//!   slot is shared with a pinned snapshot first clones that one node into a
+//!   fresh allocation ([`std::sync::Arc::make_mut`]) — the snapshot keeps the
+//!   retired copy, the tree continues on the new one, and nothing else in
+//!   the tree is touched.  With no snapshot pinned the strong count is 1 and
+//!   the write happens in place, so the no-reader fast path costs one
+//!   atomic load per mutated node,
+//! * `finish_batch` **publishes a new root epoch**
+//!   ([`NodeArena::publish`]); [`crate::TreeSnapshot`]s pin the published
+//!   epoch in a shared [`EpochRegistry`] so writers (and tests) can observe
+//!   which epochs are still read,
+//! * **reclamation**: a retired node copy is owned only by the snapshot
+//!   spines that pinned it, so it is freed exactly when the last snapshot
+//!   whose epoch predates the copy's replacement is dropped — the epoch
+//!   registry records the pins, the `Arc` drop does the freeing, and no
+//!   background collector or extra dependency is needed.
+
+use crate::node::{Node, NodeId};
+use crate::summary::Summary;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// One arena slot: a node plus the epoch of the batch that last mutated it.
+#[derive(Debug, Clone)]
+pub struct VersionedNode<S, L> {
+    /// The epoch stamp: the (in-flight) epoch of the last mutation, i.e. the
+    /// publish that first covered this version of the node.
+    pub version: u64,
+    /// The node payload.
+    pub node: Node<S, L>,
+}
+
+/// The shared pin registry: which epochs are still pinned by how many
+/// snapshots.
+///
+/// The registry does not own any node memory — retired copies are reclaimed
+/// by the snapshots' `Arc` drops (see the [module docs](crate::arena)) — but
+/// it is the single place writers can ask "is anything reading an old
+/// epoch?", which makes the copy-on-write fast path observable and testable.
+#[derive(Debug, Default)]
+pub struct EpochRegistry {
+    pinned: Mutex<BTreeMap<u64, usize>>,
+}
+
+impl EpochRegistry {
+    /// Registers one snapshot pinning `epoch`.
+    pub fn pin(&self, epoch: u64) {
+        let mut pinned = self.pinned.lock().expect("epoch registry poisoned");
+        *pinned.entry(epoch).or_insert(0) += 1;
+    }
+
+    /// Releases one snapshot pin of `epoch`.
+    pub fn unpin(&self, epoch: u64) {
+        let mut pinned = self.pinned.lock().expect("epoch registry poisoned");
+        if let Some(count) = pinned.get_mut(&epoch) {
+            *count -= 1;
+            if *count == 0 {
+                pinned.remove(&epoch);
+            }
+        }
+    }
+
+    /// The oldest epoch still pinned by a live snapshot, if any.
+    #[must_use]
+    pub fn oldest_pinned(&self) -> Option<u64> {
+        self.pinned
+            .lock()
+            .expect("epoch registry poisoned")
+            .keys()
+            .next()
+            .copied()
+    }
+
+    /// Number of live snapshot pins across all epochs.
+    #[must_use]
+    pub fn pinned_count(&self) -> usize {
+        self.pinned
+            .lock()
+            .expect("epoch registry poisoned")
+            .values()
+            .sum()
+    }
+}
+
+/// An RAII pin of one epoch in an [`EpochRegistry`]: created when a snapshot
+/// is taken, released when the snapshot is dropped.
+#[derive(Debug)]
+pub struct EpochPin {
+    registry: Arc<EpochRegistry>,
+    epoch: u64,
+}
+
+impl EpochPin {
+    /// Pins `epoch` in `registry`.
+    #[must_use]
+    pub fn new(registry: Arc<EpochRegistry>, epoch: u64) -> Self {
+        registry.pin(epoch);
+        Self { registry, epoch }
+    }
+
+    /// The pinned epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl Clone for EpochPin {
+    fn clone(&self) -> Self {
+        Self::new(Arc::clone(&self.registry), self.epoch)
+    }
+}
+
+impl Drop for EpochPin {
+    fn drop(&mut self) {
+        self.registry.unpin(self.epoch);
+    }
+}
+
+/// The epoch-versioned node arena.
+///
+/// Slots are `Arc`-shared with snapshots; mutation goes through
+/// [`NodeArena::node_mut`], which copies the node **only** when a snapshot
+/// still references it (copy-on-write at node granularity).  Node ids are
+/// stable: a copy replaces the `Arc` inside the same slot, so child pointers
+/// never need rewriting.
+#[derive(Debug)]
+pub struct NodeArena<S: Summary, L> {
+    slots: Vec<Arc<VersionedNode<S, L>>>,
+    /// Number of published epochs (batches closed by [`NodeArena::publish`]).
+    epoch: u64,
+    registry: Arc<EpochRegistry>,
+    /// Retired node copies created by copy-on-write so far.
+    retired: u64,
+}
+
+impl<S: Summary, L> NodeArena<S, L> {
+    /// Creates an arena holding a single empty leaf (the root of a fresh
+    /// tree).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            slots: vec![Arc::new(VersionedNode {
+                version: 0,
+                node: Node::empty_leaf(),
+            })],
+            epoch: 0,
+            registry: Arc::new(EpochRegistry::default()),
+            retired: 0,
+        }
+    }
+
+    /// Number of slots (including nodes orphaned by bulk loading).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the arena holds no slots (never true in practice: a fresh
+    /// arena holds the empty root leaf).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Read access to a node.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node<S, L> {
+        &self.slots[id].node
+    }
+
+    /// The version stamp of a node: the epoch of the batch that last mutated
+    /// it.
+    #[must_use]
+    pub fn version(&self, id: NodeId) -> u64 {
+        self.slots[id].version
+    }
+
+    /// The published epoch: the number of batches closed so far.  Snapshots
+    /// pin this value.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Publishes the current in-flight epoch (called by `finish_batch`):
+    /// every node stamped during the batch becomes part of the new published
+    /// root epoch.
+    pub fn publish(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Number of retired node copies created by copy-on-write so far.  Zero
+    /// as long as no snapshot — and no [`Clone`]d tree, which shares the
+    /// slots the same way — overlaps a write: the no-sharer fast path never
+    /// copies.
+    #[must_use]
+    pub fn retired_nodes(&self) -> u64 {
+        self.retired
+    }
+
+    /// The shared epoch registry (snapshots pin their epoch here).
+    #[must_use]
+    pub fn registry(&self) -> &Arc<EpochRegistry> {
+        &self.registry
+    }
+
+    /// The slot spine, cloned for a snapshot: `O(len)` pointer copies, no
+    /// node payload is touched.
+    #[must_use]
+    pub fn snapshot_slots(&self) -> Vec<Arc<VersionedNode<S, L>>> {
+        self.slots.clone()
+    }
+
+    /// Adds a node stamped with the in-flight epoch and returns its id.
+    pub fn push(&mut self, node: Node<S, L>) -> NodeId {
+        self.slots.push(Arc::new(VersionedNode {
+            version: self.epoch + 1,
+            node,
+        }));
+        self.slots.len() - 1
+    }
+}
+
+impl<S: Summary + Clone, L: Clone> NodeArena<S, L> {
+    /// Mutable access to a node — the copy-on-write point.
+    ///
+    /// If the slot is shared with a pinned snapshot the node is cloned into
+    /// a fresh allocation first (the snapshot keeps the retired copy);
+    /// otherwise the write happens in place.  Either way the node is stamped
+    /// with the in-flight epoch (`published + 1`).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node<S, L> {
+        let slot = &mut self.slots[id];
+        if Arc::strong_count(slot) > 1 {
+            self.retired += 1;
+        }
+        let versioned = Arc::make_mut(slot);
+        versioned.version = self.epoch + 1;
+        &mut versioned.node
+    }
+}
+
+impl<S: Summary, L> Default for NodeArena<S, L> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Summary, L> Clone for NodeArena<S, L> {
+    /// Cloning an arena shares the node slots copy-on-write (cheap: pointer
+    /// copies only) but starts a **fresh registry**: snapshots of the clone
+    /// pin the clone's registry, not the original's.  Mutating either tree
+    /// copies shared nodes on first write, so the two trees stay isolated.
+    fn clone(&self) -> Self {
+        Self {
+            slots: self.slots.clone(),
+            epoch: self.epoch,
+            registry: Arc::new(EpochRegistry::default()),
+            retired: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+
+    #[derive(Debug, Clone)]
+    struct W(f64);
+
+    impl Summary for W {
+        type Ctx = ();
+        fn merge(&mut self, other: &Self, _ctx: ()) {
+            self.0 += other.0;
+        }
+        fn weight(&self) -> f64 {
+            self.0
+        }
+        fn sq_dist_to(&self, _point: &[f64]) -> f64 {
+            0.0
+        }
+        fn center(&self) -> Vec<f64> {
+            Vec::new()
+        }
+    }
+
+    fn leaf_items(arena: &NodeArena<W, u32>, id: NodeId) -> Vec<u32> {
+        match &arena.node(id).kind {
+            NodeKind::Leaf { items } => items.clone(),
+            NodeKind::Inner { .. } => panic!("expected leaf"),
+        }
+    }
+
+    #[test]
+    fn in_place_mutation_without_snapshots_retires_nothing() {
+        let mut arena: NodeArena<W, u32> = NodeArena::new();
+        for i in 0..10 {
+            arena.node_mut(0).items_mut().push(i);
+        }
+        assert_eq!(arena.retired_nodes(), 0);
+        assert_eq!(leaf_items(&arena, 0), (0..10).collect::<Vec<_>>());
+        assert_eq!(arena.version(0), 1);
+    }
+
+    #[test]
+    fn pinned_spine_forces_one_copy_then_writes_in_place() {
+        let mut arena: NodeArena<W, u32> = NodeArena::new();
+        arena.node_mut(0).items_mut().push(1);
+        arena.publish();
+        let spine = arena.snapshot_slots();
+        // First write after the snapshot copies the node once...
+        arena.node_mut(0).items_mut().push(2);
+        assert_eq!(arena.retired_nodes(), 1);
+        // ...subsequent writes hit the fresh copy in place.
+        arena.node_mut(0).items_mut().push(3);
+        assert_eq!(arena.retired_nodes(), 1);
+        // The pinned spine still sees the pre-snapshot state.
+        assert_eq!(spine[0].node.items(), &[1]);
+        assert_eq!(spine[0].version, 1);
+        assert_eq!(leaf_items(&arena, 0), vec![1, 2, 3]);
+        assert_eq!(arena.version(0), 2);
+    }
+
+    #[test]
+    fn registry_tracks_pins_in_epoch_order() {
+        let registry = Arc::new(EpochRegistry::default());
+        assert_eq!(registry.oldest_pinned(), None);
+        let early = EpochPin::new(Arc::clone(&registry), 3);
+        let late = EpochPin::new(Arc::clone(&registry), 7);
+        assert_eq!(registry.oldest_pinned(), Some(3));
+        assert_eq!(registry.pinned_count(), 2);
+        let late_clone = late.clone();
+        assert_eq!(registry.pinned_count(), 3);
+        drop(early);
+        assert_eq!(registry.oldest_pinned(), Some(7));
+        drop(late);
+        assert_eq!(registry.oldest_pinned(), Some(7), "clone still pins");
+        drop(late_clone);
+        assert_eq!(registry.oldest_pinned(), None);
+        assert_eq!(registry.pinned_count(), 0);
+    }
+
+    #[test]
+    fn cloned_arena_is_isolated_copy_on_write() {
+        let mut a: NodeArena<W, u32> = NodeArena::new();
+        a.node_mut(0).items_mut().push(1);
+        let mut b = a.clone();
+        b.node_mut(0).items_mut().push(2);
+        assert_eq!(leaf_items(&a, 0), vec![1]);
+        assert_eq!(leaf_items(&b, 0), vec![1, 2]);
+    }
+}

@@ -318,7 +318,7 @@ impl<S> DescentScratch<S> {
     }
 }
 
-impl<S: Summary, L> AnytimeTree<S, L> {
+impl<S: Summary, L: Clone> AnytimeTree<S, L> {
     /// Opens a mini-batch: subsequent cursor steps refresh each visited
     /// node's summaries at most once, and structural repairs (splits,
     /// overflow fallbacks) are deferred until [`Self::finish_batch`].
@@ -398,8 +398,8 @@ impl<S: Summary, L> AnytimeTree<S, L> {
         }
 
         // Directory node: route, absorb, then park or descend.
-        let (nodes, scratch) = self.nodes_and_scratch_mut();
-        let entries = nodes[node_id].entries_mut();
+        let (arena, scratch) = self.arena_and_scratch_mut();
+        let entries = arena.node_mut(node_id).entries_mut();
         let obj = cursor
             .obj
             .as_mut()
@@ -459,7 +459,10 @@ impl<S: Summary, L> AnytimeTree<S, L> {
     /// resolves every overflow once per node (splitting repeatedly until all
     /// parts fit, or applying the model's collapse fallback when splitting
     /// is not allowed), propagates replacement entries upward, and grows a
-    /// new root when the root itself split.
+    /// new root when the root itself split.  Finally the batch's mutations
+    /// are **published as a new root epoch**: later
+    /// [`AnytimeTree::snapshot`]s pin the new epoch, while snapshots pinned
+    /// before the batch keep reading the retired node versions untouched.
     pub fn finish_batch<M>(&mut self, model: &mut M)
     where
         M: InsertModel<S, LeafItem = L>,
@@ -541,6 +544,7 @@ impl<S: Summary, L> AnytimeTree<S, L> {
         scratch.order = order;
         scratch.pending = pending;
         scratch.in_batch = false;
+        self.arena_mut().publish();
     }
 
     /// Inserts a mini-batch of objects, each with a budget of `budget`

@@ -5,9 +5,20 @@
 //! *same* index with micro-clusters instead of kernels.  This crate owns the
 //! machinery both trees share so that it exists exactly once:
 //!
-//! * the **node arena** ([`AnytimeTree`]): nodes in a `Vec`, children
-//!   addressed by [`NodeId`] indices — contiguous memory, no aliasing
-//!   gymnastics,
+//! * the **node arena** ([`AnytimeTree`], [`arena`]): nodes in versioned,
+//!   `Arc`-shared slots addressed by stable [`NodeId`] indices.  Every node
+//!   carries the epoch of the batch that last mutated it, and mutation is
+//!   **copy-on-write at node granularity**: a write copies the node only
+//!   while a pinned snapshot still references it (one atomic check
+//!   otherwise — the no-reader fast path never copies),
+//! * **epoch-pinned snapshots** ([`snapshot`]): `finish_batch` publishes a
+//!   new root epoch, [`AnytimeTree::snapshot`] pins it (a spine clone plus
+//!   one registry pin) and returns an owned, `Send + Sync`
+//!   [`TreeSnapshot`] whose query answers stay bit-identical to pin time
+//!   while later batches mutate the tree.  Retired node versions are owned
+//!   only by the snapshots that pinned them, so they are reclaimed exactly
+//!   when the last such snapshot drops ([`EpochRegistry`] records the pins,
+//!   the `Arc` drop frees the memory),
 //! * **entries generic over a payload** ([`Summary`]): merge / weight /
 //!   distance / decay, plus an optional MBR hook that routes descent and
 //!   splits through `bt_index::rstar` choose-subtree and the R* topological
@@ -33,11 +44,15 @@
 //!   descent engine — a payload-generic [`QueryModel`] scores summaries and
 //!   leaf items against a query point, a resumable [`QueryCursor`] refines a
 //!   best-first frontier one node read at a time (per-tree scratch/frontier
-//!   reuse, [`QueryStats`] counters alongside [`DescentStats`]), partial
-//!   answers carry certain `[lower, upper]` bounds that can only tighten
-//!   with budget, and insert-free workloads such as anytime **outlier
-//!   scoring** ([`AnytimeTree::outlier_score`]) plug in with just a
-//!   `Summary` + `QueryModel`,
+//!   reuse, a **per-order lazy selection heap** property-tested to pop the
+//!   identical sequence as the reference scan, [`QueryStats`] counters
+//!   alongside [`DescentStats`]), partial answers carry certain
+//!   `[lower, upper]` bounds that can only tighten with budget, and
+//!   insert-free workloads such as anytime **outlier scoring**
+//!   ([`TreeView::outlier_score`]) plug in with just a
+//!   `Summary` + `QueryModel`.  The whole engine runs on the [`TreeView`]
+//!   abstraction, so live trees and pinned [`TreeSnapshot`]s answer
+//!   through literally the same code,
 //! * the **sharding layer** ([`shard`]): a [`ShardedAnytimeTree`] partitions
 //!   the object space into `K` independent shard trees behind a pluggable
 //!   [`ShardRouter`] and descends every shard's share of a mini-batch in
@@ -47,9 +62,13 @@
 //!   [`DescentStats::merge`], and runs the query engine the same way:
 //!   per-shard frontiers refined concurrently
 //!   ([`ShardedAnytimeTree::query_batch`]) and folded into one global
-//!   mixture whose bounds inherit each shard's monotonicity.  The core
-//!   carries no interior mutability, so `AnytimeTree<S, L>: Send + Sync`
-//!   whenever the payloads are.
+//!   mixture whose bounds inherit each shard's monotonicity.  On top sits
+//!   the **pipelined mode** ([`ShardedAnytimeTree::pipelined_batch`]):
+//!   writer threads drain a mini-batch per shard while reader threads
+//!   refine query frontiers against the pre-batch
+//!   [`ShardedTreeSnapshot`] — property-tested to return exactly the
+//!   pre-batch answers.  The core carries no lock on any hot path, so
+//!   `AnytimeTree<S, L>: Send + Sync` whenever the payloads are.
 //!
 //! Consumers instantiate the core by choosing a payload (`bayestree`: an
 //! MBR + cluster-feature summary over raw kernel points; `clustree`: a
@@ -61,26 +80,30 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod arena;
 pub mod descent;
 pub mod model;
 pub mod node;
 pub mod query;
 pub mod shard;
+pub mod snapshot;
 pub mod split;
 pub mod summary;
 pub mod tree;
 
+pub use arena::{EpochPin, EpochRegistry, NodeArena, VersionedNode};
 pub use descent::{BatchOutcome, CursorStep, DepthHistogram, DescentCursor, DescentStats};
 pub use model::InsertModel;
 pub use node::{Entry, Node, NodeId, NodeKind};
 pub use query::{
     ElementOrigin, OutlierScore, OutlierVerdict, QueryAnswer, QueryCursor, QueryElement,
-    QueryModel, QueryStats, RefineOrder,
+    QueryModel, QueryStats, RefineOrder, TreeView,
 };
 pub use shard::{
-    CheapestRouter, FixedPartitionRouter, ShardRouter, ShardedAnytimeTree, ShardedBatchOutcome,
-    ShardedQueryAnswer,
+    CheapestRouter, FixedPartitionRouter, PipelinedOutcome, ShardRouter, ShardedAnytimeTree,
+    ShardedBatchOutcome, ShardedQueryAnswer, ShardedTreeSnapshot,
 };
+pub use snapshot::TreeSnapshot;
 pub use split::{distribute, merge_closest_pair, polar_partition};
 pub use summary::Summary;
 pub use tree::{AnytimeTree, InsertOutcome};

@@ -13,7 +13,7 @@
 //! * a [`QueryCursor`] holds the complete state of one in-flight query: the
 //!   *frontier* — a set of elements such that every leaf item of the tree is
 //!   represented exactly once — plus the running partial answer and its
-//!   certain bounds.  [`AnytimeTree::refine_query`] advances it by exactly
+//!   certain bounds.  [`TreeView::refine_query`] advances it by exactly
 //!   one node read, replacing one frontier element by its children and
 //!   updating the partial answer by subtracting the refined contribution and
 //!   adding the children's — the cost per step is one node read, and the
@@ -25,7 +25,7 @@
 //! * [`QueryStats`] counts the engine's work (queries begun, node reads,
 //!   elements scored) alongside the insertion path's
 //!   [`DescentStats`](crate::DescentStats),
-//! * [`AnytimeTree::query_batch`] refines many queries through **one reused
+//! * [`TreeView::query_batch`] refines many queries through **one reused
 //!   cursor** — the frontier allocation is per-tree scratch, not per-query.
 //!
 //! ## The monotonicity contract
@@ -43,14 +43,15 @@
 //! buffered mass, whose interval is frozen).
 //!
 //! Insert-free workloads plug in here without touching the insertion path:
-//! anytime **outlier scoring** ([`AnytimeTree::outlier_score`]) needs only a
+//! anytime **outlier scoring** ([`TreeView::outlier_score`]) needs only a
 //! `Summary` + `QueryModel` — the score *is* the refinable density interval,
 //! and the verdict against a threshold becomes certain as soon as the
 //! interval clears it.
 
-use crate::node::NodeId;
+use crate::node::{Node, NodeId, NodeKind};
 use crate::summary::Summary;
 use crate::tree::AnytimeTree;
+use std::collections::BinaryHeap;
 
 /// The query-side policy: how summaries and leaf items are scored against a
 /// query point.
@@ -328,13 +329,58 @@ impl Accumulator {
     }
 }
 
+/// One entry of the cursor's lazy selection heap: the normalised priority
+/// of a frontier element under the heap's active [`RefineOrder`], plus the
+/// element's stable sequence number.
+///
+/// Priorities are pre-normalised at push time (min-orders negate, `-0.0`
+/// collapses onto `+0.0` by adding `0.0`) so that one max-heap comparison —
+/// `total_cmp` on `prio`, then the tie stamp — reproduces the reference
+/// scan's selection *exactly*, tie-breaks included.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    prio: f64,
+    tie: u64,
+    seq: u64,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.prio
+            .total_cmp(&other.prio)
+            .then(self.tie.cmp(&other.tie))
+    }
+}
+
 /// The complete state of one in-flight query: the frontier, the running
 /// partial answer with its certain bounds, and the engine's work counters.
 ///
 /// A cursor is plain per-query scratch — it borrows nothing, so one cursor
 /// can be reused across many queries ([`QueryCursor::new`] once, then
-/// [`AnytimeTree::begin_query`] per query re-fills the same allocations) and
+/// [`TreeView::begin_query`] per query re-fills the same allocations) and
 /// moved freely across threads by the sharded query path.
+///
+/// Selection runs on a **per-order lazy heap**: the heap is built for the
+/// first order a refinement asks for, updated incrementally as elements
+/// join the frontier, rebuilt only if the order changes mid-query, and
+/// cleaned lazily (refined elements are discarded when they surface at the
+/// top).  [`QueryCursor::peek_next_scan`] keeps the historical linear scan
+/// as the executable specification — the heap is property-tested to pop the
+/// identical element sequence for every order.
 #[derive(Debug, Clone, Default)]
 pub struct QueryCursor {
     query: Vec<f64>,
@@ -345,6 +391,14 @@ pub struct QueryCursor {
     nodes_read: usize,
     next_seq: u64,
     stats: QueryStats,
+    /// Lazy selection heap for `heap_order` (empty until a refinement runs).
+    heap: BinaryHeap<HeapEntry>,
+    /// The order the heap is currently keyed by.
+    heap_order: Option<RefineOrder>,
+    /// Maps an element's `seq` to its current index in `elements`
+    /// (`usize::MAX` once refined away) — heap entries stay valid across
+    /// the frontier's `swap_remove`s.
+    seq_index: Vec<usize>,
 }
 
 impl QueryCursor {
@@ -421,10 +475,26 @@ impl QueryCursor {
         }
     }
 
-    /// Index of the element `order` would refine next, if any.
+    /// Index of the element `order` would refine next, if any — the
+    /// heap-backed selection the engine itself uses ([`Self::peek_next_scan`]
+    /// is the read-only reference scan).
     #[must_use]
-    pub fn peek_next(&self, order: RefineOrder) -> Option<usize> {
+    pub fn peek_next(&mut self, order: RefineOrder) -> Option<usize> {
         self.select(order)
+    }
+
+    /// Index of the element `order` would refine next, by the reference
+    /// linear scan over the frontier.
+    ///
+    /// This is the executable specification of the orderings (tie-breaking
+    /// included: FIFO for the minimising orders, earliest-joined-wins for
+    /// the maximising ones), deliberately matching the historical Bayes-tree
+    /// frontier step for step.  The engine's hot path is the per-order lazy
+    /// heap ([`Self::peek_next`]); `tests/query_equivalence.rs` locks the
+    /// two onto the same selection sequence for every order.
+    #[must_use]
+    pub fn peek_next_scan(&self, order: RefineOrder) -> Option<usize> {
+        self.select_scan(order)
     }
 
     fn reset(&mut self, query: &[f64]) {
@@ -437,18 +507,87 @@ impl QueryCursor {
         self.nodes_read = 0;
         self.next_seq = 0;
         self.stats.queries += 1;
+        self.heap.clear();
+        self.heap_order = None;
+        self.seq_index.clear();
     }
 
-    /// The refinement orderings, hoisted here so the per-workload frontiers
-    /// share one implementation (tie-breaking included: FIFO for the
-    /// minimising orders, earliest-joined-wins for the maximising ones).
-    ///
-    /// Selection is a linear scan over the frontier, deliberately matching
-    /// the historical Bayes-tree frontier step for step (the orderings and
-    /// tie-breaks are observable through refinement traces).  For the
-    /// budgets the workloads use the scan is cheap; a per-order lazy heap
-    /// is the planned optimisation once a profile demands it.
-    fn select(&self, order: RefineOrder) -> Option<usize> {
+    /// The heap entry of `element` under `order`, normalised so that one
+    /// max-heap comparison reproduces the scan's selection exactly: min
+    /// orders negate the key, `+ 0.0` collapses a negated zero onto `+0.0`
+    /// (the scan's `partial_cmp` treats `-0.0 == 0.0`), and the tie stamp
+    /// is the sequence number (or its complement) so equal keys resolve
+    /// exactly like the scan's explicit seq tie-breaks.  Keys are assumed
+    /// non-NaN — every certain bound and contribution the models produce is
+    /// finite or infinite, never NaN.
+    fn heap_entry(order: RefineOrder, element: &QueryElement) -> HeapEntry {
+        let (prio, tie) = match order {
+            RefineOrder::BreadthFirst => (-(element.depth as f64), !element.seq),
+            RefineOrder::DepthFirst => (element.depth as f64, element.seq),
+            RefineOrder::ClosestFirst => (-element.min_dist_sq + 0.0, !element.seq),
+            RefineOrder::BestFirst => (element.contribution + 0.0, !element.seq),
+            RefineOrder::WidestBound => ((element.upper - element.lower) + 0.0, !element.seq),
+        };
+        HeapEntry {
+            prio,
+            tie,
+            seq: element.seq,
+        }
+    }
+
+    /// Bookkeeping after a push: record the new element's position and feed
+    /// the active heap (only refinable elements ever need selecting).
+    fn after_push(&mut self) {
+        let idx = self.elements.len() - 1;
+        debug_assert_eq!(self.elements[idx].seq as usize, self.seq_index.len());
+        self.seq_index.push(idx);
+        if let Some(order) = self.heap_order {
+            let element = &self.elements[idx];
+            if element.is_refinable() {
+                self.heap.push(Self::heap_entry(order, element));
+            }
+        }
+    }
+
+    /// Removes element `idx` from the frontier (subtracting its partial
+    /// contribution) while keeping the seq→index map consistent across the
+    /// `swap_remove`.  The heap is cleaned lazily: the removed element's
+    /// entry is discarded when it next surfaces at the top.
+    fn remove_element(&mut self, idx: usize) -> QueryElement {
+        let element = self.elements.swap_remove(idx);
+        self.seq_index[element.seq as usize] = usize::MAX;
+        if let Some(moved) = self.elements.get(idx) {
+            self.seq_index[moved.seq as usize] = idx;
+        }
+        self.estimate.sub(element.contribution);
+        self.lower.sub(element.lower);
+        self.upper.sub(element.upper);
+        element
+    }
+
+    /// Heap-backed selection: (re)key the lazy heap if the order changed,
+    /// then pop stale entries until a live refinable element surfaces.
+    fn select(&mut self, order: RefineOrder) -> Option<usize> {
+        if self.heap_order != Some(order) {
+            self.heap.clear();
+            self.heap_order = Some(order);
+            for element in self.elements.iter().filter(|e| e.is_refinable()) {
+                self.heap.push(Self::heap_entry(order, element));
+            }
+        }
+        while let Some(top) = self.heap.peek() {
+            let idx = self.seq_index[top.seq as usize];
+            if idx != usize::MAX {
+                debug_assert_eq!(self.elements[idx].seq, top.seq);
+                debug_assert!(self.elements[idx].is_refinable());
+                return Some(idx);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    fn select_scan(&self, order: RefineOrder) -> Option<usize> {
         let refinable = self
             .elements
             .iter()
@@ -514,6 +653,7 @@ impl QueryCursor {
             depth,
             seq,
         });
+        self.after_push();
         self.estimate.add(contribution);
         self.lower.add(lower);
         self.upper.add(upper);
@@ -544,6 +684,7 @@ impl QueryCursor {
             depth,
             seq,
         });
+        self.after_push();
         self.estimate.add(contribution);
         self.lower.add(contribution);
         self.upper.add(contribution);
@@ -557,7 +698,53 @@ impl QueryCursor {
     }
 }
 
-impl<S: Summary, L> AnytimeTree<S, L> {
+/// A read-only view of an anytime tree — the abstraction the query engine
+/// runs on.
+///
+/// Two kinds of view exist: the **live tree** ([`AnytimeTree`] itself — a
+/// zero-copy view of the current epoch, used when no batch is in flight)
+/// and the **pinned snapshot** ([`crate::TreeSnapshot`] — an owned,
+/// `Send + Sync`, point-in-time view that stays bit-stable while later
+/// batches mutate the tree).  Every query-engine entry point
+/// ([`TreeView::begin_query`], [`TreeView::refine_query`],
+/// [`TreeView::query_batch`], [`TreeView::outlier_score`], …) is a provided
+/// method of this trait, so both views answer queries through literally the
+/// same code.
+pub trait TreeView<S: Summary, L> {
+    /// Dimensionality of the indexed data.
+    fn dims(&self) -> usize;
+
+    /// The arena index of the root node.
+    fn root(&self) -> NodeId;
+
+    /// Read access to a node.
+    fn node(&self, id: NodeId) -> &Node<S, L>;
+
+    /// Height of the tree (a single leaf root has height 1).
+    fn height(&self) -> usize;
+
+    /// The ids of every node reachable from the root, in depth-first order.
+    #[must_use]
+    fn reachable(&self) -> Vec<NodeId> {
+        let mut stack = vec![self.root()];
+        let mut out = Vec::new();
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            if let NodeKind::Inner { entries } = &self.node(id).kind {
+                for e in entries {
+                    stack.push(e.child);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of nodes reachable from the root.
+    #[must_use]
+    fn num_nodes(&self) -> usize {
+        self.reachable().len()
+    }
+
     /// (Re)starts `cursor` on `query`: the frontier becomes the root's
     /// entries (or one synthetic element summarising a root that is itself a
     /// leaf), reusing the cursor's allocations.
@@ -569,7 +756,7 @@ impl<S: Summary, L> AnytimeTree<S, L> {
     /// # Panics
     ///
     /// Panics if the query has the wrong dimensionality.
-    pub fn begin_query<M>(&self, model: &M, query: &[f64], cursor: &mut QueryCursor)
+    fn begin_query<M>(&self, model: &M, query: &[f64], cursor: &mut QueryCursor)
     where
         M: QueryModel<S, LeafItem = L>,
     {
@@ -577,7 +764,7 @@ impl<S: Summary, L> AnytimeTree<S, L> {
         cursor.reset(query);
         let root = self.root();
         match &self.node(root).kind {
-            crate::node::NodeKind::Inner { entries } => {
+            NodeKind::Inner { entries } => {
                 for (index, entry) in entries.iter().enumerate() {
                     cursor.push_summary(
                         model,
@@ -588,7 +775,7 @@ impl<S: Summary, L> AnytimeTree<S, L> {
                     );
                 }
             }
-            crate::node::NodeKind::Leaf { items } => {
+            NodeKind::Leaf { items } => {
                 if !items.is_empty() {
                     let summary = model.summarize_leaf_items(items);
                     cursor.push_summary(model, Some(root), &summary, ElementOrigin::RootLeaf, 1);
@@ -598,13 +785,13 @@ impl<S: Summary, L> AnytimeTree<S, L> {
     }
 
     /// Starts a fresh cursor on `query` (allocating; prefer
-    /// [`Self::begin_query`] with a reused cursor on hot paths).
+    /// [`TreeView::begin_query`] with a reused cursor on hot paths).
     ///
     /// # Panics
     ///
     /// Panics if the query has the wrong dimensionality.
     #[must_use]
-    pub fn new_query<M>(&self, model: &M, query: &[f64]) -> QueryCursor
+    fn new_query<M>(&self, model: &M, query: &[f64]) -> QueryCursor
     where
         M: QueryModel<S, LeafItem = L>,
     {
@@ -619,17 +806,14 @@ impl<S: Summary, L> AnytimeTree<S, L> {
     /// covered) and updates the partial answer and bounds.
     ///
     /// Returns `false` (and changes nothing) when no element is refinable.
-    pub fn refine_query<M>(&self, model: &M, order: RefineOrder, cursor: &mut QueryCursor) -> bool
+    fn refine_query<M>(&self, model: &M, order: RefineOrder, cursor: &mut QueryCursor) -> bool
     where
         M: QueryModel<S, LeafItem = L>,
     {
         let Some(idx) = cursor.select(order) else {
             return false;
         };
-        let element = cursor.elements.swap_remove(idx);
-        cursor.estimate.sub(element.contribution);
-        cursor.lower.sub(element.lower);
-        cursor.upper.sub(element.upper);
+        let element = cursor.remove_element(idx);
         // The refined entry's summary covered its own hitchhiker buffer;
         // the children below only cover descended mass, so the buffer is
         // split out as an unrefinable element of its own.
@@ -647,7 +831,7 @@ impl<S: Summary, L> AnytimeTree<S, L> {
         let child = element.child.expect("selected element is refinable");
         let child_depth = element.depth + 1;
         match &self.node(child).kind {
-            crate::node::NodeKind::Inner { entries } => {
+            NodeKind::Inner { entries } => {
                 for (index, entry) in entries.iter().enumerate() {
                     cursor.push_summary(
                         model,
@@ -658,7 +842,7 @@ impl<S: Summary, L> AnytimeTree<S, L> {
                     );
                 }
             }
-            crate::node::NodeKind::Leaf { items } => {
+            NodeKind::Leaf { items } => {
                 for (index, item) in items.iter().enumerate() {
                     cursor.push_leaf_item(
                         model,
@@ -676,7 +860,7 @@ impl<S: Summary, L> AnytimeTree<S, L> {
 
     /// Refines until either `budget` node reads have been spent or nothing
     /// is refinable; returns the number of reads actually performed.
-    pub fn refine_query_up_to<M>(
+    fn refine_query_up_to<M>(
         &self,
         model: &M,
         order: RefineOrder,
@@ -700,7 +884,7 @@ impl<S: Summary, L> AnytimeTree<S, L> {
     ///
     /// Panics if the query has the wrong dimensionality.
     #[must_use]
-    pub fn query_with_budget<M>(
+    fn query_with_budget<M>(
         &self,
         model: &M,
         query: &[f64],
@@ -724,7 +908,7 @@ impl<S: Summary, L> AnytimeTree<S, L> {
     ///
     /// Panics if any query has the wrong dimensionality.
     #[must_use]
-    pub fn query_batch<M>(
+    fn query_batch<M>(
         &self,
         model: &M,
         queries: &[Vec<f64>],
@@ -753,7 +937,7 @@ impl<S: Summary, L> AnytimeTree<S, L> {
     ///
     /// Panics if the query has the wrong dimensionality.
     #[must_use]
-    pub fn outlier_score<M>(
+    fn outlier_score<M>(
         &self,
         model: &M,
         query: &[f64],
@@ -775,6 +959,24 @@ impl<S: Summary, L> AnytimeTree<S, L> {
             answer: cursor.answer(),
             verdict,
         }
+    }
+}
+
+impl<S: Summary, L> TreeView<S, L> for AnytimeTree<S, L> {
+    fn dims(&self) -> usize {
+        AnytimeTree::dims(self)
+    }
+
+    fn root(&self) -> NodeId {
+        AnytimeTree::root(self)
+    }
+
+    fn node(&self, id: NodeId) -> &Node<S, L> {
+        AnytimeTree::node(self, id)
+    }
+
+    fn height(&self) -> usize {
+        AnytimeTree::height(self)
     }
 }
 

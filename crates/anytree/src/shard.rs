@@ -26,12 +26,23 @@
 //! routes (cheap, one distance per shard), the shards descend, and the merge
 //! is a histogram fold.  A sharded tree with one shard performs exactly the
 //! plain tree's steps, which the equivalence property tests lock down.
+//!
+//! Since PR 5 the layer also runs **pipelined**:
+//! [`ShardedAnytimeTree::snapshot`] pins every shard's published epoch into
+//! one `Send + Sync`
+//! [`ShardedTreeSnapshot`], and [`ShardedAnytimeTree::pipelined_batch`]
+//! drains a mini-batch through the per-shard writers *while* reader threads
+//! refine a query batch against that pre-batch snapshot — reads and writes
+//! overlap on the same index without locks, and the readers' answers are
+//! exactly the pre-batch answers (`tests/snapshot_isolation.rs`).
 
 use crate::descent::{BatchOutcome, DepthHistogram, DescentStats};
 use crate::model::InsertModel;
 use crate::query::{
     OutlierScore, OutlierVerdict, QueryAnswer, QueryCursor, QueryModel, QueryStats, RefineOrder,
+    TreeView,
 };
+use crate::snapshot::TreeSnapshot;
 use crate::summary::Summary;
 use crate::tree::{AnytimeTree, InsertOutcome};
 use bt_index::PageGeometry;
@@ -128,6 +139,11 @@ fn dispatch_busy<A: Send, B: Send>(
         });
     }
 }
+
+/// A routed batch, ready for the per-shard writers: the per-shard object
+/// lists, the per-shard input indices (to restore input order in the merged
+/// report) and the batch size.
+type RoutedBatch<O> = (Vec<Vec<O>>, Vec<Vec<usize>>, usize);
 
 /// The merged result of one [`ShardedAnytimeTree::insert_batch`] call.
 #[derive(Debug, Clone)]
@@ -236,9 +252,35 @@ impl<S: Summary, L, R> ShardedAnytimeTree<S, L, R> {
     /// Objects routed to each shard so far — the direct skew measure for the
     /// configured [`ShardRouter`] (a future work-stealing layer rebalances
     /// exactly this).
+    ///
+    /// Counted at **routing time**, not at epoch-publish time: during a
+    /// pipelined batch ([`Self::pipelined_batch`]) the whole batch is routed
+    /// before the per-shard writers drain it, so `shard_sizes` already
+    /// includes the in-flight batch while each shard's published epoch — and
+    /// any [`ShardedTreeSnapshot`] pinned before the batch — still reflects
+    /// the pre-batch state.  The counts and the snapshot agree again as soon
+    /// as every shard's `finish_batch` has published.
     #[must_use]
     pub fn shard_sizes(&self) -> &[usize] {
         &self.sizes
+    }
+
+    /// Takes a cheap, immutable snapshot of **every shard** at its current
+    /// published epoch (one [`TreeSnapshot`] per shard, each pinning its
+    /// shard's epoch registry).
+    ///
+    /// The snapshot answers the full sharded query surface
+    /// ([`ShardedTreeSnapshot::query_with_budget`],
+    /// [`ShardedTreeSnapshot::query_batch`],
+    /// [`ShardedTreeSnapshot::outlier_score`]) bit-identically to querying
+    /// this tree at snapshot time, and it is `Send + Sync`, so reader
+    /// threads can refine against it while writers drain later batches into
+    /// the live shards — the pipelined mode below does exactly that.
+    #[must_use]
+    pub fn snapshot(&self) -> ShardedTreeSnapshot<S, L> {
+        ShardedTreeSnapshot {
+            shards: self.shards.iter().map(AnytimeTree::snapshot).collect(),
+        }
     }
 
     /// Total number of reachable nodes across all shards.
@@ -297,6 +339,7 @@ impl<S: Summary, L, R: ShardRouter<S>> ShardedAnytimeTree<S, L, R> {
     pub fn insert<M>(&mut self, model: &mut M, obj: M::Object, budget: usize) -> InsertOutcome
     where
         M: InsertModel<S, LeafItem = L>,
+        L: Clone,
     {
         let shard = self.route_object(model, &obj);
         self.shards[shard].insert(model, obj, budget)
@@ -326,24 +369,55 @@ impl<S: Summary, L, R: ShardRouter<S>> ShardedAnytimeTree<S, L, R> {
     where
         M: InsertModel<S, LeafItem = L>,
         M::Object: Send,
-        S: Send,
-        L: Send,
+        S: Send + Sync,
+        L: Send + Sync + Clone,
+        F: Fn() -> M + Sync,
+    {
+        let (per_shard_objs, per_shard_idx, total) = self.route_batch(make_model, objs);
+        self.descend_routed(make_model, per_shard_objs, per_shard_idx, total, budget)
+    }
+
+    /// Routes a whole batch through the coordinator: returns the per-shard
+    /// object lists, the per-shard input indices (to restore input order in
+    /// the merged report) and the batch size.
+    fn route_batch<M, F>(&mut self, make_model: &F, objs: Vec<M::Object>) -> RoutedBatch<M::Object>
+    where
+        M: InsertModel<S, LeafItem = L>,
         F: Fn() -> M + Sync,
     {
         let total = objs.len();
         let num_shards = self.shards.len();
         let mut per_shard_objs: Vec<Vec<M::Object>> = (0..num_shards).map(|_| Vec::new()).collect();
         let mut per_shard_idx: Vec<Vec<usize>> = (0..num_shards).map(|_| Vec::new()).collect();
-        {
-            let router_model = make_model();
-            for (i, obj) in objs.into_iter().enumerate() {
-                let shard = self.route_object(&router_model, &obj);
-                per_shard_idx[shard].push(i);
-                per_shard_objs[shard].push(obj);
-            }
+        let router_model = make_model();
+        for (i, obj) in objs.into_iter().enumerate() {
+            let shard = self.route_object(&router_model, &obj);
+            per_shard_idx[shard].push(i);
+            per_shard_objs[shard].push(obj);
         }
-        let objects_per_shard: Vec<usize> = per_shard_objs.iter().map(Vec::len).collect();
+        (per_shard_objs, per_shard_idx, total)
+    }
 
+    /// Descends an already-routed batch: every busy shard drains its share
+    /// on its own scoped thread and the per-shard reports are merged in
+    /// input order.
+    fn descend_routed<M, F>(
+        &mut self,
+        make_model: &F,
+        per_shard_objs: Vec<Vec<M::Object>>,
+        per_shard_idx: Vec<Vec<usize>>,
+        total: usize,
+        budget: usize,
+    ) -> ShardedBatchOutcome
+    where
+        M: InsertModel<S, LeafItem = L>,
+        M::Object: Send,
+        S: Send + Sync,
+        L: Send + Sync + Clone,
+        F: Fn() -> M + Sync,
+    {
+        let num_shards = self.shards.len();
+        let objects_per_shard: Vec<usize> = per_shard_objs.iter().map(Vec::len).collect();
         let mut results: Vec<Option<BatchOutcome>> = (0..num_shards).map(|_| None).collect();
         dispatch_busy(
             self.shards
@@ -376,6 +450,84 @@ impl<S: Summary, L, R: ShardRouter<S>> ShardedAnytimeTree<S, L, R> {
             depths,
             stats,
             objects_per_shard,
+        }
+    }
+
+    /// The **pipelined mode**: drains a mini-batch through the per-shard
+    /// writers *while* reader threads refine a query batch against the
+    /// pre-batch snapshot — inserts and queries overlap on the same index
+    /// without locks.
+    ///
+    /// Concretely: the coordinator pins a [`ShardedTreeSnapshot`] (the
+    /// pre-batch epochs), routes the whole batch, then one scoped writer
+    /// thread per busy shard drains its share (exactly
+    /// [`Self::insert_batch`]) while one scoped reader thread per non-empty
+    /// snapshot shard refines the entire query batch against its frozen
+    /// shard view.  Writers copy-on-write any node the snapshot still pins,
+    /// so the returned answers are **exactly the pre-batch answers** —
+    /// bit-identical to calling [`Self::query_batch`] before the batch
+    /// (property-tested in `tests/snapshot_isolation.rs`).
+    ///
+    /// `make_query_model` must use the *pre-batch* global normaliser for
+    /// that equivalence to extend across shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query has the wrong dimensionality.
+    #[allow(clippy::too_many_arguments)]
+    pub fn pipelined_batch<M, F, Q, G>(
+        &mut self,
+        make_model: &F,
+        objs: Vec<M::Object>,
+        budget: usize,
+        make_query_model: &G,
+        queries: &[Vec<f64>],
+        order: RefineOrder,
+        query_budget: usize,
+    ) -> PipelinedOutcome
+    where
+        M: InsertModel<S, LeafItem = L>,
+        M::Object: Send,
+        S: Send + Sync,
+        L: Send + Sync + Clone,
+        R: Send,
+        Q: QueryModel<S, LeafItem = L>,
+        F: Fn() -> M + Sync,
+        G: Fn() -> Q + Sync,
+    {
+        let snapshot = self.snapshot();
+        let (per_shard_objs, per_shard_idx, total) = self.route_batch(make_model, objs);
+        let num_shards = snapshot.num_shards();
+        let mut insert_slot: Option<ShardedBatchOutcome> = None;
+        let mut per_shard_answers: Vec<Option<(Vec<QueryAnswer>, QueryStats)>> =
+            (0..num_shards).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let writer = &mut *self;
+            let insert_slot = &mut insert_slot;
+            scope.spawn(move || {
+                *insert_slot = Some(writer.descend_routed(
+                    make_model,
+                    per_shard_objs,
+                    per_shard_idx,
+                    total,
+                    budget,
+                ));
+            });
+            for (shard, slot) in snapshot.shards().iter().zip(per_shard_answers.iter_mut()) {
+                if shard.node(shard.root()).is_empty() {
+                    continue;
+                }
+                scope.spawn(move || {
+                    let model = make_query_model();
+                    *slot = Some(shard.query_batch(&model, queries, order, query_budget));
+                });
+            }
+        });
+        let (answers, query_stats) = fold_query_partials(per_shard_answers, queries.len());
+        PipelinedOutcome {
+            insert: insert_slot.expect("writer thread completed"),
+            answers,
+            query_stats,
         }
     }
 }
@@ -451,6 +603,146 @@ impl ShardedQueryAnswer {
     }
 }
 
+/// The merged result of one [`ShardedAnytimeTree::pipelined_batch`] call:
+/// the insert-side report plus the query answers computed against the
+/// pre-batch snapshot while the batch was draining.
+#[derive(Debug, Clone)]
+pub struct PipelinedOutcome {
+    /// The insert-side report (identical in shape to
+    /// [`ShardedAnytimeTree::insert_batch`]'s).
+    pub insert: ShardedBatchOutcome,
+    /// Per-query folded answers — **exactly** what
+    /// [`ShardedAnytimeTree::query_batch`] would have returned before the
+    /// batch.
+    pub answers: Vec<ShardedQueryAnswer>,
+    /// The readers' merged work counters.
+    pub query_stats: QueryStats,
+}
+
+/// Folds per-shard `(answers, stats)` partials into per-query global
+/// answers — shared by the batched, snapshot and pipelined query paths.
+fn fold_query_partials(
+    per_shard: Vec<Option<(Vec<QueryAnswer>, QueryStats)>>,
+    num_queries: usize,
+) -> (Vec<ShardedQueryAnswer>, QueryStats) {
+    let num_shards = per_shard.len();
+    let mut stats = QueryStats::default();
+    let mut answers: Vec<ShardedQueryAnswer> = (0..num_queries)
+        .map(|_| ShardedQueryAnswer::empty(num_shards))
+        .collect();
+    for (k, slot) in per_shard.into_iter().enumerate() {
+        let Some((partials, shard_stats)) = slot else {
+            continue;
+        };
+        stats.merge(&shard_stats);
+        for (answer, partial) in answers.iter_mut().zip(partials) {
+            answer.accumulate(k, &partial);
+        }
+    }
+    (answers, stats)
+}
+
+/// Refines one query's per-shard frontiers **in parallel** over any set of
+/// tree views — the live shards and the pinned snapshot shards run exactly
+/// this code.
+fn refine_frontiers_over<S, L, V, M, F>(
+    shards: &[V],
+    make_model: &F,
+    query: &[f64],
+    order: RefineOrder,
+    budget: usize,
+) -> Vec<QueryCursor>
+where
+    S: Summary + Send + Sync,
+    L: Send + Sync,
+    V: TreeView<S, L> + Sync,
+    M: QueryModel<S, LeafItem = L>,
+    F: Fn() -> M + Sync,
+{
+    let mut cursors: Vec<QueryCursor> = (0..shards.len()).map(|_| QueryCursor::new()).collect();
+    dispatch_busy(
+        shards.iter().zip(cursors.iter_mut()).collect(),
+        |shard, _| !shard.node(shard.root()).is_empty(),
+        |shard, cursor| {
+            let model = make_model();
+            shard.begin_query(&model, query, cursor);
+            shard.refine_query_up_to(&model, order, budget, cursor);
+        },
+    );
+    cursors
+}
+
+/// Per-shard whole-batch refinement folded per query — the generic body of
+/// the live and snapshot `query_batch`s.
+fn query_batch_over<S, L, V, M, F>(
+    shards: &[V],
+    make_model: &F,
+    queries: &[Vec<f64>],
+    order: RefineOrder,
+    budget: usize,
+) -> (Vec<ShardedQueryAnswer>, QueryStats)
+where
+    S: Summary + Send + Sync,
+    L: Send + Sync,
+    V: TreeView<S, L> + Sync,
+    M: QueryModel<S, LeafItem = L>,
+    F: Fn() -> M + Sync,
+{
+    let mut per_shard: Vec<Option<(Vec<QueryAnswer>, QueryStats)>> =
+        (0..shards.len()).map(|_| None).collect();
+    dispatch_busy(
+        shards.iter().zip(per_shard.iter_mut()).collect(),
+        |shard, _| !shard.node(shard.root()).is_empty(),
+        |shard, slot| {
+            let model = make_model();
+            *slot = Some(shard.query_batch(&model, queries, order, budget));
+        },
+    );
+    fold_query_partials(per_shard, queries.len())
+}
+
+/// Round-doubling sharded outlier scoring — the generic body of the live
+/// and snapshot `outlier_score`s.
+fn outlier_score_over<S, L, V, M, F>(
+    shards: &[V],
+    make_model: &F,
+    query: &[f64],
+    threshold: f64,
+    budget: usize,
+) -> OutlierScore
+where
+    S: Summary + Send + Sync,
+    L: Send + Sync,
+    V: TreeView<S, L> + Sync,
+    M: QueryModel<S, LeafItem = L>,
+    F: Fn() -> M + Sync,
+{
+    // Seed every non-empty shard's frontier without spending budget.
+    let mut cursors = refine_frontiers_over(shards, make_model, query, RefineOrder::WidestBound, 0);
+    let mut spent = 0usize;
+    let mut round = 1usize;
+    loop {
+        let folded = ShardedQueryAnswer::fold(&cursors);
+        let answer = folded.as_answer();
+        let verdict = answer.verdict(threshold);
+        let refinable = cursors.iter().any(QueryCursor::can_refine);
+        if verdict != OutlierVerdict::Undecided || spent >= budget || !refinable {
+            return OutlierScore { answer, verdict };
+        }
+        let step = round.min(budget - spent);
+        dispatch_busy(
+            shards.iter().zip(cursors.iter_mut()).collect(),
+            |_, cursor| cursor.can_refine(),
+            |shard, cursor| {
+                let model = make_model();
+                shard.refine_query_up_to(&model, RefineOrder::WidestBound, step, cursor);
+            },
+        );
+        spent += step;
+        round = round.saturating_mul(2);
+    }
+}
+
 impl<S: Summary, L, R> ShardedAnytimeTree<S, L, R> {
     /// Refines one query's per-shard frontiers **in parallel** on scoped
     /// threads (each shard up to `budget` node reads) and returns the
@@ -475,22 +767,11 @@ impl<S: Summary, L, R> ShardedAnytimeTree<S, L, R> {
     ) -> Vec<QueryCursor>
     where
         M: QueryModel<S, LeafItem = L>,
-        S: Sync,
-        L: Sync,
+        S: Send + Sync,
+        L: Send + Sync,
         F: Fn() -> M + Sync,
     {
-        let mut cursors: Vec<QueryCursor> =
-            (0..self.shards.len()).map(|_| QueryCursor::new()).collect();
-        dispatch_busy(
-            self.shards.iter().zip(cursors.iter_mut()).collect(),
-            |shard, _| !shard.node(shard.root()).is_empty(),
-            |shard, cursor| {
-                let model = make_model();
-                shard.begin_query(&model, query, cursor);
-                shard.refine_query_up_to(&model, order, budget, cursor);
-            },
-        );
-        cursors
+        refine_frontiers_over(&self.shards, make_model, query, order, budget)
     }
 
     /// One-shot sharded query: refines every shard's frontier in parallel
@@ -510,8 +791,8 @@ impl<S: Summary, L, R> ShardedAnytimeTree<S, L, R> {
     ) -> ShardedQueryAnswer
     where
         M: QueryModel<S, LeafItem = L>,
-        S: Sync,
-        L: Sync,
+        S: Send + Sync,
+        L: Send + Sync,
         F: Fn() -> M + Sync,
     {
         ShardedQueryAnswer::fold(&self.refine_frontiers(make_model, query, order, budget))
@@ -537,36 +818,11 @@ impl<S: Summary, L, R> ShardedAnytimeTree<S, L, R> {
     ) -> (Vec<ShardedQueryAnswer>, QueryStats)
     where
         M: QueryModel<S, LeafItem = L>,
-        S: Sync,
-        L: Sync,
+        S: Send + Sync,
+        L: Send + Sync,
         F: Fn() -> M + Sync,
     {
-        let num_shards = self.shards.len();
-        let mut per_shard: Vec<Option<(Vec<QueryAnswer>, QueryStats)>> =
-            (0..num_shards).map(|_| None).collect();
-        dispatch_busy(
-            self.shards.iter().zip(per_shard.iter_mut()).collect(),
-            |shard, _| !shard.node(shard.root()).is_empty(),
-            |shard, slot| {
-                let model = make_model();
-                *slot = Some(shard.query_batch(&model, queries, order, budget));
-            },
-        );
-        let mut stats = QueryStats::default();
-        let mut answers: Vec<ShardedQueryAnswer> = queries
-            .iter()
-            .map(|_| ShardedQueryAnswer::empty(num_shards))
-            .collect();
-        for (k, slot) in per_shard.into_iter().enumerate() {
-            let Some((partials, shard_stats)) = slot else {
-                continue;
-            };
-            stats.merge(&shard_stats);
-            for (answer, partial) in answers.iter_mut().zip(partials) {
-                answer.accumulate(k, &partial);
-            }
-        }
-        (answers, stats)
+        query_batch_over(&self.shards, make_model, queries, order, budget)
     }
 
     /// Anytime outlier scoring over the sharded index: every shard refines
@@ -577,10 +833,10 @@ impl<S: Summary, L, R> ShardedAnytimeTree<S, L, R> {
     /// doubling per-shard rounds with a fold-and-check between rounds, so a
     /// clear-cut verdict costs far less than the full `budget`.  How early
     /// depends on the model's bound tightness: MBR-backed bounds (Bayes
-    /// tree) decide far-away outliers almost immediately, while models with
-    /// a loose distance-blind upper bound (the micro-cluster peak bound)
-    /// resolve inlier verdicts quickly but need deep refinement to certify
-    /// an outlier.
+    /// tree, and since PR 5 the micro-cluster's optional MBR) decide
+    /// far-away outliers almost immediately, while a distance-blind peak
+    /// upper bound resolves inlier verdicts quickly but needs deep
+    /// refinement to certify an outlier.
     ///
     /// # Panics
     ///
@@ -595,34 +851,142 @@ impl<S: Summary, L, R> ShardedAnytimeTree<S, L, R> {
     ) -> OutlierScore
     where
         M: QueryModel<S, LeafItem = L>,
-        S: Sync,
-        L: Sync,
+        S: Send + Sync,
+        L: Send + Sync,
         F: Fn() -> M + Sync,
     {
-        // Seed every non-empty shard's frontier without spending budget.
-        let mut cursors = self.refine_frontiers(make_model, query, RefineOrder::WidestBound, 0);
-        let mut spent = 0usize;
-        let mut round = 1usize;
-        loop {
-            let folded = ShardedQueryAnswer::fold(&cursors);
-            let answer = folded.as_answer();
-            let verdict = answer.verdict(threshold);
-            let refinable = cursors.iter().any(QueryCursor::can_refine);
-            if verdict != OutlierVerdict::Undecided || spent >= budget || !refinable {
-                return OutlierScore { answer, verdict };
-            }
-            let step = round.min(budget - spent);
-            dispatch_busy(
-                self.shards.iter().zip(cursors.iter_mut()).collect(),
-                |_, cursor| cursor.can_refine(),
-                |shard, cursor| {
-                    let model = make_model();
-                    shard.refine_query_up_to(&model, RefineOrder::WidestBound, step, cursor);
-                },
-            );
-            spent += step;
-            round = round.saturating_mul(2);
-        }
+        outlier_score_over(&self.shards, make_model, query, threshold, budget)
+    }
+}
+
+/// A point-in-time view of a whole [`ShardedAnytimeTree`]: one pinned
+/// [`TreeSnapshot`] per shard, taken together by
+/// [`ShardedAnytimeTree::snapshot`].
+///
+/// `Send + Sync` whenever the payloads are, and answers the full sharded
+/// query surface through the same generic engine the live tree uses — the
+/// pipelined mode's readers run against exactly this type.
+#[derive(Debug, Clone)]
+pub struct ShardedTreeSnapshot<S: Summary, L> {
+    shards: Vec<TreeSnapshot<S, L>>,
+}
+
+impl<S: Summary, L> ShardedTreeSnapshot<S, L> {
+    /// Number of shards captured.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard snapshots.
+    #[must_use]
+    pub fn shards(&self) -> &[TreeSnapshot<S, L>] {
+        &self.shards
+    }
+
+    /// One shard's snapshot.
+    #[must_use]
+    pub fn shard(&self, k: usize) -> &TreeSnapshot<S, L> {
+        &self.shards[k]
+    }
+
+    /// The per-shard epochs this snapshot pins.
+    #[must_use]
+    pub fn epochs(&self) -> Vec<u64> {
+        self.shards.iter().map(TreeSnapshot::epoch).collect()
+    }
+
+    /// Refines one query's per-shard frontiers in parallel against the
+    /// frozen shard views and returns the per-shard cursors for the caller
+    /// to fold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query has the wrong dimensionality.
+    #[must_use]
+    pub fn refine_frontiers<M, F>(
+        &self,
+        make_model: &F,
+        query: &[f64],
+        order: RefineOrder,
+        budget: usize,
+    ) -> Vec<QueryCursor>
+    where
+        M: QueryModel<S, LeafItem = L>,
+        S: Send + Sync,
+        L: Send + Sync,
+        F: Fn() -> M + Sync,
+    {
+        refine_frontiers_over(&self.shards, make_model, query, order, budget)
+    }
+
+    /// One-shot sharded query against the snapshot (see
+    /// [`ShardedAnytimeTree::query_with_budget`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query has the wrong dimensionality.
+    #[must_use]
+    pub fn query_with_budget<M, F>(
+        &self,
+        make_model: &F,
+        query: &[f64],
+        order: RefineOrder,
+        budget: usize,
+    ) -> ShardedQueryAnswer
+    where
+        M: QueryModel<S, LeafItem = L>,
+        S: Send + Sync,
+        L: Send + Sync,
+        F: Fn() -> M + Sync,
+    {
+        ShardedQueryAnswer::fold(&self.refine_frontiers(make_model, query, order, budget))
+    }
+
+    /// Batched sharded queries against the snapshot (see
+    /// [`ShardedAnytimeTree::query_batch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query has the wrong dimensionality.
+    #[must_use]
+    pub fn query_batch<M, F>(
+        &self,
+        make_model: &F,
+        queries: &[Vec<f64>],
+        order: RefineOrder,
+        budget: usize,
+    ) -> (Vec<ShardedQueryAnswer>, QueryStats)
+    where
+        M: QueryModel<S, LeafItem = L>,
+        S: Send + Sync,
+        L: Send + Sync,
+        F: Fn() -> M + Sync,
+    {
+        query_batch_over(&self.shards, make_model, queries, order, budget)
+    }
+
+    /// Anytime outlier scoring against the snapshot (see
+    /// [`ShardedAnytimeTree::outlier_score`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query has the wrong dimensionality.
+    #[must_use]
+    pub fn outlier_score<M, F>(
+        &self,
+        make_model: &F,
+        query: &[f64],
+        threshold: f64,
+        budget: usize,
+    ) -> OutlierScore
+    where
+        M: QueryModel<S, LeafItem = L>,
+        S: Send + Sync,
+        L: Send + Sync,
+        F: Fn() -> M + Sync,
+    {
+        outlier_score_over(&self.shards, make_model, query, threshold, budget)
     }
 }
 

@@ -5,9 +5,11 @@
 //! module owns the arena, the node/summary accessors and the single-object
 //! [`AnytimeTree::insert`] convenience wrapper.
 
+use crate::arena::NodeArena;
 use crate::descent::{DescentCursor, DescentScratch, DescentStats};
 use crate::model::InsertModel;
 use crate::node::{Entry, Node, NodeId, NodeKind};
+use crate::snapshot::TreeSnapshot;
 use crate::summary::Summary;
 use bt_index::PageGeometry;
 
@@ -27,11 +29,17 @@ pub enum InsertOutcome {
 
 /// The shared anytime index: a balanced arena tree whose directory entries
 /// aggregate a payload [`Summary`] of their subtree.
+///
+/// Since PR 5 the node arena is **epoch-versioned** ([`crate::arena`]):
+/// [`AnytimeTree::snapshot`] returns a cheap, immutable
+/// [`TreeSnapshot`] that pins the current published epoch, and batched
+/// mutation copies a node **only** when a pinned snapshot still references
+/// it — reads and writes overlap without locks on the hot path.
 #[derive(Debug, Clone)]
 pub struct AnytimeTree<S: Summary, L> {
     dims: usize,
     geometry: PageGeometry,
-    nodes: Vec<Node<S, L>>,
+    arena: NodeArena<S, L>,
     root: NodeId,
     height: usize,
     scratch: DescentScratch<S>,
@@ -51,7 +59,7 @@ impl<S: Summary, L> AnytimeTree<S, L> {
         Self {
             dims,
             geometry,
-            nodes: vec![Node::empty_leaf()],
+            arena: NodeArena::new(),
             root: 0,
             height: 1,
             scratch: DescentScratch::new(),
@@ -86,24 +94,93 @@ impl<S: Summary, L> AnytimeTree<S, L> {
     /// Read access to a node.
     #[must_use]
     pub fn node(&self, id: NodeId) -> &Node<S, L> {
-        &self.nodes[id]
-    }
-
-    /// Mutable access to a node.
-    pub fn node_mut(&mut self, id: NodeId) -> &mut Node<S, L> {
-        &mut self.nodes[id]
+        self.arena.node(id)
     }
 
     /// Adds a node to the arena and returns its id.
     pub fn push_node(&mut self, node: Node<S, L>) -> NodeId {
-        self.nodes.push(node);
-        self.nodes.len() - 1
+        self.arena.push(node)
     }
 
     /// Replaces the root node id and height (used by bulk loaders).
     pub fn set_root(&mut self, root: NodeId, height: usize) {
         self.root = root;
         self.height = height;
+    }
+
+    /// The published epoch: how many batches have been committed via
+    /// `finish_batch` (single-object inserts count as batches of one).
+    /// [`Self::snapshot`] pins this value.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.arena.epoch()
+    }
+
+    /// Publishes the current in-flight epoch *outside* the batch bracket —
+    /// the commit point for construction paths that assemble the tree
+    /// directly through [`Self::push_node`] / [`Self::set_root`] (the bulk
+    /// loaders).  After the call every node stamped so far is covered by
+    /// the published epoch, so snapshots of a freshly bulk-built tree
+    /// satisfy the `node_version <= epoch` invariant just like
+    /// incrementally built ones.
+    pub fn publish_epoch(&mut self) {
+        self.arena.publish();
+    }
+
+    /// The version stamp of a node: the epoch of the batch that last
+    /// mutated it.
+    #[must_use]
+    pub fn node_version(&self, id: NodeId) -> u64 {
+        self.arena.version(id)
+    }
+
+    /// Number of retired node copies created by copy-on-write so far.
+    /// Stays zero as long as no snapshot — and no [`Clone`]d tree, which
+    /// shares the arena slots the same way — overlaps a write: the
+    /// no-sharer fast path mutates in place.
+    #[must_use]
+    pub fn retired_nodes(&self) -> u64 {
+        self.arena.retired_nodes()
+    }
+
+    /// The oldest epoch still pinned by a live snapshot of this tree, if
+    /// any.
+    #[must_use]
+    pub fn oldest_pinned_epoch(&self) -> Option<u64> {
+        self.arena.registry().oldest_pinned()
+    }
+
+    /// Number of live snapshots currently pinning an epoch of this tree.
+    #[must_use]
+    pub fn pinned_snapshots(&self) -> usize {
+        self.arena.registry().pinned_count()
+    }
+
+    /// Takes a cheap, immutable, point-in-time snapshot of the tree: the
+    /// slot spine is cloned (`O(nodes)` pointer copies, no payload is
+    /// touched) and the current published epoch is pinned in the shared
+    /// [`EpochRegistry`](crate::EpochRegistry).
+    ///
+    /// The snapshot is `Send + Sync` (when the payloads are) and serves the
+    /// full anytime query engine via [`TreeView`](crate::TreeView) while
+    /// later batches keep mutating the tree — every write to a node the
+    /// snapshot still references copies that node first, so the snapshot's
+    /// answers are bit-identical to querying the tree at snapshot time.
+    ///
+    /// Taking a snapshot *between* batches captures the published tree;
+    /// taking one mid-batch (between `begin_batch` and `finish_batch`)
+    /// captures the partially applied batch — still a frozen, internally
+    /// consistent view, just not a published epoch.
+    #[must_use]
+    pub fn snapshot(&self) -> TreeSnapshot<S, L> {
+        TreeSnapshot::capture(
+            self.arena.snapshot_slots(),
+            self.root,
+            self.height,
+            self.dims,
+            self.arena.epoch(),
+            self.arena.registry().clone(),
+        )
     }
 
     /// Number of payload-summary refresh operations performed by descents so
@@ -129,7 +206,7 @@ impl<S: Summary, L> AnytimeTree<S, L> {
     }
 
     pub(crate) fn arena_len(&self) -> usize {
-        self.nodes.len()
+        self.arena.len()
     }
 
     pub(crate) fn scratch(&self) -> &DescentScratch<S> {
@@ -140,42 +217,38 @@ impl<S: Summary, L> AnytimeTree<S, L> {
         &mut self.scratch
     }
 
+    pub(crate) fn arena_mut(&mut self) -> &mut NodeArena<S, L> {
+        &mut self.arena
+    }
+
     /// Split borrow of the node arena and the descent scratch, for the
     /// engine's routing step (which reads entries and writes the routing
     /// buffer at the same time).
-    pub(crate) fn nodes_and_scratch_mut(
+    pub(crate) fn arena_and_scratch_mut(
         &mut self,
-    ) -> (&mut Vec<Node<S, L>>, &mut DescentScratch<S>) {
-        (&mut self.nodes, &mut self.scratch)
+    ) -> (&mut NodeArena<S, L>, &mut DescentScratch<S>) {
+        (&mut self.arena, &mut self.scratch)
     }
 
-    /// The ids of every node reachable from the root, in depth-first order.
+    /// The ids of every node reachable from the root, in depth-first order
+    /// (the shared traversal lives once, in
+    /// [`TreeView::reachable`](crate::TreeView::reachable)).
     #[must_use]
     pub fn reachable(&self) -> Vec<NodeId> {
-        let mut stack = vec![self.root];
-        let mut out = Vec::new();
-        while let Some(id) = stack.pop() {
-            out.push(id);
-            if let NodeKind::Inner { entries } = &self.nodes[id].kind {
-                for e in entries {
-                    stack.push(e.child);
-                }
-            }
-        }
-        out
+        crate::query::TreeView::reachable(self)
     }
 
     /// Number of nodes reachable from the root (the arena may additionally
     /// hold nodes orphaned by bulk loading).
     #[must_use]
     pub fn num_nodes(&self) -> usize {
-        self.reachable().len()
+        crate::query::TreeView::num_nodes(self)
     }
 
     /// Maximum leaf depth below `node` (a leaf has depth 1).
     #[must_use]
     pub fn measure_depth(&self, node: NodeId) -> usize {
-        match &self.nodes[node].kind {
+        match &self.arena.node(node).kind {
             NodeKind::Leaf { .. } => 1,
             NodeKind::Inner { entries } => {
                 1 + entries
@@ -201,7 +274,7 @@ impl<S: Summary, L> AnytimeTree<S, L> {
     /// Panics if `id` is not a non-empty inner node.
     #[must_use]
     pub fn summarize_inner(&self, id: NodeId, ctx: S::Ctx) -> Entry<S> {
-        let entries = self.nodes[id].entries();
+        let entries = self.arena.node(id).entries();
         assert!(!entries.is_empty(), "cannot summarise an empty inner node");
         let mut summary = entries[0].summary.clone();
         for e in &entries[1..] {
@@ -223,13 +296,23 @@ impl<S: Summary, L> AnytimeTree<S, L> {
     where
         M: InsertModel<S, LeafItem = L>,
     {
-        match &self.nodes[id].kind {
+        match &self.arena.node(id).kind {
             NodeKind::Leaf { items } => {
                 assert!(!items.is_empty(), "cannot summarise an empty leaf");
                 Entry::new(model.summarize_leaf_items(items), id)
             }
             NodeKind::Inner { .. } => self.summarize_inner(id, model.ctx()),
         }
+    }
+}
+
+impl<S: Summary, L: Clone> AnytimeTree<S, L> {
+    /// Mutable access to a node — the arena's copy-on-write point: if a
+    /// pinned snapshot still references the node it is cloned first (the
+    /// snapshot keeps the retired copy), otherwise the write happens in
+    /// place.  Requires `L: Clone` for exactly that copy.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node<S, L> {
+        self.arena.node_mut(id)
     }
 
     /// Inserts one object with a budget of `budget` descent steps, driving

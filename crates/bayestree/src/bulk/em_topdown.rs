@@ -37,15 +37,14 @@ pub fn build_em_topdown(
         // Everything fits into the root leaf.
         let root = tree.push_node(Node::leaf(points.to_vec()));
         tree.set_root(root, 1);
-        tree.set_num_points(points.len());
-        tree.fit_bandwidth();
-        return tree;
+    } else {
+        let owned: Vec<Vec<f64>> = points.to_vec();
+        let (root_id, depth) = build_recursive(&mut tree, owned, &mut rng);
+        tree.set_root(root_id, depth);
     }
-
-    let owned: Vec<Vec<f64>> = points.to_vec();
-    let (root_id, depth) = build_recursive(&mut tree, owned, &mut rng);
-    tree.set_root(root_id, depth);
     tree.set_num_points(points.len());
+    // The single commit point of the EM top-down load.
+    tree.publish_bulk_epoch();
     tree.fit_bandwidth();
     tree
 }

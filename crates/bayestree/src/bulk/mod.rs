@@ -173,43 +173,39 @@ pub(crate) fn finish_bottom_up<G>(
     G: Fn(&[Vec<f64>], usize) -> Vec<Vec<usize>>,
 {
     let geometry = tree.geometry();
-    if entries.is_empty() {
-        tree.set_num_points(num_points);
-        return;
-    }
-
-    // Special case: everything fits into one leaf — make it the root.
     if entries.len() == 1 && tree.node(entries[0].child).is_leaf() {
+        // Special case: everything fits into one leaf — make it the root.
         let root = entries[0].child;
         tree.set_root(root, 1);
-        tree.set_num_points(num_points);
-        return;
-    }
-
-    while entries.len() > geometry.max_fanout {
-        let reps: Vec<Vec<f64>> = entries.iter().map(|e| e.cf.mean()).collect();
-        let groups = group_fn(&reps, geometry.max_fanout);
-        let mut next = Vec::with_capacity(groups.len());
-        for group in groups {
-            if group.is_empty() {
-                continue;
+    } else if !entries.is_empty() {
+        while entries.len() > geometry.max_fanout {
+            let reps: Vec<Vec<f64>> = entries.iter().map(|e| e.cf.mean()).collect();
+            let groups = group_fn(&reps, geometry.max_fanout);
+            let mut next = Vec::with_capacity(groups.len());
+            for group in groups {
+                if group.is_empty() {
+                    continue;
+                }
+                let node_entries: Vec<Entry> = group.iter().map(|&i| entries[i].clone()).collect();
+                let node = tree.push_node(Node::inner(node_entries));
+                next.push(tree.summarise(node));
             }
-            let node_entries: Vec<Entry> = group.iter().map(|&i| entries[i].clone()).collect();
-            let node = tree.push_node(Node::inner(node_entries));
-            next.push(tree.summarise(node));
-        }
-        // A grouping that fails to reduce the entry count would loop forever;
-        // fall back to a single extra level holding everything.
-        if next.len() >= entries.len() {
+            // A grouping that fails to reduce the entry count would loop
+            // forever; fall back to a single extra level holding everything.
+            if next.len() >= entries.len() {
+                entries = next;
+                break;
+            }
             entries = next;
-            break;
         }
-        entries = next;
+        let root = tree.push_node(Node::inner(entries));
+        let height = tree.measure_depth(root);
+        tree.set_root(root, height);
     }
-    let root = tree.push_node(Node::inner(entries));
-    let height = tree.measure_depth(root);
-    tree.set_root(root, height);
     tree.set_num_points(num_points);
+    // The single commit point of every bottom-up bulk load: whatever the
+    // branch above assembled is published as an epoch.
+    tree.publish_bulk_epoch();
 }
 
 #[cfg(test)]

@@ -11,8 +11,10 @@
 use crate::bulk::{build_tree, BulkLoadMethod};
 use crate::descent::DescentStrategy;
 use crate::frontier::TreeFrontier;
+use crate::node::KernelSummary;
 use crate::qbk::{RefinementScheduler, RefinementStrategy};
 use crate::tree::BayesTree;
+use bt_anytree::TreeView;
 use bt_data::Dataset;
 use bt_index::PageGeometry;
 use bt_stats::bandwidth::silverman_bandwidth;
@@ -282,11 +284,11 @@ impl AnytimeClassifier {
     /// Classifies `x` spending at most `budget` node reads.
     #[must_use]
     pub fn classify_with_budget(&self, x: &[f64], budget: usize) -> Classification {
-        let trace = self.run_anytime(x, budget, false);
+        let (trace, nodes_read) = self.run_anytime(x, budget, false);
         Classification {
             label: *trace.labels.last().expect("trace is never empty"),
             posteriors: trace.final_posteriors,
-            nodes_read: trace.labels.len() - 1,
+            nodes_read,
         }
     }
 
@@ -294,59 +296,89 @@ impl AnytimeClassifier {
     /// to `max_nodes` (or until every frontier is exhausted).
     #[must_use]
     pub fn anytime_trace(&self, x: &[f64], max_nodes: usize) -> AnytimeTrace {
-        self.run_anytime(x, max_nodes, true)
+        self.run_anytime(x, max_nodes, true).0
     }
 
-    fn run_anytime(&self, x: &[f64], budget: usize, record_all: bool) -> AnytimeTrace {
+    fn run_anytime(&self, x: &[f64], budget: usize, record_all: bool) -> (AnytimeTrace, usize) {
         assert_eq!(x.len(), self.dims, "query dimensionality mismatch");
-        let mut frontiers: Vec<TreeFrontier<'_>> =
+        let frontiers: Vec<TreeFrontier<'_>> =
             self.trees.iter().map(|t| TreeFrontier::new(t, x)).collect();
-        let mut scheduler = RefinementScheduler::new(self.config.refinement, self.trees.len());
+        run_anytime_over(
+            frontiers,
+            &self.priors,
+            self.config.refinement,
+            self.config.descent,
+            budget,
+            record_all,
+        )
+    }
+}
 
-        let mut labels = Vec::with_capacity(budget + 1);
-        let mut posteriors = self.posteriors(&frontiers);
-        labels.push(argmax(&posteriors));
+/// The anytime classification loop over any set of per-class frontiers —
+/// the live classifier and its epoch-pinned snapshot
+/// ([`crate::ClassifierSnapshot`]) run literally this code.  Returns the
+/// trace plus the number of refinements (node reads) actually performed.
+pub(crate) fn run_anytime_over<V: TreeView<KernelSummary, Vec<f64>>>(
+    mut frontiers: Vec<TreeFrontier<'_, V>>,
+    priors: &[f64],
+    refinement: RefinementStrategy,
+    descent: DescentStrategy,
+    budget: usize,
+    record_all: bool,
+) -> (AnytimeTrace, usize) {
+    let mut scheduler = RefinementScheduler::new(refinement, frontiers.len());
 
-        for _ in 0..budget {
-            let scores: Vec<f64> = frontiers
-                .iter()
-                .zip(&self.priors)
-                .map(|(f, &p)| p * f.density())
-                .collect();
-            let refinable: Vec<bool> = frontiers.iter().map(TreeFrontier::can_refine).collect();
-            let Some(class) = scheduler.next_class(&scores, &refinable) else {
-                break;
-            };
-            frontiers[class].refine(self.config.descent);
-            posteriors = self.posteriors(&frontiers);
-            if record_all {
-                labels.push(argmax(&posteriors));
-            }
+    let mut labels = Vec::new();
+    let mut posteriors = posteriors_over(&frontiers, priors);
+    labels.push(argmax(&posteriors));
+
+    let mut nodes_read = 0usize;
+    for _ in 0..budget {
+        let scores: Vec<f64> = frontiers
+            .iter()
+            .zip(priors)
+            .map(|(f, &p)| p * f.density())
+            .collect();
+        let refinable: Vec<bool> = frontiers.iter().map(TreeFrontier::can_refine).collect();
+        let Some(class) = scheduler.next_class(&scores, &refinable) else {
+            break;
+        };
+        frontiers[class].refine(descent);
+        nodes_read += 1;
+        posteriors = posteriors_over(&frontiers, priors);
+        if record_all {
+            labels.push(argmax(&posteriors));
         }
-        if !record_all {
-            // Only the final decision is needed; overwrite the root-level one.
-            labels = vec![argmax(&posteriors)];
-        }
+    }
+    if !record_all {
+        // Only the final decision is needed; overwrite the root-level one.
+        labels = vec![argmax(&posteriors)];
+    }
+    (
         AnytimeTrace {
             labels,
             final_posteriors: posteriors,
-        }
-    }
+        },
+        nodes_read,
+    )
+}
 
-    /// Normalised posteriors from the current frontier densities.
-    fn posteriors(&self, frontiers: &[TreeFrontier<'_>]) -> Vec<f64> {
-        let joint: Vec<f64> = frontiers
-            .iter()
-            .zip(&self.priors)
-            .map(|(f, &p)| p * f.density())
-            .collect();
-        let total: f64 = joint.iter().sum();
-        if total > 0.0 {
-            joint.iter().map(|j| j / total).collect()
-        } else {
-            // Every class density underflowed: fall back to the priors.
-            self.priors.clone()
-        }
+/// Normalised posteriors from the current frontier densities.
+fn posteriors_over<V: TreeView<KernelSummary, Vec<f64>>>(
+    frontiers: &[TreeFrontier<'_, V>],
+    priors: &[f64],
+) -> Vec<f64> {
+    let joint: Vec<f64> = frontiers
+        .iter()
+        .zip(priors)
+        .map(|(f, &p)| p * f.density())
+        .collect();
+    let total: f64 = joint.iter().sum();
+    if total > 0.0 {
+        joint.iter().map(|j| j / total).collect()
+    } else {
+        // Every class density underflowed: fall back to the priors.
+        priors.to_vec()
     }
 }
 

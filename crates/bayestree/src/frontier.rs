@@ -17,9 +17,10 @@
 //! [`RefineOrder`](bt_anytree::RefineOrder)s.
 
 use crate::descent::DescentStrategy;
+use crate::node::KernelSummary;
 use crate::query::KernelQueryModel;
 use crate::tree::BayesTree;
-use bt_anytree::{QueryAnswer, QueryCursor};
+use bt_anytree::{AnytimeTree, QueryAnswer, QueryCursor, TreeView};
 
 /// One element of the frontier: re-exported from the shared query engine.
 ///
@@ -29,9 +30,18 @@ use bt_anytree::{QueryAnswer, QueryCursor};
 pub type FrontierElement = bt_anytree::QueryElement;
 
 /// The evolving frontier of one tree for one query object.
+///
+/// Generic over the [`TreeView`] it refines against: the live tree (the
+/// default, via [`TreeFrontier::new`]) or an epoch-pinned
+/// [`TreeSnapshot`](bt_anytree::TreeSnapshot) (via [`TreeFrontier::over`]) —
+/// the snapshot classifier refines frontiers against frozen trees while
+/// training batches are in flight.
 #[derive(Debug, Clone)]
-pub struct TreeFrontier<'a> {
-    tree: &'a BayesTree,
+pub struct TreeFrontier<'a, V = AnytimeTree<KernelSummary, Vec<f64>>>
+where
+    V: TreeView<KernelSummary, Vec<f64>>,
+{
+    view: &'a V,
     model: KernelQueryModel<'a>,
     cursor: QueryCursor,
 }
@@ -48,10 +58,22 @@ impl<'a> TreeFrontier<'a> {
     /// Panics if the query has the wrong dimensionality.
     #[must_use]
     pub fn new(tree: &'a BayesTree, query: &[f64]) -> Self {
-        let model = tree.query_model();
-        let cursor = tree.core().new_query(&model, query);
+        Self::over(tree.core(), tree.query_model(), query)
+    }
+}
+
+impl<'a, V: TreeView<KernelSummary, Vec<f64>>> TreeFrontier<'a, V> {
+    /// Creates the initial frontier over any tree view (live tree or pinned
+    /// snapshot) with an explicit query model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query has the wrong dimensionality.
+    #[must_use]
+    pub fn over(view: &'a V, model: KernelQueryModel<'a>, query: &[f64]) -> Self {
+        let cursor = view.new_query(&model, query);
         Self {
-            tree,
+            view,
             model,
             cursor,
         }
@@ -112,23 +134,23 @@ impl<'a> TreeFrontier<'a> {
     ///
     /// Returns `false` (and changes nothing) when no element is refinable.
     pub fn refine(&mut self, strategy: DescentStrategy) -> bool {
-        self.tree
-            .core()
+        self.view
             .refine_query(&self.model, strategy.into(), &mut self.cursor)
     }
 
     /// Refines until either `budget` node reads have been spent or nothing is
     /// refinable; returns the number of reads actually performed.
     pub fn refine_up_to(&mut self, budget: usize, strategy: DescentStrategy) -> usize {
-        self.tree
-            .core()
+        self.view
             .refine_query_up_to(&self.model, strategy.into(), budget, &mut self.cursor)
     }
 
-    /// Index of the element the strategy would refine next, if any.
+    /// Index of the element the strategy would refine next, if any (via the
+    /// cursor's reference scan — see
+    /// [`QueryCursor::peek_next_scan`](bt_anytree::QueryCursor::peek_next_scan)).
     #[must_use]
     pub fn peek_next(&self, strategy: DescentStrategy) -> Option<usize> {
-        self.cursor.peek_next(strategy.into())
+        self.cursor.peek_next_scan(strategy.into())
     }
 }
 

@@ -62,6 +62,7 @@ pub mod qbk;
 pub mod query;
 pub mod sharded;
 pub mod tree;
+pub mod view;
 
 pub use bulk::{build_tree, BulkLoadMethod};
 pub use classifier::{AnytimeClassifier, AnytimeTrace, Classification, ClassifierConfig};
@@ -73,3 +74,4 @@ pub use qbk::{RefinementScheduler, RefinementStrategy};
 pub use query::{summary_mixture_term, KernelQueryModel};
 pub use sharded::ShardedBayesTree;
 pub use tree::BayesTree;
+pub use view::{BayesTreeSnapshot, ClassifierSnapshot, ShardedBayesTreeSnapshot};

@@ -25,8 +25,10 @@
 use crate::descent::{DescentStrategy, PriorityMeasure};
 use crate::node::KernelSummary;
 use crate::tree::BayesTree;
-use bt_anytree::{OutlierScore, QueryAnswer, QueryModel, QueryStats, RefineOrder, Summary};
-use bt_stats::kernel::{gaussian_log_term, GaussianKernel, Kernel};
+use bt_anytree::{
+    OutlierScore, QueryAnswer, QueryModel, QueryStats, RefineOrder, Summary, TreeView,
+};
+use bt_stats::kernel::{gaussian_log_term, nearest_point_log_kernel, GaussianKernel, Kernel};
 
 /// The Definition 3 mixture term `(n_es / n) * g(x, mu_es, sigma_es)` of one
 /// summary — the single place this arithmetic lives; the incremental
@@ -68,23 +70,18 @@ impl<'a> KernelQueryModel<'a> {
     /// Product-kernel density at the nearest (`nearest == true`) or farthest
     /// point of the summary's MBR — the two sides of the bound interval.
     /// Uses the same per-dimension [`gaussian_log_term`] the leaf kernels
-    /// sum, so the bounds always bracket the leaf path's arithmetic.
+    /// sum (the nearest side is the shared [`nearest_point_log_kernel`] the
+    /// micro-cluster MBR bound also uses), so the bounds always bracket the
+    /// leaf path's arithmetic.
     fn mbr_kernel_density(&self, query: &[f64], summary: &KernelSummary, nearest: bool) -> f64 {
         let lower = summary.mbr.lower();
         let upper = summary.mbr.upper();
+        if nearest {
+            return nearest_point_log_kernel(query, lower, upper, self.bandwidth).exp();
+        }
         let mut acc = 0.0;
         for d in 0..query.len() {
-            let dist = if nearest {
-                if query[d] < lower[d] {
-                    lower[d] - query[d]
-                } else if query[d] > upper[d] {
-                    query[d] - upper[d]
-                } else {
-                    0.0
-                }
-            } else {
-                (query[d] - lower[d]).abs().max((query[d] - upper[d]).abs())
-            };
+            let dist = (query[d] - lower[d]).abs().max((query[d] - upper[d]).abs());
             acc += gaussian_log_term(dist, self.bandwidth[d]);
         }
         acc.exp()

@@ -17,9 +17,10 @@ use crate::descent::DescentStrategy;
 use crate::insert::KernelModel;
 use crate::node::{KernelSummary, NodeKind};
 use crate::query::KernelQueryModel;
+use crate::view::ShardedBayesTreeSnapshot;
 use bt_anytree::{
-    AnytimeTree, CheapestRouter, DescentStats, OutlierScore, QueryStats, ShardRouter,
-    ShardedAnytimeTree, ShardedBatchOutcome, ShardedQueryAnswer,
+    AnytimeTree, CheapestRouter, DescentStats, OutlierScore, PipelinedOutcome, QueryStats,
+    ShardRouter, ShardedAnytimeTree, ShardedBatchOutcome, ShardedQueryAnswer,
 };
 use bt_index::PageGeometry;
 use bt_stats::bandwidth::silverman_bandwidth;
@@ -116,10 +117,26 @@ impl<R> ShardedBayesTree<R> {
     }
 
     /// Observations routed to each shard so far — the direct skew measure
-    /// for the configured router.
+    /// for the configured router.  Counted at routing time: during a
+    /// [`Self::pipelined_batch`] the sizes already include the in-flight
+    /// batch while any pre-batch snapshot still reflects the old epochs.
     #[must_use]
     pub fn shard_sizes(&self) -> &[usize] {
         self.core.shard_sizes()
+    }
+
+    /// Takes an epoch-pinned snapshot of every shard plus the frozen global
+    /// density-model parameters (observation count, bandwidth).  The
+    /// snapshot is `Send + Sync` and answers the folded query surface
+    /// bit-identically to this moment while later batches drain into the
+    /// live shards.
+    #[must_use]
+    pub fn snapshot(&self) -> ShardedBayesTreeSnapshot {
+        ShardedBayesTreeSnapshot::from_parts(
+            self.core.snapshot(),
+            self.num_points,
+            self.bandwidth.clone(),
+        )
     }
 
     /// Budget-bracketed anytime density query over all shards: every shard
@@ -331,6 +348,47 @@ impl<R: ShardRouter<KernelSummary>> ShardedBayesTree<R> {
         self.num_points += points.len();
         self.core
             .insert_batch(&|| KernelModel { dims }, points, usize::MAX)
+    }
+
+    /// The pipelined mode: drains `points` through the per-shard writers
+    /// **while** reader threads answer `queries` against the pre-batch
+    /// snapshot — the returned answers are exactly what
+    /// [`Self::density_batch`] would have returned *before* this batch
+    /// (pre-batch observation count, pre-batch epochs; property-tested in
+    /// `tests/snapshot_isolation.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point or query has the wrong dimensionality.
+    pub fn pipelined_batch(
+        &mut self,
+        points: Vec<Vec<f64>>,
+        queries: &[Vec<f64>],
+        strategy: DescentStrategy,
+        query_budget: usize,
+    ) -> PipelinedOutcome
+    where
+        R: Send,
+    {
+        let dims = self.dims();
+        assert!(
+            points.iter().all(|p| p.len() == dims),
+            "point dimensionality mismatch"
+        );
+        // The readers answer against the pre-batch state, so they normalise
+        // by the pre-batch observation count.
+        let n = self.num_points;
+        let bandwidth = self.bandwidth.clone();
+        self.num_points += points.len();
+        self.core.pipelined_batch(
+            &|| KernelModel { dims },
+            points,
+            usize::MAX,
+            &|| KernelQueryModel::new(n, &bandwidth),
+            queries,
+            strategy.into(),
+            query_budget,
+        )
     }
 }
 

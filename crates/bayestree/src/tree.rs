@@ -368,6 +368,13 @@ impl BayesTree {
         self.core.set_root(root, height);
     }
 
+    /// Publishes the bulk loaders' assembled nodes as an epoch, so a
+    /// freshly bulk-built tree satisfies the same `node_version <= epoch`
+    /// snapshot invariant as an incrementally built one.
+    pub(crate) fn publish_bulk_epoch(&mut self) {
+        self.core.publish_epoch();
+    }
+
     /// Sets the stored observation count (used by bulk loaders).
     pub(crate) fn set_num_points(&mut self, n: usize) {
         self.num_points = n;
@@ -390,6 +397,27 @@ impl BayesTree {
     #[must_use]
     pub fn summary_refreshes(&self) -> u64 {
         self.core.summary_refreshes()
+    }
+
+    /// The published epoch of the versioned arena (batches committed so
+    /// far); [`BayesTree::snapshot`](crate::view) pins this value.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.core.epoch()
+    }
+
+    /// Retired node copies created by copy-on-write so far — zero as long
+    /// as no snapshot (and no cloned tree, which shares the arena slots the
+    /// same way) overlaps a write.
+    #[must_use]
+    pub fn retired_nodes(&self) -> u64 {
+        self.core.retired_nodes()
+    }
+
+    /// Number of live snapshots currently pinning an epoch of this tree.
+    #[must_use]
+    pub fn pinned_snapshots(&self) -> usize {
+        self.core.pinned_snapshots()
     }
 
     /// Maximum leaf depth below `node` (a leaf has depth 1).  Used by the

@@ -47,6 +47,7 @@ pub mod query;
 pub mod sharded;
 pub mod snapshot;
 pub mod tree;
+pub mod view;
 
 pub use microcluster::{DecayCtx, MicroCluster};
 pub use offline::{weighted_dbscan, DbscanConfig, MacroClustering};
@@ -54,3 +55,4 @@ pub use query::{ClusQueryModel, ClusterNeighbor, KnnAnswer};
 pub use sharded::ShardedClusTree;
 pub use snapshot::SnapshotStore;
 pub use tree::{BatchOutcome, ClusTree, ClusTreeConfig, DepthHistogram, InsertOutcome};
+pub use view::{ClusTreeSnapshot, ShardedClusTreeSnapshot};

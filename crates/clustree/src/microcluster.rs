@@ -5,13 +5,29 @@
 //! the influence of old data fades, while additivity — and therefore cheap
 //! aggregation in inner nodes — is preserved.
 
+use bt_index::Mbr;
 use bt_stats::{ClusterFeature, DiagGaussian};
 
-/// A cluster feature plus the timestamp of its last update.
+/// A cluster feature plus the timestamp of its last update — and, since
+/// PR 5, an **optional MBR** covering every point the cluster ever
+/// absorbed.
+///
+/// The MBR exists for the query side: a bare cluster feature only supports
+/// the distance-blind per-weight kernel *peak* as an upper density bound,
+/// while a bounding box yields the distance-aware
+/// `weight * K(nearest point of box)` bound — and because a merged
+/// cluster's box is the union of its parts, the boxes **nest** up the tree,
+/// which is exactly the monotonicity contract the anytime query engine
+/// requires.  The box never shrinks (decay fades weights, not extents), so
+/// it stays a conservative superset of the remaining mass — sound for an
+/// upper bound, never used for the lower one.  Clusters reconstructed from
+/// a bare CF ([`MicroCluster::from_cf`]) have no box and fall back to the
+/// peak bound.
 #[derive(Debug, Clone)]
 pub struct MicroCluster {
     cf: ClusterFeature,
     last_update: f64,
+    mbr: Option<Mbr>,
 }
 
 impl MicroCluster {
@@ -21,6 +37,7 @@ impl MicroCluster {
         Self {
             cf: ClusterFeature::empty(dims),
             last_update: now,
+            mbr: None,
         }
     }
 
@@ -30,16 +47,27 @@ impl MicroCluster {
         Self {
             cf: ClusterFeature::from_point(point),
             last_update: now,
+            mbr: Some(Mbr::from_point(point)),
         }
     }
 
-    /// Creates a micro-cluster from an existing cluster feature.
+    /// Creates a micro-cluster from an existing cluster feature (no MBR —
+    /// the point support is unknown, so queries fall back to the peak
+    /// upper bound).
     #[must_use]
     pub fn from_cf(cf: ClusterFeature, now: f64) -> Self {
         Self {
             cf,
             last_update: now,
+            mbr: None,
         }
+    }
+
+    /// The bounding box of every point this cluster ever absorbed, if
+    /// known.  Conservative under decay (never shrinks).
+    #[must_use]
+    pub fn mbr(&self) -> Option<&Mbr> {
+        self.mbr.as_ref()
     }
 
     /// The underlying (not yet decayed) cluster feature.
@@ -117,20 +145,33 @@ impl MicroCluster {
         self.cf.to_gaussian()
     }
 
-    /// Absorbs a single point observed at `now`, decaying first with `lambda`.
+    /// Absorbs a single point observed at `now`, decaying first with
+    /// `lambda`.  A known box extends to cover the point; a cluster with
+    /// unknown support ([`MicroCluster::from_cf`]) **stays** box-less — a
+    /// box covering only the new point would exclude the pre-existing mass
+    /// and make the MBR upper bound unsound.
     pub fn insert(&mut self, point: &[f64], now: f64, lambda: f64) {
         self.decay_to(now, lambda);
         self.cf.insert(point);
+        if let Some(mbr) = &mut self.mbr {
+            mbr.extend_point(point);
+        }
     }
 
     /// Merges another micro-cluster into this one; both are decayed to the
-    /// later of the two timestamps first.
+    /// later of the two timestamps first.  The boxes union (a merged box
+    /// covers both parts — the nesting the query bounds rely on); if either
+    /// side has no box the result has none.
     pub fn merge(&mut self, other: &MicroCluster, lambda: f64) {
         let now = self.last_update.max(other.last_update);
         self.decay_to(now, lambda);
         let mut o = other.clone();
         o.decay_to(now, lambda);
         self.cf.merge(o.cf());
+        self.mbr = match (self.mbr.take(), &other.mbr) {
+            (Some(a), Some(b)) => Some(a.union(b)),
+            _ => None,
+        };
     }
 
     /// Squared Euclidean distance from the centre to a point, computed
@@ -243,5 +284,47 @@ mod tests {
         let mut mc = MicroCluster::from_point(&[0.0, 0.0], 0.0);
         mc.insert(&[2.0, 0.0], 0.0, 0.0);
         assert!((mc.sq_dist_to(&[1.0, 0.0]) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mbr_tracks_every_absorbed_point_and_unions_on_merge() {
+        let mut a = MicroCluster::from_point(&[0.0, 0.0], 0.0);
+        a.insert(&[2.0, -1.0], 0.0, 0.0);
+        let mbr = a.mbr().expect("point-built clusters carry a box");
+        assert_eq!(mbr.lower(), &[0.0, -1.0]);
+        assert_eq!(mbr.upper(), &[2.0, 0.0]);
+
+        let b = MicroCluster::from_point(&[-3.0, 5.0], 1.0);
+        let mut merged = a.clone();
+        merged.merge(&b, 0.0);
+        let union = merged.mbr().expect("merged boxes union");
+        assert_eq!(union.lower(), &[-3.0, -1.0]);
+        assert_eq!(union.upper(), &[2.0, 5.0]);
+        // The merged box contains both parts — the nesting the query
+        // engine's monotone upper bound relies on.
+        assert!(union.contains_mbr(a.mbr().unwrap()));
+        assert!(union.contains_mbr(b.mbr().unwrap()));
+    }
+
+    #[test]
+    fn mbr_survives_decay_and_is_absent_for_bare_cfs() {
+        let mut mc = MicroCluster::from_point(&[1.0, 2.0], 0.0);
+        mc.decay_to(10.0, 1.0);
+        // Decay fades weight, never the extent: the box stays a superset.
+        assert!(mc.weight() < 1e-2);
+        assert_eq!(mc.mbr().unwrap().lower(), &[1.0, 2.0]);
+
+        let bare = MicroCluster::from_cf(mc.cf().clone(), 10.0);
+        assert!(bare.mbr().is_none(), "bare CFs fall back to the peak bound");
+        let mut merged = MicroCluster::from_point(&[0.0, 0.0], 10.0);
+        merged.merge(&bare, 0.0);
+        assert!(merged.mbr().is_none(), "unknown support poisons the union");
+
+        // Inserting into a bare-CF cluster must NOT fabricate a box that
+        // covers only the new point — the pre-existing mass would escape it
+        // and the upper bound would exclude the true contribution.
+        let mut grown = MicroCluster::from_cf(mc.cf().clone(), 10.0);
+        grown.insert(&[100.0, 100.0], 10.0, 0.0);
+        assert!(grown.mbr().is_none(), "unknown support stays unbounded");
     }
 }

@@ -21,14 +21,19 @@
 //!   trivial per-weight peak upper bound this gives the nested
 //!   `[lower, upper]` interval the engine's monotonicity contract asks for.
 //!
-//! Bound-tightness caveat: the upper bound is the distance-blind per-weight
-//! kernel peak — the only sound nested choice available from a bare cluster
-//! feature.  (A deviation-box bound from `sqrt(n·var)` looks tempting but is
-//! *not* nested: a small child's box can stick out past its parent's, which
-//! would break the monotonicity contract.)  Consequently the *lower* bound
-//! certifies inliers after few reads, while certifying an outlier needs
-//! refinement down to leaf granularity around the query; tight upper bounds
-//! would require storing an MBR alongside the CF (a ROADMAP follow-up).
+//! Upper-bound tightness: micro-clusters carry an **optional MBR** alongside
+//! the CF ([`MicroCluster::mbr`]), so the upper bound is the distance-aware
+//! `weight * K(nearest point of box)` — every summarised point (and hence
+//! every child mean, by convexity) lies inside the box, the product kernel
+//! decreases with per-dimension distance, and a merged cluster's box is the
+//! union of its parts, so the boxes *nest* up the tree exactly as the
+//! monotonicity contract requires.  Clusters without a box (reconstructed
+//! from a bare CF) fall back to the distance-blind per-weight kernel peak —
+//! the only sound nested choice a bare CF offers.  (A deviation-box bound
+//! from `sqrt(n·var)` looks tempting but is *not* nested: a small child's
+//! box can stick out past its parent's, which would break the contract.)
+//! With the MBR bound, far-away outliers are certified after few reads
+//! instead of needing refinement down to leaf granularity.
 //!
 //! Decay caveat: summaries are scored as stored (queries never mutate the
 //! tree), so with a non-zero decay rate the bounds are exact only up to the
@@ -38,10 +43,10 @@
 use crate::microcluster::MicroCluster;
 use crate::tree::ClusTree;
 use bt_anytree::{
-    AnytimeTree, ElementOrigin, NodeKind, OutlierScore, QueryAnswer, QueryCursor, QueryElement,
-    QueryModel, QueryStats, RefineOrder,
+    ElementOrigin, NodeKind, OutlierScore, QueryAnswer, QueryCursor, QueryElement, QueryModel,
+    QueryStats, RefineOrder, TreeView,
 };
-use bt_stats::kernel::gaussian_log_term;
+use bt_stats::kernel::{gaussian_log_term, nearest_point_log_kernel};
 
 /// The micro-cluster query model: a smoothed Gaussian kernel score with
 /// certain, monotone bounds computable from cluster features alone.
@@ -101,12 +106,24 @@ impl ClusQueryModel {
     }
 
     /// Log of the kernel's peak value (distance 0, zero variance) — the
-    /// per-unit-weight upper bound.
+    /// per-unit-weight upper bound for clusters without a bounding box.
     fn peak_log_kernel(&self) -> f64 {
         self.bandwidth
             .iter()
             .map(|h| gaussian_log_term(0.0, *h))
             .sum()
+    }
+
+    /// Log of the per-unit-weight upper bound: the product kernel at the
+    /// nearest point of the cluster's MBR when one is stored (distance-aware
+    /// and nested, since child boxes lie inside their parent's — the shared
+    /// [`nearest_point_log_kernel`] the Bayes-tree bounds also use), the
+    /// kernel peak otherwise.
+    fn upper_log_kernel(&self, query: &[f64], mc: &MicroCluster) -> f64 {
+        let Some(mbr) = mc.mbr() else {
+            return self.peak_log_kernel();
+        };
+        nearest_point_log_kernel(query, mbr.lower(), mbr.upper(), &self.bandwidth)
     }
 }
 
@@ -121,7 +138,7 @@ impl QueryModel<MicroCluster> for ClusQueryModel {
         let scale = summary.weight() / self.total_weight;
         (
             scale * self.smoothed_log_kernel(query, summary).exp(),
-            scale * self.peak_log_kernel().exp(),
+            scale * self.upper_log_kernel(query, summary).exp(),
         )
     }
 
@@ -174,9 +191,10 @@ pub struct KnnAnswer {
     pub nodes_read: usize,
 }
 
-/// Total stored weight at root level of one core tree (entry summaries
-/// cover their subtrees *and* their buffers, so this is everything).
-pub(crate) fn stored_weight(core: &AnytimeTree<MicroCluster, MicroCluster>) -> f64 {
+/// Total stored weight at root level of one core tree view (entry summaries
+/// cover their subtrees *and* their buffers, so this is everything) — live
+/// trees and pinned snapshots alike.
+pub(crate) fn stored_weight<V: TreeView<MicroCluster, MicroCluster>>(core: &V) -> f64 {
     match &core.node(core.root()).kind {
         NodeKind::Inner { entries } => entries.iter().map(|e| e.summary.weight()).sum(),
         NodeKind::Leaf { items } => items.iter().map(MicroCluster::weight).sum(),
@@ -184,8 +202,8 @@ pub(crate) fn stored_weight(core: &AnytimeTree<MicroCluster, MicroCluster>) -> f
 }
 
 /// Materialises the micro-cluster behind a frontier element.
-pub(crate) fn element_cluster(
-    core: &AnytimeTree<MicroCluster, MicroCluster>,
+pub(crate) fn element_cluster<V: TreeView<MicroCluster, MicroCluster>>(
+    core: &V,
     model: &ClusQueryModel,
     element: &QueryElement,
 ) -> MicroCluster {
@@ -201,8 +219,8 @@ pub(crate) fn element_cluster(
 }
 
 /// Maps a refined cursor's frontier to its `k` closest clusters.
-pub(crate) fn knn_from_cursors(
-    shards: &[&AnytimeTree<MicroCluster, MicroCluster>],
+pub(crate) fn knn_from_cursors<V: TreeView<MicroCluster, MicroCluster>>(
+    shards: &[&V],
     cursors: &[QueryCursor],
     model: &ClusQueryModel,
     k: usize,

@@ -20,9 +20,10 @@ use crate::snapshot::SnapshotStore;
 use crate::tree::{
     collect_micro_clusters, finish_micro_clusters, validate_node, ClusModel, ClusTreeConfig,
 };
+use crate::view::ShardedClusTreeSnapshot;
 use bt_anytree::{
-    AnytimeTree, CheapestRouter, DescentStats, OutlierScore, QueryStats, RefineOrder, ShardRouter,
-    ShardedAnytimeTree, ShardedBatchOutcome, ShardedQueryAnswer,
+    AnytimeTree, CheapestRouter, DescentStats, OutlierScore, PipelinedOutcome, QueryStats,
+    RefineOrder, ShardRouter, ShardedAnytimeTree, ShardedBatchOutcome, ShardedQueryAnswer,
 };
 
 /// An anytime clustering index sharded into `K` independently descending
@@ -188,10 +189,26 @@ impl<R> ShardedClusTree<R> {
     }
 
     /// Objects routed to each shard so far — the direct skew measure for
-    /// the configured router.
+    /// the configured router.  Counted at routing time: during a
+    /// [`Self::pipelined_batch`] the sizes already include the in-flight
+    /// batch while any pre-batch snapshot still reflects the old epochs.
     #[must_use]
     pub fn shard_sizes(&self) -> &[usize] {
         self.core.shard_sizes()
+    }
+
+    /// Takes an epoch-pinned snapshot of every shard plus the frozen model
+    /// parameters (decay rate, current time, insert count).  `Send + Sync`;
+    /// answers the folded density / k-NN / outlier surface bit-identically
+    /// to this moment while later batches drain into the live shards.
+    #[must_use]
+    pub fn snapshot(&self) -> ShardedClusTreeSnapshot {
+        ShardedClusTreeSnapshot::from_parts(
+            self.core.snapshot(),
+            self.config.clone(),
+            self.current_time,
+            self.num_inserted,
+        )
     }
 
     /// The micro-cluster query model of this sharded tree: normalised by
@@ -356,6 +373,61 @@ impl<R: ShardRouter<MicroCluster>> ShardedClusTree<R> {
             },
             payloads,
             node_budget,
+        )
+    }
+
+    /// The pipelined mode: drains a mini-batch through the per-shard
+    /// writers **while** reader threads answer `queries` (density scores
+    /// smoothed with `bandwidth`, refined in `order`) against the pre-batch
+    /// snapshot — the returned answers are exactly what
+    /// [`Self::density_batch`] would have returned *before* this batch
+    /// (pre-batch total weight, pre-batch epochs; property-tested in
+    /// `tests/snapshot_isolation.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point, query or the bandwidth has the wrong
+    /// dimensionality.
+    #[allow(clippy::too_many_arguments)]
+    pub fn pipelined_batch(
+        &mut self,
+        points: &[Vec<f64>],
+        timestamp: f64,
+        node_budget: usize,
+        queries: &[Vec<f64>],
+        bandwidth: &[f64],
+        order: RefineOrder,
+        query_budget: usize,
+    ) -> PipelinedOutcome
+    where
+        R: Send,
+    {
+        let dims = self.dims();
+        assert!(
+            points.iter().all(|p| p.len() == dims),
+            "point dimensionality mismatch"
+        );
+        // The readers answer against the pre-batch state, so they normalise
+        // by the pre-batch global stored weight.
+        let query_model = self.query_model(bandwidth);
+        self.current_time = self.current_time.max(timestamp);
+        self.num_inserted += points.len();
+        let payloads: Vec<MicroCluster> = points
+            .iter()
+            .map(|p| MicroCluster::from_point(p, timestamp))
+            .collect();
+        let config = &self.config;
+        self.core.pipelined_batch(
+            &|| ClusModel {
+                config,
+                now: timestamp,
+            },
+            payloads,
+            node_budget,
+            &|| query_model.clone(),
+            queries,
+            order,
+            query_budget,
         )
     }
 }

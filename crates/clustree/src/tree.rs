@@ -331,6 +331,27 @@ impl ClusTree {
         self.core.summary_refreshes()
     }
 
+    /// The published epoch of the versioned arena (batches committed so
+    /// far); [`ClusTree::snapshot`](crate::view) pins this value.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.core.epoch()
+    }
+
+    /// Retired node copies created by copy-on-write so far — zero as long
+    /// as no snapshot (and no cloned tree, which shares the arena slots the
+    /// same way) overlaps a write.
+    #[must_use]
+    pub fn retired_nodes(&self) -> u64 {
+        self.core.retired_nodes()
+    }
+
+    /// Number of live snapshots currently pinning an epoch of this tree.
+    #[must_use]
+    pub fn pinned_snapshots(&self) -> usize {
+        self.core.pinned_snapshots()
+    }
+
     /// All current micro-clusters: the leaf entries plus any non-empty
     /// hitchhiker buffers, decayed to the tree's current time.
     #[must_use]
@@ -371,11 +392,12 @@ impl ClusTree {
     }
 }
 
-/// Gathers the raw (undecayed) micro-clusters of one core tree: leaf items
-/// plus any non-empty hitchhiker buffers.  Shared by [`ClusTree`] and the
-/// sharded tree, whose snapshot/offline step folds the shards' collections.
-pub(crate) fn collect_micro_clusters(
-    core: &AnytimeTree<MicroCluster, MicroCluster>,
+/// Gathers the raw (undecayed) micro-clusters of one core tree view: leaf
+/// items plus any non-empty hitchhiker buffers.  Shared by [`ClusTree`], the
+/// sharded tree (whose snapshot/offline step folds the shards' collections)
+/// and the epoch-pinned snapshots in [`crate::view`].
+pub(crate) fn collect_micro_clusters<V: bt_anytree::TreeView<MicroCluster, MicroCluster>>(
+    core: &V,
     out: &mut Vec<MicroCluster>,
 ) {
     for id in core.reachable() {

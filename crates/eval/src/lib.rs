@@ -30,7 +30,11 @@
 //! * the **query budget-vs-quality sweeps** over the anytime query engine:
 //!   mean bound width (non-increasing in budget) and estimate error per
 //!   node-read budget ([`query::density_budget_sweep`]), and folded sharded
-//!   query throughput at shards 1/2/4/8 ([`query::sharded_query_sweep`]).
+//!   query throughput at shards 1/2/4/8 ([`query::sharded_query_sweep`]),
+//! * the **pipelined insert+query sweeps** over the epoch-versioned
+//!   snapshot layer: solo versus concurrent-reader insert throughput, the
+//!   writer's throughput ratio, and snapshot queries answered per second at
+//!   shards 1/2/4/8 ([`pipeline::pipelined_sweep`]).
 //!
 //! The bench crate's binaries (`figure2`, `figure3`, `figure4`, `table1`,
 //! `improvement`, `ablation_descent`, `clustree_speed`) are thin wrappers
@@ -42,12 +46,14 @@
 pub mod ablation;
 pub mod clustering;
 pub mod curve;
+pub mod pipeline;
 pub mod query;
 pub mod report;
 pub mod sharding;
 
 pub use clustering::{batched_budget_sweep, BatchedClusteringQuality};
 pub use curve::{anytime_accuracy_curve, batched_construction_curves, AccuracyCurve, CurveConfig};
+pub use pipeline::{pipelined_sweep, PipelinedThroughput};
 pub use query::{
     density_budget_sweep, sharded_query_sweep, QueryBudgetQuality, ShardedQueryThroughput,
 };

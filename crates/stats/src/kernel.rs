@@ -56,6 +56,39 @@ pub fn gaussian_log_term(dist: f64, h: f64) -> f64 {
     -0.5 * (LN_2PI + u * u) - h.ln()
 }
 
+/// Log of the Gaussian product kernel evaluated at the point of the box
+/// `[lower, upper]` nearest to `query` — the shared *upper-bound* formula
+/// of the anytime query models: every point inside the box (and every
+/// subtree mean, by convexity) is at least the nearest-point distance away
+/// per dimension, and the product kernel decreases with distance, so
+/// `weight * exp(nearest_point_log_kernel(..))` bounds the box's refined
+/// contribution from above.  Kept here, next to [`gaussian_log_term`], so
+/// the Bayes-tree MBR bounds and the micro-cluster MBR bounds can never
+/// drift apart.
+#[must_use]
+pub fn nearest_point_log_kernel(
+    query: &[f64],
+    lower: &[f64],
+    upper: &[f64],
+    bandwidth: &[f64],
+) -> f64 {
+    debug_assert_eq!(query.len(), lower.len());
+    debug_assert_eq!(query.len(), upper.len());
+    debug_assert_eq!(query.len(), bandwidth.len());
+    let mut acc = 0.0;
+    for d in 0..query.len() {
+        let dist = if query[d] < lower[d] {
+            lower[d] - query[d]
+        } else if query[d] > upper[d] {
+            query[d] - upper[d]
+        } else {
+            0.0
+        };
+        acc += gaussian_log_term(dist, bandwidth[d]);
+    }
+    acc
+}
+
 impl Kernel for GaussianKernel {
     fn log_density(&self, center: &[f64], x: &[f64], bandwidth: &[f64]) -> f64 {
         debug_assert_eq!(center.len(), x.len());

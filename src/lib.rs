@@ -40,10 +40,12 @@
 //!   fanout, and choose-subtree / topological-split algorithms that are
 //!   *payload-generic* (`choose_subtree_by`, `rstar_split_by`).
 //! * **`anytree`** is the shared anytime-index core both trees instantiate:
-//!   the node arena (`Vec<Node>`, `NodeId` indices), entries generic over a
-//!   [`anytree::Summary`] payload (merge / weight / distance / decay + an
-//!   optional MBR hook into `index`), budgeted descent with a pluggable step
-//!   cost, hitchhiker/park buffers, and split/overflow propagation.
+//!   the **epoch-versioned node arena** ([`anytree::arena`] — versioned,
+//!   `Arc`-shared slots behind stable `NodeId` indices, copy-on-write at
+//!   node granularity), entries generic over a [`anytree::Summary`] payload
+//!   (merge / weight / distance / decay + an optional MBR hook into
+//!   `index`), budgeted descent with a pluggable step cost, hitchhiker/park
+//!   buffers, and split/overflow propagation.
 //!   Insertion runs on the **iterative descent engine**
 //!   ([`anytree::descent`]): a [`anytree::DescentCursor`] holds one
 //!   in-flight insertion (current node, depth, remaining budget, the
@@ -91,6 +93,31 @@
 //!   observable ahead of the planned work-stealing layer.  The core is
 //!   `Send`/`Sync`-clean by construction — static assertions in
 //!   `tests/send_assertions.rs` keep it that way.
+//!
+//!   **Snapshots and the pipelined mode.**  Reads and writes overlap
+//!   without locks: every `finish_batch` publishes a new *root epoch*, and
+//!   [`anytree::AnytimeTree::snapshot`] returns an owned, `Send + Sync`
+//!   [`anytree::TreeSnapshot`] — a clone of the arena's slot spine plus one
+//!   pin of the published epoch in the tree's
+//!   [`anytree::EpochRegistry`].  Writers mutate through node-granularity
+//!   **copy-on-write**: a write to a node some snapshot still references
+//!   clones that one node into a fresh slot `Arc` (the snapshot keeps the
+//!   retired version), while the no-reader fast path mutates in place (one
+//!   atomic check, zero copies — asserted by tests).  The **reclamation
+//!   rule**: a retired node version is owned only by the snapshot spines
+//!   that pinned it, so its memory is freed *exactly when the last snapshot
+//!   taken before the version was replaced is dropped* — the registry
+//!   records which epochs are pinned (observability + the tests' fast-path
+//!   assertions), the `Arc` drop does the freeing, and no collector or
+//!   extra dependency is involved.  The whole query engine runs on the
+//!   [`anytree::TreeView`] abstraction, so live trees and snapshots answer
+//!   through the same code; frontier selection runs on a **per-order lazy
+//!   heap** property-tested against the reference scan.  On the sharded
+//!   layer, [`anytree::ShardedAnytimeTree::pipelined_batch`] drains a
+//!   mini-batch through per-shard writer threads *while* reader threads
+//!   refine query batches against the pre-batch
+//!   [`anytree::ShardedTreeSnapshot`] — property-tested to return exactly
+//!   the pre-batch answers (`tests/snapshot_isolation.rs`).
 //! * **`bayestree`** instantiates the core with an MBR + cluster-feature
 //!   payload over raw kernel points (classification); **`clustree`**
 //!   instantiates it with decaying micro-clusters (clustering).  Each crate
@@ -124,6 +151,17 @@
 //! monotone contract) and sharded query throughput at shards 1/2/4/8; and
 //! the `anytime_query` criterion bench asserts refinement convergence plus
 //! the ≥1.5× 4-shard query-throughput smoke threshold on ≥4-CPU runners.
+//! Snapshot reads are in on every layer: `BayesTree::snapshot`,
+//! `ClusTree::snapshot`, both sharded variants and
+//! `AnytimeClassifier::snapshot` return epoch-pinned `Send + Sync` views
+//! (answers bit-identical to pin time — `tests/snapshot_isolation.rs`),
+//! both sharded trees expose `pipelined_batch` (inserts overlapped with
+//! snapshot queries), `clustree` stores an optional MBR alongside each
+//! micro-cluster CF for distance-aware *upper* density bounds (nested, so
+//! the monotone-refinement property tests cover them), `eval::pipeline`
+//! sweeps concurrent insert+query throughput at shards 1/2/4/8, and the
+//! `pipelined` criterion bench asserts that two concurrent readers cost
+//! the writer ≤20% insert throughput on ≥4-CPU runners.
 //!
 //! ## Quickstart
 //!

@@ -119,3 +119,113 @@ proptest! {
         }
     }
 }
+
+/// Every [`RefineOrder`], exercised by the lazy-heap-vs-reference-scan
+/// property tests below.
+const ALL_ORDERS: [RefineOrder; 5] = [
+    RefineOrder::BreadthFirst,
+    RefineOrder::DepthFirst,
+    RefineOrder::ClosestFirst,
+    RefineOrder::BestFirst,
+    RefineOrder::WidestBound,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The cursor's per-order lazy heap must pop **the identical element
+    /// sequence** as the reference linear scan, for every `RefineOrder`:
+    /// before each refinement the heap's choice (`peek_next`, what
+    /// `refine_query` consumes) is compared against the scan's
+    /// (`peek_next_scan`), all the way to frontier exhaustion.
+    #[test]
+    fn bayes_heap_selection_pops_the_scan_sequence(
+        points in stream_strategy(100),
+        qx in -6.0f64..6.0,
+    ) {
+        use anytime_stream_mining::anytree::TreeView;
+        let mut tree = BayesTree::new(3, geometry());
+        for chunk in points.chunks(16) {
+            tree.insert_batch(chunk.to_vec());
+        }
+        tree.set_bandwidth(vec![0.8, 0.9, 0.7]);
+        let snapshot = tree.snapshot();
+        let model = snapshot.query_model();
+        let query = vec![qx, -qx, qx * 0.5];
+        for order in ALL_ORDERS {
+            let mut cursor = snapshot.core().new_query(&model, &query);
+            let mut steps = 0usize;
+            loop {
+                let scan = cursor.peek_next_scan(order);
+                let heap = cursor.peek_next(order);
+                prop_assert_eq!(heap, scan, "{:?} diverged at step {}", order, steps);
+                if !snapshot.core().refine_query(&model, order, &mut cursor) {
+                    prop_assert!(scan.is_none());
+                    break;
+                }
+                steps += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn clustree_heap_selection_pops_the_scan_sequence(
+        points in stream_strategy(90),
+        insert_budget in 0usize..8,
+        qx in -6.0f64..6.0,
+    ) {
+        use anytime_stream_mining::anytree::TreeView;
+        let mut tree = ClusTree::new(3, ClusTreeConfig::default());
+        for (batch_idx, chunk) in points.chunks(12).enumerate() {
+            let _ = tree.insert_batch(chunk, batch_idx as f64, insert_budget);
+        }
+        let model = tree.query_model(&[1.3, 1.3, 1.3]);
+        let query = vec![qx * 0.5, qx, -qx];
+        for order in ALL_ORDERS {
+            let mut cursor = tree.core().new_query(&model, &query);
+            let mut steps = 0usize;
+            loop {
+                let scan = cursor.peek_next_scan(order);
+                let heap = cursor.peek_next(order);
+                prop_assert_eq!(heap, scan, "{:?} diverged at step {}", order, steps);
+                if !tree.core().refine_query(&model, order, &mut cursor) {
+                    prop_assert!(scan.is_none());
+                    break;
+                }
+                steps += 1;
+            }
+        }
+    }
+
+    /// Switching the order mid-query rebuilds the heap; selection must stay
+    /// scan-identical across the switch.
+    #[test]
+    fn heap_survives_order_switches_mid_query(
+        points in stream_strategy(80),
+        qx in -6.0f64..6.0,
+        switch in 0usize..5,
+    ) {
+        use anytime_stream_mining::anytree::TreeView;
+        let mut tree = BayesTree::new(3, geometry());
+        for chunk in points.chunks(16) {
+            tree.insert_batch(chunk.to_vec());
+        }
+        let snapshot = tree.snapshot();
+        let model = snapshot.query_model();
+        let query = vec![qx, qx, qx];
+        let mut cursor = snapshot.core().new_query(&model, &query);
+        let mut order = ALL_ORDERS[switch % ALL_ORDERS.len()];
+        let mut step = 0usize;
+        loop {
+            let scan = cursor.peek_next_scan(order);
+            prop_assert_eq!(cursor.peek_next(order), scan, "{:?} at step {}", order, step);
+            if !snapshot.core().refine_query(&model, order, &mut cursor) {
+                break;
+            }
+            step += 1;
+            if step.is_multiple_of(3) {
+                order = ALL_ORDERS[(switch + step) % ALL_ORDERS.len()];
+            }
+        }
+    }
+}

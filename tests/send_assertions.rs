@@ -5,12 +5,15 @@
 
 use anytime_stream_mining::anytree::{
     AnytimeTree, CheapestRouter, DescentCursor, FixedPartitionRouter, QueryCursor,
-    ShardedAnytimeTree,
+    ShardedAnytimeTree, ShardedTreeSnapshot, TreeSnapshot,
 };
 use anytime_stream_mining::bayestree::{
-    AnytimeClassifier, BayesTree, KernelSummary, ShardedBayesTree,
+    AnytimeClassifier, BayesTree, BayesTreeSnapshot, ClassifierSnapshot, KernelSummary,
+    ShardedBayesTree, ShardedBayesTreeSnapshot,
 };
-use anytime_stream_mining::clustree::{ClusTree, MicroCluster, ShardedClusTree};
+use anytime_stream_mining::clustree::{
+    ClusTree, ClusTreeSnapshot, MicroCluster, ShardedClusTree, ShardedClusTreeSnapshot,
+};
 use anytime_stream_mining::data::Dataset;
 
 fn assert_send<T: Send>() {}
@@ -57,4 +60,21 @@ fn shared_read_state_is_sync() {
     assert_sync::<AnytimeTree<MicroCluster, MicroCluster>>();
     assert_sync::<ShardedBayesTree>();
     assert_sync::<ShardedClusTree>();
+}
+
+#[test]
+fn snapshots_are_send_and_sync() {
+    // Epoch-pinned snapshots are the reader-side handoff of the pipelined
+    // mode: they are sent to reader threads and shared across scoped
+    // workers while the writers keep mutating the live trees.
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TreeSnapshot<KernelSummary, Vec<f64>>>();
+    assert_send_sync::<TreeSnapshot<MicroCluster, MicroCluster>>();
+    assert_send_sync::<ShardedTreeSnapshot<KernelSummary, Vec<f64>>>();
+    assert_send_sync::<ShardedTreeSnapshot<MicroCluster, MicroCluster>>();
+    assert_send_sync::<BayesTreeSnapshot>();
+    assert_send_sync::<ShardedBayesTreeSnapshot>();
+    assert_send_sync::<ClassifierSnapshot>();
+    assert_send_sync::<ClusTreeSnapshot>();
+    assert_send_sync::<ShardedClusTreeSnapshot>();
 }
