@@ -37,7 +37,9 @@ use crate::node::{Entry, Node, NodeId, NodeKind};
 use crate::split::split_entries;
 use crate::summary::Summary;
 use crate::tree::{AnytimeTree, InsertOutcome};
-use bt_index::rstar::choose_subtree_by;
+use bt_index::rstar::{choose_subtree_block, choose_subtree_by};
+use bt_stats::kernel::sq_dists_block;
+use bt_stats::Columns;
 
 /// The complete state of one in-flight insertion.
 ///
@@ -250,7 +252,7 @@ impl std::fmt::Display for DescentStats {
 /// counter increment instead of a sweep.
 #[derive(Debug, Clone)]
 pub(crate) struct DescentScratch<S> {
-    route: Vec<f64>,
+    route: RouteScratch,
     refreshed: Vec<u64>,
     dirty: Vec<u64>,
     dirty_has_time: Vec<bool>,
@@ -264,7 +266,7 @@ pub(crate) struct DescentScratch<S> {
 impl<S> DescentScratch<S> {
     pub(crate) fn new() -> Self {
         Self {
-            route: Vec::new(),
+            route: RouteScratch::default(),
             refreshed: Vec::new(),
             dirty: Vec::new(),
             dirty_has_time: Vec::new(),
@@ -676,40 +678,129 @@ impl<S: Summary, L: Clone> AnytimeTree<S, L> {
     }
 }
 
+/// Reusable buffers of the block routing path: the routing-point buffer plus
+/// dimension-major gather columns and per-entry output lanes (see
+/// `bt_stats::block` for the layout).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RouteScratch {
+    point: Vec<f64>,
+    cols_lo: Vec<f64>,
+    cols_hi: Vec<f64>,
+    centers: Columns,
+    lane_a: Vec<f64>,
+    lane_b: Vec<f64>,
+}
+
 /// Chooses the entry the object descends into: by R* least enlargement for
 /// MBR-routed payloads, by closest summary otherwise.
+///
+/// Both MBR routing and (for payloads opting into
+/// [`Summary::CENTER_ROUTED`]) distance routing run on the
+/// structure-of-arrays block path: the node's boxes or centres are gathered
+/// once into dimension-major columns and all children are scored in one
+/// vectorized pass ([`choose_subtree_block`] / [`sq_dists_block`]).  Both
+/// replicate the scalar arithmetic and tie-breaking exactly (first minimal
+/// wins, `NaN` never displaces the incumbent), so the chosen child is always
+/// the one the per-entry path would pick.
 pub(crate) fn route<S, M>(
     entries: &[Entry<S>],
     model: &M,
     obj: &M::Object,
-    scratch: &mut Vec<f64>,
+    scratch: &mut RouteScratch,
 ) -> usize
 where
     S: Summary,
     M: InsertModel<S>,
 {
     debug_assert!(!entries.is_empty(), "directory nodes are never empty");
-    let point = model.route_point(obj, scratch);
+    let len = entries.len();
+    let point = model.route_point(obj, &mut scratch.point);
     if S::MBR_ROUTED {
-        choose_subtree_by(
-            entries,
-            |e| {
-                e.summary
+        if len == 1 {
+            return 0;
+        }
+        let dims = point.len();
+        scratch.cols_lo.clear();
+        scratch.cols_lo.resize(dims * len, 0.0);
+        scratch.cols_hi.clear();
+        scratch.cols_hi.resize(dims * len, 0.0);
+        for (i, entry) in entries.iter().enumerate() {
+            let mbr = entry
+                .summary
+                .as_mbr()
+                .expect("MBR-routed payload exposes an MBR");
+            let (lo, hi) = (mbr.lower(), mbr.upper());
+            for d in 0..dims {
+                scratch.cols_lo[d * len + i] = lo[d];
+                scratch.cols_hi[d * len + i] = hi[d];
+            }
+        }
+        debug_assert_eq!(
+            choose_subtree_by(
+                entries,
+                |e| e
+                    .summary
                     .as_mbr()
-                    .expect("MBR-routed payload exposes an MBR")
-            },
+                    .expect("MBR-routed payload exposes an MBR"),
+                point,
+            ),
+            choose_subtree_block(
+                point,
+                &scratch.cols_lo,
+                &scratch.cols_hi,
+                len,
+                &mut scratch.lane_a.clone(),
+                &mut scratch.lane_b.clone(),
+            ),
+            "block routing diverged from the scalar reference"
+        );
+        choose_subtree_block(
             point,
+            &scratch.cols_lo,
+            &scratch.cols_hi,
+            len,
+            &mut scratch.lane_a,
+            &mut scratch.lane_b,
         )
+    } else if S::CENTER_ROUTED && len > 1 {
+        let dims = point.len();
+        scratch.centers.reset(dims * len);
+        for (i, entry) in entries.iter().enumerate() {
+            entry.summary.center_into(&mut scratch.cols_hi);
+            debug_assert_eq!(scratch.cols_hi.len(), dims);
+            for d in 0..dims {
+                scratch.centers.set(d * len + i, scratch.cols_hi[d]);
+            }
+        }
+        sq_dists_block(point, &scratch.centers, len, &mut scratch.lane_a);
+        let dists = &scratch.lane_a;
+        let mut best = 0usize;
+        for (i, &d) in dists.iter().enumerate().skip(1) {
+            if dists[best] > d {
+                best = i;
+            }
+        }
+        debug_assert_eq!(
+            scalar_route(entries, point),
+            best,
+            "block routing diverged from the scalar reference"
+        );
+        best
     } else {
-        entries
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                let da = a.summary.sq_dist_to(point);
-                let db = b.summary.sq_dist_to(point);
-                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .map(|(i, _)| i)
-            .expect("directory node has entries")
+        scalar_route(entries, point)
     }
+}
+
+/// The per-entry distance routing scan (the block path's reference).
+fn scalar_route<S: Summary>(entries: &[Entry<S>], point: &[f64]) -> usize {
+    entries
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            let da = a.summary.sq_dist_to(point);
+            let db = b.summary.sq_dist_to(point);
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|(i, _)| i)
+        .expect("directory node has entries")
 }

@@ -5,12 +5,16 @@
 //! *same* index with micro-clusters instead of kernels.  This crate owns the
 //! machinery both trees share so that it exists exactly once:
 //!
-//! * the **node arena** ([`AnytimeTree`], [`arena`]): nodes in versioned,
-//!   `Arc`-shared slots addressed by stable [`NodeId`] indices.  Every node
-//!   carries the epoch of the batch that last mutated it, and mutation is
-//!   **copy-on-write at node granularity**: a write copies the node only
-//!   while a pinned snapshot still references it (one atomic check
-//!   otherwise — the no-reader fast path never copies),
+//! * the **node arena** ([`AnytimeTree`], [`arena`]): versioned nodes laid
+//!   out in contiguous **epoch pages** (`Arc`-shared arrays of up to
+//!   [`PAGE_CAP`] nodes) behind a slot table that keeps [`NodeId`]s stable.
+//!   Every node carries the epoch of the batch that last mutated it, and
+//!   mutation is **copy-on-write at node granularity with page-granular
+//!   sharing detection**: a write mutates in place while no pinned snapshot
+//!   shares the page (one reference-count check — the no-reader fast path
+//!   never copies) and otherwise retires the old version by appending the
+//!   copy to the open page, so the nodes one batch touches land next to
+//!   each other in memory,
 //! * **epoch-pinned snapshots** ([`snapshot`]): `finish_batch` publishes a
 //!   new root epoch, [`AnytimeTree::snapshot`] pins it (a spine clone plus
 //!   one registry pin) and returns an owned, `Send + Sync`
@@ -18,7 +22,11 @@
 //!   while later batches mutate the tree.  Retired node versions are owned
 //!   only by the snapshots that pinned them, so they are reclaimed exactly
 //!   when the last such snapshot drops ([`EpochRegistry`] records the pins,
-//!   the `Arc` drop frees the memory),
+//!   the `Arc` drop frees the memory).  A held snapshot catches up in place
+//!   via [`TreeSnapshot::refresh`]: only the spine chunks and pages the
+//!   intervening batches actually replaced are re-pinned, everything
+//!   untouched is reused pointer-for-pointer ([`SnapshotRefresh`] reports
+//!   the reuse counters),
 //! * **entries generic over a payload** ([`Summary`]): merge / weight /
 //!   distance / decay, plus an optional MBR hook that routes descent and
 //!   splits through `bt_index::rstar` choose-subtree and the R* topological
@@ -53,6 +61,18 @@
 //!   `Summary` + `QueryModel`.  The whole engine runs on the [`TreeView`]
 //!   abstraction, so live trees and pinned [`TreeSnapshot`]s answer
 //!   through literally the same code,
+//! * the **structure-of-arrays scoring layout** ([`SummaryBlock`],
+//!   [`BlockScratch`], re-exported from `bt_stats::block`): the hot "score
+//!   every entry of this node" step — subtree routing in the descent engine
+//!   and frontier scoring/bounds in the query engine — gathers the node's
+//!   summaries into reusable dimension-major weight/mean/variance/box
+//!   columns and runs the batch kernels of `bt_stats::kernel` over all
+//!   entries in one autovectorizable pass ([`QueryModel::score_entries`],
+//!   [`Summary::CENTER_ROUTED`]).  The scalar per-entry path remains the
+//!   behavioural reference: block overrides are bit-identical in the
+//!   default `f64` column mode (property-tested), and the opt-in
+//!   [`BlockPrecision::F32`] mode narrows only the stored columns while
+//!   every accumulation stays scalar `f64`,
 //! * the **sharding layer** ([`shard`]): a [`ShardedAnytimeTree`] partitions
 //!   the object space into `K` independent shard trees behind a pluggable
 //!   [`ShardRouter`] and descends every shard's share of a mini-batch in
@@ -91,13 +111,17 @@ pub mod split;
 pub mod summary;
 pub mod tree;
 
-pub use arena::{EpochPin, EpochRegistry, NodeArena, VersionedNode};
+pub use arena::{
+    ArenaSpine, EpochPin, EpochRegistry, NodeArena, SnapshotRefresh, VersionedNode, PAGE_CAP,
+    SLOT_CHUNK,
+};
+pub use bt_stats::{BlockPrecision, BlockScratch, Columns, SummaryBlock};
 pub use descent::{BatchOutcome, CursorStep, DepthHistogram, DescentCursor, DescentStats};
 pub use model::InsertModel;
 pub use node::{Entry, Node, NodeId, NodeKind};
 pub use query::{
     ElementOrigin, OutlierScore, OutlierVerdict, QueryAnswer, QueryCursor, QueryElement,
-    QueryModel, QueryStats, RefineOrder, TreeView,
+    QueryModel, QueryStats, RefineOrder, SummaryScore, TreeView,
 };
 pub use shard::{
     CheapestRouter, FixedPartitionRouter, PipelinedOutcome, ShardRouter, ShardedAnytimeTree,

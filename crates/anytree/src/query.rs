@@ -48,10 +48,31 @@
 //! and the verdict against a threshold becomes certain as soon as the
 //! interval clears it.
 
-use crate::node::{Node, NodeId, NodeKind};
+use crate::node::{Entry, Node, NodeId, NodeKind};
 use crate::summary::Summary;
 use crate::tree::AnytimeTree;
+use bt_stats::BlockScratch;
 use std::collections::BinaryHeap;
+
+/// The complete score of one directory summary against a query point — what
+/// the frontier needs to admit the summary as an element.
+///
+/// Produced per node by [`QueryModel::score_entries`]; the default
+/// implementation fills it from the per-summary model methods, block-scoring
+/// models fill it column-wise for all entries of a node at once.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SummaryScore {
+    /// The summary's (possibly decayed) weight.
+    pub weight: f64,
+    /// Point estimate of the summary's contribution.
+    pub contribution: f64,
+    /// Certain lower bound on the fully refined contribution.
+    pub lower: f64,
+    /// Certain upper bound on the fully refined contribution.
+    pub upper: f64,
+    /// Geometric priority (squared distance from query to region).
+    pub min_dist_sq: f64,
+}
 
 /// The query-side policy: how summaries and leaf items are scored against a
 /// query point.
@@ -96,6 +117,41 @@ pub trait QueryModel<S: Summary> {
     /// The summary describing a whole (non-empty) leaf node — used to seed
     /// the frontier when the root itself is a leaf.
     fn summarize_leaf_items(&self, items: &[Self::LeafItem]) -> S;
+
+    /// Scores every entry of one directory node against `query` in a single
+    /// call, filling `out` with one [`SummaryScore`] per entry (in entry
+    /// order; `out` is cleared first).
+    ///
+    /// The default delegates to the per-summary methods and must stay the
+    /// behavioural reference: an override may only change *how* the scores
+    /// are computed (e.g. gathering the node into `scratch`'s
+    /// structure-of-arrays block and running the batch kernels of
+    /// `bt_stats::kernel` over all entries at once), never their values
+    /// beyond the override's documented precision mode.
+    fn score_entries(
+        &self,
+        query: &[f64],
+        entries: &[Entry<S>],
+        scratch: &mut BlockScratch,
+        out: &mut Vec<SummaryScore>,
+    ) {
+        let _ = scratch;
+        out.clear();
+        out.reserve(entries.len());
+        for entry in entries {
+            let summary = &entry.summary;
+            let contribution = self.summary_contribution(query, summary);
+            let (lower, upper) = self.summary_bounds(query, summary);
+            let min_dist_sq = self.summary_sq_dist(query, summary);
+            out.push(SummaryScore {
+                weight: summary.weight(),
+                contribution,
+                lower,
+                upper,
+                min_dist_sq,
+            });
+        }
+    }
 }
 
 /// Which frontier element to refine next.
@@ -399,6 +455,10 @@ pub struct QueryCursor {
     /// (`usize::MAX` once refined away) — heap entries stay valid across
     /// the frontier's `swap_remove`s.
     seq_index: Vec<usize>,
+    /// Structure-of-arrays scratch reused by block-scoring models.
+    block: BlockScratch,
+    /// Per-node score outputs of [`QueryModel::score_entries`].
+    scores: Vec<SummaryScore>,
 }
 
 impl QueryCursor {
@@ -641,23 +701,65 @@ impl QueryCursor {
         let contribution = model.summary_contribution(&self.query, summary);
         let (lower, upper) = model.summary_bounds(&self.query, summary);
         let min_dist_sq = model.summary_sq_dist(&self.query, summary);
-        let seq = self.bump_seq();
-        self.elements.push(QueryElement {
-            origin,
-            child,
+        let score = SummaryScore {
             weight: summary.weight(),
             contribution,
             lower,
             upper,
             min_dist_sq,
+        };
+        self.push_scored(child, &score, origin, depth);
+    }
+
+    /// Admits one pre-scored summary to the frontier (the shared tail of
+    /// [`Self::push_summary`] and the block scoring path).
+    fn push_scored(
+        &mut self,
+        child: Option<NodeId>,
+        score: &SummaryScore,
+        origin: ElementOrigin,
+        depth: usize,
+    ) {
+        let seq = self.bump_seq();
+        self.elements.push(QueryElement {
+            origin,
+            child,
+            weight: score.weight,
+            contribution: score.contribution,
+            lower: score.lower,
+            upper: score.upper,
+            min_dist_sq: score.min_dist_sq,
             depth,
             seq,
         });
         self.after_push();
-        self.estimate.add(contribution);
-        self.lower.add(lower);
-        self.upper.add(upper);
+        self.estimate.add(score.contribution);
+        self.lower.add(score.lower);
+        self.upper.add(score.upper);
         self.stats.elements_scored += 1;
+    }
+
+    /// Scores all entries of directory node `node` in one
+    /// [`QueryModel::score_entries`] call and admits them to the frontier —
+    /// the block-scoring entry point used by [`TreeView::begin_query`] and
+    /// [`TreeView::refine_query`].
+    fn push_entries<S, M>(&mut self, model: &M, node: NodeId, entries: &[Entry<S>], depth: usize)
+    where
+        S: Summary,
+        M: QueryModel<S>,
+    {
+        model.score_entries(&self.query, entries, &mut self.block, &mut self.scores);
+        debug_assert_eq!(self.scores.len(), entries.len());
+        let scores = std::mem::take(&mut self.scores);
+        for (index, (entry, score)) in entries.iter().zip(&scores).enumerate() {
+            self.push_scored(
+                Some(entry.child),
+                score,
+                ElementOrigin::Entry { node, index },
+                depth,
+            );
+        }
+        self.scores = scores;
     }
 
     fn push_leaf_item<S, M>(
@@ -765,15 +867,7 @@ pub trait TreeView<S: Summary, L> {
         let root = self.root();
         match &self.node(root).kind {
             NodeKind::Inner { entries } => {
-                for (index, entry) in entries.iter().enumerate() {
-                    cursor.push_summary(
-                        model,
-                        Some(entry.child),
-                        &entry.summary,
-                        ElementOrigin::Entry { node: root, index },
-                        1,
-                    );
-                }
+                cursor.push_entries(model, root, entries, 1);
             }
             NodeKind::Leaf { items } => {
                 if !items.is_empty() {
@@ -832,15 +926,7 @@ pub trait TreeView<S: Summary, L> {
         let child_depth = element.depth + 1;
         match &self.node(child).kind {
             NodeKind::Inner { entries } => {
-                for (index, entry) in entries.iter().enumerate() {
-                    cursor.push_summary(
-                        model,
-                        Some(entry.child),
-                        &entry.summary,
-                        ElementOrigin::Entry { node: child, index },
-                        child_depth,
-                    );
-                }
+                cursor.push_entries(model, child, entries, child_depth);
             }
             NodeKind::Leaf { items } => {
                 for (index, item) in items.iter().enumerate() {

@@ -36,6 +36,7 @@
 //! overlap on the same index without locks, and the readers' answers are
 //! exactly the pre-batch answers (`tests/snapshot_isolation.rs`).
 
+use crate::arena::SnapshotRefresh;
 use crate::descent::{BatchOutcome, DepthHistogram, DescentStats};
 use crate::model::InsertModel;
 use crate::query::{
@@ -894,6 +895,35 @@ impl<S: Summary, L> ShardedTreeSnapshot<S, L> {
     #[must_use]
     pub fn epochs(&self) -> Vec<u64> {
         self.shards.iter().map(TreeSnapshot::epoch).collect()
+    }
+
+    /// Incrementally moves every shard's snapshot forward to `tree`'s
+    /// current state ([`TreeSnapshot::refresh`]) and returns the summed
+    /// [`SnapshotRefresh`] counters: only the slot chunks and epoch pages
+    /// touched since the pins are replaced, shard by shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tree` is not the sharded tree this snapshot was taken
+    /// from (shard count or epoch registries differ).
+    pub fn refresh<R: ShardRouter<S>>(
+        &mut self,
+        tree: &ShardedAnytimeTree<S, L, R>,
+    ) -> SnapshotRefresh {
+        assert_eq!(
+            self.shards.len(),
+            tree.shards.len(),
+            "snapshot refreshed against a different sharded tree"
+        );
+        let mut total = SnapshotRefresh::default();
+        for (snapshot, shard) in self.shards.iter_mut().zip(&tree.shards) {
+            let report = snapshot.refresh(shard);
+            total.chunks_reused += report.chunks_reused;
+            total.chunks_refreshed += report.chunks_refreshed;
+            total.pages_reused += report.pages_reused;
+            total.pages_refreshed += report.pages_refreshed;
+        }
+        total
     }
 
     /// Refines one query's per-shard frontiers in parallel against the

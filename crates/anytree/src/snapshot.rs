@@ -1,30 +1,40 @@
 //! Epoch-pinned tree snapshots: query a tree while a batch is in flight.
 //!
 //! A [`TreeSnapshot`] is the read side of the epoch-versioned arena
-//! ([`crate::arena`]): taking one costs a clone of the slot spine
-//! (`O(nodes)` pointer copies — no node payload is touched) plus one pin of
-//! the published epoch in the tree's [`EpochRegistry`].  The snapshot is an
-//! owned value — it borrows nothing from the tree — so it can be sent to
-//! reader threads (`Send + Sync` whenever the payloads are) and queried
-//! through the full anytime engine ([`TreeView`]) while the writer keeps
-//! inserting batches into the live tree.
+//! ([`crate::arena`]): taking one costs an [`ArenaSpine`] capture
+//! (`O(chunks + pages)` pointer copies — no node payload is touched) plus
+//! one pin of the published epoch in the tree's [`EpochRegistry`].  The
+//! snapshot is an owned value — it borrows nothing from the tree — so it
+//! can be sent to reader threads (`Send + Sync` whenever the payloads are)
+//! and queried through the full anytime engine ([`TreeView`]) while the
+//! writer keeps inserting batches into the live tree.
 //!
 //! **Isolation guarantee**: every answer computed against a snapshot is
 //! bit-identical to the answer the live tree would have given at the moment
 //! the snapshot was taken.  The writer never mutates a node the snapshot
-//! can reach — copy-on-write replaces the slot's `Arc` and leaves the
-//! pinned version untouched (`tests/snapshot_isolation.rs` locks this down
-//! for both tree instantiations and their sharded variants).
+//! can reach — copy-on-write retires the node onto a fresh epoch page and
+//! repoints the slot table, leaving the pinned page untouched
+//! (`tests/snapshot_isolation.rs` locks this down for both tree
+//! instantiations and their sharded variants).
 //!
-//! **Reclamation rule**: a retired node version is owned only by the
-//! snapshot spines that reference it, so its memory is freed exactly when
-//! the last snapshot taken before the version was replaced is dropped.  The
-//! registry pin is released by the snapshot's `Drop`; no collector runs.
+//! **Reclamation rule**: a retired node version lives on an epoch page
+//! owned only by the snapshot spines that reference it, so its memory is
+//! freed exactly when the last snapshot taken before the version was
+//! replaced is dropped.  The registry pin is released by the snapshot's
+//! `Drop`; no collector runs.
+//!
+//! **Incremental refresh** ([`TreeSnapshot::refresh`]): a long-lived reader
+//! that wants to move its snapshot forward does not pay a fresh capture —
+//! the spine is diffed against the live arena by pointer equality and only
+//! the slot chunks and epoch pages touched since the pin are replaced; the
+//! untouched majority is reused as-is.  The returned [`SnapshotRefresh`]
+//! counters make the reuse observable.
 
-use crate::arena::{EpochPin, EpochRegistry, VersionedNode};
+use crate::arena::{ArenaSpine, EpochPin, EpochRegistry, SnapshotRefresh};
 use crate::node::{Node, NodeId};
 use crate::query::TreeView;
 use crate::summary::Summary;
+use crate::tree::AnytimeTree;
 use std::sync::Arc;
 
 /// A cheap, immutable, point-in-time view of an [`AnytimeTree`]
@@ -35,7 +45,7 @@ use std::sync::Arc;
 /// queried through [`TreeView`] exactly like the live tree.
 #[derive(Debug, Clone)]
 pub struct TreeSnapshot<S: Summary, L> {
-    slots: Vec<Arc<VersionedNode<S, L>>>,
+    spine: ArenaSpine<S, L>,
     root: NodeId,
     height: usize,
     dims: usize,
@@ -47,7 +57,7 @@ impl<S: Summary, L> TreeSnapshot<S, L> {
     /// [`AnytimeTree::snapshot`](crate::AnytimeTree::snapshot)).
     #[must_use]
     pub(crate) fn capture(
-        slots: Vec<Arc<VersionedNode<S, L>>>,
+        spine: ArenaSpine<S, L>,
         root: NodeId,
         height: usize,
         dims: usize,
@@ -55,12 +65,38 @@ impl<S: Summary, L> TreeSnapshot<S, L> {
         registry: Arc<EpochRegistry>,
     ) -> Self {
         Self {
-            slots,
+            spine,
             root,
             height,
             dims,
             pin: EpochPin::new(registry, epoch),
         }
+    }
+
+    /// Moves this snapshot forward to `tree`'s current state **in place**,
+    /// replacing only the slot chunks and epoch pages the tree has touched
+    /// since this snapshot was taken (or last refreshed) and reusing the
+    /// untouched rest by pointer equality.  The pin is repointed to the
+    /// tree's current published epoch.
+    ///
+    /// Equivalent to dropping this snapshot and taking a fresh one, but the
+    /// diff makes the cost proportional to the write delta instead of the
+    /// spine size — and the returned [`SnapshotRefresh`] counters prove it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tree` is not the tree this snapshot was taken from (the
+    /// epoch registries differ).
+    pub fn refresh(&mut self, tree: &AnytimeTree<S, L>) -> SnapshotRefresh {
+        assert!(
+            self.pin.same_registry(tree.arena().registry()),
+            "snapshot refreshed against a different tree"
+        );
+        let report = tree.arena().refresh_spine(&mut self.spine);
+        self.root = tree.root();
+        self.height = tree.height();
+        self.pin.repin(tree.epoch());
+        report
     }
 
     /// Dimensionality of the indexed data.
@@ -90,7 +126,7 @@ impl<S: Summary, L> TreeSnapshot<S, L> {
     /// Read access to a node as of snapshot time.
     #[must_use]
     pub fn node(&self, id: NodeId) -> &Node<S, L> {
-        &self.slots[id].node
+        self.spine.node(id)
     }
 
     /// The version stamp of a node as of snapshot time (the epoch of the
@@ -98,13 +134,13 @@ impl<S: Summary, L> TreeSnapshot<S, L> {
     /// reachable nodes of a snapshot taken between batches).
     #[must_use]
     pub fn node_version(&self, id: NodeId) -> u64 {
-        self.slots[id].version
+        self.spine.version(id)
     }
 
     /// Number of arena slots captured (including orphaned nodes).
     #[must_use]
     pub fn num_slots(&self) -> usize {
-        self.slots.len()
+        self.spine.len()
     }
 }
 
@@ -361,6 +397,53 @@ mod tests {
     fn snapshots_are_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<crate::TreeSnapshot<Blob, Blob>>();
+    }
+
+    #[test]
+    fn refresh_catches_up_and_reuses_untouched_storage() {
+        let mut tree = AnytimeTree::new(2, geometry());
+        let mut model = BlobModel;
+        for chunk in stream(200).chunks(25) {
+            let _ = tree.insert_batch(&mut model, chunk.to_vec(), usize::MAX);
+        }
+        let mut snapshot = tree.snapshot();
+        let _ = tree.insert_batch(&mut model, stream(50), usize::MAX);
+
+        let report = snapshot.refresh(&tree);
+        assert_eq!(snapshot.epoch(), tree.epoch());
+        assert_eq!(tree.pinned_snapshots(), 1, "refresh repins, not re-pins");
+        assert_eq!(tree.oldest_pinned_epoch(), Some(tree.epoch()));
+        // The refreshed snapshot answers exactly like the live tree.
+        for query in [[0.3, 0.1], [20.0, 20.2], [10.0, 10.0]] {
+            let live =
+                tree.query_with_budget(&BlobQueryModel, &query, RefineOrder::BestFirst, usize::MAX);
+            let fresh = snapshot.query_with_budget(
+                &BlobQueryModel,
+                &query,
+                RefineOrder::BestFirst,
+                usize::MAX,
+            );
+            assert_eq!(fresh, live);
+        }
+        // A refresh right after catching up reuses everything.
+        let idle = snapshot.refresh(&tree);
+        assert_eq!(idle.chunks_refreshed, 0);
+        assert_eq!(idle.pages_refreshed, 0);
+        assert!(idle.chunks_reused > 0 && idle.pages_reused > 0);
+        // The first refresh reused at least as much as it replaced would
+        // suggest: some storage was untouched by the 50-object batch.
+        assert!(report.chunks_reused + report.chunks_refreshed >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different tree")]
+    fn refresh_against_a_foreign_tree_panics() {
+        let mut tree = AnytimeTree::new(2, geometry());
+        let mut model = BlobModel;
+        let _ = tree.insert_batch(&mut model, stream(30), usize::MAX);
+        let mut snapshot = tree.snapshot();
+        let other: AnytimeTree<Blob, Blob> = AnytimeTree::new(2, geometry());
+        let _ = snapshot.refresh(&other);
     }
 
     #[test]

@@ -51,4 +51,26 @@ pub trait Summary: Clone {
     fn as_mbr(&self) -> Option<&Mbr> {
         None
     }
+
+    /// Whether [`center_into`](Summary::center_into) reproduces the exact
+    /// arithmetic of [`sq_dist_to`](Summary::sq_dist_to), so descent may
+    /// route through the structure-of-arrays block path (gather all entry
+    /// centres once, compute all squared distances in one vectorized pass)
+    /// and still pick bit-identical subtrees.
+    ///
+    /// Leave `false` (the default) if `sq_dist_to` is anything other than
+    /// the plain squared Euclidean distance to `center_into`'s output.
+    const CENTER_ROUTED: bool = false;
+
+    /// Writes the representative centre into `out` (cleared and refilled)
+    /// without allocating — the gather hook for the block routing path.
+    ///
+    /// The default allocates via [`center`](Summary::center); payloads
+    /// opting into [`CENTER_ROUTED`](Summary::CENTER_ROUTED) should override
+    /// it with an allocation-free version whose per-dimension arithmetic
+    /// matches `sq_dist_to` exactly.
+    fn center_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.center());
+    }
 }

@@ -157,9 +157,9 @@ impl<S: Summary, L> AnytimeTree<S, L> {
     }
 
     /// Takes a cheap, immutable, point-in-time snapshot of the tree: the
-    /// slot spine is cloned (`O(nodes)` pointer copies, no payload is
-    /// touched) and the current published epoch is pinned in the shared
-    /// [`EpochRegistry`](crate::EpochRegistry).
+    /// storage spine is captured (`O(chunks + pages)` pointer copies, no
+    /// node payload is touched) and the current published epoch is pinned
+    /// in the shared [`EpochRegistry`](crate::EpochRegistry).
     ///
     /// The snapshot is `Send + Sync` (when the payloads are) and serves the
     /// full anytime query engine via [`TreeView`](crate::TreeView) while
@@ -174,7 +174,7 @@ impl<S: Summary, L> AnytimeTree<S, L> {
     #[must_use]
     pub fn snapshot(&self) -> TreeSnapshot<S, L> {
         TreeSnapshot::capture(
-            self.arena.snapshot_slots(),
+            self.arena.snapshot_spine(),
             self.root,
             self.height,
             self.dims,
@@ -207,6 +207,10 @@ impl<S: Summary, L> AnytimeTree<S, L> {
 
     pub(crate) fn arena_len(&self) -> usize {
         self.arena.len()
+    }
+
+    pub(crate) fn arena(&self) -> &NodeArena<S, L> {
+        &self.arena
     }
 
     pub(crate) fn scratch(&self) -> &DescentScratch<S> {

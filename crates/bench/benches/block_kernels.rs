@@ -1,0 +1,218 @@
+//! Criterion bench: scalar vs structure-of-arrays scoring of one directory
+//! node.
+//!
+//! The hot loop of every anytime query is "score all entries of the node I
+//! just refined".  The scalar reference walks the entries one by one and
+//! rebuilds a diagonal Gaussian (two `Vec` allocations plus per-dimension
+//! `ln`/`exp`) for each; the block path gathers the node into a reusable
+//! dimension-major [`bt_stats::SummaryBlock`] and runs the batch kernels of
+//! `bt_stats::kernel` over all entries at once.
+//!
+//! Besides the timed groups the bench measures the scalar-vs-block ratio on
+//! a 64-entry node directly and asserts the >= 1.5x speedup claim as a smoke
+//! threshold, so `cargo bench --bench block_kernels -- --test` fails if a
+//! refactor quietly loses the layout win.
+
+use bayestree::query::KernelQueryModel;
+use bayestree::KernelSummary;
+use bt_anytree::{Entry, QueryModel, Summary, SummaryScore};
+use bt_stats::BlockScratch;
+use clustree::{ClusQueryModel, MicroCluster};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+const DIMS: usize = 8;
+const NODE_LEN: usize = 64;
+const POINTS_PER_ENTRY: usize = 16;
+/// Required block-over-scalar speedup when scoring a 64-entry node.
+const SMOKE_SPEEDUP: f64 = 1.5;
+
+/// Tiny deterministic generator so the bench needs no RNG dependency.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn point(&mut self, center: f64) -> Vec<f64> {
+        (0..DIMS).map(|_| center + self.next_f64()).collect()
+    }
+}
+
+fn kernel_entries() -> Vec<Entry<KernelSummary>> {
+    let mut rng = SplitMix(0x5eed);
+    (0..NODE_LEN)
+        .map(|i| {
+            let center = (i % 7) as f64;
+            let points: Vec<Vec<f64>> = (0..POINTS_PER_ENTRY).map(|_| rng.point(center)).collect();
+            let summary = KernelSummary::from_points(&points, DIMS).expect("non-empty point batch");
+            Entry::new(summary, i)
+        })
+        .collect()
+}
+
+fn clus_entries() -> Vec<Entry<MicroCluster>> {
+    let mut rng = SplitMix(0xc1a5_7e4d);
+    (0..NODE_LEN)
+        .map(|i| {
+            let center = (i % 7) as f64;
+            let mut mc = MicroCluster::from_point(&rng.point(center), 0.0);
+            for t in 1..POINTS_PER_ENTRY {
+                mc.insert(&rng.point(center), t as f64, 0.0);
+            }
+            Entry::new(mc, i)
+        })
+        .collect()
+}
+
+/// The scalar reference: the per-summary methods the default
+/// [`QueryModel::score_entries`] delegates to, entry by entry.
+fn score_scalar<S, M>(model: &M, query: &[f64], entries: &[Entry<S>], out: &mut Vec<SummaryScore>)
+where
+    S: Summary,
+    M: QueryModel<S>,
+{
+    out.clear();
+    for entry in entries {
+        let summary = &entry.summary;
+        let (lower, upper) = model.summary_bounds(query, summary);
+        out.push(SummaryScore {
+            weight: summary.weight(),
+            contribution: model.summary_contribution(query, summary),
+            lower,
+            upper,
+            min_dist_sq: model.summary_sq_dist(query, summary),
+        });
+    }
+}
+
+/// Best-of-5 wall-clock seconds for `reps` runs of one scoring closure.
+fn best_of_5(reps: usize, mut score: impl FnMut()) -> f64 {
+    (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..reps {
+                score();
+            }
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Measures the block-over-scalar speedup on a 64-entry node and asserts the
+/// smoke threshold.
+fn report_block_speedup() {
+    let entries = kernel_entries();
+    let bandwidth = vec![0.75; DIMS];
+    let model = KernelQueryModel::new(NODE_LEN * POINTS_PER_ENTRY, &bandwidth);
+    let query = vec![3.25; DIMS];
+    let mut scratch = BlockScratch::new();
+    let mut out = Vec::new();
+
+    // Same values either way (the block override is bit-exact in f64 mode),
+    // so the ratio compares pure scoring cost.
+    let reps = 2_000;
+    let scalar = best_of_5(reps, || {
+        score_scalar(&model, black_box(&query), black_box(&entries), &mut out);
+        black_box(&out);
+    });
+    let block = best_of_5(reps, || {
+        model.score_entries(
+            black_box(&query),
+            black_box(&entries),
+            &mut scratch,
+            &mut out,
+        );
+        black_box(&out);
+    });
+    let speedup = scalar / block.max(1e-12);
+    eprintln!(
+        "block kernels: {NODE_LEN}-entry node, {DIMS} dims: scalar {:.2}us vs block {:.2}us \
+         per node -> speedup {speedup:.2}x (smoke threshold {SMOKE_SPEEDUP}x)",
+        scalar / reps as f64 * 1e6,
+        block / reps as f64 * 1e6,
+    );
+    assert!(
+        speedup >= SMOKE_SPEEDUP,
+        "structure-of-arrays scoring regressed: {speedup:.2}x < {SMOKE_SPEEDUP}x \
+         on a {NODE_LEN}-entry node"
+    );
+}
+
+fn block_kernel_benchmarks(c: &mut Criterion) {
+    report_block_speedup();
+
+    let bandwidth = vec![0.75; DIMS];
+    let query = vec![3.25; DIMS];
+    let mut scratch = BlockScratch::new();
+    let mut out = Vec::new();
+
+    let entries = kernel_entries();
+    let model = KernelQueryModel::new(NODE_LEN * POINTS_PER_ENTRY, &bandwidth);
+    let mut group = c.benchmark_group("bayestree_score_node");
+    group.bench_function(BenchmarkId::from_parameter("scalar"), |b| {
+        b.iter(|| {
+            score_scalar(&model, black_box(&query), black_box(&entries), &mut out);
+            out.len()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("block"), |b| {
+        b.iter(|| {
+            model.score_entries(
+                black_box(&query),
+                black_box(&entries),
+                &mut scratch,
+                &mut out,
+            );
+            out.len()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("block_f32"), |b| {
+        let narrow = KernelQueryModel::new(NODE_LEN * POINTS_PER_ENTRY, &bandwidth)
+            .with_precision(bt_stats::BlockPrecision::F32);
+        let mut scratch = BlockScratch::with_precision(bt_stats::BlockPrecision::F32);
+        b.iter(|| {
+            narrow.score_entries(
+                black_box(&query),
+                black_box(&entries),
+                &mut scratch,
+                &mut out,
+            );
+            out.len()
+        })
+    });
+    group.finish();
+
+    let entries = clus_entries();
+    let total: f64 = entries.iter().map(|e| e.summary.weight()).sum();
+    let model = ClusQueryModel::new(total, bandwidth.clone(), 0.0);
+    let mut group = c.benchmark_group("clustree_score_node");
+    group.bench_function(BenchmarkId::from_parameter("scalar"), |b| {
+        b.iter(|| {
+            score_scalar(&model, black_box(&query), black_box(&entries), &mut out);
+            out.len()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("block"), |b| {
+        b.iter(|| {
+            model.score_entries(
+                black_box(&query),
+                black_box(&entries),
+                &mut scratch,
+                &mut out,
+            );
+            out.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, block_kernel_benchmarks);
+criterion_main!(benches);

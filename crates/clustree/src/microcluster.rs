@@ -201,6 +201,15 @@ pub struct DecayCtx {
 impl bt_anytree::Summary for MicroCluster {
     type Ctx = DecayCtx;
 
+    /// Micro-clusters route by squared centre distance, and
+    /// [`MicroCluster::center_into`] reproduces
+    /// [`ClusterFeature::sq_dist_mean_to`](bt_stats::ClusterFeature::sq_dist_mean_to)'s
+    /// arithmetic exactly (`ls * (1/n)`, zeros when empty), so descent may
+    /// gather all entry centres into one structure-of-arrays block and pick
+    /// subtrees with the vectorized distance kernel — bit-identically to
+    /// the scalar scan.
+    const CENTER_ROUTED: bool = true;
+
     fn merge(&mut self, other: &Self, ctx: DecayCtx) {
         MicroCluster::merge(self, other, ctx.lambda);
     }
@@ -219,6 +228,10 @@ impl bt_anytree::Summary for MicroCluster {
 
     fn center(&self) -> Vec<f64> {
         MicroCluster::center(self)
+    }
+
+    fn center_into(&self, out: &mut Vec<f64>) {
+        MicroCluster::center_into(self, out);
     }
 }
 

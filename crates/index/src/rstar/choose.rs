@@ -45,6 +45,65 @@ where
     best
 }
 
+/// Structure-of-arrays variant of [`choose_subtree_by`]: the child boxes
+/// arrive as dimension-major `lower` / `upper` columns (`dim * len + entry`,
+/// the gather produced by the descent scratch), and areas / grown areas for
+/// all `len` children are accumulated in one autovectorizable pass per
+/// dimension before a single selection scan.
+///
+/// The arithmetic replicates the scalar path exactly — per-child area and
+/// point-extended area are products over dimensions in ascending order
+/// (starting from `1.0`, as `Iterator::product` does), enlargement is their
+/// difference, and the selection scan keeps the *first* child with strictly
+/// smaller enlargement, breaking ties by strictly smaller area — so the
+/// chosen index is always identical to [`choose_subtree_by`]'s.
+///
+/// `areas` and `grown` are caller-owned scratch, cleared and refilled.
+///
+/// # Panics
+///
+/// Panics if `len` is zero.
+#[must_use]
+pub fn choose_subtree_block(
+    point: &[f64],
+    lower: &[f64],
+    upper: &[f64],
+    len: usize,
+    areas: &mut Vec<f64>,
+    grown: &mut Vec<f64>,
+) -> usize {
+    assert!(len > 0, "cannot choose among zero children");
+    debug_assert_eq!(lower.len(), point.len() * len);
+    debug_assert_eq!(upper.len(), point.len() * len);
+    areas.clear();
+    areas.resize(len, 1.0);
+    grown.clear();
+    grown.resize(len, 1.0);
+    for (d, &p) in point.iter().enumerate() {
+        let lcol = &lower[d * len..(d + 1) * len];
+        let ucol = &upper[d * len..(d + 1) * len];
+        for i in 0..len {
+            let lo = lcol[i];
+            let hi = ucol[i];
+            areas[i] *= hi - lo;
+            grown[i] *= hi.max(p) - lo.min(p);
+        }
+    }
+    let mut best = 0usize;
+    let mut best_enlargement = f64::INFINITY;
+    let mut best_area = f64::INFINITY;
+    for i in 0..len {
+        let enlargement = grown[i] - areas[i];
+        let area = areas[i];
+        if enlargement < best_enlargement || (enlargement == best_enlargement && area < best_area) {
+            best = i;
+            best_enlargement = enlargement;
+            best_area = area;
+        }
+    }
+    best
+}
+
 /// Chooses the child whose MBR gains the least *overlap* with its siblings
 /// when enlarged to cover `point` — the R* refinement used at the level just
 /// above the leaves.  Falls back to least enlargement on ties.
@@ -131,5 +190,49 @@ mod tests {
     #[should_panic(expected = "zero children")]
     fn empty_children_panics() {
         let _ = choose_subtree(&[], &[0.0]);
+    }
+
+    /// Gathers boxes into dimension-major columns and runs the block chooser.
+    fn choose_block(kids: &[Mbr], point: &[f64]) -> usize {
+        let dims = point.len();
+        let len = kids.len();
+        let mut lower = vec![0.0; dims * len];
+        let mut upper = vec![0.0; dims * len];
+        for (i, mbr) in kids.iter().enumerate() {
+            for d in 0..dims {
+                lower[d * len + i] = mbr.lower()[d];
+                upper[d * len + i] = mbr.upper()[d];
+            }
+        }
+        let (mut areas, mut grown) = (Vec::new(), Vec::new());
+        choose_subtree_block(point, &lower, &upper, len, &mut areas, &mut grown)
+    }
+
+    #[test]
+    fn block_chooser_matches_scalar_everywhere() {
+        // A grid of boxes with deliberate exact ties (identical boxes,
+        // nested boxes, zero-area boxes) probed at many points.
+        let kids = vec![
+            Mbr::new(vec![0.0, 0.0], vec![4.0, 4.0]),
+            Mbr::new(vec![0.0, 0.0], vec![2.0, 2.0]),
+            Mbr::new(vec![0.0, 0.0], vec![2.0, 2.0]),
+            Mbr::new(vec![1.0, 1.0], vec![1.0, 1.0]),
+            Mbr::new(vec![5.0, 5.0], vec![6.0, 6.5]),
+            Mbr::new(vec![-3.0, -2.0], vec![-1.0, 7.0]),
+        ];
+        for ix in -8..16 {
+            for iy in -8..16 {
+                let p = [ix as f64 * 0.7, iy as f64 * 0.7];
+                let scalar = choose_subtree(&kids, &p);
+                let block = choose_block(&kids, &p);
+                assert_eq!(scalar, block, "divergence at {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_chooser_single_child() {
+        let kids = vec![Mbr::new(vec![0.0], vec![1.0])];
+        assert_eq!(choose_block(&kids, &[9.0]), 0);
     }
 }

@@ -14,6 +14,6 @@ pub mod choose;
 pub mod point_tree;
 pub mod split;
 
-pub use choose::{choose_subtree, choose_subtree_by};
+pub use choose::{choose_subtree, choose_subtree_block, choose_subtree_by};
 pub use point_tree::PointRTree;
 pub use split::{quadratic_split, rstar_split, rstar_split_by, SplitResult};

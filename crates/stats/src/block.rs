@@ -1,0 +1,451 @@
+//! Structure-of-arrays summary blocks: dimension-major columns over one
+//! node's entries, so the hot kernels evaluate a whole node in one pass.
+//!
+//! The anytime engines spend their time scoring the entries of one directory
+//! node against one point: per-entry Gaussian log-kernels, squared distances
+//! and MBR bound kernels.  Stored entry-major (`Vec<f64>` per summary) those
+//! evaluations are one scattered dot product per entry.  A [`SummaryBlock`]
+//! regathers the node into **dimension-major columns** — for a node of `n`
+//! entries over `d` dimensions, column value `(dim, entry)` lives at index
+//! `dim * n + entry` — so the batch kernels in [`crate::kernel`]
+//! ([`crate::kernel::gaussian_log_terms_block`],
+//! [`crate::kernel::sq_dists_block`],
+//! [`crate::kernel::nearest_point_log_kernels_block`], …) stream each
+//! column once, hoist the per-dimension constants (floored bandwidth, its
+//! log) out of the entry loop, and accumulate all `n` results in
+//! autovectorizable inner loops.
+//!
+//! **Precision.** Columns store `f64` by default.  The opt-in
+//! [`BlockPrecision::F32`] mode halves the memory bandwidth of every column
+//! stream; values are widened back to `f64` element by element before any
+//! arithmetic, so **accumulation is always scalar `f64`** — only the stored
+//! operands are quantised.  The entry-major scalar path remains the
+//! property-tested reference (see `crates/stats/tests/block_kernels.rs`):
+//! `f64` columns reproduce it bit for bit, `f32` columns within the
+//! quantisation tolerance documented there.
+//!
+//! A block is plain reusable scratch: gather a node with [`SummaryBlock::
+//! reset`] + the `set_*` writers, evaluate, reuse for the next node.  The
+//! per-entry values can be read back out ([`SummaryBlock::entry_mean_into`]
+//! and friends), so the block is convertible in both directions.
+
+/// Storage precision of a block's value columns.
+///
+/// Weights and all kernel outputs stay `f64` in either mode; `F32` only
+/// narrows the stored mean / variance / box columns (2× memory bandwidth on
+/// the column streams).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BlockPrecision {
+    /// Full-precision columns — bit-identical to the scalar reference.
+    #[default]
+    F64,
+    /// Narrowed columns — operands quantised to `f32` at gather time,
+    /// widened to `f64` before every arithmetic operation.
+    F32,
+}
+
+/// An element type a column may store; widened to `f64` before arithmetic.
+pub trait ColumnElement: Copy {
+    /// The value as `f64`.
+    fn widen(self) -> f64;
+    /// Quantises an `f64` into this storage type.
+    fn narrow(v: f64) -> Self;
+}
+
+impl ColumnElement for f64 {
+    #[inline(always)]
+    fn widen(self) -> f64 {
+        self
+    }
+    #[inline(always)]
+    fn narrow(v: f64) -> Self {
+        v
+    }
+}
+
+impl ColumnElement for f32 {
+    #[inline(always)]
+    fn widen(self) -> f64 {
+        f64::from(self)
+    }
+    #[inline(always)]
+    fn narrow(v: f64) -> Self {
+        v as f32
+    }
+}
+
+/// One dimension-major column group, stored at the block's precision.
+///
+/// Logical index `(dim, entry)` maps to flat index `dim * len + entry`,
+/// where `len` is the number of entries in the block.
+#[derive(Debug, Clone)]
+pub enum Columns {
+    /// Full-precision storage.
+    F64(Vec<f64>),
+    /// Narrowed storage (widened to `f64` before arithmetic).
+    F32(Vec<f32>),
+}
+
+impl Default for Columns {
+    fn default() -> Self {
+        Columns::F64(Vec::new())
+    }
+}
+
+impl Columns {
+    fn with_precision(precision: BlockPrecision) -> Self {
+        match precision {
+            BlockPrecision::F64 => Columns::F64(Vec::new()),
+            BlockPrecision::F32 => Columns::F32(Vec::new()),
+        }
+    }
+
+    /// Switches the storage precision, clearing the values if it changes.
+    pub fn set_precision(&mut self, precision: BlockPrecision) {
+        if self.precision() != precision {
+            *self = Self::with_precision(precision);
+        }
+    }
+
+    /// Clears and zero-fills the columns to `n` values.
+    pub fn reset(&mut self, n: usize) {
+        match self {
+            Columns::F64(v) => {
+                v.clear();
+                v.resize(n, 0.0);
+            }
+            Columns::F32(v) => {
+                v.clear();
+                v.resize(n, 0.0);
+            }
+        }
+    }
+
+    /// Number of stored values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Columns::F64(v) => v.len(),
+            Columns::F32(v) => v.len(),
+        }
+    }
+
+    /// Whether no values are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stores `value` at flat index `idx` (quantising in `F32` mode).
+    #[inline]
+    pub fn set(&mut self, idx: usize, value: f64) {
+        match self {
+            Columns::F64(v) => v[idx] = value,
+            Columns::F32(v) => v[idx] = value as f32,
+        }
+    }
+
+    /// Reads the value at flat index `idx`, widened to `f64`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, idx: usize) -> f64 {
+        match self {
+            Columns::F64(v) => v[idx],
+            Columns::F32(v) => f64::from(v[idx]),
+        }
+    }
+
+    /// The storage precision of these columns.
+    #[must_use]
+    pub fn precision(&self) -> BlockPrecision {
+        match self {
+            Columns::F64(_) => BlockPrecision::F64,
+            Columns::F32(_) => BlockPrecision::F32,
+        }
+    }
+}
+
+/// A structure-of-arrays gather of one node's entry summaries: per-entry
+/// weights plus dimension-major mean / variance columns and (optionally)
+/// MBR lower / upper columns.
+///
+/// See the [module docs](crate::block) for the layout and precision story.
+#[derive(Debug, Clone, Default)]
+pub struct SummaryBlock {
+    len: usize,
+    dims: usize,
+    weight: Vec<f64>,
+    mean: Columns,
+    var: Columns,
+    lower: Columns,
+    upper: Columns,
+    has_boxes: bool,
+}
+
+impl SummaryBlock {
+    /// An empty full-precision block.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty block storing its columns at `precision`.
+    #[must_use]
+    pub fn with_precision(precision: BlockPrecision) -> Self {
+        Self {
+            len: 0,
+            dims: 0,
+            weight: Vec::new(),
+            mean: Columns::with_precision(precision),
+            var: Columns::with_precision(precision),
+            lower: Columns::with_precision(precision),
+            upper: Columns::with_precision(precision),
+            has_boxes: false,
+        }
+    }
+
+    /// The precision new columns are stored at.
+    #[must_use]
+    pub fn precision(&self) -> BlockPrecision {
+        self.mean.precision()
+    }
+
+    /// Switches the column precision (clearing any gathered data).
+    pub fn set_precision(&mut self, precision: BlockPrecision) {
+        if self.precision() != precision {
+            *self = Self::with_precision(precision);
+        }
+    }
+
+    /// Clears the block and sizes it for `len` entries over `dims`
+    /// dimensions (weights and mean / variance columns zero-filled, box
+    /// columns disabled until [`Self::enable_boxes`]).
+    pub fn reset(&mut self, dims: usize, len: usize) {
+        self.dims = dims;
+        self.len = len;
+        self.weight.clear();
+        self.weight.resize(len, 0.0);
+        self.mean.reset(dims * len);
+        self.var.reset(dims * len);
+        self.lower.reset(0);
+        self.upper.reset(0);
+        self.has_boxes = false;
+    }
+
+    /// Enables the MBR lower / upper columns (zero-filled) for the current
+    /// shape.
+    pub fn enable_boxes(&mut self) {
+        self.lower.reset(self.dims * self.len);
+        self.upper.reset(self.dims * self.len);
+        self.has_boxes = true;
+    }
+
+    /// Number of gathered entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the block holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimensionality of the gathered summaries.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Whether the MBR columns are gathered.
+    #[must_use]
+    pub fn has_boxes(&self) -> bool {
+        self.has_boxes
+    }
+
+    /// Flat column index of `(dim, entry)`.
+    #[inline]
+    #[must_use]
+    pub fn col(&self, dim: usize, entry: usize) -> usize {
+        dim * self.len + entry
+    }
+
+    /// Sets entry `i`'s weight.
+    #[inline]
+    pub fn set_weight(&mut self, i: usize, w: f64) {
+        self.weight[i] = w;
+    }
+
+    /// Per-entry weights (always `f64`).
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weight
+    }
+
+    /// Sets the mean of entry `i` along `dim`.
+    #[inline]
+    pub fn set_mean(&mut self, dim: usize, i: usize, v: f64) {
+        let idx = self.col(dim, i);
+        self.mean.set(idx, v);
+    }
+
+    /// Sets the variance of entry `i` along `dim`.
+    #[inline]
+    pub fn set_var(&mut self, dim: usize, i: usize, v: f64) {
+        let idx = self.col(dim, i);
+        self.var.set(idx, v);
+    }
+
+    /// Sets the box lower bound of entry `i` along `dim`.
+    #[inline]
+    pub fn set_lower(&mut self, dim: usize, i: usize, v: f64) {
+        let idx = self.col(dim, i);
+        self.lower.set(idx, v);
+    }
+
+    /// Sets the box upper bound of entry `i` along `dim`.
+    #[inline]
+    pub fn set_upper(&mut self, dim: usize, i: usize, v: f64) {
+        let idx = self.col(dim, i);
+        self.upper.set(idx, v);
+    }
+
+    /// The dimension-major mean columns.
+    #[must_use]
+    pub fn mean(&self) -> &Columns {
+        &self.mean
+    }
+
+    /// The dimension-major variance columns.
+    #[must_use]
+    pub fn var(&self) -> &Columns {
+        &self.var
+    }
+
+    /// The dimension-major box lower-bound columns.
+    #[must_use]
+    pub fn lower(&self) -> &Columns {
+        &self.lower
+    }
+
+    /// The dimension-major box upper-bound columns.
+    #[must_use]
+    pub fn upper(&self) -> &Columns {
+        &self.upper
+    }
+
+    /// Reads entry `i`'s mean back out (entry-major) — the inverse of the
+    /// gather, used by round-trip tests.
+    pub fn entry_mean_into(&self, i: usize, out: &mut Vec<f64>) {
+        out.clear();
+        for d in 0..self.dims {
+            out.push(self.mean.get(self.col(d, i)));
+        }
+    }
+
+    /// Reads entry `i`'s variance back out (entry-major).
+    pub fn entry_var_into(&self, i: usize, out: &mut Vec<f64>) {
+        out.clear();
+        for d in 0..self.dims {
+            out.push(self.var.get(self.col(d, i)));
+        }
+    }
+
+    /// Reads entry `i`'s box back out as `(lower, upper)` (entry-major).
+    pub fn entry_box_into(&self, i: usize, lower: &mut Vec<f64>, upper: &mut Vec<f64>) {
+        lower.clear();
+        upper.clear();
+        for d in 0..self.dims {
+            lower.push(self.lower.get(self.col(d, i)));
+            upper.push(self.upper.get(self.col(d, i)));
+        }
+    }
+}
+
+/// Engine-owned scratch for block scoring: one [`SummaryBlock`] plus
+/// reusable per-entry `f64` output lanes for the batch kernels (log-kernels,
+/// bound kernels, squared distances — up to four concurrent results per
+/// node).
+#[derive(Debug, Clone, Default)]
+pub struct BlockScratch {
+    /// The gathered column block.
+    pub block: SummaryBlock,
+    /// Reusable per-entry output buffers.
+    pub lanes: [Vec<f64>; 4],
+    /// Dimension-major routing-centre columns, for models whose geometric
+    /// priority uses a centre whose rounding differs from the block's
+    /// Gaussian mean (e.g. `ls * (1/n)` versus `ls / n`).
+    pub centers: Columns,
+}
+
+impl BlockScratch {
+    /// An empty scratch at full column precision.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty scratch whose block stores columns at `precision`.
+    #[must_use]
+    pub fn with_precision(precision: BlockPrecision) -> Self {
+        Self {
+            block: SummaryBlock::with_precision(precision),
+            lanes: Default::default(),
+            centers: Columns::with_precision(precision),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_round_trips_entries() {
+        let mut block = SummaryBlock::new();
+        block.reset(2, 3);
+        block.enable_boxes();
+        for i in 0..3 {
+            block.set_weight(i, i as f64 + 1.0);
+            for d in 0..2 {
+                block.set_mean(d, i, 10.0 * d as f64 + i as f64);
+                block.set_var(d, i, 0.5 + i as f64);
+                block.set_lower(d, i, -1.0 - d as f64);
+                block.set_upper(d, i, 1.0 + i as f64);
+            }
+        }
+        assert_eq!(block.weights(), &[1.0, 2.0, 3.0]);
+        let mut mean = Vec::new();
+        let mut var = Vec::new();
+        block.entry_mean_into(1, &mut mean);
+        block.entry_var_into(1, &mut var);
+        assert_eq!(mean, vec![1.0, 11.0]);
+        assert_eq!(var, vec![1.5, 1.5]);
+        let (mut lo, mut hi) = (Vec::new(), Vec::new());
+        block.entry_box_into(2, &mut lo, &mut hi);
+        assert_eq!(lo, vec![-1.0, -2.0]);
+        assert_eq!(hi, vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn f32_mode_quantises_but_keeps_f64_reads() {
+        let mut block = SummaryBlock::with_precision(BlockPrecision::F32);
+        block.reset(1, 1);
+        let v = 0.1f64;
+        block.set_mean(0, 0, v);
+        let got = block.mean().get(0);
+        assert_eq!(got, f64::from(0.1f32));
+        assert!((got - v).abs() < 1e-7);
+    }
+
+    #[test]
+    fn set_precision_switches_storage() {
+        let mut block = SummaryBlock::new();
+        assert_eq!(block.precision(), BlockPrecision::F64);
+        block.set_precision(BlockPrecision::F32);
+        assert_eq!(block.precision(), BlockPrecision::F32);
+        block.reset(1, 2);
+        assert_eq!(block.mean().precision(), BlockPrecision::F32);
+    }
+}

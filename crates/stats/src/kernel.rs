@@ -7,6 +7,7 @@
 //! (Section 4.1); both are provided here behind the [`Kernel`] trait so the
 //! tree is generic over the kernel family.
 
+use crate::block::{ColumnElement, Columns};
 use crate::{LN_2PI, VARIANCE_FLOOR};
 
 /// The kernel families supported by the workspace.
@@ -87,6 +88,386 @@ pub fn nearest_point_log_kernel(
         acc += gaussian_log_term(dist, bandwidth[d]);
     }
     acc
+}
+
+/// Log of the Gaussian product kernel evaluated at the point of the box
+/// `[lower, upper]` *farthest* from `query` — the shared *lower-bound*
+/// formula: every point inside the box is at most the farthest-corner
+/// distance away per dimension, so `weight * exp(farthest_point_log_kernel)`
+/// bounds the box's refined contribution from below.
+#[must_use]
+pub fn farthest_point_log_kernel(
+    query: &[f64],
+    lower: &[f64],
+    upper: &[f64],
+    bandwidth: &[f64],
+) -> f64 {
+    debug_assert_eq!(query.len(), lower.len());
+    debug_assert_eq!(query.len(), upper.len());
+    debug_assert_eq!(query.len(), bandwidth.len());
+    let mut acc = 0.0;
+    for d in 0..query.len() {
+        let dist = (query[d] - lower[d]).abs().max((query[d] - upper[d]).abs());
+        acc += gaussian_log_term(dist, bandwidth[d]);
+    }
+    acc
+}
+
+/// Smoothing-aware farthest-point log-kernel: the ClusTree lower bound for a
+/// box of *micro-clusters* rather than raw points.
+///
+/// The ClusTree density term for a micro-cluster at mean `m` with
+/// per-dimension variance `v` is `gaussian_log_term(sqrt((q-m)^2 + v), h)`
+/// (Jensen smoothing).  For every cluster whose mean lies in `[lower,
+/// upper]` *and whose summarised points all lie in the box too*,
+/// `(q_d - m_d)^2 <= far_d^2` with `far_d` the farthest-corner distance, and
+/// the variance of a variable confined to an interval of width `w` is at
+/// most `(w/2)^2` (attained by the two-endpoint distribution), so
+/// `v_d <= half_d^2` with `half_d = (upper_d - lower_d) / 2`.  The kernel
+/// decreases in its distance argument, hence
+/// `gaussian_log_term(sqrt(far_d^2 + half_d^2), h_d)` summed over dimensions
+/// bounds every such cluster's smoothed term from below.  Because a child
+/// box is contained in its parent's, the bound is nested and the anytime
+/// lower bound stays monotone under refinement.
+#[must_use]
+pub fn smoothed_farthest_log_kernel(
+    query: &[f64],
+    lower: &[f64],
+    upper: &[f64],
+    bandwidth: &[f64],
+) -> f64 {
+    debug_assert_eq!(query.len(), lower.len());
+    debug_assert_eq!(query.len(), upper.len());
+    debug_assert_eq!(query.len(), bandwidth.len());
+    let mut acc = 0.0;
+    for d in 0..query.len() {
+        let far = (query[d] - lower[d]).abs().max((query[d] - upper[d]).abs());
+        let half = 0.5 * (upper[d] - lower[d]);
+        let t = far * far + half * half;
+        acc += gaussian_log_term(t.sqrt(), bandwidth[d]);
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------------
+// Block kernels: evaluate all entries of one node in a single pass.
+//
+// Each function below is the structure-of-arrays counterpart of one scalar
+// formula above (or in `gaussian` / `cluster_feature`): columns are
+// dimension-major (`dim * len + entry`, see [`crate::block`]), the outer loop
+// walks dimensions so per-dimension constants (floored bandwidth, its log)
+// are hoisted once, and the inner loop streams one cache-resident column per
+// entry — the shape LLVM autovectorizes.  The accumulation order per entry is
+// identical to the scalar reference (terms added dimension-ascending, all
+// arithmetic in `f64`), so `f64` columns reproduce the scalar results bit for
+// bit; `f32` columns quantise only the stored operands (see the property
+// tests in `crates/stats/tests/block_kernels.rs`).
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn prep_out(out: &mut Vec<f64>, len: usize) -> &mut [f64] {
+    out.clear();
+    out.resize(len, 0.0);
+    &mut out[..]
+}
+
+/// Squared Euclidean distances from `query` to each of `len` entry means —
+/// the block counterpart of `ClusterFeature::sq_dist_mean_to` (routing
+/// measure of the anytime descent).
+///
+/// `means` holds dimension-major mean columns; `out` is cleared and refilled
+/// with one squared distance per entry.
+pub fn sq_dists_block(query: &[f64], means: &Columns, len: usize, out: &mut Vec<f64>) {
+    let out = prep_out(out, len);
+    match means {
+        Columns::F64(m) => sq_dists_impl(query, m, len, out),
+        Columns::F32(m) => sq_dists_impl(query, m, len, out),
+    }
+}
+
+fn sq_dists_impl<M: ColumnElement>(query: &[f64], means: &[M], len: usize, out: &mut [f64]) {
+    debug_assert_eq!(means.len(), query.len() * len);
+    for (d, &q) in query.iter().enumerate() {
+        let col = &means[d * len..(d + 1) * len];
+        for (o, &m) in out.iter_mut().zip(col) {
+            let diff = m.widen() - q;
+            *o += diff * diff;
+        }
+    }
+}
+
+/// Sums of [`gaussian_log_term`]s from `query` to each of `len` entry means,
+/// optionally smoothed by per-entry variances.
+///
+/// Without `vars` this is the block counterpart of
+/// [`GaussianKernel::log_density`] at each mean; with `vars` it is the
+/// ClusTree smoothed kernel `sum_d gaussian_log_term(sqrt((q_d - m_d)^2 +
+/// v_d), h_d)` (Jensen bound over the cluster's points).
+pub fn gaussian_log_terms_block(
+    query: &[f64],
+    bandwidth: &[f64],
+    means: &Columns,
+    vars: Option<&Columns>,
+    len: usize,
+    out: &mut Vec<f64>,
+) {
+    let out = prep_out(out, len);
+    match (means, vars) {
+        (Columns::F64(m), None) => gaussian_log_terms_impl(query, bandwidth, m, NO_VARS, len, out),
+        (Columns::F32(m), None) => gaussian_log_terms_impl(query, bandwidth, m, NO_VARS, len, out),
+        (Columns::F64(m), Some(Columns::F64(v))) => {
+            gaussian_log_terms_impl(query, bandwidth, m, Some(&v[..]), len, out);
+        }
+        (Columns::F64(m), Some(Columns::F32(v))) => {
+            gaussian_log_terms_impl(query, bandwidth, m, Some(&v[..]), len, out);
+        }
+        (Columns::F32(m), Some(Columns::F64(v))) => {
+            gaussian_log_terms_impl(query, bandwidth, m, Some(&v[..]), len, out);
+        }
+        (Columns::F32(m), Some(Columns::F32(v))) => {
+            gaussian_log_terms_impl(query, bandwidth, m, Some(&v[..]), len, out);
+        }
+    }
+}
+
+/// Type hint for the variance-free arms of the dispatch matches.
+const NO_VARS: Option<&[f64]> = None;
+
+fn gaussian_log_terms_impl<M: ColumnElement, V: ColumnElement>(
+    query: &[f64],
+    bandwidth: &[f64],
+    means: &[M],
+    vars: Option<&[V]>,
+    len: usize,
+    out: &mut [f64],
+) {
+    debug_assert_eq!(means.len(), query.len() * len);
+    debug_assert_eq!(bandwidth.len(), query.len());
+    for (d, &q) in query.iter().enumerate() {
+        let h = bandwidth[d].max(VARIANCE_FLOOR.sqrt());
+        let ln_h = h.ln();
+        let mcol = &means[d * len..(d + 1) * len];
+        if let Some(vars) = vars {
+            let vcol = &vars[d * len..(d + 1) * len];
+            for i in 0..len {
+                let diff = q - mcol[i].widen();
+                let t = diff * diff + vcol[i].widen();
+                let u = t.sqrt() / h;
+                out[i] += -0.5 * (LN_2PI + u * u) - ln_h;
+            }
+        } else {
+            for (o, &m) in out.iter_mut().zip(mcol) {
+                let u = (q - m.widen()) / h;
+                *o += -0.5 * (LN_2PI + u * u) - ln_h;
+            }
+        }
+    }
+}
+
+/// Diagonal-Gaussian log densities of `query` under each of `len` entry
+/// Gaussians — the block counterpart of `DiagGaussian::log_pdf`.
+///
+/// The gather is responsible for replicating `DiagGaussian::new`'s variance
+/// clamp (finite variances floored at [`VARIANCE_FLOOR`], non-finite ones
+/// replaced by it) so the per-entry results match the scalar path bit for
+/// bit in `f64` mode.
+pub fn diag_log_pdfs_block(
+    query: &[f64],
+    means: &Columns,
+    vars: &Columns,
+    len: usize,
+    out: &mut Vec<f64>,
+) {
+    let out = prep_out(out, len);
+    match (means, vars) {
+        (Columns::F64(m), Columns::F64(v)) => diag_log_pdfs_impl(query, m, v, len, out),
+        (Columns::F64(m), Columns::F32(v)) => diag_log_pdfs_impl(query, m, v, len, out),
+        (Columns::F32(m), Columns::F64(v)) => diag_log_pdfs_impl(query, m, v, len, out),
+        (Columns::F32(m), Columns::F32(v)) => diag_log_pdfs_impl(query, m, v, len, out),
+    }
+}
+
+fn diag_log_pdfs_impl<M: ColumnElement, V: ColumnElement>(
+    query: &[f64],
+    means: &[M],
+    vars: &[V],
+    len: usize,
+    out: &mut [f64],
+) {
+    debug_assert_eq!(means.len(), query.len() * len);
+    debug_assert_eq!(vars.len(), query.len() * len);
+    for (d, &q) in query.iter().enumerate() {
+        let mcol = &means[d * len..(d + 1) * len];
+        let vcol = &vars[d * len..(d + 1) * len];
+        for i in 0..len {
+            let diff = q - mcol[i].widen();
+            let var = vcol[i].widen();
+            out[i] += -0.5 * (LN_2PI + var.ln() + diff * diff / var);
+        }
+    }
+}
+
+/// Per-entry [`nearest_point_log_kernel`]s over `len` boxes — the shared
+/// upper-bound formula evaluated for a whole node in one pass.
+pub fn nearest_point_log_kernels_block(
+    query: &[f64],
+    bandwidth: &[f64],
+    lower: &Columns,
+    upper: &Columns,
+    len: usize,
+    out: &mut Vec<f64>,
+) {
+    let out = prep_out(out, len);
+    dispatch_box_kernel::<false, false>(query, bandwidth, lower, upper, len, out);
+}
+
+/// Per-entry [`farthest_point_log_kernel`]s over `len` boxes — the shared
+/// lower-bound formula evaluated for a whole node in one pass.
+pub fn farthest_point_log_kernels_block(
+    query: &[f64],
+    bandwidth: &[f64],
+    lower: &Columns,
+    upper: &Columns,
+    len: usize,
+    out: &mut Vec<f64>,
+) {
+    let out = prep_out(out, len);
+    dispatch_box_kernel::<true, false>(query, bandwidth, lower, upper, len, out);
+}
+
+/// Per-entry [`smoothed_farthest_log_kernel`]s over `len` boxes — the
+/// ClusTree smoothing-aware lower bound evaluated for a whole node in one
+/// pass.
+pub fn smoothed_farthest_log_kernels_block(
+    query: &[f64],
+    bandwidth: &[f64],
+    lower: &Columns,
+    upper: &Columns,
+    len: usize,
+    out: &mut Vec<f64>,
+) {
+    let out = prep_out(out, len);
+    dispatch_box_kernel::<true, true>(query, bandwidth, lower, upper, len, out);
+}
+
+/// Per-entry box-to-query minimum squared distances over `len` boxes — the
+/// block counterpart of `Mbr::min_dist_sq` (query priority / pruning
+/// measure).
+pub fn box_min_sq_dists_block(
+    query: &[f64],
+    lower: &Columns,
+    upper: &Columns,
+    len: usize,
+    out: &mut Vec<f64>,
+) {
+    let out = prep_out(out, len);
+    match (lower, upper) {
+        (Columns::F64(lo), Columns::F64(hi)) => box_min_sq_dists_impl(query, lo, hi, len, out),
+        (Columns::F64(lo), Columns::F32(hi)) => box_min_sq_dists_impl(query, lo, hi, len, out),
+        (Columns::F32(lo), Columns::F64(hi)) => box_min_sq_dists_impl(query, lo, hi, len, out),
+        (Columns::F32(lo), Columns::F32(hi)) => box_min_sq_dists_impl(query, lo, hi, len, out),
+    }
+}
+
+fn box_min_sq_dists_impl<L: ColumnElement, U: ColumnElement>(
+    query: &[f64],
+    lower: &[L],
+    upper: &[U],
+    len: usize,
+    out: &mut [f64],
+) {
+    debug_assert_eq!(lower.len(), query.len() * len);
+    debug_assert_eq!(upper.len(), query.len() * len);
+    for (d, &q) in query.iter().enumerate() {
+        let lcol = &lower[d * len..(d + 1) * len];
+        let ucol = &upper[d * len..(d + 1) * len];
+        for i in 0..len {
+            let lo = lcol[i].widen();
+            let hi = ucol[i].widen();
+            let diff = if q < lo {
+                lo - q
+            } else if q > hi {
+                q - hi
+            } else {
+                0.0
+            };
+            out[i] += diff * diff;
+        }
+    }
+}
+
+/// Monomorphises the shared box-kernel loop over the column storage types.
+fn dispatch_box_kernel<const FARTHEST: bool, const SMOOTHED: bool>(
+    query: &[f64],
+    bandwidth: &[f64],
+    lower: &Columns,
+    upper: &Columns,
+    len: usize,
+    out: &mut [f64],
+) {
+    match (lower, upper) {
+        (Columns::F64(lo), Columns::F64(hi)) => {
+            box_kernel_impl::<_, _, FARTHEST, SMOOTHED>(query, bandwidth, lo, hi, len, out);
+        }
+        (Columns::F64(lo), Columns::F32(hi)) => {
+            box_kernel_impl::<_, _, FARTHEST, SMOOTHED>(query, bandwidth, lo, hi, len, out);
+        }
+        (Columns::F32(lo), Columns::F64(hi)) => {
+            box_kernel_impl::<_, _, FARTHEST, SMOOTHED>(query, bandwidth, lo, hi, len, out);
+        }
+        (Columns::F32(lo), Columns::F32(hi)) => {
+            box_kernel_impl::<_, _, FARTHEST, SMOOTHED>(query, bandwidth, lo, hi, len, out);
+        }
+    }
+}
+
+/// Shared box-kernel loop: `FARTHEST` picks the farthest- vs nearest-corner
+/// per-dimension distance, `SMOOTHED` adds the `(width/2)^2` variance-cap
+/// term under the square root (the ClusTree bound; only used with
+/// `FARTHEST`).
+fn box_kernel_impl<
+    L: ColumnElement,
+    U: ColumnElement,
+    const FARTHEST: bool,
+    const SMOOTHED: bool,
+>(
+    query: &[f64],
+    bandwidth: &[f64],
+    lower: &[L],
+    upper: &[U],
+    len: usize,
+    out: &mut [f64],
+) {
+    debug_assert_eq!(lower.len(), query.len() * len);
+    debug_assert_eq!(upper.len(), query.len() * len);
+    debug_assert_eq!(bandwidth.len(), query.len());
+    for (d, &q) in query.iter().enumerate() {
+        let h = bandwidth[d].max(VARIANCE_FLOOR.sqrt());
+        let ln_h = h.ln();
+        let lcol = &lower[d * len..(d + 1) * len];
+        let ucol = &upper[d * len..(d + 1) * len];
+        for i in 0..len {
+            let lo = lcol[i].widen();
+            let hi = ucol[i].widen();
+            let dist = if FARTHEST {
+                (q - lo).abs().max((q - hi).abs())
+            } else if q < lo {
+                lo - q
+            } else if q > hi {
+                q - hi
+            } else {
+                0.0
+            };
+            let u = if SMOOTHED {
+                let half = 0.5 * (hi - lo);
+                let t = dist * dist + half * half;
+                t.sqrt() / h
+            } else {
+                dist / h
+            };
+            out[i] += -0.5 * (LN_2PI + u * u) - ln_h;
+        }
+    }
 }
 
 impl Kernel for GaussianKernel {

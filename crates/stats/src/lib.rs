@@ -23,6 +23,7 @@
 #![warn(clippy::all)]
 
 pub mod bandwidth;
+pub mod block;
 pub mod cluster_feature;
 pub mod em;
 pub mod gaussian;
@@ -34,6 +35,7 @@ pub mod summary;
 pub mod vector;
 
 pub use bandwidth::silverman_bandwidth;
+pub use block::{BlockPrecision, BlockScratch, ColumnElement, Columns, SummaryBlock};
 pub use cluster_feature::ClusterFeature;
 pub use em::{EmConfig, EmResult, KMeans, KMeansConfig};
 pub use gaussian::DiagGaussian;

@@ -1,0 +1,364 @@
+//! Property tests: the block kernels match their scalar references.
+//!
+//! **Tolerances.**
+//!
+//! * `f64` columns: every per-entry result must match the scalar reference
+//!   **bit for bit** (0 ULP — asserted with `to_bits()` equality modulo the
+//!   `-0.0` case).  The block kernels deliberately replicate the scalar
+//!   operation order (terms added dimension-ascending, per-element division
+//!   by the floored bandwidth, constants hoisted but recomputed identically),
+//!   so this is an equality test, stronger than the issue's 1-ULP budget.
+//! * `f32` columns quantise only the *stored operands* (means, variances,
+//!   box bounds) to `f32`; all arithmetic and accumulation stay `f64`.  A
+//!   quantised operand `x` differs from its `f64` value by at most
+//!   `|x| * 2^-24`, so squared-distance-style results drift by a relative
+//!   `~2^-23` per term; log-kernels add an absolute error of order
+//!   `|diff| * 2^-23 / h^2` through the `u^2` term.  The generators below
+//!   keep coordinates in `[-50, 50]` and bandwidths above `1e-3`, for which
+//!   an absolute tolerance of `1e-2` on log values and a relative `1e-4` on
+//!   distances is conservative; the tests assert those bounds.
+//!
+//! Edge cases covered explicitly: bandwidths at / below the variance-floor
+//! square root, zero variances, empty blocks, and degenerate (point) boxes.
+
+use proptest::prelude::*;
+
+use bt_stats::kernel::{
+    box_min_sq_dists_block, diag_log_pdfs_block, farthest_point_log_kernel,
+    farthest_point_log_kernels_block, gaussian_log_term, gaussian_log_terms_block,
+    nearest_point_log_kernel, nearest_point_log_kernels_block, smoothed_farthest_log_kernel,
+    smoothed_farthest_log_kernels_block, sq_dists_block,
+};
+use bt_stats::{
+    BlockPrecision, DiagGaussian, GaussianKernel, Kernel, SummaryBlock, VARIANCE_FLOOR,
+};
+
+/// One generated node: `len` entries over `dims` dimensions.
+#[derive(Debug, Clone)]
+struct Node {
+    dims: usize,
+    query: Vec<f64>,
+    bandwidth: Vec<f64>,
+    means: Vec<Vec<f64>>,
+    vars: Vec<Vec<f64>>,
+    lower: Vec<Vec<f64>>,
+    upper: Vec<Vec<f64>>,
+}
+
+fn node_strategy() -> impl Strategy<Value = Node> {
+    (1usize..5, 0usize..20).prop_flat_map(|(dims, len)| {
+        let coord = -50.0f64..50.0;
+        // Bandwidths from genuinely degenerate (below the floor sqrt,
+        // ~3.2e-5) through ordinary scales.
+        let band = prop_oneof![0.0f64..2e-5, 1e-3f64..4.0];
+        // Variances including exact zero and sub-floor values.
+        let var = prop_oneof![Just(0.0f64), 0.0f64..1e-10, 1e-6f64..9.0];
+        (
+            prop::collection::vec(coord.clone(), dims),
+            prop::collection::vec(band, dims),
+            prop::collection::vec(prop::collection::vec(coord.clone(), dims), len),
+            prop::collection::vec(prop::collection::vec(var, dims), len),
+            prop::collection::vec(
+                prop::collection::vec((coord.clone(), 0.0f64..10.0), dims),
+                len,
+            ),
+        )
+            .prop_map(move |(query, bandwidth, means, vars, boxes)| {
+                let mut lower = Vec::with_capacity(boxes.len());
+                let mut upper = Vec::with_capacity(boxes.len());
+                for entry in &boxes {
+                    lower.push(entry.iter().map(|(lo, _)| *lo).collect::<Vec<_>>());
+                    upper.push(entry.iter().map(|(lo, w)| lo + w).collect::<Vec<_>>());
+                }
+                Node {
+                    dims,
+                    query,
+                    bandwidth,
+                    means,
+                    vars,
+                    lower,
+                    upper,
+                }
+            })
+    })
+}
+
+/// Gathers the node into a block at the given precision.
+fn gather(node: &Node, precision: BlockPrecision) -> SummaryBlock {
+    let mut block = SummaryBlock::with_precision(precision);
+    block.reset(node.dims, node.means.len());
+    block.enable_boxes();
+    for (i, mean) in node.means.iter().enumerate() {
+        block.set_weight(i, i as f64 + 1.0);
+        for (d, &m) in mean.iter().enumerate() {
+            block.set_mean(d, i, m);
+            block.set_var(d, i, node.vars[i][d]);
+            block.set_lower(d, i, node.lower[i][d]);
+            block.set_upper(d, i, node.upper[i][d]);
+        }
+    }
+    block
+}
+
+fn assert_bit_equal(got: &[f64], want: &[f64]) {
+    assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            g.to_bits() == w.to_bits() || (*g == 0.0 && *w == 0.0),
+            "entry {i}: block {g:?} ({:#x}) != scalar {w:?} ({:#x})",
+            g.to_bits(),
+            w.to_bits()
+        );
+    }
+}
+
+fn assert_close(got: &[f64], want: &[f64], abs_tol: f64, rel_tol: f64) {
+    assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let err = (g - w).abs();
+        let bound = abs_tol + rel_tol * w.abs();
+        assert!(err <= bound, "entry {i}: |{g} - {w}| = {err} > {bound}");
+    }
+}
+
+/// The scalar ClusTree smoothed kernel term the `vars` mode must reproduce.
+fn scalar_smoothed(query: &[f64], mean: &[f64], var: &[f64], bandwidth: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for d in 0..query.len() {
+        let diff = query[d] - mean[d];
+        let t = diff * diff + var[d];
+        acc += gaussian_log_term(t.sqrt(), bandwidth[d]);
+    }
+    acc
+}
+
+/// The scalar squared distance (same dimension-ascending accumulation as
+/// `ClusterFeature::sq_dist_mean_to` evaluates against a gathered mean).
+fn scalar_sq_dist(query: &[f64], mean: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for d in 0..query.len() {
+        let diff = mean[d] - query[d];
+        acc += diff * diff;
+    }
+    acc
+}
+
+/// The scalar box minimum squared distance (`Mbr::min_dist_sq`).
+fn scalar_box_min_sq(query: &[f64], lower: &[f64], upper: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for d in 0..query.len() {
+        let diff = if query[d] < lower[d] {
+            lower[d] - query[d]
+        } else if query[d] > upper[d] {
+            query[d] - upper[d]
+        } else {
+            0.0
+        };
+        acc += diff * diff;
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sq_dists_match_scalar_bitwise(node in node_strategy()) {
+        let block = gather(&node, BlockPrecision::F64);
+        let mut out = Vec::new();
+        sq_dists_block(&node.query, block.mean(), block.len(), &mut out);
+        let want: Vec<f64> = node.means.iter().map(|m| scalar_sq_dist(&node.query, m)).collect();
+        assert_bit_equal(&out, &want);
+    }
+
+    #[test]
+    fn gaussian_log_terms_match_scalar_bitwise(node in node_strategy()) {
+        let block = gather(&node, BlockPrecision::F64);
+        let mut out = Vec::new();
+        // Without variances: the product log-kernel at each mean.
+        gaussian_log_terms_block(&node.query, &node.bandwidth, block.mean(), None, block.len(), &mut out);
+        let k = GaussianKernel;
+        let want: Vec<f64> = node
+            .means
+            .iter()
+            .map(|m| k.log_density(m, &node.query, &node.bandwidth))
+            .collect();
+        assert_bit_equal(&out, &want);
+        // With variances: the smoothed (Jensen) kernel.
+        gaussian_log_terms_block(
+            &node.query,
+            &node.bandwidth,
+            block.mean(),
+            Some(block.var()),
+            block.len(),
+            &mut out,
+        );
+        let want: Vec<f64> = node
+            .means
+            .iter()
+            .zip(&node.vars)
+            .map(|(m, v)| scalar_smoothed(&node.query, m, v, &node.bandwidth))
+            .collect();
+        assert_bit_equal(&out, &want);
+    }
+
+    #[test]
+    fn diag_log_pdfs_match_scalar_bitwise(node in node_strategy()) {
+        // The gather must replicate DiagGaussian::new's clamp.
+        let block = {
+            let mut block = gather(&node, BlockPrecision::F64);
+            for (i, vars) in node.vars.iter().enumerate() {
+                for (d, &v) in vars.iter().enumerate() {
+                    let clamped = if v.is_finite() { v.max(VARIANCE_FLOOR) } else { VARIANCE_FLOOR };
+                    block.set_var(d, i, clamped);
+                }
+            }
+            block
+        };
+        let mut out = Vec::new();
+        diag_log_pdfs_block(&node.query, block.mean(), block.var(), block.len(), &mut out);
+        let want: Vec<f64> = node
+            .means
+            .iter()
+            .zip(&node.vars)
+            .map(|(m, v)| DiagGaussian::new(m.clone(), v.clone()).log_pdf(&node.query))
+            .collect();
+        assert_bit_equal(&out, &want);
+    }
+
+    #[test]
+    fn box_kernels_match_scalar_bitwise(node in node_strategy()) {
+        let block = gather(&node, BlockPrecision::F64);
+        let mut out = Vec::new();
+        let n = block.len();
+
+        nearest_point_log_kernels_block(
+            &node.query, &node.bandwidth, block.lower(), block.upper(), n, &mut out,
+        );
+        let want: Vec<f64> = (0..n)
+            .map(|i| nearest_point_log_kernel(&node.query, &node.lower[i], &node.upper[i], &node.bandwidth))
+            .collect();
+        assert_bit_equal(&out, &want);
+
+        farthest_point_log_kernels_block(
+            &node.query, &node.bandwidth, block.lower(), block.upper(), n, &mut out,
+        );
+        let want: Vec<f64> = (0..n)
+            .map(|i| farthest_point_log_kernel(&node.query, &node.lower[i], &node.upper[i], &node.bandwidth))
+            .collect();
+        assert_bit_equal(&out, &want);
+
+        smoothed_farthest_log_kernels_block(
+            &node.query, &node.bandwidth, block.lower(), block.upper(), n, &mut out,
+        );
+        let want: Vec<f64> = (0..n)
+            .map(|i| smoothed_farthest_log_kernel(&node.query, &node.lower[i], &node.upper[i], &node.bandwidth))
+            .collect();
+        assert_bit_equal(&out, &want);
+
+        box_min_sq_dists_block(&node.query, block.lower(), block.upper(), n, &mut out);
+        let want: Vec<f64> = (0..n)
+            .map(|i| scalar_box_min_sq(&node.query, &node.lower[i], &node.upper[i]))
+            .collect();
+        assert_bit_equal(&out, &want);
+    }
+
+    #[test]
+    fn f32_mode_is_within_documented_tolerance(node in node_strategy()) {
+        let block = gather(&node, BlockPrecision::F32);
+        let mut out = Vec::new();
+        let n = block.len();
+
+        sq_dists_block(&node.query, block.mean(), n, &mut out);
+        let want: Vec<f64> = node.means.iter().map(|m| scalar_sq_dist(&node.query, m)).collect();
+        // Quantising a coordinate in [-50, 50] moves it by <= 50 * 2^-24
+        // ~ 3e-6; a squared distance of magnitude D picks up ~2 sqrt(D)
+        // per-dim errors of that size.
+        assert_close(&out, &want, 1e-2, 1e-4);
+
+        gaussian_log_terms_block(
+            &node.query, &node.bandwidth, block.mean(), Some(block.var()), n, &mut out,
+        );
+        let want: Vec<f64> = node
+            .means
+            .iter()
+            .zip(&node.vars)
+            .map(|(m, v)| scalar_smoothed(&node.query, m, v, &node.bandwidth))
+            .collect();
+        // Log-kernel error scales with |u| * delta_u; with the floored
+        // bandwidth >= 3.16e-5 and |diff| <= 100 the u^2 term stays finite
+        // and the relative bound below holds with wide margin.
+        assert_close(&out, &want, 1e-2, 1e-3);
+
+        nearest_point_log_kernels_block(
+            &node.query, &node.bandwidth, block.lower(), block.upper(), n, &mut out,
+        );
+        let want: Vec<f64> = (0..n)
+            .map(|i| nearest_point_log_kernel(&node.query, &node.lower[i], &node.upper[i], &node.bandwidth))
+            .collect();
+        assert_close(&out, &want, 1e-2, 1e-3);
+    }
+
+    #[test]
+    fn empty_blocks_yield_empty_outputs(dims in 1usize..5) {
+        let mut block = SummaryBlock::new();
+        block.reset(dims, 0);
+        block.enable_boxes();
+        let query = vec![0.5; dims];
+        let bandwidth = vec![1.0; dims];
+        let mut out = vec![123.0];
+        sq_dists_block(&query, block.mean(), 0, &mut out);
+        prop_assert!(out.is_empty());
+        gaussian_log_terms_block(&query, &bandwidth, block.mean(), None, 0, &mut out);
+        prop_assert!(out.is_empty());
+        nearest_point_log_kernels_block(&query, &bandwidth, block.lower(), block.upper(), 0, &mut out);
+        prop_assert!(out.is_empty());
+    }
+}
+
+#[test]
+fn smoothed_farthest_is_a_lower_bound_on_member_clusters() {
+    // Any cluster whose mean and mass sit inside the box has a smoothed
+    // kernel value >= the smoothed farthest-point bound.
+    let query = [0.0, 3.0];
+    let bandwidth = [0.7, 1.3];
+    let lower = [1.0, -2.0];
+    let upper = [4.0, 1.5];
+    let floor = smoothed_farthest_log_kernel(&query, &lower, &upper, &bandwidth);
+    for steps in 0..50 {
+        let fx = steps as f64 / 49.0;
+        let mean = [
+            lower[0] + fx * (upper[0] - lower[0]),
+            lower[1] + (1.0 - fx) * (upper[1] - lower[1]),
+        ];
+        // Maximum admissible variance for a member cluster.
+        let var = [
+            (0.5 * (upper[0] - lower[0])).powi(2) * fx,
+            (0.5 * (upper[1] - lower[1])).powi(2) * (1.0 - fx),
+        ];
+        let mut acc = 0.0;
+        for d in 0..2 {
+            let diff = query[d] - mean[d];
+            let t = diff * diff + var[d];
+            acc += gaussian_log_term(t.sqrt(), bandwidth[d]);
+        }
+        assert!(
+            acc >= floor - 1e-12,
+            "member cluster {mean:?}/{var:?} below floor: {acc} < {floor}"
+        );
+    }
+}
+
+#[test]
+fn smoothed_farthest_never_exceeds_plain_farthest() {
+    // The smoothing term only adds distance, so the smoothed bound is
+    // tighter-or-equal from below than... actually *smaller* or equal:
+    // sqrt(far^2 + half^2) >= far, and the kernel decreases with distance.
+    let query = [2.0];
+    let bandwidth = [0.9];
+    let lower = [4.0];
+    let upper = [9.0];
+    let smoothed = smoothed_farthest_log_kernel(&query, &lower, &upper, &bandwidth);
+    let plain = farthest_point_log_kernel(&query, &lower, &upper, &bandwidth);
+    assert!(smoothed <= plain + 1e-12);
+}

@@ -51,6 +51,129 @@ pub mod strategy {
         type Value;
         /// Generates one value.
         fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f` (proptest's `prop_map`).
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { source: self, f }
+        }
+
+        /// Generates a value, builds a dependent strategy from it with `f`,
+        /// and draws from that (proptest's `prop_flat_map`).
+        fn prop_flat_map<T, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            T: Strategy,
+            F: Fn(Self::Value) -> T,
+        {
+            FlatMap { source: self, f }
+        }
+    }
+
+    /// Strategy producing one fixed value (proptest's `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy mapping another strategy's values through a function.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Strategy drawing from a dependent strategy built per generated value.
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut StdRng) -> T::Value {
+            (self.f)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Strategy picking uniformly among alternatives (the `prop_oneof!`
+    /// macro builds one).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given boxed alternatives.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        #[must_use]
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+
+        /// Boxes one alternative (helper for `prop_oneof!` type inference).
+        pub fn boxed<S: Strategy<Value = T> + 'static>(s: S) -> Box<dyn Strategy<Value = T>> {
+            Box::new(s)
+        }
+    }
+
+    impl<T> core::fmt::Debug for Union<T> {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.debug_struct("Union")
+                .field("options", &self.options.len())
+                .finish()
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let pick = rng.random_range(0..self.options.len());
+            self.options[pick].generate(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
     }
 
     macro_rules! impl_range_strategy {
@@ -136,9 +259,9 @@ pub mod prop {
 /// The usual glob-import surface: `use proptest::prelude::*;`.
 pub mod prelude {
     pub use super::prop;
-    pub use super::strategy::Strategy;
+    pub use super::strategy::{Just, Strategy};
     pub use super::test_runner::ProptestConfig;
-    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
 #[doc(hidden)]
@@ -183,6 +306,15 @@ macro_rules! __proptest_impl {
             }
         }
     )*};
+}
+
+/// Picks uniformly among alternative strategies producing the same value
+/// type (weights are not supported by this stand-in).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Union::boxed($strat)),+])
+    };
 }
 
 /// Boolean property assertion (no shrinking; behaves like `assert!`).
