@@ -38,6 +38,7 @@
 
 use crate::node::{Node, NodeId};
 use crate::summary::Summary;
+use bt_stats::BlockCacheSlot;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
@@ -50,14 +51,34 @@ pub const PAGE_CAP: usize = 256;
 pub const SLOT_CHUNK: usize = 256;
 
 /// One stored node: the payload plus the epoch of the batch that last
-/// mutated it.
-#[derive(Debug, Clone)]
+/// mutated it, plus the node's block-cache slot.
+#[derive(Debug)]
 pub struct VersionedNode<S, L> {
     /// The epoch stamp: the (in-flight) epoch of the last mutation, i.e. the
     /// publish that first covered this version of the node.
     pub version: u64,
     /// The node payload.
     pub node: Node<S, L>,
+    /// The node's cached column gather, stored page-side next to the version
+    /// stamp so snapshots sharing the page share the warm block too.  The
+    /// stamp of the [`bt_stats::CachedBlock`] inside is compared against
+    /// [`VersionedNode::version`] by every consumer — a stale stamp *is* the
+    /// invalidation signal.
+    pub cache: BlockCacheSlot,
+}
+
+impl<S: Clone, L: Clone> Clone for VersionedNode<S, L> {
+    /// Cloning (the copy-on-write retire path) starts with an **empty**
+    /// cache slot: the copy is about to be mutated under a fresh stamp, so
+    /// carrying the old block over would only delay its reclamation — the
+    /// sharer keeps the warm block in the original page.
+    fn clone(&self) -> Self {
+        Self {
+            version: self.version,
+            node: self.node.clone(),
+            cache: BlockCacheSlot::new(),
+        }
+    }
 }
 
 /// Where a node currently lives: `(page, index within page)`.
@@ -223,6 +244,21 @@ impl<S: Summary, L> ArenaSpine<S, L> {
             .expect("spine page referenced by a slot is present")[slot.idx as usize]
             .version
     }
+
+    /// The block-cache slot of a node as of capture time.
+    ///
+    /// The slot lives in the (possibly shared) epoch page, so a warm block
+    /// stored through one spine is visible to every other holder of the
+    /// page — including the live arena, as long as it has not retired the
+    /// node.
+    #[must_use]
+    pub fn cache_slot(&self, id: NodeId) -> &BlockCacheSlot {
+        let slot = self.slot(id);
+        &self.pages[slot.page as usize]
+            .as_ref()
+            .expect("spine page referenced by a slot is present")[slot.idx as usize]
+            .cache
+    }
 }
 
 /// Counters reported by one incremental snapshot refresh: how much of the
@@ -270,6 +306,7 @@ impl<S: Summary, L> NodeArena<S, L> {
         let root = VersionedNode {
             version: 0,
             node: Node::empty_leaf(),
+            cache: BlockCacheSlot::new(),
         };
         Self {
             chunks: vec![Arc::new(vec![SlotRef { page: 0, idx: 0 }])],
@@ -319,6 +356,17 @@ impl<S: Summary, L> NodeArena<S, L> {
             .as_ref()
             .expect("page referenced by a live slot is present")[slot.idx as usize]
             .version
+    }
+
+    /// The block-cache slot of a node (shared with any snapshot holding the
+    /// node's page).
+    #[must_use]
+    pub fn cache_slot(&self, id: NodeId) -> &BlockCacheSlot {
+        let slot = self.slot(id);
+        &self.pages[slot.page as usize]
+            .as_ref()
+            .expect("page referenced by a live slot is present")[slot.idx as usize]
+            .cache
     }
 
     /// The published epoch: the number of batches closed so far.  Snapshots
@@ -443,6 +491,7 @@ impl<S: Summary, L> NodeArena<S, L> {
         let slot = self.append_node(VersionedNode {
             version: self.epoch + 1,
             node,
+            cache: BlockCacheSlot::new(),
         });
         let id = self.len;
         self.len += 1;
@@ -464,8 +513,23 @@ impl<S: Summary + Clone, L: Clone> NodeArena<S, L> {
     /// (batch-contiguous with the rest of the in-flight delta), the slot is
     /// repointed, and the page's live count drops — reaching zero releases
     /// the arena's reference, leaving the page to its snapshots.  Either way
-    /// the node is stamped with the in-flight epoch (`published + 1`).
+    /// the node is stamped with the in-flight epoch (`published + 1`), and
+    /// the first stamping of a batch drops the node's cached block (the
+    /// sharers keep theirs — the copy-on-write retire path starts the new
+    /// copy with an empty slot).
     pub fn node_mut(&mut self, id: NodeId) -> &mut Node<S, L> {
+        &mut self.versioned_mut(id).node
+    }
+
+    /// Like [`NodeArena::node_mut`], but also hands out the node's cache
+    /// slot — the insertion descent uses it to keep a routing-only block
+    /// warm across the objects of one batch.
+    pub fn node_mut_and_cache(&mut self, id: NodeId) -> (&mut Node<S, L>, &mut BlockCacheSlot) {
+        let versioned = self.versioned_mut(id);
+        (&mut versioned.node, &mut versioned.cache)
+    }
+
+    fn versioned_mut(&mut self, id: NodeId) -> &mut VersionedNode<S, L> {
         let mut slot = self.slot(id);
         let mut page_index = slot.page as usize;
         let stamp = self.epoch + 1;
@@ -498,8 +562,15 @@ impl<S: Summary + Clone, L: Clone> NodeArena<S, L> {
             .expect("target page is present");
         let versioned =
             &mut Arc::get_mut(page).expect("target page is unshared")[slot.idx as usize];
+        if versioned.version != stamp {
+            // First mutation of this batch: whatever block was cached is
+            // about to go stale, so drop it eagerly rather than letting the
+            // stale stamp linger (correct either way, cheaper to reclaim
+            // now).
+            versioned.cache.clear_owned();
+        }
         versioned.version = stamp;
-        &mut versioned.node
+        versioned
     }
 }
 
@@ -656,6 +727,63 @@ mod tests {
         }
         drop(spine);
         assert_eq!(leaf_items(&arena, 0), vec![1, 2]);
+    }
+
+    fn cached(version: u64) -> std::sync::Arc<bt_stats::CachedBlock> {
+        std::sync::Arc::new(bt_stats::CachedBlock {
+            version,
+            scored: true,
+            gathered: bt_stats::GatheredBlock::new(),
+        })
+    }
+
+    #[test]
+    fn restamping_a_node_drops_its_cached_block() {
+        use bt_stats::BlockPrecision;
+        let mut arena: NodeArena<W, u32> = NodeArena::new();
+        arena.node_mut(0).items_mut().push(1);
+        arena.publish();
+        let version = arena.version(0);
+        arena.cache_slot(0).store(cached(version));
+        assert!(arena
+            .cache_slot(0)
+            .lookup_scored(version, BlockPrecision::F64)
+            .is_some());
+        // Same-stamp writes within one batch keep the slot...
+        arena.node_mut(0).items_mut().push(2);
+        assert!(arena.cache_slot(0).peek().is_none());
+        arena.cache_slot(0).store(cached(arena.version(0)));
+        arena.node_mut(0).items_mut().push(3);
+        assert!(arena.cache_slot(0).peek().is_some());
+        // ...but the first touch of the *next* batch restamps and clears.
+        arena.publish();
+        arena.node_mut(0).items_mut().push(4);
+        assert!(arena.cache_slot(0).peek().is_none());
+    }
+
+    #[test]
+    fn retiring_a_node_leaves_the_snapshot_block_warm() {
+        use bt_stats::BlockPrecision;
+        let mut arena: NodeArena<W, u32> = NodeArena::new();
+        arena.node_mut(0).items_mut().push(1);
+        arena.publish();
+        let spine = arena.snapshot_spine();
+        let pinned_version = spine.version(0);
+        spine.cache_slot(0).store(cached(pinned_version));
+        // The slot is page-shared: the live arena sees the warm block until
+        // it mutates the node.
+        assert!(arena
+            .cache_slot(0)
+            .lookup_scored(pinned_version, BlockPrecision::F64)
+            .is_some());
+        // Copy-on-write retire: the live copy starts with an empty slot, the
+        // spine keeps reading its warm block.
+        arena.node_mut(0).items_mut().push(2);
+        assert!(arena.cache_slot(0).peek().is_none());
+        assert!(spine
+            .cache_slot(0)
+            .lookup_scored(pinned_version, BlockPrecision::F64)
+            .is_some());
     }
 
     #[test]

@@ -39,7 +39,8 @@ use crate::summary::Summary;
 use crate::tree::{AnytimeTree, InsertOutcome};
 use bt_index::rstar::{choose_subtree_block, choose_subtree_by};
 use bt_stats::kernel::sq_dists_block;
-use bt_stats::Columns;
+use bt_stats::{BlockCacheSlot, CachedBlock, Columns, GatheredBlock};
+use std::sync::Arc;
 
 /// The complete state of one in-flight insertion.
 ///
@@ -401,15 +402,28 @@ impl<S: Summary, L: Clone> AnytimeTree<S, L> {
 
         // Directory node: route, absorb, then park or descend.
         let (arena, scratch) = self.arena_and_scratch_mut();
-        let entries = arena.node_mut(node_id).entries_mut();
+        // Routing columns are cached in the node's block-cache slot at the
+        // in-flight stamp: the first object of the batch through this node
+        // gathers them, later objects reuse them (with the O(dims) per-entry
+        // repair below keeping them exact across absorbs).
+        let stamp = arena.epoch() + 1;
+        let (node, cache) = arena.node_mut_and_cache(node_id);
+        let entries = node.entries_mut();
         let obj = cursor
             .obj
             .as_mut()
             .expect("unfinished cursor carries an object");
-        let idx = route(entries, model, obj, &mut scratch.route);
+        let idx = route(
+            entries,
+            model,
+            obj,
+            &mut scratch.route,
+            Some((&mut *cache, stamp)),
+        );
         // The object ends up somewhere below this entry either way, so the
         // aggregate absorbs it now.
         model.absorb_into(&mut entries[idx].summary, obj);
+        refresh_routing_entry(cache, stamp, idx, &entries[idx].summary, &mut scratch.route);
 
         if M::BUFFERED && !has_time {
             // Out of time: park the object in the hitchhiker buffer.
@@ -702,11 +716,19 @@ pub(crate) struct RouteScratch {
 /// replicate the scalar arithmetic and tie-breaking exactly (first minimal
 /// wins, `NaN` never displaces the incumbent), so the chosen child is always
 /// the one the per-entry path would pick.
+///
+/// With `cache` in reach, the gathered columns live in the node's
+/// block-cache slot as a routing-only block (`scored: false` — queries
+/// never consume it) stamped with the in-flight version: the first object
+/// of a batch through the node pays the O(len·dims) gather, every later
+/// object reuses it, and [`refresh_routing_entry`] repairs the one entry an
+/// absorb touches.
 pub(crate) fn route<S, M>(
     entries: &[Entry<S>],
     model: &M,
     obj: &M::Object,
     scratch: &mut RouteScratch,
+    cache: Option<(&mut BlockCacheSlot, u64)>,
 ) -> usize
 where
     S: Summary,
@@ -720,6 +742,78 @@ where
             return 0;
         }
         let dims = point.len();
+        if let Some((slot, stamp)) = cache {
+            if let Some(hit) = slot.get_at_owned(stamp) {
+                let block = &hit.gathered.block;
+                if block.has_boxes() && block.len() == len && block.dims() == dims {
+                    if let (Some(lo), Some(hi)) = (block.lower().as_f64(), block.upper().as_f64()) {
+                        let best = choose_subtree_block(
+                            point,
+                            lo,
+                            hi,
+                            len,
+                            &mut scratch.lane_a,
+                            &mut scratch.lane_b,
+                        );
+                        debug_assert_eq!(
+                            choose_subtree_by(
+                                entries,
+                                |e| e
+                                    .summary
+                                    .as_mbr()
+                                    .expect("MBR-routed payload exposes an MBR"),
+                                point,
+                            ),
+                            best,
+                            "cached block routing diverged from the scalar reference"
+                        );
+                        return best;
+                    }
+                }
+            }
+            // First object through this node in the batch: gather the boxes
+            // into a routing-only block and park it at the in-flight stamp.
+            let mut gathered = GatheredBlock::new();
+            gathered.block.reset(dims, len);
+            gathered.block.enable_boxes();
+            for (i, entry) in entries.iter().enumerate() {
+                let mbr = entry
+                    .summary
+                    .as_mbr()
+                    .expect("MBR-routed payload exposes an MBR");
+                let (lo, hi) = (mbr.lower(), mbr.upper());
+                for d in 0..dims {
+                    gathered.block.set_lower(d, i, lo[d]);
+                    gathered.block.set_upper(d, i, hi[d]);
+                }
+            }
+            let best = choose_subtree_block(
+                point,
+                gathered.block.lower().as_f64().expect("gathered at f64"),
+                gathered.block.upper().as_f64().expect("gathered at f64"),
+                len,
+                &mut scratch.lane_a,
+                &mut scratch.lane_b,
+            );
+            debug_assert_eq!(
+                choose_subtree_by(
+                    entries,
+                    |e| e
+                        .summary
+                        .as_mbr()
+                        .expect("MBR-routed payload exposes an MBR"),
+                    point,
+                ),
+                best,
+                "block routing diverged from the scalar reference"
+            );
+            slot.store_owned(Arc::new(CachedBlock {
+                version: stamp,
+                scored: false,
+                gathered,
+            }));
+            return best;
+        }
         scratch.cols_lo.clear();
         scratch.cols_lo.resize(dims * len, 0.0);
         scratch.cols_hi.clear();
@@ -764,6 +858,43 @@ where
         )
     } else if S::CENTER_ROUTED && len > 1 {
         let dims = point.len();
+        if let Some((slot, stamp)) = cache {
+            if let Some(hit) = slot.get_at_owned(stamp) {
+                let centers = &hit.gathered.centers;
+                if centers.len() == dims * len && centers.as_f64().is_some() {
+                    sq_dists_block(point, centers, len, &mut scratch.lane_a);
+                    let best = argmin_first(&scratch.lane_a);
+                    debug_assert_eq!(
+                        scalar_route(entries, point),
+                        best,
+                        "cached block routing diverged from the scalar reference"
+                    );
+                    return best;
+                }
+            }
+            let mut gathered = GatheredBlock::new();
+            gathered.centers.reset(dims * len);
+            for (i, entry) in entries.iter().enumerate() {
+                entry.summary.center_into(&mut scratch.cols_hi);
+                debug_assert_eq!(scratch.cols_hi.len(), dims);
+                for d in 0..dims {
+                    gathered.centers.set(d * len + i, scratch.cols_hi[d]);
+                }
+            }
+            sq_dists_block(point, &gathered.centers, len, &mut scratch.lane_a);
+            let best = argmin_first(&scratch.lane_a);
+            debug_assert_eq!(
+                scalar_route(entries, point),
+                best,
+                "block routing diverged from the scalar reference"
+            );
+            slot.store_owned(Arc::new(CachedBlock {
+                version: stamp,
+                scored: false,
+                gathered,
+            }));
+            return best;
+        }
         scratch.centers.reset(dims * len);
         for (i, entry) in entries.iter().enumerate() {
             entry.summary.center_into(&mut scratch.cols_hi);
@@ -773,13 +904,7 @@ where
             }
         }
         sq_dists_block(point, &scratch.centers, len, &mut scratch.lane_a);
-        let dists = &scratch.lane_a;
-        let mut best = 0usize;
-        for (i, &d) in dists.iter().enumerate().skip(1) {
-            if dists[best] > d {
-                best = i;
-            }
-        }
+        let best = argmin_first(&scratch.lane_a);
         debug_assert_eq!(
             scalar_route(entries, point),
             best,
@@ -788,6 +913,60 @@ where
         best
     } else {
         scalar_route(entries, point)
+    }
+}
+
+/// Index of the first minimal value (`NaN` never displaces the incumbent) —
+/// the distance-routing tie-break shared by the gathered and cached paths.
+fn argmin_first(dists: &[f64]) -> usize {
+    let mut best = 0usize;
+    for (i, &d) in dists.iter().enumerate().skip(1) {
+        if dists[best] > d {
+            best = i;
+        }
+    }
+    best
+}
+
+/// After an absorb mutates `entries[idx]`'s summary, repairs that entry's
+/// columns in the node's cached routing block (O(dims) instead of a full
+/// regather) so the rest of the batch keeps routing off the cache.  Also
+/// demotes the block to routing-only: whatever scored reading it may have
+/// had no longer matches the node.
+fn refresh_routing_entry<S: Summary>(
+    cache: &mut BlockCacheSlot,
+    stamp: u64,
+    idx: usize,
+    summary: &S,
+    scratch: &mut RouteScratch,
+) {
+    let Some(hit) = cache.get_at_owned(stamp) else {
+        return;
+    };
+    let cached = Arc::make_mut(hit);
+    cached.scored = false;
+    if S::MBR_ROUTED {
+        let block = &mut cached.gathered.block;
+        if block.is_empty() {
+            return;
+        }
+        let mbr = summary.as_mbr().expect("MBR-routed payload exposes an MBR");
+        let (lo, hi) = (mbr.lower(), mbr.upper());
+        for d in 0..block.dims() {
+            block.set_lower(d, idx, lo[d]);
+            block.set_upper(d, idx, hi[d]);
+        }
+    } else if S::CENTER_ROUTED {
+        let centers = &mut cached.gathered.centers;
+        if centers.is_empty() {
+            return;
+        }
+        summary.center_into(&mut scratch.cols_hi);
+        let dims = scratch.cols_hi.len();
+        let len = centers.len() / dims;
+        for d in 0..dims {
+            centers.set(d * len + idx, scratch.cols_hi[d]);
+        }
     }
 }
 

@@ -115,13 +115,15 @@ pub use arena::{
     ArenaSpine, EpochPin, EpochRegistry, NodeArena, SnapshotRefresh, VersionedNode, PAGE_CAP,
     SLOT_CHUNK,
 };
-pub use bt_stats::{BlockPrecision, BlockScratch, Columns, SummaryBlock};
+pub use bt_stats::{
+    BlockCacheSlot, BlockPrecision, BlockScratch, CachedBlock, Columns, GatheredBlock, SummaryBlock,
+};
 pub use descent::{BatchOutcome, CursorStep, DepthHistogram, DescentCursor, DescentStats};
 pub use model::InsertModel;
 pub use node::{Entry, Node, NodeId, NodeKind};
 pub use query::{
-    ElementOrigin, OutlierScore, OutlierVerdict, QueryAnswer, QueryCursor, QueryElement,
-    QueryModel, QueryStats, RefineOrder, SummaryScore, TreeView,
+    BlockCacheRef, ElementOrigin, OutlierScore, OutlierVerdict, QueryAnswer, QueryCursor,
+    QueryElement, QueryModel, QueryStats, RefineOrder, SummaryScore, TreeView,
 };
 pub use shard::{
     CheapestRouter, FixedPartitionRouter, PipelinedOutcome, ShardRouter, ShardedAnytimeTree,

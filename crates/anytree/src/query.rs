@@ -51,8 +51,9 @@
 use crate::node::{Entry, Node, NodeId, NodeKind};
 use crate::summary::Summary;
 use crate::tree::AnytimeTree;
-use bt_stats::BlockScratch;
+use bt_stats::{BlockCacheSlot, BlockPrecision, BlockScratch, CachedBlock, GatheredBlock};
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// The complete score of one directory summary against a query point — what
 /// the frontier needs to admit the summary as an element.
@@ -118,16 +119,54 @@ pub trait QueryModel<S: Summary> {
     /// the frontier when the root itself is a leaf.
     fn summarize_leaf_items(&self, items: &[Self::LeafItem]) -> S;
 
+    /// The column precision this model gathers blocks at.  Cached blocks
+    /// are only reused by a model gathering at the same precision.
+    fn block_precision(&self) -> BlockPrecision {
+        BlockPrecision::F64
+    }
+
+    /// Gathers one directory node's entries into `out`'s columns and returns
+    /// `true`; a model with no block representation returns `false` (the
+    /// default) and is scored through the per-summary scalar loop.
+    ///
+    /// The gather must be a pure function of `entries`: the engine caches
+    /// the result per node (keyed by the node's version stamp) and replays
+    /// it through [`QueryModel::score_gathered`] on later visits.
+    fn gather_entries(&self, entries: &[Entry<S>], out: &mut GatheredBlock) -> bool {
+        let _ = (entries, out);
+        false
+    }
+
+    /// Scores one directory node from its gathered columns, filling `out`
+    /// with one [`SummaryScore`] per entry (in entry order; `out` is cleared
+    /// first).  `entries` is the same slice the gather saw, for per-entry
+    /// fallbacks the columns cannot express.
+    ///
+    /// Must produce exactly the scores [`QueryModel::score_entries`] would:
+    /// the gather/score split exists so the gather can be cached, not so the
+    /// arithmetic can change.
+    fn score_gathered(
+        &self,
+        query: &[f64],
+        entries: &[Entry<S>],
+        gathered: &GatheredBlock,
+        lanes: &mut [Vec<f64>; 4],
+        out: &mut Vec<SummaryScore>,
+    ) {
+        let _ = (query, entries, gathered, lanes);
+        out.clear();
+    }
+
     /// Scores every entry of one directory node against `query` in a single
     /// call, filling `out` with one [`SummaryScore`] per entry (in entry
     /// order; `out` is cleared first).
     ///
-    /// The default delegates to the per-summary methods and must stay the
-    /// behavioural reference: an override may only change *how* the scores
-    /// are computed (e.g. gathering the node into `scratch`'s
-    /// structure-of-arrays block and running the batch kernels of
-    /// `bt_stats::kernel` over all entries at once), never their values
-    /// beyond the override's documented precision mode.
+    /// The default composes [`QueryModel::gather_entries`] +
+    /// [`QueryModel::score_gathered`] when the model gathers, and otherwise
+    /// delegates to the per-summary methods — which stay the behavioural
+    /// reference: a block path may only change *how* the scores are computed
+    /// (structure-of-arrays batch kernels of `bt_stats::kernel`), never
+    /// their values beyond the model's documented precision mode.
     fn score_entries(
         &self,
         query: &[f64],
@@ -135,7 +174,11 @@ pub trait QueryModel<S: Summary> {
         scratch: &mut BlockScratch,
         out: &mut Vec<SummaryScore>,
     ) {
-        let _ = scratch;
+        let BlockScratch { gathered, lanes } = scratch;
+        if self.gather_entries(entries, gathered) {
+            self.score_gathered(query, entries, gathered, lanes, out);
+            return;
+        }
         out.clear();
         out.reserve(entries.len());
         for entry in entries {
@@ -149,6 +192,65 @@ pub trait QueryModel<S: Summary> {
                 lower,
                 upper,
                 min_dist_sq,
+            });
+        }
+    }
+
+    /// Gathers one leaf node's items into `out`'s columns and returns
+    /// `true`; a model with no leaf block representation returns `false`
+    /// (the default) and leaves are scored item by item.  Cached per node
+    /// like [`QueryModel::gather_entries`].
+    fn gather_leaf_items(&self, items: &[Self::LeafItem], out: &mut GatheredBlock) -> bool {
+        let _ = (items, out);
+        false
+    }
+
+    /// Scores one leaf node from its gathered columns — the leaf
+    /// counterpart of [`QueryModel::score_gathered`].  Leaf items are exact,
+    /// so each score's bounds must collapse (`lower == upper ==
+    /// contribution`).
+    fn score_gathered_leaves(
+        &self,
+        query: &[f64],
+        items: &[Self::LeafItem],
+        gathered: &GatheredBlock,
+        lanes: &mut [Vec<f64>; 4],
+        out: &mut Vec<SummaryScore>,
+    ) {
+        let _ = (query, items, gathered, lanes);
+        out.clear();
+    }
+
+    /// Scores every item of one leaf node against `query` in a single call,
+    /// filling `out` with one [`SummaryScore`] per item (in item order;
+    /// `out` is cleared first).
+    ///
+    /// The default composes [`QueryModel::gather_leaf_items`] +
+    /// [`QueryModel::score_gathered_leaves`] when the model gathers leaves,
+    /// and otherwise runs the per-item scalar loop — the behavioural
+    /// reference a leaf block path must reproduce.
+    fn score_leaf_items(
+        &self,
+        query: &[f64],
+        items: &[Self::LeafItem],
+        scratch: &mut BlockScratch,
+        out: &mut Vec<SummaryScore>,
+    ) {
+        let BlockScratch { gathered, lanes } = scratch;
+        if self.gather_leaf_items(items, gathered) {
+            self.score_gathered_leaves(query, items, gathered, lanes, out);
+            return;
+        }
+        out.clear();
+        out.reserve(items.len());
+        for item in items {
+            let contribution = self.leaf_contribution(query, item);
+            out.push(SummaryScore {
+                weight: self.leaf_weight(item),
+                contribution,
+                lower: contribution,
+                upper: contribution,
+                min_dist_sq: self.leaf_sq_dist(query, item),
             });
         }
     }
@@ -258,6 +360,12 @@ pub struct QueryStats {
     /// Frontier elements scored against a query (entries, buffers and leaf
     /// items pushed onto a frontier).
     pub elements_scored: u64,
+    /// Nodes whose columns were gathered into a block (a cache miss on the
+    /// block path, or a model without a cache slot in reach).
+    pub block_gathers: u64,
+    /// Nodes scored straight from an epoch-valid cached block — gathers the
+    /// cache made unnecessary.
+    pub gathers_avoided: u64,
 }
 
 impl QueryStats {
@@ -267,6 +375,8 @@ impl QueryStats {
         self.queries += other.queries;
         self.nodes_read += other.nodes_read;
         self.elements_scored += other.elements_scored;
+        self.block_gathers += other.block_gathers;
+        self.gathers_avoided += other.gathers_avoided;
     }
 
     /// The work performed since `earlier` was captured (element-wise
@@ -277,6 +387,20 @@ impl QueryStats {
             queries: self.queries.saturating_sub(earlier.queries),
             nodes_read: self.nodes_read.saturating_sub(earlier.nodes_read),
             elements_scored: self.elements_scored.saturating_sub(earlier.elements_scored),
+            block_gathers: self.block_gathers.saturating_sub(earlier.block_gathers),
+            gathers_avoided: self.gathers_avoided.saturating_sub(earlier.gathers_avoided),
+        }
+    }
+
+    /// Fraction of block-scored node visits served from the cache
+    /// (`0.0` when no block scoring happened at all).
+    #[must_use]
+    pub fn gather_hit_rate(&self) -> f64 {
+        let total = self.block_gathers + self.gathers_avoided;
+        if total == 0 {
+            0.0
+        } else {
+            self.gathers_avoided as f64 / total as f64
         }
     }
 }
@@ -285,10 +409,35 @@ impl std::fmt::Display for QueryStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "queries={} reads={} scored={}",
-            self.queries, self.nodes_read, self.elements_scored
+            "queries={} reads={} scored={} gathers={} cached={}",
+            self.queries,
+            self.nodes_read,
+            self.elements_scored,
+            self.block_gathers,
+            self.gathers_avoided
         )
     }
+}
+
+/// Borrowed handle to one node's block-cache slot, as resolved by a
+/// [`TreeView`]: the slot itself, the version stamp the view observes the
+/// node at, and whether fresh gathers may be stored back at that stamp.
+///
+/// A cached block is the model-gathered structure-of-arrays image of a
+/// node ([`GatheredBlock`]) stamped with the node's mutation version; the
+/// stale stamp *is* the invalidation — no flags, no generation counters.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockCacheRef<'a> {
+    /// The node's cache slot (lives page-side next to the node's version).
+    pub slot: &'a BlockCacheSlot,
+    /// The node's version stamp as seen through this view; a cached block
+    /// is reused only while its stamp equals this.
+    pub version: u64,
+    /// Whether a freshly gathered block may be stored at `version`.  Live
+    /// trees refuse to cache nodes stamped past the published epoch — an
+    /// in-flight batch may still mutate them *at the same stamp* — while
+    /// snapshot pages are copy-on-write immutable and always cache.
+    pub cacheable: bool,
 }
 
 /// The answer of one (possibly interrupted) query: the current mixture
@@ -739,16 +888,22 @@ impl QueryCursor {
         self.stats.elements_scored += 1;
     }
 
-    /// Scores all entries of directory node `node` in one
-    /// [`QueryModel::score_entries`] call and admits them to the frontier —
-    /// the block-scoring entry point used by [`TreeView::begin_query`] and
-    /// [`TreeView::refine_query`].
-    fn push_entries<S, M>(&mut self, model: &M, node: NodeId, entries: &[Entry<S>], depth: usize)
-    where
+    /// Scores all entries of directory node `node` in one block-scoring
+    /// call and admits them to the frontier — the entry point used by
+    /// [`TreeView::begin_query`] and [`TreeView::refine_query`].  A cached
+    /// block at the node's current stamp skips the gather entirely.
+    fn push_entries<S, M>(
+        &mut self,
+        model: &M,
+        node: NodeId,
+        entries: &[Entry<S>],
+        cache: Option<BlockCacheRef<'_>>,
+        depth: usize,
+    ) where
         S: Summary,
         M: QueryModel<S>,
     {
-        model.score_entries(&self.query, entries, &mut self.block, &mut self.scores);
+        self.score_node_entries(model, entries, cache);
         debug_assert_eq!(self.scores.len(), entries.len());
         let scores = std::mem::take(&mut self.scores);
         for (index, (entry, score)) in entries.iter().zip(&scores).enumerate() {
@@ -762,35 +917,118 @@ impl QueryCursor {
         self.scores = scores;
     }
 
-    fn push_leaf_item<S, M>(
+    /// Fills `self.scores` with one score per entry: cached block if the
+    /// node's slot holds one at the observed stamp, else gather (storing
+    /// the result back when the view allows it), else the scalar loop.
+    fn score_node_entries<S, M>(
         &mut self,
         model: &M,
-        item: &M::LeafItem,
-        origin: ElementOrigin,
+        entries: &[Entry<S>],
+        cache: Option<BlockCacheRef<'_>>,
+    ) where
+        S: Summary,
+        M: QueryModel<S>,
+    {
+        if let Some(cache) = cache {
+            if let Some(hit) = cache
+                .slot
+                .lookup_scored(cache.version, model.block_precision())
+            {
+                self.stats.gathers_avoided += 1;
+                model.score_gathered(
+                    &self.query,
+                    entries,
+                    &hit.gathered,
+                    &mut self.block.lanes,
+                    &mut self.scores,
+                );
+                return;
+            }
+        }
+        let BlockScratch { gathered, lanes } = &mut self.block;
+        if model.gather_entries(entries, gathered) {
+            self.stats.block_gathers += 1;
+            model.score_gathered(&self.query, entries, gathered, lanes, &mut self.scores);
+            if let Some(cache) = cache {
+                if cache.cacheable {
+                    cache.slot.store(Arc::new(CachedBlock {
+                        version: cache.version,
+                        scored: true,
+                        gathered: std::mem::take(&mut self.block.gathered),
+                    }));
+                }
+            }
+            return;
+        }
+        model.score_entries(&self.query, entries, &mut self.block, &mut self.scores);
+    }
+
+    /// Scores all items of leaf node `node` in one block-scoring call and
+    /// admits them to the frontier (unrefinable, collapsed bounds) — the
+    /// leaf counterpart of [`Self::push_entries`].
+    fn push_leaf_items<S, M>(
+        &mut self,
+        model: &M,
+        node: NodeId,
+        items: &[M::LeafItem],
+        cache: Option<BlockCacheRef<'_>>,
         depth: usize,
     ) where
         S: Summary,
         M: QueryModel<S>,
     {
-        let contribution = model.leaf_contribution(&self.query, item);
-        let min_dist_sq = model.leaf_sq_dist(&self.query, item);
-        let seq = self.bump_seq();
-        self.elements.push(QueryElement {
-            origin,
-            child: None,
-            weight: model.leaf_weight(item),
-            contribution,
-            lower: contribution,
-            upper: contribution,
-            min_dist_sq,
-            depth,
-            seq,
-        });
-        self.after_push();
-        self.estimate.add(contribution);
-        self.lower.add(contribution);
-        self.upper.add(contribution);
-        self.stats.elements_scored += 1;
+        self.score_node_leaves(model, items, cache);
+        debug_assert_eq!(self.scores.len(), items.len());
+        let scores = std::mem::take(&mut self.scores);
+        for (index, score) in scores.iter().enumerate() {
+            self.push_scored(None, score, ElementOrigin::LeafItem { node, index }, depth);
+        }
+        self.scores = scores;
+    }
+
+    /// Leaf twin of [`Self::score_node_entries`], over the model's leaf
+    /// gather/score hooks.
+    fn score_node_leaves<S, M>(
+        &mut self,
+        model: &M,
+        items: &[M::LeafItem],
+        cache: Option<BlockCacheRef<'_>>,
+    ) where
+        S: Summary,
+        M: QueryModel<S>,
+    {
+        if let Some(cache) = cache {
+            if let Some(hit) = cache
+                .slot
+                .lookup_scored(cache.version, model.block_precision())
+            {
+                self.stats.gathers_avoided += 1;
+                model.score_gathered_leaves(
+                    &self.query,
+                    items,
+                    &hit.gathered,
+                    &mut self.block.lanes,
+                    &mut self.scores,
+                );
+                return;
+            }
+        }
+        let BlockScratch { gathered, lanes } = &mut self.block;
+        if model.gather_leaf_items(items, gathered) {
+            self.stats.block_gathers += 1;
+            model.score_gathered_leaves(&self.query, items, gathered, lanes, &mut self.scores);
+            if let Some(cache) = cache {
+                if cache.cacheable {
+                    cache.slot.store(Arc::new(CachedBlock {
+                        version: cache.version,
+                        scored: true,
+                        gathered: std::mem::take(&mut self.block.gathered),
+                    }));
+                }
+            }
+            return;
+        }
+        model.score_leaf_items(&self.query, items, &mut self.block, &mut self.scores);
     }
 
     fn bump_seq(&mut self) -> u64 {
@@ -824,6 +1062,15 @@ pub trait TreeView<S: Summary, L> {
 
     /// Height of the tree (a single leaf root has height 1).
     fn height(&self) -> usize;
+
+    /// The block-cache slot of node `id`, if this view exposes one — the
+    /// slot plus the version stamp the view observes the node at, and
+    /// whether fresh gathers may be stored back.  The default (`None`)
+    /// disables caching: every block-scored visit gathers anew.
+    fn block_cache(&self, id: NodeId) -> Option<BlockCacheRef<'_>> {
+        let _ = id;
+        None
+    }
 
     /// The ids of every node reachable from the root, in depth-first order.
     #[must_use]
@@ -867,7 +1114,7 @@ pub trait TreeView<S: Summary, L> {
         let root = self.root();
         match &self.node(root).kind {
             NodeKind::Inner { entries } => {
-                cursor.push_entries(model, root, entries, 1);
+                cursor.push_entries(model, root, entries, self.block_cache(root), 1);
             }
             NodeKind::Leaf { items } => {
                 if !items.is_empty() {
@@ -926,17 +1173,10 @@ pub trait TreeView<S: Summary, L> {
         let child_depth = element.depth + 1;
         match &self.node(child).kind {
             NodeKind::Inner { entries } => {
-                cursor.push_entries(model, child, entries, child_depth);
+                cursor.push_entries(model, child, entries, self.block_cache(child), child_depth);
             }
             NodeKind::Leaf { items } => {
-                for (index, item) in items.iter().enumerate() {
-                    cursor.push_leaf_item(
-                        model,
-                        item,
-                        ElementOrigin::LeafItem { node: child, index },
-                        child_depth,
-                    );
-                }
+                cursor.push_leaf_items(model, child, items, self.block_cache(child), child_depth);
             }
         }
         cursor.nodes_read += 1;
@@ -1063,6 +1303,21 @@ impl<S: Summary, L> TreeView<S, L> for AnytimeTree<S, L> {
 
     fn height(&self) -> usize {
         AnytimeTree::height(self)
+    }
+
+    fn block_cache(&self, id: NodeId) -> Option<BlockCacheRef<'_>> {
+        let arena = self.arena();
+        let version = arena.version(id);
+        Some(BlockCacheRef {
+            slot: arena.cache_slot(id),
+            version,
+            // A node stamped past the published epoch belongs to an
+            // in-flight batch that may still mutate it at the same stamp:
+            // reuse what the batch cached for routing is fine elsewhere,
+            // but a *query* must not store a scored block it could later
+            // mistake for current.
+            cacheable: version <= arena.epoch(),
+        })
     }
 }
 
@@ -1344,7 +1599,23 @@ mod tests {
             queries: 2,
             nodes_read: 17,
             elements_scored: 64,
+            block_gathers: 5,
+            gathers_avoided: 12,
         };
-        assert_eq!(stats.to_string(), "queries=2 reads=17 scored=64");
+        assert_eq!(
+            stats.to_string(),
+            "queries=2 reads=17 scored=64 gathers=5 cached=12"
+        );
+    }
+
+    #[test]
+    fn gather_hit_rate_handles_the_empty_case() {
+        assert_eq!(QueryStats::default().gather_hit_rate(), 0.0);
+        let stats = QueryStats {
+            block_gathers: 1,
+            gathers_avoided: 3,
+            ..QueryStats::default()
+        };
+        assert_eq!(stats.gather_hit_rate(), 0.75);
     }
 }

@@ -32,7 +32,7 @@
 
 use crate::arena::{ArenaSpine, EpochPin, EpochRegistry, SnapshotRefresh};
 use crate::node::{Node, NodeId};
-use crate::query::TreeView;
+use crate::query::{BlockCacheRef, TreeView};
 use crate::summary::Summary;
 use crate::tree::AnytimeTree;
 use std::sync::Arc;
@@ -159,6 +159,17 @@ impl<S: Summary, L> TreeView<S, L> for TreeSnapshot<S, L> {
 
     fn height(&self) -> usize {
         TreeSnapshot::height(self)
+    }
+
+    fn block_cache(&self, id: NodeId) -> Option<BlockCacheRef<'_>> {
+        Some(BlockCacheRef {
+            slot: self.spine.cache_slot(id),
+            version: self.spine.version(id),
+            // Snapshot pages are copy-on-write immutable: any later live
+            // mutation retires the node onto a fresh page first, so a block
+            // gathered here can never go stale at this stamp.
+            cacheable: true,
+        })
     }
 }
 

@@ -31,10 +31,10 @@ use bt_anytree::{
 };
 use bt_stats::kernel::{
     box_min_sq_dists_block, diag_log_pdfs_block, farthest_point_log_kernel,
-    farthest_point_log_kernels_block, nearest_point_log_kernel, nearest_point_log_kernels_block,
-    GaussianKernel, Kernel,
+    farthest_point_log_kernels_block, gaussian_log_terms_block, nearest_point_log_kernel,
+    nearest_point_log_kernels_block, sq_dists_block, GaussianKernel, Kernel,
 };
-use bt_stats::{BlockPrecision, BlockScratch, VARIANCE_FLOOR};
+use bt_stats::{BlockPrecision, GatheredBlock, VARIANCE_FLOOR};
 
 /// The Definition 3 mixture term `(n_es / n) * g(x, mu_es, sigma_es)` of one
 /// summary — the single place this arithmetic lives; the incremental
@@ -131,30 +131,24 @@ impl QueryModel<KernelSummary> for KernelQueryModel<'_> {
         KernelSummary::from_points(items, items[0].len()).expect("cannot summarise an empty leaf")
     }
 
-    /// Block scoring: gathers the node's entries into the scratch's
-    /// structure-of-arrays [`bt_stats::SummaryBlock`] (weights, Gaussian
-    /// means / variances, MBR corners) and evaluates every entry's mixture
-    /// term, MBR bounds and geometric priority with the dimension-major
-    /// batch kernels of `bt_stats::kernel` — one autovectorizable pass per
-    /// quantity instead of four scalar loops per entry.
+    fn block_precision(&self) -> BlockPrecision {
+        self.precision
+    }
+
+    /// Block gather: packs the node's entries into the structure-of-arrays
+    /// [`bt_stats::SummaryBlock`] (weights, Gaussian means / variances, MBR
+    /// corners) so [`QueryModel::score_gathered`] can evaluate every entry
+    /// with the dimension-major batch kernels of `bt_stats::kernel` — one
+    /// vectorized pass per quantity instead of four scalar loops per entry.
     ///
     /// The gather replicates `ClusterFeature::variance` and the
-    /// `DiagGaussian` variance clamp exactly, and the batch kernels
-    /// accumulate in the same
-    /// per-dimension order as the scalar methods, so in the default
-    /// [`BlockPrecision::F64`] mode the scores are bit-identical to the
-    /// per-summary reference (the frontier tests assert this).  In the
-    /// opt-in `F32` mode only the *stored* columns are quantised.
-    fn score_entries(
-        &self,
-        query: &[f64],
-        entries: &[Entry<KernelSummary>],
-        scratch: &mut BlockScratch,
-        out: &mut Vec<SummaryScore>,
-    ) {
-        let dims = query.len();
+    /// `DiagGaussian` variance clamp exactly, and it is a pure function of
+    /// `entries` — the engine caches it per node, keyed by the node's
+    /// version stamp.
+    fn gather_entries(&self, entries: &[Entry<KernelSummary>], out: &mut GatheredBlock) -> bool {
+        let dims = self.bandwidth.len();
         let len = entries.len();
-        let block = &mut scratch.block;
+        let block = &mut out.block;
         block.set_precision(self.precision);
         block.reset(dims, len);
         block.enable_boxes();
@@ -185,8 +179,39 @@ impl QueryModel<KernelSummary> for KernelQueryModel<'_> {
                 block.set_upper(d, i, hi[d]);
             }
         }
-        let [contrib, far, near, dist] = &mut scratch.lanes;
-        diag_log_pdfs_block(query, block.mean(), block.var(), len, contrib);
+        // Hoist the query-independent `ln(var)` out of the scoring loop:
+        // the column is cached with the block, so warm hits score the node
+        // without a single transcendental.
+        block.fill_log_vars();
+        true
+    }
+
+    /// Block scoring over gathered columns: mixture term, MBR bounds and
+    /// geometric priority for all entries at once.  The batch kernels
+    /// accumulate in the same per-dimension order as the scalar methods, so
+    /// in the default [`BlockPrecision::F64`] mode the scores are
+    /// bit-identical to the per-summary reference (the frontier tests
+    /// assert this).  In the opt-in `F32` mode only the *stored* columns
+    /// are quantised.
+    fn score_gathered(
+        &self,
+        query: &[f64],
+        _entries: &[Entry<KernelSummary>],
+        gathered: &GatheredBlock,
+        lanes: &mut [Vec<f64>; 4],
+        out: &mut Vec<SummaryScore>,
+    ) {
+        let block = &gathered.block;
+        let len = block.len();
+        let [contrib, far, near, dist] = lanes;
+        diag_log_pdfs_block(
+            query,
+            block.mean(),
+            block.var(),
+            block.log_vars(),
+            len,
+            contrib,
+        );
         farthest_point_log_kernels_block(
             query,
             self.bandwidth,
@@ -214,6 +239,54 @@ impl QueryModel<KernelSummary> for KernelQueryModel<'_> {
                 contribution: scale * contrib[i].exp(),
                 lower: scale * far[i].exp(),
                 upper: scale * near[i].exp(),
+                min_dist_sq: dist[i],
+            });
+        }
+    }
+
+    /// Leaf block gather: a leaf's items are raw points, so their
+    /// coordinates *are* the mean columns — nothing else is needed.
+    fn gather_leaf_items(&self, items: &[Vec<f64>], out: &mut GatheredBlock) -> bool {
+        let dims = self.bandwidth.len();
+        let len = items.len();
+        let block = &mut out.block;
+        block.set_precision(self.precision);
+        block.reset(dims, len);
+        for (i, item) in items.iter().enumerate() {
+            block.set_weight(i, 1.0);
+            for (d, &v) in item.iter().take(dims).enumerate() {
+                block.set_mean(d, i, v);
+            }
+        }
+        true
+    }
+
+    /// Leaf block scoring: one [`gaussian_log_terms_block`] pass evaluates
+    /// every item's product kernel (the exact sum [`GaussianKernel`] takes,
+    /// in the same dimension order — bit-identical in `F64` mode) and one
+    /// [`sq_dists_block`] pass their geometric priorities.
+    fn score_gathered_leaves(
+        &self,
+        query: &[f64],
+        _items: &[Vec<f64>],
+        gathered: &GatheredBlock,
+        lanes: &mut [Vec<f64>; 4],
+        out: &mut Vec<SummaryScore>,
+    ) {
+        let block = &gathered.block;
+        let len = block.len();
+        let [logk, dist, _, _] = lanes;
+        gaussian_log_terms_block(query, self.bandwidth, block.mean(), None, len, logk);
+        sq_dists_block(query, block.mean(), len, dist);
+        out.clear();
+        out.reserve(len);
+        for i in 0..len {
+            let contribution = logk[i].exp() / self.n;
+            out.push(SummaryScore {
+                weight: 1.0,
+                contribution,
+                lower: contribution,
+                upper: contribution,
                 min_dist_sq: dist[i],
             });
         }
@@ -295,6 +368,7 @@ mod tests {
     use super::*;
     use bt_anytree::OutlierVerdict;
     use bt_index::PageGeometry;
+    use bt_stats::BlockScratch;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 

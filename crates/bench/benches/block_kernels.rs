@@ -16,10 +16,11 @@
 use bayestree::query::KernelQueryModel;
 use bayestree::KernelSummary;
 use bt_anytree::{Entry, QueryModel, Summary, SummaryScore};
-use bt_stats::BlockScratch;
+use bt_stats::{BlockCacheSlot, BlockScratch, CachedBlock, GatheredBlock};
 use clustree::{ClusQueryModel, MicroCluster};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 const DIMS: usize = 8;
@@ -89,6 +90,30 @@ where
             lower,
             upper,
             min_dist_sq: model.summary_sq_dist(query, summary),
+        });
+    }
+}
+
+/// The scalar leaf reference: the per-item loop the default
+/// [`QueryModel::score_leaf_items`] falls back to.
+fn score_leaf_scalar<S, M>(
+    model: &M,
+    query: &[f64],
+    items: &[M::LeafItem],
+    out: &mut Vec<SummaryScore>,
+) where
+    S: Summary,
+    M: QueryModel<S>,
+{
+    out.clear();
+    for item in items {
+        let contribution = model.leaf_contribution(query, item);
+        out.push(SummaryScore {
+            weight: model.leaf_weight(item),
+            contribution,
+            lower: contribution,
+            upper: contribution,
+            min_dist_sq: model.leaf_sq_dist(query, item),
         });
     }
 }
@@ -205,6 +230,124 @@ fn block_kernel_benchmarks(c: &mut Criterion) {
             model.score_entries(
                 black_box(&query),
                 black_box(&entries),
+                &mut scratch,
+                &mut out,
+            );
+            out.len()
+        })
+    });
+    group.finish();
+
+    cache_hit_benchmarks(c);
+    leaf_block_benchmarks(c);
+}
+
+/// Cache-hit group: gather + score (the cold miss) versus an epoch-stamped
+/// [`BlockCacheSlot`] lookup + score (the warm hit that skips the gather).
+fn cache_hit_benchmarks(c: &mut Criterion) {
+    let entries = kernel_entries();
+    let bandwidth = vec![0.75; DIMS];
+    let model = KernelQueryModel::new(NODE_LEN * POINTS_PER_ENTRY, &bandwidth);
+    let query = vec![3.25; DIMS];
+    let mut scratch = BlockScratch::new();
+    let mut out = Vec::new();
+
+    let version = 7;
+    let slot = BlockCacheSlot::new();
+    let mut gathered = GatheredBlock::with_precision(model.block_precision());
+    assert!(model.gather_entries(&entries, &mut gathered));
+    slot.store(Arc::new(CachedBlock {
+        version,
+        scored: true,
+        gathered,
+    }));
+
+    let mut group = c.benchmark_group("block_cache");
+    group.bench_function(BenchmarkId::from_parameter("cold_gather"), |b| {
+        b.iter(|| {
+            model.score_entries(
+                black_box(&query),
+                black_box(&entries),
+                &mut scratch,
+                &mut out,
+            );
+            out.len()
+        })
+    });
+    let mut lanes: [Vec<f64>; 4] = Default::default();
+    group.bench_function(BenchmarkId::from_parameter("warm_hit"), |b| {
+        b.iter(|| {
+            let cached = slot
+                .lookup_scored(version, model.block_precision())
+                .expect("warm slot hits");
+            model.score_gathered(
+                black_box(&query),
+                black_box(&entries),
+                &cached.gathered,
+                &mut lanes,
+                &mut out,
+            );
+            out.len()
+        })
+    });
+    group.finish();
+}
+
+/// Leaf-block group: the per-item scalar loop (the default
+/// [`QueryModel::score_leaf_items`] fallback) versus the gathered leaf block
+/// path, for both trees.
+fn leaf_block_benchmarks(c: &mut Criterion) {
+    let mut rng = SplitMix(0x1eaf);
+    let points: Vec<Vec<f64>> = (0..NODE_LEN).map(|i| rng.point((i % 7) as f64)).collect();
+    let bandwidth = vec![0.75; DIMS];
+    let model = KernelQueryModel::new(NODE_LEN * POINTS_PER_ENTRY, &bandwidth);
+    let query = vec![3.25; DIMS];
+    let mut scratch = BlockScratch::new();
+    let mut out = Vec::new();
+
+    let mut group = c.benchmark_group("bayestree_score_leaf");
+    group.bench_function(BenchmarkId::from_parameter("per_item"), |b| {
+        b.iter(|| {
+            score_leaf_scalar(&model, black_box(&query), black_box(&points), &mut out);
+            out.len()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("block"), |b| {
+        b.iter(|| {
+            model.score_leaf_items(
+                black_box(&query),
+                black_box(&points),
+                &mut scratch,
+                &mut out,
+            );
+            out.len()
+        })
+    });
+    group.finish();
+
+    let clusters: Vec<MicroCluster> = (0..NODE_LEN)
+        .map(|i| {
+            let mut mc = MicroCluster::from_point(&rng.point((i % 7) as f64), 0.0);
+            for t in 1..POINTS_PER_ENTRY {
+                mc.insert(&rng.point((i % 7) as f64), t as f64, 0.0);
+            }
+            mc
+        })
+        .collect();
+    let total: f64 = clusters.iter().map(Summary::weight).sum();
+    let model = ClusQueryModel::new(total, bandwidth, 0.0);
+    let mut group = c.benchmark_group("clustree_score_leaf");
+    group.bench_function(BenchmarkId::from_parameter("per_item"), |b| {
+        b.iter(|| {
+            score_leaf_scalar(&model, black_box(&query), black_box(&clusters), &mut out);
+            out.len()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("block"), |b| {
+        b.iter(|| {
+            model.score_leaf_items(
+                black_box(&query),
+                black_box(&clusters),
                 &mut scratch,
                 &mut out,
             );

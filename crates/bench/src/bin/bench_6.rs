@@ -9,12 +9,12 @@
 
 use bayestree::query::KernelQueryModel;
 use bayestree::{BayesTree, KernelSummary};
+use bayestree_bench::record::{best_of_3, BenchRecord, SplitMix};
 use bt_anytree::{Entry, OutlierVerdict, QueryModel, Summary, SummaryScore};
 use bt_data::stream::DriftingStream;
 use bt_index::PageGeometry;
 use bt_stats::BlockScratch;
 use std::hint::black_box;
-use std::time::Instant;
 
 const DIMS: usize = 8;
 const NODE_LEN: usize = 64;
@@ -22,31 +22,6 @@ const POINTS_PER_ENTRY: usize = 16;
 const STREAM_LEN: usize = 8_000;
 const BATCH_SIZE: usize = 256;
 const QUERY_BUDGET: usize = 24;
-
-/// Tiny deterministic generator so the binary needs no RNG dependency.
-struct SplitMix(u64);
-
-impl SplitMix {
-    fn next_f64(&mut self) -> f64 {
-        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^= z >> 31;
-        (z >> 11) as f64 / (1u64 << 53) as f64
-    }
-}
-
-/// Best-of-3 wall-clock seconds for one closure.
-fn best_of_3(mut run: impl FnMut() -> usize) -> f64 {
-    (0..3)
-        .map(|_| {
-            let start = Instant::now();
-            black_box(run());
-            start.elapsed().as_secs_f64()
-        })
-        .fold(f64::INFINITY, f64::min)
-}
 
 fn stream_points() -> Vec<Vec<f64>> {
     DriftingStream::new(4, DIMS, 0.3, 0.002, 17)
@@ -166,18 +141,23 @@ fn main() {
     eprintln!("bench_6: scoring one {NODE_LEN}-entry node, scalar vs block...");
     let (scalar_us, block_us, ratio) = measure_kernel_ratio();
 
-    let json = format!(
-        "{{\n  \"bench\": \"soa_node_layout\",\n  \"config\": {{\n    \"dims\": {DIMS},\n    \
-         \"stream_len\": {STREAM_LEN},\n    \"batch_size\": {BATCH_SIZE},\n    \
-         \"query_budget\": {QUERY_BUDGET},\n    \"node_entries\": {NODE_LEN}\n  }},\n  \
-         \"inserts_per_sec\": {inserts_per_sec:.1},\n  \
-         \"certified_queries_per_sec\": {certified_per_sec:.1},\n  \
-         \"certified_queries\": {certified},\n  \"total_queries\": {total_queries},\n  \
-         \"scalar_node_score_us\": {scalar_us:.3},\n  \
-         \"block_node_score_us\": {block_us:.3},\n  \
-         \"scalar_over_block_ratio\": {ratio:.3}\n}}\n"
-    );
-    std::fs::write("BENCH_6.json", &json).expect("write BENCH_6.json");
+    let json = BenchRecord::new("soa_node_layout")
+        .config("dims", DIMS)
+        .config("stream_len", STREAM_LEN)
+        .config("batch_size", BATCH_SIZE)
+        .config("query_budget", QUERY_BUDGET)
+        .config("node_entries", NODE_LEN)
+        .field("inserts_per_sec", format!("{inserts_per_sec:.1}"))
+        .field(
+            "certified_queries_per_sec",
+            format!("{certified_per_sec:.1}"),
+        )
+        .field("certified_queries", format!("{certified}"))
+        .field("total_queries", format!("{total_queries}"))
+        .field("scalar_node_score_us", format!("{scalar_us:.3}"))
+        .field("block_node_score_us", format!("{block_us:.3}"))
+        .field("scalar_over_block_ratio", format!("{ratio:.3}"))
+        .write("BENCH_6.json");
     println!("{json}");
     eprintln!("bench_6: wrote BENCH_6.json");
 }

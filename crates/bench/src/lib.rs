@@ -15,6 +15,8 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod record;
+
 use bayestree::{DescentStrategy, RefinementStrategy};
 use bt_eval::CurveConfig;
 use bt_index::PageGeometry;

@@ -1,0 +1,150 @@
+//! Shared plumbing for the `bench_*` perf-trajectory recorder binaries.
+//!
+//! Each `bench_N` binary measures the handful of numbers its PR is gated on
+//! and writes them to `BENCH_N.json` in the current directory (repo root
+//! when run via `cargo run`); the JSON is committed so the trajectory of the
+//! numbers is recorded next to the code that produced them.  The binaries
+//! share the same skeleton — a dependency-free deterministic generator, a
+//! best-of-3 wall-clock measurement, and a flat `{bench, config, fields...}`
+//! JSON layout — which lives here so it exists exactly once.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Tiny deterministic generator (SplitMix64) so the binaries need no RNG
+/// dependency.
+pub struct SplitMix(pub u64);
+
+impl SplitMix {
+    /// The next uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Best-of-3 wall-clock seconds for one closure (its `usize` result is
+/// black-boxed so the work cannot be optimised away).
+pub fn best_of_3(mut run: impl FnMut() -> usize) -> f64 {
+    (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(run());
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Builder for the committed `BENCH_N.json` records.
+///
+/// The layout is fixed — a `bench` name, a nested `config` object, then the
+/// measured fields in insertion order — so every recorder emits the same
+/// schema.  Values are passed pre-rendered, which keeps the caller in
+/// control of the decimal places each number is committed with.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    bench: String,
+    config: Vec<(String, String)>,
+    fields: Vec<(String, String)>,
+}
+
+impl BenchRecord {
+    /// An empty record for the benchmark called `bench`.
+    #[must_use]
+    pub fn new(bench: &str) -> Self {
+        Self {
+            bench: bench.to_string(),
+            config: Vec::new(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends one `config` entry (workload shape, not a measurement).
+    #[must_use]
+    pub fn config(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        self.config.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Appends one measured field with a pre-rendered JSON value (e.g.
+    /// `format!("{v:.3}")`).
+    #[must_use]
+    pub fn field(mut self, key: &str, rendered: impl Into<String>) -> Self {
+        self.fields.push((key.to_string(), rendered.into()));
+        self
+    }
+
+    /// Renders the record as pretty-printed JSON (trailing newline
+    /// included).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"bench\": \"{}\",", self.bench);
+        out.push_str("  \"config\": {\n");
+        for (i, (key, value)) in self.config.iter().enumerate() {
+            let comma = if i + 1 < self.config.len() { "," } else { "" };
+            let _ = writeln!(out, "    \"{key}\": {value}{comma}");
+        }
+        out.push_str("  },\n");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            let comma = if i + 1 < self.fields.len() { "," } else { "" };
+            let _ = writeln!(out, "  \"{key}\": {value}{comma}");
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the record to `path` and returns the JSON that was written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written.
+    pub fn write(&self, path: &str) -> String {
+        let json = self.to_json();
+        std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        json
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_in_unit_range() {
+        let mut a = SplitMix(0x5eed);
+        let mut b = SplitMix(0x5eed);
+        for _ in 0..100 {
+            let x = a.next_f64();
+            assert_eq!(x.to_bits(), b.next_f64().to_bits());
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn record_renders_the_committed_layout() {
+        let json = BenchRecord::new("demo")
+            .config("dims", 8)
+            .config("stream_len", 8000)
+            .field("inserts_per_sec", format!("{:.1}", 1234.5678))
+            .field("ratio", format!("{:.3}", 1.8765))
+            .to_json();
+        assert_eq!(
+            json,
+            "{\n  \"bench\": \"demo\",\n  \"config\": {\n    \"dims\": 8,\n    \
+             \"stream_len\": 8000\n  },\n  \"inserts_per_sec\": 1234.6,\n  \
+             \"ratio\": 1.877\n}\n"
+        );
+    }
+
+    #[test]
+    fn best_of_3_returns_a_positive_wall_clock() {
+        let secs = best_of_3(|| (0..1000).sum::<usize>());
+        assert!(secs >= 0.0 && secs.is_finite());
+    }
+}

@@ -51,7 +51,7 @@ use bt_stats::kernel::{
     nearest_point_log_kernels_block, smoothed_farthest_log_kernel,
     smoothed_farthest_log_kernels_block, sq_dists_block,
 };
-use bt_stats::{BlockPrecision, BlockScratch};
+use bt_stats::{BlockPrecision, GatheredBlock};
 
 /// The micro-cluster query model: a smoothed Gaussian kernel score with
 /// certain, monotone bounds computable from cluster features alone.
@@ -211,33 +211,31 @@ impl QueryModel<MicroCluster> for ClusQueryModel {
         summary
     }
 
-    /// Block scoring: gathers the node's entries into the scratch's
-    /// structure-of-arrays block (weights, smoothed means / variances,
-    /// routing centres, MBR corners) and evaluates the Jensen kernel, both
-    /// bounds and the geometric priority with the dimension-major batch
-    /// kernels — one autovectorizable pass per quantity.
+    fn block_precision(&self) -> BlockPrecision {
+        self.precision
+    }
+
+    /// Block gather: packs the node's entries into the structure-of-arrays
+    /// block (weights, smoothed means / variances, routing centres, MBR
+    /// corners) so [`QueryModel::score_gathered`] can evaluate the Jensen
+    /// kernel, both bounds and the geometric priority with the
+    /// dimension-major batch kernels — one vectorized pass per quantity.
     ///
     /// The gather replicates the scalar arithmetic exactly (`ls / n` for
     /// the smoothed mean, `ls * (1/n)` for the routing centre — different
     /// roundings, hence two column sets; variance floored at `0.0`, not the
-    /// Gaussian floor), so in the default [`BlockPrecision::F64`] mode the
-    /// scores are bit-identical to the per-summary reference.  Nodes with a
-    /// box-less entry fall back to scalar bounds for the whole node (the
-    /// box columns would be meaningless), keeping the values unchanged.
-    fn score_entries(
-        &self,
-        query: &[f64],
-        entries: &[Entry<MicroCluster>],
-        scratch: &mut BlockScratch,
-        out: &mut Vec<SummaryScore>,
-    ) {
-        let dims = query.len();
+    /// Gaussian floor), and it is a pure function of `entries` — the engine
+    /// caches it per node, keyed by the node's version stamp.  Nodes with a
+    /// box-less entry gather without box columns; scoring falls back to
+    /// scalar bounds for such nodes, keeping the values unchanged.
+    fn gather_entries(&self, entries: &[Entry<MicroCluster>], out: &mut GatheredBlock) -> bool {
+        let dims = self.bandwidth.len();
         let len = entries.len();
-        let block = &mut scratch.block;
+        let block = &mut out.block;
         block.set_precision(self.precision);
         block.reset(dims, len);
-        scratch.centers.set_precision(self.precision);
-        scratch.centers.reset(dims * len);
+        out.centers.set_precision(self.precision);
+        out.centers.reset(dims * len);
         let all_boxes = entries.iter().all(|e| e.summary.mbr().is_some());
         if all_boxes {
             block.enable_boxes();
@@ -257,12 +255,12 @@ impl QueryModel<MicroCluster> for ClusQueryModel {
             }
             if cf.is_empty() {
                 for d in 0..dims {
-                    scratch.centers.set(d * len + i, 0.0);
+                    out.centers.set(d * len + i, 0.0);
                 }
             } else {
                 let inv_n = 1.0 / cf.weight();
                 for (d, &l) in ls.iter().enumerate() {
-                    scratch.centers.set(d * len + i, l * inv_n);
+                    out.centers.set(d * len + i, l * inv_n);
                 }
             }
             if all_boxes {
@@ -274,7 +272,26 @@ impl QueryModel<MicroCluster> for ClusQueryModel {
                 }
             }
         }
-        let [jensen, far, near, dist] = &mut scratch.lanes;
+        true
+    }
+
+    /// Block scoring over gathered columns: Jensen kernel, MBR-sharpened
+    /// bounds and geometric priority for all entries at once.  In the
+    /// default [`BlockPrecision::F64`] mode the scores are bit-identical to
+    /// the per-summary reference; box-less nodes (no box columns gathered)
+    /// compute their bounds through the per-entry scalar fallback.
+    fn score_gathered(
+        &self,
+        query: &[f64],
+        entries: &[Entry<MicroCluster>],
+        gathered: &GatheredBlock,
+        lanes: &mut [Vec<f64>; 4],
+        out: &mut Vec<SummaryScore>,
+    ) {
+        let block = &gathered.block;
+        let len = block.len();
+        let all_boxes = block.has_boxes();
+        let [jensen, far, near, dist] = lanes;
         gaussian_log_terms_block(
             query,
             &self.bandwidth,
@@ -283,7 +300,7 @@ impl QueryModel<MicroCluster> for ClusQueryModel {
             len,
             jensen,
         );
-        sq_dists_block(query, &scratch.centers, len, dist);
+        sq_dists_block(query, &gathered.centers, len, dist);
         if all_boxes {
             smoothed_farthest_log_kernels_block(
                 query,
@@ -321,6 +338,81 @@ impl QueryModel<MicroCluster> for ClusQueryModel {
                 contribution: scale * jensen[i].exp(),
                 lower,
                 upper,
+                min_dist_sq: dist[i],
+            });
+        }
+    }
+
+    /// Leaf block gather: leaf items are micro-clusters, so the gather is
+    /// the entry gather minus the box columns — leaves are exact, their
+    /// bounds collapse onto the contribution and never touch a box kernel.
+    fn gather_leaf_items(&self, items: &[MicroCluster], out: &mut GatheredBlock) -> bool {
+        let dims = self.bandwidth.len();
+        let len = items.len();
+        let block = &mut out.block;
+        block.set_precision(self.precision);
+        block.reset(dims, len);
+        out.centers.set_precision(self.precision);
+        out.centers.reset(dims * len);
+        for (i, mc) in items.iter().enumerate() {
+            let cf = mc.cf();
+            block.set_weight(i, mc.weight());
+            let n = cf.weight().max(f64::MIN_POSITIVE);
+            let ls = cf.linear_sum();
+            let ss = cf.squared_sum();
+            for d in 0..dims {
+                let mean = ls[d] / n;
+                let var = (ss[d] / n - mean * mean).max(0.0);
+                block.set_mean(d, i, mean);
+                block.set_var(d, i, var);
+            }
+            if cf.is_empty() {
+                for d in 0..dims {
+                    out.centers.set(d * len + i, 0.0);
+                }
+            } else {
+                let inv_n = 1.0 / cf.weight();
+                for (d, &l) in ls.iter().enumerate() {
+                    out.centers.set(d * len + i, l * inv_n);
+                }
+            }
+        }
+        true
+    }
+
+    /// Leaf block scoring: one Jensen-kernel pass and one centre-distance
+    /// pass score every leaf micro-cluster at once, bit-identically (in
+    /// `F64` mode) to the per-item scalar loop.
+    fn score_gathered_leaves(
+        &self,
+        query: &[f64],
+        _items: &[MicroCluster],
+        gathered: &GatheredBlock,
+        lanes: &mut [Vec<f64>; 4],
+        out: &mut Vec<SummaryScore>,
+    ) {
+        let block = &gathered.block;
+        let len = block.len();
+        let [jensen, dist, _, _] = lanes;
+        gaussian_log_terms_block(
+            query,
+            &self.bandwidth,
+            block.mean(),
+            Some(block.var()),
+            len,
+            jensen,
+        );
+        sq_dists_block(query, &gathered.centers, len, dist);
+        out.clear();
+        out.reserve(len);
+        for i in 0..len {
+            let weight = block.weights()[i];
+            let contribution = weight / self.total_weight * jensen[i].exp();
+            out.push(SummaryScore {
+                weight,
+                contribution,
+                lower: contribution,
+                upper: contribution,
                 min_dist_sq: dist[i],
             });
         }
@@ -523,6 +615,7 @@ mod tests {
     use super::*;
     use crate::tree::ClusTreeConfig;
     use bt_anytree::OutlierVerdict;
+    use bt_stats::BlockScratch;
 
     fn two_cluster_tree(n: usize, budget: usize) -> ClusTree {
         let mut tree = ClusTree::new(2, ClusTreeConfig::default());

@@ -97,6 +97,9 @@ pub struct ShardedQueryThroughput {
     pub nodes_per_sec: f64,
     /// Mean bound width of the folded answers.
     pub mean_uncertainty: f64,
+    /// Fraction of node-block scorings served from the epoch-stamped block
+    /// cache instead of re-gathering columns (merged over every shard).
+    pub gather_hit_rate: f64,
     /// Objects routed to each shard (router-skew observability).
     pub shard_sizes: Vec<usize>,
 }
@@ -141,6 +144,7 @@ pub fn sharded_query_sweep(
                 queries_per_sec: queries.len() as f64 / wall_secs,
                 nodes_per_sec: stats.nodes_read as f64 / wall_secs,
                 mean_uncertainty,
+                gather_hit_rate: stats.gather_hit_rate(),
                 shard_sizes: tree.shard_sizes().to_vec(),
             }
         })
@@ -169,13 +173,18 @@ pub fn format_density_budget_sweep(rows: &[QueryBudgetQuality]) -> String {
 #[must_use]
 pub fn format_sharded_query_sweep(rows: &[ShardedQueryThroughput]) -> String {
     let mut out = String::from(
-        "shards  queries/sec  reads/sec  uncertainty  sizes\n\
-         ------  -----------  ---------  -----------  -----\n",
+        "shards  queries/sec  reads/sec  uncertainty  hit-rate  sizes\n\
+         ------  -----------  ---------  -----------  --------  -----\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{:>6}  {:>11.0}  {:>9.0}  {:>11.3e}  {:?}\n",
-            r.shards, r.queries_per_sec, r.nodes_per_sec, r.mean_uncertainty, r.shard_sizes
+            "{:>6}  {:>11.0}  {:>9.0}  {:>11.3e}  {:>8.2}  {:?}\n",
+            r.shards,
+            r.queries_per_sec,
+            r.nodes_per_sec,
+            r.mean_uncertainty,
+            r.gather_hit_rate,
+            r.shard_sizes
         ));
     }
     out
@@ -223,6 +232,10 @@ mod tests {
             text.contains("queries="),
             "engine column uses QueryStats Display"
         );
+        assert!(
+            text.contains("cached="),
+            "engine column surfaces the block-cache counters"
+        );
     }
 
     #[test]
@@ -243,5 +256,12 @@ mod tests {
         }
         let text = format_sharded_query_sweep(&rows);
         assert_eq!(text.lines().count(), 5);
+        assert!(
+            text.contains("hit-rate"),
+            "sharded report surfaces the block-cache hit rate"
+        );
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.gather_hit_rate));
+        }
     }
 }

@@ -163,6 +163,16 @@ impl Columns {
             Columns::F32(_) => BlockPrecision::F32,
         }
     }
+
+    /// The raw `f64` storage, or `None` in `F32` mode — used by consumers
+    /// that require full-precision slices (e.g. bit-exact routing).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<&[f64]> {
+        match self {
+            Columns::F64(v) => Some(v),
+            Columns::F32(_) => None,
+        }
+    }
 }
 
 /// A structure-of-arrays gather of one node's entry summaries: per-entry
@@ -177,6 +187,10 @@ pub struct SummaryBlock {
     weight: Vec<f64>,
     mean: Columns,
     var: Columns,
+    /// Precomputed `ln` of each (widened) variance column value, filled on
+    /// demand by [`Self::fill_log_vars`]; empty until then.  Always `f64`:
+    /// it caches the *result* of the transcendental, not an operand.
+    log_var: Vec<f64>,
     lower: Columns,
     upper: Columns,
     has_boxes: bool,
@@ -198,6 +212,7 @@ impl SummaryBlock {
             weight: Vec::new(),
             mean: Columns::with_precision(precision),
             var: Columns::with_precision(precision),
+            log_var: Vec::new(),
             lower: Columns::with_precision(precision),
             upper: Columns::with_precision(precision),
             has_boxes: false,
@@ -227,6 +242,7 @@ impl SummaryBlock {
         self.weight.resize(len, 0.0);
         self.mean.reset(dims * len);
         self.var.reset(dims * len);
+        self.log_var.clear();
         self.lower.reset(0);
         self.upper.reset(0);
         self.has_boxes = false;
@@ -290,11 +306,13 @@ impl SummaryBlock {
         self.mean.set(idx, v);
     }
 
-    /// Sets the variance of entry `i` along `dim`.
+    /// Sets the variance of entry `i` along `dim` (and drops any
+    /// previously filled log-variance column, which it would stale).
     #[inline]
     pub fn set_var(&mut self, dim: usize, i: usize, v: f64) {
         let idx = self.col(dim, i);
         self.var.set(idx, v);
+        self.log_var.clear();
     }
 
     /// Sets the box lower bound of entry `i` along `dim`.
@@ -321,6 +339,31 @@ impl SummaryBlock {
     #[must_use]
     pub fn var(&self) -> &Columns {
         &self.var
+    }
+
+    /// Precomputes the log-variance column: `ln` of every variance value,
+    /// read back widened — so in `F32` mode it is the `ln` of the quantised
+    /// operand, exactly what the scoring loop would compute per call.
+    ///
+    /// `ln(var)` is query-independent, so hoisting it to gather time (where
+    /// the result rides along in the per-node block cache) removes the only
+    /// transcendental from `kernel::diag_log_pdfs_block`'s inner loop and
+    /// unlocks its SIMD path.  Call after *all* variances are set; any later
+    /// [`Self::set_var`] drops the column again.
+    pub fn fill_log_vars(&mut self) {
+        let n = self.dims * self.len;
+        self.log_var.clear();
+        self.log_var.reserve(n);
+        for idx in 0..n {
+            self.log_var.push(self.var.get(idx).ln());
+        }
+    }
+
+    /// The dimension-major log-variance column, or `None` until
+    /// [`Self::fill_log_vars`] ran for the current variances.
+    #[must_use]
+    pub fn log_vars(&self) -> Option<&[f64]> {
+        (self.log_var.len() == self.dims * self.len).then_some(&self.log_var[..])
     }
 
     /// The dimension-major box lower-bound columns.
@@ -363,20 +406,153 @@ impl SummaryBlock {
     }
 }
 
-/// Engine-owned scratch for block scoring: one [`SummaryBlock`] plus
+/// Everything one gather of a node produces: the [`SummaryBlock`] columns
+/// plus the dimension-major routing-centre columns, for models whose
+/// geometric priority uses a centre whose rounding differs from the block's
+/// Gaussian mean (e.g. `ls * (1/n)` versus `ls / n`).
+///
+/// This is the unit the per-node block cache stores: one `GatheredBlock`
+/// behind an `Arc` serves scoring *and* routing for as long as the node's
+/// version stamp is unchanged.
+#[derive(Debug, Clone, Default)]
+pub struct GatheredBlock {
+    /// The gathered column block (weights, means, variances, boxes).
+    pub block: SummaryBlock,
+    /// Dimension-major routing-centre columns (flat index `dim * len +
+    /// entry`); empty when the model routes by box or mean.
+    pub centers: Columns,
+}
+
+impl GatheredBlock {
+    /// An empty gather at full column precision.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty gather storing its columns at `precision`.
+    #[must_use]
+    pub fn with_precision(precision: BlockPrecision) -> Self {
+        Self {
+            block: SummaryBlock::with_precision(precision),
+            centers: Columns::with_precision(precision),
+        }
+    }
+}
+
+/// One cached gather of one node, stamped with the node's mutation epoch.
+///
+/// The stamp *is* the invalidation signal: a consumer compares
+/// [`CachedBlock::version`] against the node's current version stamp and a
+/// mismatch means the node has mutated since the gather — the block is
+/// simply ignored (and overwritten by the next store).  Copy-on-write keeps
+/// old blocks valid for old snapshots, so no flags or epochs-of-death are
+/// needed.
+#[derive(Debug, Clone)]
+pub struct CachedBlock {
+    /// The node version stamp the gather was taken at.
+    pub version: u64,
+    /// Whether the block carries a full scoring gather (weights, means,
+    /// variances).  Routing-only blocks — maintained incrementally by the
+    /// insertion descent, which only knows the geometry — set this `false`
+    /// so queries never consume them.
+    pub scored: bool,
+    /// The gathered columns.
+    pub gathered: GatheredBlock,
+}
+
+/// A per-node cache slot holding at most one [`CachedBlock`].
+///
+/// Stored page-side next to the node's version stamp and `Arc`-shared with
+/// snapshots, so pinned readers reuse warm blocks for free.  The slot is a
+/// single-value replacement cache behind a `Mutex`: lookups clone the `Arc`
+/// out (shared readers never block each other for long), stores replace
+/// whatever is held.  Owners with `&mut` access (the insertion descent) use
+/// the `_owned` accessors, which skip the lock entirely.
+#[derive(Debug, Default)]
+pub struct BlockCacheSlot {
+    slot: std::sync::Mutex<Option<std::sync::Arc<CachedBlock>>>,
+}
+
+impl BlockCacheSlot {
+    /// An empty slot.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shared-read lookup of a **scored** block taken at `version` whose
+    /// columns are stored at `precision`.  Anything else — stale stamp,
+    /// routing-only block, precision mismatch — is a miss.
+    #[must_use]
+    pub fn lookup_scored(
+        &self,
+        version: u64,
+        precision: BlockPrecision,
+    ) -> Option<std::sync::Arc<CachedBlock>> {
+        let guard = self.slot.lock().ok()?;
+        let cached = guard.as_ref()?;
+        (cached.version == version
+            && cached.scored
+            && cached.gathered.block.precision() == precision)
+            .then(|| std::sync::Arc::clone(cached))
+    }
+
+    /// Publishes `cached`, replacing whatever the slot held.
+    pub fn store(&self, cached: std::sync::Arc<CachedBlock>) {
+        if let Ok(mut guard) = self.slot.lock() {
+            *guard = Some(cached);
+        }
+    }
+
+    /// Empties the slot through the lock.
+    pub fn clear(&self) {
+        if let Ok(mut guard) = self.slot.lock() {
+            *guard = None;
+        }
+    }
+
+    /// Whatever the slot currently holds, regardless of version — test and
+    /// introspection hook.
+    #[must_use]
+    pub fn peek(&self) -> Option<std::sync::Arc<CachedBlock>> {
+        self.slot.lock().ok()?.clone()
+    }
+
+    /// Lock-free (owner) access to the held block **if** it was taken at
+    /// `version`; `None` on empty or stale.
+    pub fn get_at_owned(&mut self, version: u64) -> Option<&mut std::sync::Arc<CachedBlock>> {
+        match self.slot.get_mut() {
+            Ok(held) => held.as_mut().filter(|c| c.version == version),
+            Err(_) => None,
+        }
+    }
+
+    /// Lock-free (owner) store.
+    pub fn store_owned(&mut self, cached: std::sync::Arc<CachedBlock>) {
+        if let Ok(held) = self.slot.get_mut() {
+            *held = Some(cached);
+        }
+    }
+
+    /// Lock-free (owner) clear.
+    pub fn clear_owned(&mut self) {
+        if let Ok(held) = self.slot.get_mut() {
+            *held = None;
+        }
+    }
+}
+
+/// Engine-owned scratch for block scoring: one [`GatheredBlock`] plus
 /// reusable per-entry `f64` output lanes for the batch kernels (log-kernels,
 /// bound kernels, squared distances — up to four concurrent results per
 /// node).
 #[derive(Debug, Clone, Default)]
 pub struct BlockScratch {
-    /// The gathered column block.
-    pub block: SummaryBlock,
+    /// The gathered columns (block + routing centres).
+    pub gathered: GatheredBlock,
     /// Reusable per-entry output buffers.
     pub lanes: [Vec<f64>; 4],
-    /// Dimension-major routing-centre columns, for models whose geometric
-    /// priority uses a centre whose rounding differs from the block's
-    /// Gaussian mean (e.g. `ls * (1/n)` versus `ls / n`).
-    pub centers: Columns,
 }
 
 impl BlockScratch {
@@ -390,9 +566,8 @@ impl BlockScratch {
     #[must_use]
     pub fn with_precision(precision: BlockPrecision) -> Self {
         Self {
-            block: SummaryBlock::with_precision(precision),
+            gathered: GatheredBlock::with_precision(precision),
             lanes: Default::default(),
-            centers: Columns::with_precision(precision),
         }
     }
 }
@@ -437,6 +612,80 @@ mod tests {
         let got = block.mean().get(0);
         assert_eq!(got, f64::from(0.1f32));
         assert!((got - v).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cache_slot_hits_only_on_matching_scored_blocks() {
+        use std::sync::Arc;
+        let slot = BlockCacheSlot::new();
+        assert!(slot.lookup_scored(3, BlockPrecision::F64).is_none());
+        let mut gathered = GatheredBlock::new();
+        gathered.block.reset(2, 4);
+        slot.store(Arc::new(CachedBlock {
+            version: 3,
+            scored: true,
+            gathered,
+        }));
+        assert!(slot.lookup_scored(3, BlockPrecision::F64).is_some());
+        // Stale stamp, precision mismatch: both miss.
+        assert!(slot.lookup_scored(4, BlockPrecision::F64).is_none());
+        assert!(slot.lookup_scored(3, BlockPrecision::F32).is_none());
+        // Routing-only blocks are never returned to scorers.
+        slot.store(Arc::new(CachedBlock {
+            version: 3,
+            scored: false,
+            gathered: GatheredBlock::new(),
+        }));
+        assert!(slot.lookup_scored(3, BlockPrecision::F64).is_none());
+        assert!(slot.peek().is_some());
+        slot.clear();
+        assert!(slot.peek().is_none());
+    }
+
+    #[test]
+    fn cache_slot_owner_accessors_skip_the_lock() {
+        use std::sync::Arc;
+        let mut slot = BlockCacheSlot::new();
+        assert!(slot.get_at_owned(1).is_none());
+        slot.store_owned(Arc::new(CachedBlock {
+            version: 1,
+            scored: false,
+            gathered: GatheredBlock::new(),
+        }));
+        assert!(slot.get_at_owned(1).is_some());
+        assert!(slot.get_at_owned(2).is_none());
+        // Owner mutation through `Arc::make_mut` sticks.
+        if let Some(held) = slot.get_at_owned(1) {
+            Arc::make_mut(held).scored = true;
+        }
+        assert!(slot.lookup_scored(1, BlockPrecision::F64).is_some());
+        slot.clear_owned();
+        assert!(slot.peek().is_none());
+    }
+
+    #[test]
+    fn log_var_column_tracks_the_variances() {
+        let mut block = SummaryBlock::new();
+        block.reset(2, 3);
+        for i in 0..3 {
+            for d in 0..2 {
+                block.set_var(d, i, 0.5 + (d * 3 + i) as f64);
+            }
+        }
+        assert!(block.log_vars().is_none(), "not filled yet");
+        block.fill_log_vars();
+        let lv = block.log_vars().expect("filled").to_vec();
+        assert_eq!(lv.len(), 6);
+        for (idx, &l) in lv.iter().enumerate() {
+            assert_eq!(l.to_bits(), block.var().get(idx).ln().to_bits());
+        }
+        // Any variance write stales the column, so it is dropped.
+        block.set_var(0, 0, 2.0);
+        assert!(block.log_vars().is_none());
+        // A reset drops it too.
+        block.fill_log_vars();
+        block.reset(2, 3);
+        assert!(block.log_vars().is_none());
     }
 
     #[test]

@@ -162,6 +162,12 @@ pub fn smoothed_farthest_log_kernel(
 // arithmetic in `f64`), so `f64` columns reproduce the scalar results bit for
 // bit; `f32` columns quantise only the stored operands (see the property
 // tests in `crates/stats/tests/block_kernels.rs`).
+//
+// The hottest loops additionally dispatch to the explicit-SIMD variants in
+// [`crate::simd`] (runtime AVX2 check, `simd` cargo feature): same IEEE
+// expressions evaluated four entries per lane, bit-identical by
+// construction, with the loops below retained as the scalar reference and
+// fallback.
 // ---------------------------------------------------------------------------
 
 #[inline]
@@ -187,6 +193,9 @@ pub fn sq_dists_block(query: &[f64], means: &Columns, len: usize, out: &mut Vec<
 
 fn sq_dists_impl<M: ColumnElement>(query: &[f64], means: &[M], len: usize, out: &mut [f64]) {
     debug_assert_eq!(means.len(), query.len() * len);
+    if crate::simd::sq_dists(query, means, len, out) {
+        return;
+    }
     for (d, &q) in query.iter().enumerate() {
         let col = &means[d * len..(d + 1) * len];
         for (o, &m) in out.iter_mut().zip(col) {
@@ -243,6 +252,9 @@ fn gaussian_log_terms_impl<M: ColumnElement, V: ColumnElement>(
 ) {
     debug_assert_eq!(means.len(), query.len() * len);
     debug_assert_eq!(bandwidth.len(), query.len());
+    if crate::simd::gaussian_log_terms(query, bandwidth, means, vars, len, out) {
+        return;
+    }
     for (d, &q) in query.iter().enumerate() {
         let h = bandwidth[d].max(VARIANCE_FLOOR.sqrt());
         let ln_h = h.ln();
@@ -271,19 +283,28 @@ fn gaussian_log_terms_impl<M: ColumnElement, V: ColumnElement>(
 /// clamp (finite variances floored at [`VARIANCE_FLOOR`], non-finite ones
 /// replaced by it) so the per-entry results match the scalar path bit for
 /// bit in `f64` mode.
+///
+/// `log_vars` is the optional precomputed `ln` of each (widened) variance
+/// column value — [`crate::SummaryBlock::fill_log_vars`] produces it at
+/// gather time.  Substituting the stored `ln` into the unchanged scalar
+/// expression is bit-identical (same input, same function, same
+/// accumulation order), and with the transcendental gone the remaining
+/// add/mul/div arithmetic dispatches to the explicit-SIMD kernel.  Without
+/// it the loop computes `var.ln()` inline, scalar only.
 pub fn diag_log_pdfs_block(
     query: &[f64],
     means: &Columns,
     vars: &Columns,
+    log_vars: Option<&[f64]>,
     len: usize,
     out: &mut Vec<f64>,
 ) {
     let out = prep_out(out, len);
     match (means, vars) {
-        (Columns::F64(m), Columns::F64(v)) => diag_log_pdfs_impl(query, m, v, len, out),
-        (Columns::F64(m), Columns::F32(v)) => diag_log_pdfs_impl(query, m, v, len, out),
-        (Columns::F32(m), Columns::F64(v)) => diag_log_pdfs_impl(query, m, v, len, out),
-        (Columns::F32(m), Columns::F32(v)) => diag_log_pdfs_impl(query, m, v, len, out),
+        (Columns::F64(m), Columns::F64(v)) => diag_log_pdfs_impl(query, m, v, log_vars, len, out),
+        (Columns::F64(m), Columns::F32(v)) => diag_log_pdfs_impl(query, m, v, log_vars, len, out),
+        (Columns::F32(m), Columns::F64(v)) => diag_log_pdfs_impl(query, m, v, log_vars, len, out),
+        (Columns::F32(m), Columns::F32(v)) => diag_log_pdfs_impl(query, m, v, log_vars, len, out),
     }
 }
 
@@ -291,11 +312,29 @@ fn diag_log_pdfs_impl<M: ColumnElement, V: ColumnElement>(
     query: &[f64],
     means: &[M],
     vars: &[V],
+    log_vars: Option<&[f64]>,
     len: usize,
     out: &mut [f64],
 ) {
     debug_assert_eq!(means.len(), query.len() * len);
     debug_assert_eq!(vars.len(), query.len() * len);
+    if let Some(log_vars) = log_vars {
+        debug_assert_eq!(log_vars.len(), query.len() * len);
+        if crate::simd::diag_log_pdfs(query, means, vars, log_vars, len, out) {
+            return;
+        }
+        for (d, &q) in query.iter().enumerate() {
+            let mcol = &means[d * len..(d + 1) * len];
+            let vcol = &vars[d * len..(d + 1) * len];
+            let lcol = &log_vars[d * len..(d + 1) * len];
+            for i in 0..len {
+                let diff = q - mcol[i].widen();
+                let var = vcol[i].widen();
+                out[i] += -0.5 * (LN_2PI + lcol[i] + diff * diff / var);
+            }
+        }
+        return;
+    }
     for (d, &q) in query.iter().enumerate() {
         let mcol = &means[d * len..(d + 1) * len];
         let vcol = &vars[d * len..(d + 1) * len];
@@ -378,6 +417,9 @@ fn box_min_sq_dists_impl<L: ColumnElement, U: ColumnElement>(
 ) {
     debug_assert_eq!(lower.len(), query.len() * len);
     debug_assert_eq!(upper.len(), query.len() * len);
+    if crate::simd::box_min_sq_dists(query, lower, upper, len, out) {
+        return;
+    }
     for (d, &q) in query.iter().enumerate() {
         let lcol = &lower[d * len..(d + 1) * len];
         let ucol = &upper[d * len..(d + 1) * len];
@@ -441,6 +483,10 @@ fn box_kernel_impl<
     debug_assert_eq!(lower.len(), query.len() * len);
     debug_assert_eq!(upper.len(), query.len() * len);
     debug_assert_eq!(bandwidth.len(), query.len());
+    if crate::simd::box_kernel::<L, U, FARTHEST, SMOOTHED>(query, bandwidth, lower, upper, len, out)
+    {
+        return;
+    }
     for (d, &q) in query.iter().enumerate() {
         let h = bandwidth[d].max(VARIANCE_FLOOR.sqrt());
         let ln_h = h.ln();

@@ -31,11 +31,15 @@ pub mod goldberger;
 pub mod kernel;
 pub mod kl;
 pub mod mixture;
+pub mod simd;
 pub mod summary;
 pub mod vector;
 
 pub use bandwidth::silverman_bandwidth;
-pub use block::{BlockPrecision, BlockScratch, ColumnElement, Columns, SummaryBlock};
+pub use block::{
+    BlockCacheSlot, BlockPrecision, BlockScratch, CachedBlock, ColumnElement, Columns,
+    GatheredBlock, SummaryBlock,
+};
 pub use cluster_feature::ClusterFeature;
 pub use em::{EmConfig, EmResult, KMeans, KMeansConfig};
 pub use gaussian::DiagGaussian;

@@ -216,13 +216,29 @@ proptest! {
             block
         };
         let mut out = Vec::new();
-        diag_log_pdfs_block(&node.query, block.mean(), block.var(), block.len(), &mut out);
+        diag_log_pdfs_block(&node.query, block.mean(), block.var(), None, block.len(), &mut out);
         let want: Vec<f64> = node
             .means
             .iter()
             .zip(&node.vars)
             .map(|(m, v)| DiagGaussian::new(m.clone(), v.clone()).log_pdf(&node.query))
             .collect();
+        assert_bit_equal(&out, &want);
+        // With the precomputed log-variance column (the cached-gather fast
+        // path, SIMD-dispatched) the results must not move a bit.
+        let block = {
+            let mut block = block;
+            block.fill_log_vars();
+            block
+        };
+        diag_log_pdfs_block(
+            &node.query,
+            block.mean(),
+            block.var(),
+            block.log_vars(),
+            block.len(),
+            &mut out,
+        );
         assert_bit_equal(&out, &want);
     }
 

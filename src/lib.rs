@@ -118,6 +118,33 @@
 //!   refine query batches against the pre-batch
 //!   [`anytree::ShardedTreeSnapshot`] — property-tested to return exactly
 //!   the pre-batch answers (`tests/snapshot_isolation.rs`).
+//!
+//!   **The block-cache layer.**  The hot "score every entry of this node"
+//!   step gathers a node's summaries into dimension-major
+//!   structure-of-arrays columns ([`anytree::SummaryBlock`]) and runs the
+//!   batch kernels of `stats` over all entries in one pass — explicitly
+//!   SIMD-vectorised (portable 4-lane `f64` kernels with a
+//!   runtime-dispatched AVX2 path and the scalar loop kept as the
+//!   bit-exactness reference; `--no-default-features` on `bt-stats` turns
+//!   the whole layer off).  On top of the gather sits the **epoch-stamped
+//!   per-node block cache**: every arena node carries a
+//!   [`anytree::BlockCacheSlot`] page-side next to its version stamp,
+//!   holding at most one `Arc`-shared [`anytree::CachedBlock`] of gathered
+//!   columns.  The **invalidation rule is the version stamp itself**: a
+//!   cached block records the node version it was gathered at, a consumer
+//!   compares that stamp against the node's current version, and any
+//!   mismatch is simply a miss — mutating a node restamps it (and clears
+//!   the slot), so stale blocks are never consumed and no epochs-of-death
+//!   bookkeeping is needed.  Copy-on-write completes the picture: retired
+//!   node versions keep their slots, so pinned snapshots reuse warm blocks
+//!   for free while the live tree repopulates fresh slots at newer epochs.
+//!   Scoring hits skip the gather entirely ([`anytree::QueryStats`] counts
+//!   `gathers_avoided`), insertion descent reuses the same slot for routing
+//!   (repairing the one absorbed entry's columns in place, flagged
+//!   routing-only so queries never consume it), and leaf nodes get the same
+//!   treatment through [`anytree::QueryModel::score_leaf_items`] — all
+//!   bit-identical to the gather-every-time scalar reference in `f64` mode
+//!   (`tests/block_cache.rs` in both tree crates).
 //! * **`bayestree`** instantiates the core with an MBR + cluster-feature
 //!   payload over raw kernel points (classification); **`clustree`**
 //!   instantiates it with decaying micro-clusters (clustering).  Each crate
