@@ -91,6 +91,36 @@ struct SlotRef {
 type Page<S, L> = Arc<Vec<VersionedNode<S, L>>>;
 type SlotChunkArc = Arc<Vec<SlotRef>>;
 
+/// Issues a best-effort T0 prefetch of the cache lines holding one
+/// epoch-page slot (node header, version stamp and block-cache pointer).
+///
+/// Computing `&page[idx]` touches only the page's `Vec` header; the slot
+/// memory itself is not demand-loaded — that is the whole point.  A pure
+/// hint: never faults, and compiles to nothing off x86-64.
+#[inline(always)]
+fn prefetch_page_slot<S: Summary, L>(pages: &[Option<Page<S, L>>], slot: SlotRef) {
+    let Some(page) = pages.get(slot.page as usize).and_then(Option::as_ref) else {
+        return;
+    };
+    let Some(versioned) = page.get(slot.idx as usize) else {
+        return;
+    };
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        let ptr = std::ptr::from_ref(versioned).cast::<i8>();
+        // SAFETY: `_mm_prefetch` is a hint that never faults; the second
+        // line covers slots wider than one cache line (the node header
+        // plus its version and cache slot).
+        unsafe {
+            _mm_prefetch::<_MM_HINT_T0>(ptr);
+            _mm_prefetch::<_MM_HINT_T0>(ptr.wrapping_add(64));
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = versioned;
+}
+
 /// The shared pin registry: which epochs are still pinned by how many
 /// snapshots.
 ///
@@ -235,6 +265,17 @@ impl<S: Summary, L> ArenaSpine<S, L> {
             .node
     }
 
+    /// Best-effort prefetch of the epoch-page slot holding node `id`:
+    /// pulls the slot's cache lines toward L1 so an imminent
+    /// [`Self::node`] read does not stall on memory.  Out-of-range ids are
+    /// ignored; a pure hint on every platform.
+    #[inline]
+    pub fn prefetch(&self, id: NodeId) {
+        if id < self.len {
+            prefetch_page_slot(&self.pages, self.slot(id));
+        }
+    }
+
     /// The version stamp of a node as of capture time.
     #[must_use]
     pub fn version(&self, id: NodeId) -> u64 {
@@ -345,6 +386,17 @@ impl<S: Summary, L> NodeArena<S, L> {
             .as_ref()
             .expect("page referenced by a live slot is present")[slot.idx as usize]
             .node
+    }
+
+    /// Best-effort prefetch of the epoch-page slot holding node `id`:
+    /// pulls the slot's cache lines toward L1 so an imminent
+    /// [`Self::node`] read does not stall on memory.  Out-of-range ids are
+    /// ignored; a pure hint on every platform.
+    #[inline]
+    pub fn prefetch(&self, id: NodeId) {
+        if id < self.len {
+            prefetch_page_slot(&self.pages, self.slot(id));
+        }
     }
 
     /// The version stamp of a node: the epoch of the batch that last mutated

@@ -38,6 +38,7 @@ use crate::split::split_entries;
 use crate::summary::Summary;
 use crate::tree::{AnytimeTree, InsertOutcome};
 use bt_index::rstar::{choose_subtree_block, choose_subtree_by};
+use bt_index::Mbr;
 use bt_stats::kernel::sq_dists_block;
 use bt_stats::{BlockCacheSlot, CachedBlock, Columns, GatheredBlock};
 use std::sync::Arc;
@@ -210,6 +211,9 @@ pub struct DescentStats {
     /// Batches opened with [`AnytimeTree::begin_batch`] (single-object
     /// inserts count as batches of one).
     pub batches: u64,
+    /// Software prefetches issued for the routed child's epoch-page slot
+    /// (one per directory step that descends).
+    pub prefetches: u64,
 }
 
 impl DescentStats {
@@ -220,6 +224,7 @@ impl DescentStats {
         self.node_visits += other.node_visits;
         self.splits += other.splits;
         self.batches += other.batches;
+        self.prefetches += other.prefetches;
     }
 
     /// The work performed since `earlier` was captured (element-wise
@@ -233,6 +238,7 @@ impl DescentStats {
             node_visits: self.node_visits.saturating_sub(earlier.node_visits),
             splits: self.splits.saturating_sub(earlier.splits),
             batches: self.batches.saturating_sub(earlier.batches),
+            prefetches: self.prefetches.saturating_sub(earlier.prefetches),
         }
     }
 }
@@ -241,8 +247,8 @@ impl std::fmt::Display for DescentStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "refreshes={} visits={} splits={} batches={}",
-            self.summary_refreshes, self.node_visits, self.splits, self.batches
+            "refreshes={} visits={} splits={} batches={} prefetch={}",
+            self.summary_refreshes, self.node_visits, self.splits, self.batches, self.prefetches
         )
     }
 }
@@ -445,7 +451,12 @@ impl<S: Summary, L: Clone> AnytimeTree<S, L> {
             }
         }
         let child = entries[idx].child;
+        // The next step reads the routed child: overlap its epoch-page load
+        // with the cursor bookkeeping (and, under batched insertion, with
+        // the interleaved steps of the other in-flight cursors).
+        arena.prefetch(child);
         scratch.mark_dirty(node_id, has_time);
+        self.stats_mut().prefetches += 1;
         cursor.node = child;
         cursor.depth += 1;
         cursor.budget = cursor.budget.saturating_sub(model.step_cost());
@@ -756,14 +767,7 @@ where
                             &mut scratch.lane_b,
                         );
                         debug_assert_eq!(
-                            choose_subtree_by(
-                                entries,
-                                |e| e
-                                    .summary
-                                    .as_mbr()
-                                    .expect("MBR-routed payload exposes an MBR"),
-                                point,
-                            ),
+                            scalar_mbr_route(entries, point),
                             best,
                             "cached block routing diverged from the scalar reference"
                         );
@@ -777,14 +781,10 @@ where
             gathered.block.reset(dims, len);
             gathered.block.enable_boxes();
             for (i, entry) in entries.iter().enumerate() {
-                let mbr = entry
-                    .summary
-                    .as_mbr()
-                    .expect("MBR-routed payload exposes an MBR");
-                let (lo, hi) = (mbr.lower(), mbr.upper());
                 for d in 0..dims {
-                    gathered.block.set_lower(d, i, lo[d]);
-                    gathered.block.set_upper(d, i, hi[d]);
+                    let (lo, hi) = entry.summary.mbr_corner(d);
+                    gathered.block.set_lower(d, i, lo);
+                    gathered.block.set_upper(d, i, hi);
                 }
             }
             let best = choose_subtree_block(
@@ -796,14 +796,7 @@ where
                 &mut scratch.lane_b,
             );
             debug_assert_eq!(
-                choose_subtree_by(
-                    entries,
-                    |e| e
-                        .summary
-                        .as_mbr()
-                        .expect("MBR-routed payload exposes an MBR"),
-                    point,
-                ),
+                scalar_mbr_route(entries, point),
                 best,
                 "block routing diverged from the scalar reference"
             );
@@ -819,25 +812,14 @@ where
         scratch.cols_hi.clear();
         scratch.cols_hi.resize(dims * len, 0.0);
         for (i, entry) in entries.iter().enumerate() {
-            let mbr = entry
-                .summary
-                .as_mbr()
-                .expect("MBR-routed payload exposes an MBR");
-            let (lo, hi) = (mbr.lower(), mbr.upper());
             for d in 0..dims {
-                scratch.cols_lo[d * len + i] = lo[d];
-                scratch.cols_hi[d * len + i] = hi[d];
+                let (lo, hi) = entry.summary.mbr_corner(d);
+                scratch.cols_lo[d * len + i] = lo;
+                scratch.cols_hi[d * len + i] = hi;
             }
         }
         debug_assert_eq!(
-            choose_subtree_by(
-                entries,
-                |e| e
-                    .summary
-                    .as_mbr()
-                    .expect("MBR-routed payload exposes an MBR"),
-                point,
-            ),
+            scalar_mbr_route(entries, point),
             choose_subtree_block(
                 point,
                 &scratch.cols_lo,
@@ -916,6 +898,22 @@ where
     }
 }
 
+/// The per-entry R* reference scan over full-width copies of the entries'
+/// boxes — the MBR block path's scalar reference.  Materialising the owned
+/// boxes keeps it precision-agnostic; it only runs inside `debug_assert`
+/// checks, so release builds never pay the allocation.
+fn scalar_mbr_route<S: Summary>(entries: &[Entry<S>], point: &[f64]) -> usize {
+    let boxes: Vec<Mbr> = entries
+        .iter()
+        .map(|e| {
+            e.summary
+                .owned_mbr()
+                .expect("MBR-routed payload exposes a box")
+        })
+        .collect();
+    choose_subtree_by(&boxes, |b| b, point)
+}
+
 /// Index of the first minimal value (`NaN` never displaces the incumbent) —
 /// the distance-routing tie-break shared by the gathered and cached paths.
 fn argmin_first(dists: &[f64]) -> usize {
@@ -950,11 +948,10 @@ fn refresh_routing_entry<S: Summary>(
         if block.is_empty() {
             return;
         }
-        let mbr = summary.as_mbr().expect("MBR-routed payload exposes an MBR");
-        let (lo, hi) = (mbr.lower(), mbr.upper());
         for d in 0..block.dims() {
-            block.set_lower(d, idx, lo[d]);
-            block.set_upper(d, idx, hi[d]);
+            let (lo, hi) = summary.mbr_corner(d);
+            block.set_lower(d, idx, lo);
+            block.set_upper(d, idx, hi);
         }
     } else if S::CENTER_ROUTED {
         let centers = &mut cached.gathered.centers;

@@ -125,6 +125,16 @@ pub trait QueryModel<S: Summary> {
         BlockPrecision::F64
     }
 
+    /// The column precision this model gathers **leaf item** blocks at —
+    /// the precision the leaf cache lookups key on.  Defaults to
+    /// [`block_precision`](QueryModel::block_precision); models whose leaf
+    /// items are exact full-width observations (rather than stored
+    /// summaries) gather leaves at `F64` regardless of the directory
+    /// precision and must say so here, or every leaf lookup misses.
+    fn leaf_block_precision(&self) -> BlockPrecision {
+        self.block_precision()
+    }
+
     /// Gathers one directory node's entries into `out`'s columns and returns
     /// `true`; a model with no block representation returns `false` (the
     /// default) and is scored through the per-summary scalar loop.
@@ -366,6 +376,9 @@ pub struct QueryStats {
     /// Nodes scored straight from an epoch-valid cached block — gathers the
     /// cache made unnecessary.
     pub gathers_avoided: u64,
+    /// Software prefetches issued for the upcoming frontier candidate's
+    /// epoch-page slot (see [`TreeView::prefetch_node`]).
+    pub prefetches: u64,
 }
 
 impl QueryStats {
@@ -377,6 +390,7 @@ impl QueryStats {
         self.elements_scored += other.elements_scored;
         self.block_gathers += other.block_gathers;
         self.gathers_avoided += other.gathers_avoided;
+        self.prefetches += other.prefetches;
     }
 
     /// The work performed since `earlier` was captured (element-wise
@@ -389,6 +403,7 @@ impl QueryStats {
             elements_scored: self.elements_scored.saturating_sub(earlier.elements_scored),
             block_gathers: self.block_gathers.saturating_sub(earlier.block_gathers),
             gathers_avoided: self.gathers_avoided.saturating_sub(earlier.gathers_avoided),
+            prefetches: self.prefetches.saturating_sub(earlier.prefetches),
         }
     }
 
@@ -409,12 +424,13 @@ impl std::fmt::Display for QueryStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "queries={} reads={} scored={} gathers={} cached={}",
+            "queries={} reads={} scored={} gathers={} cached={} prefetch={}",
             self.queries,
             self.nodes_read,
             self.elements_scored,
             self.block_gathers,
-            self.gathers_avoided
+            self.gathers_avoided,
+            self.prefetches
         )
     }
 }
@@ -796,6 +812,15 @@ impl QueryCursor {
         None
     }
 
+    /// The child node the next refinement in `order` would read, if any —
+    /// the prefetch target of [`TreeView::refine_query`].  Peeking reuses
+    /// (and warms) the selection heap, so it does not disturb the order and
+    /// the following [`select`](Self::select) call finds its work done.
+    pub fn next_refinable_child(&mut self, order: RefineOrder) -> Option<NodeId> {
+        let idx = self.select(order)?;
+        self.elements[idx].child
+    }
+
     fn select_scan(&self, order: RefineOrder) -> Option<usize> {
         let refinable = self
             .elements
@@ -1000,7 +1025,7 @@ impl QueryCursor {
         if let Some(cache) = cache {
             if let Some(hit) = cache
                 .slot
-                .lookup_scored(cache.version, model.block_precision())
+                .lookup_scored(cache.version, model.leaf_block_precision())
             {
                 self.stats.gathers_avoided += 1;
                 model.score_gathered_leaves(
@@ -1070,6 +1095,14 @@ pub trait TreeView<S: Summary, L> {
     fn block_cache(&self, id: NodeId) -> Option<BlockCacheRef<'_>> {
         let _ = id;
         None
+    }
+
+    /// Best-effort prefetch of node `id`'s backing memory — a pure hint the
+    /// query engine uses to overlap the next frontier candidate's page load
+    /// with scoring the current one.  The default is a no-op; arena- and
+    /// spine-backed views forward to the epoch-page prefetch.
+    fn prefetch_node(&self, id: NodeId) {
+        let _ = id;
     }
 
     /// The ids of every node reachable from the root, in depth-first order.
@@ -1181,6 +1214,13 @@ pub trait TreeView<S: Summary, L> {
         }
         cursor.nodes_read += 1;
         cursor.stats.nodes_read += 1;
+        // Overlap the next candidate's page load with the caller's work on
+        // the scores just produced: peek the element the next refinement
+        // step would select and prefetch its child's epoch-page slot.
+        if let Some(next) = cursor.next_refinable_child(order) {
+            self.prefetch_node(next);
+            cursor.stats.prefetches += 1;
+        }
         true
     }
 
@@ -1318,6 +1358,10 @@ impl<S: Summary, L> TreeView<S, L> for AnytimeTree<S, L> {
             // mistake for current.
             cacheable: version <= arena.epoch(),
         })
+    }
+
+    fn prefetch_node(&self, id: NodeId) {
+        self.arena().prefetch(id);
     }
 }
 
@@ -1553,6 +1597,22 @@ mod tests {
     }
 
     #[test]
+    fn refinement_prefetches_the_next_candidate() {
+        let tree = sample_tree(100, usize::MAX);
+        let (_, stats) = tree.query_batch(
+            &BlobQueryModel,
+            &[vec![0.0, 0.0], vec![20.0, 20.0]],
+            RefineOrder::BestFirst,
+            6,
+        );
+        // Every refinement with a refinable successor prefetches it; only
+        // the final step of an exhausted frontier has none, so the count
+        // tracks nodes_read (never exceeding it).
+        assert!(stats.prefetches > 0);
+        assert!(stats.prefetches <= stats.nodes_read);
+    }
+
+    #[test]
     fn root_leaf_tree_exposes_one_synthetic_element() {
         let mut tree = AnytimeTree::new(2, geometry());
         let mut model = BlobModel;
@@ -1601,10 +1661,11 @@ mod tests {
             elements_scored: 64,
             block_gathers: 5,
             gathers_avoided: 12,
+            prefetches: 9,
         };
         assert_eq!(
             stats.to_string(),
-            "queries=2 reads=17 scored=64 gathers=5 cached=12"
+            "queries=2 reads=17 scored=64 gathers=5 cached=12 prefetch=9"
         );
     }
 

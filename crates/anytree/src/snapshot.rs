@@ -171,6 +171,10 @@ impl<S: Summary, L> TreeView<S, L> for TreeSnapshot<S, L> {
             cacheable: true,
         })
     }
+
+    fn prefetch_node(&self, id: NodeId) {
+        self.spine.prefetch(id);
+    }
 }
 
 #[cfg(test)]

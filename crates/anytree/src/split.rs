@@ -14,7 +14,7 @@
 use crate::node::Entry;
 use crate::summary::Summary;
 use bt_index::rstar::rstar_split_by;
-use bt_index::PageGeometry;
+use bt_index::{Mbr, PageGeometry};
 
 /// Splits the entries of an overfull directory node into the group that
 /// stays and the group that moves to a fresh node.
@@ -25,15 +25,18 @@ pub(crate) fn split_entries<S: Summary>(
 ) -> (Vec<Entry<S>>, Vec<Entry<S>>) {
     if S::MBR_ROUTED {
         let min = geometry.min_fanout.min(entries.len() / 2).max(1);
-        let split = rstar_split_by(
-            &entries,
-            |e| {
+        // Splits are amortised-rare, so materialising full-width copies of
+        // the boxes here (instead of borrowing) keeps the R* split
+        // precision-agnostic at no measurable cost.
+        let boxes: Vec<Mbr> = entries
+            .iter()
+            .map(|e| {
                 e.summary
-                    .as_mbr()
-                    .expect("MBR-routed payload exposes an MBR")
-            },
-            min,
-        );
+                    .owned_mbr()
+                    .expect("MBR-routed payload exposes a box")
+            })
+            .collect();
+        let split = rstar_split_by(&boxes, |b| b, min);
         // Distribute in original entry order (the membership sets decide,
         // not the sort order), matching the historical Bayes-tree split.
         let in_first: Vec<bool> = membership(entries.len(), &split.first);

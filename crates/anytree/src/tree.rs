@@ -499,6 +499,22 @@ mod tests {
     }
 
     #[test]
+    fn descent_prefetches_every_routed_child() {
+        let mut tree = AnytimeTree::new(2, geometry());
+        let mut model = BlobModel;
+        for i in 0..60 {
+            tree.insert(&mut model, blob((i % 9) as f64, (i % 7) as f64), usize::MAX);
+        }
+        assert!(tree.height() > 1);
+        let stats = *tree.stats();
+        // One prefetch per directory step that descends: strictly fewer
+        // than node visits (leaf arrivals and parks issue none), and
+        // non-zero once the tree has directory levels.
+        assert!(stats.prefetches > 0);
+        assert!(stats.prefetches < stats.node_visits);
+    }
+
+    #[test]
     fn root_entry_summaries_cover_all_mass() {
         let mut tree = AnytimeTree::new(2, geometry());
         let mut model = BlobModel;

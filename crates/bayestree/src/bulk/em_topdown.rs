@@ -27,7 +27,7 @@ pub fn build_em_topdown(
     geometry: PageGeometry,
     seed: u64,
 ) -> BayesTree {
-    let mut tree = BayesTree::new(dims, geometry);
+    let mut tree: BayesTree = BayesTree::new(dims, geometry);
     if points.is_empty() {
         return tree;
     }

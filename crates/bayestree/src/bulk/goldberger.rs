@@ -61,7 +61,7 @@ pub fn build_goldberger(
     geometry: PageGeometry,
     config: &GoldbergerBulkConfig,
 ) -> BayesTree {
-    let mut tree = BayesTree::new(dims, geometry);
+    let mut tree: BayesTree = BayesTree::new(dims, geometry);
     if points.is_empty() {
         return tree;
     }

@@ -135,7 +135,7 @@ pub(crate) fn build_packed<G>(
 where
     G: Fn(&[Vec<f64>], usize) -> Vec<Vec<usize>>,
 {
-    let mut tree = BayesTree::new(dims, geometry);
+    let mut tree: BayesTree = BayesTree::new(dims, geometry);
     if points.is_empty() {
         return tree;
     }

@@ -93,7 +93,7 @@ mod tests {
         let pts = clustered_points(600, 4);
         let geometry = PageGeometry::from_fanout(5, 10);
         let packed = build_hilbert(&pts, 2, geometry);
-        let iterative = BayesTree::build_iterative(&pts, 2, geometry);
+        let iterative: BayesTree = BayesTree::build_iterative(&pts, 2, geometry);
         assert!(packed.num_nodes() <= iterative.num_nodes());
     }
 

@@ -303,7 +303,7 @@ mod tests {
 
     #[test]
     fn empty_tree_frontier_is_empty() {
-        let tree = BayesTree::new(2, PageGeometry::from_fanout(4, 4));
+        let tree: BayesTree = BayesTree::new(2, PageGeometry::from_fanout(4, 4));
         let frontier = TreeFrontier::new(&tree, &[0.0, 0.0]);
         assert_eq!(frontier.elements().len(), 0);
         assert_eq!(frontier.density(), 0.0);

@@ -17,18 +17,20 @@
 //! through the core's batched engine, sharing summary refreshes and split
 //! handling across the batch.
 
-use crate::node::KernelSummary;
+use crate::node::{KernelSummary, StoredElement};
 use crate::tree::BayesTree;
 use bt_anytree::InsertModel;
 use bt_index::rstar::rstar_split;
 use bt_index::{Mbr, PageGeometry};
 
-/// The Bayes tree's insertion policy over the shared core.
+/// The Bayes tree's insertion policy over the shared core (one impl per
+/// stored precision; the split geometry always works over exact per-point
+/// `f64` boxes regardless of how the node summaries are stored).
 pub(crate) struct KernelModel {
     pub(crate) dims: usize,
 }
 
-impl InsertModel<KernelSummary> for KernelModel {
+impl<E: StoredElement> InsertModel<KernelSummary<E>> for KernelModel {
     type Object = Vec<f64>;
     type LeafItem = Vec<f64>;
 
@@ -38,11 +40,11 @@ impl InsertModel<KernelSummary> for KernelModel {
         obj
     }
 
-    fn summary_of(&self, obj: &Vec<f64>) -> KernelSummary {
+    fn summary_of(&self, obj: &Vec<f64>) -> KernelSummary<E> {
         KernelSummary::from_point(obj)
     }
 
-    fn absorb_into(&self, summary: &mut KernelSummary, obj: &Vec<f64>) {
+    fn absorb_into(&self, summary: &mut KernelSummary<E>, obj: &Vec<f64>) {
         summary.absorb_point(obj);
     }
 
@@ -50,7 +52,7 @@ impl InsertModel<KernelSummary> for KernelModel {
         items.push(obj);
     }
 
-    fn summarize_leaf_items(&self, items: &[Vec<f64>]) -> KernelSummary {
+    fn summarize_leaf_items(&self, items: &[Vec<f64>]) -> KernelSummary<E> {
         KernelSummary::from_points(items, self.dims).expect("cannot summarise an empty leaf")
     }
 
@@ -66,7 +68,7 @@ impl InsertModel<KernelSummary> for KernelModel {
     }
 }
 
-impl BayesTree {
+impl<E: StoredElement> BayesTree<E> {
     /// Inserts one observation into the tree.
     ///
     /// # Panics
@@ -116,8 +118,8 @@ impl BayesTree {
         points: &[Vec<f64>],
         dims: usize,
         geometry: bt_index::PageGeometry,
-    ) -> BayesTree {
-        let mut tree = BayesTree::new(dims, geometry);
+    ) -> BayesTree<E> {
+        let mut tree = BayesTree::<E>::new(dims, geometry);
         for p in points {
             tree.insert(p.clone());
         }
@@ -147,7 +149,7 @@ mod tests {
 
     #[test]
     fn inserting_under_capacity_keeps_leaf_root() {
-        let mut tree = BayesTree::new(2, small_geometry());
+        let mut tree: BayesTree = BayesTree::new(2, small_geometry());
         for p in random_points(4, 2, 1) {
             tree.insert(p);
         }
@@ -158,7 +160,7 @@ mod tests {
 
     #[test]
     fn overflow_splits_the_root() {
-        let mut tree = BayesTree::new(2, small_geometry());
+        let mut tree: BayesTree = BayesTree::new(2, small_geometry());
         for p in random_points(5, 2, 2) {
             tree.insert(p);
         }
@@ -168,7 +170,7 @@ mod tests {
 
     #[test]
     fn large_insert_stays_valid_and_balanced() {
-        let mut tree = BayesTree::new(3, small_geometry());
+        let mut tree: BayesTree = BayesTree::new(3, small_geometry());
         for p in random_points(500, 3, 3) {
             tree.insert(p);
         }
@@ -179,7 +181,7 @@ mod tests {
 
     #[test]
     fn root_cf_counts_every_point() {
-        let mut tree = BayesTree::new(2, small_geometry());
+        let mut tree: BayesTree = BayesTree::new(2, small_geometry());
         for p in random_points(100, 2, 4) {
             tree.insert(p);
         }
@@ -189,7 +191,7 @@ mod tests {
 
     #[test]
     fn clustered_data_splits_along_clusters() {
-        let mut tree = BayesTree::new(2, small_geometry());
+        let mut tree: BayesTree = BayesTree::new(2, small_geometry());
         let mut pts = Vec::new();
         for i in 0..20 {
             pts.push(vec![i as f64 * 0.01, 0.0]);
@@ -209,14 +211,15 @@ mod tests {
 
     #[test]
     fn build_iterative_fits_bandwidth() {
-        let tree = BayesTree::build_iterative(&random_points(50, 2, 5), 2, small_geometry());
+        let tree: BayesTree =
+            BayesTree::build_iterative(&random_points(50, 2, 5), 2, small_geometry());
         assert!(tree.bandwidth().iter().all(|h| *h > 0.0 && *h < 10.0));
         assert_eq!(tree.len(), 50);
     }
 
     #[test]
     fn duplicate_points_are_handled() {
-        let mut tree = BayesTree::new(2, small_geometry());
+        let mut tree: BayesTree = BayesTree::new(2, small_geometry());
         for _ in 0..50 {
             tree.insert(vec![1.0, 1.0]);
         }
@@ -227,15 +230,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "dimensionality mismatch")]
     fn wrong_dims_panics() {
-        let mut tree = BayesTree::new(2, small_geometry());
+        let mut tree: BayesTree = BayesTree::new(2, small_geometry());
         tree.insert(vec![1.0]);
     }
 
     #[test]
     fn batch_of_one_matches_sequential_insertion() {
         let points = random_points(200, 2, 9);
-        let mut sequential = BayesTree::new(2, small_geometry());
-        let mut batched = BayesTree::new(2, small_geometry());
+        let mut sequential: BayesTree = BayesTree::new(2, small_geometry());
+        let mut batched: BayesTree = BayesTree::new(2, small_geometry());
         for p in &points {
             sequential.insert(p.clone());
             batched.insert_batch(vec![p.clone()]);
@@ -249,7 +252,7 @@ mod tests {
     #[test]
     fn batched_insertion_builds_a_valid_tree() {
         let points = random_points(500, 3, 10);
-        let mut tree = BayesTree::new(3, small_geometry());
+        let mut tree: BayesTree = BayesTree::new(3, small_geometry());
         for chunk in points.chunks(16) {
             tree.insert_batch(chunk.to_vec());
         }
@@ -262,11 +265,11 @@ mod tests {
     #[test]
     fn batched_insertion_refreshes_fewer_summaries() {
         let points = random_points(600, 2, 11);
-        let mut sequential = BayesTree::new(2, small_geometry());
+        let mut sequential: BayesTree = BayesTree::new(2, small_geometry());
         for p in &points {
             sequential.insert(p.clone());
         }
-        let mut batched = BayesTree::new(2, small_geometry());
+        let mut batched: BayesTree = BayesTree::new(2, small_geometry());
         for chunk in points.chunks(64) {
             batched.insert_batch(chunk.to_vec());
         }
@@ -281,7 +284,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "dimensionality mismatch")]
     fn batch_with_wrong_dims_panics() {
-        let mut tree = BayesTree::new(2, small_geometry());
+        let mut tree: BayesTree = BayesTree::new(2, small_geometry());
         tree.insert_batch(vec![vec![1.0, 2.0], vec![1.0]]);
     }
 }

@@ -33,6 +33,20 @@
 //! * [`multiclass::SingleTreeClassifier`] — the single-tree multi-class
 //!   variant sketched as future work in Section 4.1.
 //!
+//! ## Stored precision
+//!
+//! [`BayesTree`] (and [`ShardedBayesTree`], and their snapshots) carry a
+//! stored-precision parameter `E` defaulting to `f64`.  [`BayesTreeF32`]
+//! stores every directory summary — CF linear/squared sums and MBR corners —
+//! as `f32`, halving the resident bytes per entry and the memory bandwidth
+//! of the block-scoring hot path.  All accumulation stays `f64` and is
+//! quantised on write; MBR corners round *outward* so the stored boxes
+//! always enclose the exact ones and the certified `[lower, upper]` density
+//! intervals remain sound (leaf kernels are exact `f64` in both modes, so a
+//! fully refined answer is exact regardless of stored precision).  See
+//! [`node::StoredElement`] for the contract and `docs/PERF.md` for measured
+//! effects.
+//!
 //! ```
 //! use bayestree::{AnytimeClassifier, ClassifierConfig};
 //! use bt_data::synth::blobs::BlobConfig;
@@ -69,9 +83,18 @@ pub use classifier::{AnytimeClassifier, AnytimeTrace, Classification, Classifier
 pub use descent::{DescentStrategy, PriorityMeasure};
 pub use frontier::{FrontierElement, TreeFrontier};
 pub use multiclass::{SingleTreeClassifier, SingleTreeConfig};
-pub use node::{Entry, KernelSummary, Node, NodeId, NodeKind};
+pub use node::{Entry, KernelSummary, Node, NodeId, NodeKind, StoredElement};
 pub use qbk::{RefinementScheduler, RefinementStrategy};
 pub use query::{summary_mixture_term, KernelQueryModel};
 pub use sharded::ShardedBayesTree;
 pub use tree::BayesTree;
 pub use view::{BayesTreeSnapshot, ClassifierSnapshot, ShardedBayesTreeSnapshot};
+
+/// A Bayes tree whose stored summaries (CF sums, MBR corners) are quantised
+/// to `f32` — half the resident bytes per directory entry; all accumulation
+/// and every leaf kernel stay `f64`.  See the [crate docs](self) for the
+/// precision contract.
+pub type BayesTreeF32 = BayesTree<f32>;
+
+/// The epoch-pinned snapshot of a [`BayesTreeF32`].
+pub type BayesTreeF32Snapshot = BayesTreeSnapshot<f32>;

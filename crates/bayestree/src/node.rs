@@ -11,25 +11,69 @@
 //! the generic ones of [`bt_anytree`], specialised to it.  An [`Entry`]
 //! dereferences to its [`KernelSummary`], so the familiar `entry.mbr` /
 //! `entry.cf` field access keeps working.
-
+//!
+//! # Stored precision
+//!
+//! [`KernelSummary`] is parameterised by a [`StoredElement`] — the scalar
+//! type its MBR corners and CF components are *stored* at.  The default
+//! `f64` is the full-width mode every existing API elaborates to; `f32`
+//! halves the resident bytes of every directory entry.  All accumulation
+//! (insert, merge, decay) happens in `f64` and is quantised on write:
+//! round-to-nearest for the CF sums, *outward* for the MBR corners, so a
+//! narrowed box always encloses the exact one and the MBR-derived density
+//! bounds stay sound (see `bt_index::mbr`).  Both modes route through the
+//! same R* MINDIST/enlargement machinery: the anytime core streams boxes
+//! through the per-corner [`Summary::mbr_corner`] accessor (an exact
+//! `f32 → f64` widening for narrowed summaries, a plain read for `f64`),
+//! so routing quality does not depend on the stored width — only the
+//! boxes' outward-rounded slack does, and that is at `f32` epsilon scale.
 use bt_anytree::Summary;
-use bt_index::Mbr;
-use bt_stats::{ClusterFeature, DiagGaussian};
+use bt_index::{Mbr, MbrElement};
+use bt_stats::{ClusterFeature, ColumnElement, DiagGaussian};
 
 /// Arena index of a node within its tree.
 pub type NodeId = bt_anytree::NodeId;
 
-/// The Bayes tree's payload: the MBR and cluster feature of one subtree
-/// (Definition 1).
-#[derive(Debug, Clone)]
-pub struct KernelSummary {
-    /// Minimum bounding rectangle of all objects stored below.
-    pub mbr: Mbr,
-    /// Cluster feature `(n, LS, SS)` of all objects stored below.
-    pub cf: ClusterFeature,
+/// A scalar type the Bayes tree can store its summaries at.
+///
+/// Combines the two quantisation traits of the lower layers (CF components
+/// are [`ColumnElement`]s, MBR corners are [`MbrElement`]s).  Every stored
+/// precision routes through the same R* MBR machinery — the only
+/// representational difference the trait surfaces is whether a stored box
+/// can be *borrowed* at full width or must be widened per corner.
+pub trait StoredElement: ColumnElement + MbrElement + Send + Sync {
+    /// The full-width view of a stored box, when one can be borrowed
+    /// without conversion: `Some(identity)` for `f64`, `None` for `f32`
+    /// (whose boxes are widened per corner via [`Summary::mbr_corner`]
+    /// instead).
+    fn full_width_mbr(mbr: &Mbr<Self>) -> Option<&Mbr>;
 }
 
-impl KernelSummary {
+impl StoredElement for f64 {
+    #[inline(always)]
+    fn full_width_mbr(mbr: &Mbr<Self>) -> Option<&Mbr> {
+        Some(mbr)
+    }
+}
+
+impl StoredElement for f32 {
+    #[inline(always)]
+    fn full_width_mbr(_mbr: &Mbr<Self>) -> Option<&Mbr> {
+        None
+    }
+}
+
+/// The Bayes tree's payload: the MBR and cluster feature of one subtree
+/// (Definition 1), stored at precision `E` (see the [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct KernelSummary<E: StoredElement = f64> {
+    /// Minimum bounding rectangle of all objects stored below.
+    pub mbr: Mbr<E>,
+    /// Cluster feature `(n, LS, SS)` of all objects stored below.
+    pub cf: ClusterFeature<E>,
+}
+
+impl<E: StoredElement> KernelSummary<E> {
     /// The summary of a single kernel centre.
     #[must_use]
     pub fn from_point(point: &[f64]) -> Self {
@@ -60,9 +104,19 @@ impl KernelSummary {
         self.mbr.extend_point(point);
         self.cf.insert(point);
     }
+
+    /// Re-quantises into another stored precision (boxes round outward, CF
+    /// sums to nearest); the identity for `E == F == f64`.
+    #[must_use]
+    pub fn to_precision<F: StoredElement>(&self) -> KernelSummary<F> {
+        KernelSummary {
+            mbr: self.mbr.to_precision(),
+            cf: self.cf.to_precision(),
+        }
+    }
 }
 
-impl Summary for KernelSummary {
+impl<E: StoredElement> Summary for KernelSummary<E> {
     type Ctx = ();
     const MBR_ROUTED: bool = true;
 
@@ -76,6 +130,9 @@ impl Summary for KernelSummary {
     }
 
     fn sq_dist_to(&self, point: &[f64]) -> f64 {
+        // MINDIST to the stored box (widened per corner, so `f32` and
+        // `f64` summaries agree whenever the corners do) — keeps shard
+        // routing and refinement ordering consistent with descent.
         self.mbr.min_dist_sq(point)
     }
 
@@ -83,31 +140,46 @@ impl Summary for KernelSummary {
         self.cf.mean()
     }
 
+    fn center_into(&self, out: &mut Vec<f64>) {
+        self.cf.mean_into(out);
+    }
+
     fn as_mbr(&self) -> Option<&Mbr> {
-        Some(&self.mbr)
+        E::full_width_mbr(&self.mbr)
+    }
+
+    fn mbr_corner(&self, d: usize) -> (f64, f64) {
+        (
+            MbrElement::widen(self.mbr.lower()[d]),
+            MbrElement::widen(self.mbr.upper()[d]),
+        )
+    }
+
+    fn owned_mbr(&self) -> Option<Mbr> {
+        Some(self.mbr.to_precision())
     }
 }
 
 /// A directory entry: the aggregated description of one subtree
 /// (Definition 1).  Dereferences to its [`KernelSummary`] (`entry.mbr`,
 /// `entry.cf`, `entry.gaussian()`).
-pub type Entry = bt_anytree::Entry<KernelSummary>;
+pub type Entry<E = f64> = bt_anytree::Entry<KernelSummary<E>>;
 
 /// The payload of a node: either raw observations (leaf) or entries (inner).
-pub type NodeKind = bt_anytree::NodeKind<KernelSummary, Vec<f64>>;
+pub type NodeKind<E = f64> = bt_anytree::NodeKind<KernelSummary<E>, Vec<f64>>;
 
 /// One node of the Bayes tree.
-pub type Node = bt_anytree::Node<KernelSummary, Vec<f64>>;
+pub type Node<E = f64> = bt_anytree::Node<KernelSummary<E>, Vec<f64>>;
 
 /// Builds an [`Entry`] from its parts (the Definition 1 triple).
 #[must_use]
-pub fn make_entry(mbr: Mbr, cf: ClusterFeature, child: NodeId) -> Entry {
+pub fn make_entry<E: StoredElement>(mbr: Mbr<E>, cf: ClusterFeature<E>, child: NodeId) -> Entry<E> {
     Entry::new(KernelSummary { mbr, cf }, child)
 }
 
 /// The MBR of everything stored in `node`, or `None` when empty.
 #[must_use]
-pub fn node_mbr(node: &Node) -> Option<Mbr> {
+pub fn node_mbr<E: StoredElement>(node: &Node<E>) -> Option<Mbr<E>> {
     match &node.kind {
         bt_anytree::NodeKind::Leaf { items } => Mbr::from_points(items.iter().map(Vec::as_slice)),
         bt_anytree::NodeKind::Inner { entries } => Mbr::union_all(entries.iter().map(|e| &e.mbr)),
@@ -116,7 +188,7 @@ pub fn node_mbr(node: &Node) -> Option<Mbr> {
 
 /// The cluster feature of everything stored in `node`.
 #[must_use]
-pub fn node_cluster_feature(node: &Node, dims: usize) -> ClusterFeature {
+pub fn node_cluster_feature<E: StoredElement>(node: &Node<E>, dims: usize) -> ClusterFeature<E> {
     match &node.kind {
         bt_anytree::NodeKind::Leaf { items } => {
             ClusterFeature::from_points(items.iter().map(Vec::as_slice), dims)
@@ -137,7 +209,7 @@ mod tests {
 
     #[test]
     fn leaf_accessors() {
-        let node = Node::leaf(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let node: Node = Node::leaf(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
         assert!(node.is_leaf());
         assert_eq!(node.len(), 2);
         assert_eq!(node.items().len(), 2);
@@ -148,7 +220,7 @@ mod tests {
 
     #[test]
     fn leaf_cluster_feature_matches_points() {
-        let node = Node::leaf(vec![vec![0.0], vec![2.0]]);
+        let node: Node = Node::leaf(vec![vec![0.0], vec![2.0]]);
         let cf = node_cluster_feature(&node, 1);
         assert_eq!(cf.weight(), 2.0);
         assert_eq!(cf.mean(), vec![1.0]);
@@ -166,7 +238,7 @@ mod tests {
             ClusterFeature::from_point(&[4.0]),
             2,
         );
-        let node = Node::inner(vec![e1, e2]);
+        let node: Node = Node::inner(vec![e1, e2]);
         assert!(!node.is_leaf());
         let cf = node_cluster_feature(&node, 1);
         assert_eq!(cf.weight(), 2.0);
@@ -175,7 +247,7 @@ mod tests {
 
     #[test]
     fn entry_absorb_point_updates_both_summaries() {
-        let mut entry = make_entry(
+        let mut entry: Entry = make_entry(
             Mbr::from_point(&[1.0, 1.0]),
             ClusterFeature::from_point(&[1.0, 1.0]),
             0,
@@ -188,9 +260,9 @@ mod tests {
 
     #[test]
     fn entry_gaussian_comes_from_cf() {
-        let mut cf = ClusterFeature::from_point(&[0.0]);
+        let mut cf: ClusterFeature = ClusterFeature::from_point(&[0.0]);
         cf.insert(&[2.0]);
-        let entry = make_entry(Mbr::from_point(&[0.0]), cf, 0);
+        let entry: Entry = make_entry(Mbr::from_point(&[0.0]), cf, 0);
         let g = entry.gaussian();
         assert_eq!(g.mean(), &[1.0][..]);
         assert!((g.variance()[0] - 1.0).abs() < 1e-9);
@@ -199,21 +271,70 @@ mod tests {
     #[test]
     #[should_panic(expected = "leaf node")]
     fn entries_on_leaf_panics() {
-        let node = Node::leaf(vec![]);
+        let node: Node = Node::leaf(vec![]);
         let _ = node.entries();
     }
 
     #[test]
     #[should_panic(expected = "inner node")]
     fn items_on_inner_panics() {
-        let node = Node::inner(vec![]);
+        let node: Node = Node::inner(vec![]);
         let _ = node.items();
     }
 
     #[test]
     fn empty_leaf_has_no_mbr() {
-        let node = Node::empty_leaf();
+        let node: Node = Node::empty_leaf();
         assert!(node.is_empty());
         assert!(node_mbr(&node).is_none());
+    }
+
+    #[test]
+    fn f32_summary_routes_by_mbr_through_widened_corners() {
+        let mut s: KernelSummary<f32> = KernelSummary::from_point(&[0.0, 0.0]);
+        s.absorb_point(&[2.0, 2.0]);
+        // A narrowed summary cannot lend a full-width reference...
+        assert!(s.as_mbr().is_none());
+        // ...but it is still MBR-routed through the per-corner widening
+        // accessors, so both stored widths share the R* machinery.
+        const {
+            assert!(<KernelSummary<f32> as Summary>::MBR_ROUTED);
+            assert!(!<KernelSummary<f32> as Summary>::CENTER_ROUTED);
+        }
+        let owned = s.owned_mbr().expect("owned full-width box");
+        for d in 0..2 {
+            let (lo, hi) = Summary::mbr_corner(&s, d);
+            assert_eq!(lo.to_bits(), owned.lower()[d].to_bits());
+            assert_eq!(hi.to_bits(), owned.upper()[d].to_bits());
+        }
+        // sq_dist_to is MINDIST: zero anywhere inside the box, positive out.
+        assert_eq!(s.sq_dist_to(&[0.5, 0.5]), 0.0);
+        assert!(s.sq_dist_to(&[3.0, 3.0]) > 0.0);
+    }
+
+    #[test]
+    fn f32_summary_boxes_stay_outward_of_exact_points() {
+        let pts = vec![vec![0.1, -0.3], vec![2.7, 1.9], vec![-1.4, 0.6]];
+        let s: KernelSummary<f32> = KernelSummary::from_points(&pts, 2).unwrap();
+        for p in &pts {
+            assert!(
+                s.mbr.contains_point(p),
+                "narrowed box must contain exact point {p:?}"
+            );
+        }
+        let exact: KernelSummary = KernelSummary::from_points(&pts, 2).unwrap();
+        let widened: Mbr = s.mbr.to_precision();
+        assert!(widened.contains_mbr(&exact.mbr));
+    }
+
+    #[test]
+    fn to_precision_round_trips_exactly_on_representable_values() {
+        let pts = vec![vec![1.0, 2.0], vec![3.5, -0.25]];
+        let narrow: KernelSummary<f32> = KernelSummary::from_points(&pts, 2).unwrap();
+        let wide: KernelSummary = narrow.to_precision();
+        let back: KernelSummary<f32> = wide.to_precision();
+        assert_eq!(narrow.mbr, back.mbr);
+        assert_eq!(narrow.cf.linear_sum(), back.cf.linear_sum());
+        assert_eq!(narrow.cf.squared_sum(), back.cf.squared_sum());
     }
 }

@@ -23,25 +23,30 @@
 //! score *is* the refinable density interval.
 
 use crate::descent::{DescentStrategy, PriorityMeasure};
-use crate::node::KernelSummary;
+use crate::node::{KernelSummary, StoredElement};
 use crate::tree::BayesTree;
 use bt_anytree::{
     Entry, OutlierScore, QueryAnswer, QueryModel, QueryStats, RefineOrder, Summary, SummaryScore,
     TreeView,
 };
+use bt_index::MbrElement;
 use bt_stats::kernel::{
     box_min_sq_dists_block, diag_log_pdfs_block, farthest_point_log_kernel,
     farthest_point_log_kernels_block, gaussian_log_terms_block, nearest_point_log_kernel,
     nearest_point_log_kernels_block, sq_dists_block, GaussianKernel, Kernel,
 };
-use bt_stats::{BlockPrecision, GatheredBlock, VARIANCE_FLOOR};
+use bt_stats::{BlockPrecision, ColumnElement, GatheredBlock, VARIANCE_FLOOR};
 
 /// The Definition 3 mixture term `(n_es / n) * g(x, mu_es, sigma_es)` of one
 /// summary — the single place this arithmetic lives; the incremental
 /// frontier and the non-incremental [`crate::pdq::pdq`] reference both call
 /// it.
 #[must_use]
-pub fn summary_mixture_term(summary: &KernelSummary, x: &[f64], n: f64) -> f64 {
+pub fn summary_mixture_term<E: StoredElement>(
+    summary: &KernelSummary<E>,
+    x: &[f64],
+    n: f64,
+) -> f64 {
     summary.weight() / n * summary.gaussian().pdf(x)
 }
 
@@ -93,7 +98,12 @@ impl<'a> KernelQueryModel<'a> {
     /// sum (the nearest side is the shared [`nearest_point_log_kernel`] the
     /// micro-cluster MBR bound also uses), so the bounds always bracket the
     /// leaf path's arithmetic.
-    fn mbr_kernel_density(&self, query: &[f64], summary: &KernelSummary, nearest: bool) -> f64 {
+    fn mbr_kernel_density<E: StoredElement>(
+        &self,
+        query: &[f64],
+        summary: &KernelSummary<E>,
+        nearest: bool,
+    ) -> f64 {
         let lower = summary.mbr.lower();
         let upper = summary.mbr.upper();
         if nearest {
@@ -104,14 +114,14 @@ impl<'a> KernelQueryModel<'a> {
     }
 }
 
-impl QueryModel<KernelSummary> for KernelQueryModel<'_> {
+impl<E: StoredElement> QueryModel<KernelSummary<E>> for KernelQueryModel<'_> {
     type LeafItem = Vec<f64>;
 
-    fn summary_contribution(&self, query: &[f64], summary: &KernelSummary) -> f64 {
+    fn summary_contribution(&self, query: &[f64], summary: &KernelSummary<E>) -> f64 {
         summary_mixture_term(summary, query, self.n)
     }
 
-    fn summary_bounds(&self, query: &[f64], summary: &KernelSummary) -> (f64, f64) {
+    fn summary_bounds(&self, query: &[f64], summary: &KernelSummary<E>) -> (f64, f64) {
         let scale = summary.weight() / self.n;
         (
             scale * self.mbr_kernel_density(query, summary, false),
@@ -127,12 +137,19 @@ impl QueryModel<KernelSummary> for KernelQueryModel<'_> {
         item.iter().zip(query).map(|(a, b)| (a - b) * (a - b)).sum()
     }
 
-    fn summarize_leaf_items(&self, items: &[Vec<f64>]) -> KernelSummary {
+    fn summarize_leaf_items(&self, items: &[Vec<f64>]) -> KernelSummary<E> {
         KernelSummary::from_points(items, items[0].len()).expect("cannot summarise an empty leaf")
     }
 
     fn block_precision(&self) -> BlockPrecision {
         self.precision
+    }
+
+    fn leaf_block_precision(&self) -> BlockPrecision {
+        // Leaf items are raw observations gathered at full width whatever
+        // the stored precision (see `gather_leaf_items`), so leaf cache
+        // lookups must key on `F64` or they would never hit.
+        BlockPrecision::F64
     }
 
     /// Block gather: packs the node's entries into the structure-of-arrays
@@ -145,7 +162,7 @@ impl QueryModel<KernelSummary> for KernelQueryModel<'_> {
     /// `DiagGaussian` variance clamp exactly, and it is a pure function of
     /// `entries` — the engine caches it per node, keyed by the node's
     /// version stamp.
-    fn gather_entries(&self, entries: &[Entry<KernelSummary>], out: &mut GatheredBlock) -> bool {
+    fn gather_entries(&self, entries: &[Entry<KernelSummary<E>>], out: &mut GatheredBlock) -> bool {
         let dims = self.bandwidth.len();
         let len = entries.len();
         let block = &mut out.block;
@@ -165,8 +182,8 @@ impl QueryModel<KernelSummary> for KernelQueryModel<'_> {
                 let ls = cf.linear_sum();
                 let ss = cf.squared_sum();
                 for d in 0..dims {
-                    let mean = ls[d] / n;
-                    let var = (ss[d] / n - mean * mean).max(VARIANCE_FLOOR);
+                    let mean = ColumnElement::widen(ls[d]) / n;
+                    let var = (ColumnElement::widen(ss[d]) / n - mean * mean).max(VARIANCE_FLOOR);
                     let var = if var.is_finite() { var } else { VARIANCE_FLOOR };
                     block.set_mean(d, i, mean);
                     block.set_var(d, i, var);
@@ -175,8 +192,8 @@ impl QueryModel<KernelSummary> for KernelQueryModel<'_> {
             let mbr = &entry.summary.mbr;
             let (lo, hi) = (mbr.lower(), mbr.upper());
             for d in 0..dims {
-                block.set_lower(d, i, lo[d]);
-                block.set_upper(d, i, hi[d]);
+                block.set_lower(d, i, MbrElement::widen(lo[d]));
+                block.set_upper(d, i, MbrElement::widen(hi[d]));
             }
         }
         // Hoist the query-independent `ln(var)` out of the scoring loop:
@@ -196,7 +213,7 @@ impl QueryModel<KernelSummary> for KernelQueryModel<'_> {
     fn score_gathered(
         &self,
         query: &[f64],
-        _entries: &[Entry<KernelSummary>],
+        _entries: &[Entry<KernelSummary<E>>],
         gathered: &GatheredBlock,
         lanes: &mut [Vec<f64>; 4],
         out: &mut Vec<SummaryScore>,
@@ -250,7 +267,12 @@ impl QueryModel<KernelSummary> for KernelQueryModel<'_> {
         let dims = self.bandwidth.len();
         let len = items.len();
         let block = &mut out.block;
-        block.set_precision(self.precision);
+        // Leaf items are raw observations, exact `f64` regardless of the
+        // stored summary precision — narrowing them here would quantise the
+        // converged answer, so leaf blocks always gather at full width.
+        // (`self.precision` only governs directory-entry blocks, where the
+        // stored values are already that narrow and the gather is lossless.)
+        block.set_precision(BlockPrecision::F64);
         block.reset(dims, len);
         for (i, item) in items.iter().enumerate() {
             block.set_weight(i, 1.0);
@@ -304,12 +326,19 @@ impl From<DescentStrategy> for RefineOrder {
     }
 }
 
-impl BayesTree {
+impl<E: StoredElement> BayesTree<E> {
     /// The kernel-density query model of this tree (normalised by the stored
     /// observation count, kernels evaluated with the tree's bandwidth).
+    ///
+    /// The block-scoring precision follows the stored precision: an `f32`
+    /// stored tree gathers `f32` columns (its summaries hold nothing wider,
+    /// so the narrowed columns equal the stored values exactly and the
+    /// bound intervals stay sound), while the default `f64` tree keeps the
+    /// bit-identical full-width path.
     #[must_use]
     pub fn query_model(&self) -> KernelQueryModel<'_> {
         KernelQueryModel::new(self.len(), self.bandwidth())
+            .with_precision(<E as ColumnElement>::PRECISION)
     }
 
     /// Budget-bracketed anytime density query: refines the frontier with the
@@ -385,7 +414,7 @@ mod tests {
 
     #[test]
     fn full_budget_density_matches_the_flat_estimate() {
-        let tree = sample_tree(150, 1);
+        let tree: BayesTree = sample_tree(150, 1);
         let query = [0.5, 0.5];
         let answer = tree.anytime_density(&query, DescentStrategy::default(), usize::MAX);
         let expected = tree.full_kernel_density(&query);
@@ -397,7 +426,7 @@ mod tests {
 
     #[test]
     fn bounds_bracket_the_true_density_at_every_budget() {
-        let tree = sample_tree(200, 2);
+        let tree: BayesTree = sample_tree(200, 2);
         let query = [4.0, 4.0];
         let truth = tree.full_kernel_density(&query);
         let mut last_uncertainty = f64::INFINITY;
@@ -419,7 +448,7 @@ mod tests {
 
     #[test]
     fn density_batch_matches_one_shot_queries() {
-        let tree = sample_tree(120, 3);
+        let tree: BayesTree = sample_tree(120, 3);
         let queries = vec![vec![0.0, 0.0], vec![8.5, 8.5], vec![4.0, 4.0]];
         let (answers, stats) = tree.density_batch(&queries, DescentStrategy::default(), 10);
         assert_eq!(answers.len(), 3);
@@ -432,7 +461,7 @@ mod tests {
 
     #[test]
     fn outlier_scoring_gives_certain_verdicts() {
-        let tree = sample_tree(200, 4);
+        let tree: BayesTree = sample_tree(200, 4);
         // Density near the data is around 0.1; far away it is ~0.
         let far = tree.outlier_score(&[500.0, -500.0], 1e-6, 10_000);
         assert_eq!(far.verdict, OutlierVerdict::Outlier);
@@ -444,7 +473,7 @@ mod tests {
 
     #[test]
     fn pdq_and_model_share_the_mixture_arithmetic() {
-        let tree = sample_tree(100, 5);
+        let tree: BayesTree = sample_tree(100, 5);
         let entries = tree.root_entries();
         let x = [1.0, 1.0];
         let n: f64 = entries.iter().map(|e| e.weight()).sum();
@@ -457,7 +486,7 @@ mod tests {
 
     #[test]
     fn block_scores_match_the_scalar_reference_bitwise() {
-        let tree = sample_tree(300, 6);
+        let tree: BayesTree = sample_tree(300, 6);
         let model = tree.query_model();
         let mut scratch = BlockScratch::new();
         let mut scores = Vec::new();
@@ -497,7 +526,7 @@ mod tests {
 
     #[test]
     fn f32_column_mode_stays_close_to_the_f64_scores() {
-        let tree = sample_tree(300, 7);
+        let tree: BayesTree = sample_tree(300, 7);
         let exact = tree.query_model();
         let narrow = tree
             .query_model()

@@ -15,7 +15,7 @@
 
 use crate::descent::DescentStrategy;
 use crate::insert::KernelModel;
-use crate::node::{KernelSummary, NodeKind};
+use crate::node::{KernelSummary, NodeKind, StoredElement};
 use crate::query::KernelQueryModel;
 use crate::view::ShardedBayesTreeSnapshot;
 use bt_anytree::{
@@ -25,16 +25,21 @@ use bt_anytree::{
 use bt_index::PageGeometry;
 use bt_stats::bandwidth::silverman_bandwidth;
 use bt_stats::kernel::{GaussianKernel, Kernel};
+use bt_stats::ColumnElement;
 
 /// A Bayes tree sharded into `K` independently descending subtrees.
+///
+/// Like [`crate::BayesTree`], the trailing stored-precision parameter `E`
+/// (default `f64`) selects the scalar type each shard's entry summaries are
+/// stored at.
 #[derive(Debug, Clone)]
-pub struct ShardedBayesTree<R = CheapestRouter> {
-    core: ShardedAnytimeTree<KernelSummary, Vec<f64>, R>,
+pub struct ShardedBayesTree<R = CheapestRouter, E: StoredElement = f64> {
+    core: ShardedAnytimeTree<KernelSummary<E>, Vec<f64>, R>,
     num_points: usize,
     bandwidth: Vec<f64>,
 }
 
-impl<R: Default> ShardedBayesTree<R> {
+impl<R: Default, E: StoredElement> ShardedBayesTree<R, E> {
     /// Creates an empty sharded tree for `dims`-dimensional kernels with a
     /// default-constructed router.
     ///
@@ -47,7 +52,7 @@ impl<R: Default> ShardedBayesTree<R> {
     }
 }
 
-impl<R> ShardedBayesTree<R> {
+impl<R, E: StoredElement> ShardedBayesTree<R, E> {
     /// Creates an empty sharded tree routed by `router`.
     ///
     /// # Panics
@@ -100,7 +105,7 @@ impl<R> ShardedBayesTree<R> {
 
     /// Read access to the shard trees.
     #[must_use]
-    pub fn shards(&self) -> &[AnytimeTree<KernelSummary, Vec<f64>>] {
+    pub fn shards(&self) -> &[AnytimeTree<KernelSummary<E>, Vec<f64>>] {
         self.core.shards()
     }
 
@@ -131,7 +136,7 @@ impl<R> ShardedBayesTree<R> {
     /// bit-identically to this moment while later batches drain into the
     /// live shards.
     #[must_use]
-    pub fn snapshot(&self) -> ShardedBayesTreeSnapshot {
+    pub fn snapshot(&self) -> ShardedBayesTreeSnapshot<E> {
         ShardedBayesTreeSnapshot::from_parts(
             self.core.snapshot(),
             self.num_points,
@@ -160,7 +165,7 @@ impl<R> ShardedBayesTree<R> {
         let n = self.num_points;
         let bandwidth = &self.bandwidth;
         self.core.query_with_budget(
-            &|| KernelQueryModel::new(n, bandwidth),
+            &|| KernelQueryModel::new(n, bandwidth).with_precision(<E as ColumnElement>::PRECISION),
             x,
             strategy.into(),
             budget,
@@ -184,7 +189,7 @@ impl<R> ShardedBayesTree<R> {
         let n = self.num_points;
         let bandwidth = &self.bandwidth;
         self.core.query_batch(
-            &|| KernelQueryModel::new(n, bandwidth),
+            &|| KernelQueryModel::new(n, bandwidth).with_precision(<E as ColumnElement>::PRECISION),
             queries,
             strategy.into(),
             budget,
@@ -203,7 +208,7 @@ impl<R> ShardedBayesTree<R> {
         let n = self.num_points;
         let bandwidth = &self.bandwidth;
         self.core.outlier_score(
-            &|| KernelQueryModel::new(n, bandwidth),
+            &|| KernelQueryModel::new(n, bandwidth).with_precision(<E as ColumnElement>::PRECISION),
             x,
             threshold,
             budget,
@@ -318,7 +323,7 @@ impl<R> ShardedBayesTree<R> {
     }
 }
 
-impl<R: ShardRouter<KernelSummary>> ShardedBayesTree<R> {
+impl<R: ShardRouter<KernelSummary<E>>, E: StoredElement> ShardedBayesTree<R, E> {
     /// Inserts one observation into the shard the router assigns it.
     ///
     /// # Panics
@@ -384,7 +389,9 @@ impl<R: ShardRouter<KernelSummary>> ShardedBayesTree<R> {
             &|| KernelModel { dims },
             points,
             usize::MAX,
-            &|| KernelQueryModel::new(n, &bandwidth),
+            &|| {
+                KernelQueryModel::new(n, &bandwidth).with_precision(<E as ColumnElement>::PRECISION)
+            },
             queries,
             strategy.into(),
             query_budget,
@@ -428,7 +435,7 @@ mod tests {
     #[test]
     fn sharded_density_matches_the_single_tree() {
         let points = random_points(300, 2, 2);
-        let mut single = BayesTree::new(2, geometry());
+        let mut single: BayesTree = BayesTree::new(2, geometry());
         let mut sharded: ShardedBayesTree = ShardedBayesTree::new(2, geometry(), 3);
         for chunk in points.chunks(32) {
             single.insert_batch(chunk.to_vec());
@@ -484,7 +491,7 @@ mod tests {
     #[test]
     fn one_shard_query_matches_the_single_tree() {
         let points = random_points(200, 2, 6);
-        let mut single = BayesTree::new(2, geometry());
+        let mut single: BayesTree = BayesTree::new(2, geometry());
         let mut sharded: ShardedBayesTree = ShardedBayesTree::new(2, geometry(), 1);
         for chunk in points.chunks(25) {
             single.insert_batch(chunk.to_vec());

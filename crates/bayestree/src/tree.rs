@@ -12,21 +12,29 @@
 //! leaf items.  The structure is built either incrementally
 //! ([`crate::insert`]) or by one of the bulk loaders ([`crate::bulk`]).
 
-use crate::node::{node_cluster_feature, node_mbr, Entry, KernelSummary, Node, NodeId, NodeKind};
+use crate::node::{
+    node_cluster_feature, node_mbr, Entry, KernelSummary, Node, NodeId, NodeKind, StoredElement,
+};
 use bt_anytree::AnytimeTree;
 use bt_index::PageGeometry;
 use bt_stats::bandwidth::silverman_bandwidth;
 use bt_stats::kernel::{GaussianKernel, Kernel};
+use bt_stats::ColumnElement;
 
 /// The Bayes tree: an R*-tree–style hierarchy of Gaussian mixture models.
+///
+/// The stored-precision parameter `E` (default `f64`) selects the scalar
+/// type entry summaries are *stored* at; see [`crate::node`] for the
+/// precision contract.  [`BayesTreeF32`](crate::BayesTreeF32) is the
+/// half-width alias.
 #[derive(Debug, Clone)]
-pub struct BayesTree {
-    core: AnytimeTree<KernelSummary, Vec<f64>>,
+pub struct BayesTree<E: StoredElement = f64> {
+    core: AnytimeTree<KernelSummary<E>, Vec<f64>>,
     num_points: usize,
     bandwidth: Vec<f64>,
 }
 
-impl BayesTree {
+impl<E: StoredElement> BayesTree<E> {
     /// Creates an empty tree for `dims`-dimensional kernels.
     ///
     /// # Panics
@@ -39,6 +47,25 @@ impl BayesTree {
             num_points: 0,
             bandwidth: vec![1.0; dims],
         }
+    }
+
+    /// The 4 KiB-page geometry at this tree's *stored* precision: inner
+    /// entries narrow with the stored scalar, so a `f32` tree packs roughly
+    /// twice the fanout into the same physical page — a shallower tree
+    /// where every budgeted node read covers twice the summary mass.
+    /// Leaves hold exact full-width observations in every mode, so the
+    /// leaf capacity is unchanged.
+    ///
+    /// Use [`bt_index::PageGeometry::default_for_dims`] instead when both
+    /// modes must share one geometry (e.g. structural A/B comparisons).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a 4 KiB page cannot hold at least two entries (very high
+    /// `dims`).
+    #[must_use]
+    pub fn paged_geometry(dims: usize) -> PageGeometry {
+        PageGeometry::from_page_size_for_scalar(4096, dims, std::mem::size_of::<E>())
     }
 
     /// Dimensionality of the stored kernels.
@@ -113,7 +140,7 @@ impl BayesTree {
 
     /// Read access to a node.
     #[must_use]
-    pub fn node(&self, id: NodeId) -> &Node {
+    pub fn node(&self, id: NodeId) -> &Node<E> {
         self.core.node(id)
     }
 
@@ -138,7 +165,7 @@ impl BayesTree {
     /// The entries the anytime descent starts from: the root's entries, or a
     /// synthetic single entry summarising the root when the root is a leaf.
     #[must_use]
-    pub fn root_entries(&self) -> Vec<Entry> {
+    pub fn root_entries(&self) -> Vec<Entry<E>> {
         match &self.core.node(self.root()).kind {
             NodeKind::Inner { entries } => entries.clone(),
             NodeKind::Leaf { items } => {
@@ -157,7 +184,7 @@ impl BayesTree {
     ///
     /// Panics if `child` is empty.
     #[must_use]
-    pub fn summarise(&self, child: NodeId) -> Entry {
+    pub fn summarise(&self, child: NodeId) -> Entry<E> {
         let model = crate::insert::KernelModel { dims: self.dims() };
         self.core.summarize_node(&model, child)
     }
@@ -188,7 +215,7 @@ impl BayesTree {
     /// node; levels beyond the directory return leaf-node summaries rather
     /// than raw kernels.
     #[must_use]
-    pub fn level_entries(&self, level: usize) -> Vec<Entry> {
+    pub fn level_entries(&self, level: usize) -> Vec<Entry<E>> {
         let mut current = self.root_entries();
         for _ in 0..level {
             let mut next = Vec::new();
@@ -320,9 +347,9 @@ impl BayesTree {
                         ));
                     }
                     for d in 0..self.dims() {
-                        if (entry.cf.linear_sum()[d] - child_cf.linear_sum()[d]).abs()
-                            > 1e-4 * (1.0 + child_cf.linear_sum()[d].abs())
-                        {
+                        let entry_ls = ColumnElement::widen(entry.cf.linear_sum()[d]);
+                        let child_ls = ColumnElement::widen(child_cf.linear_sum()[d]);
+                        if (entry_ls - child_ls).abs() > 1e-4 * (1.0 + child_ls.abs()) {
                             return Err(format!(
                                 "entry {i} of node {id}: LS[{d}] inconsistent with child"
                             ));
@@ -341,25 +368,25 @@ impl BayesTree {
 
     /// The shared arena-tree core (crate-internal: insertion and bulk
     /// loading build through it).
-    pub(crate) fn core_mut(&mut self) -> &mut AnytimeTree<KernelSummary, Vec<f64>> {
+    pub(crate) fn core_mut(&mut self) -> &mut AnytimeTree<KernelSummary<E>, Vec<f64>> {
         &mut self.core
     }
 
     /// Read access to the shared core (crate-internal: the query engine
     /// refines frontiers through it).
-    pub(crate) fn core(&self) -> &AnytimeTree<KernelSummary, Vec<f64>> {
+    pub(crate) fn core(&self) -> &AnytimeTree<KernelSummary<E>, Vec<f64>> {
         &self.core
     }
 
     /// Adds a node to the arena and returns its id.
-    pub(crate) fn push_node(&mut self, node: Node) -> NodeId {
+    pub(crate) fn push_node(&mut self, node: Node<E>) -> NodeId {
         self.core.push_node(node)
     }
 
     /// Mutable access to a node (test-only; production mutation goes through
     /// the shared core's insertion and the bulk loaders).
     #[cfg(test)]
-    pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut Node {
+    pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut Node<E> {
         self.core.node_mut(id)
     }
 
@@ -437,7 +464,7 @@ mod tests {
 
     #[test]
     fn empty_tree_basics() {
-        let tree = BayesTree::new(3, geometry());
+        let tree: BayesTree = BayesTree::new(3, geometry());
         assert_eq!(tree.dims(), 3);
         assert!(tree.is_empty());
         assert_eq!(tree.height(), 1);
@@ -449,7 +476,7 @@ mod tests {
 
     #[test]
     fn set_bandwidth_validates() {
-        let mut tree = BayesTree::new(2, geometry());
+        let mut tree: BayesTree = BayesTree::new(2, geometry());
         tree.set_bandwidth(vec![0.5, 0.25]);
         assert_eq!(tree.bandwidth(), &[0.5, 0.25]);
     }
@@ -457,13 +484,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "bandwidth dimensionality mismatch")]
     fn wrong_bandwidth_dims_panics() {
-        let mut tree = BayesTree::new(2, geometry());
+        let mut tree: BayesTree = BayesTree::new(2, geometry());
         tree.set_bandwidth(vec![0.5]);
     }
 
     #[test]
     fn summarise_leaf_root() {
-        let mut tree = BayesTree::new(1, geometry());
+        let mut tree: BayesTree = BayesTree::new(1, geometry());
         tree.node_mut(0).items_mut().push(vec![1.0]);
         tree.node_mut(0).items_mut().push(vec![3.0]);
         tree.set_num_points(2);
@@ -475,7 +502,7 @@ mod tests {
 
     #[test]
     fn full_kernel_density_averages_kernels() {
-        let mut tree = BayesTree::new(1, geometry());
+        let mut tree: BayesTree = BayesTree::new(1, geometry());
         tree.node_mut(0).items_mut().push(vec![-1.0]);
         tree.node_mut(0).items_mut().push(vec![1.0]);
         tree.set_num_points(2);
@@ -488,7 +515,7 @@ mod tests {
 
     #[test]
     fn validate_detects_wrong_point_count() {
-        let mut tree = BayesTree::new(1, geometry());
+        let mut tree: BayesTree = BayesTree::new(1, geometry());
         tree.node_mut(0).items_mut().push(vec![1.0]);
         // num_points deliberately not incremented.
         let err = tree.validate(true).unwrap_err();

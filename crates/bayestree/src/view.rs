@@ -12,7 +12,7 @@
 use crate::classifier::{run_anytime_over, AnytimeClassifier, AnytimeTrace, Classification};
 use crate::descent::DescentStrategy;
 use crate::frontier::TreeFrontier;
-use crate::node::KernelSummary;
+use crate::node::{KernelSummary, StoredElement};
 use crate::qbk::RefinementStrategy;
 use crate::query::KernelQueryModel;
 use crate::tree::BayesTree;
@@ -20,20 +20,21 @@ use bt_anytree::{
     OutlierScore, QueryAnswer, QueryStats, ShardedQueryAnswer, ShardedTreeSnapshot, TreeSnapshot,
     TreeView,
 };
+use bt_stats::ColumnElement;
 
 /// An epoch-pinned, immutable view of a [`BayesTree`]: the core snapshot
 /// plus the density-model parameters (observation count, bandwidth) frozen
 /// at snapshot time.
 #[derive(Debug, Clone)]
-pub struct BayesTreeSnapshot {
-    core: TreeSnapshot<KernelSummary, Vec<f64>>,
+pub struct BayesTreeSnapshot<E: StoredElement = f64> {
+    core: TreeSnapshot<KernelSummary<E>, Vec<f64>>,
     num_points: usize,
     bandwidth: Vec<f64>,
 }
 
-impl BayesTreeSnapshot {
+impl<E: StoredElement> BayesTreeSnapshot<E> {
     pub(crate) fn from_parts(
-        core: TreeSnapshot<KernelSummary, Vec<f64>>,
+        core: TreeSnapshot<KernelSummary<E>, Vec<f64>>,
         num_points: usize,
         bandwidth: Vec<f64>,
     ) -> Self {
@@ -83,14 +84,17 @@ impl BayesTreeSnapshot {
     /// The underlying core snapshot (for frontier construction and
     /// inspection through [`TreeView`]).
     #[must_use]
-    pub fn core(&self) -> &TreeSnapshot<KernelSummary, Vec<f64>> {
+    pub fn core(&self) -> &TreeSnapshot<KernelSummary<E>, Vec<f64>> {
         &self.core
     }
 
-    /// The kernel-density query model frozen at snapshot time.
+    /// The kernel-density query model frozen at snapshot time (block
+    /// precision follows the stored precision, exactly as on the live
+    /// tree).
     #[must_use]
     pub fn query_model(&self) -> KernelQueryModel<'_> {
         KernelQueryModel::new(self.num_points, &self.bandwidth)
+            .with_precision(<E as ColumnElement>::PRECISION)
     }
 
     /// Budget-bracketed anytime density query against the frozen tree —
@@ -141,7 +145,7 @@ impl BayesTreeSnapshot {
     }
 }
 
-impl BayesTree {
+impl<E: StoredElement> BayesTree<E> {
     /// Takes an epoch-pinned snapshot: the versioned arena spine is cloned
     /// (`O(nodes)` pointer copies), the published epoch is pinned, and the
     /// density-model parameters (count, bandwidth) are frozen alongside.
@@ -149,7 +153,7 @@ impl BayesTree {
     /// The snapshot is `Send + Sync` and keeps answering queries
     /// bit-identically to this moment while later inserts mutate the tree.
     #[must_use]
-    pub fn snapshot(&self) -> BayesTreeSnapshot {
+    pub fn snapshot(&self) -> BayesTreeSnapshot<E> {
         BayesTreeSnapshot::from_parts(
             self.core().snapshot(),
             self.len(),
@@ -162,15 +166,15 @@ impl BayesTree {
 /// [`ShardedBayesTree`](crate::ShardedBayesTree): one pinned core snapshot
 /// per shard plus the frozen global density-model parameters.
 #[derive(Debug, Clone)]
-pub struct ShardedBayesTreeSnapshot {
-    core: ShardedTreeSnapshot<KernelSummary, Vec<f64>>,
+pub struct ShardedBayesTreeSnapshot<E: StoredElement = f64> {
+    core: ShardedTreeSnapshot<KernelSummary<E>, Vec<f64>>,
     num_points: usize,
     bandwidth: Vec<f64>,
 }
 
-impl ShardedBayesTreeSnapshot {
+impl<E: StoredElement> ShardedBayesTreeSnapshot<E> {
     pub(crate) fn from_parts(
-        core: ShardedTreeSnapshot<KernelSummary, Vec<f64>>,
+        core: ShardedTreeSnapshot<KernelSummary<E>, Vec<f64>>,
         num_points: usize,
         bandwidth: Vec<f64>,
     ) -> Self {
@@ -207,7 +211,7 @@ impl ShardedBayesTreeSnapshot {
 
     /// The underlying per-shard core snapshots.
     #[must_use]
-    pub fn core(&self) -> &ShardedTreeSnapshot<KernelSummary, Vec<f64>> {
+    pub fn core(&self) -> &ShardedTreeSnapshot<KernelSummary<E>, Vec<f64>> {
         &self.core
     }
 
@@ -227,7 +231,7 @@ impl ShardedBayesTreeSnapshot {
         let n = self.num_points;
         let bandwidth = &self.bandwidth;
         self.core.query_with_budget(
-            &|| KernelQueryModel::new(n, bandwidth),
+            &|| KernelQueryModel::new(n, bandwidth).with_precision(<E as ColumnElement>::PRECISION),
             x,
             strategy.into(),
             budget,
@@ -249,7 +253,7 @@ impl ShardedBayesTreeSnapshot {
         let n = self.num_points;
         let bandwidth = &self.bandwidth;
         self.core.query_batch(
-            &|| KernelQueryModel::new(n, bandwidth),
+            &|| KernelQueryModel::new(n, bandwidth).with_precision(<E as ColumnElement>::PRECISION),
             queries,
             strategy.into(),
             budget,
@@ -266,7 +270,7 @@ impl ShardedBayesTreeSnapshot {
         let n = self.num_points;
         let bandwidth = &self.bandwidth;
         self.core.outlier_score(
-            &|| KernelQueryModel::new(n, bandwidth),
+            &|| KernelQueryModel::new(n, bandwidth).with_precision(<E as ColumnElement>::PRECISION),
             x,
             threshold,
             budget,
@@ -396,7 +400,7 @@ mod tests {
 
     #[test]
     fn tree_snapshot_answers_stay_frozen_under_inserts() {
-        let mut tree =
+        let mut tree: BayesTree =
             BayesTree::build_iterative(&sample_points(150), 2, PageGeometry::from_fanout(4, 4));
         let snapshot = tree.snapshot();
         let frozen = snapshot.anytime_density(&[0.4, 0.4], DescentStrategy::default(), 12);

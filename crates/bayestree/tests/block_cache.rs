@@ -48,7 +48,7 @@ fn stream(n: usize, phase: usize) -> Vec<Vec<f64>> {
 }
 
 fn build_tree(points: &[Vec<f64>]) -> BayesTree {
-    let mut tree = BayesTree::new(DIMS, PageGeometry::from_fanout(3, 5));
+    let mut tree: BayesTree = BayesTree::new(DIMS, PageGeometry::from_fanout(3, 5));
     for chunk in points.chunks(64) {
         tree.insert_batch(chunk.to_vec());
     }

@@ -42,7 +42,7 @@ fn geometry() -> PageGeometry {
 }
 
 fn build_single(points: &[Vec<f64>]) -> BayesTree {
-    let mut tree = BayesTree::new(3, geometry());
+    let mut tree: BayesTree = BayesTree::new(3, geometry());
     for chunk in points.chunks(256) {
         tree.insert_batch(chunk.to_vec());
     }

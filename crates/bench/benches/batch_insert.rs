@@ -41,7 +41,7 @@ fn build_clustree_batched(points: &[Vec<f64>], batch_size: usize) -> ClusTree {
 
 fn build_bayestree_batched(points: &[Vec<f64>], dims: usize, batch_size: usize) -> BayesTree {
     let geometry = PageGeometry::default_for_dims(dims);
-    let mut tree = BayesTree::new(dims, geometry);
+    let mut tree: BayesTree = BayesTree::new(dims, geometry);
     if batch_size <= 1 {
         for p in points {
             tree.insert(p.clone());

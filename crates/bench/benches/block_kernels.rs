@@ -240,6 +240,88 @@ fn block_kernel_benchmarks(c: &mut Criterion) {
 
     cache_hit_benchmarks(c);
     leaf_block_benchmarks(c);
+    fma_benchmarks(c);
+    prefetch_benchmarks(c);
+}
+
+/// FMA group: block scoring with the default unfused kernels versus the
+/// opt-in fused-multiply-add variants, on the same warm gathered block.
+/// Identical inputs — fusion changes only the rounding of each `a * b + c`
+/// accumulation (admitted through the ULP-bounded parity suite in
+/// `crates/stats/tests/simd_parity.rs`).  On machines without FMA the
+/// "fused" side silently runs the unfused kernels, so the pair reads as
+/// parity there rather than failing.
+fn fma_benchmarks(c: &mut Criterion) {
+    let entries = kernel_entries();
+    let bandwidth = vec![0.75; DIMS];
+    let model = KernelQueryModel::new(NODE_LEN * POINTS_PER_ENTRY, &bandwidth);
+    let query = vec![3.25; DIMS];
+    let mut out = Vec::new();
+    let mut lanes: [Vec<f64>; 4] = Default::default();
+
+    let mut gathered =
+        GatheredBlock::with_precision(QueryModel::<KernelSummary>::block_precision(&model));
+    assert!(model.gather_entries(&entries, &mut gathered));
+
+    let mut group = c.benchmark_group("block_fma");
+    for (label, fused) in [("unfused", false), ("fused", true)] {
+        bt_stats::simd::set_fma_enabled(Some(fused));
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                model.score_gathered(
+                    black_box(&query),
+                    black_box(&entries),
+                    &gathered,
+                    &mut lanes,
+                    &mut out,
+                );
+                out.len()
+            })
+        });
+    }
+    // Restore the process-default dispatch (env var / detection driven).
+    bt_stats::simd::set_fma_enabled(None);
+    group.finish();
+}
+
+/// Prefetch group: the two hot loops that now issue software prefetches for
+/// the next epoch-page slot they will touch — query refinement (the next
+/// frontier candidate) and batched descent (the routed child).  There is no
+/// prefetch-off toggle to compare against (the hint is unconditional), so
+/// the group records the end-to-end throughput of both loops; the committed
+/// trajectory catches regressions.
+fn prefetch_benchmarks(c: &mut Criterion) {
+    use bayestree::BayesTree;
+    use bt_index::PageGeometry;
+
+    let mut rng = SplitMix(0xfe7c);
+    let points: Vec<Vec<f64>> = (0..4_096).map(|i| rng.point((i % 13) as f64)).collect();
+    let mut tree: BayesTree = BayesTree::new(DIMS, PageGeometry::default_for_dims(DIMS));
+    for chunk in points.chunks(256) {
+        tree.insert_batch(chunk.to_vec());
+    }
+    let query = vec![6.5; DIMS];
+
+    let mut group = c.benchmark_group("frontier_prefetch");
+    group.bench_function(BenchmarkId::from_parameter("query_refine"), |b| {
+        b.iter(|| {
+            let answer = tree.anytime_density(black_box(&query), Default::default(), 32);
+            black_box(answer.estimate)
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("insert_batch"), |b| {
+        let mut scratch_tree: BayesTree =
+            BayesTree::new(DIMS, PageGeometry::default_for_dims(DIMS));
+        for chunk in points.chunks(256) {
+            scratch_tree.insert_batch(chunk.to_vec());
+        }
+        let batch: Vec<Vec<f64>> = points[..256].to_vec();
+        b.iter(|| {
+            scratch_tree.insert_batch(batch.clone());
+            scratch_tree.len()
+        })
+    });
+    group.finish();
 }
 
 /// Cache-hit group: gather + score (the cold miss) versus an epoch-stamped
@@ -254,7 +336,8 @@ fn cache_hit_benchmarks(c: &mut Criterion) {
 
     let version = 7;
     let slot = BlockCacheSlot::new();
-    let mut gathered = GatheredBlock::with_precision(model.block_precision());
+    let mut gathered =
+        GatheredBlock::with_precision(QueryModel::<KernelSummary>::block_precision(&model));
     assert!(model.gather_entries(&entries, &mut gathered));
     slot.store(Arc::new(CachedBlock {
         version,
@@ -278,7 +361,10 @@ fn cache_hit_benchmarks(c: &mut Criterion) {
     group.bench_function(BenchmarkId::from_parameter("warm_hit"), |b| {
         b.iter(|| {
             let cached = slot
-                .lookup_scored(version, model.block_precision())
+                .lookup_scored(
+                    version,
+                    QueryModel::<KernelSummary>::block_precision(&model),
+                )
                 .expect("warm slot hits");
             model.score_gathered(
                 black_box(&query),
@@ -308,13 +394,19 @@ fn leaf_block_benchmarks(c: &mut Criterion) {
     let mut group = c.benchmark_group("bayestree_score_leaf");
     group.bench_function(BenchmarkId::from_parameter("per_item"), |b| {
         b.iter(|| {
-            score_leaf_scalar(&model, black_box(&query), black_box(&points), &mut out);
+            score_leaf_scalar::<KernelSummary, _>(
+                &model,
+                black_box(&query),
+                black_box(&points),
+                &mut out,
+            );
             out.len()
         })
     });
     group.bench_function(BenchmarkId::from_parameter("block"), |b| {
         b.iter(|| {
-            model.score_leaf_items(
+            QueryModel::<KernelSummary>::score_leaf_items(
+                &model,
                 black_box(&query),
                 black_box(&points),
                 &mut scratch,

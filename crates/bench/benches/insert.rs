@@ -18,7 +18,7 @@ fn insert_benchmarks(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, points| {
             b.iter(|| {
-                let mut tree = BayesTree::new(dims, geometry);
+                let mut tree: BayesTree = BayesTree::new(dims, geometry);
                 for p in points {
                     tree.insert(black_box(p.clone()));
                 }

@@ -32,7 +32,7 @@ fn stream_points() -> Vec<Vec<f64>> {
 }
 
 fn build_tree(points: &[Vec<f64>]) -> BayesTree {
-    let mut tree = BayesTree::new(DIMS, PageGeometry::default_for_dims(DIMS));
+    let mut tree: BayesTree = BayesTree::new(DIMS, PageGeometry::default_for_dims(DIMS));
     for chunk in points.chunks(BATCH_SIZE) {
         tree.insert_batch(chunk.to_vec());
     }

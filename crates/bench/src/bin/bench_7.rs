@@ -39,7 +39,7 @@ fn stream_points() -> Vec<Vec<f64>> {
 }
 
 fn build_tree(points: &[Vec<f64>]) -> BayesTree {
-    let mut tree = BayesTree::new(DIMS, PageGeometry::default_for_dims(DIMS));
+    let mut tree: BayesTree = BayesTree::new(DIMS, PageGeometry::default_for_dims(DIMS));
     for chunk in points.chunks(BATCH_SIZE) {
         tree.insert_batch(chunk.to_vec());
     }
@@ -143,7 +143,8 @@ fn measure_warm_cache_ratio() -> (f64, f64, f64) {
 
     let version = 7;
     let slot = BlockCacheSlot::new();
-    let mut gathered = GatheredBlock::with_precision(model.block_precision());
+    let mut gathered =
+        GatheredBlock::with_precision(QueryModel::<KernelSummary>::block_precision(&model));
     assert!(model.gather_entries(&entries, &mut gathered));
     slot.store(Arc::new(CachedBlock {
         version,
@@ -154,7 +155,10 @@ fn measure_warm_cache_ratio() -> (f64, f64, f64) {
     let warm = best_of_3(|| {
         for _ in 0..reps {
             let cached = slot
-                .lookup_scored(version, model.block_precision())
+                .lookup_scored(
+                    version,
+                    QueryModel::<KernelSummary>::block_precision(&model),
+                )
                 .expect("warm slot hits");
             model.score_gathered(&query, &entries, &cached.gathered, &mut lanes, &mut out);
             black_box(&out);
@@ -188,13 +192,14 @@ fn measure_leaf_ratio() -> (f64, f64, f64) {
         for _ in 0..reps {
             out.clear();
             for item in &items {
-                let contribution = model.leaf_contribution(&query, item);
+                let contribution =
+                    QueryModel::<KernelSummary>::leaf_contribution(&model, &query, item);
                 out.push(SummaryScore {
-                    weight: model.leaf_weight(item),
+                    weight: QueryModel::<KernelSummary>::leaf_weight(&model, item),
                     contribution,
                     lower: contribution,
                     upper: contribution,
-                    min_dist_sq: model.leaf_sq_dist(&query, item),
+                    min_dist_sq: QueryModel::<KernelSummary>::leaf_sq_dist(&model, &query, item),
                 });
             }
             black_box(&out);
@@ -203,7 +208,13 @@ fn measure_leaf_ratio() -> (f64, f64, f64) {
     });
     let block = best_of_3(|| {
         for _ in 0..reps {
-            model.score_leaf_items(&query, &items, &mut scratch, &mut out);
+            QueryModel::<KernelSummary>::score_leaf_items(
+                &model,
+                &query,
+                &items,
+                &mut scratch,
+                &mut out,
+            );
             black_box(&out);
         }
         out.len()

@@ -49,16 +49,37 @@ pub fn best_of_3(mut run: impl FnMut() -> usize) -> f64 {
 #[derive(Debug, Clone)]
 pub struct BenchRecord {
     bench: String,
+    cpu: Vec<(&'static str, bool)>,
     config: Vec<(String, String)>,
     fields: Vec<(String, String)>,
 }
 
+/// The CPU features the SIMD dispatch keys on, as detected at run time —
+/// stamped into every record so cross-machine ratios in the committed
+/// trajectory are interpretable.
+#[must_use]
+pub fn detected_cpu_features() -> Vec<(&'static str, bool)> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        vec![
+            ("avx2", std::arch::is_x86_feature_detected!("avx2")),
+            ("fma", std::arch::is_x86_feature_detected!("fma")),
+        ]
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        vec![("avx2", false), ("fma", false)]
+    }
+}
+
 impl BenchRecord {
-    /// An empty record for the benchmark called `bench`.
+    /// An empty record for the benchmark called `bench`, stamped with the
+    /// detected CPU features.
     #[must_use]
     pub fn new(bench: &str) -> Self {
         Self {
             bench: bench.to_string(),
+            cpu: detected_cpu_features(),
             config: Vec::new(),
             fields: Vec::new(),
         }
@@ -85,6 +106,12 @@ impl BenchRecord {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"bench\": \"{}\",", self.bench);
+        out.push_str("  \"cpu\": {");
+        for (i, (key, value)) in self.cpu.iter().enumerate() {
+            let comma = if i + 1 < self.cpu.len() { ", " } else { "" };
+            let _ = write!(out, "\"{key}\": {value}{comma}");
+        }
+        out.push_str("},\n");
         out.push_str("  \"config\": {\n");
         for (i, (key, value)) in self.config.iter().enumerate() {
             let comma = if i + 1 < self.config.len() { "," } else { "" };
@@ -134,11 +161,18 @@ mod tests {
             .field("inserts_per_sec", format!("{:.1}", 1234.5678))
             .field("ratio", format!("{:.3}", 1.8765))
             .to_json();
+        let cpu = detected_cpu_features();
+        let cpu_line = format!(
+            "  \"cpu\": {{\"avx2\": {}, \"fma\": {}}},\n",
+            cpu[0].1, cpu[1].1
+        );
         assert_eq!(
             json,
-            "{\n  \"bench\": \"demo\",\n  \"config\": {\n    \"dims\": 8,\n    \
-             \"stream_len\": 8000\n  },\n  \"inserts_per_sec\": 1234.6,\n  \
-             \"ratio\": 1.877\n}\n"
+            format!(
+                "{{\n  \"bench\": \"demo\",\n{cpu_line}  \"config\": {{\n    \"dims\": 8,\n    \
+                 \"stream_len\": 8000\n  }},\n  \"inserts_per_sec\": 1234.6,\n  \
+                 \"ratio\": 1.877\n}}\n"
+            )
         );
     }
 

@@ -18,6 +18,7 @@
 //!   threshold on multi-core runners).
 
 use bayestree::{DescentStrategy, ShardedBayesTree};
+use bt_anytree::QueryStats;
 use bt_index::PageGeometry;
 use std::time::Instant;
 
@@ -38,6 +39,13 @@ pub struct PipelinedThroughput {
     /// Retired node copies the writers paid for copy-on-write, across all
     /// shards (zero in the solo run).
     pub retired_nodes: u64,
+    /// Fraction of node-block scorings the snapshot readers served from the
+    /// epoch-stamped block cache, merged over every shard and mini-batch
+    /// (0.0 when no blocks were gathered at all).
+    pub gather_hit_rate: f64,
+    /// Software prefetches the snapshot readers issued for upcoming
+    /// frontier candidates, merged over every shard and mini-batch.
+    pub prefetches: u64,
 }
 
 impl PipelinedThroughput {
@@ -90,6 +98,7 @@ pub fn pipelined_sweep(
             let mut tree: ShardedBayesTree = ShardedBayesTree::new(dims, geometry, shards);
             let mut answered = 0usize;
             let mut uncertainty_sum = 0.0;
+            let mut reader_stats = QueryStats::default();
             let start = Instant::now();
             for chunk in points.chunks(batch_size) {
                 let outcome = tree.pipelined_batch(
@@ -104,6 +113,7 @@ pub fn pipelined_sweep(
                     .iter()
                     .map(bt_anytree::ShardedQueryAnswer::uncertainty)
                     .sum::<f64>();
+                reader_stats.merge(&outcome.query_stats);
             }
             let pipelined_secs = start.elapsed().as_secs_f64().max(1e-9);
             let retired_nodes = tree
@@ -119,28 +129,36 @@ pub fn pipelined_sweep(
                 queries_per_sec: answered as f64 / pipelined_secs,
                 mean_uncertainty: uncertainty_sum / answered.max(1) as f64,
                 retired_nodes,
+                gather_hit_rate: reader_stats.gather_hit_rate(),
+                prefetches: reader_stats.prefetches,
             }
         })
         .collect()
 }
 
-/// Formats a pipelined sweep as aligned text.
+/// Formats a pipelined sweep as aligned text.  The reader-side cache and
+/// prefetch counters ride along so one table shows both what the writers
+/// paid (retired copies) and what the readers saved (cached blocks,
+/// prefetched pages); the hit rate is already guarded against the
+/// zero-gather case by [`QueryStats::gather_hit_rate`].
 #[must_use]
 pub fn format_pipelined_sweep(rows: &[PipelinedThroughput]) -> String {
     let mut out = String::from(
-        "shards  solo-ins/s  piped-ins/s  ratio  queries/s  uncertainty  retired\n\
-         ------  ----------  -----------  -----  ---------  -----------  -------\n",
+        "shards  solo-ins/s  piped-ins/s  ratio  queries/s  uncertainty  retired  hit-rate  prefetch\n\
+         ------  ----------  -----------  -----  ---------  -----------  -------  --------  --------\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{:>6}  {:>10.0}  {:>11.0}  {:>5.2}  {:>9.0}  {:>11.3e}  {:>7}\n",
+            "{:>6}  {:>10.0}  {:>11.0}  {:>5.2}  {:>9.0}  {:>11.3e}  {:>7}  {:>8.2}  {:>8}\n",
             r.shards,
             r.solo_inserts_per_sec,
             r.pipelined_inserts_per_sec,
             r.writer_ratio(),
             r.queries_per_sec,
             r.mean_uncertainty,
-            r.retired_nodes
+            r.retired_nodes,
+            r.gather_hit_rate,
+            r.prefetches
         ));
     }
     out
@@ -181,9 +199,14 @@ mod tests {
             // Readers pin pre-batch snapshots, so writers must have paid
             // some copy-on-write — and only while pinned.
             assert!(r.retired_nodes > 0);
+            assert!((0.0..=1.0).contains(&r.gather_hit_rate));
         }
         let text = format_pipelined_sweep(&rows);
         assert_eq!(text.lines().count(), 5);
         assert!(text.contains("ratio"));
+        assert!(
+            text.contains("hit-rate") && text.contains("prefetch"),
+            "pipelined report surfaces the reader-side cache counters"
+        );
     }
 }

@@ -52,7 +52,7 @@ pub fn density_budget_sweep(
     assert!(!points.is_empty(), "need training points");
     assert!(!queries.is_empty(), "need query points");
     let dims = points[0].len();
-    let tree = BayesTree::build_iterative(points, dims, geometry);
+    let tree: BayesTree = BayesTree::build_iterative(points, dims, geometry);
     let truths: Vec<f64> = queries
         .iter()
         .map(|q| tree.full_kernel_density(q))
@@ -100,6 +100,9 @@ pub struct ShardedQueryThroughput {
     /// Fraction of node-block scorings served from the epoch-stamped block
     /// cache instead of re-gathering columns (merged over every shard).
     pub gather_hit_rate: f64,
+    /// Software prefetches issued for upcoming frontier candidates, merged
+    /// over every shard.
+    pub prefetches: u64,
     /// Objects routed to each shard (router-skew observability).
     pub shard_sizes: Vec<usize>,
 }
@@ -145,6 +148,7 @@ pub fn sharded_query_sweep(
                 nodes_per_sec: stats.nodes_read as f64 / wall_secs,
                 mean_uncertainty,
                 gather_hit_rate: stats.gather_hit_rate(),
+                prefetches: stats.prefetches,
                 shard_sizes: tree.shard_sizes().to_vec(),
             }
         })
@@ -152,17 +156,26 @@ pub fn sharded_query_sweep(
 }
 
 /// Formats a density budget sweep as aligned text; the engine counters use
-/// [`QueryStats`]' `Display` form.
+/// [`QueryStats`]' `Display` form, with the block-cache hit rate and the
+/// frontier prefetch count broken out as their own columns
+/// ([`QueryStats::gather_hit_rate`] guards the zero-gather case, so a
+/// budget-0 row prints 0.00 rather than NaN).
 #[must_use]
 pub fn format_density_budget_sweep(rows: &[QueryBudgetQuality]) -> String {
     let mut out = String::from(
-        "budget  mean-reads  uncertainty  abs-error  engine\n\
-         ------  ----------  -----------  ---------  ------\n",
+        "budget  mean-reads  uncertainty  abs-error  hit-rate  prefetch  engine\n\
+         ------  ----------  -----------  ---------  --------  --------  ------\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{:>6}  {:>10.1}  {:>11.3e}  {:>9.3e}  {}\n",
-            r.budget, r.mean_nodes_read, r.mean_uncertainty, r.mean_abs_error, r.stats
+            "{:>6}  {:>10.1}  {:>11.3e}  {:>9.3e}  {:>8.2}  {:>8}  {}\n",
+            r.budget,
+            r.mean_nodes_read,
+            r.mean_uncertainty,
+            r.mean_abs_error,
+            r.stats.gather_hit_rate(),
+            r.stats.prefetches,
+            r.stats
         ));
     }
     out
@@ -173,17 +186,18 @@ pub fn format_density_budget_sweep(rows: &[QueryBudgetQuality]) -> String {
 #[must_use]
 pub fn format_sharded_query_sweep(rows: &[ShardedQueryThroughput]) -> String {
     let mut out = String::from(
-        "shards  queries/sec  reads/sec  uncertainty  hit-rate  sizes\n\
-         ------  -----------  ---------  -----------  --------  -----\n",
+        "shards  queries/sec  reads/sec  uncertainty  hit-rate  prefetch  sizes\n\
+         ------  -----------  ---------  -----------  --------  --------  -----\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{:>6}  {:>11.0}  {:>9.0}  {:>11.3e}  {:>8.2}  {:?}\n",
+            "{:>6}  {:>11.0}  {:>9.0}  {:>11.3e}  {:>8.2}  {:>8}  {:?}\n",
             r.shards,
             r.queries_per_sec,
             r.nodes_per_sec,
             r.mean_uncertainty,
             r.gather_hit_rate,
+            r.prefetches,
             r.shard_sizes
         ));
     }
@@ -236,6 +250,15 @@ mod tests {
             text.contains("cached="),
             "engine column surfaces the block-cache counters"
         );
+        assert!(
+            text.contains("hit-rate") && text.contains("prefetch"),
+            "cache hit rate and prefetch count get their own columns"
+        );
+        // The budget-0 row performs no gathers; the guarded hit rate must
+        // still be a finite number in [0, 1].
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.stats.gather_hit_rate()));
+        }
     }
 
     #[test]
@@ -257,8 +280,8 @@ mod tests {
         let text = format_sharded_query_sweep(&rows);
         assert_eq!(text.lines().count(), 5);
         assert!(
-            text.contains("hit-rate"),
-            "sharded report surfaces the block-cache hit rate"
+            text.contains("hit-rate") && text.contains("prefetch"),
+            "sharded report surfaces the cache hit rate and prefetch count"
         );
         for r in &rows {
             assert!((0.0..=1.0).contains(&r.gather_hit_rate));

@@ -44,15 +44,31 @@ pub enum BlockPrecision {
     F32,
 }
 
-/// An element type a column may store; widened to `f64` before arithmetic.
+/// An element type a column (or a stored summary) may hold; widened to `f64`
+/// before arithmetic.
+///
+/// Besides the round-to-nearest [`ColumnElement::narrow`] used for plain
+/// value storage, the trait provides the two *directed* quantisations the
+/// stored-precision summaries need for interval soundness: a quantised MBR
+/// must **enclose** the exact box, so lower corners round toward `-∞`
+/// ([`ColumnElement::narrow_down`]) and upper corners toward `+∞`
+/// ([`ColumnElement::narrow_up`]).  For `f64` all three are the identity, so
+/// full-precision storage is bit-identical by construction.
 pub trait ColumnElement: Copy {
+    /// The [`BlockPrecision`] tag matching this storage type.
+    const PRECISION: BlockPrecision;
     /// The value as `f64`.
     fn widen(self) -> f64;
-    /// Quantises an `f64` into this storage type.
+    /// Quantises an `f64` into this storage type (round to nearest).
     fn narrow(v: f64) -> Self;
+    /// Quantises rounding toward `-∞`: the result, widened back, is `<= v`.
+    fn narrow_down(v: f64) -> Self;
+    /// Quantises rounding toward `+∞`: the result, widened back, is `>= v`.
+    fn narrow_up(v: f64) -> Self;
 }
 
 impl ColumnElement for f64 {
+    const PRECISION: BlockPrecision = BlockPrecision::F64;
     #[inline(always)]
     fn widen(self) -> f64 {
         self
@@ -61,9 +77,18 @@ impl ColumnElement for f64 {
     fn narrow(v: f64) -> Self {
         v
     }
+    #[inline(always)]
+    fn narrow_down(v: f64) -> Self {
+        v
+    }
+    #[inline(always)]
+    fn narrow_up(v: f64) -> Self {
+        v
+    }
 }
 
 impl ColumnElement for f32 {
+    const PRECISION: BlockPrecision = BlockPrecision::F32;
     #[inline(always)]
     fn widen(self) -> f64 {
         f64::from(self)
@@ -71,6 +96,24 @@ impl ColumnElement for f32 {
     #[inline(always)]
     fn narrow(v: f64) -> Self {
         v as f32
+    }
+    #[inline(always)]
+    fn narrow_down(v: f64) -> Self {
+        let r = v as f32;
+        if f64::from(r) > v {
+            r.next_down()
+        } else {
+            r
+        }
+    }
+    #[inline(always)]
+    fn narrow_up(v: f64) -> Self {
+        let r = v as f32;
+        if f64::from(r) < v {
+            r.next_up()
+        } else {
+            r
+        }
     }
 }
 

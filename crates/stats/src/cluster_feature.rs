@@ -12,29 +12,40 @@
 //! For the stream-clustering extension (Section 4.2) the CF additionally
 //! supports *exponential decay*: multiplying `n`, `LS` and `SS` by a factor
 //! `2^(-lambda * dt)` ages the statistics without touching their additivity.
+//!
+//! **Stored precision.**  The `LS` / `SS` components are generic over a
+//! [`ColumnElement`] storage type (default `f64`, bit-identical to the
+//! historical behaviour).  A `ClusterFeature<f32>` stores the sums
+//! half-width — halving the entry's memory footprint and the bytes every
+//! gather, copy-on-write and snapshot pin streams — while **every arithmetic
+//! operation still runs in `f64`**: operands are widened on read and results
+//! quantised (round to nearest) on write.  The count `n` always stays `f64`
+//! so weights, and therefore mixture normalisation, never lose precision.
 
+use crate::block::ColumnElement;
 use crate::gaussian::DiagGaussian;
 use crate::VARIANCE_FLOOR;
 
-/// Additive sufficient statistics of a set of points.
+/// Additive sufficient statistics of a set of points, stored at element
+/// precision `E` (see the [module docs](self) for the precision contract).
 #[derive(Debug, Clone, PartialEq)]
-pub struct ClusterFeature {
+pub struct ClusterFeature<E: ColumnElement = f64> {
     /// Number of summarised objects (fractional once decay is applied).
     n: f64,
     /// Per-dimension linear sum of the objects.
-    ls: Vec<f64>,
+    ls: Vec<E>,
     /// Per-dimension sum of squares of the objects.
-    ss: Vec<f64>,
+    ss: Vec<E>,
 }
 
-impl ClusterFeature {
+impl<E: ColumnElement> ClusterFeature<E> {
     /// Creates an empty cluster feature of the given dimensionality.
     #[must_use]
     pub fn empty(dims: usize) -> Self {
         Self {
             n: 0.0,
-            ls: vec![0.0; dims],
-            ss: vec![0.0; dims],
+            ls: vec![E::narrow(0.0); dims],
+            ss: vec![E::narrow(0.0); dims],
         }
     }
 
@@ -43,8 +54,8 @@ impl ClusterFeature {
     pub fn from_point(point: &[f64]) -> Self {
         Self {
             n: 1.0,
-            ls: point.to_vec(),
-            ss: point.iter().map(|x| x * x).collect(),
+            ls: point.iter().map(|x| E::narrow(*x)).collect(),
+            ss: point.iter().map(|x| E::narrow(x * x)).collect(),
         }
     }
 
@@ -54,7 +65,7 @@ impl ClusterFeature {
     ///
     /// Panics if `ls` and `ss` have different lengths or `n` is negative.
     #[must_use]
-    pub fn from_parts(n: f64, ls: Vec<f64>, ss: Vec<f64>) -> Self {
+    pub fn from_parts(n: f64, ls: Vec<E>, ss: Vec<E>) -> Self {
         assert_eq!(
             ls.len(),
             ss.len(),
@@ -77,6 +88,17 @@ impl ClusterFeature {
         cf
     }
 
+    /// Re-quantises into another storage precision (widen, then narrow; the
+    /// identity when `E == F`).
+    #[must_use]
+    pub fn to_precision<F: ColumnElement>(&self) -> ClusterFeature<F> {
+        ClusterFeature {
+            n: self.n,
+            ls: self.ls.iter().map(|x| F::narrow(x.widen())).collect(),
+            ss: self.ss.iter().map(|x| F::narrow(x.widen())).collect(),
+        }
+    }
+
     /// Dimensionality of the summarised points.
     #[must_use]
     pub fn dims(&self) -> usize {
@@ -89,15 +111,15 @@ impl ClusterFeature {
         self.n
     }
 
-    /// The linear-sum component `LS`.
+    /// The linear-sum component `LS` (at storage precision).
     #[must_use]
-    pub fn linear_sum(&self) -> &[f64] {
+    pub fn linear_sum(&self) -> &[E] {
         &self.ls
     }
 
-    /// The squared-sum component `SS`.
+    /// The squared-sum component `SS` (at storage precision).
     #[must_use]
-    pub fn squared_sum(&self) -> &[f64] {
+    pub fn squared_sum(&self) -> &[E] {
         &self.ss
     }
 
@@ -107,13 +129,14 @@ impl ClusterFeature {
         self.n <= f64::EPSILON
     }
 
-    /// Adds a single point to the summary.
+    /// Adds a single point to the summary (accumulation in `f64`, quantised
+    /// on write).
     pub fn insert(&mut self, point: &[f64]) {
         debug_assert_eq!(point.len(), self.dims());
         self.n += 1.0;
         for ((ls, ss), p) in self.ls.iter_mut().zip(&mut self.ss).zip(point) {
-            *ls += p;
-            *ss += p * p;
+            *ls = E::narrow(ls.widen() + p);
+            *ss = E::narrow(ss.widen() + p * p);
         }
     }
 
@@ -122,8 +145,8 @@ impl ClusterFeature {
         debug_assert_eq!(other.dims(), self.dims());
         self.n += other.n;
         for d in 0..self.ls.len() {
-            self.ls[d] += other.ls[d];
-            self.ss[d] += other.ss[d];
+            self.ls[d] = E::narrow(self.ls[d].widen() + other.ls[d].widen());
+            self.ss[d] = E::narrow(self.ss[d].widen() + other.ss[d].widen());
         }
     }
 
@@ -135,12 +158,12 @@ impl ClusterFeature {
         debug_assert_eq!(other.dims(), self.dims());
         self.n = (self.n - other.n).max(0.0);
         for d in 0..self.ls.len() {
-            self.ls[d] -= other.ls[d];
-            self.ss[d] -= other.ss[d];
+            self.ls[d] = E::narrow(self.ls[d].widen() - other.ls[d].widen());
+            self.ss[d] = E::narrow(self.ss[d].widen() - other.ss[d].widen());
         }
     }
 
-    /// Mean vector `LS / n` of the summarised points.
+    /// Mean vector `LS / n` of the summarised points (always `f64`).
     ///
     /// Returns a zero vector for an empty feature.
     #[must_use]
@@ -148,7 +171,7 @@ impl ClusterFeature {
         if self.is_empty() {
             return vec![0.0; self.dims()];
         }
-        self.ls.iter().map(|x| x / self.n).collect()
+        self.ls.iter().map(|x| x.widen() / self.n).collect()
     }
 
     /// Writes the mean vector into `out` (cleared and refilled), so the
@@ -160,7 +183,13 @@ impl ClusterFeature {
             out.resize(self.dims(), 0.0);
             return;
         }
-        crate::vector::scale_into(&self.ls, 1.0 / self.n, out);
+        // Same expression as `vector::scale_into(ls, 1.0 / n, out)`: the
+        // routing-centre arithmetic `ls * (1/n)` must match
+        // `sq_dist_mean_to` exactly (see the `Summary::center_into`
+        // contract in `bt_anytree`).
+        let inv_n = 1.0 / self.n;
+        out.clear();
+        out.extend(self.ls.iter().map(|x| x.widen() * inv_n));
     }
 
     /// Squared Euclidean distance from the mean to `point`, computed without
@@ -177,13 +206,14 @@ impl ClusterFeature {
             .iter()
             .zip(point)
             .map(|(ls, p)| {
-                let diff = ls * inv_n - p;
+                let diff = ls.widen() * inv_n - p;
                 diff * diff
             })
             .sum()
     }
 
-    /// Per-dimension variance `SS / n - (LS / n)^2` of the summarised points.
+    /// Per-dimension variance `SS / n - (LS / n)^2` of the summarised points
+    /// (always `f64`).
     ///
     /// Clamped below at [`VARIANCE_FLOOR`]; returns the floor for an empty
     /// feature.
@@ -196,8 +226,8 @@ impl ClusterFeature {
             .iter()
             .zip(&self.ss)
             .map(|(ls, ss)| {
-                let mean = ls / self.n;
-                (ss / self.n - mean * mean).max(VARIANCE_FLOOR)
+                let mean = ls.widen() / self.n;
+                (ss.widen() / self.n - mean * mean).max(VARIANCE_FLOOR)
             })
             .collect()
     }
@@ -215,8 +245,8 @@ impl ClusterFeature {
         debug_assert!((0.0..=1.0).contains(&factor));
         self.n *= factor;
         for d in 0..self.ls.len() {
-            self.ls[d] *= factor;
-            self.ss[d] *= factor;
+            self.ls[d] = E::narrow(self.ls[d].widen() * factor);
+            self.ss[d] = E::narrow(self.ss[d].widen() * factor);
         }
     }
 
@@ -238,7 +268,7 @@ mod tests {
 
     #[test]
     fn single_point_mean_is_the_point() {
-        let cf = ClusterFeature::from_point(&[1.0, 2.0, 3.0]);
+        let cf: ClusterFeature = ClusterFeature::from_point(&[1.0, 2.0, 3.0]);
         assert_eq!(cf.mean(), vec![1.0, 2.0, 3.0]);
         assert_eq!(cf.weight(), 1.0);
     }
@@ -246,7 +276,7 @@ mod tests {
     #[test]
     fn mean_and_variance_match_direct_formulas() {
         let pts: Vec<Vec<f64>> = vec![vec![0.0, 1.0], vec![2.0, 3.0], vec![4.0, 5.0]];
-        let cf = ClusterFeature::from_points(pts.iter().map(Vec::as_slice), 2);
+        let cf: ClusterFeature = ClusterFeature::from_points(pts.iter().map(Vec::as_slice), 2);
         assert_eq!(cf.mean(), vec![2.0, 3.0]);
         let var = cf.variance();
         // Population variance of {0,2,4} is 8/3.
@@ -258,10 +288,10 @@ mod tests {
     fn additivity_merge_equals_union() {
         let a: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, (i * i) as f64]).collect();
         let b: Vec<Vec<f64>> = (10..25).map(|i| vec![i as f64, (i * 2) as f64]).collect();
-        let mut cf_a = ClusterFeature::from_points(a.iter().map(Vec::as_slice), 2);
-        let cf_b = ClusterFeature::from_points(b.iter().map(Vec::as_slice), 2);
+        let mut cf_a: ClusterFeature = ClusterFeature::from_points(a.iter().map(Vec::as_slice), 2);
+        let cf_b: ClusterFeature = ClusterFeature::from_points(b.iter().map(Vec::as_slice), 2);
         let all: Vec<Vec<f64>> = a.iter().chain(b.iter()).cloned().collect();
-        let cf_all = ClusterFeature::from_points(all.iter().map(Vec::as_slice), 2);
+        let cf_all: ClusterFeature = ClusterFeature::from_points(all.iter().map(Vec::as_slice), 2);
         cf_a.merge(&cf_b);
         assert!((cf_a.weight() - cf_all.weight()).abs() < 1e-9);
         for d in 0..2 {
@@ -272,8 +302,8 @@ mod tests {
 
     #[test]
     fn subtract_inverts_merge() {
-        let mut cf = ClusterFeature::from_point(&[1.0, 1.0]);
-        let other = ClusterFeature::from_point(&[3.0, -1.0]);
+        let mut cf: ClusterFeature = ClusterFeature::from_point(&[1.0, 1.0]);
+        let other: ClusterFeature = ClusterFeature::from_point(&[3.0, -1.0]);
         cf.merge(&other);
         cf.subtract(&other);
         assert!((cf.weight() - 1.0).abs() < 1e-12);
@@ -283,7 +313,7 @@ mod tests {
     #[test]
     fn decay_reduces_weight_but_keeps_mean() {
         let pts: Vec<Vec<f64>> = vec![vec![2.0], vec![4.0]];
-        let mut cf = ClusterFeature::from_points(pts.iter().map(Vec::as_slice), 1);
+        let mut cf: ClusterFeature = ClusterFeature::from_points(pts.iter().map(Vec::as_slice), 1);
         let mean_before = cf.mean();
         cf.decay(0.5);
         assert!((cf.weight() - 1.0).abs() < 1e-12);
@@ -292,7 +322,7 @@ mod tests {
 
     #[test]
     fn empty_feature_is_safe() {
-        let cf = ClusterFeature::empty(3);
+        let cf: ClusterFeature = ClusterFeature::empty(3);
         assert!(cf.is_empty());
         assert_eq!(cf.mean(), vec![0.0; 3]);
         assert!(cf.variance().iter().all(|v| *v >= VARIANCE_FLOOR));
@@ -302,7 +332,7 @@ mod tests {
     #[test]
     fn to_gaussian_round_trips_mean() {
         let pts: Vec<Vec<f64>> = vec![vec![1.0, 5.0], vec![3.0, 7.0]];
-        let cf = ClusterFeature::from_points(pts.iter().map(Vec::as_slice), 2);
+        let cf: ClusterFeature = ClusterFeature::from_points(pts.iter().map(Vec::as_slice), 2);
         let g = cf.to_gaussian();
         assert_eq!(g.mean(), &[2.0, 6.0][..]);
     }
@@ -310,7 +340,7 @@ mod tests {
     #[test]
     fn mean_into_and_sq_dist_match_mean() {
         let pts: Vec<Vec<f64>> = vec![vec![0.0, 1.0], vec![2.0, 3.0], vec![4.0, 5.0]];
-        let cf = ClusterFeature::from_points(pts.iter().map(Vec::as_slice), 2);
+        let cf: ClusterFeature = ClusterFeature::from_points(pts.iter().map(Vec::as_slice), 2);
         let mut scratch = Vec::new();
         cf.mean_into(&mut scratch);
         assert_eq!(scratch, cf.mean());
@@ -321,7 +351,7 @@ mod tests {
 
     #[test]
     fn empty_mean_into_is_zero_vector() {
-        let cf = ClusterFeature::empty(3);
+        let cf: ClusterFeature = ClusterFeature::empty(3);
         let mut scratch = vec![9.0; 5];
         cf.mean_into(&mut scratch);
         assert_eq!(scratch, vec![0.0; 3]);
@@ -330,10 +360,39 @@ mod tests {
 
     #[test]
     fn radius_grows_with_spread() {
-        let tight =
+        let tight: ClusterFeature =
             ClusterFeature::from_points([vec![0.0], vec![0.1]].iter().map(Vec::as_slice), 1);
-        let wide =
+        let wide: ClusterFeature =
             ClusterFeature::from_points([vec![0.0], vec![10.0]].iter().map(Vec::as_slice), 1);
         assert!(wide.radius() > tight.radius());
+    }
+
+    #[test]
+    fn f32_storage_accumulates_in_f64_and_quantises_on_write() {
+        let pts: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![0.1 * i as f64, 1.0 - 0.01 * i as f64])
+            .collect();
+        let wide: ClusterFeature = ClusterFeature::from_points(pts.iter().map(Vec::as_slice), 2);
+        let narrow: ClusterFeature<f32> =
+            ClusterFeature::from_points(pts.iter().map(Vec::as_slice), 2);
+        // Weights are always full precision.
+        assert_eq!(narrow.weight(), wide.weight());
+        // Means and variances agree to f32 relative accuracy.
+        for d in 0..2 {
+            let rel = (narrow.mean()[d] - wide.mean()[d]).abs() / (1.0 + wide.mean()[d].abs());
+            assert!(rel < 1e-5, "mean[{d}] rel err {rel}");
+            let rel =
+                (narrow.variance()[d] - wide.variance()[d]).abs() / (1.0 + wide.variance()[d]);
+            assert!(rel < 1e-4, "var[{d}] rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn precision_round_trip_is_lossless_from_f32() {
+        let pts: Vec<Vec<f64>> = vec![vec![0.1, 0.7], vec![2.3, -1.9]];
+        let narrow: ClusterFeature<f32> =
+            ClusterFeature::from_points(pts.iter().map(Vec::as_slice), 2);
+        let back: ClusterFeature<f32> = narrow.to_precision::<f64>().to_precision::<f32>();
+        assert_eq!(narrow, back);
     }
 }

@@ -67,10 +67,10 @@ pub fn gaussian_log_term(dist: f64, h: f64) -> f64 {
 /// the Bayes-tree MBR bounds and the micro-cluster MBR bounds can never
 /// drift apart.
 #[must_use]
-pub fn nearest_point_log_kernel(
+pub fn nearest_point_log_kernel<E: ColumnElement>(
     query: &[f64],
-    lower: &[f64],
-    upper: &[f64],
+    lower: &[E],
+    upper: &[E],
     bandwidth: &[f64],
 ) -> f64 {
     debug_assert_eq!(query.len(), lower.len());
@@ -78,10 +78,11 @@ pub fn nearest_point_log_kernel(
     debug_assert_eq!(query.len(), bandwidth.len());
     let mut acc = 0.0;
     for d in 0..query.len() {
-        let dist = if query[d] < lower[d] {
-            lower[d] - query[d]
-        } else if query[d] > upper[d] {
-            query[d] - upper[d]
+        let (lo, hi) = (lower[d].widen(), upper[d].widen());
+        let dist = if query[d] < lo {
+            lo - query[d]
+        } else if query[d] > hi {
+            query[d] - hi
         } else {
             0.0
         };
@@ -96,10 +97,10 @@ pub fn nearest_point_log_kernel(
 /// distance away per dimension, so `weight * exp(farthest_point_log_kernel)`
 /// bounds the box's refined contribution from below.
 #[must_use]
-pub fn farthest_point_log_kernel(
+pub fn farthest_point_log_kernel<E: ColumnElement>(
     query: &[f64],
-    lower: &[f64],
-    upper: &[f64],
+    lower: &[E],
+    upper: &[E],
     bandwidth: &[f64],
 ) -> f64 {
     debug_assert_eq!(query.len(), lower.len());
@@ -107,7 +108,8 @@ pub fn farthest_point_log_kernel(
     debug_assert_eq!(query.len(), bandwidth.len());
     let mut acc = 0.0;
     for d in 0..query.len() {
-        let dist = (query[d] - lower[d]).abs().max((query[d] - upper[d]).abs());
+        let (lo, hi) = (lower[d].widen(), upper[d].widen());
+        let dist = (query[d] - lo).abs().max((query[d] - hi).abs());
         acc += gaussian_log_term(dist, bandwidth[d]);
     }
     acc
@@ -130,10 +132,10 @@ pub fn farthest_point_log_kernel(
 /// box is contained in its parent's, the bound is nested and the anytime
 /// lower bound stays monotone under refinement.
 #[must_use]
-pub fn smoothed_farthest_log_kernel(
+pub fn smoothed_farthest_log_kernel<E: ColumnElement>(
     query: &[f64],
-    lower: &[f64],
-    upper: &[f64],
+    lower: &[E],
+    upper: &[E],
     bandwidth: &[f64],
 ) -> f64 {
     debug_assert_eq!(query.len(), lower.len());
@@ -141,8 +143,9 @@ pub fn smoothed_farthest_log_kernel(
     debug_assert_eq!(query.len(), bandwidth.len());
     let mut acc = 0.0;
     for d in 0..query.len() {
-        let far = (query[d] - lower[d]).abs().max((query[d] - upper[d]).abs());
-        let half = 0.5 * (upper[d] - lower[d]);
+        let (lo, hi) = (lower[d].widen(), upper[d].widen());
+        let far = (query[d] - lo).abs().max((query[d] - hi).abs());
+        let half = 0.5 * (hi - lo);
         let t = far * far + half * half;
         acc += gaussian_log_term(t.sqrt(), bandwidth[d]);
     }

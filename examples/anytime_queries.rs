@@ -30,7 +30,7 @@ fn main() {
     // ------------------------------------------------------------------
     // 1. Budget-bracketed density queries: the bound interval narrows.
     // ------------------------------------------------------------------
-    let mut tree = BayesTree::new(3, geometry);
+    let mut tree: BayesTree = BayesTree::new(3, geometry);
     for chunk in points.chunks(256) {
         tree.insert_batch(chunk.to_vec());
     }

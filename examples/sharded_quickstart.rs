@@ -65,7 +65,7 @@ fn main() {
     // 3. Sharded kernel density == single-tree kernel density.
     let geometry = PageGeometry::from_fanout(4, 8);
     let points: Vec<Vec<f64>> = dataset.features().to_vec();
-    let mut single = BayesTree::new(dataset.dims(), geometry);
+    let mut single: BayesTree = BayesTree::new(dataset.dims(), geometry);
     let mut sharded: ShardedBayesTree = ShardedBayesTree::new(dataset.dims(), geometry, 4);
     for chunk in points.chunks(128) {
         single.insert_batch(chunk.to_vec());

@@ -145,6 +145,27 @@
 //!   treatment through [`anytree::QueryModel::score_leaf_items`] — all
 //!   bit-identical to the gather-every-time scalar reference in `f64` mode
 //!   (`tests/block_cache.rs` in both tree crates).
+//!
+//!   **The half-width hot path.**  The Bayes tree's stored summaries are
+//!   generic over a scalar element (`bayestree::node::StoredElement`):
+//!   `f64` is the bit-exact reference mode, `f32` stores MBR corners and
+//!   cluster features at half width — accumulating in `f64`, quantising on
+//!   write with **outward-rounded** box corners so every stored rectangle
+//!   still encloses its subtree and the certain `[lower, upper]` density
+//!   bounds stay sound (property-tested in `tests/stored_precision.rs`).
+//!   Both modes route through the same R* MINDIST/enlargement machinery via
+//!   precision-agnostic corner accessors, leaf observations stay exact
+//!   `f64` in every mode, and the page-size fanout derivation
+//!   (`index::PageGeometry::from_page_size_for_scalar`) converts the
+//!   narrower entries into ~2× fanout per fixed-size page — the capacity
+//!   effect `BENCH_8.json` measures.  The batch kernels gain
+//!   runtime-dispatched **FMA** variants admitted only by a ULP-bounded
+//!   parity suite (`bt_stats::simd`, forced on/off via `BT_STATS_FMA`),
+//!   and descent/refinement issue **software prefetches** for the next
+//!   frontier candidate's page slot (counted in `QueryStats::prefetches` /
+//!   `DescentStats::prefetches` and surfaced by the `eval` report tables).
+//!   `docs/PERF.md` tabulates the measured BENCH_6→7→8 trajectory and
+//!   records the precision contract and the FMA ULP-gate rationale.
 //! * **`bayestree`** instantiates the core with an MBR + cluster-feature
 //!   payload over raw kernel points (classification); **`clustree`**
 //!   instantiates it with decaying micro-clusters (clustering).  Each crate

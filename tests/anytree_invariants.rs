@@ -134,7 +134,7 @@ proptest! {
 
     #[test]
     fn bayes_inner_entries_aggregate_their_children(n in 1usize..160, seed in 0u64..1000) {
-        let mut tree = BayesTree::new(2, PageGeometry::from_fanout(4, 5));
+        let mut tree: BayesTree = BayesTree::new(2, PageGeometry::from_fanout(4, 5));
         for i in 0..n {
             let x = ((i as u64).wrapping_mul(seed + 7) % 97) as f64;
             let y = ((i as u64).wrapping_mul(31).wrapping_add(seed) % 83) as f64;
@@ -227,8 +227,8 @@ proptest! {
 
     #[test]
     fn bayes_batch_of_one_builds_the_identical_tree(n in 1usize..160, seed in 0u64..1000) {
-        let mut sequential = BayesTree::new(2, PageGeometry::from_fanout(4, 5));
-        let mut batched = BayesTree::new(2, PageGeometry::from_fanout(4, 5));
+        let mut sequential: BayesTree = BayesTree::new(2, PageGeometry::from_fanout(4, 5));
+        let mut batched: BayesTree = BayesTree::new(2, PageGeometry::from_fanout(4, 5));
         for i in 0..n {
             let x = ((i as u64).wrapping_mul(seed + 7) % 97) as f64;
             let y = ((i as u64).wrapping_mul(31).wrapping_add(seed) % 83) as f64;
@@ -278,7 +278,7 @@ proptest! {
         batch_size in 1usize..33,
         seed in 0u64..1000,
     ) {
-        let mut tree = BayesTree::new(2, PageGeometry::from_fanout(4, 5));
+        let mut tree: BayesTree = BayesTree::new(2, PageGeometry::from_fanout(4, 5));
         let points: Vec<Vec<f64>> = (0..n)
             .map(|i| {
                 let x = ((i as u64).wrapping_mul(seed + 7) % 97) as f64;
@@ -320,7 +320,7 @@ proptest! {
 #[test]
 fn both_trees_account_for_every_object_at_the_root() {
     let n = 200;
-    let mut bayes = BayesTree::new(2, PageGeometry::from_fanout(4, 6));
+    let mut bayes: BayesTree = BayesTree::new(2, PageGeometry::from_fanout(4, 6));
     let mut clus = ClusTree::new(2, ClusTreeConfig::default());
     for i in 0..n {
         let p = stream_point(i, 30.0);

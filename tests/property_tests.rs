@@ -51,9 +51,9 @@ proptest! {
     fn cluster_feature_merge_matches_bulk_construction(points in points_strategy(60), split in 0usize..60) {
         let dims = 3;
         let split = split.min(points.len());
-        let mut left = ClusterFeature::from_points(points[..split].iter().map(Vec::as_slice), dims);
-        let right = ClusterFeature::from_points(points[split..].iter().map(Vec::as_slice), dims);
-        let all = ClusterFeature::from_points(points.iter().map(Vec::as_slice), dims);
+        let mut left: ClusterFeature = ClusterFeature::from_points(points[..split].iter().map(Vec::as_slice), dims);
+        let right: ClusterFeature = ClusterFeature::from_points(points[split..].iter().map(Vec::as_slice), dims);
+        let all: ClusterFeature = ClusterFeature::from_points(points.iter().map(Vec::as_slice), dims);
         left.merge(&right);
         prop_assert!((left.weight() - all.weight()).abs() < 1e-9);
         for d in 0..dims {
@@ -64,7 +64,7 @@ proptest! {
 
     #[test]
     fn cf_mean_and_variance_stay_within_data_bounds(points in points_strategy(40)) {
-        let cf = ClusterFeature::from_points(points.iter().map(Vec::as_slice), 3);
+        let cf: ClusterFeature = ClusterFeature::from_points(points.iter().map(Vec::as_slice), 3);
         let mean = cf.mean();
         for d in 0..3 {
             let lo = points.iter().map(|p| p[d]).fold(f64::INFINITY, f64::min);
@@ -77,7 +77,7 @@ proptest! {
 
     #[test]
     fn iterative_insertion_preserves_tree_invariants(points in points_strategy(120)) {
-        let mut tree = BayesTree::new(3, PageGeometry::from_fanout(4, 5));
+        let mut tree: BayesTree = BayesTree::new(3, PageGeometry::from_fanout(4, 5));
         for p in &points {
             tree.insert(p.clone());
         }
@@ -137,8 +137,8 @@ proptest! {
         a in prop::collection::vec(-10.0f64..10.0, 2),
         b in prop::collection::vec(-10.0f64..10.0, 2),
     ) {
-        let ma = Mbr::from_point(&a);
-        let mb = Mbr::from_point(&b);
+        let ma: Mbr = Mbr::from_point(&a);
+        let mb: Mbr = Mbr::from_point(&b);
         let u = ma.union(&mb);
         prop_assert!(u.contains_point(&a));
         prop_assert!(u.contains_point(&b));

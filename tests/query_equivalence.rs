@@ -35,7 +35,7 @@ proptest! {
         qx in -6.0f64..6.0,
         budget in 0usize..40,
     ) {
-        let mut plain = BayesTree::new(3, geometry());
+        let mut plain: BayesTree = BayesTree::new(3, geometry());
         let mut sharded: ShardedBayesTree = ShardedBayesTree::new(3, geometry(), 1);
         for chunk in points.chunks(16) {
             plain.insert_batch(chunk.to_vec());
@@ -61,7 +61,7 @@ proptest! {
         shards in 2usize..5,
         qx in -6.0f64..6.0,
     ) {
-        let mut plain = BayesTree::new(3, geometry());
+        let mut plain: BayesTree = BayesTree::new(3, geometry());
         let mut sharded: ShardedBayesTree = ShardedBayesTree::new(3, geometry(), shards);
         for chunk in points.chunks(16) {
             plain.insert_batch(chunk.to_vec());
@@ -144,7 +144,7 @@ proptest! {
         qx in -6.0f64..6.0,
     ) {
         use anytime_stream_mining::anytree::TreeView;
-        let mut tree = BayesTree::new(3, geometry());
+        let mut tree: BayesTree = BayesTree::new(3, geometry());
         for chunk in points.chunks(16) {
             tree.insert_batch(chunk.to_vec());
         }
@@ -206,7 +206,7 @@ proptest! {
         switch in 0usize..5,
     ) {
         use anytime_stream_mining::anytree::TreeView;
-        let mut tree = BayesTree::new(3, geometry());
+        let mut tree: BayesTree = BayesTree::new(3, geometry());
         for chunk in points.chunks(16) {
             tree.insert_batch(chunk.to_vec());
         }

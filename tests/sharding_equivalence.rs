@@ -65,7 +65,7 @@ proptest! {
         batch_size in 1usize..24,
     ) {
         let points = two_clusters(points);
-        let mut plain = BayesTree::new(3, geometry());
+        let mut plain: BayesTree = BayesTree::new(3, geometry());
         let mut sharded: ShardedBayesTree = ShardedBayesTree::new(3, geometry(), 1);
         for chunk in points.chunks(batch_size) {
             plain.insert_batch(chunk.to_vec());

@@ -41,7 +41,7 @@ proptest! {
         qx in -6.0f64..6.0,
         budget in 0usize..40,
     ) {
-        let mut tree = BayesTree::new(3, geometry());
+        let mut tree: BayesTree = BayesTree::new(3, geometry());
         for chunk in points.chunks(16) {
             tree.insert_batch(chunk.to_vec());
         }
@@ -185,7 +185,7 @@ proptest! {
 
 #[test]
 fn no_reader_fast_path_never_copies_and_pins_release() {
-    let mut tree = BayesTree::new(3, geometry());
+    let mut tree: BayesTree = BayesTree::new(3, geometry());
     let points: Vec<Vec<f64>> = (0..200)
         .map(|i| vec![(i % 13) as f64, (i % 7) as f64, (i % 5) as f64])
         .collect();

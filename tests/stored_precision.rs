@@ -1,0 +1,209 @@
+//! Property tests for the `f32` stored-summary mode: the interval-soundness
+//! and convergence contracts that make half-width storage safe to opt into.
+//!
+//! The stored-precision design (see `bayestree::node`) promises:
+//!
+//! * **Outward quantisation** — a narrowed entry box always encloses the
+//!   exact box of the points below it, so the MBR-derived `[lower, upper]`
+//!   density bounds of Definition 3 remain *certain* bounds,
+//! * **Exact leaves** — raw observations stay `f64`, so a fully refined
+//!   query converges to the exact kernel density regardless of how the
+//!   directory summaries were stored,
+//! * **Bounded drift** — CF sums accumulate in `f64` and quantise on write,
+//!   so stored means/variances sit within a few `f32` ulps of the exact
+//!   ones.
+//!
+//! Each property is exercised on live trees, epoch-pinned snapshots and the
+//! sharded variant, mirroring the structure of `tests/query_equivalence.rs`
+//! for the full-width mode.
+
+use anytime_stream_mining::anytree::CheapestRouter;
+use anytime_stream_mining::bayestree::{
+    BayesTree, BayesTreeF32, DescentStrategy, ShardedBayesTree,
+};
+use anytime_stream_mining::index::PageGeometry;
+use proptest::prelude::*;
+
+/// Bounded 3-d point sets, two loose clusters to force real tree structure.
+fn points_strategy(max_len: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-40.0f64..40.0, 3), 8..max_len)
+}
+
+fn geometry() -> PageGeometry {
+    PageGeometry::from_fanout(4, 4)
+}
+
+fn build_f32(points: &[Vec<f64>]) -> BayesTreeF32 {
+    let mut tree = BayesTreeF32::new(3, geometry());
+    for p in points {
+        tree.insert(p.clone());
+    }
+    tree.set_bandwidth(vec![1.25, 0.8, 1.5]);
+    tree
+}
+
+fn build_f64(points: &[Vec<f64>]) -> BayesTree {
+    let mut tree: BayesTree = BayesTree::new(3, geometry());
+    for p in points {
+        tree.insert(p.clone());
+    }
+    tree.set_bandwidth(vec![1.25, 0.8, 1.5]);
+    tree
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The structural invariants of Definition 2 (containment, CF
+    /// consistency, balance) hold for `f32` stored trees under arbitrary
+    /// insertion orders — outward rounding keeps every parent box a true
+    /// superset of its children.
+    #[test]
+    fn f32_trees_stay_valid_under_arbitrary_inserts(points in points_strategy(80)) {
+        let tree = build_f32(&points);
+        prop_assert_eq!(tree.len(), points.len());
+        tree.validate(true).expect("f32 tree invariants hold");
+    }
+
+    /// Interval soundness: at every budget, the `f32` tree's certified
+    /// `[lower, upper]` interval brackets the *exact* kernel density (leaf
+    /// kernels are exact `f64`, so the flat estimate is the ground truth in
+    /// both modes), and the interval only tightens with budget.
+    #[test]
+    fn f32_bounds_bracket_the_exact_density(points in points_strategy(60), q in prop::collection::vec(-45.0f64..45.0, 3)) {
+        let tree = build_f32(&points);
+        let truth = tree.full_kernel_density(&q);
+        let mut last = f64::INFINITY;
+        for budget in [0usize, 1, 2, 4, 8, 32, usize::MAX] {
+            let answer = tree.anytime_density(&q, DescentStrategy::default(), budget);
+            prop_assert!(
+                answer.lower <= truth + 1e-12 && truth <= answer.upper + 1e-12,
+                "budget {}: [{}, {}] misses {}", budget, answer.lower, answer.upper, truth
+            );
+            prop_assert!(answer.uncertainty() <= last + 1e-12, "budget {} widened the interval", budget);
+            last = answer.uncertainty();
+        }
+    }
+
+    /// Convergence: fully refined, the `f32` tree's answer collapses onto
+    /// the exact density — stored precision only affects *intermediate*
+    /// summaries, never the converged result (up to summation order across
+    /// the two tree shapes).
+    #[test]
+    fn f32_full_refinement_is_exact(points in points_strategy(60), q in prop::collection::vec(-45.0f64..45.0, 3)) {
+        let narrow = build_f32(&points);
+        let wide = build_f64(&points);
+        let exact = wide.full_kernel_density(&q);
+        let answer = narrow.anytime_density(&q, DescentStrategy::default(), usize::MAX);
+        prop_assert!(answer.uncertainty() < 1e-12);
+        prop_assert!(
+            (answer.estimate - exact).abs() <= 1e-9 * (1.0 + exact.abs()),
+            "converged f32 estimate {} != exact {}", answer.estimate, exact
+        );
+    }
+
+    /// Bounded drift: the root-level mixture summaries of an `f32` tree sit
+    /// within a few `f32` ulps (relative) of full-width summaries over the
+    /// same points — quantise-on-write, accumulate-in-`f64` keeps the error
+    /// at storage rounding, not accumulation, scale.
+    #[test]
+    fn f32_summary_drift_stays_at_quantisation_scale(points in points_strategy(60)) {
+        let narrow = build_f32(&points);
+        let wide = build_f64(&points);
+        // Compare the total CF over all root entries (per-entry comparison
+        // is meaningless: quantised boxes can tip R* enlargement ties, so
+        // the trees may partition the points differently).
+        let total_n: f64 = narrow.root_entries().iter().map(|e| e.weight()).sum();
+        let total_w: f64 = wide.root_entries().iter().map(|e| e.weight()).sum();
+        prop_assert!((total_n - total_w).abs() < 1e-6);
+        let (ne, we) = (narrow.root_entries(), wide.root_entries());
+        for d in 0..3 {
+            let a: f64 = ne.iter().map(|e| f64::from(e.cf.linear_sum()[d])).sum::<f64>() / total_n;
+            let b: f64 = we.iter().map(|e| e.cf.linear_sum()[d]).sum::<f64>() / total_w;
+            prop_assert!(
+                (a - b).abs() <= 1e-4 * (1.0 + b.abs()),
+                "dim {}: f32 mean {} vs f64 mean {}", d, a, b
+            );
+        }
+    }
+
+    /// Outlier verdicts from the `f32` tree are trustworthy: a *certain*
+    /// verdict (interval strictly on one side of the threshold) agrees with
+    /// the exact density's side.
+    #[test]
+    fn f32_certain_outlier_verdicts_match_the_exact_density(points in points_strategy(60), q in prop::collection::vec(-45.0f64..45.0, 3)) {
+        use anytime_stream_mining::anytree::OutlierVerdict;
+        let tree = build_f32(&points);
+        let truth = tree.full_kernel_density(&q);
+        let threshold = 1e-4;
+        let score = tree.outlier_score(&q, threshold, usize::MAX);
+        match score.verdict {
+            OutlierVerdict::Outlier => prop_assert!(truth <= threshold + 1e-12),
+            OutlierVerdict::Inlier => prop_assert!(truth >= threshold - 1e-12),
+            OutlierVerdict::Undecided => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Epoch-pinned snapshots of `f32` trees answer bit-identically to the
+    /// live tree at snapshot time, and stay frozen while the live tree
+    /// keeps ingesting.
+    #[test]
+    fn f32_snapshots_freeze_the_answer(points in points_strategy(60), q in prop::collection::vec(-45.0f64..45.0, 3)) {
+        let mut tree = build_f32(&points);
+        let snapshot = tree.snapshot();
+        let live = tree.anytime_density(&q, DescentStrategy::default(), 8);
+        let frozen = snapshot.anytime_density(&q, DescentStrategy::default(), 8);
+        prop_assert_eq!(live, frozen);
+        tree.insert_batch(points.clone());
+        prop_assert_eq!(
+            snapshot.anytime_density(&q, DescentStrategy::default(), 8),
+            frozen
+        );
+    }
+
+    /// The sharded `f32` tree folds per-shard intervals into a sound global
+    /// interval, and its converged estimate matches the flat exact density.
+    #[test]
+    fn sharded_f32_bounds_stay_sound(points in points_strategy(80), q in prop::collection::vec(-45.0f64..45.0, 3)) {
+        let mut sharded: ShardedBayesTree<CheapestRouter, f32> =
+            ShardedBayesTree::new(3, geometry(), 3);
+        for chunk in points.chunks(16) {
+            let _ = sharded.insert_batch(chunk.to_vec());
+        }
+        sharded.set_bandwidth(vec![1.25, 0.8, 1.5]);
+        sharded.validate().expect("sharded f32 invariants hold");
+        let truth = sharded.full_kernel_density(&q);
+        let mut last = f64::INFINITY;
+        for budget in [0usize, 2, 8, usize::MAX] {
+            let answer = sharded.anytime_density(&q, DescentStrategy::default(), budget);
+            prop_assert!(
+                answer.lower <= truth + 1e-12 && truth <= answer.upper + 1e-12,
+                "budget {}: [{}, {}] misses {}", budget, answer.lower, answer.upper, truth
+            );
+            prop_assert!(answer.uncertainty() <= last + 1e-12);
+            last = answer.uncertainty();
+        }
+        let full = sharded.anytime_density(&q, DescentStrategy::default(), usize::MAX);
+        prop_assert!((full.estimate - truth).abs() <= 1e-9 * (1.0 + truth.abs()));
+    }
+}
+
+/// The half-width mode genuinely halves the stored summary footprint: one
+/// directory entry's payload is `sizeof(f32)` per stored scalar instead of
+/// `sizeof(f64)` (4 columns of `dims` scalars: CF LS/SS + MBR lower/upper).
+#[test]
+fn f32_entries_store_half_the_scalar_bytes() {
+    use std::mem::size_of_val;
+    let p = vec![1.0, 2.0, 3.0];
+    let narrow = anytime_stream_mining::bayestree::KernelSummary::<f32>::from_point(&p);
+    let wide = anytime_stream_mining::bayestree::KernelSummary::<f64>::from_point(&p);
+    let narrow_bytes = size_of_val(&narrow.cf.linear_sum()[0]) * 2 * 3
+        + size_of_val(&narrow.mbr.lower()[0]) * 2 * 3;
+    let wide_bytes =
+        size_of_val(&wide.cf.linear_sum()[0]) * 2 * 3 + size_of_val(&wide.mbr.lower()[0]) * 2 * 3;
+    assert_eq!(narrow_bytes * 2, wide_bytes);
+}
