@@ -460,6 +460,10 @@ impl<S: Summary, L: Clone> AnytimeTree<S, L> {
         cursor.node = child;
         cursor.depth += 1;
         cursor.budget = cursor.budget.saturating_sub(model.step_cost());
+        bt_obs::trace(|| bt_obs::TraceEvent::Descend {
+            node: child as u64,
+            depth: cursor.depth as u32,
+        });
         CursorStep::Descended {
             node: child,
             depth: cursor.depth,
@@ -601,6 +605,7 @@ impl<S: Summary, L: Clone> AnytimeTree<S, L> {
                 stats: DescentStats::default(),
             };
         }
+        let started = crate::obs::boundary_timer();
         let before = *self.stats();
         self.begin_batch();
         let mut outcomes = Vec::with_capacity(objs.len());
@@ -613,6 +618,7 @@ impl<S: Summary, L: Clone> AnytimeTree<S, L> {
         }
         self.finish_batch(model);
         let stats = self.stats().delta_since(&before);
+        crate::obs::record_insert_batch(&stats, &depths, started, self.height());
         BatchOutcome {
             outcomes,
             depths,
@@ -689,6 +695,9 @@ impl<S: Summary, L: Clone> AnytimeTree<S, L> {
         M: InsertModel<S, LeafItem = L>,
     {
         self.stats_mut().splits += 1;
+        bt_obs::trace(|| bt_obs::TraceEvent::Split {
+            node: node_id as u64,
+        });
         if self.node(node_id).is_leaf() {
             let items = std::mem::take(self.node_mut(node_id).items_mut());
             let (first, second) = model.split_leaf_items(items, &self.geometry());

@@ -88,7 +88,14 @@
 //!   refine query frontiers against the pre-batch
 //!   [`ShardedTreeSnapshot`] — property-tested to return exactly the
 //!   pre-batch answers.  The core carries no lock on any hot path, so
-//!   `AnytimeTree<S, L>: Send + Sync` whenever the payloads are.
+//!   `AnytimeTree<S, L>: Send + Sync` whenever the payloads are,
+//! * the **observability boundary** ([`obs`]): every batch, query and
+//!   snapshot refresh folds its [`DescentStats`] / [`QueryStats`] /
+//!   [`SnapshotRefresh`] delta into the process-global [`bt_obs`] metric
+//!   registry (latency and bound-width histograms included) and emits
+//!   span-trace events for the refinement lifecycle — the hot loops never
+//!   touch an atomic, and disabled recording costs one relaxed load per
+//!   boundary.
 //!
 //! Consumers instantiate the core by choosing a payload (`bayestree`: an
 //! MBR + cluster-feature summary over raw kernel points; `clustree`: a
@@ -104,6 +111,7 @@ pub mod arena;
 pub mod descent;
 pub mod model;
 pub mod node;
+pub mod obs;
 pub mod query;
 pub mod shard;
 pub mod snapshot;
@@ -115,6 +123,7 @@ pub use arena::{
     ArenaSpine, EpochPin, EpochRegistry, NodeArena, SnapshotRefresh, VersionedNode, PAGE_CAP,
     SLOT_CHUNK,
 };
+pub use bt_obs;
 pub use bt_stats::{
     BlockCacheSlot, BlockPrecision, BlockScratch, CachedBlock, Columns, GatheredBlock, SummaryBlock,
 };

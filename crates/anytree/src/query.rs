@@ -928,7 +928,7 @@ impl QueryCursor {
         S: Summary,
         M: QueryModel<S>,
     {
-        self.score_node_entries(model, entries, cache);
+        self.score_node_entries(model, node, entries, cache);
         debug_assert_eq!(self.scores.len(), entries.len());
         let scores = std::mem::take(&mut self.scores);
         for (index, (entry, score)) in entries.iter().zip(&scores).enumerate() {
@@ -948,6 +948,7 @@ impl QueryCursor {
     fn score_node_entries<S, M>(
         &mut self,
         model: &M,
+        node: NodeId,
         entries: &[Entry<S>],
         cache: Option<BlockCacheRef<'_>>,
     ) where
@@ -960,6 +961,10 @@ impl QueryCursor {
                 .lookup_scored(cache.version, model.block_precision())
             {
                 self.stats.gathers_avoided += 1;
+                bt_obs::trace(|| bt_obs::TraceEvent::Gather {
+                    node: node as u64,
+                    cached: true,
+                });
                 model.score_gathered(
                     &self.query,
                     entries,
@@ -973,6 +978,10 @@ impl QueryCursor {
         let BlockScratch { gathered, lanes } = &mut self.block;
         if model.gather_entries(entries, gathered) {
             self.stats.block_gathers += 1;
+            bt_obs::trace(|| bt_obs::TraceEvent::Gather {
+                node: node as u64,
+                cached: false,
+            });
             model.score_gathered(&self.query, entries, gathered, lanes, &mut self.scores);
             if let Some(cache) = cache {
                 if cache.cacheable {
@@ -1002,7 +1011,7 @@ impl QueryCursor {
         S: Summary,
         M: QueryModel<S>,
     {
-        self.score_node_leaves(model, items, cache);
+        self.score_node_leaves(model, node, items, cache);
         debug_assert_eq!(self.scores.len(), items.len());
         let scores = std::mem::take(&mut self.scores);
         for (index, score) in scores.iter().enumerate() {
@@ -1016,6 +1025,7 @@ impl QueryCursor {
     fn score_node_leaves<S, M>(
         &mut self,
         model: &M,
+        node: NodeId,
         items: &[M::LeafItem],
         cache: Option<BlockCacheRef<'_>>,
     ) where
@@ -1028,6 +1038,10 @@ impl QueryCursor {
                 .lookup_scored(cache.version, model.leaf_block_precision())
             {
                 self.stats.gathers_avoided += 1;
+                bt_obs::trace(|| bt_obs::TraceEvent::Gather {
+                    node: node as u64,
+                    cached: true,
+                });
                 model.score_gathered_leaves(
                     &self.query,
                     items,
@@ -1041,6 +1055,10 @@ impl QueryCursor {
         let BlockScratch { gathered, lanes } = &mut self.block;
         if model.gather_leaf_items(items, gathered) {
             self.stats.block_gathers += 1;
+            bt_obs::trace(|| bt_obs::TraceEvent::Gather {
+                node: node as u64,
+                cached: false,
+            });
             model.score_gathered_leaves(&self.query, items, gathered, lanes, &mut self.scores);
             if let Some(cache) = cache {
                 if cache.cacheable {
@@ -1260,9 +1278,13 @@ pub trait TreeView<S: Summary, L> {
     where
         M: QueryModel<S, LeafItem = L>,
     {
+        let started = crate::obs::boundary_timer();
         let mut cursor = self.new_query(model, query);
         self.refine_query_up_to(model, order, budget, &mut cursor);
-        cursor.answer()
+        let answer = cursor.answer();
+        crate::obs::record_query_answer(&answer, started);
+        crate::obs::record_query_stats(cursor.stats());
+        answer
     }
 
     /// Refines a batch of queries through **one reused cursor** (the
@@ -1284,13 +1306,17 @@ pub trait TreeView<S: Summary, L> {
     where
         M: QueryModel<S, LeafItem = L>,
     {
+        let mut recorder = crate::obs::QueryBatchRecorder::new();
         let mut cursor = QueryCursor::new();
         let mut answers = Vec::with_capacity(queries.len());
         for query in queries {
             self.begin_query(model, query, &mut cursor);
             self.refine_query_up_to(model, order, budget, &mut cursor);
-            answers.push(cursor.answer());
+            let answer = cursor.answer();
+            recorder.record(&answer);
+            answers.push(answer);
         }
+        recorder.finish(cursor.stats());
         (answers, *cursor.stats())
     }
 
@@ -1313,18 +1339,32 @@ pub trait TreeView<S: Summary, L> {
     where
         M: QueryModel<S, LeafItem = L>,
     {
+        let started = crate::obs::boundary_timer();
         let mut cursor = self.new_query(model, query);
         let mut verdict = cursor.answer().verdict(threshold);
+        let mut round: u32 = 0;
         while verdict == OutlierVerdict::Undecided
             && cursor.nodes_read() < budget
             && self.refine_query(model, RefineOrder::WidestBound, &mut cursor)
         {
-            verdict = cursor.answer().verdict(threshold);
+            round += 1;
+            let answer = cursor.answer();
+            verdict = answer.verdict(threshold);
+            crate::obs::record_refine_step(
+                round,
+                cursor.nodes_read() as u64,
+                answer.uncertainty(),
+                verdict != OutlierVerdict::Undecided,
+            );
         }
-        OutlierScore {
+        let score = OutlierScore {
             answer: cursor.answer(),
             verdict,
-        }
+        };
+        crate::obs::record_verdict(verdict);
+        crate::obs::record_query_answer(&score.answer, started);
+        crate::obs::record_query_stats(cursor.stats());
+        score
     }
 }
 

@@ -702,6 +702,26 @@ where
     fold_query_partials(per_shard, queries.len())
 }
 
+/// Folds freshly refined one-shot cursors into the global answer and
+/// flushes the query's observations (summed per-shard work counters,
+/// folded bound width, wall-clock latency) into the registry — shared by
+/// the live and snapshot `query_with_budget`s.
+fn fold_one_shot(
+    cursors: &[QueryCursor],
+    started: Option<std::time::Instant>,
+) -> ShardedQueryAnswer {
+    let folded = ShardedQueryAnswer::fold(cursors);
+    if started.is_some() {
+        let mut stats = QueryStats::default();
+        for cursor in cursors {
+            stats.merge(cursor.stats());
+        }
+        crate::obs::record_query_answer(&folded.as_answer(), started);
+        crate::obs::record_query_stats(&stats);
+    }
+    folded
+}
+
 /// Round-doubling sharded outlier scoring — the generic body of the live
 /// and snapshot `outlier_score`s.
 fn outlier_score_over<S, L, V, M, F>(
@@ -719,15 +739,34 @@ where
     F: Fn() -> M + Sync,
 {
     // Seed every non-empty shard's frontier without spending budget.
+    let started = crate::obs::boundary_timer();
     let mut cursors = refine_frontiers_over(shards, make_model, query, RefineOrder::WidestBound, 0);
     let mut spent = 0usize;
     let mut round = 1usize;
+    let mut rounds_done: u32 = 0;
     loop {
         let folded = ShardedQueryAnswer::fold(&cursors);
         let answer = folded.as_answer();
         let verdict = answer.verdict(threshold);
+        if rounds_done > 0 {
+            crate::obs::record_refine_step(
+                rounds_done,
+                spent as u64,
+                answer.uncertainty(),
+                verdict != OutlierVerdict::Undecided,
+            );
+        }
         let refinable = cursors.iter().any(QueryCursor::can_refine);
         if verdict != OutlierVerdict::Undecided || spent >= budget || !refinable {
+            if started.is_some() {
+                let mut stats = QueryStats::default();
+                for cursor in &cursors {
+                    stats.merge(cursor.stats());
+                }
+                crate::obs::record_verdict(verdict);
+                crate::obs::record_query_answer(&answer, started);
+                crate::obs::record_query_stats(&stats);
+            }
             return OutlierScore { answer, verdict };
         }
         let step = round.min(budget - spent);
@@ -741,6 +780,7 @@ where
         );
         spent += step;
         round = round.saturating_mul(2);
+        rounds_done += 1;
     }
 }
 
@@ -796,7 +836,11 @@ impl<S: Summary, L, R> ShardedAnytimeTree<S, L, R> {
         L: Send + Sync,
         F: Fn() -> M + Sync,
     {
-        ShardedQueryAnswer::fold(&self.refine_frontiers(make_model, query, order, budget))
+        let started = crate::obs::boundary_timer();
+        fold_one_shot(
+            &self.refine_frontiers(make_model, query, order, budget),
+            started,
+        )
     }
 
     /// Refines a batch of queries across all shards: one scoped thread per
@@ -970,7 +1014,11 @@ impl<S: Summary, L> ShardedTreeSnapshot<S, L> {
         L: Send + Sync,
         F: Fn() -> M + Sync,
     {
-        ShardedQueryAnswer::fold(&self.refine_frontiers(make_model, query, order, budget))
+        let started = crate::obs::boundary_timer();
+        fold_one_shot(
+            &self.refine_frontiers(make_model, query, order, budget),
+            started,
+        )
     }
 
     /// Batched sharded queries against the snapshot (see

@@ -96,6 +96,7 @@ impl<S: Summary, L> TreeSnapshot<S, L> {
         self.root = tree.root();
         self.height = tree.height();
         self.pin.repin(tree.epoch());
+        crate::obs::record_snapshot_refresh(&report);
         report
     }
 

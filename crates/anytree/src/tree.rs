@@ -6,7 +6,7 @@
 //! [`AnytimeTree::insert`] convenience wrapper.
 
 use crate::arena::NodeArena;
-use crate::descent::{DescentCursor, DescentScratch, DescentStats};
+use crate::descent::{DepthHistogram, DescentCursor, DescentScratch, DescentStats};
 use crate::model::InsertModel;
 use crate::node::{Entry, Node, NodeId, NodeKind};
 use crate::snapshot::TreeSnapshot;
@@ -334,10 +334,22 @@ impl<S: Summary, L: Clone> AnytimeTree<S, L> {
     where
         M: InsertModel<S, LeafItem = L>,
     {
+        let started = crate::obs::boundary_timer();
+        let before = *self.stats();
         self.begin_batch();
         let mut cursor = DescentCursor::start(self, obj, budget);
         let outcome = self.drive_cursor(model, &mut cursor);
         self.finish_batch(model);
+        if started.is_some() {
+            let mut depths = DepthHistogram::default();
+            depths.record(outcome);
+            crate::obs::record_insert_batch(
+                &self.stats().delta_since(&before),
+                &depths,
+                started,
+                self.height(),
+            );
+        }
         outcome
     }
 }

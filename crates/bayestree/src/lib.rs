@@ -47,6 +47,17 @@
 //! [`node::StoredElement`] for the contract and `docs/PERF.md` for measured
 //! effects.
 //!
+//! ## Observability
+//!
+//! Every [`BayesTree`] inherits the `bt-obs` instrumentation of the shared
+//! core for free: inserts, anytime queries, outlier certifications and
+//! snapshot refreshes record `bt_*` counters and histograms into the
+//! process-global registry at batch/query boundaries (including the
+//! per-round refinement trace behind the paper's quality-over-time curve),
+//! with nothing added to the hot loops.  [`ShardedBayesTree`] buffers per
+//! shard and folds at the query boundary.  See `docs/OBSERVABILITY.md` for
+//! the catalogue, switches and cost contract.
+//!
 //! ```
 //! use bayestree::{AnytimeClassifier, ClassifierConfig};
 //! use bt_data::synth::blobs::BlobConfig;

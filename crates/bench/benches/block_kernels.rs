@@ -11,7 +11,10 @@
 //! Besides the timed groups the bench measures the scalar-vs-block ratio on
 //! a 64-entry node directly and asserts the >= 1.5x speedup claim as a smoke
 //! threshold, so `cargo bench --bench block_kernels -- --test` fails if a
-//! refactor quietly loses the layout win.
+//! refactor quietly loses the layout win.  The same invocation asserts the
+//! observability layer's cost contract: metric recording enabled versus
+//! disabled on the batched-density loop must stay within
+//! [`METRICS_OVERHEAD_LIMIT`].
 
 use bayestree::query::KernelQueryModel;
 use bayestree::KernelSummary;
@@ -28,6 +31,9 @@ const NODE_LEN: usize = 64;
 const POINTS_PER_ENTRY: usize = 16;
 /// Required block-over-scalar speedup when scoring a 64-entry node.
 const SMOKE_SPEEDUP: f64 = 1.5;
+/// Maximum enabled-over-disabled wall-clock ratio for metric recording on
+/// the block-scoring query loop — the observability layer's cost contract.
+const METRICS_OVERHEAD_LIMIT: f64 = 1.02;
 
 /// Tiny deterministic generator so the bench needs no RNG dependency.
 struct SplitMix(u64);
@@ -171,8 +177,100 @@ fn report_block_speedup() {
     );
 }
 
+/// Metrics-overhead smoke: the same engine-driven block-scoring query
+/// workload timed with registry recording enabled versus disabled,
+/// interleaved round by round so machine drift biases both modes equally,
+/// asserting the enabled/disabled ratio stays within
+/// [`METRICS_OVERHEAD_LIMIT`].  The enabled side records per-query
+/// histogram observations plus the batch-boundary counter flush, so the
+/// ratio is an upper bound on what the *disabled* path (one relaxed
+/// atomic load per boundary) can cost.
+fn report_metrics_overhead() {
+    use bayestree::BayesTree;
+    use bt_index::PageGeometry;
+
+    let mut rng = SplitMix(0x0b5e);
+    let points: Vec<Vec<f64>> = (0..4_096).map(|i| rng.point((i % 13) as f64)).collect();
+    let mut tree: BayesTree = BayesTree::new(DIMS, PageGeometry::default_for_dims(DIMS));
+    for chunk in points.chunks(256) {
+        tree.insert_batch(chunk.to_vec());
+    }
+    let queries: Vec<Vec<f64>> = (0..64).map(|i| rng.point((i % 13) as f64)).collect();
+
+    let pass = |tree: &BayesTree, queries: &[Vec<f64>]| {
+        let start = Instant::now();
+        let (answers, _) = tree.density_batch(queries, Default::default(), 32);
+        black_box(answers.len());
+        start.elapsed().as_secs_f64()
+    };
+    pass(&tree, &queries); // warm the block caches once for both modes
+
+    let (mut enabled, mut disabled) = (f64::INFINITY, f64::INFINITY);
+    for round in 0..10 {
+        // Alternate which mode goes first so a warming (or cooling)
+        // machine cannot systematically favor one side.
+        let modes = if round % 2 == 0 {
+            [true, false]
+        } else {
+            [false, true]
+        };
+        for mode in modes {
+            bt_obs::set_enabled(mode);
+            let secs = pass(&tree, &queries);
+            if mode {
+                enabled = enabled.min(secs);
+            } else {
+                disabled = disabled.min(secs);
+            }
+        }
+    }
+    bt_obs::set_enabled(true);
+    let ratio = enabled / disabled.max(1e-12);
+    eprintln!(
+        "metrics overhead: {}-query batched density pass: enabled {:.2}us vs disabled {:.2}us \
+         -> ratio {ratio:.3} (limit {METRICS_OVERHEAD_LIMIT})",
+        queries.len(),
+        enabled * 1e6,
+        disabled * 1e6,
+    );
+    assert!(
+        ratio <= METRICS_OVERHEAD_LIMIT,
+        "metric recording costs too much on the block-scoring loop: \
+         enabled/disabled ratio {ratio:.3} > {METRICS_OVERHEAD_LIMIT}"
+    );
+}
+
+/// Criterion twin of [`report_metrics_overhead`], recording both modes in
+/// the committed trajectory.
+fn metrics_overhead_benchmarks(c: &mut Criterion) {
+    use bayestree::BayesTree;
+    use bt_index::PageGeometry;
+
+    let mut rng = SplitMix(0x0b5e);
+    let points: Vec<Vec<f64>> = (0..4_096).map(|i| rng.point((i % 13) as f64)).collect();
+    let mut tree: BayesTree = BayesTree::new(DIMS, PageGeometry::default_for_dims(DIMS));
+    for chunk in points.chunks(256) {
+        tree.insert_batch(chunk.to_vec());
+    }
+    let queries: Vec<Vec<f64>> = (0..64).map(|i| rng.point((i % 13) as f64)).collect();
+
+    let mut group = c.benchmark_group("metrics_overhead");
+    for (label, on) in [("enabled", true), ("disabled", false)] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            bt_obs::set_enabled(on);
+            b.iter(|| {
+                let (answers, _) = tree.density_batch(black_box(&queries), Default::default(), 32);
+                answers.len()
+            });
+            bt_obs::set_enabled(true);
+        });
+    }
+    group.finish();
+}
+
 fn block_kernel_benchmarks(c: &mut Criterion) {
     report_block_speedup();
+    report_metrics_overhead();
 
     let bandwidth = vec![0.75; DIMS];
     let query = vec![3.25; DIMS];
@@ -242,6 +340,7 @@ fn block_kernel_benchmarks(c: &mut Criterion) {
     leaf_block_benchmarks(c);
     fma_benchmarks(c);
     prefetch_benchmarks(c);
+    metrics_overhead_benchmarks(c);
 }
 
 /// FMA group: block scoring with the default unfused kernels versus the

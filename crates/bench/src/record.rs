@@ -49,6 +49,8 @@ pub fn best_of_3(mut run: impl FnMut() -> usize) -> f64 {
 #[derive(Debug, Clone)]
 pub struct BenchRecord {
     bench: String,
+    bin: String,
+    git_rev: String,
     cpu: Vec<(&'static str, bool)>,
     config: Vec<(String, String)>,
     fields: Vec<(String, String)>,
@@ -72,13 +74,54 @@ pub fn detected_cpu_features() -> Vec<(&'static str, bool)> {
     }
 }
 
+/// The file stem of the running executable — stamped into every record so
+/// a committed JSON names the binary that produced it.
+#[must_use]
+pub fn bench_binary_name() -> String {
+    std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The git revision of the tree the binary ran in (short hash, `-dirty`
+/// suffix when the working tree has uncommitted changes, `unknown` outside
+/// a repository) — stamped into every record so a committed JSON is
+/// traceable to the code that produced it.
+#[must_use]
+pub fn git_revision() -> String {
+    let rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .map(|out| String::from_utf8_lossy(&out.stdout).trim().to_string())
+        .filter(|rev| !rev.is_empty());
+    let Some(rev) = rev else {
+        return "unknown".to_string();
+    };
+    let dirty = std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .map(|out| out.status.success() && !out.stdout.is_empty())
+        .unwrap_or(false);
+    if dirty {
+        format!("{rev}-dirty")
+    } else {
+        rev
+    }
+}
+
 impl BenchRecord {
     /// An empty record for the benchmark called `bench`, stamped with the
-    /// detected CPU features.
+    /// running binary's name, the git revision and the detected CPU
+    /// features.
     #[must_use]
     pub fn new(bench: &str) -> Self {
         Self {
             bench: bench.to_string(),
+            bin: bench_binary_name(),
+            git_rev: git_revision(),
             cpu: detected_cpu_features(),
             config: Vec::new(),
             fields: Vec::new(),
@@ -106,6 +149,8 @@ impl BenchRecord {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"bench\": \"{}\",", self.bench);
+        let _ = writeln!(out, "  \"bin\": \"{}\",", self.bin);
+        let _ = writeln!(out, "  \"git_rev\": \"{}\",", self.git_rev);
         out.push_str("  \"cpu\": {");
         for (i, (key, value)) in self.cpu.iter().enumerate() {
             let comma = if i + 1 < self.cpu.len() { ", " } else { "" };
@@ -161,6 +206,11 @@ mod tests {
             .field("inserts_per_sec", format!("{:.1}", 1234.5678))
             .field("ratio", format!("{:.3}", 1.8765))
             .to_json();
+        let provenance = format!(
+            "  \"bin\": \"{}\",\n  \"git_rev\": \"{}\",\n",
+            bench_binary_name(),
+            git_revision()
+        );
         let cpu = detected_cpu_features();
         let cpu_line = format!(
             "  \"cpu\": {{\"avx2\": {}, \"fma\": {}}},\n",
@@ -169,11 +219,22 @@ mod tests {
         assert_eq!(
             json,
             format!(
-                "{{\n  \"bench\": \"demo\",\n{cpu_line}  \"config\": {{\n    \"dims\": 8,\n    \
-                 \"stream_len\": 8000\n  }},\n  \"inserts_per_sec\": 1234.6,\n  \
+                "{{\n  \"bench\": \"demo\",\n{provenance}{cpu_line}  \"config\": {{\n    \
+                 \"dims\": 8,\n    \"stream_len\": 8000\n  }},\n  \"inserts_per_sec\": 1234.6,\n  \
                  \"ratio\": 1.877\n}}\n"
             )
         );
+    }
+
+    #[test]
+    fn provenance_stamps_are_never_empty() {
+        assert!(!bench_binary_name().is_empty());
+        let rev = git_revision();
+        assert!(!rev.is_empty());
+        // Inside a repository the stamp is a hex hash with an optional
+        // -dirty suffix; outside it degrades to the literal `unknown`.
+        let hash = rev.strip_suffix("-dirty").unwrap_or(&rev);
+        assert!(hash == "unknown" || hash.chars().all(|c| c.is_ascii_hexdigit()));
     }
 
     #[test]

@@ -26,6 +26,13 @@
 //!   scoring ([`ClusTree::outlier_score`]); [`ShardedClusTree`] refines
 //!   per-shard frontiers in parallel and folds them.
 //!
+//! Because the index is the shared [`bt_anytree::AnytimeTree`] core, every
+//! [`ClusTree`] also inherits the `bt-obs` instrumentation: budgeted
+//! insert batches, anytime k-NN/density/outlier queries and snapshot
+//! refreshes record `bt_*` metrics into the process-global registry at
+//! batch/query boundaries.  See `docs/OBSERVABILITY.md` for the catalogue
+//! and cost contract.
+//!
 //! ```
 //! use clustree::{ClusTree, ClusTreeConfig};
 //!

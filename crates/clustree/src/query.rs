@@ -584,10 +584,12 @@ impl ClusTree {
     /// Panics if the query has the wrong dimensionality.
     #[must_use]
     pub fn anytime_knn(&self, x: &[f64], k: usize, budget: usize) -> KnnAnswer {
+        let started = bt_anytree::obs::boundary_timer();
         let model = self.query_model(&vec![1.0; self.dims()]);
         let mut cursor = self.core().new_query(&model, x);
         self.core()
             .refine_query_up_to(&model, RefineOrder::ClosestFirst, budget, &mut cursor);
+        bt_anytree::obs::record_external_query(cursor.stats(), started);
         knn_from_cursors(&[self.core()], std::slice::from_ref(&cursor), &model, k)
     }
 

@@ -22,9 +22,25 @@ use crate::tree::{
 };
 use crate::view::ShardedClusTreeSnapshot;
 use bt_anytree::{
-    AnytimeTree, CheapestRouter, DescentStats, OutlierScore, PipelinedOutcome, QueryStats,
-    RefineOrder, ShardRouter, ShardedAnytimeTree, ShardedBatchOutcome, ShardedQueryAnswer,
+    AnytimeTree, CheapestRouter, DescentStats, OutlierScore, PipelinedOutcome, QueryCursor,
+    QueryStats, RefineOrder, ShardRouter, ShardedAnytimeTree, ShardedBatchOutcome,
+    ShardedQueryAnswer,
 };
+
+/// Folds a finished sharded k-NN refinement into the registry: the merged
+/// [`QueryStats`] delta across the per-shard cursors plus the retrieval's
+/// wall-clock latency, recorded at the fold boundary like every other
+/// query path.
+pub(crate) fn record_sharded_knn(cursors: &[QueryCursor], started: Option<std::time::Instant>) {
+    if started.is_none() {
+        return;
+    }
+    let mut stats = QueryStats::default();
+    for cursor in cursors {
+        stats.merge(cursor.stats());
+    }
+    bt_anytree::obs::record_external_query(&stats, started);
+}
 
 /// An anytime clustering index sharded into `K` independently descending
 /// subtrees.
@@ -280,10 +296,12 @@ impl<R> ShardedClusTree<R> {
     /// Panics if the query has the wrong dimensionality.
     #[must_use]
     pub fn anytime_knn(&self, x: &[f64], k: usize, budget: usize) -> KnnAnswer {
+        let started = bt_anytree::obs::boundary_timer();
         let model = self.query_model(&vec![1.0; self.dims()]);
         let cursors =
             self.core
                 .refine_frontiers(&|| model.clone(), x, RefineOrder::ClosestFirst, budget);
+        record_sharded_knn(&cursors, started);
         let shards: Vec<&AnytimeTree<MicroCluster, MicroCluster>> =
             self.core.shards().iter().collect();
         knn_from_cursors(&shards, &cursors, &model, k)

@@ -156,10 +156,12 @@ impl ClusTreeSnapshot {
     /// Panics if the query has the wrong dimensionality.
     #[must_use]
     pub fn anytime_knn(&self, x: &[f64], k: usize, budget: usize) -> KnnAnswer {
+        let started = bt_anytree::obs::boundary_timer();
         let model = self.query_model(&vec![1.0; self.dims()]);
         let mut cursor = self.core.new_query(&model, x);
         self.core
             .refine_query_up_to(&model, RefineOrder::ClosestFirst, budget, &mut cursor);
+        bt_anytree::obs::record_external_query(cursor.stats(), started);
         knn_from_cursors(&[&self.core], std::slice::from_ref(&cursor), &model, k)
     }
 
@@ -315,11 +317,13 @@ impl ShardedClusTreeSnapshot {
     /// Panics if the query has the wrong dimensionality.
     #[must_use]
     pub fn anytime_knn(&self, x: &[f64], k: usize, budget: usize) -> KnnAnswer {
+        let started = bt_anytree::obs::boundary_timer();
         let dims = self.core.shard(0).dims();
         let model = self.query_model(&vec![1.0; dims]);
         let cursors =
             self.core
                 .refine_frontiers(&|| model.clone(), x, RefineOrder::ClosestFirst, budget);
+        crate::sharded::record_sharded_knn(&cursors, started);
         let shards: Vec<&TreeSnapshot<MicroCluster, MicroCluster>> =
             self.core.shards().iter().collect();
         knn_from_cursors(&shards, &cursors, &model, k)

@@ -34,7 +34,12 @@
 //! * the **pipelined insert+query sweeps** over the epoch-versioned
 //!   snapshot layer: solo versus concurrent-reader insert throughput, the
 //!   writer's throughput ratio, and snapshot queries answered per second at
-//!   shards 1/2/4/8 ([`pipeline::pipelined_sweep`]).
+//!   shards 1/2/4/8 ([`pipeline::pipelined_sweep`]),
+//! * the **registry-backed observability reporting** ([`obs`]): the shared
+//!   guarded cache-column formatting every sweep table uses, plus
+//!   capture-delta helpers that bracket a workload, read back its
+//!   [`bt_obs`] metric delta and derive certified-query throughput from
+//!   the refinement histograms.
 //!
 //! The bench crate's binaries (`figure2`, `figure3`, `figure4`, `table1`,
 //! `improvement`, `ablation_descent`, `clustree_speed`) are thin wrappers
@@ -46,6 +51,7 @@
 pub mod ablation;
 pub mod clustering;
 pub mod curve;
+pub mod obs;
 pub mod pipeline;
 pub mod query;
 pub mod report;
@@ -53,6 +59,7 @@ pub mod sharding;
 
 pub use clustering::{batched_budget_sweep, BatchedClusteringQuality};
 pub use curve::{anytime_accuracy_curve, batched_construction_curves, AccuracyCurve, CurveConfig};
+pub use obs::{certified_queries_per_sec, format_metrics_table, RegistryCapture};
 pub use pipeline::{pipelined_sweep, PipelinedThroughput};
 pub use query::{
     density_budget_sweep, sharded_query_sweep, QueryBudgetQuality, ShardedQueryThroughput,

@@ -22,6 +22,8 @@ use bt_anytree::QueryStats;
 use bt_index::PageGeometry;
 use std::time::Instant;
 
+use crate::obs::{cache_columns, CACHE_COLUMNS_HEADER, CACHE_COLUMNS_RULE};
+
 /// Concurrent insert+query throughput at one shard count.
 #[derive(Debug, Clone)]
 pub struct PipelinedThroughput {
@@ -143,13 +145,13 @@ pub fn pipelined_sweep(
 /// zero-gather case by [`QueryStats::gather_hit_rate`].
 #[must_use]
 pub fn format_pipelined_sweep(rows: &[PipelinedThroughput]) -> String {
-    let mut out = String::from(
-        "shards  solo-ins/s  piped-ins/s  ratio  queries/s  uncertainty  retired  hit-rate  prefetch\n\
-         ------  ----------  -----------  -----  ---------  -----------  -------  --------  --------\n",
+    let mut out = format!(
+        "shards  solo-ins/s  piped-ins/s  ratio  queries/s  uncertainty  retired  {CACHE_COLUMNS_HEADER}\n\
+         ------  ----------  -----------  -----  ---------  -----------  -------  {CACHE_COLUMNS_RULE}\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{:>6}  {:>10.0}  {:>11.0}  {:>5.2}  {:>9.0}  {:>11.3e}  {:>7}  {:>8.2}  {:>8}\n",
+            "{:>6}  {:>10.0}  {:>11.0}  {:>5.2}  {:>9.0}  {:>11.3e}  {:>7}  {}\n",
             r.shards,
             r.solo_inserts_per_sec,
             r.pipelined_inserts_per_sec,
@@ -157,8 +159,7 @@ pub fn format_pipelined_sweep(rows: &[PipelinedThroughput]) -> String {
             r.queries_per_sec,
             r.mean_uncertainty,
             r.retired_nodes,
-            r.gather_hit_rate,
-            r.prefetches
+            cache_columns(r.gather_hit_rate, r.prefetches)
         ));
     }
     out

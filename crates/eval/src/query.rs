@@ -19,6 +19,8 @@ use bt_anytree::QueryStats;
 use bt_index::PageGeometry;
 use std::time::Instant;
 
+use crate::obs::{cache_columns, CACHE_COLUMNS_HEADER, CACHE_COLUMNS_RULE};
+
 /// Answer quality at one node-read budget, averaged over a query workload.
 #[derive(Debug, Clone)]
 pub struct QueryBudgetQuality {
@@ -162,19 +164,18 @@ pub fn sharded_query_sweep(
 /// budget-0 row prints 0.00 rather than NaN).
 #[must_use]
 pub fn format_density_budget_sweep(rows: &[QueryBudgetQuality]) -> String {
-    let mut out = String::from(
-        "budget  mean-reads  uncertainty  abs-error  hit-rate  prefetch  engine\n\
-         ------  ----------  -----------  ---------  --------  --------  ------\n",
+    let mut out = format!(
+        "budget  mean-reads  uncertainty  abs-error  {CACHE_COLUMNS_HEADER}  engine\n\
+         ------  ----------  -----------  ---------  {CACHE_COLUMNS_RULE}  ------\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{:>6}  {:>10.1}  {:>11.3e}  {:>9.3e}  {:>8.2}  {:>8}  {}\n",
+            "{:>6}  {:>10.1}  {:>11.3e}  {:>9.3e}  {}  {}\n",
             r.budget,
             r.mean_nodes_read,
             r.mean_uncertainty,
             r.mean_abs_error,
-            r.stats.gather_hit_rate(),
-            r.stats.prefetches,
+            cache_columns(r.stats.gather_hit_rate(), r.stats.prefetches),
             r.stats
         ));
     }
@@ -185,19 +186,18 @@ pub fn format_density_budget_sweep(rows: &[QueryBudgetQuality]) -> String {
 /// size split (router skew).
 #[must_use]
 pub fn format_sharded_query_sweep(rows: &[ShardedQueryThroughput]) -> String {
-    let mut out = String::from(
-        "shards  queries/sec  reads/sec  uncertainty  hit-rate  prefetch  sizes\n\
-         ------  -----------  ---------  -----------  --------  --------  -----\n",
+    let mut out = format!(
+        "shards  queries/sec  reads/sec  uncertainty  {CACHE_COLUMNS_HEADER}  sizes\n\
+         ------  -----------  ---------  -----------  {CACHE_COLUMNS_RULE}  -----\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{:>6}  {:>11.0}  {:>9.0}  {:>11.3e}  {:>8.2}  {:>8}  {:?}\n",
+            "{:>6}  {:>11.0}  {:>9.0}  {:>11.3e}  {}  {:?}\n",
             r.shards,
             r.queries_per_sec,
             r.nodes_per_sec,
             r.mean_uncertainty,
-            r.gather_hit_rate,
-            r.prefetches,
+            cache_columns(r.gather_hit_rate, r.prefetches),
             r.shard_sizes
         ));
     }

@@ -1,0 +1,118 @@
+//! Per-shard/per-worker metric buffering.
+//!
+//! A [`MetricsHandle`] accumulates counter increments and histogram
+//! observations in plain (non-atomic) locals and merges them into the
+//! shared registry metrics with **one atomic op per touched metric** at
+//! [`MetricsHandle::flush`] — the batch/query-boundary merge discipline
+//! the tree layers follow.  Handles are cheap to build once per worker
+//! and reuse across batches; they are `Send` but deliberately not `Sync`
+//! (one handle per thread).
+
+use crate::hist::{Histogram, LocalHistogram};
+use crate::registry::Counter;
+
+/// Index of a counter registered on a [`MetricsHandle`].
+#[derive(Debug, Clone, Copy)]
+pub struct CounterId(usize);
+
+/// Index of a histogram registered on a [`MetricsHandle`].
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramId(usize);
+
+/// A local buffer over shared metrics; see the module docs.
+#[derive(Debug, Default)]
+pub struct MetricsHandle {
+    counters: Vec<(Counter, u64)>,
+    hists: Vec<(Histogram, LocalHistogram)>,
+}
+
+impl MetricsHandle {
+    /// An empty handle.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a shared counter and returns its local id.
+    pub fn counter(&mut self, shared: &Counter) -> CounterId {
+        self.counters.push((shared.clone(), 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Attaches a shared histogram and returns its local id.
+    pub fn histogram(&mut self, shared: &Histogram) -> HistogramId {
+        let local = LocalHistogram::new(shared.spec());
+        self.hists.push((shared.clone(), local));
+        HistogramId(self.hists.len() - 1)
+    }
+
+    /// Buffers `n` onto a local counter tally (plain add, no atomics).
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0].1 += n;
+    }
+
+    /// Buffers one observation into a local histogram (no atomics).
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, value: f64) {
+        self.hists[id.0].1.observe(value);
+    }
+
+    /// Merges every non-zero local tally into its shared metric — one
+    /// `fetch_add` per touched counter, one bucket-wise merge per touched
+    /// histogram — and clears the locals.  Respects the global enable
+    /// flag at flush time.
+    pub fn flush(&mut self) {
+        for (shared, pending) in &mut self.counters {
+            if *pending > 0 {
+                shared.add(*pending);
+                *pending = 0;
+            }
+        }
+        for (shared, local) in &mut self.hists {
+            if !local.is_empty() {
+                shared.merge_local(local);
+                local.clear();
+            }
+        }
+    }
+}
+
+impl Drop for MetricsHandle {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::HistogramSpec;
+    use crate::metrics_compiled;
+
+    #[test]
+    fn flush_merges_once_per_metric() {
+        #[cfg(feature = "metrics")]
+        let _guard = crate::registry::test_lock();
+        let counter = Counter::new();
+        let hist = Histogram::new(HistogramSpec::BUDGET);
+        let mut handle = MetricsHandle::new();
+        let c = handle.counter(&counter);
+        let h = handle.histogram(&hist);
+        for i in 0..10 {
+            handle.add(c, 2);
+            handle.observe(h, f64::from(i));
+        }
+        assert_eq!(counter.get(), 0, "nothing shared before flush");
+        handle.flush();
+        if metrics_compiled() {
+            assert_eq!(counter.get(), 20);
+            assert_eq!(hist.count(), 10);
+        } else {
+            assert_eq!(counter.get(), 0);
+            assert_eq!(hist.count(), 0);
+        }
+        handle.flush();
+        assert_eq!(counter.get(), if metrics_compiled() { 20 } else { 0 });
+    }
+}

@@ -1,0 +1,345 @@
+//! Log-bucketed histograms for quantities that span decades.
+//!
+//! Buckets are powers of two: a [`HistogramSpec`] fixes an exponent range
+//! `[min_exp, max_exp)` and every bucket `i` in `1..=max_exp-min_exp`
+//! covers `[2^(min_exp+i-1), 2^(min_exp+i))`.  Bucket `0` catches
+//! everything below `2^min_exp` (including zero, negatives and NaN) and
+//! the last bucket everything at or above `2^max_exp`.  The bucket of a
+//! finite positive value is read straight off its IEEE-754 exponent bits —
+//! no `log`, no division — so observation is branch + shift + one relaxed
+//! `fetch_add`.
+//!
+//! Counts and per-bucket tallies are exact `u64`s, so merging histograms
+//! is associative and commutative (property-tested in
+//! `tests/merge_props.rs`); only the `sum` is a float accumulation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::registry::enabled;
+
+/// The exponent range of a power-of-two-bucketed histogram.
+///
+/// Two histograms merge only if their specs match; the registry panics on
+/// a spec mismatch at registration time so the conflict is caught early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSpec {
+    /// Values below `2^min_exp` land in the underflow bucket.
+    pub min_exp: i32,
+    /// Values at or above `2^max_exp` land in the overflow bucket.
+    pub max_exp: i32,
+}
+
+impl HistogramSpec {
+    /// Latency in nanoseconds: `64 ns ..= 64 s` (31 log2 buckets).
+    pub const LATENCY_NS: Self = Self::new(6, 36);
+
+    /// Bound widths in the model's own scale — densities and log-space
+    /// posteriors both live here: `2^-128 ..= 2^16`.
+    pub const BOUND_WIDTH: Self = Self::new(-128, 16);
+
+    /// Small whole-number budgets (refinement rounds, node reads):
+    /// `1 ..= 65536`.
+    pub const BUDGET: Self = Self::new(0, 16);
+
+    /// A spec covering `[2^min_exp, 2^max_exp)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or outside the normal-f64 exponent
+    /// range.
+    #[must_use]
+    pub const fn new(min_exp: i32, max_exp: i32) -> Self {
+        assert!(min_exp < max_exp, "histogram exponent range is empty");
+        assert!(
+            -1022 <= min_exp && max_exp <= 1023,
+            "exponent out of f64 range"
+        );
+        Self { min_exp, max_exp }
+    }
+
+    /// Total number of buckets, including underflow and overflow.
+    #[must_use]
+    pub const fn buckets(self) -> usize {
+        (self.max_exp - self.min_exp) as usize + 2
+    }
+
+    /// The bucket index `value` falls into.
+    #[must_use]
+    pub fn bucket_of(self, value: f64) -> usize {
+        if value.is_nan() || value <= 0.0 {
+            return 0; // zero, negative, NaN
+        }
+        if value == f64::INFINITY {
+            return self.buckets() - 1;
+        }
+        // Exponent straight from the IEEE-754 bits; subnormals read as
+        // -1023 which clamps into the underflow bucket below.
+        let exp = ((value.to_bits() >> 52) & 0x7ff) as i32 - 1023;
+        if exp < self.min_exp {
+            0
+        } else if exp >= self.max_exp {
+            self.buckets() - 1
+        } else {
+            (exp - self.min_exp + 1) as usize
+        }
+    }
+
+    /// The inclusive upper bound of `bucket` (Prometheus `le` label);
+    /// `+Inf` for the overflow bucket.
+    #[must_use]
+    pub fn upper_bound(self, bucket: usize) -> f64 {
+        if bucket + 1 >= self.buckets() {
+            f64::INFINITY
+        } else {
+            // Bucket i < overflow is bounded above by 2^(min_exp + i).
+            (self.min_exp + bucket as i32).exp2()
+        }
+    }
+}
+
+/// Extension trait so `upper_bound` can stay integer-exact for exponents.
+trait Exp2 {
+    fn exp2(self) -> f64;
+}
+
+impl Exp2 for i32 {
+    fn exp2(self) -> f64 {
+        f64::from_bits(((self + 1023) as u64) << 52)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    spec: HistogramSpec,
+    count: AtomicU64,
+    /// Sum of observed values, stored as f64 bits and merged by CAS.
+    sum_bits: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+}
+
+/// A shared, lock-free histogram.  Clones share the same cells.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Histogram {
+    /// An empty histogram with the given bucket spec.
+    #[must_use]
+    pub fn new(spec: HistogramSpec) -> Self {
+        let buckets = (0..spec.buckets()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            core: Arc::new(HistogramCore {
+                spec,
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0.0f64.to_bits()),
+                buckets,
+            }),
+        }
+    }
+
+    /// This histogram's bucket spec.
+    #[must_use]
+    pub fn spec(&self) -> HistogramSpec {
+        self.core.spec
+    }
+
+    /// Records one observation (no-op while recording is disabled).
+    pub fn observe(&self, value: f64) {
+        if !enabled() {
+            return;
+        }
+        let bucket = self.core.spec.bucket_of(value);
+        self.core.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.core.count.fetch_add(1, Ordering::Relaxed);
+        self.add_sum(value);
+    }
+
+    /// Merges a locally-buffered histogram in: one `fetch_add` per
+    /// non-empty bucket plus the count and sum (no-op while disabled, or
+    /// when the specs differ).
+    pub fn merge_local(&self, local: &LocalHistogram) {
+        if !enabled() || local.count == 0 || local.spec != self.core.spec {
+            return;
+        }
+        for (cell, &n) in self.core.buckets.iter().zip(&local.buckets) {
+            if n > 0 {
+                cell.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.core.count.fetch_add(local.count, Ordering::Relaxed);
+        self.add_sum(local.sum);
+    }
+
+    fn add_sum(&self, value: f64) {
+        if value == 0.0 {
+            return;
+        }
+        let cell = &self.core.sum_bits;
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + value).to_bits();
+            match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.core.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// A copy of the per-bucket tallies (underflow first, overflow last).
+    #[must_use]
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.core
+            .buckets
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// An unsynchronised histogram mirror for per-shard/per-worker buffering;
+/// merged into the shared [`Histogram`] at batch/query boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalHistogram {
+    spec: HistogramSpec,
+    count: u64,
+    sum: f64,
+    buckets: Vec<u64>,
+}
+
+impl LocalHistogram {
+    /// An empty local histogram with the given spec.
+    #[must_use]
+    pub fn new(spec: HistogramSpec) -> Self {
+        Self {
+            spec,
+            count: 0,
+            sum: 0.0,
+            buckets: vec![0; spec.buckets()],
+        }
+    }
+
+    /// This histogram's bucket spec.
+    #[must_use]
+    pub fn spec(&self) -> HistogramSpec {
+        self.spec
+    }
+
+    /// Records one observation (plain adds, no atomics).
+    pub fn observe(&mut self, value: f64) {
+        self.buckets[self.spec.bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Folds `other` in bucket-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the specs differ.
+    pub fn merge(&mut self, other: &LocalHistogram) {
+        assert_eq!(
+            self.spec, other.spec,
+            "merging histograms with different specs"
+        );
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// The per-bucket tallies (underflow first, overflow last).
+    #[must_use]
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Whether nothing has been observed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Resets every tally to zero, keeping the spec.
+    pub fn clear(&mut self) {
+        self.count = 0;
+        self.sum = 0.0;
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_reads_the_exponent() {
+        let spec = HistogramSpec::new(0, 4); // buckets: <1, [1,2), [2,4), [4,8), [8,16), >=16
+        assert_eq!(spec.buckets(), 6);
+        assert_eq!(spec.bucket_of(0.0), 0);
+        assert_eq!(spec.bucket_of(-3.0), 0);
+        assert_eq!(spec.bucket_of(f64::NAN), 0);
+        assert_eq!(spec.bucket_of(0.5), 0);
+        assert_eq!(spec.bucket_of(1.0), 1);
+        assert_eq!(spec.bucket_of(1.99), 1);
+        assert_eq!(spec.bucket_of(2.0), 2);
+        assert_eq!(spec.bucket_of(7.5), 3);
+        assert_eq!(spec.bucket_of(15.0), 4);
+        assert_eq!(spec.bucket_of(16.0), 5);
+        assert_eq!(spec.bucket_of(f64::INFINITY), 5);
+    }
+
+    #[test]
+    fn upper_bounds_are_powers_of_two() {
+        let spec = HistogramSpec::new(0, 4);
+        assert_eq!(spec.upper_bound(0), 1.0);
+        assert_eq!(spec.upper_bound(1), 2.0);
+        assert_eq!(spec.upper_bound(4), 16.0);
+        assert_eq!(spec.upper_bound(5), f64::INFINITY);
+        // Negative exponents are exact too.
+        let tiny = HistogramSpec::new(-8, 0);
+        assert_eq!(tiny.upper_bound(0), 0.00390625);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn shared_and_local_histograms_agree() {
+        let _guard = crate::registry::test_lock();
+        let spec = HistogramSpec::LATENCY_NS;
+        let shared = Histogram::new(spec);
+        let mut local = LocalHistogram::new(spec);
+        for v in [100.0, 1e6, 3.0, 1e12] {
+            shared.observe(v);
+            local.observe(v);
+        }
+        assert_eq!(shared.count(), 4);
+        assert_eq!(shared.bucket_counts(), local.bucket_counts());
+        assert_eq!(shared.sum(), local.sum());
+    }
+}

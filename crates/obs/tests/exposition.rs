@@ -1,0 +1,73 @@
+//! Snapshot tests of the exposition formats: the Prometheus text render
+//! is pinned byte-for-byte against a committed expectation, and the JSON
+//! form round-trips through its parser for a registry with every metric
+//! kind recorded.
+
+#![cfg(feature = "metrics")]
+
+use bt_obs::{HistogramSpec, Registry, Snapshot};
+
+fn populated_registry() -> Registry {
+    let registry = Registry::new();
+    let inserts = registry.counter("bt_insert_objects_total", "Objects drained");
+    let height = registry.gauge("bt_tree_height", "Tree height");
+    let latency = registry.histogram(
+        "bt_batch_latency_ns",
+        "Batch latency (ns)",
+        HistogramSpec::new(6, 10),
+    );
+    inserts.add(1234);
+    height.set(4.0);
+    for v in [50.0, 100.0, 100.0, 700.0, 5000.0] {
+        latency.observe(v);
+    }
+    registry
+}
+
+#[test]
+fn prometheus_exposition_is_pinned() {
+    let text = populated_registry().snapshot().to_prometheus();
+    let expected = "\
+# HELP bt_insert_objects_total Objects drained
+# TYPE bt_insert_objects_total counter
+bt_insert_objects_total 1234
+# HELP bt_tree_height Tree height
+# TYPE bt_tree_height gauge
+bt_tree_height 4.0
+# HELP bt_batch_latency_ns Batch latency (ns)
+# TYPE bt_batch_latency_ns histogram
+bt_batch_latency_ns_bucket{le=\"64.0\"} 1
+bt_batch_latency_ns_bucket{le=\"128.0\"} 3
+bt_batch_latency_ns_bucket{le=\"256.0\"} 3
+bt_batch_latency_ns_bucket{le=\"512.0\"} 3
+bt_batch_latency_ns_bucket{le=\"1024.0\"} 4
+bt_batch_latency_ns_bucket{le=\"+Inf\"} 5
+bt_batch_latency_ns_sum 5950.0
+bt_batch_latency_ns_count 5
+";
+    assert_eq!(text, expected);
+}
+
+#[test]
+fn json_exposition_round_trips_a_live_registry() {
+    let snap = populated_registry().snapshot();
+    let parsed = Snapshot::from_json(&snap.to_json()).expect("own JSON parses");
+    assert_eq!(parsed, snap);
+    // And the rendered JSON is stable enough to re-render identically.
+    assert_eq!(parsed.to_json(), snap.to_json());
+}
+
+#[test]
+fn global_tree_catalogue_exposes_under_bt_prefix() {
+    let _ = bt_obs::tree_metrics();
+    let text = Registry::global().snapshot().to_prometheus();
+    for name in [
+        "bt_insert_objects_total",
+        "bt_batch_latency_ns",
+        "bt_queries_certified_total",
+        "bt_refine_budget_spent",
+        "bt_snapshot_refreshes_total",
+    ] {
+        assert!(text.contains(&format!("# TYPE {name}")), "missing {name}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for the merge algebra of the observability layer:
+//! local-histogram merges are associative and commutative on their exact
+//! (`u64`) components, bucketing is total and order-preserving, snapshot
+//! deltas invert merges, and a [`MetricsHandle`] flush is indistinguishable
+//! from recording directly into the shared metrics.
+
+use bt_obs::{
+    Histogram, HistogramSpec, LocalHistogram, MetricsHandle, Registry, Snapshot, ValueSnapshot,
+};
+use proptest::prelude::*;
+
+/// Exactly-representable observations so even the float `sum` component
+/// merges associatively.
+fn observations() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec((0u32..1 << 20).prop_map(f64::from), 0..50)
+}
+
+fn local_of(spec: HistogramSpec, values: &[f64]) -> LocalHistogram {
+    let mut h = LocalHistogram::new(spec);
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn local_histogram_merge_is_commutative(a in observations(), b in observations()) {
+        let spec = HistogramSpec::BUDGET;
+        let mut ab = local_of(spec, &a);
+        ab.merge(&local_of(spec, &b));
+        let mut ba = local_of(spec, &b);
+        ba.merge(&local_of(spec, &a));
+        prop_assert_eq!(ab.bucket_counts(), ba.bucket_counts());
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert_eq!(ab.sum(), ba.sum());
+    }
+
+    #[test]
+    fn local_histogram_merge_is_associative(
+        a in observations(),
+        b in observations(),
+        c in observations(),
+    ) {
+        let spec = HistogramSpec::BUDGET;
+        // (a ⊕ b) ⊕ c
+        let mut left = local_of(spec, &a);
+        left.merge(&local_of(spec, &b));
+        left.merge(&local_of(spec, &c));
+        // a ⊕ (b ⊕ c)
+        let mut bc = local_of(spec, &b);
+        bc.merge(&local_of(spec, &c));
+        let mut right = local_of(spec, &a);
+        right.merge(&bc);
+        prop_assert_eq!(left.bucket_counts(), right.bucket_counts());
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.sum(), right.sum());
+    }
+
+    #[test]
+    fn merging_equals_observing_the_concatenation(a in observations(), b in observations()) {
+        let spec = HistogramSpec::BUDGET;
+        let mut merged = local_of(spec, &a);
+        merged.merge(&local_of(spec, &b));
+        let concatenated: Vec<f64> = a.iter().chain(&b).copied().collect();
+        prop_assert_eq!(merged, local_of(spec, &concatenated));
+    }
+
+    #[test]
+    fn bucketing_is_total_and_monotone(v in -1e30f64..1e30, w in 0f64..1e30) {
+        let spec = HistogramSpec::BOUND_WIDTH;
+        let bucket = spec.bucket_of(v);
+        prop_assert!(bucket < spec.buckets());
+        // The bucket's le bound admits the value…
+        prop_assert!(v <= spec.upper_bound(bucket));
+        // …and a larger value never lands in an earlier bucket.
+        if v > 0.0 {
+            prop_assert!(spec.bucket_of(v + w) >= bucket);
+        }
+    }
+}
+
+#[cfg(feature = "metrics")]
+mod shared {
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Shared-histogram merges commute with direct observation:
+        /// recording through N handles in any split equals recording
+        /// everything into the metric directly.
+        #[test]
+        fn handle_flush_matches_direct_recording(a in observations(), b in observations()) {
+            let spec = HistogramSpec::BUDGET;
+            let direct = Histogram::new(spec);
+            for v in a.iter().chain(&b) {
+                direct.observe(*v);
+            }
+
+            let via_handles = Histogram::new(spec);
+            let counter = bt_obs::Counter::new();
+            for part in [&a, &b] {
+                let mut handle = MetricsHandle::new();
+                let h = handle.histogram(&via_handles);
+                let c = handle.counter(&counter);
+                for &v in part.iter() {
+                    handle.observe(h, v);
+                    handle.add(c, 1);
+                }
+                handle.flush();
+            }
+
+            prop_assert_eq!(direct.count(), via_handles.count());
+            prop_assert_eq!(direct.bucket_counts(), via_handles.bucket_counts());
+            prop_assert_eq!(direct.sum(), via_handles.sum());
+            prop_assert_eq!(counter.get(), (a.len() + b.len()) as u64);
+        }
+    }
+
+    /// Registry snapshot deltas invert recording: `after - before` holds
+    /// exactly what was recorded in between, metric by metric.
+    #[test]
+    fn snapshot_delta_inverts_recording() {
+        let registry = Registry::new();
+        let counter = registry.counter("delta_total", "delta counter");
+        let hist = registry.histogram("delta_hist", "delta histogram", HistogramSpec::BUDGET);
+        counter.add(7);
+        hist.observe(3.0);
+        let before = registry.snapshot();
+        counter.add(5);
+        hist.observe(100.0);
+        hist.observe(4.0);
+        let delta = registry.snapshot().delta_since(&before);
+        assert_eq!(delta.counter("delta_total"), 5);
+        let (count, sum) = delta.histogram_totals("delta_hist");
+        assert_eq!(count, 2);
+        assert_eq!(sum, 104.0);
+        // The delta of a snapshot with itself is all-zero.
+        let snap = registry.snapshot();
+        let zero = snap.delta_since(&snap);
+        assert_eq!(zero.counter("delta_total"), 0);
+        assert_eq!(zero.histogram_totals("delta_hist"), (0, 0.0));
+    }
+
+    /// Deltas survive the JSON round trip unchanged.
+    #[test]
+    fn delta_round_trips_through_json() {
+        let registry = Registry::new();
+        let counter = registry.counter("rt_total", "round trip");
+        counter.add(3);
+        let before = registry.snapshot();
+        counter.add(9);
+        let delta = registry.snapshot().delta_since(&before);
+        let parsed = Snapshot::from_json(&delta.to_json()).expect("parses");
+        assert_eq!(parsed, delta);
+        assert!(matches!(parsed.metrics[0].value, ValueSnapshot::Counter(9)));
+    }
+}

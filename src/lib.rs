@@ -10,6 +10,9 @@
 //! * [`stats`] — Gaussians, kernel density estimation, cluster features,
 //!   mixture models, EM, KL divergence and Goldberger mixture reduction.
 //! * [`index`] — MBRs, R*-tree machinery, space-filling curves and STR packing.
+//! * [`obs`] — the observability layer: a lock-free metrics registry
+//!   (counters, gauges, log-bucketed histograms), bounded span tracing for
+//!   the refinement lifecycle, and Prometheus/JSON exposition.
 //! * [`anytree`] — the shared anytime-index core (see *Architecture* below).
 //! * [`data`] — data sets, synthetic workload generators, folds and stream
 //!   simulators.
@@ -27,9 +30,9 @@
 //!
 //! ```text
 //! stats ──► index ──► anytree{descent, query, shard} ──► { bayestree, clustree }
-//!                                                                 │
-//!                               data ─────────────────────────────┤
-//!                                                                 ▼
+//!                       ▲                                         │
+//!             obs ──────┘ (metrics registry,    data ─────────────┤
+//!                          tracing, exposition)                   ▼
 //!                                                       eval ──► bench
 //! ```
 //!
@@ -164,8 +167,28 @@
 //!   and descent/refinement issue **software prefetches** for the next
 //!   frontier candidate's page slot (counted in `QueryStats::prefetches` /
 //!   `DescentStats::prefetches` and surfaced by the `eval` report tables).
-//!   `docs/PERF.md` tabulates the measured BENCH_6→7→8 trajectory and
+//!   `docs/PERF.md` tabulates the measured BENCH_6→7→8→9 trajectory and
 //!   records the precision contract and the FMA ULP-gate rationale.
+//!
+//!   **The observability boundary.**  Every layer reports into one
+//!   process-global [`obs`] registry without ever putting an atomic on a
+//!   hot loop: descent and refinement keep accumulating into the existing
+//!   [`anytree::DescentStats`] / [`anytree::QueryStats`] structs (now thin
+//!   local views of the metric catalogue), and the `anytree::obs` glue
+//!   folds each **batch / query / snapshot-refresh delta** into the
+//!   registry's `bt_*` counters, gauges and log-bucketed histograms at the
+//!   boundary — one relaxed atomic load when recording is disabled, and
+//!   the whole layer compiles away under `--no-default-features` on
+//!   `bt-obs`.  The refinement lifecycle additionally emits span-trace
+//!   events (`descend`, `finish_batch`, `split`, `gather`, `refine_step`,
+//!   `snapshot_refresh`) into a bounded ring or a pluggable subscriber,
+//!   and the registry exposes itself as Prometheus text or a JSON snapshot
+//!   ([`obs::Snapshot`]) — `eval::obs` brackets workloads with
+//!   capture-deltas, `BENCH_9.json` derives certified-queries/sec from the
+//!   registry histograms, and `docs/OBSERVABILITY.md` catalogues the
+//!   metric names and the cost contract
+//!   (`tests/metrics_equivalence.rs` pins recording equivalence across
+//!   the live, snapshot and sharded paths).
 //! * **`bayestree`** instantiates the core with an MBR + cluster-feature
 //!   payload over raw kernel points (classification); **`clustree`**
 //!   instantiates it with decaying micro-clusters (clustering).  Each crate
@@ -237,5 +260,6 @@ pub use bt_anytree as anytree;
 pub use bt_data as data;
 pub use bt_eval as eval;
 pub use bt_index as index;
+pub use bt_obs as obs;
 pub use bt_stats as stats;
 pub use clustree;
