@@ -11,7 +11,7 @@
 //! and observes that it is not a drawback but even improves anytime
 //! accuracy.
 
-use crate::node::{Entry, Node, NodeId};
+use crate::node::{Entry, NodeId};
 use crate::tree::BayesTree;
 use bt_index::PageGeometry;
 use bt_stats::em::{fit_gmm, EmConfig, KMeans, KMeansConfig};
@@ -35,7 +35,7 @@ pub fn build_em_topdown(
 
     if points.len() <= geometry.max_leaf {
         // Everything fits into the root leaf.
-        let root = tree.push_node(Node::leaf(points.to_vec()));
+        let root = tree.push_node(bt_anytree::Node::leaf(points.to_vec()));
         tree.set_root(root, 1);
     } else {
         let owned: Vec<Vec<f64>> = points.to_vec();
@@ -58,7 +58,7 @@ fn build_recursive(
 ) -> (NodeId, usize) {
     let geometry = tree.geometry();
     if points.len() <= geometry.max_leaf {
-        let node = tree.push_node(Node::leaf(points));
+        let node = tree.push_node(bt_anytree::Node::leaf(points));
         return (node, 1);
     }
 
@@ -74,13 +74,13 @@ fn build_recursive(
         let (child, child_height) = if cluster_points.len() > geometry.max_leaf {
             build_recursive(tree, cluster_points, rng)
         } else {
-            (tree.push_node(Node::leaf(cluster_points)), 1)
+            (tree.push_node(bt_anytree::Node::leaf(cluster_points)), 1)
         };
         max_child_height = max_child_height.max(child_height);
         entries.push(tree.summarise(child));
     }
 
-    let node = tree.push_node(Node::inner(entries));
+    let node = tree.push_node(bt_anytree::Node::inner(entries));
     (node, max_child_height + 1)
 }
 

@@ -15,7 +15,7 @@
 //! merges under-full groups into their KL-closest neighbour.
 
 use crate::bulk::finish_bottom_up;
-use crate::node::{Entry, Node};
+use crate::node::Entry;
 use crate::tree::BayesTree;
 use bt_index::{z_order_sort_order, PageGeometry};
 use bt_stats::bandwidth::silverman_bandwidth;
@@ -90,7 +90,7 @@ pub fn build_goldberger(
         .filter(|g| !g.is_empty())
         .map(|group| {
             let leaf_points: Vec<Vec<f64>> = group.iter().map(|&i| points[i].clone()).collect();
-            let node = tree.push_node(Node::leaf(leaf_points));
+            let node = tree.push_node(bt_anytree::Node::leaf(leaf_points));
             tree.summarise(node)
         })
         .collect();
@@ -119,7 +119,7 @@ fn build_directory_levels(
 ) -> Vec<Entry> {
     let geometry = tree.geometry();
     while entries.len() > geometry.max_fanout {
-        let total_weight: f64 = entries.iter().map(Entry::weight).sum();
+        let total_weight: f64 = entries.iter().map(|e| e.weight()).sum();
         let components: Vec<Component> = entries
             .iter()
             .map(|e| Component {
@@ -139,7 +139,7 @@ fn build_directory_levels(
                 continue;
             }
             let node_entries: Vec<Entry> = group.iter().map(|&i| entries[i].clone()).collect();
-            let node = tree.push_node(Node::inner(node_entries));
+            let node = tree.push_node(bt_anytree::Node::inner(node_entries));
             next.push(tree.summarise(node));
         }
         // Guard against a degenerate partition that failed to reduce the

@@ -19,7 +19,7 @@ pub mod em_topdown;
 pub mod goldberger;
 pub mod spacefilling;
 
-use crate::node::{Entry, Node};
+use crate::node::Entry;
 use crate::tree::BayesTree;
 use bt_index::PageGeometry;
 
@@ -147,7 +147,7 @@ where
         .filter(|g| !g.is_empty())
         .map(|group| {
             let leaf_points: Vec<Vec<f64>> = group.iter().map(|&i| points[i].clone()).collect();
-            let node = tree.push_node(Node::leaf(leaf_points));
+            let node = tree.push_node(bt_anytree::Node::leaf(leaf_points));
             tree.summarise(node)
         })
         .collect();
@@ -187,7 +187,7 @@ pub(crate) fn finish_bottom_up<G>(
                     continue;
                 }
                 let node_entries: Vec<Entry> = group.iter().map(|&i| entries[i].clone()).collect();
-                let node = tree.push_node(Node::inner(node_entries));
+                let node = tree.push_node(bt_anytree::Node::inner(node_entries));
                 next.push(tree.summarise(node));
             }
             // A grouping that fails to reduce the entry count would loop
@@ -198,7 +198,7 @@ pub(crate) fn finish_bottom_up<G>(
             }
             entries = next;
         }
-        let root = tree.push_node(Node::inner(entries));
+        let root = tree.push_node(bt_anytree::Node::inner(entries));
         let height = tree.measure_depth(root);
         tree.set_root(root, height);
     }
@@ -230,7 +230,7 @@ mod tests {
             assert_eq!(tree.len(), 300, "{method:?}");
             tree.validate(method.guarantees_balance())
                 .unwrap_or_else(|e| panic!("{method:?}: {e}"));
-            let total: f64 = tree.root_entries().iter().map(Entry::weight).sum();
+            let total: f64 = tree.root_entries().iter().map(|e| e.weight()).sum();
             assert!((total - 300.0).abs() < 1e-6, "{method:?}");
         }
     }

@@ -17,20 +17,21 @@
 //! through the core's batched engine, sharing summary refreshes and split
 //! handling across the batch.
 
-use crate::node::{KernelSummary, StoredElement};
+use crate::node::{StoredElement, StoredSummary};
 use crate::tree::BayesTree;
 use bt_anytree::InsertModel;
 use bt_index::rstar::rstar_split;
 use bt_index::{Mbr, PageGeometry};
 
 /// The Bayes tree's insertion policy over the shared core (one impl per
-/// stored precision; the split geometry always works over exact per-point
-/// `f64` boxes regardless of how the node summaries are stored).
+/// stored summary representation; the split geometry always works over
+/// exact per-point `f64` boxes regardless of how the node summaries are
+/// stored).
 pub(crate) struct KernelModel {
     pub(crate) dims: usize,
 }
 
-impl<E: StoredElement> InsertModel<KernelSummary<E>> for KernelModel {
+impl<S: StoredSummary> InsertModel<S> for KernelModel {
     type Object = Vec<f64>;
     type LeafItem = Vec<f64>;
 
@@ -40,11 +41,11 @@ impl<E: StoredElement> InsertModel<KernelSummary<E>> for KernelModel {
         obj
     }
 
-    fn summary_of(&self, obj: &Vec<f64>) -> KernelSummary<E> {
-        KernelSummary::from_point(obj)
+    fn summary_of(&self, obj: &Vec<f64>) -> S {
+        S::from_point(obj)
     }
 
-    fn absorb_into(&self, summary: &mut KernelSummary<E>, obj: &Vec<f64>) {
+    fn absorb_into(&self, summary: &mut S, obj: &Vec<f64>) {
         summary.absorb_point(obj);
     }
 
@@ -52,8 +53,8 @@ impl<E: StoredElement> InsertModel<KernelSummary<E>> for KernelModel {
         items.push(obj);
     }
 
-    fn summarize_leaf_items(&self, items: &[Vec<f64>]) -> KernelSummary<E> {
-        KernelSummary::from_points(items, self.dims).expect("cannot summarise an empty leaf")
+    fn summarize_leaf_items(&self, items: &[Vec<f64>]) -> S {
+        S::from_points(items, self.dims).expect("cannot summarise an empty leaf")
     }
 
     fn split_leaf_items(
@@ -131,7 +132,6 @@ impl<E: StoredElement> BayesTree<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::node::Entry;
     use bt_index::PageGeometry;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -185,7 +185,7 @@ mod tests {
         for p in random_points(100, 2, 4) {
             tree.insert(p);
         }
-        let total: f64 = tree.root_entries().iter().map(Entry::weight).sum();
+        let total: f64 = tree.root_entries().iter().map(|e| e.weight()).sum();
         assert!((total - 100.0).abs() < 1e-6);
     }
 
@@ -258,7 +258,7 @@ mod tests {
         }
         assert_eq!(tree.len(), 500);
         tree.validate(true).expect("tree invariants hold");
-        let total: f64 = tree.root_entries().iter().map(Entry::weight).sum();
+        let total: f64 = tree.root_entries().iter().map(|e| e.weight()).sum();
         assert!((total - 500.0).abs() < 1e-6);
     }
 

@@ -39,11 +39,15 @@
 //! stored-precision parameter `E` defaulting to `f64`.  [`BayesTreeF32`]
 //! stores every directory summary — CF linear/squared sums and MBR corners —
 //! as `f32`, halving the resident bytes per entry and the memory bandwidth
-//! of the block-scoring hot path.  All accumulation stays `f64` and is
-//! quantised on write; MBR corners round *outward* so the stored boxes
-//! always enclose the exact ones and the certified `[lower, upper]` density
-//! intervals remain sound (leaf kernels are exact `f64` in both modes, so a
-//! fully refined answer is exact regardless of stored precision).  See
+//! of the block-scoring hot path.  [`BayesTreeQuantized`] goes further:
+//! CF components become 16-bit mantissas against a shared per-summary
+//! block exponent and MBR corners become outward-rounded 16-bit floats,
+//! roughly quadrupling the directory fanout per page relative to `f64`.
+//! In every mode all accumulation stays `f64` and is quantised on write;
+//! MBR corners round *outward* so the stored boxes always enclose the
+//! exact ones and the certified `[lower, upper]` density intervals remain
+//! sound (leaf kernels are exact `f64` in all modes, so a fully refined
+//! answer is exact regardless of stored precision).  See
 //! [`node::StoredElement`] for the contract and `docs/PERF.md` for measured
 //! effects.
 //!
@@ -94,7 +98,10 @@ pub use classifier::{AnytimeClassifier, AnytimeTrace, Classification, Classifier
 pub use descent::{DescentStrategy, PriorityMeasure};
 pub use frontier::{FrontierElement, TreeFrontier};
 pub use multiclass::{SingleTreeClassifier, SingleTreeConfig};
-pub use node::{Entry, KernelSummary, Node, NodeId, NodeKind, StoredElement};
+pub use node::{
+    Entry, KernelSummary, Node, NodeId, NodeKind, Quantized, QuantizedSummary, StoredElement,
+    StoredScalar, StoredSummary,
+};
 pub use qbk::{RefinementScheduler, RefinementStrategy};
 pub use query::{summary_mixture_term, KernelQueryModel};
 pub use sharded::ShardedBayesTree;
@@ -109,3 +116,16 @@ pub type BayesTreeF32 = BayesTree<f32>;
 
 /// The epoch-pinned snapshot of a [`BayesTreeF32`].
 pub type BayesTreeF32Snapshot = BayesTreeSnapshot<f32>;
+
+/// A Bayes tree whose stored summaries are block-exponent quantised: CF
+/// linear/squared sums as 16-bit mantissas against a shared per-summary
+/// power-of-two step, MBR corners as outward-rounded 16-bit floats.  A
+/// directory entry shrinks from 520 bytes (`f64`, dims = 16) to 136,
+/// roughly quadrupling fanout per 4 KiB page.  Bounds stay certified: the
+/// stored boxes enclose the exact ones and gathers decode to full-width
+/// `f64` columns, so the block kernels are untouched.  See the
+/// [crate docs](self) for the precision contract.
+pub type BayesTreeQuantized = BayesTree<Quantized>;
+
+/// The epoch-pinned snapshot of a [`BayesTreeQuantized`].
+pub type BayesTreeQuantizedSnapshot = BayesTreeSnapshot<Quantized>;

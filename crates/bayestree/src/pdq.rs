@@ -24,7 +24,7 @@ use crate::tree::BayesTree;
 /// `n` is taken as the total weight of the entries, per Definition 3.
 #[must_use]
 pub fn pdq(entries: &[Entry], x: &[f64]) -> f64 {
-    let n: f64 = entries.iter().map(Entry::weight).sum();
+    let n: f64 = entries.iter().map(|e| e.weight()).sum();
     if n <= 0.0 {
         return 0.0;
     }
@@ -84,7 +84,7 @@ mod tests {
         // total weight (checked via the entries directly).
         for level in 0..tree.height() {
             let entries = tree.level_entries(level);
-            let total: f64 = entries.iter().map(Entry::weight).sum();
+            let total: f64 = entries.iter().map(|e| e.weight()).sum();
             assert!((total - 300.0).abs() < 1e-6, "level {level}");
             assert!(density_at_level(&tree, &[1.0, 1.0], level) >= 0.0);
         }

@@ -23,30 +23,24 @@
 //! score *is* the refinable density interval.
 
 use crate::descent::{DescentStrategy, PriorityMeasure};
-use crate::node::{KernelSummary, StoredElement};
+use crate::node::{StoredElement, StoredSummary};
 use crate::tree::BayesTree;
 use bt_anytree::{
-    Entry, OutlierScore, QueryAnswer, QueryModel, QueryStats, RefineOrder, Summary, SummaryScore,
-    TreeView,
+    Entry, OutlierScore, QueryAnswer, QueryModel, QueryStats, RefineOrder, SummaryScore, TreeView,
 };
-use bt_index::MbrElement;
 use bt_stats::kernel::{
-    box_min_sq_dists_block, diag_log_pdfs_block, farthest_point_log_kernel,
-    farthest_point_log_kernels_block, gaussian_log_terms_block, nearest_point_log_kernel,
-    nearest_point_log_kernels_block, sq_dists_block, GaussianKernel, Kernel,
+    box_min_sq_dists_block, diag_log_pdfs_block, farthest_point_log_kernels_block,
+    gaussian_log_terms_block, nearest_point_log_kernels_block, sq_dists_block, GaussianKernel,
+    Kernel,
 };
-use bt_stats::{BlockPrecision, ColumnElement, GatheredBlock, VARIANCE_FLOOR};
+use bt_stats::{BlockPrecision, GatheredBlock};
 
 /// The Definition 3 mixture term `(n_es / n) * g(x, mu_es, sigma_es)` of one
 /// summary — the single place this arithmetic lives; the incremental
 /// frontier and the non-incremental [`crate::pdq::pdq`] reference both call
 /// it.
 #[must_use]
-pub fn summary_mixture_term<E: StoredElement>(
-    summary: &KernelSummary<E>,
-    x: &[f64],
-    n: f64,
-) -> f64 {
+pub fn summary_mixture_term<S: StoredSummary>(summary: &S, x: &[f64], n: f64) -> f64 {
     summary.weight() / n * summary.gaussian().pdf(x)
 }
 
@@ -91,42 +85,25 @@ impl<'a> KernelQueryModel<'a> {
     pub fn n(&self) -> f64 {
         self.n
     }
-
-    /// Product-kernel density at the nearest (`nearest == true`) or farthest
-    /// point of the summary's MBR — the two sides of the bound interval.
-    /// Uses the same per-dimension [`gaussian_log_term`] the leaf kernels
-    /// sum (the nearest side is the shared [`nearest_point_log_kernel`] the
-    /// micro-cluster MBR bound also uses), so the bounds always bracket the
-    /// leaf path's arithmetic.
-    fn mbr_kernel_density<E: StoredElement>(
-        &self,
-        query: &[f64],
-        summary: &KernelSummary<E>,
-        nearest: bool,
-    ) -> f64 {
-        let lower = summary.mbr.lower();
-        let upper = summary.mbr.upper();
-        if nearest {
-            nearest_point_log_kernel(query, lower, upper, self.bandwidth).exp()
-        } else {
-            farthest_point_log_kernel(query, lower, upper, self.bandwidth).exp()
-        }
-    }
 }
 
-impl<E: StoredElement> QueryModel<KernelSummary<E>> for KernelQueryModel<'_> {
+impl<S: StoredSummary> QueryModel<S> for KernelQueryModel<'_> {
     type LeafItem = Vec<f64>;
 
-    fn summary_contribution(&self, query: &[f64], summary: &KernelSummary<E>) -> f64 {
+    fn summary_contribution(&self, query: &[f64], summary: &S) -> f64 {
         summary_mixture_term(summary, query, self.n)
     }
 
-    fn summary_bounds(&self, query: &[f64], summary: &KernelSummary<E>) -> (f64, f64) {
+    /// Certain bounds from the summary's box: every kernel below lies inside
+    /// it and the product kernel decreases with per-dimension distance, so
+    /// the farthest/nearest box points bracket the contribution.  The log
+    /// kernels come from [`StoredSummary::bound_log_kernels`] — each stored
+    /// representation decodes its own corners, the `scale * exp(log)`
+    /// arithmetic here is shared.
+    fn summary_bounds(&self, query: &[f64], summary: &S) -> (f64, f64) {
         let scale = summary.weight() / self.n;
-        (
-            scale * self.mbr_kernel_density(query, summary, false),
-            scale * self.mbr_kernel_density(query, summary, true),
-        )
+        let (farthest, nearest) = summary.bound_log_kernels(query, self.bandwidth);
+        (scale * farthest.exp(), scale * nearest.exp())
     }
 
     fn leaf_contribution(&self, query: &[f64], item: &Vec<f64>) -> f64 {
@@ -137,8 +114,8 @@ impl<E: StoredElement> QueryModel<KernelSummary<E>> for KernelQueryModel<'_> {
         item.iter().zip(query).map(|(a, b)| (a - b) * (a - b)).sum()
     }
 
-    fn summarize_leaf_items(&self, items: &[Vec<f64>]) -> KernelSummary<E> {
-        KernelSummary::from_points(items, items[0].len()).expect("cannot summarise an empty leaf")
+    fn summarize_leaf_items(&self, items: &[Vec<f64>]) -> S {
+        S::from_points(items, items[0].len()).expect("cannot summarise an empty leaf")
     }
 
     fn block_precision(&self) -> BlockPrecision {
@@ -158,11 +135,13 @@ impl<E: StoredElement> QueryModel<KernelSummary<E>> for KernelQueryModel<'_> {
     /// with the dimension-major batch kernels of `bt_stats::kernel` — one
     /// vectorized pass per quantity instead of four scalar loops per entry.
     ///
-    /// The gather replicates `ClusterFeature::variance` and the
-    /// `DiagGaussian` variance clamp exactly, and it is a pure function of
-    /// `entries` — the engine caches it per node, keyed by the node's
-    /// version stamp.
-    fn gather_entries(&self, entries: &[Entry<KernelSummary<E>>], out: &mut GatheredBlock) -> bool {
+    /// The per-entry decode lives in [`StoredSummary::gather_into`]:
+    /// full-width modes copy/widen, the quantised mode decodes its
+    /// mantissas (exactly, in `f64`) — each replicates
+    /// `ClusterFeature::variance` and the `DiagGaussian` variance clamp, and
+    /// the gather is a pure function of `entries`, so the engine caches it
+    /// per node keyed by the node's version stamp.
+    fn gather_entries(&self, entries: &[Entry<S>], out: &mut GatheredBlock) -> bool {
         let dims = self.bandwidth.len();
         let len = entries.len();
         let block = &mut out.block;
@@ -170,31 +149,7 @@ impl<E: StoredElement> QueryModel<KernelSummary<E>> for KernelQueryModel<'_> {
         block.reset(dims, len);
         block.enable_boxes();
         for (i, entry) in entries.iter().enumerate() {
-            let cf = &entry.summary.cf;
-            block.set_weight(i, cf.weight());
-            if cf.is_empty() {
-                for d in 0..dims {
-                    block.set_mean(d, i, 0.0);
-                    block.set_var(d, i, VARIANCE_FLOOR);
-                }
-            } else {
-                let n = cf.weight();
-                let ls = cf.linear_sum();
-                let ss = cf.squared_sum();
-                for d in 0..dims {
-                    let mean = ColumnElement::widen(ls[d]) / n;
-                    let var = (ColumnElement::widen(ss[d]) / n - mean * mean).max(VARIANCE_FLOOR);
-                    let var = if var.is_finite() { var } else { VARIANCE_FLOOR };
-                    block.set_mean(d, i, mean);
-                    block.set_var(d, i, var);
-                }
-            }
-            let mbr = &entry.summary.mbr;
-            let (lo, hi) = (mbr.lower(), mbr.upper());
-            for d in 0..dims {
-                block.set_lower(d, i, MbrElement::widen(lo[d]));
-                block.set_upper(d, i, MbrElement::widen(hi[d]));
-            }
+            entry.summary.gather_into(block, i, dims);
         }
         // Hoist the query-independent `ln(var)` out of the scoring loop:
         // the column is cached with the block, so warm hits score the node
@@ -213,7 +168,7 @@ impl<E: StoredElement> QueryModel<KernelSummary<E>> for KernelQueryModel<'_> {
     fn score_gathered(
         &self,
         query: &[f64],
-        _entries: &[Entry<KernelSummary<E>>],
+        _entries: &[Entry<S>],
         gathered: &GatheredBlock,
         lanes: &mut [Vec<f64>; 4],
         out: &mut Vec<SummaryScore>,
@@ -330,15 +285,16 @@ impl<E: StoredElement> BayesTree<E> {
     /// The kernel-density query model of this tree (normalised by the stored
     /// observation count, kernels evaluated with the tree's bandwidth).
     ///
-    /// The block-scoring precision follows the stored precision: an `f32`
-    /// stored tree gathers `f32` columns (its summaries hold nothing wider,
-    /// so the narrowed columns equal the stored values exactly and the
-    /// bound intervals stay sound), while the default `f64` tree keeps the
-    /// bit-identical full-width path.
+    /// The block-scoring precision follows the stored mode
+    /// ([`StoredElement::GATHER_PRECISION`]): an `f32` stored tree gathers
+    /// `f32` columns (its summaries hold nothing wider, so the narrowed
+    /// columns equal the stored values exactly and the bound intervals stay
+    /// sound), while the `f64` *and* quantised trees gather full-width
+    /// columns — quantised mantissas decode exactly in `f64`, so both keep
+    /// the bit-identical block path.
     #[must_use]
     pub fn query_model(&self) -> KernelQueryModel<'_> {
-        KernelQueryModel::new(self.len(), self.bandwidth())
-            .with_precision(<E as ColumnElement>::PRECISION)
+        KernelQueryModel::new(self.len(), self.bandwidth()).with_precision(E::GATHER_PRECISION)
     }
 
     /// Budget-bracketed anytime density query: refines the frontier with the
@@ -395,21 +351,24 @@ impl<E: StoredElement> BayesTree<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bt_anytree::OutlierVerdict;
+    use bt_anytree::{OutlierVerdict, Summary as _};
     use bt_index::PageGeometry;
     use bt_stats::BlockScratch;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn sample_tree(n: usize, seed: u64) -> BayesTree {
+    fn sample_points(n: usize, seed: u64) -> Vec<Vec<f64>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let points: Vec<Vec<f64>> = (0..n)
+        (0..n)
             .map(|i| {
                 let center = if i % 2 == 0 { 0.0 } else { 8.0 };
                 vec![center + rng.random::<f64>(), center + rng.random::<f64>()]
             })
-            .collect();
-        BayesTree::build_iterative(&points, 2, PageGeometry::from_fanout(4, 4))
+            .collect()
+    }
+
+    fn sample_tree(n: usize, seed: u64) -> BayesTree {
+        BayesTree::build_iterative(&sample_points(n, seed), 2, PageGeometry::from_fanout(4, 4))
     }
 
     #[test]
@@ -487,6 +446,51 @@ mod tests {
     #[test]
     fn block_scores_match_the_scalar_reference_bitwise() {
         let tree: BayesTree = sample_tree(300, 6);
+        let model = tree.query_model();
+        let mut scratch = BlockScratch::new();
+        let mut scores = Vec::new();
+        let mut inner_nodes = 0;
+        for query in [[0.5, 0.5], [8.3, 8.3], [4.0, 4.0], [-30.0, 55.0]] {
+            for id in TreeView::reachable(tree.core()) {
+                let node = tree.core().node(id);
+                let bt_anytree::NodeKind::Inner { entries } = &node.kind else {
+                    continue;
+                };
+                inner_nodes += 1;
+                model.score_entries(&query, entries, &mut scratch, &mut scores);
+                assert_eq!(scores.len(), entries.len());
+                for (entry, score) in entries.iter().zip(&scores) {
+                    let summary = &entry.summary;
+                    let (lower, upper) = model.summary_bounds(&query, summary);
+                    let expected = SummaryScore {
+                        weight: summary.weight(),
+                        contribution: model.summary_contribution(&query, summary),
+                        lower,
+                        upper,
+                        min_dist_sq: model.summary_sq_dist(&query, summary),
+                    };
+                    assert_eq!(score.weight.to_bits(), expected.weight.to_bits());
+                    assert_eq!(
+                        score.contribution.to_bits(),
+                        expected.contribution.to_bits()
+                    );
+                    assert_eq!(score.lower.to_bits(), expected.lower.to_bits());
+                    assert_eq!(score.upper.to_bits(), expected.upper.to_bits());
+                    assert_eq!(score.min_dist_sq.to_bits(), expected.min_dist_sq.to_bits());
+                }
+            }
+        }
+        assert!(inner_nodes > 0, "tree too small to exercise the block path");
+    }
+
+    #[test]
+    fn quantized_block_scores_match_the_scalar_reference_bitwise() {
+        // The quantised gather decodes into full-width f64 columns (the
+        // decode `q * step` is exact), so the block path must agree with the
+        // scalar StoredSummary reference bit for bit — same contract the
+        // f64 mode is held to above.
+        let tree: BayesTree<crate::node::Quantized> =
+            BayesTree::build_iterative(&sample_points(300, 6), 2, PageGeometry::from_fanout(4, 4));
         let model = tree.query_model();
         let mut scratch = BlockScratch::new();
         let mut scores = Vec::new();

@@ -15,7 +15,7 @@
 
 use crate::descent::DescentStrategy;
 use crate::insert::KernelModel;
-use crate::node::{KernelSummary, NodeKind, StoredElement};
+use crate::node::StoredElement;
 use crate::query::KernelQueryModel;
 use crate::view::ShardedBayesTreeSnapshot;
 use bt_anytree::{
@@ -25,7 +25,6 @@ use bt_anytree::{
 use bt_index::PageGeometry;
 use bt_stats::bandwidth::silverman_bandwidth;
 use bt_stats::kernel::{GaussianKernel, Kernel};
-use bt_stats::ColumnElement;
 
 /// A Bayes tree sharded into `K` independently descending subtrees.
 ///
@@ -34,7 +33,7 @@ use bt_stats::ColumnElement;
 /// stored at.
 #[derive(Debug, Clone)]
 pub struct ShardedBayesTree<R = CheapestRouter, E: StoredElement = f64> {
-    core: ShardedAnytimeTree<KernelSummary<E>, Vec<f64>, R>,
+    core: ShardedAnytimeTree<E::Summary, Vec<f64>, R>,
     num_points: usize,
     bandwidth: Vec<f64>,
 }
@@ -105,7 +104,7 @@ impl<R, E: StoredElement> ShardedBayesTree<R, E> {
 
     /// Read access to the shard trees.
     #[must_use]
-    pub fn shards(&self) -> &[AnytimeTree<KernelSummary<E>, Vec<f64>>] {
+    pub fn shards(&self) -> &[AnytimeTree<E::Summary, Vec<f64>>] {
         self.core.shards()
     }
 
@@ -165,7 +164,7 @@ impl<R, E: StoredElement> ShardedBayesTree<R, E> {
         let n = self.num_points;
         let bandwidth = &self.bandwidth;
         self.core.query_with_budget(
-            &|| KernelQueryModel::new(n, bandwidth).with_precision(<E as ColumnElement>::PRECISION),
+            &|| KernelQueryModel::new(n, bandwidth).with_precision(E::GATHER_PRECISION),
             x,
             strategy.into(),
             budget,
@@ -189,7 +188,7 @@ impl<R, E: StoredElement> ShardedBayesTree<R, E> {
         let n = self.num_points;
         let bandwidth = &self.bandwidth;
         self.core.query_batch(
-            &|| KernelQueryModel::new(n, bandwidth).with_precision(<E as ColumnElement>::PRECISION),
+            &|| KernelQueryModel::new(n, bandwidth).with_precision(E::GATHER_PRECISION),
             queries,
             strategy.into(),
             budget,
@@ -208,7 +207,7 @@ impl<R, E: StoredElement> ShardedBayesTree<R, E> {
         let n = self.num_points;
         let bandwidth = &self.bandwidth;
         self.core.outlier_score(
-            &|| KernelQueryModel::new(n, bandwidth).with_precision(<E as ColumnElement>::PRECISION),
+            &|| KernelQueryModel::new(n, bandwidth).with_precision(E::GATHER_PRECISION),
             x,
             threshold,
             budget,
@@ -256,7 +255,7 @@ impl<R, E: StoredElement> ShardedBayesTree<R, E> {
         let mut out = Vec::with_capacity(self.num_points);
         for shard in self.core.shards() {
             for id in shard.reachable() {
-                if let NodeKind::Leaf { items } = &shard.node(id).kind {
+                if let bt_anytree::NodeKind::Leaf { items } = &shard.node(id).kind {
                     out.extend(items.iter().cloned());
                 }
             }
@@ -276,7 +275,7 @@ impl<R, E: StoredElement> ShardedBayesTree<R, E> {
         let mut acc = 0.0;
         for shard in self.core.shards() {
             for id in shard.reachable() {
-                if let NodeKind::Leaf { items } = &shard.node(id).kind {
+                if let bt_anytree::NodeKind::Leaf { items } = &shard.node(id).kind {
                     for p in items {
                         acc += kernel.density(p, x, &self.bandwidth);
                     }
@@ -298,13 +297,13 @@ impl<R, E: StoredElement> ShardedBayesTree<R, E> {
         for (k, shard) in self.core.shards().iter().enumerate() {
             let mut shard_points = 0usize;
             for id in shard.reachable() {
-                if let NodeKind::Leaf { items } = &shard.node(id).kind {
+                if let bt_anytree::NodeKind::Leaf { items } = &shard.node(id).kind {
                     shard_points += items.len();
                 }
             }
             let root = shard.node(shard.root());
-            if let NodeKind::Inner { entries } = &root.kind {
-                let weight: f64 = entries.iter().map(|e| e.cf.weight()).sum();
+            if let bt_anytree::NodeKind::Inner { entries } = &root.kind {
+                let weight: f64 = entries.iter().map(|e| e.weight()).sum();
                 if (weight - shard_points as f64).abs() > 1e-6 {
                     return Err(format!(
                         "shard {k} root claims {weight} objects, {shard_points} are reachable"
@@ -323,7 +322,7 @@ impl<R, E: StoredElement> ShardedBayesTree<R, E> {
     }
 }
 
-impl<R: ShardRouter<KernelSummary<E>>, E: StoredElement> ShardedBayesTree<R, E> {
+impl<R: ShardRouter<E::Summary>, E: StoredElement> ShardedBayesTree<R, E> {
     /// Inserts one observation into the shard the router assigns it.
     ///
     /// # Panics
@@ -389,9 +388,7 @@ impl<R: ShardRouter<KernelSummary<E>>, E: StoredElement> ShardedBayesTree<R, E> 
             &|| KernelModel { dims },
             points,
             usize::MAX,
-            &|| {
-                KernelQueryModel::new(n, &bandwidth).with_precision(<E as ColumnElement>::PRECISION)
-            },
+            &|| KernelQueryModel::new(n, &bandwidth).with_precision(E::GATHER_PRECISION),
             queries,
             strategy.into(),
             query_budget,

@@ -13,23 +13,23 @@
 //! ([`crate::insert`]) or by one of the bulk loaders ([`crate::bulk`]).
 
 use crate::node::{
-    node_cluster_feature, node_mbr, Entry, KernelSummary, Node, NodeId, NodeKind, StoredElement,
+    node_cluster_feature, node_mbr, Entry, Node, NodeId, StoredElement, StoredSummary,
 };
-use bt_anytree::AnytimeTree;
+use bt_anytree::{AnytimeTree, Summary};
 use bt_index::PageGeometry;
 use bt_stats::bandwidth::silverman_bandwidth;
 use bt_stats::kernel::{GaussianKernel, Kernel};
-use bt_stats::ColumnElement;
 
 /// The Bayes tree: an R*-tree–style hierarchy of Gaussian mixture models.
 ///
-/// The stored-precision parameter `E` (default `f64`) selects the scalar
-/// type entry summaries are *stored* at; see [`crate::node`] for the
-/// precision contract.  [`BayesTreeF32`](crate::BayesTreeF32) is the
-/// half-width alias.
+/// The stored-mode parameter `E` (default `f64`) selects how entry
+/// summaries are *stored*; see [`crate::node`] for the precision contract.
+/// [`BayesTreeF32`](crate::BayesTreeF32) is the half-width alias and
+/// [`BayesTreeQuantized`](crate::BayesTreeQuantized) the 16-bit
+/// block-exponent alias.
 #[derive(Debug, Clone)]
 pub struct BayesTree<E: StoredElement = f64> {
-    core: AnytimeTree<KernelSummary<E>, Vec<f64>>,
+    core: AnytimeTree<E::Summary, Vec<f64>>,
     num_points: usize,
     bandwidth: Vec<f64>,
 }
@@ -49,15 +49,18 @@ impl<E: StoredElement> BayesTree<E> {
         }
     }
 
-    /// The 4 KiB-page geometry at this tree's *stored* precision: inner
-    /// entries narrow with the stored scalar, so a `f32` tree packs roughly
-    /// twice the fanout into the same physical page — a shallower tree
-    /// where every budgeted node read covers twice the summary mass.
-    /// Leaves hold exact full-width observations in every mode, so the
-    /// leaf capacity is unchanged.
+    /// The 4 KiB-page geometry at this tree's *stored* mode: inner entries
+    /// narrow with the stored scalar width
+    /// ([`StoredElement::SCALAR_BYTES`]), so an `f32` tree packs roughly
+    /// twice — and a [`Quantized`](crate::node::Quantized) tree roughly
+    /// four times — the fanout into the same physical page: a shallower
+    /// tree where every budgeted node read covers that much more summary
+    /// mass.  Leaves hold exact full-width observations in every mode, so
+    /// the leaf capacity is unchanged.
     ///
-    /// Use [`bt_index::PageGeometry::default_for_dims`] instead when both
-    /// modes must share one geometry (e.g. structural A/B comparisons).
+    /// Use [`bt_index::PageGeometry::default_for_dims`] instead when
+    /// multiple modes must share one geometry (e.g. structural A/B
+    /// comparisons).
     ///
     /// # Panics
     ///
@@ -65,7 +68,7 @@ impl<E: StoredElement> BayesTree<E> {
     /// `dims`).
     #[must_use]
     pub fn paged_geometry(dims: usize) -> PageGeometry {
-        PageGeometry::from_page_size_for_scalar(4096, dims, std::mem::size_of::<E>())
+        PageGeometry::from_page_size_for_scalar(4096, dims, E::SCALAR_BYTES)
     }
 
     /// Dimensionality of the stored kernels.
@@ -155,7 +158,7 @@ impl<E: StoredElement> BayesTree<E> {
     pub fn all_points(&self) -> Vec<Vec<f64>> {
         let mut out = Vec::with_capacity(self.num_points);
         for id in self.core.reachable() {
-            if let NodeKind::Leaf { items } = &self.core.node(id).kind {
+            if let bt_anytree::NodeKind::Leaf { items } = &self.core.node(id).kind {
                 out.extend(items.iter().cloned());
             }
         }
@@ -167,8 +170,8 @@ impl<E: StoredElement> BayesTree<E> {
     #[must_use]
     pub fn root_entries(&self) -> Vec<Entry<E>> {
         match &self.core.node(self.root()).kind {
-            NodeKind::Inner { entries } => entries.clone(),
-            NodeKind::Leaf { items } => {
+            bt_anytree::NodeKind::Inner { entries } => entries.clone(),
+            bt_anytree::NodeKind::Leaf { items } => {
                 if items.is_empty() {
                     Vec::new()
                 } else {
@@ -199,7 +202,7 @@ impl<E: StoredElement> BayesTree<E> {
         let kernel = GaussianKernel;
         let mut acc = 0.0;
         for id in self.core.reachable() {
-            if let NodeKind::Leaf { items } = &self.core.node(id).kind {
+            if let bt_anytree::NodeKind::Leaf { items } = &self.core.node(id).kind {
                 for p in items {
                     acc += kernel.density(p, x, &self.bandwidth);
                 }
@@ -222,11 +225,11 @@ impl<E: StoredElement> BayesTree<E> {
             let mut expanded_any = false;
             for e in &current {
                 match &self.core.node(e.child).kind {
-                    NodeKind::Inner { entries } => {
+                    bt_anytree::NodeKind::Inner { entries } => {
                         next.extend(entries.iter().cloned());
                         expanded_any = true;
                     }
-                    NodeKind::Leaf { .. } => next.push(e.clone()),
+                    bt_anytree::NodeKind::Leaf { .. } => next.push(e.clone()),
                 }
             }
             current = next;
@@ -288,7 +291,7 @@ impl<E: StoredElement> BayesTree<E> {
         let geometry = self.geometry();
         let node = self.core.node(id);
         match &node.kind {
-            NodeKind::Leaf { items } => {
+            bt_anytree::NodeKind::Leaf { items } => {
                 leaf_depths.push(depth);
                 *seen_points += items.len();
                 if !is_root && items.len() > geometry.max_leaf {
@@ -305,7 +308,7 @@ impl<E: StoredElement> BayesTree<E> {
                 }
                 Ok(())
             }
-            NodeKind::Inner { entries } => {
+            bt_anytree::NodeKind::Inner { entries } => {
                 if entries.is_empty() {
                     return Err(format!("inner node {id} has no entries"));
                 }
@@ -329,27 +332,39 @@ impl<E: StoredElement> BayesTree<E> {
                         ));
                     }
                     let child = self.core.node(entry.child);
-                    // MBR must contain the child's MBR.
+                    // The decoded entry box must contain the child's decoded
+                    // MBR (both at full width, so the check is representation
+                    // agnostic — the outward-rounding contract of every
+                    // narrowed mode makes this hold exactly).
                     if let Some(child_mbr) = node_mbr(child) {
-                        if !entry.mbr.contains_mbr(&child_mbr) {
+                        let entry_mbr = entry
+                            .owned_mbr()
+                            .ok_or_else(|| format!("entry {i} of node {id} exposes no box"))?;
+                        if !entry_mbr.contains_mbr(&child_mbr) {
                             return Err(format!(
                                 "entry {i} of node {id} does not contain its child's MBR"
                             ));
                         }
                     }
-                    // CF weight must match the number of objects below.
+                    // CF weight must match the number of objects below
+                    // (exact in every mode: weights are never quantised).
                     let child_cf = node_cluster_feature(child, self.dims());
-                    if (entry.cf.weight() - child_cf.weight()).abs() > 1e-6 {
+                    if (entry.weight() - child_cf.weight()).abs() > 1e-6 {
                         return Err(format!(
                             "entry {i} of node {id} claims {} objects, child holds {}",
-                            entry.cf.weight(),
+                            entry.weight(),
                             child_cf.weight()
                         ));
                     }
+                    // Decoded LS must agree with the child's decoded fold up
+                    // to the representations' declared quantisation slack
+                    // (zero for the lossless-accumulation modes).
+                    let entry_cf = entry.exact_cf();
+                    let slack = entry.ls_slack() + node_ls_slack(child);
                     for d in 0..self.dims() {
-                        let entry_ls = ColumnElement::widen(entry.cf.linear_sum()[d]);
-                        let child_ls = ColumnElement::widen(child_cf.linear_sum()[d]);
-                        if (entry_ls - child_ls).abs() > 1e-4 * (1.0 + child_ls.abs()) {
+                        let entry_ls = entry_cf.linear_sum()[d];
+                        let child_ls = child_cf.linear_sum()[d];
+                        if (entry_ls - child_ls).abs() > 1e-4 * (1.0 + child_ls.abs()) + slack {
                             return Err(format!(
                                 "entry {i} of node {id}: LS[{d}] inconsistent with child"
                             ));
@@ -368,13 +383,13 @@ impl<E: StoredElement> BayesTree<E> {
 
     /// The shared arena-tree core (crate-internal: insertion and bulk
     /// loading build through it).
-    pub(crate) fn core_mut(&mut self) -> &mut AnytimeTree<KernelSummary<E>, Vec<f64>> {
+    pub(crate) fn core_mut(&mut self) -> &mut AnytimeTree<E::Summary, Vec<f64>> {
         &mut self.core
     }
 
     /// Read access to the shared core (crate-internal: the query engine
     /// refines frontiers through it).
-    pub(crate) fn core(&self) -> &AnytimeTree<KernelSummary<E>, Vec<f64>> {
+    pub(crate) fn core(&self) -> &AnytimeTree<E::Summary, Vec<f64>> {
         &self.core
     }
 
@@ -451,6 +466,16 @@ impl<E: StoredElement> BayesTree<E> {
     /// bulk loaders to record the height of a freshly assembled tree.
     pub(crate) fn measure_depth(&self, node: NodeId) -> usize {
         self.core.measure_depth(node)
+    }
+}
+
+/// Total declared LS quantisation slack of a node's own entries (zero for
+/// leaves and for lossless-accumulation modes) — the child-side term of the
+/// validate tolerance.
+fn node_ls_slack<S: StoredSummary>(node: &bt_anytree::Node<S, Vec<f64>>) -> f64 {
+    match &node.kind {
+        bt_anytree::NodeKind::Leaf { .. } => 0.0,
+        bt_anytree::NodeKind::Inner { entries } => entries.iter().map(|e| e.ls_slack()).sum(),
     }
 }
 

@@ -20,21 +20,20 @@ use bt_anytree::{
     OutlierScore, QueryAnswer, QueryStats, ShardedQueryAnswer, ShardedTreeSnapshot, TreeSnapshot,
     TreeView,
 };
-use bt_stats::ColumnElement;
 
 /// An epoch-pinned, immutable view of a [`BayesTree`]: the core snapshot
 /// plus the density-model parameters (observation count, bandwidth) frozen
 /// at snapshot time.
 #[derive(Debug, Clone)]
 pub struct BayesTreeSnapshot<E: StoredElement = f64> {
-    core: TreeSnapshot<KernelSummary<E>, Vec<f64>>,
+    core: TreeSnapshot<E::Summary, Vec<f64>>,
     num_points: usize,
     bandwidth: Vec<f64>,
 }
 
 impl<E: StoredElement> BayesTreeSnapshot<E> {
     pub(crate) fn from_parts(
-        core: TreeSnapshot<KernelSummary<E>, Vec<f64>>,
+        core: TreeSnapshot<E::Summary, Vec<f64>>,
         num_points: usize,
         bandwidth: Vec<f64>,
     ) -> Self {
@@ -84,7 +83,7 @@ impl<E: StoredElement> BayesTreeSnapshot<E> {
     /// The underlying core snapshot (for frontier construction and
     /// inspection through [`TreeView`]).
     #[must_use]
-    pub fn core(&self) -> &TreeSnapshot<KernelSummary<E>, Vec<f64>> {
+    pub fn core(&self) -> &TreeSnapshot<E::Summary, Vec<f64>> {
         &self.core
     }
 
@@ -93,8 +92,7 @@ impl<E: StoredElement> BayesTreeSnapshot<E> {
     /// tree).
     #[must_use]
     pub fn query_model(&self) -> KernelQueryModel<'_> {
-        KernelQueryModel::new(self.num_points, &self.bandwidth)
-            .with_precision(<E as ColumnElement>::PRECISION)
+        KernelQueryModel::new(self.num_points, &self.bandwidth).with_precision(E::GATHER_PRECISION)
     }
 
     /// Budget-bracketed anytime density query against the frozen tree —
@@ -167,14 +165,14 @@ impl<E: StoredElement> BayesTree<E> {
 /// per shard plus the frozen global density-model parameters.
 #[derive(Debug, Clone)]
 pub struct ShardedBayesTreeSnapshot<E: StoredElement = f64> {
-    core: ShardedTreeSnapshot<KernelSummary<E>, Vec<f64>>,
+    core: ShardedTreeSnapshot<E::Summary, Vec<f64>>,
     num_points: usize,
     bandwidth: Vec<f64>,
 }
 
 impl<E: StoredElement> ShardedBayesTreeSnapshot<E> {
     pub(crate) fn from_parts(
-        core: ShardedTreeSnapshot<KernelSummary<E>, Vec<f64>>,
+        core: ShardedTreeSnapshot<E::Summary, Vec<f64>>,
         num_points: usize,
         bandwidth: Vec<f64>,
     ) -> Self {
@@ -211,7 +209,7 @@ impl<E: StoredElement> ShardedBayesTreeSnapshot<E> {
 
     /// The underlying per-shard core snapshots.
     #[must_use]
-    pub fn core(&self) -> &ShardedTreeSnapshot<KernelSummary<E>, Vec<f64>> {
+    pub fn core(&self) -> &ShardedTreeSnapshot<E::Summary, Vec<f64>> {
         &self.core
     }
 
@@ -231,7 +229,7 @@ impl<E: StoredElement> ShardedBayesTreeSnapshot<E> {
         let n = self.num_points;
         let bandwidth = &self.bandwidth;
         self.core.query_with_budget(
-            &|| KernelQueryModel::new(n, bandwidth).with_precision(<E as ColumnElement>::PRECISION),
+            &|| KernelQueryModel::new(n, bandwidth).with_precision(E::GATHER_PRECISION),
             x,
             strategy.into(),
             budget,
@@ -253,7 +251,7 @@ impl<E: StoredElement> ShardedBayesTreeSnapshot<E> {
         let n = self.num_points;
         let bandwidth = &self.bandwidth;
         self.core.query_batch(
-            &|| KernelQueryModel::new(n, bandwidth).with_precision(<E as ColumnElement>::PRECISION),
+            &|| KernelQueryModel::new(n, bandwidth).with_precision(E::GATHER_PRECISION),
             queries,
             strategy.into(),
             budget,
@@ -270,7 +268,7 @@ impl<E: StoredElement> ShardedBayesTreeSnapshot<E> {
         let n = self.num_points;
         let bandwidth = &self.bandwidth;
         self.core.outlier_score(
-            &|| KernelQueryModel::new(n, bandwidth).with_precision(<E as ColumnElement>::PRECISION),
+            &|| KernelQueryModel::new(n, bandwidth).with_precision(E::GATHER_PRECISION),
             x,
             threshold,
             budget,

@@ -6,7 +6,7 @@
 //! variant — and a node's stale block is never reused after a mutation
 //! restamps it.
 
-use bayestree::{BayesTree, DescentStrategy, ShardedBayesTree};
+use bayestree::{BayesTree, BayesTreeQuantized, DescentStrategy, ShardedBayesTree};
 use bt_anytree::{Node, NodeId, QueryAnswer, Summary, TreeView};
 use bt_index::PageGeometry;
 
@@ -150,6 +150,39 @@ fn pinned_snapshot_scores_identically_while_the_live_cache_churns() {
         BUDGET,
     );
     assert_eq!(bits(&reference), bits(&frozen), "and still exact");
+}
+
+#[test]
+fn quantized_decode_path_is_cache_invisible_and_matches_the_reference() {
+    // The quantised mode decodes 16-bit summaries into f64 columns at
+    // gather time, so a cached block memoises the *decode* as well as the
+    // gather.  Warm, cold and cache-less passes must still agree bit for
+    // bit — the cache may never observe a different decode.
+    let points = stream(300, 0);
+    let mut tree = BayesTreeQuantized::new(DIMS, PageGeometry::from_fanout(3, 5));
+    for chunk in points.chunks(64) {
+        tree.insert_batch(chunk.to_vec());
+    }
+    let queries = queries();
+
+    let (cold, cold_stats) = tree.density_batch(&queries, DescentStrategy::default(), BUDGET);
+    assert!(cold_stats.block_gathers > 0, "block path is exercised");
+    let (warm, warm_stats) = tree.density_batch(&queries, DescentStrategy::default(), BUDGET);
+    assert!(
+        warm_stats.gathers_avoided > 0,
+        "second pass hits the warm slots"
+    );
+    assert_eq!(bits(&cold), bits(&warm), "cached decodes change nothing");
+
+    let snapshot = tree.snapshot();
+    let (reference, ref_stats) = NoCache(snapshot.core()).query_batch(
+        &snapshot.query_model(),
+        &queries,
+        DescentStrategy::default().into(),
+        BUDGET,
+    );
+    assert_eq!(ref_stats.gathers_avoided, 0, "no slots, no hits");
+    assert_eq!(bits(&reference), bits(&warm), "cache is invisible");
 }
 
 #[test]

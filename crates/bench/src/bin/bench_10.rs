@@ -1,0 +1,238 @@
+//! Perf-trajectory recorder for the quantised stored-summary mode.
+//!
+//! Runs the same streaming workload three times — on `f64`-, `f32`- and
+//! `Quantized`-stored [`BayesTree`]s — and writes the numbers the
+//! quantisation PR is gated on to `BENCH_10.json` (current directory, repo
+//! root when run via `cargo run`): batched insert throughput, certified
+//! anytime outlier queries per second, the mean certified bound width of a
+//! budgeted density batch (the cost axis: quantised boxes are wider), and
+//! the bytes each block-scored directory entry streams out of the epoch
+//! pages (520 / 264 / 136 at dims 16).  The JSON is committed so the
+//! trajectory of the numbers is recorded next to the code that produced
+//! them.
+//!
+//! The query passes of the three modes are **interleaved** (f64 pass, f32
+//! pass, quantised pass, repeat) and each mode keeps its best round, so
+//! wall-clock drift on a shared machine biases every mode equally.
+//!
+//! With `BENCH_SMOKE` set in the environment the binary runs a reduced
+//! workload and skips the JSON write — the CI smoke that proves the
+//! recorder still runs, without committing numbers from a CI machine.
+
+use bayestree::{BayesTree, DescentStrategy, Quantized, StoredElement};
+use bayestree_bench::record::{best_of_3, BenchRecord, SplitMix};
+use bt_anytree::OutlierVerdict;
+use bt_data::stream::DriftingStream;
+use std::time::Instant;
+
+// Each mode runs at its own 4 KiB-page geometry
+// (`BayesTree::paged_geometry`): at dims 16 a page holds 7 entries at f64,
+// 15 at f32 and 29 quantised, which is where 16-bit storage pays — every
+// budgeted node read covers ~4x the summary mass of the full-width mode,
+// so bounds converge (and verdicts certify) in fewer reads.
+const DIMS: usize = 16;
+const BATCH_SIZE: usize = 256;
+const QUERY_BUDGET: usize = 48;
+
+struct Workload {
+    stream_len: usize,
+    queries: usize,
+    rounds: usize,
+    smoke: bool,
+}
+
+fn workload_shape() -> Workload {
+    if std::env::var_os("BENCH_SMOKE").is_some() {
+        Workload {
+            stream_len: 4_000,
+            queries: 256,
+            rounds: 1,
+            smoke: true,
+        }
+    } else {
+        Workload {
+            stream_len: 64_000,
+            queries: 4096,
+            rounds: 5,
+            smoke: false,
+        }
+    }
+}
+
+fn stream_points(stream_len: usize) -> Vec<Vec<f64>> {
+    DriftingStream::new(4, DIMS, 0.3, 0.002, 17)
+        .generate(stream_len)
+        .into_iter()
+        .map(|(p, _)| p)
+        .collect()
+}
+
+fn query_workload(points: &[Vec<f64>], queries: usize) -> Vec<Vec<f64>> {
+    let mut rng = SplitMix(0xbeef);
+    (0..queries)
+        .map(|i| {
+            let mut q = points[(i * 13) % points.len()].clone();
+            for v in &mut q {
+                *v += rng.next_f64() - 0.5;
+            }
+            q
+        })
+        .collect()
+}
+
+fn build_tree<E: StoredElement>(points: &[Vec<f64>]) -> BayesTree<E> {
+    let mut tree: BayesTree<E> = BayesTree::new(DIMS, BayesTree::<E>::paged_geometry(DIMS));
+    for chunk in points.chunks(BATCH_SIZE) {
+        tree.insert_batch(chunk.to_vec());
+    }
+    tree
+}
+
+/// One timed anytime-outlier pass over the whole query workload; returns
+/// (seconds, certified verdicts).
+fn query_pass<E: StoredElement>(
+    tree: &BayesTree<E>,
+    queries: &[Vec<f64>],
+    threshold: f64,
+) -> (f64, usize) {
+    let start = Instant::now();
+    let mut certified = 0usize;
+    for q in queries {
+        let score = tree.outlier_score(q, threshold, QUERY_BUDGET);
+        if score.verdict != OutlierVerdict::Undecided {
+            certified += 1;
+        }
+    }
+    (start.elapsed().as_secs_f64(), certified)
+}
+
+/// Mean certified bound width of one budgeted density batch — the accuracy
+/// cost of narrowed summaries (wider stored boxes mean wider intervals at
+/// the same budget).
+fn mean_bound_width<E: StoredElement>(tree: &BayesTree<E>, queries: &[Vec<f64>]) -> f64 {
+    let (answers, _) = tree.density_batch(queries, DescentStrategy::default(), QUERY_BUDGET);
+    answers
+        .iter()
+        .map(bt_anytree::QueryAnswer::uncertainty)
+        .sum::<f64>()
+        / answers.len() as f64
+}
+
+/// The bytes one block-scored directory entry streams out of its epoch
+/// page: the stored CF sums (LS + SS) and MBR corners at the stored width,
+/// plus the full-width weight.
+fn bytes_per_scored_entry<E: StoredElement>() -> usize {
+    std::mem::size_of::<f64>() + DIMS * 4 * E::SCALAR_BYTES
+}
+
+fn main() {
+    let shape = workload_shape();
+    let points = stream_points(shape.stream_len);
+    let queries = query_workload(&points, shape.queries);
+
+    eprintln!(
+        "bench_10: building trees ({} objects per mode)...",
+        shape.stream_len
+    );
+    let wide_insert_secs = best_of_3(|| build_tree::<f64>(&points).len());
+    let narrow_insert_secs = best_of_3(|| build_tree::<f32>(&points).len());
+    let quant_insert_secs = best_of_3(|| build_tree::<Quantized>(&points).len());
+    let wide = build_tree::<f64>(&points);
+    let narrow = build_tree::<f32>(&points);
+    let quant = build_tree::<Quantized>(&points);
+    let threshold = wide.full_kernel_density(&queries[0]) * 0.05;
+
+    eprintln!(
+        "bench_10: {} interleaved query rounds ({} queries each)...",
+        shape.rounds,
+        queries.len()
+    );
+    let (mut wide_secs, mut narrow_secs, mut quant_secs) =
+        (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    let (mut wide_certified, mut narrow_certified, mut quant_certified) = (0usize, 0usize, 0usize);
+    for round in 0..shape.rounds {
+        let (ws, wc) = query_pass(&wide, &queries, threshold);
+        let (ns, nc) = query_pass(&narrow, &queries, threshold);
+        let (qs, qc) = query_pass(&quant, &queries, threshold);
+        wide_secs = wide_secs.min(ws);
+        narrow_secs = narrow_secs.min(ns);
+        quant_secs = quant_secs.min(qs);
+        (wide_certified, narrow_certified, quant_certified) = (wc, nc, qc);
+        eprintln!("bench_10:   round {round}: f64 {ws:.3}s  f32 {ns:.3}s  quantized {qs:.3}s");
+    }
+
+    let wide_width = mean_bound_width(&wide, &queries);
+    let narrow_width = mean_bound_width(&narrow, &queries);
+    let quant_width = mean_bound_width(&quant, &queries);
+
+    let wide_qps = wide_certified as f64 / wide_secs;
+    let narrow_qps = narrow_certified as f64 / narrow_secs;
+    let quant_qps = quant_certified as f64 / quant_secs;
+
+    if shape.smoke {
+        eprintln!(
+            "bench_10: smoke run: f64 {wide_qps:.0} q/s, f32 {narrow_qps:.0} q/s, \
+             quantized {quant_qps:.0} q/s; no record written"
+        );
+        assert!(
+            quant_certified > 0,
+            "quantised mode certified no verdicts on the smoke workload"
+        );
+        return;
+    }
+
+    let json = BenchRecord::new("quantized_summaries")
+        .config("dims", DIMS)
+        .config("stream_len", shape.stream_len)
+        .config("batch_size", BATCH_SIZE)
+        .config("query_budget", QUERY_BUDGET)
+        .config("query_rounds", shape.rounds)
+        .field(
+            "f64_inserts_per_sec",
+            format!("{:.1}", points.len() as f64 / wide_insert_secs),
+        )
+        .field(
+            "f32_inserts_per_sec",
+            format!("{:.1}", points.len() as f64 / narrow_insert_secs),
+        )
+        .field(
+            "quantized_inserts_per_sec",
+            format!("{:.1}", points.len() as f64 / quant_insert_secs),
+        )
+        .field("f64_certified_queries_per_sec", format!("{wide_qps:.1}"))
+        .field("f32_certified_queries_per_sec", format!("{narrow_qps:.1}"))
+        .field(
+            "quantized_certified_queries_per_sec",
+            format!("{quant_qps:.1}"),
+        )
+        .field("f64_certified_queries", format!("{wide_certified}"))
+        .field("f32_certified_queries", format!("{narrow_certified}"))
+        .field("quantized_certified_queries", format!("{quant_certified}"))
+        .field("total_queries", format!("{}", queries.len()))
+        .field("f64_mean_bound_width", format!("{wide_width:.3e}"))
+        .field("f32_mean_bound_width", format!("{narrow_width:.3e}"))
+        .field("quantized_mean_bound_width", format!("{quant_width:.3e}"))
+        .field(
+            "f64_bytes_per_scored_entry",
+            format!("{}", bytes_per_scored_entry::<f64>()),
+        )
+        .field(
+            "f32_bytes_per_scored_entry",
+            format!("{}", bytes_per_scored_entry::<f32>()),
+        )
+        .field(
+            "quantized_bytes_per_scored_entry",
+            format!("{}", bytes_per_scored_entry::<Quantized>()),
+        )
+        .field(
+            "quantized_over_f32_certified_ratio",
+            format!("{:.3}", quant_qps / narrow_qps.max(1e-12)),
+        )
+        .field(
+            "quantized_over_f64_certified_ratio",
+            format!("{:.3}", quant_qps / wide_qps.max(1e-12)),
+        )
+        .write("BENCH_10.json");
+    println!("{json}");
+    eprintln!("bench_10: wrote BENCH_10.json");
+}

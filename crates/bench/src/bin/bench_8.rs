@@ -87,7 +87,7 @@ fn query_pass<E: StoredElement>(
 /// follows stored precision), i.e. the memory traffic the `f32` mode
 /// halves.
 fn bytes_per_scored_entry<E: StoredElement>() -> usize {
-    std::mem::size_of::<f64>() + DIMS * 4 * std::mem::size_of::<E>()
+    std::mem::size_of::<f64>() + DIMS * 4 * E::SCALAR_BYTES
 }
 
 fn main() {

@@ -173,10 +173,22 @@ impl BenchRecord {
 
     /// Writes the record to `path` and returns the JSON that was written.
     ///
+    /// Records stamped from a dirty working tree are still written (local
+    /// iteration must stay cheap) but earn a loud warning: a committed
+    /// `BENCH_N.json` whose `git_rev` ends in `-dirty` is not traceable to
+    /// any commit, so regenerate it from a clean tree before committing.
+    ///
     /// # Panics
     ///
     /// Panics if the file cannot be written.
     pub fn write(&self, path: &str) -> String {
+        if self.git_rev.ends_with("-dirty") {
+            eprintln!(
+                "warning: {path} was produced from a dirty working tree (git_rev {}); \
+                 regenerate it from a clean tree before committing the record",
+                self.git_rev
+            );
+        }
         let json = self.to_json();
         std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
         json

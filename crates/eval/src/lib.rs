@@ -62,7 +62,9 @@ pub use curve::{anytime_accuracy_curve, batched_construction_curves, AccuracyCur
 pub use obs::{certified_queries_per_sec, format_metrics_table, RegistryCapture};
 pub use pipeline::{pipelined_sweep, PipelinedThroughput};
 pub use query::{
-    density_budget_sweep, sharded_query_sweep, QueryBudgetQuality, ShardedQueryThroughput,
+    bytes_per_scored_entry, density_budget_sweep, density_budget_sweep_for,
+    format_stored_mode_sweep, sharded_query_sweep, stored_mode_sweep, QueryBudgetQuality,
+    ShardedQueryThroughput, StoredModeQuality,
 };
 pub use report::{ascii_chart, curves_to_csv, improvement_summary, table1};
 pub use sharding::{

@@ -14,7 +14,7 @@
 //!   sharded query at shard counts 1/2/4/8 (same per-shard budget, so the
 //!   shards do proportionally more refinement in the same wall-clock).
 
-use bayestree::{BayesTree, DescentStrategy, ShardedBayesTree};
+use bayestree::{BayesTree, DescentStrategy, Quantized, ShardedBayesTree, StoredElement};
 use bt_anytree::QueryStats;
 use bt_index::PageGeometry;
 use std::time::Instant;
@@ -51,10 +51,28 @@ pub fn density_budget_sweep(
     budgets: &[usize],
     geometry: PageGeometry,
 ) -> Vec<QueryBudgetQuality> {
+    density_budget_sweep_for::<f64>(points, queries, budgets, geometry)
+}
+
+/// [`density_budget_sweep`] generalised over the stored-summary mode `E`
+/// (`f64`, `f32` or [`Quantized`]): the tree is built and queried with
+/// summaries stored at that precision, while the error reference stays the
+/// exact flat kernel density (leaves are exact `f64` in every mode).
+///
+/// # Panics
+///
+/// Panics if `points` or `queries` is empty.
+#[must_use]
+pub fn density_budget_sweep_for<E: StoredElement>(
+    points: &[Vec<f64>],
+    queries: &[Vec<f64>],
+    budgets: &[usize],
+    geometry: PageGeometry,
+) -> Vec<QueryBudgetQuality> {
     assert!(!points.is_empty(), "need training points");
     assert!(!queries.is_empty(), "need query points");
     let dims = points[0].len();
-    let tree: BayesTree = BayesTree::build_iterative(points, dims, geometry);
+    let tree: BayesTree<E> = BayesTree::build_iterative(points, dims, geometry);
     let truths: Vec<f64> = queries
         .iter()
         .map(|q| tree.full_kernel_density(q))
@@ -85,6 +103,61 @@ pub fn density_budget_sweep(
             }
         })
         .collect()
+}
+
+/// One stored-summary mode's quality rows in a [`stored_mode_sweep`].
+#[derive(Debug, Clone)]
+pub struct StoredModeQuality {
+    /// Stored-mode label (`"f64"`, `"f32"`, `"quantized"`).
+    pub mode: &'static str,
+    /// Resident bytes one scored directory entry costs in this mode: the
+    /// exact `f64` weight plus four `dims`-wide stored columns (CF LS/SS
+    /// and the two MBR corner rows).
+    pub bytes_per_scored_entry: usize,
+    /// The per-budget quality rows, same budgets across every mode.
+    pub rows: Vec<QueryBudgetQuality>,
+}
+
+/// Resident bytes per scored directory entry for stored mode `E` at `dims`
+/// dimensions — the footprint axis of the precision/bandwidth trade.
+#[must_use]
+pub const fn bytes_per_scored_entry<E: StoredElement>(dims: usize) -> usize {
+    std::mem::size_of::<f64>() + dims * 4 * E::SCALAR_BYTES
+}
+
+/// Runs [`density_budget_sweep_for`] once per stored-summary mode (`f64`,
+/// `f32`, quantised) over the same workload, pairing each mode's quality
+/// rows with its per-entry footprint — the data behind the
+/// bytes-versus-bound-width trade-off table in `docs/PERF.md`.
+///
+/// # Panics
+///
+/// Panics if `points` or `queries` is empty.
+#[must_use]
+pub fn stored_mode_sweep(
+    points: &[Vec<f64>],
+    queries: &[Vec<f64>],
+    budgets: &[usize],
+    geometry: PageGeometry,
+) -> Vec<StoredModeQuality> {
+    let dims = points[0].len();
+    vec![
+        StoredModeQuality {
+            mode: <f64 as StoredElement>::MODE,
+            bytes_per_scored_entry: bytes_per_scored_entry::<f64>(dims),
+            rows: density_budget_sweep_for::<f64>(points, queries, budgets, geometry),
+        },
+        StoredModeQuality {
+            mode: <f32 as StoredElement>::MODE,
+            bytes_per_scored_entry: bytes_per_scored_entry::<f32>(dims),
+            rows: density_budget_sweep_for::<f32>(points, queries, budgets, geometry),
+        },
+        StoredModeQuality {
+            mode: Quantized::MODE,
+            bytes_per_scored_entry: bytes_per_scored_entry::<Quantized>(dims),
+            rows: density_budget_sweep_for::<Quantized>(points, queries, budgets, geometry),
+        },
+    ]
 }
 
 /// Throughput and quality of the sharded query path at one shard count.
@@ -182,6 +255,32 @@ pub fn format_density_budget_sweep(rows: &[QueryBudgetQuality]) -> String {
     out
 }
 
+/// Formats a stored-mode sweep as aligned text: one row per (mode, budget)
+/// pair, with the per-entry byte footprint and the mean certified bound
+/// width side by side so the storage-versus-certainty trade reads off
+/// directly.
+#[must_use]
+pub fn format_stored_mode_sweep(modes: &[StoredModeQuality]) -> String {
+    let mut out = String::from(
+        "mode       bytes/entry  budget  mean-reads  bound-width  abs-error\n\
+         ---------  -----------  ------  ----------  -----------  ---------\n",
+    );
+    for m in modes {
+        for r in &m.rows {
+            out.push_str(&format!(
+                "{:<9}  {:>11}  {:>6}  {:>10.1}  {:>11.3e}  {:>9.3e}\n",
+                m.mode,
+                m.bytes_per_scored_entry,
+                r.budget,
+                r.mean_nodes_read,
+                r.mean_uncertainty,
+                r.mean_abs_error,
+            ));
+        }
+    }
+    out
+}
+
 /// Formats a sharded query sweep as aligned text, including the per-shard
 /// size split (router skew).
 #[must_use]
@@ -259,6 +358,40 @@ mod tests {
         for r in &rows {
             assert!((0.0..=1.0).contains(&r.stats.gather_hit_rate()));
         }
+    }
+
+    #[test]
+    fn stored_mode_sweep_pairs_footprint_with_bound_width() {
+        let (points, queries) = workload();
+        let modes = stored_mode_sweep(
+            &points,
+            &queries,
+            &[0, 8, 64],
+            PageGeometry::from_fanout(4, 6),
+        );
+        assert_eq!(modes.len(), 3);
+        let dims = points[0].len();
+        // 8-byte weight + 4 stored columns of dims scalars each.
+        assert_eq!(modes[0].mode, "f64");
+        assert_eq!(modes[0].bytes_per_scored_entry, 8 + dims * 4 * 8);
+        assert_eq!(modes[1].mode, "f32");
+        assert_eq!(modes[1].bytes_per_scored_entry, 8 + dims * 4 * 4);
+        assert_eq!(modes[2].mode, "quantized");
+        assert_eq!(modes[2].bytes_per_scored_entry, 8 + dims * 4 * 2);
+        for m in &modes {
+            assert_eq!(m.rows.len(), 3);
+            // Monotone refinement holds within every stored mode.
+            for pair in m.rows.windows(2) {
+                assert!(pair[1].mean_uncertainty <= pair[0].mean_uncertainty + 1e-12);
+            }
+            // Leaves are exact in every mode, so a generous budget drives
+            // the estimate error below the root-level error.
+            assert!(m.rows[2].mean_abs_error <= m.rows[0].mean_abs_error + 1e-12);
+        }
+        let text = format_stored_mode_sweep(&modes);
+        assert_eq!(text.lines().count(), 2 + 3 * 3);
+        assert!(text.contains("bytes/entry") && text.contains("bound-width"));
+        assert!(text.contains("quantized"));
     }
 
     #[test]

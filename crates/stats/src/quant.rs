@@ -1,0 +1,270 @@
+//! Quantisation primitives for the 16-bit stored-summary mode.
+//!
+//! Two codecs live here, one per stored quantity:
+//!
+//! * **Block-exponent mantissas** for CF linear/squared-sum columns: a whole
+//!   column shares one power-of-two step (the "block exponent", chosen from
+//!   the column's maximum magnitude at quantise-on-write) and each component
+//!   stores only a signed 16-bit mantissa.  Round-to-nearest, so the
+//!   per-component error is bounded by `step / 2`; decoding `q * step` is
+//!   *exact* in `f64` (a 15-bit integer times a power of two), which is what
+//!   lets the decoded columns feed the bit-exactness-audited block kernels.
+//! * **`bf16`-style corners** for MBR bounds: the top 16 bits of the `f32`
+//!   representation (sign, 8-bit exponent, 7-bit mantissa), rounded
+//!   *outward* — lower corners toward `-∞`, upper corners toward `+∞` — so a
+//!   quantised box always encloses the exact one and the anytime
+//!   `[lower, upper]` density bounds stay sound.  Unlike a per-node step,
+//!   this rounding is a *value-deterministic monotone* function (the same
+//!   corner value always rounds to the same grid point, and `x <= y` implies
+//!   `round(x) <= round(y)`), which is exactly the property that makes
+//!   parent boxes keep containing child boxes under independent re-encodes —
+//!   the nesting the monotone-refinement contract of the query engine needs.
+//!   A per-node (or parent-relative) corner step cannot give that guarantee:
+//!   a child re-encoding with a different step than its parent may round a
+//!   shared corner past the parent's.  Both codecs are idempotent: encoding
+//!   an already-representable value returns it unchanged, so repeated
+//!   decode/re-encode cycles do not drift.
+
+/// Decodes a `bf16`-style corner (the top 16 bits of an `f32`) to `f64`.
+///
+/// Exact: every `bf16` value is representable in `f32` and therefore `f64`.
+#[inline]
+#[must_use]
+pub fn bf16_decode(h: u16) -> f64 {
+    f64::from(f32::from_bits(u32::from(h) << 16))
+}
+
+/// Whether a `bf16` bit pattern is a NaN (all-ones exponent, non-zero
+/// mantissa) — the encoders must never step into this range.
+#[inline]
+fn bf16_is_nan(h: u16) -> bool {
+    (h & 0x7F80) == 0x7F80 && (h & 0x7F) != 0
+}
+
+/// Maps `bf16` bits to an integer that is monotone in the represented value
+/// (the standard sign-magnitude to biased trick), so stepping to the
+/// neighbouring representable value is integer arithmetic.
+#[inline]
+fn bf16_sortable(h: u16) -> u16 {
+    if h & 0x8000 != 0 {
+        !h
+    } else {
+        h | 0x8000
+    }
+}
+
+#[inline]
+fn bf16_unsortable(s: u16) -> u16 {
+    if s & 0x8000 != 0 {
+        s & 0x7FFF
+    } else {
+        !s
+    }
+}
+
+/// The next `bf16` toward `-∞`.
+#[inline]
+fn bf16_step_down(h: u16) -> u16 {
+    bf16_unsortable(bf16_sortable(h).wrapping_sub(1))
+}
+
+/// The next `bf16` toward `+∞`.
+#[inline]
+fn bf16_step_up(h: u16) -> u16 {
+    bf16_unsortable(bf16_sortable(h).wrapping_add(1))
+}
+
+/// The largest `bf16` value `<= x` (rounds toward `-∞`; saturates to `-∞`
+/// below the representable range).  `x` must not be NaN.
+#[must_use]
+pub fn bf16_floor(x: f64) -> u16 {
+    debug_assert!(!x.is_nan(), "cannot quantise a NaN corner");
+    // Truncating an f32's mantissa rounds toward zero, and the f64 -> f32
+    // conversion rounds to nearest: both errors are within one bf16 ulp, so
+    // a couple of neighbour steps land on the exact floor.
+    let mut h = ((x as f32).to_bits() >> 16) as u16;
+    while bf16_decode(h) > x {
+        h = bf16_step_down(h);
+    }
+    loop {
+        let up = bf16_step_up(h);
+        if bf16_is_nan(up) || bf16_decode(up) > x {
+            break;
+        }
+        h = up;
+    }
+    canonicalize_zero(h)
+}
+
+/// Folds the `-0.0` bit pattern to `+0.0` so both zeros encode identically
+/// (the sortable-integer stepping treats them as adjacent distinct values).
+#[inline]
+fn canonicalize_zero(h: u16) -> u16 {
+    if h == 0x8000 {
+        0x0000
+    } else {
+        h
+    }
+}
+
+/// The smallest `bf16` value `>= x` (rounds toward `+∞`; saturates to `+∞`
+/// above the representable range).  `x` must not be NaN.
+#[must_use]
+pub fn bf16_ceil(x: f64) -> u16 {
+    debug_assert!(!x.is_nan(), "cannot quantise a NaN corner");
+    let mut h = ((x as f32).to_bits() >> 16) as u16;
+    while bf16_decode(h) < x {
+        h = bf16_step_up(h);
+    }
+    loop {
+        let down = bf16_step_down(h);
+        if bf16_is_nan(down) || bf16_decode(down) < x {
+            break;
+        }
+        h = down;
+    }
+    canonicalize_zero(h)
+}
+
+/// Headroom target for [`block_step`]: the largest mantissa magnitude the
+/// step is chosen to produce, leaving slack below `i16::MAX` for the
+/// round-to-nearest half-step.
+pub const BLOCK_MANTISSA_TARGET: f64 = 32640.0;
+
+/// The power-of-two block step (shared "block exponent") for a column whose
+/// maximum absolute component is `maxabs`: the smallest power of two such
+/// that every component's mantissa `round(v / step)` fits in an `i16`.
+///
+/// Degenerate columns (`maxabs == 0`, or non-finite) get step `1.0`.
+#[must_use]
+pub fn block_step(maxabs: f64) -> f64 {
+    if maxabs <= 0.0 || !maxabs.is_finite() {
+        return 1.0;
+    }
+    let step = (maxabs / BLOCK_MANTISSA_TARGET).log2().ceil().exp2();
+    // `log2`/`ceil` run in floating point; guard the rounding edge so the
+    // mantissa can never overflow the i16 after round-to-nearest.
+    if maxabs / step > f64::from(i16::MAX) - 1.0 {
+        step * 2.0
+    } else {
+        step
+    }
+}
+
+/// Round-to-nearest mantissa of `v` against a [`block_step`] `step`.
+#[inline]
+#[must_use]
+pub fn quantize_i16(v: f64, step: f64) -> i16 {
+    debug_assert!(step > 0.0 && step.is_finite());
+    // `as` saturates, so a pathological component can widen the error but
+    // never wrap the mantissa.
+    (v / step).round() as i16
+}
+
+/// Decodes a block-exponent mantissa: exact in `f64` (15-bit integer times a
+/// power of two).
+#[inline]
+#[must_use]
+pub fn dequantize_i16(q: i16, step: f64) -> f64 {
+    f64::from(q) * step
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bf16_codec_round_trips_representable_values() {
+        for v in [0.0, 1.0, -1.0, 0.5, -2.75, 1024.0, 3.0e30, -4.5e-20] {
+            let down = bf16_floor(v);
+            let up = bf16_ceil(v);
+            assert!(bf16_decode(down) <= v, "{v}: floor overshoots");
+            assert!(bf16_decode(up) >= v, "{v}: ceil undershoots");
+        }
+        // Exactly representable values are fixed points of both directions.
+        for h in [0x0000u16, 0x3F80, 0xBF80, 0x4000, 0x42C8, 0xC2C8] {
+            let v = bf16_decode(h);
+            assert_eq!(bf16_floor(v), h);
+            assert_eq!(bf16_ceil(v), h);
+        }
+    }
+
+    #[test]
+    fn bf16_outward_rounding_brackets_within_one_ulp() {
+        let mut state = 0x1234_5678_u64;
+        for _ in 0..10_000 {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            let mag = ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 2.0e6;
+            let lo = bf16_decode(bf16_floor(mag));
+            let hi = bf16_decode(bf16_ceil(mag));
+            assert!(
+                lo <= mag && mag <= hi,
+                "{mag} not bracketed by [{lo}, {hi}]"
+            );
+            // The bracket is at relative bf16 precision (2^-8 mantissa).
+            let slack = mag.abs() * (1.0 / 128.0) + 1e-37;
+            assert!(hi - lo <= slack, "{mag}: bracket [{lo}, {hi}] too wide");
+        }
+    }
+
+    #[test]
+    fn bf16_rounding_is_monotone() {
+        // The nesting argument for quantised MBRs rests on monotonicity:
+        // x <= y implies floor(x) <= floor(y) and ceil(x) <= ceil(y).
+        let values = [
+            -1.0e30, -5000.0, -1.5, -1.0e-25, 0.0, 7.25e-12, 0.3, 2.0, 999.75, 4.0e28,
+        ];
+        for pair in values.windows(2) {
+            assert!(bf16_decode(bf16_floor(pair[0])) <= bf16_decode(bf16_floor(pair[1])));
+            assert!(bf16_decode(bf16_ceil(pair[0])) <= bf16_decode(bf16_ceil(pair[1])));
+        }
+    }
+
+    #[test]
+    fn bf16_saturates_outside_the_f32_range() {
+        assert_eq!(bf16_decode(bf16_ceil(1.0e300)), f64::INFINITY);
+        assert_eq!(bf16_decode(bf16_floor(-1.0e300)), f64::NEG_INFINITY);
+        // Floor of an over-range positive stays finite (the max bf16).
+        assert!(bf16_decode(bf16_floor(1.0e300)).is_finite());
+    }
+
+    #[test]
+    fn block_step_is_a_power_of_two_with_i16_headroom() {
+        for maxabs in [1.0e-30, 0.001, 1.0, 42.0, 32640.0, 1.0e6, 3.0e12] {
+            let step = block_step(maxabs);
+            assert_eq!(step.log2().fract(), 0.0, "{maxabs}: step {step} not 2^k");
+            let q = quantize_i16(maxabs, step);
+            assert!(q.unsigned_abs() <= i16::MAX as u16);
+            assert!((dequantize_i16(q, step) - maxabs).abs() <= step / 2.0);
+        }
+        assert_eq!(block_step(0.0), 1.0);
+        assert_eq!(block_step(f64::NAN), 1.0);
+    }
+
+    #[test]
+    fn block_quantisation_error_is_at_most_half_a_step() {
+        let maxabs = 1234.5;
+        let step = block_step(maxabs);
+        let mut v = -maxabs;
+        while v <= maxabs {
+            let q = quantize_i16(v, step);
+            assert!(
+                (dequantize_i16(q, step) - v).abs() <= step / 2.0,
+                "{v} decodes outside the half-step bound"
+            );
+            v += 0.37;
+        }
+    }
+
+    #[test]
+    fn dequantize_is_exact_for_every_mantissa() {
+        let step = 0.25; // a power of two: q * step must be exact
+        for q in [i16::MIN, -32000, -1, 0, 1, 2, 777, 32000, i16::MAX] {
+            let v = dequantize_i16(q, step);
+            assert_eq!(v, f64::from(q) * step);
+            assert_eq!(quantize_i16(v, step), q, "re-encode of {q} drifted");
+        }
+    }
+}
